@@ -1,0 +1,158 @@
+//! One-shot blocking cells, mirroring `ABT_eventual`.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Inner<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+/// A one-shot value that tasks can block on.
+///
+/// Cloning yields another handle to the same cell. Setting twice panics —
+/// an eventual is a single-assignment cell, as in Argobots.
+pub struct Eventual<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Eventual<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for Eventual<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Eventual<T> {
+    /// Creates an empty eventual.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                slot: Mutex::new(None),
+                ready: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Stores the value and wakes all waiters.
+    ///
+    /// # Panics
+    /// Panics if the eventual was already set.
+    pub fn set(&self, value: T) {
+        let mut slot = self.inner.slot.lock();
+        assert!(slot.is_none(), "Eventual::set called twice");
+        *slot = Some(value);
+        self.inner.ready.notify_all();
+    }
+
+    /// Blocks until the value is set, then takes it.
+    ///
+    /// Exactly one waiter obtains the value; use [`Eventual::wait_ref`]-style
+    /// cloning of `T` externally if several tasks need it.
+    pub fn wait(&self) -> T {
+        let mut slot = self.inner.slot.lock();
+        loop {
+            if let Some(v) = slot.take() {
+                return v;
+            }
+            self.inner.ready.wait(&mut slot);
+        }
+    }
+
+    /// Non-blocking probe: takes the value if it is already set.
+    pub fn test(&self) -> Option<T> {
+        self.inner.slot.lock().take()
+    }
+
+    /// Whether a value is currently stored (false after it was taken).
+    pub fn is_ready(&self) -> bool {
+        self.inner.slot.lock().is_some()
+    }
+}
+
+impl<T: Clone> Eventual<T> {
+    /// Blocks until the value is set and returns a clone, leaving the value
+    /// in place for other waiters.
+    pub fn wait_cloned(&self) -> T {
+        let mut slot = self.inner.slot.lock();
+        loop {
+            if let Some(v) = slot.as_ref() {
+                return v.clone();
+            }
+            self.inner.ready.wait(&mut slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn set_then_wait() {
+        let e = Eventual::new();
+        e.set(42);
+        assert_eq!(e.wait(), 42);
+    }
+
+    #[test]
+    fn wait_blocks_until_set() {
+        let e = Eventual::new();
+        let e2 = e.clone();
+        let h = thread::spawn(move || e2.wait());
+        thread::sleep(Duration::from_millis(20));
+        e.set("done");
+        assert_eq!(h.join().unwrap(), "done");
+    }
+
+    #[test]
+    fn test_probe_is_nonblocking() {
+        let e: Eventual<u8> = Eventual::new();
+        assert_eq!(e.test(), None);
+        e.set(1);
+        assert!(e.is_ready());
+        assert_eq!(e.test(), Some(1));
+        assert_eq!(e.test(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "set called twice")]
+    fn double_set_panics() {
+        let e = Eventual::new();
+        e.set(1);
+        e.set(2);
+    }
+
+    #[test]
+    fn wait_cloned_leaves_value() {
+        let e = Eventual::new();
+        e.set(vec![1, 2, 3]);
+        assert_eq!(e.wait_cloned(), vec![1, 2, 3]);
+        assert_eq!(e.wait_cloned(), vec![1, 2, 3]);
+        assert!(e.is_ready());
+    }
+
+    #[test]
+    fn many_waiters_one_winner() {
+        let e: Eventual<u32> = Eventual::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let e = e.clone();
+            handles.push(thread::spawn(move || e.wait_cloned()));
+        }
+        e.set(7);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7);
+        }
+    }
+}

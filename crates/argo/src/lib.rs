@@ -1,0 +1,27 @@
+//! # argo — an Argobots-inspired tasking runtime
+//!
+//! Mochi services run their RPC handlers and background work on Argobots
+//! user-level threads grouped into pools serviced by execution streams.
+//! This crate reproduces the subset Colza needs:
+//!
+//! * [`Pool`] — a FIFO work queue serviced by one or more execution
+//!   streams (OS threads here; the paper's xstreams map to cores),
+//! * [`Eventual`] — Argobots' `ABT_eventual`: a one-shot value a task can
+//!   block on,
+//! * task spawning returning an eventual for the task's result.
+//!
+//! The real Argobots advantage cited by the paper — a progress loop that
+//! *yields* to other tasks while blocked on communication instead of
+//! burning a core — maps here to parked threads: a pool's streams sleep on
+//! a condvar whenever no task is runnable, so pipeline execution, control
+//! messages, and communication progress interleave freely.
+//!
+//! Pools accept an optional *task wrapper* so an embedding layer (margo)
+//! can install per-task ambient state — in this reproduction, the
+//! simulated-process context of the process that owns the pool.
+
+mod eventual;
+mod pool;
+
+pub use eventual::Eventual;
+pub use pool::{Pool, PoolBuilder, Task, TaskWrapper};

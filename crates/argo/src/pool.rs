@@ -1,0 +1,268 @@
+//! Pools and execution streams.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::eventual::Eventual;
+
+/// A unit of work posted to a pool.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Wrapper installed around every task execution (used to propagate the
+/// simulated-process context onto pool threads).
+pub type TaskWrapper = Arc<dyn Fn(Task) + Send + Sync + 'static>;
+
+/// State shared with the worker threads. Deliberately does NOT hold the
+/// task sender: the sender lives in [`Pool`] itself, so dropping the pool
+/// disconnects the channel and the execution streams exit — pools never
+/// leak threads.
+struct Shared {
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// Builder for [`Pool`].
+pub struct PoolBuilder {
+    name: String,
+    xstreams: usize,
+    wrapper: Option<TaskWrapper>,
+}
+
+impl PoolBuilder {
+    /// Starts building a pool with the given diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            xstreams: 1,
+            wrapper: None,
+        }
+    }
+
+    /// Number of execution streams (worker threads) servicing the pool.
+    pub fn xstreams(mut self, n: usize) -> Self {
+        assert!(n > 0, "a pool needs at least one execution stream");
+        self.xstreams = n;
+        self
+    }
+
+    /// Installs a wrapper run around every task (ambient-context injection).
+    pub fn task_wrapper(mut self, w: TaskWrapper) -> Self {
+        self.wrapper = Some(w);
+        self
+    }
+
+    /// Spawns the execution streams and returns the pool.
+    pub fn build(self) -> Pool {
+        let (tx, rx) = unbounded::<Task>();
+        let shared = Arc::new(Shared {
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..self.xstreams)
+            .map(|i| {
+                let rx: Receiver<Task> = rx.clone();
+                let shared = Arc::clone(&shared);
+                let wrapper = self.wrapper.clone();
+                std::thread::Builder::new()
+                    .name(format!("{}-es{}", self.name, i))
+                    .spawn(move || {
+                        // Exits when every sender is gone (pool dropped).
+                        while let Ok(task) = rx.recv() {
+                            match &wrapper {
+                                Some(w) => w(task),
+                                None => task(),
+                            }
+                            shared.pending.fetch_sub(1, Ordering::Release);
+                        }
+                    })
+                    .expect("failed to spawn execution stream")
+            })
+            .collect();
+        Pool {
+            tx,
+            shared,
+            workers: parking_lot::Mutex::new(workers),
+        }
+    }
+}
+
+/// A FIFO task pool serviced by dedicated execution streams.
+///
+/// Dropping the pool lets queued tasks finish and then terminates the
+/// streams (the task channel disconnects).
+pub struct Pool {
+    tx: Sender<Task>,
+    shared: Arc<Shared>,
+    workers: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// A single-stream pool with default settings.
+    pub fn new(name: impl Into<String>) -> Self {
+        PoolBuilder::new(name).build()
+    }
+
+    /// Posts a fire-and-forget task.
+    pub fn post(&self, task: impl FnOnce() + Send + 'static) {
+        assert!(
+            !self.shared.shutdown.load(Ordering::Acquire),
+            "post on a shut-down pool"
+        );
+        self.shared.pending.fetch_add(1, Ordering::Acquire);
+        self.tx.send(Box::new(task)).expect("pool channel closed");
+    }
+
+    /// Spawns a task and returns an [`Eventual`] for its result.
+    pub fn spawn<R: Send + 'static>(
+        &self,
+        task: impl FnOnce() -> R + Send + 'static,
+    ) -> Eventual<R> {
+        let ev = Eventual::new();
+        let ev2 = ev.clone();
+        self.post(move || ev2.set(task()));
+        ev
+    }
+
+    /// Number of tasks posted but not yet completed.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// Busy-waits (with yields) until all posted tasks have completed.
+    pub fn drain(&self) {
+        while self.pending() > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Stops accepting tasks, finishes queued ones, and joins the
+    /// execution streams. Idempotent; also runs on drop (without the
+    /// drain, which drop cannot safely do from arbitrary threads).
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return; // already shut down
+        }
+        self.drain();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // `tx` drops with self: the workers' recv loops end once queued
+        // tasks are consumed. Detach rather than join — a worker may be
+        // the thread dropping the pool.
+        self.workers.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn tasks_run_and_return_values() {
+        let pool = Pool::new("t");
+        let ev = pool.spawn(|| 6 * 7);
+        assert_eq!(ev.wait(), 42);
+    }
+
+    #[test]
+    fn many_tasks_all_execute() {
+        let pool = PoolBuilder::new("t").xstreams(2).build();
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.post(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn single_stream_pool_is_fifo() {
+        let pool = Pool::new("fifo");
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..20 {
+            let order = Arc::clone(&order);
+            pool.post(move || order.lock().push(i));
+        }
+        pool.drain();
+        assert_eq!(*order.lock(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wrapper_runs_around_each_task() {
+        let wrapped = Arc::new(AtomicU32::new(0));
+        let w2 = Arc::clone(&wrapped);
+        let pool = PoolBuilder::new("w")
+            .task_wrapper(Arc::new(move |task| {
+                w2.fetch_add(1, Ordering::Relaxed);
+                task();
+            }))
+            .build();
+        for _ in 0..5 {
+            pool.post(|| {});
+        }
+        pool.drain();
+        assert_eq!(wrapped.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn pending_counts_down() {
+        let pool = Pool::new("p");
+        let ev = pool.spawn(|| {});
+        ev.wait();
+        pool.drain();
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn blocked_task_does_not_starve_other_streams() {
+        // The Argobots property the paper relies on: a task blocking on
+        // communication must not prevent other work from running.
+        let pool = PoolBuilder::new("b").xstreams(2).build();
+        let gate: Eventual<()> = Eventual::new();
+        let g2 = gate.clone();
+        let blocked = pool.spawn(move || g2.wait());
+        let free = pool.spawn(|| 99);
+        assert_eq!(free.wait(), 99);
+        gate.set(());
+        blocked.wait();
+    }
+
+    #[test]
+    fn dropping_a_pool_terminates_its_streams() {
+        // Regression test for the thread leak that OOMed the benches:
+        // worker threads must exit once the pool is gone.
+        let before = count_threads();
+        for _ in 0..50 {
+            let pool = PoolBuilder::new("leak").xstreams(2).build();
+            pool.post(|| {});
+            pool.drain();
+            drop(pool);
+        }
+        // Give the exiting threads a moment to be reaped.
+        for _ in 0..200 {
+            if count_threads() <= before + 4 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!(
+            "thread leak: {} before, {} after",
+            before,
+            count_threads()
+        );
+    }
+
+    fn count_threads() -> usize {
+        std::fs::read_dir("/proc/self/task").map(|d| d.count()).unwrap_or(0)
+    }
+}

@@ -1,0 +1,297 @@
+//! A DataSpaces-like staging service.
+//!
+//! DataSpaces is an in-memory object store bridging coupled applications:
+//! clients `put` versioned named objects, servers index them in a
+//! distributed metadata directory, and consumers `get` or — in the in situ
+//! configuration the paper benchmarks — run analysis directly in the
+//! staging servers. The modern DataSpaces is itself Margo-based, which is
+//! why the paper calls it architecturally close to Colza; our model shares
+//! Colza's RPC substrate and pipeline but differs exactly where the real
+//! systems differ:
+//!
+//! * a **static** server group fixed at launch (no SSG, no elasticity),
+//! * a per-put **metadata indexing cost** (DHT directory update),
+//! * execution over a static MPI communicator, like `Colza+MPI`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use catalyst::{CatalystConfig, CatalystPipeline, MpiVtkComm, PipelineScript};
+use margo::{HandlerPool, MargoInstance};
+use na::{Address, BulkHandle, Fabric};
+use vizkit::Controller;
+
+/// Per-put metadata indexing cost (virtual ns): hashing the object name,
+/// updating the space-filling-curve directory, and acknowledging the
+/// index servers. Calibrated to a few microseconds as measured for
+/// DataSpaces' dspaces_put metadata path.
+const INDEX_COST_NS: u64 = 4_000;
+
+#[derive(Serialize, Deserialize, Clone)]
+struct PutArgs {
+    name: String,
+    version: u64,
+    block_id: u64,
+    size: usize,
+    bulk: BulkHandle,
+}
+
+#[derive(Serialize, Deserialize, Clone)]
+struct ExecArgs {
+    version: u64,
+}
+
+/// One staging server's state.
+struct DsServer {
+    store: Mutex<HashMap<u64, Vec<(u64, Bytes)>>>,
+    pipeline: CatalystPipeline,
+    world: Mutex<Option<minimpi::MpiComm>>,
+}
+
+/// A handle to a launched DataSpaces deployment.
+pub struct DataSpacesDeployment {
+    addrs: Vec<Address>,
+    stop_txs: Vec<crossbeam::channel::Sender<()>>,
+    handles: Vec<hpcsim::cluster::SimHandle<()>>,
+}
+
+impl DataSpacesDeployment {
+    /// Launches `n` staging servers running the given pipeline script.
+    pub fn launch(
+        cluster: &hpcsim::Cluster,
+        fabric: &Fabric,
+        n: usize,
+        per_node: usize,
+        first_node: usize,
+        profile: minimpi::Profile,
+        script: PipelineScript,
+    ) -> Self {
+        let (addr_tx, addr_rx) = crossbeam::channel::unbounded();
+        let (world_tx, world_rx) = crossbeam::channel::unbounded::<Vec<Address>>();
+        let mut stop_txs = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+            stop_txs.push(stop_tx);
+            let fabric = fabric.clone();
+            let addr_tx = addr_tx.clone();
+            let world_rx = world_rx.clone();
+            let script = script.clone();
+            handles.push(cluster.spawn(
+                &format!("dataspaces[{i}]"),
+                first_node + i / per_node,
+                move || {
+                    let endpoint = Arc::new(fabric.open());
+                    let margo = MargoInstance::from_endpoint(Arc::clone(&endpoint));
+                    let server = Arc::new(DsServer {
+                        store: Mutex::new(HashMap::new()),
+                        pipeline: CatalystPipeline::new(script, CatalystConfig::default()),
+                        world: Mutex::new(None),
+                    });
+                    register_rpcs(&margo, &server);
+                    addr_tx.send((i, margo.address())).unwrap();
+                    // Static world bootstrap (PMI-style).
+                    let members = world_rx.recv().unwrap();
+                    *server.world.lock() = Some(minimpi::MpiComm::from_endpoint(
+                        Arc::clone(&endpoint),
+                        members,
+                        profile,
+                    ));
+                    let _ = stop_rx.recv();
+                    margo.finalize();
+                },
+            ));
+        }
+        let mut addrs = vec![Address(0); n];
+        for _ in 0..n {
+            let (i, a) = addr_rx.recv().unwrap();
+            addrs[i] = a;
+        }
+        for _ in 0..n {
+            world_tx.send(addrs.clone()).unwrap();
+        }
+        Self {
+            addrs,
+            stop_txs,
+            handles,
+        }
+    }
+
+    /// Server addresses.
+    pub fn addrs(&self) -> &[Address] {
+        &self.addrs
+    }
+
+    /// Shuts the deployment down.
+    pub fn stop(self) {
+        for tx in &self.stop_txs {
+            let _ = tx.send(());
+        }
+        for h in self.handles {
+            h.join();
+        }
+    }
+}
+
+fn register_rpcs(margo: &Arc<MargoInstance>, server: &Arc<DsServer>) {
+    {
+        let s = Arc::clone(server);
+        margo.register("ds.put", move |args: PutArgs, ctx| {
+            // Pull the object, then pay the metadata indexing cost.
+            let data = ctx
+                .endpoint
+                .rdma_get(args.bulk, 0, args.size)
+                .map_err(|e| e.to_string())?;
+            hpcsim::current().advance(INDEX_COST_NS);
+            s.store
+                .lock()
+                .entry(args.version)
+                .or_default()
+                .push((args.block_id, data));
+            Ok(())
+        });
+    }
+    {
+        let s = Arc::clone(server);
+        margo.register_in_pool("ds.exec", HandlerPool::Heavy, move |args: ExecArgs, _ctx| {
+            let mut blocks = s
+                .store
+                .lock()
+                .remove(&args.version)
+                .unwrap_or_default();
+            blocks.sort_by_key(|(id, _)| *id);
+            let datasets: Vec<vizkit::DataSet> = blocks
+                .iter()
+                .map(|(_, b)| colza::codec::dataset_from_bytes(b).map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?;
+            let world = s.world.lock().clone().ok_or("world not ready")?;
+            let ctrl = Controller::new(MpiVtkComm::new(world));
+            s.pipeline.execute(&datasets, &ctrl)?;
+            Ok(())
+        });
+    }
+}
+
+/// Client-side API (`dspaces_put` / triggered execution).
+pub struct DsClient {
+    margo: Arc<MargoInstance>,
+    servers: Vec<Address>,
+}
+
+impl DsClient {
+    /// Connects a client to the deployment.
+    pub fn new(margo: Arc<MargoInstance>, servers: Vec<Address>) -> Self {
+        Self { margo, servers }
+    }
+
+    /// Puts one object; the server is chosen by block id (the directory
+    /// hash in real DataSpaces).
+    pub fn put(
+        &self,
+        name: &str,
+        version: u64,
+        block_id: u64,
+        payload: &Bytes,
+    ) -> Result<(), String> {
+        let target = self.servers[(block_id % self.servers.len() as u64) as usize];
+        let endpoint = self.margo.endpoint();
+        let bulk = endpoint.expose(payload.clone());
+        let out: Result<(), margo::RpcError> = self.margo.forward_timeout(
+            target,
+            "ds.put",
+            &PutArgs {
+                name: name.to_string(),
+                version,
+                block_id,
+                size: payload.len(),
+                bulk,
+            },
+            Some(Duration::from_secs(60)),
+        );
+        endpoint.unexpose(bulk).ok();
+        out.map_err(|e| e.to_string())
+    }
+
+    /// Triggers collective execution of the staged version on all servers.
+    pub fn exec(&self, version: u64) -> Result<(), String> {
+        let ctx = hpcsim::process::current();
+        let handles: Vec<_> = self
+            .servers
+            .iter()
+            .map(|&s| {
+                let margo = Arc::clone(&self.margo);
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || {
+                    hpcsim::process::enter(ctx, move || {
+                        margo.forward_timeout::<_, ()>(
+                            s,
+                            "ds.exec",
+                            &ExecArgs { version },
+                            Some(Duration::from_secs(60)),
+                        )
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap().map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_exec_roundtrip() {
+        let cluster = hpcsim::Cluster::default();
+        let fabric = Fabric::new(Arc::clone(cluster.shared()));
+        let deployment = DataSpacesDeployment::launch(
+            &cluster,
+            &fabric,
+            2,
+            1,
+            0,
+            minimpi::Profile::Vendor,
+            PipelineScript::mandelbulb(16, 16),
+        );
+        let servers = deployment.addrs().to_vec();
+        let f2 = fabric.clone();
+        cluster
+            .spawn("ds-client", 9, move || {
+                let margo = MargoInstance::init(&f2);
+                let client = DsClient::new(Arc::clone(&margo), servers);
+                for block in 0..4u64 {
+                    let mut img = vizkit::ImageData::new([6, 6, 6]);
+                    let mut vals = Vec::new();
+                    for k in 0..6 {
+                        for j in 0..6 {
+                            for i in 0..6 {
+                                let d = (((i - 3i32).pow(2) + (j - 3i32).pow(2)
+                                    + (k - 3i32).pow(2))
+                                    as f32)
+                                    .sqrt();
+                                vals.push(30.0 - 6.0 * d);
+                            }
+                        }
+                    }
+                    img.point_data
+                        .set("iterations", vizkit::DataArray::F32(vals));
+                    let payload =
+                        colza::codec::dataset_to_bytes(&vizkit::DataSet::Image(img));
+                    client.put("mandelbulb", 0, block, &payload).unwrap();
+                }
+                client.exec(0).unwrap();
+                margo.finalize();
+            })
+            .join();
+        deployment.stop();
+    }
+}

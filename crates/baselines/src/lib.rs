@@ -1,0 +1,17 @@
+//! # baselines — the staging services Colza is compared against (Fig. 8)
+//!
+//! * [`damaris`] — a Damaris-like middleware in "dedicated nodes" mode:
+//!   one MPI world split into client and server ranks, per-client
+//!   `damaris_write`/`damaris_signal`, and a plugin triggered
+//!   *independently by each client's signals* — the structural source of
+//!   the skew penalty the paper observes. It inherits every MPI-era
+//!   limitation the paper lists: deployment at application launch, world
+//!   splitting, `clients % servers == 0`, shared launcher parameters.
+//! * [`dataspaces`] — a DataSpaces-like staging service: margo-based
+//!   put/get object store with a version-indexed metadata directory,
+//!   executing the same MPI-backed pipeline as `Colza+MPI`. Deployable
+//!   separately from the application (like Colza), but with a static
+//!   server count.
+
+pub mod damaris;
+pub mod dataspaces;

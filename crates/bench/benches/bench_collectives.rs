@@ -1,0 +1,65 @@
+//! Criterion: real wall time of MoNA and minimpi collectives at small
+//! scales, plus the request/buffer-pooling ablation called out in
+//! DESIGN.md §6 (the Table I NA-vs-MoNA gap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/allreduce-4ranks-1KiB");
+    g.sample_size(10);
+    g.bench_function("mona", |b| {
+        b.iter(|| {
+            mona::testing::with_comm(4, mona::MonaConfig::default(), |comm| {
+                let data = vec![comm.rank() as u8; 1024];
+                for _ in 0..10 {
+                    comm.allreduce(&data, &mona::ops::bxor_u8).unwrap();
+                }
+            })
+        })
+    });
+    g.bench_function("minimpi-vendor", |b| {
+        b.iter(|| {
+            minimpi::MpiWorld::run(4, minimpi::Profile::Vendor, |comm| {
+                let data = vec![comm.rank() as u8; 1024];
+                for _ in 0..10 {
+                    comm.allreduce(&data, &xor).unwrap();
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_pooling_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/pooling-ablation");
+    g.sample_size(10);
+    for (label, pooling) in [("pooled", true), ("unpooled", false)] {
+        g.bench_with_input(BenchmarkId::new("reduce", label), &pooling, |b, &pooling| {
+            b.iter(|| {
+                mona::testing::with_comm(
+                    4,
+                    mona::MonaConfig {
+                        pooling,
+                        ..Default::default()
+                    },
+                    |comm| {
+                        let data = vec![comm.rank() as u8; 4096];
+                        for _ in 0..10 {
+                            comm.reduce(&data, &mona::ops::bxor_u8, 0).unwrap();
+                        }
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn xor(acc: &mut [u8], other: &[u8]) {
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a ^= b;
+    }
+}
+
+criterion_group!(benches, bench_allreduce, bench_pooling_ablation);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion: IceT strategy ablation (DESIGN.md §6) — binary-swap vs
+//! tree vs direct-send at several group sizes, real wall time including
+//! the in-memory message passing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icet::{CompositeOp, Strategy};
+
+fn run_composite(n: usize, strategy: Strategy, px: usize) {
+    let out = mona::testing::with_comm(n, mona::MonaConfig::default(), move |comm| {
+        let vtk = catalyst::MonaVtkComm::new(comm);
+        let rank = vizkit::VtkComm::rank(vtk.as_ref());
+        let comm2: std::sync::Arc<dyn vizkit::VtkComm> = vtk;
+        let icet_comm = catalyst::icet_context::icet_comm_for(&comm2).unwrap();
+        let mut img = vizkit::Image::new(px, px);
+        for y in 0..px {
+            for x in 0..px {
+                if (x + y) % 7 == rank % 7 {
+                    img.set_if_closer(x, y, 0.2 + rank as f32 / 10.0, [rank as u8, 0, 0, 255]);
+                }
+            }
+        }
+        icet::composite(icet_comm.as_ref(), img, CompositeOp::Closest, strategy, None, 0).unwrap()
+    });
+    assert!(out[0].is_some());
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("icet/strategy-ablation");
+    g.sample_size(10);
+    for n in [4usize, 8] {
+        for (label, strategy) in [
+            ("binary-swap", Strategy::BinarySwap),
+            ("tree", Strategy::Tree),
+            ("direct", Strategy::Direct),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(n, strategy),
+                |b, &(n, strategy)| b.iter(|| run_composite(n, strategy, 64)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("icet/operators");
+    let mut a = vizkit::Image::new(256, 256);
+    let mut b_img = vizkit::Image::new(256, 256);
+    for i in 0..256 * 256 {
+        a.depth[i] = (i % 100) as f32 / 100.0;
+        b_img.depth[i] = ((i + 50) % 100) as f32 / 100.0;
+        a.rgba[i * 4 + 3] = 128;
+        b_img.rgba[i * 4 + 3] = 255;
+    }
+    g.bench_function("closest-256", |bch| {
+        bch.iter(|| {
+            let mut x = a.clone();
+            x.composite_closest(&b_img);
+            std::hint::black_box(x)
+        })
+    });
+    g.bench_function("blend-256", |bch| {
+        bch.iter(|| {
+            let mut x = a.clone();
+            x.composite_over(&b_img);
+            std::hint::black_box(x)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion: the visualization kernels — contouring, surface
+//! rasterization, volume ray-casting — that dominate pipeline execution
+//! time (the figures are compute-bound; this is that compute).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vizkit::math::vec3;
+use vizkit::render::{render_surface, render_volume, Camera, ColorMap, TransferFunction};
+
+fn sphere_grid(n: usize) -> vizkit::ImageData {
+    let mut g = vizkit::ImageData::new([n, n, n]);
+    let c = (n - 1) as f32 / 2.0;
+    let mut vals = Vec::with_capacity(n * n * n);
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                vals.push(c - vec3(i as f32 - c, j as f32 - c, k as f32 - c).length());
+            }
+        }
+    }
+    g.point_data.set("d", vizkit::DataArray::F32(vals));
+    g
+}
+
+fn bench_contour(c: &mut Criterion) {
+    let mut g = c.benchmark_group("viz/contour");
+    for n in [16usize, 32] {
+        let grid = sphere_grid(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &grid, |b, grid| {
+            b.iter(|| std::hint::black_box(vizkit::filters::contour(grid, "d", &[n as f64 / 4.0])))
+        });
+    }
+    g.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let mut g = c.benchmark_group("viz/render");
+    let grid = sphere_grid(24);
+    let surf = vizkit::filters::contour(&grid, "d", &[6.0]);
+    let (lo, hi) = surf.bounds().unwrap();
+    let cam = Camera::fit_bounds(lo, hi);
+    let cmap = ColorMap::viridis((0.0, 12.0));
+    g.bench_function("surface-256", |b| {
+        b.iter(|| std::hint::black_box(render_surface(&surf, &cam, &cmap, Some("d"), 256, 256)))
+    });
+    let (vlo, vhi) = grid.bounds();
+    let vcam = Camera::fit_bounds(vlo, vhi);
+    let tf = TransferFunction::ramp(ColorMap::viridis((0.0, 12.0)), 0.8);
+    g.bench_function("volume-128", |b| {
+        b.iter(|| std::hint::black_box(render_volume(&grid, "d", &vcam, &tf, 128, 128, 0.5)))
+    });
+    g.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("viz/filters");
+    let grid = sphere_grid(24);
+    let surf = vizkit::filters::contour(&grid, "d", &[6.0]);
+    g.bench_function("clip", |b| {
+        let plane = vizkit::filters::Plane::through(vec3(11.5, 11.5, 11.5), vec3(1.0, 0.5, 0.2));
+        b.iter(|| std::hint::black_box(vizkit::filters::clip(&surf, plane)))
+    });
+    let series = sims::dwi::DwiSeries::scaled_down(2);
+    let block = series.generate_block(20, 0);
+    g.bench_function("resample", |b| {
+        b.iter(|| {
+            std::hint::black_box(vizkit::filters::resample_to_image(
+                &block,
+                "v02",
+                [32, 32, 32],
+                f32::NEG_INFINITY,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_contour, bench_render, bench_filters);
+criterion_main!(benches);

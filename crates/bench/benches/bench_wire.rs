@@ -1,0 +1,64 @@
+//! Criterion: wire codec and dataset codec throughput (real wall time of
+//! the library code — the per-RPC serialization cost on the hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct StageLike {
+    pipeline: String,
+    name: String,
+    block_id: u64,
+    iteration: u64,
+    size: usize,
+    bulk: (u64, u64, u64),
+}
+
+fn bench_rpc_args(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/rpc-args");
+    let args = StageLike {
+        pipeline: "pipeline".into(),
+        name: "gray-scott".into(),
+        block_id: 42,
+        iteration: 17,
+        size: 1 << 20,
+        bulk: (3, 99, 1 << 20),
+    };
+    g.bench_function("encode", |b| {
+        let mut buf = Vec::with_capacity(128);
+        b.iter(|| {
+            buf.clear();
+            wire::to_extend(&args, &mut buf).unwrap();
+            std::hint::black_box(buf.len())
+        })
+    });
+    let bytes = wire::to_vec(&args).unwrap();
+    g.bench_function("decode", |b| {
+        b.iter(|| std::hint::black_box(wire::from_slice::<StageLike>(&bytes).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_dataset_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec/dataset");
+    for n in [16usize, 32] {
+        let mut img = vizkit::ImageData::new([n, n, n]);
+        img.point_data.set(
+            "u",
+            vizkit::DataArray::F32((0..n * n * n).map(|i| i as f32).collect()),
+        );
+        let ds = vizkit::DataSet::Image(img);
+        let encoded = colza::codec::dataset_to_bytes(&ds);
+        g.throughput(Throughput::Bytes(encoded.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", n), &ds, |b, ds| {
+            b.iter(|| std::hint::black_box(colza::codec::dataset_to_bytes(ds)))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", n), &encoded, |b, bytes| {
+            b.iter(|| std::hint::black_box(colza::codec::dataset_from_bytes(bytes).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rpc_args, bench_dataset_codec);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! **Figure 4** — time to resize a staging area from N to N+1 processes,
+//! comparing a *static* deployment (kill everything, ask the launcher to
+//! restart at N+1) against an *elastic* one (start one daemon; SSG gossip
+//! propagates the membership).
+//!
+//! Run: `cargo run --release -p colza-bench --bin fig4_resize
+//!       [--max-n 12] [--trials 3]`
+
+use std::sync::Arc;
+
+use colza::daemon::{launch_group, settle_views};
+use colza::{ColzaDaemon, DaemonConfig};
+use colza_bench::{table, Args};
+use hpcsim::stats::{fmt_ns, Summary};
+use na::Fabric;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args = Args::parse();
+    let max_n: usize = args.get("max-n", 12);
+    let trials: usize = args.get("trials", 3);
+    table::banner(
+        "Figure 4: resizing time from N to N+1 staging processes",
+        &format!("(static restart vs elastic SSG join; {trials} trials per N)"),
+    );
+    println!(
+        "{:>4} {:>16} {:>16} {:>16} {:>16}",
+        "N", "elastic mean", "elastic max", "static mean", "static max"
+    );
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut all_elastic = Vec::new();
+    let mut all_static = Vec::new();
+    for n in 1..=max_n {
+        let mut elastic = Vec::new();
+        let mut stat = Vec::new();
+        for t in 0..trials {
+            elastic.push(elastic_resize_ns(n, t as u64));
+            stat.push(static_resize_ns(n, &mut rng));
+        }
+        let es = Summary::of(&elastic).unwrap();
+        let ss = Summary::of(&stat).unwrap();
+        println!(
+            "{n:>4} {:>16} {:>16} {:>16} {:>16}",
+            fmt_ns(es.mean as u64),
+            fmt_ns(es.max),
+            fmt_ns(ss.mean as u64),
+            fmt_ns(ss.max)
+        );
+        all_elastic.extend(elastic);
+        all_static.extend(stat);
+    }
+    let es = Summary::of(&all_elastic).unwrap();
+    let ss = Summary::of(&all_static).unwrap();
+    println!();
+    println!(
+        "overall elastic: mean {} (min {}, max {})",
+        fmt_ns(es.mean as u64),
+        fmt_ns(es.min),
+        fmt_ns(es.max)
+    );
+    println!(
+        "overall static:  mean {} (min {}, max {})",
+        fmt_ns(ss.mean as u64),
+        fmt_ns(ss.min),
+        fmt_ns(ss.max)
+    );
+    println!();
+    println!("Paper shape: elastic stable around ~5 s; static larger (5-40 s),");
+    println!("unpredictable, averaging ~16 s.");
+}
+
+/// Elastic: group of n exists; spawn one more daemon and measure virtual
+/// time until every member's view includes it.
+fn elastic_resize_ns(n: usize, seed_shift: u64) -> u64 {
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig {
+        fabric: hpcsim::fabric::presets::aries(),
+        seed: 7 + seed_shift,
+        ..Default::default()
+    });
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let conn = std::env::temp_dir().join(format!(
+        "fig4-elastic-{}-{n}-{seed_shift}.addrs",
+        std::process::id()
+    ));
+    std::fs::remove_file(&conn).ok();
+    let cfg = DaemonConfig::new(&conn);
+    let mut daemons = launch_group(&cluster, &fabric, n, 4, 0, &cfg);
+    // Let the group settle, then measure from the current wall time.
+    let t0 = cluster.shared().max_clock_ns();
+    let newcomer = ColzaDaemon::spawn(&cluster, &fabric, n / 4 + 1, cfg.clone());
+    daemons.push(newcomer);
+    settle_views(&daemons, n + 1);
+    let t1 = daemons
+        .iter()
+        .map(|d| cluster.shared().clock_of_daemon(d))
+        .max()
+        .unwrap_or(t0);
+    for d in daemons {
+        d.stop();
+    }
+    std::fs::remove_file(&conn).ok();
+    t1.saturating_sub(t0)
+}
+
+/// Static: kill the staging area and cold-start N+1 daemons through the
+/// launcher (sampled `srun` overhead + bootstrap), measuring until the
+/// fresh group has settled.
+fn static_resize_ns(n: usize, rng: &mut impl Rng) -> u64 {
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let conn = std::env::temp_dir().join(format!(
+        "fig4-static-{}-{n}.addrs",
+        std::process::id()
+    ));
+    std::fs::remove_file(&conn).ok();
+    let cfg = DaemonConfig::new(&conn);
+    let launch = hpcsim::fabric::presets::launch();
+    // Kill + relaunch: the job manager charge happens before daemons run.
+    let srun = launch.sample_srun_ns(rng.random::<f64>())
+        + launch.bootstrap_per_proc_ns * (n as u64 + 1);
+    let t0 = cluster.shared().max_clock_ns();
+    let daemons = launch_group(&cluster, &fabric, n + 1, 4, 0, &cfg);
+    let t1 = daemons
+        .iter()
+        .map(|d| cluster.shared().clock_of_daemon(d))
+        .max()
+        .unwrap_or(t0);
+    for d in daemons {
+        d.stop();
+    }
+    std::fs::remove_file(&conn).ok();
+    srun + t1.saturating_sub(t0)
+}
+
+/// Helper: a daemon's current virtual clock.
+trait DaemonClock {
+    fn clock_of_daemon(&self, d: &ColzaDaemon) -> u64;
+}
+
+impl DaemonClock for Arc<hpcsim::cluster::ClusterShared> {
+    fn clock_of_daemon(&self, d: &ColzaDaemon) -> u64 {
+        self.clock_of(d.address().pid())
+            .map(|c| c.now())
+            .unwrap_or(0)
+    }
+}

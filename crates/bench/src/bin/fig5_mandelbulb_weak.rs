@@ -1,0 +1,92 @@
+//! **Figure 5** — Mandelbulb weak scaling: average pipeline execution
+//! time at several staging-area sizes, MPI vs MoNA, with the per-server
+//! data volume held constant (blocks ∝ servers).
+//!
+//! Paper scale: 512 clients, 4–128 servers, 8 MB blocks, 6 iterations
+//! with the first discarded. Scaled defaults here keep the same protocol.
+//!
+//! Run: `cargo run --release -p colza-bench --bin fig5_mandelbulb_weak
+//!       [--max-servers 8] [--grid 24] [--iters 6]`
+
+use std::sync::Arc;
+
+use colza::CommMode;
+use colza_bench::{run_pipeline_experiment, table, Args, PipelineExperiment};
+use hpcsim::stats::fmt_ns;
+use sims::mandelbulb::Mandelbulb;
+
+fn main() {
+    let args = Args::parse();
+    let max_servers: usize = args.get("max-servers", 8);
+    let grid: usize = args.get("grid", 24);
+    let iters: u64 = args.get("iters", 6);
+    table::banner(
+        "Figure 5: Mandelbulb weak scaling (pipeline execution time)",
+        &format!(
+            "(grid {grid}x{grid}x(4*servers) blocks; {iters} iterations, first discarded; \
+             paper runs 4-128 servers with 8 MB blocks)"
+        ),
+    );
+    println!("{:>8} {:>8} {:>16} {:>16}", "servers", "clients", "MPI", "MoNA");
+
+    let mut servers = 1;
+    while servers <= max_servers {
+        let clients = servers; // weak scaling: data grows with servers
+        let blocks_per_client = 4;
+        let total_blocks = clients * blocks_per_client;
+        let make = block_maker(grid, blocks_per_client, total_blocks);
+        let mpi = average_execute(
+            PipelineExperiment::new(
+                servers,
+                clients,
+                CommMode::MpiStatic(minimpi::Profile::Vendor),
+                catalyst::PipelineScript::mandelbulb(256, 256),
+                iters,
+            ),
+            Arc::clone(&make),
+        );
+        let mona_t = average_execute(
+            PipelineExperiment::new(
+                servers,
+                clients,
+                CommMode::Mona,
+                catalyst::PipelineScript::mandelbulb(256, 256),
+                iters,
+            ),
+            make,
+        );
+        println!(
+            "{servers:>8} {clients:>8} {:>16} {:>16}",
+            fmt_ns(mpi),
+            fmt_ns(mona_t)
+        );
+        servers *= 2;
+    }
+    println!();
+    println!("Paper shape: MoNA within noise of MPI at every scale (the pipeline");
+    println!("is compute-bound; communication is only the final compositing).");
+}
+
+type Maker = Arc<dyn Fn(usize, u64, usize) -> Vec<(u64, vizkit::DataSet)> + Send + Sync>;
+
+fn block_maker(grid: usize, blocks_per_client: usize, total_blocks: usize) -> Maker {
+    Arc::new(move |rank, _iter, _clients| {
+        let m = Mandelbulb {
+            dims: [grid, grid, 4 * total_blocks],
+            ..Default::default()
+        };
+        (0..blocks_per_client)
+            .map(|b| {
+                let id = rank * blocks_per_client + b;
+                (id as u64, m.generate_block(id, total_blocks))
+            })
+            .collect()
+    })
+}
+
+fn average_execute(exp: PipelineExperiment, make: Maker) -> u64 {
+    let times = run_pipeline_experiment(exp, make);
+    // Discard the first iteration (library loading / interpreter start).
+    let rest: Vec<u64> = times.iter().skip(1).map(|t| t.execute_ns).collect();
+    (rest.iter().sum::<u64>() / rest.len().max(1) as u64).max(1)
+}

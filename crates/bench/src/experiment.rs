@@ -1,0 +1,348 @@
+//! The full Colza pipeline experiment runner: staging daemons + an MPI
+//! simulation staging blocks each iteration, with optional mid-run
+//! growth of the staging area — the common machinery behind the
+//! Fig. 5–10 harnesses.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use colza::daemon::{launch_group, settle_views};
+use colza::{AdminClient, BlockMeta, ColzaClient, ColzaDaemon, CommMode, DaemonConfig};
+use margo::MargoInstance;
+use na::{Address, Fabric};
+use vizkit::DataSet;
+
+/// Experiment configuration.
+#[derive(Clone)]
+pub struct PipelineExperiment {
+    /// Initial number of staging servers.
+    pub servers: usize,
+    /// Staging processes per node.
+    pub servers_per_node: usize,
+    /// Number of simulation (client) ranks.
+    pub clients: usize,
+    /// Client processes per node.
+    pub clients_per_node: usize,
+    /// Pipeline communication layer (MoNA or static MPI).
+    pub comm: CommMode,
+    /// Pipeline script to deploy.
+    pub script: catalyst::PipelineScript,
+    /// Number of analysis iterations.
+    pub iterations: u64,
+    /// Servers to add *before* given iterations: `(iteration, how_many)`.
+    pub grow_at: Vec<(u64, usize)>,
+}
+
+impl PipelineExperiment {
+    /// A basic static experiment with default per-node packing.
+    pub fn new(
+        servers: usize,
+        clients: usize,
+        comm: CommMode,
+        script: catalyst::PipelineScript,
+        iterations: u64,
+    ) -> Self {
+        Self {
+            servers,
+            servers_per_node: 4,
+            clients,
+            clients_per_node: 4,
+            comm,
+            script,
+            iterations,
+            grow_at: Vec::new(),
+        }
+    }
+}
+
+/// Client-observed virtual durations of one iteration's four calls.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationTimes {
+    /// Iteration number.
+    pub iteration: u64,
+    /// Staging-area size during this iteration.
+    pub servers: usize,
+    /// `activate` (2PC) span.
+    pub activate_ns: u64,
+    /// Total span of rank 0's `stage` calls.
+    pub stage_ns: u64,
+    /// `execute` span (the pipeline execution time the figures report).
+    pub execute_ns: u64,
+    /// `deactivate` span.
+    pub deactivate_ns: u64,
+}
+
+enum HarnessReq {
+    Grow { count: usize },
+    Done,
+}
+
+/// Runs the experiment. `make_blocks(client_rank, iteration, n_clients)`
+/// produces each client's blocks for an iteration. Returns rank 0's
+/// per-iteration timings.
+pub fn run_pipeline_experiment(
+    exp: PipelineExperiment,
+    make_blocks: Arc<dyn Fn(usize, u64, usize) -> Vec<(u64, DataSet)> + Send + Sync>,
+) -> Vec<IterationTimes> {
+    assert!(
+        exp.grow_at.is_empty() || matches!(exp.comm, CommMode::Mona),
+        "a static MPI staging area cannot be resized"
+    );
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let conn_file = std::env::temp_dir().join(format!(
+        "colza-exp-{}-{}.addrs",
+        std::process::id(),
+        rand_suffix()
+    ));
+    std::fs::remove_file(&conn_file).ok();
+    let mut cfg = DaemonConfig::new(&conn_file);
+    cfg.comm = exp.comm;
+
+    let total_growth: usize = exp.grow_at.iter().map(|(_, c)| c).sum();
+    let server_nodes =
+        (exp.servers + total_growth).div_ceil(exp.servers_per_node);
+    let mut daemons = launch_group(&cluster, &fabric, exp.servers, exp.servers_per_node, 0, &cfg);
+    let contact = daemons[0].address();
+
+    let (req_tx, req_rx): (Sender<HarnessReq>, Receiver<HarnessReq>) = bounded(4);
+    let (ack_tx, ack_rx) = bounded::<Vec<Address>>(4);
+
+    // Spawn the simulation ranks (PMI-style bootstrap, as mpirun does).
+    let (addr_tx, addr_rx) = crossbeam::channel::unbounded();
+    let (list_tx, list_rx) = crossbeam::channel::unbounded::<Vec<Address>>();
+    let exp = Arc::new(exp);
+    let handles: Vec<_> = (0..exp.clients)
+        .map(|rank| {
+            let fabric = fabric.clone();
+            let addr_tx = addr_tx.clone();
+            let list_rx = list_rx.clone();
+            let exp = Arc::clone(&exp);
+            let make_blocks = Arc::clone(&make_blocks);
+            let req_tx = req_tx.clone();
+            let ack_rx = ack_rx.clone();
+            cluster.spawn(
+                &format!("sim[{rank}]"),
+                server_nodes + rank / exp.clients_per_node,
+                move || {
+                    let endpoint = Arc::new(fabric.open());
+                    addr_tx.send((rank, endpoint.address())).unwrap();
+                    let members = list_rx.recv().unwrap();
+                    let comm = minimpi::MpiComm::from_endpoint(
+                        Arc::clone(&endpoint),
+                        members,
+                        minimpi::Profile::Vendor,
+                    );
+                    client_body(comm, &exp, contact, &make_blocks, &req_tx, &ack_rx)
+                },
+            )
+        })
+        .collect();
+    let mut addrs = vec![Address(0); exp.clients];
+    for _ in 0..exp.clients {
+        let (rank, addr) = addr_rx.recv().unwrap();
+        addrs[rank] = addr;
+    }
+    for _ in 0..exp.clients {
+        list_tx.send(addrs.clone()).unwrap();
+    }
+
+    // Serve growth requests until the simulation reports completion.
+    let mut next_node = exp.servers.div_ceil(exp.servers_per_node) * 0
+        + exp.servers / exp.servers_per_node;
+    let mut in_node = exp.servers % exp.servers_per_node;
+    while let Ok(req) = req_rx.recv() {
+        match req {
+            HarnessReq::Grow { count } => {
+                let mut fresh = Vec::new();
+                for _ in 0..count {
+                    let d = ColzaDaemon::spawn(&cluster, &fabric, next_node, cfg.clone());
+                    fresh.push(d.address());
+                    daemons.push(d);
+                    in_node += 1;
+                    if in_node == exp.servers_per_node {
+                        in_node = 0;
+                        next_node += 1;
+                    }
+                }
+                settle_views(&daemons, daemons.len());
+                ack_tx.send(fresh).unwrap();
+            }
+            HarnessReq::Done => break,
+        }
+    }
+
+    let mut results = Vec::new();
+    for h in handles {
+        results.extend(h.join());
+    }
+    std::fs::remove_file(&conn_file).ok();
+    for d in daemons {
+        d.stop();
+    }
+    results
+}
+
+fn rand_suffix() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0)
+        ^ (std::thread::current().id().as_u64_fallback())
+}
+
+trait ThreadIdExt {
+    fn as_u64_fallback(&self) -> u64;
+}
+
+impl ThreadIdExt for std::thread::ThreadId {
+    fn as_u64_fallback(&self) -> u64 {
+        // Stable Rust has no ThreadId::as_u64; hash the Debug repr.
+        let s = format!("{self:?}");
+        s.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64))
+    }
+}
+
+const PIPELINE_NAME: &str = "pipeline";
+
+fn client_body(
+    sim_comm: minimpi::MpiComm,
+    exp: &PipelineExperiment,
+    contact: Address,
+    make_blocks: &Arc<dyn Fn(usize, u64, usize) -> Vec<(u64, DataSet)> + Send + Sync>,
+    req_tx: &Sender<HarnessReq>,
+    ack_rx: &Receiver<Vec<Address>>,
+) -> Vec<IterationTimes> {
+    let rank = sim_comm.rank();
+    let margo = MargoInstance::from_endpoint(Arc::clone(sim_comm.endpoint()));
+    let client = ColzaClient::new(Arc::clone(&margo));
+    let admin = AdminClient::new(Arc::clone(&margo));
+    let script_json = exp.script.to_json();
+
+    // Rank 0 deploys the pipeline everywhere before anyone proceeds.
+    let mut known: Vec<Address> = Vec::new();
+    if rank == 0 {
+        let view = client.view_from(contact).expect("staging area reachable");
+        admin
+            .create_pipeline_on_all(&view, "catalyst", PIPELINE_NAME, &script_json)
+            .expect("pipeline deploys");
+        known = view;
+    }
+    sim_comm.barrier().unwrap();
+
+    let handle = client
+        .distributed_handle(contact, PIPELINE_NAME)
+        .expect("handle");
+    let ctx = hpcsim::current();
+    let mut results = Vec::new();
+
+    for iter in 0..exp.iterations {
+        // Elastic growth before this iteration (rank 0 drives it).
+        let growth: usize = exp
+            .grow_at
+            .iter()
+            .filter(|&&(at, _)| at == iter)
+            .map(|&(_, c)| c)
+            .sum();
+        if growth > 0 {
+            if rank == 0 {
+                req_tx.send(HarnessReq::Grow { count: growth }).unwrap();
+                let fresh = ack_rx.recv().expect("harness grew the group");
+                deploy_pipeline_on_new(
+                    &admin,
+                    &mut known,
+                    &fresh,
+                    "catalyst",
+                    PIPELINE_NAME,
+                    &script_json,
+                )
+                .expect("deploy on new servers");
+            }
+            sim_comm.barrier().unwrap();
+            handle.refresh_view().expect("refreshed view");
+        }
+
+        let mut t = IterationTimes {
+            iteration: iter,
+            servers: 0,
+            activate_ns: 0,
+            stage_ns: 0,
+            execute_ns: 0,
+            deactivate_ns: 0,
+        };
+        if rank == 0 {
+            let before = ctx.now();
+            handle.activate(iter).expect("activate");
+            t.activate_ns = ctx.now() - before;
+            t.servers = handle.members().len();
+        }
+        sim_comm.barrier().unwrap();
+
+        // Producing the blocks is the simulation's compute phase.
+        let blocks = ctx.charge_compute(|| make_blocks(rank, iter, exp.clients));
+        let before = ctx.now();
+        stage_blocks(&handle, iter, &blocks).expect("stage");
+        t.stage_ns = ctx.now() - before;
+        sim_comm.barrier().unwrap();
+
+        if rank == 0 {
+            let before = ctx.now();
+            handle.execute(iter).expect("execute");
+            t.execute_ns = ctx.now() - before;
+            let before = ctx.now();
+            handle.deactivate(iter).expect("deactivate");
+            t.deactivate_ns = ctx.now() - before;
+            results.push(t);
+        }
+        sim_comm.barrier().unwrap();
+    }
+
+    if rank == 0 {
+        req_tx.send(HarnessReq::Done).unwrap();
+    }
+    sim_comm.barrier().unwrap();
+    margo.finalize();
+    results
+}
+
+/// Serializes blocks and stages them through a handle.
+pub fn stage_blocks(
+    handle: &colza::DistributedPipelineHandle,
+    iteration: u64,
+    blocks: &[(u64, DataSet)],
+) -> Result<(), colza::ColzaError> {
+    for (block_id, ds) in blocks {
+        let payload: Bytes = colza::codec::dataset_to_bytes(ds);
+        handle.stage(
+            BlockMeta {
+                name: "block".to_string(),
+                block_id: *block_id,
+                iteration,
+                size: payload.len(),
+            },
+            &payload,
+        )?;
+    }
+    Ok(())
+}
+
+/// Deploys a pipeline on servers that do not have it yet.
+pub fn deploy_pipeline_on_new(
+    admin: &AdminClient,
+    known: &mut Vec<Address>,
+    fresh: &[Address],
+    library: &str,
+    name: &str,
+    config: &str,
+) -> Result<(), colza::ColzaError> {
+    for &addr in fresh {
+        if !known.contains(&addr) {
+            admin.create_pipeline(addr, library, name, config)?;
+            known.push(addr);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! # colza-bench — experiment harnesses for every table and figure
+//!
+//! Each binary in `src/bin/` regenerates one of the paper's results (the
+//! mapping lives in DESIGN.md §5). This library holds the shared
+//! machinery: argument parsing, the full client/server pipeline-experiment
+//! runner, and table formatting.
+//!
+//! All timings are **virtual nanoseconds** from the `hpcsim` platform
+//! model — scale-faithful on any host (see DESIGN.md §2). Paper scales
+//! (512 clients, 128 servers) exceed a small host's thread budget, so
+//! every harness takes `--scale`-style flags and prints the configuration
+//! it actually ran.
+
+pub mod args;
+pub mod experiment;
+pub mod table;
+
+pub use args::Args;
+pub use experiment::{run_pipeline_experiment, IterationTimes, PipelineExperiment};

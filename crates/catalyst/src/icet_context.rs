@@ -1,0 +1,201 @@
+//! The `vtkIceTContext` converter factory.
+//!
+//! Stock ParaView builds its `IceTCommunicator` by *downcasting* the
+//! active `vtkCommunicator` to `vtkMPICommunicator` and extracting the raw
+//! `MPI_Comm` — which makes any non-MPI controller fail. The paper's
+//! ParaView patch adds a registry of factory functions keyed by controller
+//! kind; this module is that registry. `mona` and `mpi` converters are
+//! pre-registered; asking for an unknown kind reproduces stock ParaView's
+//! failure mode with a useful error.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use icet::IceTComm;
+use vizkit::VtkComm;
+
+/// A converter from an abstract controller to an IceT communicator.
+pub type Converter = Arc<dyn Fn(&Arc<dyn VtkComm>) -> Arc<dyn IceTComm> + Send + Sync>;
+
+static REGISTRY: RwLock<Option<HashMap<&'static str, Converter>>> = RwLock::new(None);
+
+/// Registers (or replaces) the converter for a controller kind.
+pub fn register_converter(kind: &'static str, conv: Converter) {
+    REGISTRY
+        .write()
+        .get_or_insert_with(HashMap::new)
+        .insert(kind, conv);
+}
+
+/// Converts a controller's communicator for IceT use.
+///
+/// Fails for kinds with no registered converter — the behavior stock
+/// ParaView has for anything that is not `vtkMPICommunicator`.
+pub fn icet_comm_for(comm: &Arc<dyn VtkComm>) -> Result<Arc<dyn IceTComm>, String> {
+    ensure_defaults();
+    let reg = REGISTRY.read();
+    let conv = reg
+        .as_ref()
+        .and_then(|r| r.get(comm.kind()))
+        .cloned()
+        .ok_or_else(|| {
+            format!(
+                "no IceT converter registered for communicator kind {:?} \
+                 (stock ParaView only supports \"mpi\")",
+                comm.kind()
+            )
+        })?;
+    Ok(conv(comm))
+}
+
+/// Pre-registers the converters this reproduction ships: `mona` and `mpi`
+/// both wrap the abstract communicator in a p2p adapter.
+fn ensure_defaults() {
+    let mut reg = REGISTRY.write();
+    let reg = reg.get_or_insert_with(HashMap::new);
+    for kind in ["mona", "mpi", "dummy"] {
+        reg.entry(kind).or_insert_with(|| {
+            Arc::new(|comm: &Arc<dyn VtkComm>| {
+                Arc::new(VtkAsIceT {
+                    comm: Arc::clone(comm),
+                }) as Arc<dyn IceTComm>
+            })
+        });
+    }
+}
+
+/// IceT communicator backed by the abstract controller's p2p primitives.
+struct VtkAsIceT {
+    comm: Arc<dyn VtkComm>,
+}
+
+impl IceTComm for VtkAsIceT {
+    fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    fn send(&self, data: &[u8], dst: usize, tag: u16) -> Result<(), String> {
+        // IceT traffic gets its own tag window above VTK's.
+        self.comm.send(data, dst, 0x4000 | tag)
+    }
+
+    fn recv(&self, src: usize, tag: u16) -> Result<Vec<u8>, String> {
+        self.comm.recv(src, 0x4000 | tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizkit::controller::DummyComm;
+
+    struct FakeComm;
+    impl VtkComm for FakeComm {
+        fn rank(&self) -> usize {
+            0
+        }
+        fn size(&self) -> usize {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "visit-libsim"
+        }
+        fn send(&self, _: &[u8], _: usize, _: u16) -> Result<(), String> {
+            unreachable!()
+        }
+        fn recv(&self, _: usize, _: u16) -> Result<Vec<u8>, String> {
+            unreachable!()
+        }
+        fn bcast(&self, _: Option<&[u8]>, _: usize) -> Result<Vec<u8>, String> {
+            unreachable!()
+        }
+        fn reduce(
+            &self,
+            _: &[u8],
+            _: &(dyn Fn(&mut [u8], &[u8]) + Sync),
+            _: usize,
+        ) -> Result<Option<Vec<u8>>, String> {
+            unreachable!()
+        }
+        fn gather(&self, _: &[u8], _: usize) -> Result<Option<Vec<Vec<u8>>>, String> {
+            unreachable!()
+        }
+        fn barrier(&self) -> Result<(), String> {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn known_kinds_convert() {
+        let comm: Arc<dyn VtkComm> = Arc::new(DummyComm);
+        let icet = icet_comm_for(&comm).unwrap();
+        assert_eq!(icet.rank(), 0);
+        assert_eq!(icet.size(), 1);
+    }
+
+    struct UnknownComm;
+    impl VtkComm for UnknownComm {
+        fn rank(&self) -> usize {
+            0
+        }
+        fn size(&self) -> usize {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "never-registered"
+        }
+        fn send(&self, _: &[u8], _: usize, _: u16) -> Result<(), String> {
+            unreachable!()
+        }
+        fn recv(&self, _: usize, _: u16) -> Result<Vec<u8>, String> {
+            unreachable!()
+        }
+        fn bcast(&self, _: Option<&[u8]>, _: usize) -> Result<Vec<u8>, String> {
+            unreachable!()
+        }
+        fn reduce(
+            &self,
+            _: &[u8],
+            _: &(dyn Fn(&mut [u8], &[u8]) + Sync),
+            _: usize,
+        ) -> Result<Option<Vec<u8>>, String> {
+            unreachable!()
+        }
+        fn gather(&self, _: &[u8], _: usize) -> Result<Option<Vec<Vec<u8>>>, String> {
+            unreachable!()
+        }
+        fn barrier(&self) -> Result<(), String> {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn unknown_kind_fails_like_stock_paraview() {
+        let comm: Arc<dyn VtkComm> = Arc::new(UnknownComm);
+        let err = match icet_comm_for(&comm) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown kind must fail"),
+        };
+        assert!(err.contains("never-registered"), "{err}");
+    }
+
+    #[test]
+    fn registering_a_converter_enables_the_kind() {
+        let comm: Arc<dyn VtkComm> = Arc::new(FakeComm);
+        register_converter(
+            "visit-libsim",
+            Arc::new(|c: &Arc<dyn VtkComm>| {
+                Arc::new(VtkAsIceT {
+                    comm: Arc::clone(c),
+                }) as Arc<dyn IceTComm>
+            }),
+        );
+        assert!(icet_comm_for(&comm).is_ok());
+    }
+}

@@ -1,0 +1,514 @@
+//! Pipeline execution.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use vizkit::data::{DataSet, PolyData, UnstructuredGrid};
+use vizkit::filters;
+use vizkit::math::{vec3, Vec3};
+use vizkit::render::{render_surface, render_volume, Camera, ColorMap, Image, TransferFunction};
+use vizkit::Controller;
+
+use crate::icet_context;
+use crate::script::{CameraSpec, FilterSpec, PipelineScript, RenderMode};
+
+/// Catalyst runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalystConfig {
+    /// Virtual cost charged on a process's *first* `execute`: VTK shared
+    /// libraries loading plus Python interpreter start. The paper observes
+    /// this as the large first-iteration time (§III-C2) and as the spike
+    /// whenever a joined node runs its first iteration (Figs. 9, 10).
+    pub init_cost_ns: u64,
+}
+
+impl Default for CatalystConfig {
+    fn default() -> Self {
+        Self {
+            init_cost_ns: 3 * hpcsim::SEC,
+        }
+    }
+}
+
+/// An instantiated pipeline: a parsed script plus per-process state.
+pub struct CatalystPipeline {
+    script: PipelineScript,
+    config: CatalystConfig,
+    initialized: AtomicBool,
+}
+
+impl CatalystPipeline {
+    /// Builds a pipeline from a parsed script.
+    pub fn new(script: PipelineScript, config: CatalystConfig) -> Self {
+        Self {
+            script,
+            config,
+            initialized: AtomicBool::new(false),
+        }
+    }
+
+    /// Builds a pipeline from a JSON configuration string (the payload of
+    /// Colza's `create_pipeline`).
+    pub fn from_json(json: &str, config: CatalystConfig) -> Result<Self, String> {
+        Ok(Self::new(PipelineScript::from_json(json)?, config))
+    }
+
+    /// The script.
+    pub fn script(&self) -> &PipelineScript {
+        &self.script
+    }
+
+    /// Whether the first-execute initialization has already been paid.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized.load(Ordering::Acquire)
+    }
+
+    /// Executes the pipeline over this rank's staged blocks. All ranks of
+    /// `ctrl` must call collectively; the compositing root (rank 0)
+    /// receives `Some(image)`.
+    pub fn execute(&self, blocks: &[DataSet], ctrl: &Controller) -> Result<Option<Image>, String> {
+        let ctx = hpcsim::process::try_current();
+        if !self.initialized.swap(true, Ordering::AcqRel) {
+            if let Some(ctx) = &ctx {
+                ctx.advance(self.config.init_cost_ns);
+            }
+        }
+        let charge = |f: &mut dyn FnMut() -> Result<LocalRender, String>| match &ctx {
+            Some(ctx) => ctx.charge_compute(f),
+            None => f(),
+        };
+
+        let spec = &self.script.render;
+        let mut produce = || -> Result<LocalRender, String> {
+            match spec.mode {
+                RenderMode::Surface => self.render_surface_local(blocks, ctrl),
+                RenderMode::Volume => self.render_volume_local(blocks, ctrl),
+            }
+        };
+        let local = charge(&mut produce)?;
+
+        // Composite across the staging area through the converted
+        // communicator (the vtkIceTContext path).
+        let icet_comm = icet_context::icet_comm_for(ctrl.comm())?;
+        let (op, strategy, order) = match spec.mode {
+            RenderMode::Surface => (icet::CompositeOp::Closest, spec.strategy.to_icet(), None),
+            RenderMode::Volume => {
+                // Visibility order: ranks sorted by view depth, resolved
+                // at the root from gathered local depths.
+                let depth_bytes = local.view_depth.to_le_bytes();
+                let gathered = ctrl.comm().gather(&depth_bytes, 0)?;
+                let order = gathered.map(|parts| {
+                    let mut order: Vec<usize> = (0..parts.len()).collect();
+                    let depths: Vec<f32> = parts
+                        .iter()
+                        .map(|p| f32::from_le_bytes(p[..4].try_into().unwrap()))
+                        .collect();
+                    order.sort_by(|&a, &b| depths[a].total_cmp(&depths[b]));
+                    order
+                });
+                (icet::CompositeOp::Blend, icet::Strategy::Direct, order)
+            }
+        };
+        icet::composite(
+            icet_comm.as_ref(),
+            local.image,
+            op,
+            strategy,
+            order.as_deref(),
+            0,
+        )
+    }
+
+    fn render_surface_local(
+        &self,
+        blocks: &[DataSet],
+        ctrl: &Controller,
+    ) -> Result<LocalRender, String> {
+        let spec = &self.script.render;
+        // Run the filter chain on each block and merge the surfaces.
+        let mut merged = PolyData::new();
+        for block in blocks {
+            let poly = self.apply_filters(block)?;
+            if merged.points.is_empty() {
+                merged = poly;
+            } else {
+                merged.append(&poly);
+            }
+        }
+        // Collective consensus on camera framing and color range.
+        let bounds = global_bounds(ctrl, merged.bounds())?;
+        let camera = self.camera(bounds);
+        let range = match spec.range {
+            Some(r) => r,
+            None => {
+                let local = spec
+                    .field
+                    .as_deref()
+                    .and_then(|f| merged.point_data.get(f))
+                    .and_then(|a| a.range())
+                    .map(|(lo, hi)| (lo as f32, hi as f32));
+                global_range(ctrl, local)?
+            }
+        };
+        let colors = ColorMap::by_name(&spec.colormap, range);
+        let image = render_surface(
+            &merged,
+            &camera,
+            &colors,
+            spec.field.as_deref(),
+            spec.width,
+            spec.height,
+        );
+        let center = merged
+            .bounds()
+            .map(|(lo, hi)| (lo + hi) * 0.5)
+            .unwrap_or_default();
+        Ok(LocalRender {
+            view_depth: camera.view_depth(center),
+            image,
+        })
+    }
+
+    fn render_volume_local(
+        &self,
+        blocks: &[DataSet],
+        ctrl: &Controller,
+    ) -> Result<LocalRender, String> {
+        let spec = &self.script.render;
+        let field = spec
+            .field
+            .as_deref()
+            .ok_or("volume rendering needs a field")?;
+        // Merge this rank's unstructured blocks and resample.
+        let ugrids: Vec<&UnstructuredGrid> =
+            blocks.iter().filter_map(|b| b.as_ugrid()).collect();
+        let merged = filters::merge_blocks(&ugrids);
+        let dims = if spec.adaptive_resample {
+            // Grid resolution tracks the local mesh size, so rendering
+            // cost grows with the data (real unstructured volume
+            // rendering behaves this way).
+            let n = ((merged.num_cells() as f64).cbrt() * 1.6).clamp(16.0, 96.0) as usize;
+            [n, n, n]
+        } else {
+            spec.resample_dims
+        };
+        let vol = filters::resample_to_image(&merged, field, dims, f32::NEG_INFINITY);
+
+        let bounds = global_bounds(ctrl, merged.bounds())?;
+        let camera = self.camera(bounds);
+        let range = match spec.range {
+            Some(r) => r,
+            None => {
+                let local = merged
+                    .cell_data
+                    .get(field)
+                    .and_then(|a| a.range())
+                    .map(|(lo, hi)| (lo as f32, hi as f32));
+                global_range(ctrl, local)?
+            }
+        };
+        let tf = TransferFunction::with_opacity(
+            ColorMap::by_name(&spec.colormap, range),
+            vec![(0.0, 0.0), (0.35, spec.max_opacity * 0.3), (1.0, spec.max_opacity)],
+        );
+        let step = {
+            let (lo, hi) = bounds;
+            ((hi - lo).length() / dims[0].max(16) as f32).max(1e-3)
+        };
+        let image = if merged.num_cells() == 0 {
+            Image::new(spec.width, spec.height)
+        } else {
+            render_volume(&vol, field, &camera, &tf, spec.width, spec.height, step)
+        };
+        let center = merged
+            .bounds()
+            .map(|(lo, hi)| (lo + hi) * 0.5)
+            .unwrap_or(camera.focal_point);
+        Ok(LocalRender {
+            view_depth: camera.view_depth(center),
+            image,
+        })
+    }
+
+    /// Runs the filter chain on one block, ending in a surface.
+    fn apply_filters(&self, block: &DataSet) -> Result<PolyData, String> {
+        enum Working {
+            Img(vizkit::ImageData),
+            UG(UnstructuredGrid),
+            Poly(PolyData),
+        }
+        let mut cur = match block {
+            DataSet::Image(i) => Working::Img(i.clone()),
+            DataSet::UGrid(g) => Working::UG(g.clone()),
+            DataSet::Poly(p) => Working::Poly(p.clone()),
+        };
+        for f in &self.script.filters {
+            cur = match (f, cur) {
+                (FilterSpec::Contour { field, isovalues }, Working::Img(img)) => {
+                    Working::Poly(filters::contour(&img, field, isovalues))
+                }
+                (FilterSpec::Clip { origin, normal }, Working::Poly(p)) => {
+                    let plane = filters::Plane::through(
+                        Vec3::from_array(*origin),
+                        Vec3::from_array(*normal),
+                    );
+                    Working::Poly(filters::clip(&p, plane))
+                }
+                (FilterSpec::Threshold { field, min, max }, Working::UG(g)) => {
+                    Working::UG(filters::threshold_cells(&g, field, *min, *max))
+                }
+                (f, _) => {
+                    return Err(format!("filter {f:?} cannot apply to the current data type"))
+                }
+            };
+        }
+        match cur {
+            Working::Poly(p) => Ok(p),
+            Working::Img(_) | Working::UG(_) => {
+                Err("pipeline must end in surface geometry for surface rendering".to_string())
+            }
+        }
+    }
+
+    fn camera(&self, bounds: (Vec3, Vec3)) -> Camera {
+        match self.script.render.camera {
+            Some(CameraSpec {
+                position,
+                focal_point,
+                up,
+                fovy_deg,
+            }) => Camera {
+                position: Vec3::from_array(position),
+                focal_point: Vec3::from_array(focal_point),
+                up: Vec3::from_array(up),
+                fovy_deg,
+                ..Camera::default()
+            },
+            None => Camera::fit_bounds(bounds.0, bounds.1),
+        }
+    }
+}
+
+struct LocalRender {
+    image: Image,
+    view_depth: f32,
+}
+
+/// Collective min/max of axis-aligned bounds across ranks.
+fn global_bounds(
+    ctrl: &Controller,
+    local: Option<(Vec3, Vec3)>,
+) -> Result<(Vec3, Vec3), String> {
+    let (lo, hi) = local.unwrap_or((
+        vec3(f32::INFINITY, f32::INFINITY, f32::INFINITY),
+        vec3(f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY),
+    ));
+    let mut payload = Vec::with_capacity(24);
+    for v in [lo.x, lo.y, lo.z, hi.x, hi.y, hi.z] {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    let fold = |acc: &mut [u8], other: &[u8]| {
+        for i in 0..6 {
+            let a = f32::from_le_bytes(acc[i * 4..i * 4 + 4].try_into().unwrap());
+            let b = f32::from_le_bytes(other[i * 4..i * 4 + 4].try_into().unwrap());
+            let v = if i < 3 { a.min(b) } else { a.max(b) };
+            acc[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    };
+    let reduced = ctrl.comm().reduce(&payload, &fold, 0)?;
+    let out = ctrl.comm().bcast(reduced.as_deref(), 0)?;
+    let f = |i: usize| f32::from_le_bytes(out[i * 4..i * 4 + 4].try_into().unwrap());
+    let (lo, hi) = (vec3(f(0), f(1), f(2)), vec3(f(3), f(4), f(5)));
+    if lo.x > hi.x {
+        // Every rank was empty: use a unit box so cameras stay finite.
+        Ok((vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0)))
+    } else {
+        Ok((lo, hi))
+    }
+}
+
+/// Collective scalar-range consensus.
+fn global_range(ctrl: &Controller, local: Option<(f32, f32)>) -> Result<(f32, f32), String> {
+    let (lo, hi) = local.unwrap_or((f32::INFINITY, f32::NEG_INFINITY));
+    let mut payload = Vec::with_capacity(8);
+    payload.extend_from_slice(&lo.to_le_bytes());
+    payload.extend_from_slice(&hi.to_le_bytes());
+    let fold = |acc: &mut [u8], other: &[u8]| {
+        let alo = f32::from_le_bytes(acc[0..4].try_into().unwrap());
+        let ahi = f32::from_le_bytes(acc[4..8].try_into().unwrap());
+        let blo = f32::from_le_bytes(other[0..4].try_into().unwrap());
+        let bhi = f32::from_le_bytes(other[4..8].try_into().unwrap());
+        acc[0..4].copy_from_slice(&alo.min(blo).to_le_bytes());
+        acc[4..8].copy_from_slice(&ahi.max(bhi).to_le_bytes());
+    };
+    let reduced = ctrl.comm().reduce(&payload, &fold, 0)?;
+    let out = ctrl.comm().bcast(reduced.as_deref(), 0)?;
+    let lo = f32::from_le_bytes(out[0..4].try_into().unwrap());
+    let hi = f32::from_le_bytes(out[4..8].try_into().unwrap());
+    if lo > hi {
+        Ok((0.0, 1.0))
+    } else {
+        Ok((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vizkit::controller::DummyComm;
+    use vizkit::data::{CellType, DataArray, ImageData};
+
+    fn sphere_block(n: usize, offset: [f32; 3]) -> DataSet {
+        let mut g = ImageData::new([n, n, n]);
+        g.origin = offset;
+        let c = (n - 1) as f32 / 2.0;
+        let mut vals = Vec::with_capacity(n * n * n);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let d = vec3(i as f32 - c, j as f32 - c, k as f32 - c).length();
+                    vals.push(c - d); // positive inside a sphere
+                }
+            }
+        }
+        g.point_data.set("v", DataArray::F32(vals));
+        DataSet::Image(g)
+    }
+
+    fn voxel_block(value: f32) -> DataSet {
+        let mut g = UnstructuredGrid::new();
+        for k in 0..2u32 {
+            for j in 0..2u32 {
+                for i in 0..2u32 {
+                    g.points.push([i as f32 * 4.0, j as f32 * 4.0, k as f32 * 4.0]);
+                }
+            }
+        }
+        g.add_cell(CellType::Voxel, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        g.cell_data.set("v02", DataArray::F32(vec![value]));
+        DataSet::UGrid(g)
+    }
+
+    fn serial_ctrl() -> Controller {
+        Controller::new(Arc::new(DummyComm))
+    }
+
+    fn surface_script() -> PipelineScript {
+        PipelineScript {
+            filters: vec![FilterSpec::Contour {
+                field: "v".to_string(),
+                isovalues: vec![1.0],
+            }],
+            render: crate::script::RenderSpec {
+                mode: RenderMode::Surface,
+                width: 48,
+                height: 48,
+                field: Some("v".to_string()),
+                colormap: "viridis".to_string(),
+                range: None,
+                max_opacity: 0.7,
+                resample_dims: [16, 16, 16],
+                adaptive_resample: false,
+                strategy: Default::default(),
+                camera: None,
+            },
+        }
+    }
+
+    #[test]
+    fn serial_surface_pipeline_renders() {
+        let pipe = CatalystPipeline::new(surface_script(), CatalystConfig::default());
+        let img = pipe
+            .execute(&[sphere_block(12, [0.0; 3])], &serial_ctrl())
+            .unwrap()
+            .unwrap();
+        assert!(img.coverage() > 0.02, "coverage {}", img.coverage());
+    }
+
+    #[test]
+    fn serial_volume_pipeline_renders() {
+        let pipe = CatalystPipeline::new(
+            PipelineScript::deep_water_impact(32, 32),
+            CatalystConfig::default(),
+        );
+        let img = pipe
+            .execute(&[voxel_block(5.0)], &serial_ctrl())
+            .unwrap()
+            .unwrap();
+        assert!(img.coverage() > 0.01, "coverage {}", img.coverage());
+    }
+
+    #[test]
+    fn empty_blocks_render_background() {
+        let pipe = CatalystPipeline::new(surface_script(), CatalystConfig::default());
+        let img = pipe.execute(&[], &serial_ctrl()).unwrap().unwrap();
+        assert_eq!(img.coverage(), 0.0);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let pipe = CatalystPipeline::new(surface_script(), CatalystConfig::default());
+        // Contour expects ImageData; feed it an unstructured block.
+        let err = pipe
+            .execute(&[voxel_block(1.0)], &serial_ctrl())
+            .unwrap_err();
+        assert!(err.contains("cannot apply"), "{err}");
+    }
+
+    #[test]
+    fn parallel_surface_matches_serial_union() {
+        // Two ranks each hold half of the data; the composited image must
+        // show geometry from both.
+        let script = PipelineScript {
+            filters: vec![FilterSpec::Contour {
+                field: "v".to_string(),
+                isovalues: vec![1.0],
+            }],
+            render: crate::script::RenderSpec {
+                camera: Some(crate::script::CameraSpec {
+                    position: [30.0, 24.0, 36.0],
+                    focal_point: [8.0, 4.0, 4.0],
+                    up: [0.0, 0.0, 1.0],
+                    fovy_deg: 45.0,
+                }),
+                ..surface_script().render
+            },
+        };
+        let out = mona::testing::with_comm(2, mona::MonaConfig::default(), move |comm| {
+            let vtk = crate::adapters::MonaVtkComm::new(comm);
+            let rank = vizkit::VtkComm::rank(vtk.as_ref());
+            let ctrl = Controller::new(vtk);
+            let pipe = CatalystPipeline::new(script.clone(), CatalystConfig::default());
+            let offset = [rank as f32 * 11.0, 0.0, 0.0];
+            let img = pipe.execute(&[sphere_block(10, offset)], &ctrl).unwrap();
+            img.map(|i| i.coverage())
+        });
+        let root_cov = out[0].unwrap();
+        assert!(out[1].is_none());
+        assert!(root_cov > 0.01, "root coverage {root_cov}");
+    }
+
+    #[test]
+    fn first_execute_charges_init_cost() {
+        let cluster = hpcsim::Cluster::default();
+        let cov = cluster
+            .spawn("cat", 0, || {
+                let pipe = CatalystPipeline::new(surface_script(), CatalystConfig::default());
+                let before = hpcsim::current().now();
+                pipe.execute(&[sphere_block(8, [0.0; 3])], &serial_ctrl())
+                    .unwrap();
+                let first = hpcsim::current().now() - before;
+                let before = hpcsim::current().now();
+                pipe.execute(&[sphere_block(8, [0.0; 3])], &serial_ctrl())
+                    .unwrap();
+                let second = hpcsim::current().now() - before;
+                (first, second)
+            })
+            .join();
+        let (first, second) = cov;
+        assert!(
+            first > second + 2 * hpcsim::SEC,
+            "init cost missing: {first} vs {second}"
+        );
+    }
+}

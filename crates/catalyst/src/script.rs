@@ -1,0 +1,271 @@
+//! JSON pipeline scripts.
+//!
+//! The paper exports visualization pipelines from ParaView as Python
+//! scripts; this reproduction uses JSON documents with the same content —
+//! a filter chain plus render settings — passed through Colza's
+//! `create_pipeline` configuration string.
+
+use serde::{Deserialize, Serialize};
+
+/// One filter stage.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum FilterSpec {
+    /// Marching-tetrahedra isosurfaces of a point field.
+    Contour {
+        /// Point-data field to contour.
+        field: String,
+        /// Isovalues to extract.
+        isovalues: Vec<f64>,
+    },
+    /// Plane clip (keeps the positive half-space).
+    Clip {
+        /// A point on the plane.
+        origin: [f32; 3],
+        /// Plane normal.
+        normal: [f32; 3],
+    },
+    /// Keep cells whose cell-data scalar lies in `[min, max]`.
+    Threshold {
+        /// Cell-data field.
+        field: String,
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+    },
+}
+
+/// Surface or volume rendering.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+#[serde(rename_all = "snake_case")]
+pub enum RenderMode {
+    /// Rasterize triangle geometry; composite by depth.
+    Surface,
+    /// Ray-cast a scalar volume; composite by ordered blending.
+    Volume,
+}
+
+/// Compositing strategy selection.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum StrategySpec {
+    /// Binary swap (default for surfaces).
+    #[default]
+    BinarySwap,
+    /// Binomial tree.
+    Tree,
+    /// All-to-root (required for volumes).
+    Direct,
+}
+
+impl StrategySpec {
+    /// The icet strategy.
+    pub fn to_icet(self) -> icet::Strategy {
+        match self {
+            StrategySpec::BinarySwap => icet::Strategy::BinarySwap,
+            StrategySpec::Tree => icet::Strategy::Tree,
+            StrategySpec::Direct => icet::Strategy::Direct,
+        }
+    }
+}
+
+/// Camera placement; omitted fields fall back to fitting the data bounds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct CameraSpec {
+    /// Eye position.
+    pub position: [f32; 3],
+    /// Look-at point.
+    pub focal_point: [f32; 3],
+    /// View-up vector.
+    pub up: [f32; 3],
+    /// Vertical field of view (degrees).
+    pub fovy_deg: f32,
+}
+
+/// Render settings.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RenderSpec {
+    /// Surface or volume.
+    pub mode: RenderMode,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Field used for coloring (point data after filtering; cell data for
+    /// volume resampling).
+    pub field: Option<String>,
+    /// Color map preset name ("viridis", "cool_to_warm").
+    #[serde(default = "default_colormap")]
+    pub colormap: String,
+    /// Explicit scalar range; computed across ranks when omitted.
+    pub range: Option<(f32, f32)>,
+    /// Peak opacity for the volume transfer function.
+    #[serde(default = "default_opacity")]
+    pub max_opacity: f32,
+    /// Target grid resolution for unstructured-volume resampling.
+    #[serde(default = "default_resample")]
+    pub resample_dims: [usize; 3],
+    /// Scale the resampling grid with the local mesh's cell count (how
+    /// ParaView sizes resample-to-image by default). Makes volume
+    /// rendering cost track data size, as with real unstructured meshes.
+    #[serde(default)]
+    pub adaptive_resample: bool,
+    /// Compositing strategy.
+    #[serde(default)]
+    pub strategy: StrategySpec,
+    /// Explicit camera, or fit-to-bounds when omitted.
+    pub camera: Option<CameraSpec>,
+}
+
+fn default_colormap() -> String {
+    "cool_to_warm".to_string()
+}
+
+fn default_opacity() -> f32 {
+    0.7
+}
+
+fn default_resample() -> [usize; 3] {
+    [64, 64, 64]
+}
+
+/// A complete pipeline: filters then render.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PipelineScript {
+    /// Filter chain applied to each staged block.
+    #[serde(default)]
+    pub filters: Vec<FilterSpec>,
+    /// Final render stage.
+    pub render: RenderSpec,
+}
+
+impl PipelineScript {
+    /// Parses a script from its JSON form.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("bad pipeline script: {e}"))
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("script serializes")
+    }
+
+    /// The Gray–Scott pipeline from the paper: multiple isosurface levels
+    /// combined with a clip to look inside the domain (Fig. 3a).
+    pub fn gray_scott(width: usize, height: usize) -> Self {
+        Self {
+            filters: vec![
+                FilterSpec::Contour {
+                    field: "v".to_string(),
+                    isovalues: vec![0.1, 0.3, 0.5],
+                },
+                FilterSpec::Clip {
+                    origin: [0.0, 0.0, 0.0],
+                    normal: [1.0, 0.4, 0.2],
+                },
+            ],
+            render: RenderSpec {
+                mode: RenderMode::Surface,
+                width,
+                height,
+                field: Some("v".to_string()),
+                colormap: "cool_to_warm".to_string(),
+                range: Some((0.0, 0.6)),
+                max_opacity: default_opacity(),
+                resample_dims: default_resample(),
+                adaptive_resample: false,
+                strategy: StrategySpec::BinarySwap,
+                camera: None,
+            },
+        }
+    }
+
+    /// The Mandelbulb pipeline: a single isosurface level (Fig. 3b).
+    pub fn mandelbulb(width: usize, height: usize) -> Self {
+        Self {
+            filters: vec![FilterSpec::Contour {
+                field: "iterations".to_string(),
+                isovalues: vec![25.0],
+            }],
+            render: RenderSpec {
+                mode: RenderMode::Surface,
+                width,
+                height,
+                field: Some("iterations".to_string()),
+                colormap: "viridis".to_string(),
+                range: Some((0.0, 30.0)),
+                max_opacity: default_opacity(),
+                resample_dims: default_resample(),
+                adaptive_resample: false,
+                strategy: StrategySpec::BinarySwap,
+                camera: None,
+            },
+        }
+    }
+
+    /// The Deep Water Impact pipeline: merge blocks, then volume-render
+    /// the unstructured mesh colored by velocity magnitude (Fig. 1b).
+    pub fn deep_water_impact(width: usize, height: usize) -> Self {
+        Self {
+            filters: Vec::new(),
+            render: RenderSpec {
+                mode: RenderMode::Volume,
+                width,
+                height,
+                field: Some("v02".to_string()),
+                colormap: "cool_to_warm".to_string(),
+                range: None,
+                max_opacity: 0.9,
+                resample_dims: [48, 48, 48],
+                adaptive_resample: true,
+                strategy: StrategySpec::Direct,
+                camera: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        for script in [
+            PipelineScript::gray_scott(64, 64),
+            PipelineScript::mandelbulb(32, 32),
+            PipelineScript::deep_water_impact(128, 96),
+        ] {
+            let json = script.to_json();
+            let back = PipelineScript::from_json(&json).unwrap();
+            assert_eq!(back, script);
+        }
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let json = r#"{
+            "render": {"mode": "surface", "width": 10, "height": 10, "field": null,
+                        "range": null, "camera": null}
+        }"#;
+        let s = PipelineScript::from_json(json).unwrap();
+        assert!(s.filters.is_empty());
+        assert_eq!(s.render.colormap, "cool_to_warm");
+        assert_eq!(s.render.strategy, StrategySpec::BinarySwap);
+    }
+
+    #[test]
+    fn bad_json_is_reported() {
+        assert!(PipelineScript::from_json("not json").is_err());
+        assert!(PipelineScript::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn filter_tags_are_snake_case() {
+        let s = PipelineScript::gray_scott(8, 8);
+        let json = s.to_json();
+        assert!(json.contains("\"contour\""), "{json}");
+        assert!(json.contains("\"clip\""), "{json}");
+    }
+}

@@ -1,0 +1,83 @@
+//! The admin library (a separate interface in the paper, §II-B): create
+//! and destroy pipelines, and ask servers to leave the staging area. Used
+//! by the simulation, external tools, or autonomic agents.
+
+use std::sync::Arc;
+
+use margo::MargoInstance;
+use na::Address;
+
+use crate::error::Result;
+use crate::protocol::{CreatePipelineArgs, DestroyPipelineArgs};
+
+/// Administrative client for a Colza deployment.
+pub struct AdminClient {
+    margo: Arc<MargoInstance>,
+}
+
+impl AdminClient {
+    /// Wraps a margo instance.
+    pub fn new(margo: Arc<MargoInstance>) -> Self {
+        Self { margo }
+    }
+
+    /// Creates a pipeline on one server: backend `library` (the shared-
+    /// library stand-in), instance `name`, and a JSON configuration
+    /// string handed to the factory.
+    pub fn create_pipeline(
+        &self,
+        server: Address,
+        library: &str,
+        name: &str,
+        config: &str,
+    ) -> Result<()> {
+        Ok(self.margo.forward(
+            server,
+            "colza.admin.create_pipeline",
+            &CreatePipelineArgs {
+                library: library.to_string(),
+                name: name.to_string(),
+                config: config.to_string(),
+            },
+        )?)
+    }
+
+    /// Creates the pipeline on every listed server (parallel pipelines
+    /// must have an instance on each staging process).
+    pub fn create_pipeline_on_all(
+        &self,
+        servers: &[Address],
+        library: &str,
+        name: &str,
+        config: &str,
+    ) -> Result<()> {
+        for &s in servers {
+            self.create_pipeline(s, library, name, config)?;
+        }
+        Ok(())
+    }
+
+    /// Destroys a pipeline on one server.
+    pub fn destroy_pipeline(&self, server: Address, name: &str) -> Result<()> {
+        Ok(self.margo.forward(
+            server,
+            "colza.admin.destroy_pipeline",
+            &DestroyPipelineArgs {
+                name: name.to_string(),
+            },
+        )?)
+    }
+
+    /// Lists pipeline names on one server.
+    pub fn list_pipelines(&self, server: Address) -> Result<Vec<String>> {
+        Ok(self
+            .margo
+            .forward(server, "colza.admin.list_pipelines", &())?)
+    }
+
+    /// Asks a server to leave the staging area and shut down (the paper's
+    /// scale-down trigger, §II-F).
+    pub fn request_leave(&self, server: Address) -> Result<()> {
+        Ok(self.margo.forward(server, "colza.admin.leave", &())?)
+    }
+}

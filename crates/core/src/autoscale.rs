@@ -1,0 +1,221 @@
+//! Automatic resizing (the paper's §IV-B / conclusion item (2)).
+//!
+//! The paper lists several elasticity triggers — user-driven, scheduler-
+//! driven, and *application-driven*: grow the staging area when analysis
+//! can no longer keep up with the simulation, so iteration time stays
+//! bounded (their Fig. 10 argument). This module is that trigger: a small
+//! controller that watches per-iteration `execute` durations and decides
+//! when to request more (or fewer) staging processes.
+//!
+//! The controller is deliberately mechanism-agnostic: it returns
+//! [`ScaleDecision`]s; the embedding (job script, simulation, admin tool)
+//! performs the actual node allocation, exactly as §II-F describes.
+
+/// Configuration of the feedback controller.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoScaleConfig {
+    /// Keep per-iteration analysis time at or under this target.
+    pub target_ns: u64,
+    /// Grow when the smoothed time exceeds `target * grow_factor`.
+    pub grow_factor: f64,
+    /// Shrink when the smoothed time falls under `target * shrink_factor`
+    /// (hysteresis: must be well below the grow threshold).
+    pub shrink_factor: f64,
+    /// Exponential smoothing weight for new samples in `(0, 1]`.
+    pub alpha: f64,
+    /// Minimum iterations between scaling decisions (lets the effect of
+    /// the previous decision show up before acting again — joins also
+    /// carry a one-iteration pipeline-init spike that must not trigger
+    /// another grow).
+    pub cooldown_iters: u32,
+    /// Bounds on the staging-area size.
+    pub min_servers: usize,
+    /// Upper bound on the staging-area size.
+    pub max_servers: usize,
+}
+
+impl AutoScaleConfig {
+    /// A controller keeping analysis under `target_ns` with sane defaults.
+    pub fn with_target(target_ns: u64) -> Self {
+        Self {
+            target_ns,
+            grow_factor: 1.0,
+            shrink_factor: 0.35,
+            alpha: 0.5,
+            cooldown_iters: 2,
+            min_servers: 1,
+            max_servers: usize::MAX,
+        }
+    }
+}
+
+/// What the embedding should do before the next iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Keep the current size.
+    Hold,
+    /// Add this many servers.
+    Grow(usize),
+    /// Remove this many servers (via the admin leave RPC).
+    Shrink(usize),
+}
+
+/// The feedback controller.
+#[derive(Debug)]
+pub struct AutoScaler {
+    cfg: AutoScaleConfig,
+    smoothed_ns: Option<f64>,
+    cooldown: u32,
+}
+
+impl AutoScaler {
+    /// Creates a controller.
+    pub fn new(cfg: AutoScaleConfig) -> Self {
+        assert!(cfg.alpha > 0.0 && cfg.alpha <= 1.0);
+        assert!(cfg.shrink_factor < cfg.grow_factor);
+        Self {
+            cfg,
+            smoothed_ns: None,
+            cooldown: 0,
+        }
+    }
+
+    /// The current smoothed execute time, if any samples arrived.
+    pub fn smoothed_ns(&self) -> Option<u64> {
+        self.smoothed_ns.map(|s| s as u64)
+    }
+
+    /// Feeds one iteration's `execute` duration and the current server
+    /// count; returns the decision for the next iteration.
+    ///
+    /// Join iterations (where a fresh server pays pipeline init) should
+    /// be passed with `had_join = true`; their spike is excluded from the
+    /// smoothed signal, as the paper excludes them when reading Fig. 10.
+    pub fn observe(&mut self, execute_ns: u64, servers: usize, had_join: bool) -> ScaleDecision {
+        if !had_join {
+            let s = self.smoothed_ns.unwrap_or(execute_ns as f64);
+            self.smoothed_ns =
+                Some(s * (1.0 - self.cfg.alpha) + execute_ns as f64 * self.cfg.alpha);
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return ScaleDecision::Hold;
+        }
+        let Some(smoothed) = self.smoothed_ns else {
+            return ScaleDecision::Hold;
+        };
+        let target = self.cfg.target_ns as f64;
+        if smoothed > target * self.cfg.grow_factor && servers < self.cfg.max_servers {
+            self.cooldown = self.cfg.cooldown_iters;
+            // Proportional growth: how many servers short are we, assuming
+            // near-linear strong scaling (capped at doubling per step)?
+            let deficit = (smoothed / target).ceil() as usize;
+            let add = deficit
+                .saturating_sub(1)
+                .clamp(1, servers.max(1))
+                .min(self.cfg.max_servers - servers);
+            return ScaleDecision::Grow(add);
+        }
+        if smoothed < target * self.cfg.shrink_factor && servers > self.cfg.min_servers {
+            self.cooldown = self.cfg.cooldown_iters;
+            return ScaleDecision::Shrink(1.min(servers - self.cfg.min_servers));
+        }
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler(target_ms: u64) -> AutoScaler {
+        AutoScaler::new(AutoScaleConfig {
+            cooldown_iters: 0,
+            ..AutoScaleConfig::with_target(target_ms * 1_000_000)
+        })
+    }
+
+    #[test]
+    fn holds_when_on_target() {
+        let mut s = scaler(10);
+        for _ in 0..5 {
+            assert_eq!(s.observe(9_000_000, 4, false), ScaleDecision::Hold);
+        }
+    }
+
+    #[test]
+    fn grows_when_over_target() {
+        let mut s = scaler(10);
+        s.observe(25_000_000, 2, false);
+        match s.observe(25_000_000, 2, false) {
+            ScaleDecision::Grow(n) => assert!(n >= 1),
+            d => panic!("expected growth, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn growth_is_proportional_and_capped() {
+        let mut s = scaler(10);
+        // 4x over target: wants several servers, but never more than
+        // doubling.
+        s.observe(40_000_000, 2, false);
+        let d = s.observe(40_000_000, 2, false);
+        assert_eq!(d, ScaleDecision::Grow(2));
+    }
+
+    #[test]
+    fn shrinks_when_far_under_target() {
+        let mut s = scaler(10);
+        for _ in 0..4 {
+            s.observe(1_000_000, 4, false);
+        }
+        assert_eq!(s.observe(1_000_000, 4, false), ScaleDecision::Shrink(1));
+    }
+
+    #[test]
+    fn join_spikes_are_excluded_from_the_signal() {
+        let mut s = scaler(10);
+        s.observe(9_000_000, 2, false);
+        // A 3 s pipeline-init spike on the join iteration must not
+        // trigger growth.
+        assert_eq!(s.observe(3_000_000_000, 3, true), ScaleDecision::Hold);
+        assert_eq!(s.observe(9_000_000, 3, false), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn cooldown_spaces_decisions() {
+        let mut s = AutoScaler::new(AutoScaleConfig {
+            cooldown_iters: 2,
+            ..AutoScaleConfig::with_target(10_000_000)
+        });
+        assert!(matches!(s.observe(50_000_000, 2, false), ScaleDecision::Grow(_)));
+        // Two iterations of cooldown follow, even though still over.
+        assert_eq!(s.observe(50_000_000, 3, false), ScaleDecision::Hold);
+        assert_eq!(s.observe(50_000_000, 3, false), ScaleDecision::Hold);
+        assert!(matches!(s.observe(50_000_000, 3, false), ScaleDecision::Grow(_)));
+    }
+
+    #[test]
+    fn respects_size_bounds() {
+        let mut s = AutoScaler::new(AutoScaleConfig {
+            cooldown_iters: 0,
+            min_servers: 2,
+            max_servers: 4,
+            ..AutoScaleConfig::with_target(10_000_000)
+        });
+        for _ in 0..3 {
+            s.observe(100_000_000, 4, false);
+        }
+        assert_eq!(s.observe(100_000_000, 4, false), ScaleDecision::Hold, "at max");
+        let mut s2 = AutoScaler::new(AutoScaleConfig {
+            cooldown_iters: 0,
+            min_servers: 2,
+            max_servers: 4,
+            ..AutoScaleConfig::with_target(10_000_000)
+        });
+        for _ in 0..3 {
+            s2.observe(100_000, 2, false);
+        }
+        assert_eq!(s2.observe(100_000, 2, false), ScaleDecision::Hold, "at min");
+    }
+}

@@ -1,0 +1,492 @@
+//! The Colza client library: pipeline handles and the staging protocol.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use margo::MargoInstance;
+use na::Address;
+
+use crate::error::{ColzaError, Result};
+use crate::protocol::*;
+
+/// How `stage` selects the receiving server for a block.
+#[derive(Clone)]
+pub enum StagePolicy {
+    /// `block_id % num_servers` — the paper's default.
+    BlockModulo,
+    /// Rotate through servers regardless of block id.
+    RoundRobin,
+    /// User-provided mapping from `(meta, num_servers)` to a server index.
+    Custom(Arc<dyn Fn(&BlockMeta, usize) -> usize + Send + Sync>),
+}
+
+impl StagePolicy {
+    fn select(&self, meta: &BlockMeta, n: usize, rr_state: &mut usize) -> usize {
+        match self {
+            StagePolicy::BlockModulo => (meta.block_id % n as u64) as usize,
+            StagePolicy::RoundRobin => {
+                let s = *rr_state % n;
+                *rr_state = rr_state.wrapping_add(1);
+                s
+            }
+            StagePolicy::Custom(f) => f(meta, n) % n,
+        }
+    }
+}
+
+/// A Colza client: one per simulation process.
+pub struct ColzaClient {
+    margo: Arc<MargoInstance>,
+}
+
+impl ColzaClient {
+    /// Wraps a margo instance (which may share the simulation's endpoint).
+    pub fn new(margo: Arc<MargoInstance>) -> Arc<Self> {
+        Arc::new(Self { margo })
+    }
+
+    /// The underlying margo instance.
+    pub fn margo(&self) -> &Arc<MargoInstance> {
+        &self.margo
+    }
+
+    /// Queries the current staging-area view from any live member.
+    pub fn view_from(&self, contact: Address) -> Result<Vec<Address>> {
+        Ok(self.margo.forward(contact, "colza.get_view", &())?)
+    }
+
+    /// Opens a handle to one pipeline instance on one server.
+    pub fn pipeline_handle(
+        self: &Arc<Self>,
+        server: Address,
+        pipeline: &str,
+    ) -> PipelineHandle {
+        PipelineHandle {
+            client: Arc::clone(self),
+            server,
+            pipeline: pipeline.to_string(),
+        }
+    }
+
+    /// Opens a distributed handle spanning the staging area, bootstrapped
+    /// from one known member address.
+    pub fn distributed_handle(
+        self: &Arc<Self>,
+        contact: Address,
+        pipeline: &str,
+    ) -> Result<DistributedPipelineHandle> {
+        let members = self.view_from(contact)?;
+        if members.is_empty() {
+            return Err(ColzaError::EmptyGroup);
+        }
+        Ok(DistributedPipelineHandle {
+            client: Arc::clone(self),
+            pipeline: pipeline.to_string(),
+            members: Mutex::new(members),
+            policy: StagePolicy::BlockModulo,
+            rr_state: Mutex::new(0),
+        })
+    }
+}
+
+/// A handle to a single pipeline instance on a single server.
+pub struct PipelineHandle {
+    client: Arc<ColzaClient>,
+    server: Address,
+    pipeline: String,
+}
+
+impl PipelineHandle {
+    /// The target server.
+    pub fn server(&self) -> Address {
+        self.server
+    }
+
+    /// Starts an iteration on this single pipeline instance (no 2PC: a
+    /// one-server handle has a trivially consistent view, but membership
+    /// is still frozen for the iteration).
+    pub fn activate(&self, iteration: u64) -> Result<()> {
+        let _: PrepareActivateReply = self.client.margo.forward(
+            self.server,
+            "colza.prepare_activate",
+            &PrepareActivateArgs {
+                pipeline: self.pipeline.clone(),
+                iteration,
+            },
+        )?;
+        Ok(self.client.margo.forward(
+            self.server,
+            "colza.commit_activate",
+            &CommitActivateArgs {
+                pipeline: self.pipeline.clone(),
+                iteration,
+                members: vec![self.server],
+            },
+        )?)
+    }
+
+    /// Stages one serialized dataset on this server.
+    pub fn stage(&self, meta: BlockMeta, payload: &Bytes) -> Result<()> {
+        stage_on(&self.client.margo, self.server, &self.pipeline, meta, payload)
+    }
+
+    /// Executes the pipeline on this server alone.
+    pub fn execute(&self, iteration: u64) -> Result<()> {
+        Ok(self.client.margo.forward(
+            self.server,
+            "colza.execute",
+            &ExecuteArgs {
+                pipeline: self.pipeline.clone(),
+                iteration,
+            },
+        )?)
+    }
+
+    /// Ends the iteration on this server.
+    pub fn deactivate(&self, iteration: u64) -> Result<()> {
+        Ok(self.client.margo.forward(
+            self.server,
+            "colza.deactivate",
+            &DeactivateArgs {
+                pipeline: self.pipeline.clone(),
+                iteration,
+            },
+        )?)
+    }
+
+    /// Fetches the pipeline's latest result from this server.
+    pub fn fetch_result(&self) -> Result<Option<Vec<u8>>> {
+        Ok(self.client.margo.forward(
+            self.server,
+            "colza.fetch_result",
+            &FetchResultArgs {
+                pipeline: self.pipeline.clone(),
+            },
+        )?)
+    }
+}
+
+/// A handle to a pipeline replicated across the staging area.
+pub struct DistributedPipelineHandle {
+    client: Arc<ColzaClient>,
+    pipeline: String,
+    members: Mutex<Vec<Address>>,
+    policy: StagePolicy,
+    rr_state: Mutex<usize>,
+}
+
+impl DistributedPipelineHandle {
+    /// The current member list this handle operates over.
+    pub fn members(&self) -> Vec<Address> {
+        self.members.lock().clone()
+    }
+
+    /// Replaces the stage-distribution policy (§II-B: "users can change
+    /// this policy").
+    pub fn set_policy(&mut self, policy: StagePolicy) {
+        self.policy = policy;
+    }
+
+    /// Starts an analysis iteration with the paper's two-phase commit:
+    /// every server votes with its view epoch; any disagreement refreshes
+    /// the client's view and retries. On success membership is frozen
+    /// until [`DistributedPipelineHandle::deactivate`].
+    pub fn activate(&self, iteration: u64) -> Result<()> {
+        const MAX_ATTEMPTS: usize = 16;
+        for _attempt in 0..MAX_ATTEMPTS {
+            let members = self.members.lock().clone();
+            if members.is_empty() {
+                return Err(ColzaError::EmptyGroup);
+            }
+            // Phase 1: prepare (vote collection).
+            let args = PrepareActivateArgs {
+                pipeline: self.pipeline.clone(),
+                iteration,
+            };
+            let votes = self.broadcast::<_, PrepareActivateReply>(
+                &members,
+                "colza.prepare_activate",
+                &args,
+            );
+            let mut ok_votes = Vec::new();
+            let mut failed = false;
+            for v in votes {
+                match v {
+                    Ok(reply) => ok_votes.push(reply),
+                    Err(_) => failed = true,
+                }
+            }
+            let consistent = !failed
+                && ok_votes
+                    .iter()
+                    .all(|v| v.epoch == ok_votes[0].epoch && v.view == members);
+            if consistent {
+                // Phase 2: commit with the agreed member list.
+                let commit = CommitActivateArgs {
+                    pipeline: self.pipeline.clone(),
+                    iteration,
+                    members: members.clone(),
+                };
+                let results =
+                    self.broadcast::<_, ()>(&members, "colza.commit_activate", &commit);
+                if results.iter().all(|r| r.is_ok()) {
+                    return Ok(());
+                }
+            }
+            // Abort and refresh: adopt the freshest view any server holds.
+            let abort = AbortActivateArgs {
+                pipeline: self.pipeline.clone(),
+                iteration,
+            };
+            let _ = self.broadcast::<_, ()>(&members, "colza.abort_activate", &abort);
+            let mut fresh: Option<Vec<Address>> = None;
+            for v in ok_votes {
+                fresh = Some(match fresh {
+                    None => v.view,
+                    Some(f) if v.view.len() > f.len() => v.view,
+                    Some(f) => f,
+                });
+            }
+            if fresh.is_none() {
+                // All votes failed; re-query survivors of the old view.
+                for m in &members {
+                    if let Ok(view) = self.client.view_from(*m) {
+                        fresh = Some(view);
+                        break;
+                    }
+                }
+            }
+            match fresh {
+                Some(view) if !view.is_empty() => *self.members.lock() = view,
+                _ => return Err(ColzaError::EmptyGroup),
+            }
+        }
+        Err(ColzaError::ActivateConflict {
+            attempts: MAX_ATTEMPTS,
+        })
+    }
+
+    /// Stages one block: the policy picks a server, which pulls the
+    /// payload via RDMA from this process's memory.
+    pub fn stage(&self, meta: BlockMeta, payload: &Bytes) -> Result<()> {
+        let members = self.members.lock().clone();
+        if members.is_empty() {
+            return Err(ColzaError::EmptyGroup);
+        }
+        let target = {
+            let mut rr = self.rr_state.lock();
+            members[self.policy.select(&meta, members.len(), &mut rr)]
+        };
+        stage_on(&self.client.margo, target, &self.pipeline, meta, payload)
+    }
+
+    /// Non-blocking [`DistributedPipelineHandle::stage`].
+    pub fn istage(
+        self: &Arc<Self>,
+        meta: BlockMeta,
+        payload: Bytes,
+    ) -> argo::Eventual<Result<()>> {
+        let this = Arc::clone(self);
+        let ev = argo::Eventual::new();
+        let ev2 = ev.clone();
+        let ctx = hpcsim::process::current();
+        std::thread::Builder::new()
+            .name("colza-istage".to_string())
+            .spawn(move || {
+                hpcsim::process::enter(ctx, move || ev2.set(this.stage(meta, &payload)))
+            })
+            .expect("spawn istage");
+        ev
+    }
+
+    /// Runs the pipeline collectively on all servers for this iteration.
+    pub fn execute(&self, iteration: u64) -> Result<()> {
+        let members = self.members.lock().clone();
+        let args = ExecuteArgs {
+            pipeline: self.pipeline.clone(),
+            iteration,
+        };
+        // Servers run a collective inside the handler, so every execute
+        // RPC must be in flight simultaneously.
+        let results = self.broadcast::<_, ()>(&members, "colza.execute", &args);
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Non-blocking [`DistributedPipelineHandle::execute`] — what a real
+    /// simulation uses so analysis overlaps computation (§III-E1).
+    pub fn iexecute(self: &Arc<Self>, iteration: u64) -> argo::Eventual<Result<()>> {
+        let this = Arc::clone(self);
+        let ev = argo::Eventual::new();
+        let ev2 = ev.clone();
+        let ctx = hpcsim::process::current();
+        std::thread::Builder::new()
+            .name("colza-iexecute".to_string())
+            .spawn(move || hpcsim::process::enter(ctx, move || ev2.set(this.execute(iteration))))
+            .expect("spawn iexecute");
+        ev
+    }
+
+    /// Ends the iteration: staged data is released and membership thaws.
+    pub fn deactivate(&self, iteration: u64) -> Result<()> {
+        let members = self.members.lock().clone();
+        let args = DeactivateArgs {
+            pipeline: self.pipeline.clone(),
+            iteration,
+        };
+        let results = self.broadcast::<_, ()>(&members, "colza.deactivate", &args);
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Fetches the pipeline's latest result from the compositing root
+    /// (rank 0 of the frozen member list).
+    pub fn fetch_result(&self) -> Result<Option<Vec<u8>>> {
+        let members = self.members.lock().clone();
+        let root = *members.first().ok_or(ColzaError::EmptyGroup)?;
+        Ok(self.client.margo.forward(
+            root,
+            "colza.fetch_result",
+            &FetchResultArgs {
+                pipeline: self.pipeline.clone(),
+            },
+        )?)
+    }
+
+    /// Refreshes the member view from a live server.
+    pub fn refresh_view(&self) -> Result<Vec<Address>> {
+        let members = self.members.lock().clone();
+        for m in &members {
+            if let Ok(view) = self.client.view_from(*m) {
+                if !view.is_empty() {
+                    *self.members.lock() = view.clone();
+                    return Ok(view);
+                }
+            }
+        }
+        Err(ColzaError::EmptyGroup)
+    }
+
+    /// Concurrently forwards an RPC to every member (one thread each,
+    /// sharing this process's simulated context), collecting per-member
+    /// results in order.
+    fn broadcast<A, R>(&self, members: &[Address], name: &str, args: &A) -> Vec<Result<R>>
+    where
+        A: serde::Serialize + Clone + Send + 'static,
+        R: serde::de::DeserializeOwned + Send + 'static,
+    {
+        if members.len() == 1 {
+            return vec![self
+                .client
+                .margo
+                .forward_timeout(members[0], name, args, Some(RPC_TIMEOUT))
+                .map_err(ColzaError::from)];
+        }
+        let ctx = hpcsim::process::current();
+        let handles: Vec<_> = members
+            .iter()
+            .map(|&m| {
+                let margo = Arc::clone(&self.client.margo);
+                let name = name.to_string();
+                let args = args.clone();
+                let ctx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name("colza-bcast".to_string())
+                    .spawn(move || {
+                        hpcsim::process::enter(ctx, move || {
+                            margo
+                                .forward_timeout::<A, R>(m, &name, &args, Some(RPC_TIMEOUT))
+                                .map_err(ColzaError::from)
+                        })
+                    })
+                    .expect("spawn broadcast thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("broadcast thread panicked"))
+            .collect()
+    }
+}
+
+const RPC_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn stage_on(
+    margo: &Arc<MargoInstance>,
+    target: Address,
+    pipeline: &str,
+    meta: BlockMeta,
+    payload: &Bytes,
+) -> Result<()> {
+    debug_assert_eq!(meta.size, payload.len());
+    let endpoint = margo.endpoint();
+    let bulk = endpoint.expose(payload.clone());
+    let args = StageArgs {
+        pipeline: pipeline.to_string(),
+        meta,
+        bulk,
+    };
+    let out: std::result::Result<(), margo::RpcError> =
+        margo.forward_timeout(target, "colza.stage", &args, Some(RPC_TIMEOUT));
+    endpoint.unexpose(bulk).ok();
+    out.map_err(ColzaError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(block_id: u64) -> BlockMeta {
+        BlockMeta {
+            name: "b".to_string(),
+            block_id,
+            iteration: 0,
+            size: 0,
+        }
+    }
+
+    #[test]
+    fn block_modulo_policy_is_deterministic() {
+        let p = StagePolicy::BlockModulo;
+        let mut rr = 0;
+        assert_eq!(p.select(&meta(0), 4, &mut rr), 0);
+        assert_eq!(p.select(&meta(5), 4, &mut rr), 1);
+        assert_eq!(p.select(&meta(7), 4, &mut rr), 3);
+        // Same block, same server - the property staging relies on.
+        assert_eq!(p.select(&meta(7), 4, &mut rr), 3);
+    }
+
+    #[test]
+    fn round_robin_policy_rotates() {
+        let p = StagePolicy::RoundRobin;
+        let mut rr = 0;
+        let picks: Vec<usize> = (0..6).map(|_| p.select(&meta(9), 3, &mut rr)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn custom_policy_is_clamped_to_group_size() {
+        let p = StagePolicy::Custom(Arc::new(|m: &BlockMeta, _n| m.block_id as usize * 100));
+        let mut rr = 0;
+        let s = p.select(&meta(3), 4, &mut rr);
+        assert!(s < 4, "custom policy result must be reduced mod n");
+    }
+
+    #[test]
+    fn policies_cover_all_servers_for_dense_blocks() {
+        let p = StagePolicy::BlockModulo;
+        let mut rr = 0;
+        let mut seen = std::collections::BTreeSet::new();
+        for b in 0..8 {
+            seen.insert(p.select(&meta(b), 4, &mut rr));
+        }
+        assert_eq!(seen.len(), 4, "all servers receive blocks");
+    }
+}

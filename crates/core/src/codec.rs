@@ -1,0 +1,342 @@
+//! Serialization of staged datasets.
+//!
+//! The wire format simulations use to expose blocks to the staging area:
+//! a small self-describing framing over the `vizkit` data model (the
+//! paper stages raw VTK buffers the same way — metadata in the RPC, bulk
+//! payload via RDMA).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use vizkit::data::{Attributes, CellType, DataArray, DataSet, ImageData, PolyData, UnstructuredGrid};
+
+use crate::error::{ColzaError, Result};
+
+const TAG_IMAGE: u8 = 1;
+const TAG_UGRID: u8 = 2;
+const TAG_POLY: u8 = 3;
+
+/// Serializes a dataset to a contiguous buffer (what `stage` exposes for
+/// the server's RDMA pull).
+pub fn dataset_to_bytes(ds: &DataSet) -> Bytes {
+    let mut buf = BytesMut::with_capacity(ds.byte_size() + 256);
+    match ds {
+        DataSet::Image(img) => {
+            buf.put_u8(TAG_IMAGE);
+            for d in img.dims {
+                buf.put_u64_le(d as u64);
+            }
+            for v in img.origin.iter().chain(&img.spacing) {
+                buf.put_f32_le(*v);
+            }
+            put_attributes(&mut buf, &img.point_data);
+            put_attributes(&mut buf, &img.cell_data);
+        }
+        DataSet::UGrid(g) => {
+            buf.put_u8(TAG_UGRID);
+            buf.put_u64_le(g.points.len() as u64);
+            for p in &g.points {
+                for c in p {
+                    buf.put_f32_le(*c);
+                }
+            }
+            buf.put_u64_le(g.connectivity.len() as u64);
+            for c in &g.connectivity {
+                buf.put_u32_le(*c);
+            }
+            buf.put_u64_le(g.offsets.len() as u64);
+            for o in &g.offsets {
+                buf.put_u32_le(*o);
+            }
+            buf.put_u64_le(g.cell_types.len() as u64);
+            for t in &g.cell_types {
+                buf.put_u8(match t {
+                    CellType::Triangle => 5,
+                    CellType::Tetra => 10,
+                    CellType::Voxel => 11,
+                    CellType::Hexahedron => 12,
+                });
+            }
+            put_attributes(&mut buf, &g.point_data);
+            put_attributes(&mut buf, &g.cell_data);
+        }
+        DataSet::Poly(p) => {
+            buf.put_u8(TAG_POLY);
+            buf.put_u64_le(p.points.len() as u64);
+            for pt in &p.points {
+                for c in pt {
+                    buf.put_f32_le(*c);
+                }
+            }
+            buf.put_u64_le(p.normals.len() as u64);
+            for n in &p.normals {
+                for c in n {
+                    buf.put_f32_le(*c);
+                }
+            }
+            buf.put_u64_le(p.triangles.len() as u64);
+            for t in &p.triangles {
+                for v in t {
+                    buf.put_u32_le(*v);
+                }
+            }
+            put_attributes(&mut buf, &p.point_data);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a dataset from [`dataset_to_bytes`] output.
+pub fn dataset_from_bytes(mut b: &[u8]) -> Result<DataSet> {
+    let tag = take_u8(&mut b)?;
+    match tag {
+        TAG_IMAGE => {
+            let mut img = ImageData::new([
+                take_u64(&mut b)? as usize,
+                take_u64(&mut b)? as usize,
+                take_u64(&mut b)? as usize,
+            ]);
+            for v in img
+                .origin
+                .iter_mut()
+                .chain(img.spacing.iter_mut())
+                .collect::<Vec<_>>()
+            {
+                *v = take_f32(&mut b)?;
+            }
+            img.point_data = take_attributes(&mut b)?;
+            img.cell_data = take_attributes(&mut b)?;
+            Ok(DataSet::Image(img))
+        }
+        TAG_UGRID => {
+            let mut g = UnstructuredGrid::new();
+            let npts = take_u64(&mut b)? as usize;
+            g.points = (0..npts)
+                .map(|_| -> Result<[f32; 3]> {
+                    Ok([take_f32(&mut b)?, take_f32(&mut b)?, take_f32(&mut b)?])
+                })
+                .collect::<Result<_>>()?;
+            let nc = take_u64(&mut b)? as usize;
+            g.connectivity = (0..nc).map(|_| take_u32(&mut b)).collect::<Result<_>>()?;
+            let no = take_u64(&mut b)? as usize;
+            g.offsets = (0..no).map(|_| take_u32(&mut b)).collect::<Result<_>>()?;
+            let nt = take_u64(&mut b)? as usize;
+            g.cell_types = (0..nt)
+                .map(|_| -> Result<CellType> {
+                    Ok(match take_u8(&mut b)? {
+                        5 => CellType::Triangle,
+                        10 => CellType::Tetra,
+                        11 => CellType::Voxel,
+                        12 => CellType::Hexahedron,
+                        x => return Err(ColzaError::Codec(format!("bad cell type {x}"))),
+                    })
+                })
+                .collect::<Result<_>>()?;
+            g.point_data = take_attributes(&mut b)?;
+            g.cell_data = take_attributes(&mut b)?;
+            g.validate().map_err(ColzaError::Codec)?;
+            Ok(DataSet::UGrid(g))
+        }
+        TAG_POLY => {
+            let mut p = PolyData::new();
+            let npts = take_u64(&mut b)? as usize;
+            p.points = (0..npts)
+                .map(|_| -> Result<[f32; 3]> {
+                    Ok([take_f32(&mut b)?, take_f32(&mut b)?, take_f32(&mut b)?])
+                })
+                .collect::<Result<_>>()?;
+            let nn = take_u64(&mut b)? as usize;
+            p.normals = (0..nn)
+                .map(|_| -> Result<[f32; 3]> {
+                    Ok([take_f32(&mut b)?, take_f32(&mut b)?, take_f32(&mut b)?])
+                })
+                .collect::<Result<_>>()?;
+            let ntri = take_u64(&mut b)? as usize;
+            p.triangles = (0..ntri)
+                .map(|_| -> Result<[u32; 3]> {
+                    Ok([take_u32(&mut b)?, take_u32(&mut b)?, take_u32(&mut b)?])
+                })
+                .collect::<Result<_>>()?;
+            p.point_data = take_attributes(&mut b)?;
+            p.validate().map_err(ColzaError::Codec)?;
+            Ok(DataSet::Poly(p))
+        }
+        x => Err(ColzaError::Codec(format!("bad dataset tag {x}"))),
+    }
+}
+
+fn put_attributes(buf: &mut BytesMut, at: &Attributes) {
+    buf.put_u64_le(at.len() as u64);
+    for (name, arr) in at.iter() {
+        buf.put_u64_le(name.len() as u64);
+        buf.put_slice(name.as_bytes());
+        let (tag, bytes) = match arr {
+            DataArray::F32(_) => (0u8, arr.to_le_bytes()),
+            DataArray::F64(_) => (1u8, arr.to_le_bytes()),
+            DataArray::I32(_) => (2u8, arr.to_le_bytes()),
+            DataArray::U8(_) => (3u8, arr.to_le_bytes()),
+        };
+        buf.put_u8(tag);
+        buf.put_u64_le(bytes.len() as u64);
+        buf.put_slice(&bytes);
+    }
+}
+
+fn take_attributes(b: &mut &[u8]) -> Result<Attributes> {
+    let n = take_u64(b)? as usize;
+    let mut at = Attributes::new();
+    for _ in 0..n {
+        let name_len = take_u64(b)? as usize;
+        if b.len() < name_len {
+            return Err(ColzaError::Codec("truncated name".to_string()));
+        }
+        let name = String::from_utf8(b[..name_len].to_vec())
+            .map_err(|_| ColzaError::Codec("bad utf8".to_string()))?;
+        b.advance(name_len);
+        let tag = take_u8(b)?;
+        let len = take_u64(b)? as usize;
+        if b.len() < len {
+            return Err(ColzaError::Codec("truncated array".to_string()));
+        }
+        let payload = &b[..len];
+        let arr = match tag {
+            0 => DataArray::f32_from_le_bytes(payload),
+            1 => DataArray::F64(
+                payload
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            2 => DataArray::i32_from_le_bytes(payload),
+            3 => DataArray::U8(payload.to_vec()),
+            x => return Err(ColzaError::Codec(format!("bad array tag {x}"))),
+        };
+        b.advance(len);
+        at.set(name, arr);
+    }
+    Ok(at)
+}
+
+fn take_u8(b: &mut &[u8]) -> Result<u8> {
+    if b.is_empty() {
+        return Err(ColzaError::Codec("eof".to_string()));
+    }
+    let v = b[0];
+    b.advance(1);
+    Ok(v)
+}
+
+fn take_u32(b: &mut &[u8]) -> Result<u32> {
+    if b.len() < 4 {
+        return Err(ColzaError::Codec("eof".to_string()));
+    }
+    let v = u32::from_le_bytes(b[..4].try_into().unwrap());
+    b.advance(4);
+    Ok(v)
+}
+
+fn take_u64(b: &mut &[u8]) -> Result<u64> {
+    if b.len() < 8 {
+        return Err(ColzaError::Codec("eof".to_string()));
+    }
+    let v = u64::from_le_bytes(b[..8].try_into().unwrap());
+    b.advance(8);
+    Ok(v)
+}
+
+fn take_f32(b: &mut &[u8]) -> Result<f32> {
+    if b.len() < 4 {
+        return Err(ColzaError::Codec("eof".to_string()));
+    }
+    let v = f32::from_le_bytes(b[..4].try_into().unwrap());
+    b.advance(4);
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> DataSet {
+        let mut img = ImageData::new([3, 2, 2]);
+        img.origin = [1.0, 2.0, 3.0];
+        img.spacing = [0.5, 0.5, 0.5];
+        img.point_data
+            .set("u", DataArray::F32((0..12).map(|i| i as f32).collect()));
+        img.cell_data.set("c", DataArray::I32(vec![7, -7]));
+        DataSet::Image(img)
+    }
+
+    fn ugrid() -> DataSet {
+        let mut g = UnstructuredGrid::new();
+        for k in 0..2 {
+            for j in 0..2 {
+                for i in 0..2 {
+                    g.points.push([i as f32, j as f32, k as f32]);
+                }
+            }
+        }
+        g.add_cell(CellType::Voxel, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        g.cell_data.set("v", DataArray::F64(vec![2.5]));
+        DataSet::UGrid(g)
+    }
+
+    fn poly() -> DataSet {
+        let mut p = PolyData::new();
+        p.add_point([0.0, 0.0, 0.0], Some([0.0, 0.0, 1.0]));
+        p.add_point([1.0, 0.0, 0.0], Some([0.0, 0.0, 1.0]));
+        p.add_point([0.0, 1.0, 0.0], Some([0.0, 0.0, 1.0]));
+        p.triangles.push([0, 1, 2]);
+        p.point_data.set("s", DataArray::U8(vec![1, 2, 3]));
+        DataSet::Poly(p)
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let ds = image();
+        let back = dataset_from_bytes(&dataset_to_bytes(&ds)).unwrap();
+        let (DataSet::Image(a), DataSet::Image(b)) = (&ds, &back) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(a.dims, b.dims);
+        assert_eq!(a.origin, b.origin);
+        assert_eq!(a.point_data, b.point_data);
+        assert_eq!(a.cell_data, b.cell_data);
+    }
+
+    #[test]
+    fn ugrid_roundtrip() {
+        let ds = ugrid();
+        let back = dataset_from_bytes(&dataset_to_bytes(&ds)).unwrap();
+        let (DataSet::UGrid(a), DataSet::UGrid(b)) = (&ds, &back) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.connectivity, b.connectivity);
+        assert_eq!(a.cell_types, b.cell_types);
+        // F64 array is widened to F32 on the wire? No: preserved as F64.
+        assert_eq!(b.cell_data.get("v").unwrap().get(0), 2.5);
+    }
+
+    #[test]
+    fn poly_roundtrip() {
+        let ds = poly();
+        let back = dataset_from_bytes(&dataset_to_bytes(&ds)).unwrap();
+        let (DataSet::Poly(a), DataSet::Poly(b)) = (&ds, &back) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.normals, b.normals);
+        assert_eq!(a.triangles, b.triangles);
+        assert_eq!(a.point_data, b.point_data);
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicking() {
+        assert!(dataset_from_bytes(&[]).is_err());
+        assert!(dataset_from_bytes(&[99]).is_err());
+        assert!(dataset_from_bytes(&[1, 2, 3]).is_err());
+        let mut good = dataset_to_bytes(&image()).to_vec();
+        good.truncate(good.len() / 2);
+        assert!(dataset_from_bytes(&good).is_err());
+    }
+}

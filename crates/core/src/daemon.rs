@@ -1,0 +1,315 @@
+//! The Colza staging daemon: assembly of margo + MoNA + SSG + provider,
+//! with the connection-file bootstrap the paper's deployment uses.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+
+use margo::MargoInstance;
+use mona::{MonaConfig, MonaInstance};
+use na::{Address, Fabric};
+use ssg::{SsgConfig, SsgGroup};
+
+use crate::provider::{ColzaProvider, ProviderComm};
+
+/// Which communication layer this deployment's pipelines run over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommMode {
+    /// Elastic MoNA communicators (Colza proper).
+    Mona,
+    /// A static MPI world fixed at launch (the `Colza+MPI` baseline).
+    MpiStatic(minimpi::Profile),
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// SSG group name.
+    pub group: String,
+    /// Connection file: daemons append their address here and joiners read
+    /// it to find a contact (the paper's §II-F scale-up path).
+    pub connection_file: PathBuf,
+    /// Pipeline communication layer.
+    pub comm: CommMode,
+    /// SSG protocol configuration.
+    pub ssg: SsgConfig,
+    /// Real-time interval between automatic SWIM ticks in the daemon loop.
+    pub tick_interval: Duration,
+    /// RPC liveness timeout for this daemon's outbound calls.
+    pub rpc_timeout: Duration,
+}
+
+impl DaemonConfig {
+    /// A default configuration over the given connection file.
+    pub fn new(connection_file: impl Into<PathBuf>) -> Self {
+        Self {
+            group: "colza".to_string(),
+            connection_file: connection_file.into(),
+            comm: CommMode::Mona,
+            ssg: SsgConfig::default(),
+            tick_interval: Duration::from_millis(2),
+            rpc_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+enum Cmd {
+    Tick,
+    SetStaticWorld(Vec<Address>),
+    Stop,
+    Kill,
+}
+
+/// A handle to a running staging daemon.
+pub struct ColzaDaemon {
+    addr: Address,
+    group: Arc<SsgGroup>,
+    provider: Arc<ColzaProvider>,
+    cmd: Sender<Cmd>,
+    handle: Option<hpcsim::cluster::SimHandle<()>>,
+}
+
+impl ColzaDaemon {
+    /// Spawns a daemon on `node`. If the connection file already lists
+    /// live members the daemon joins them; otherwise it bootstraps a new
+    /// group. The daemon charges its virtual start-up cost
+    /// (`LaunchModel::daemon_init_ns`).
+    pub fn spawn(
+        cluster: &hpcsim::Cluster,
+        fabric: &Fabric,
+        node: usize,
+        cfg: DaemonConfig,
+    ) -> ColzaDaemon {
+        let (cmd_tx, cmd_rx) = bounded::<Cmd>(256);
+        let (ready_tx, ready_rx) = bounded(1);
+        let fabric = fabric.clone();
+        let handle = cluster.spawn("colza-daemon", node, move || {
+            let ctx = hpcsim::current();
+            // A daemon spawned mid-run starts at the current wall time,
+            // then pays its start-up cost.
+            ctx.clock().merge(ctx.cluster().max_clock_ns());
+            ctx.advance(hpcsim::fabric::presets::launch().daemon_init_ns);
+
+            let endpoint = Arc::new(fabric.open());
+            let margo = MargoInstance::from_endpoint(Arc::clone(&endpoint));
+            margo.set_default_timeout(Some(cfg.rpc_timeout));
+            let mona = MonaInstance::from_endpoint(Arc::clone(&endpoint), MonaConfig::default());
+            let me = margo.address();
+
+            // Bootstrap membership from the connection file.
+            let contacts = read_connection_file(&cfg.connection_file);
+            let mut group = None;
+            for contact in contacts {
+                if contact == me {
+                    continue;
+                }
+                if let Ok(g) = SsgGroup::join(Arc::clone(&margo), &cfg.group, contact, cfg.ssg) {
+                    group = Some(g);
+                    break;
+                }
+            }
+            let group =
+                group.unwrap_or_else(|| SsgGroup::create(Arc::clone(&margo), &cfg.group, cfg.ssg));
+            append_connection_file(&cfg.connection_file, me);
+
+            let comm = match cfg.comm {
+                CommMode::Mona => ProviderComm::Mona,
+                CommMode::MpiStatic(_) => ProviderComm::MpiStatic(parking_lot::Mutex::new(None)),
+            };
+            let provider = ColzaProvider::register(
+                Arc::clone(&margo),
+                Arc::clone(&mona),
+                Arc::clone(&group),
+                comm,
+            );
+            ready_tx
+                .send((me, Arc::clone(&group), Arc::clone(&provider)))
+                .expect("daemon handshake");
+
+            // Service loop: gossip on a timer, watch for admin leave.
+            loop {
+                match cmd_rx.recv_timeout(cfg.tick_interval) {
+                    Ok(Cmd::Tick) => group.tick(),
+                    Ok(Cmd::SetStaticWorld(members)) => {
+                        if let CommMode::MpiStatic(profile) = cfg.comm {
+                            provider.set_static_world(minimpi::MpiComm::from_endpoint(
+                                Arc::clone(&endpoint),
+                                members,
+                                profile,
+                            ));
+                        }
+                    }
+                    Ok(Cmd::Stop) => {
+                        group.leave();
+                        remove_connection_entry(&cfg.connection_file, me);
+                        margo.finalize();
+                        return;
+                    }
+                    Ok(Cmd::Kill) => {
+                        // Crash simulation: vanish without a goodbye.
+                        margo.finalize();
+                        return;
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        // Background gossip must not outrun the virtual
+                        // time of foreground staging work.
+                        group.tick_quiet();
+                        if provider.leave_requested() {
+                            group.leave();
+                            remove_connection_entry(&cfg.connection_file, me);
+                            margo.finalize();
+                            return;
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        margo.finalize();
+                        return;
+                    }
+                }
+            }
+        });
+        let (addr, group, provider) = ready_rx.recv().expect("daemon failed to start");
+        ColzaDaemon {
+            addr,
+            group,
+            provider,
+            cmd: cmd_tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// This daemon's address.
+    pub fn address(&self) -> Address {
+        self.addr
+    }
+
+    /// The daemon's current membership view.
+    pub fn view(&self) -> Vec<Address> {
+        self.group.view()
+    }
+
+    /// The daemon's view epoch.
+    pub fn view_epoch(&self) -> u64 {
+        self.group.view_epoch()
+    }
+
+    /// The provider (test/diagnostic access).
+    pub fn provider(&self) -> &Arc<ColzaProvider> {
+        &self.provider
+    }
+
+    /// Requests one explicit SWIM tick (harness-driven experiments).
+    pub fn tick(&self) {
+        let _ = self.cmd.send(Cmd::Tick);
+    }
+
+    /// Installs the static MPI world (MpiStatic deployments only).
+    pub fn set_static_world(&self, members: Vec<Address>) {
+        let _ = self.cmd.send(Cmd::SetStaticWorld(members));
+    }
+
+    /// Graceful shutdown: leave the group, then stop.
+    pub fn stop(mut self) {
+        let _ = self.cmd.send(Cmd::Stop);
+        if let Some(h) = self.handle.take() {
+            h.join();
+        }
+    }
+
+    /// Abrupt shutdown (simulated crash).
+    pub fn kill(mut self) {
+        let _ = self.cmd.send(Cmd::Kill);
+        if let Some(h) = self.handle.take() {
+            h.join();
+        }
+    }
+
+    /// Waits for the daemon to exit on its own (e.g. after an admin
+    /// `request_leave`).
+    pub fn wait(mut self) {
+        if let Some(h) = self.handle.take() {
+            h.join();
+        }
+    }
+}
+
+/// Launches a staging area of `n` daemons (the first bootstraps, the rest
+/// join through the connection file), placed `per_node` per node starting
+/// at `first_node`.
+pub fn launch_group(
+    cluster: &hpcsim::Cluster,
+    fabric: &Fabric,
+    n: usize,
+    per_node: usize,
+    first_node: usize,
+    cfg: &DaemonConfig,
+) -> Vec<ColzaDaemon> {
+    let daemons: Vec<ColzaDaemon> = (0..n)
+        .map(|i| {
+            ColzaDaemon::spawn(
+                cluster,
+                fabric,
+                first_node + i / per_node,
+                cfg.clone(),
+            )
+        })
+        .collect();
+    // Pump gossip until every daemon sees the full group.
+    settle_views(&daemons, n);
+    if let CommMode::MpiStatic(_) = cfg.comm {
+        let members: Vec<Address> = daemons.iter().map(|d| d.address()).collect();
+        for d in &daemons {
+            d.set_static_world(members.clone());
+        }
+    }
+    daemons
+}
+
+/// Pumps ticks until all daemons agree on a view of `expect` members (or
+/// a generous retry budget runs out).
+pub fn settle_views(daemons: &[ColzaDaemon], expect: usize) {
+    for _ in 0..2000 {
+        if daemons
+            .iter()
+            .all(|d| d.view().len() == expect && d.view_epoch() == daemons[0].view_epoch())
+        {
+            return;
+        }
+        for d in daemons {
+            d.tick();
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    panic!(
+        "views failed to settle at {expect}: {:?}",
+        daemons.iter().map(|d| d.view().len()).collect::<Vec<_>>()
+    );
+}
+
+fn read_connection_file(path: &PathBuf) -> Vec<Address> {
+    std::fs::read_to_string(path)
+        .map(|s| s.lines().filter_map(|l| l.trim().parse().ok()).collect())
+        .unwrap_or_default()
+}
+
+fn append_connection_file(path: &PathBuf, addr: Address) {
+    use std::io::Write;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(f, "{addr}");
+    }
+}
+
+fn remove_connection_entry(path: &PathBuf, addr: Address) {
+    if let Ok(s) = std::fs::read_to_string(path) {
+        let kept: Vec<&str> = s
+            .lines()
+            .filter(|l| l.trim() != addr.to_string())
+            .collect();
+        let _ = std::fs::write(path, kept.join("\n") + "\n");
+    }
+}

@@ -1,0 +1,52 @@
+//! Colza error type.
+
+use std::fmt;
+
+/// Failures surfaced by the Colza client, admin, and provider layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColzaError {
+    /// An RPC-level failure (transport, timeout, missing handler).
+    Rpc(String),
+    /// The two-phase-commit on `activate` kept failing (view churn).
+    ActivateConflict {
+        /// Attempts performed before giving up.
+        attempts: usize,
+    },
+    /// No pipeline with this name exists on the target server.
+    NoSuchPipeline(String),
+    /// No backend factory registered under this `lib:name`.
+    NoSuchLibrary(String),
+    /// A pipeline rejected an operation.
+    Pipeline(String),
+    /// The staging area has no members.
+    EmptyGroup,
+    /// Encoding or decoding of staged data failed.
+    Codec(String),
+}
+
+impl fmt::Display for ColzaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColzaError::Rpc(m) => write!(f, "rpc failure: {m}"),
+            ColzaError::ActivateConflict { attempts } => {
+                write!(f, "activate 2PC failed after {attempts} attempts")
+            }
+            ColzaError::NoSuchPipeline(n) => write!(f, "no pipeline named {n:?}"),
+            ColzaError::NoSuchLibrary(n) => write!(f, "no backend library {n:?} registered"),
+            ColzaError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            ColzaError::EmptyGroup => write!(f, "staging area is empty"),
+            ColzaError::Codec(m) => write!(f, "codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ColzaError {}
+
+impl From<margo::RpcError> for ColzaError {
+    fn from(e: margo::RpcError) -> Self {
+        ColzaError::Rpc(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, ColzaError>;

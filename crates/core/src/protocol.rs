@@ -1,0 +1,84 @@
+//! RPC argument and reply types shared between client, admin and provider.
+
+use serde::{Deserialize, Serialize};
+
+use na::{Address, BulkHandle};
+
+/// Metadata accompanying a staged block (field name, dimensions, type —
+/// what the paper's `stage` RPC carries besides the memory handle).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Name of the dataset/field (for diagnostics and policies).
+    pub name: String,
+    /// Block identifier; drives the default server-selection policy.
+    pub block_id: u64,
+    /// Iteration this block belongs to.
+    pub iteration: u64,
+    /// Serialized payload size in bytes.
+    pub size: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct PrepareActivateArgs {
+    pub pipeline: String,
+    pub iteration: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct PrepareActivateReply {
+    pub epoch: u64,
+    pub view: Vec<Address>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CommitActivateArgs {
+    pub pipeline: String,
+    pub iteration: u64,
+    /// The frozen member list all parties agreed on; rank order.
+    pub members: Vec<Address>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct AbortActivateArgs {
+    pub pipeline: String,
+    pub iteration: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct StageArgs {
+    pub pipeline: String,
+    pub meta: BlockMeta,
+    pub bulk: BulkHandle,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ExecuteArgs {
+    pub pipeline: String,
+    pub iteration: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct DeactivateArgs {
+    pub pipeline: String,
+    pub iteration: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CreatePipelineArgs {
+    /// Backend library name (stand-in for the shared-library path).
+    pub library: String,
+    /// Pipeline instance name.
+    pub name: String,
+    /// JSON configuration string passed to the factory.
+    pub config: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct DestroyPipelineArgs {
+    pub name: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct FetchResultArgs {
+    pub pipeline: String,
+}

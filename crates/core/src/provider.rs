@@ -1,0 +1,256 @@
+//! The Colza provider: server-side RPC handlers and pipeline management.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use catalyst::{MonaVtkComm, MpiVtkComm};
+use margo::{HandlerPool, MargoInstance};
+use mona::MonaInstance;
+use na::Address;
+use ssg::SsgGroup;
+use vizkit::Controller;
+
+use crate::backend::{self, Backend, BackendCtx, StagedBlock};
+use crate::protocol::*;
+
+/// Which communication layer pipelines execute over.
+pub enum ProviderComm {
+    /// Elastic: a fresh MoNA communicator per iteration, built from the
+    /// frozen member list.
+    Mona,
+    /// The `Colza+MPI` baseline: a static MPI communicator fixed at
+    /// launch. No elasticity — exactly the paper's comparison mode.
+    MpiStatic(Mutex<Option<minimpi::MpiComm>>),
+}
+
+struct PipelineEntry {
+    backend: Arc<dyn Backend>,
+}
+
+/// Per-server provider state, registered on a margo instance.
+pub struct ColzaProvider {
+    margo: Arc<MargoInstance>,
+    mona: Arc<MonaInstance>,
+    group: Arc<SsgGroup>,
+    comm: ProviderComm,
+    pipelines: RwLock<HashMap<String, PipelineEntry>>,
+    /// Member lists frozen by `commit_activate`, per (pipeline, iteration).
+    frozen: Mutex<HashMap<(String, u64), Vec<Address>>>,
+    /// Set by the admin `leave` RPC; the daemon loop acts on it.
+    pub(crate) leave_requested: AtomicBool,
+}
+
+impl ColzaProvider {
+    /// Creates the provider and registers all RPC handlers.
+    pub fn register(
+        margo: Arc<MargoInstance>,
+        mona: Arc<MonaInstance>,
+        group: Arc<SsgGroup>,
+        comm: ProviderComm,
+    ) -> Arc<Self> {
+        let provider = Arc::new(Self {
+            margo: Arc::clone(&margo),
+            mona,
+            group,
+            comm,
+            pipelines: RwLock::new(HashMap::new()),
+            frozen: Mutex::new(HashMap::new()),
+            leave_requested: AtomicBool::new(false),
+        });
+
+        // --- control-plane handlers -------------------------------------
+        {
+            let p = Arc::clone(&provider);
+            margo.register("colza.get_view", move |_: (), _ctx| Ok(p.group.view()));
+        }
+        {
+            let p = Arc::clone(&provider);
+            margo.register(
+                "colza.prepare_activate",
+                move |args: PrepareActivateArgs, _ctx| {
+                    p.pipeline(&args.pipeline)?;
+                    // Voting freezes membership until deactivate/abort.
+                    p.group.freeze();
+                    Ok(PrepareActivateReply {
+                        epoch: p.group.view_epoch(),
+                        view: p.group.view(),
+                    })
+                },
+            );
+        }
+        {
+            let p = Arc::clone(&provider);
+            margo.register(
+                "colza.commit_activate",
+                move |args: CommitActivateArgs, _ctx| {
+                    let entry = p.pipeline(&args.pipeline)?;
+                    entry.activate(args.iteration)?;
+                    p.frozen
+                        .lock()
+                        .insert((args.pipeline, args.iteration), args.members);
+                    Ok(())
+                },
+            );
+        }
+        {
+            let p = Arc::clone(&provider);
+            margo.register(
+                "colza.abort_activate",
+                move |_args: AbortActivateArgs, _ctx| {
+                    p.group.unfreeze();
+                    Ok(())
+                },
+            );
+        }
+        {
+            let p = Arc::clone(&provider);
+            margo.register("colza.stage", move |args: StageArgs, ctx| {
+                let entry = p.pipeline(&args.pipeline)?;
+                // Pull the payload from the simulation's memory.
+                let data = ctx
+                    .endpoint
+                    .rdma_get(args.bulk, 0, args.meta.size)
+                    .map_err(|e| e.to_string())?;
+                entry.stage(StagedBlock {
+                    meta: args.meta,
+                    data,
+                })
+            });
+        }
+        {
+            let p = Arc::clone(&provider);
+            margo.register_in_pool("colza.execute", HandlerPool::Heavy, move |args: ExecuteArgs, _ctx| {
+                let entry = p.pipeline(&args.pipeline)?;
+                let members = p
+                    .frozen
+                    .lock()
+                    .get(&(args.pipeline.clone(), args.iteration))
+                    .cloned()
+                    .ok_or_else(|| "execute before activate".to_string())?;
+                let ctrl = p.controller(&members, args.iteration)?;
+                entry.execute(args.iteration, &ctrl)
+            });
+        }
+        {
+            let p = Arc::clone(&provider);
+            margo.register("colza.deactivate", move |args: DeactivateArgs, _ctx| {
+                let entry = p.pipeline(&args.pipeline)?;
+                entry.deactivate(args.iteration)?;
+                p.frozen
+                    .lock()
+                    .remove(&(args.pipeline.clone(), args.iteration));
+                // Processes may join/leave again until the next iteration.
+                p.group.unfreeze();
+                Ok(())
+            });
+        }
+        {
+            let p = Arc::clone(&provider);
+            margo.register("colza.fetch_result", move |args: FetchResultArgs, _ctx| {
+                Ok(p.pipeline(&args.pipeline)?.take_result())
+            });
+        }
+
+        // --- admin handlers (a separate library in the paper) ------------
+        {
+            let p = Arc::clone(&provider);
+            margo.register(
+                "colza.admin.create_pipeline",
+                move |args: CreatePipelineArgs, _ctx| {
+                    let ctx = BackendCtx {
+                        self_addr: p.margo.address(),
+                        config: args.config,
+                    };
+                    let backend =
+                        backend::instantiate(&args.library, &ctx).map_err(|e| e.to_string())?;
+                    p.pipelines
+                        .write()
+                        .insert(args.name, PipelineEntry { backend });
+                    Ok(())
+                },
+            );
+        }
+        {
+            let p = Arc::clone(&provider);
+            margo.register(
+                "colza.admin.destroy_pipeline",
+                move |args: DestroyPipelineArgs, _ctx| {
+                    match p.pipelines.write().remove(&args.name) {
+                        Some(_) => Ok(()),
+                        None => Err(format!("no pipeline named {:?}", args.name)),
+                    }
+                },
+            );
+        }
+        {
+            let p = Arc::clone(&provider);
+            margo.register("colza.admin.leave", move |_: (), _ctx| {
+                p.leave_requested.store(true, Ordering::Release);
+                Ok(())
+            });
+        }
+        {
+            let p = Arc::clone(&provider);
+            margo.register("colza.admin.list_pipelines", move |_: (), _ctx| {
+                let mut names: Vec<String> = p.pipelines.read().keys().cloned().collect();
+                names.sort();
+                Ok(names)
+            });
+        }
+
+        provider
+    }
+
+    /// Installs the static MPI world (Colza+MPI baseline deployments).
+    pub fn set_static_world(&self, comm: minimpi::MpiComm) {
+        match &self.comm {
+            ProviderComm::MpiStatic(slot) => *slot.lock() = Some(comm),
+            ProviderComm::Mona => panic!("set_static_world on a MoNA-mode provider"),
+        }
+    }
+
+    /// Whether an admin asked this server to leave.
+    pub fn leave_requested(&self) -> bool {
+        self.leave_requested.load(Ordering::Acquire)
+    }
+
+    /// The membership group.
+    pub fn group(&self) -> &Arc<SsgGroup> {
+        &self.group
+    }
+
+    fn pipeline(&self, name: &str) -> std::result::Result<Arc<dyn Backend>, String> {
+        self.pipelines
+            .read()
+            .get(name)
+            .map(|e| Arc::clone(&e.backend))
+            .ok_or_else(|| format!("no pipeline named {name:?}"))
+    }
+
+    /// Builds the iteration's controller from the frozen member list.
+    fn controller(
+        &self,
+        members: &[Address],
+        iteration: u64,
+    ) -> std::result::Result<Controller, String> {
+        match &self.comm {
+            ProviderComm::Mona => {
+                let comm = self
+                    .mona
+                    .comm_create_with_context(members.to_vec(), iteration)
+                    .map_err(|e| e.to_string())?;
+                Ok(Controller::new(MonaVtkComm::new(comm)))
+            }
+            ProviderComm::MpiStatic(slot) => {
+                let comm = slot
+                    .lock()
+                    .clone()
+                    .ok_or("static MPI world not initialized")?;
+                Ok(Controller::new(MpiVtkComm::new(comm)))
+            }
+        }
+    }
+}

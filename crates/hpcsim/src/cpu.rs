@@ -1,0 +1,80 @@
+//! Per-thread CPU time measurement.
+//!
+//! On the single-core hosts this reproduction targets, wall-clock time is a
+//! meaningless measure of a simulated process's compute phase: dozens of
+//! simulated ranks share the core and preempt each other. We therefore
+//! charge virtual clocks with `CLOCK_THREAD_CPUTIME_ID`, which only ticks
+//! while *this* thread is scheduled.
+
+/// Returns this thread's consumed CPU time in nanoseconds.
+///
+/// This is the only use of `libc` in the workspace (see DESIGN.md §3).
+pub fn thread_cpu_ns() -> u64 {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` is a valid, writable timespec and the clock id is a
+    // compile-time constant supported on all Linux targets.
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// A stopwatch over this thread's CPU time.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuTimer {
+    start: u64,
+}
+
+impl CpuTimer {
+    /// Starts a new stopwatch at the current thread CPU time.
+    pub fn start() -> Self {
+        Self {
+            start: thread_cpu_ns(),
+        }
+    }
+
+    /// CPU nanoseconds consumed by this thread since [`CpuTimer::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        thread_cpu_ns().saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_time_is_monotonic() {
+        let a = thread_cpu_ns();
+        // Burn a little CPU so the clock must advance.
+        let mut x = 0u64;
+        for i in 0..200_000u64 {
+            x = x.wrapping_add(i).rotate_left(7);
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn timer_measures_work() {
+        let t = CpuTimer::start();
+        let mut x = 1u64;
+        for i in 1..500_000u64 {
+            x = x.wrapping_mul(i) ^ i;
+        }
+        std::hint::black_box(x);
+        assert!(t.elapsed_ns() > 0);
+    }
+
+    #[test]
+    fn sleeping_does_not_charge_cpu_time() {
+        let t = CpuTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // Sleeping threads are descheduled; allow generous slack for the
+        // syscall overhead itself.
+        assert!(t.elapsed_ns() < 20_000_000, "sleep charged CPU time");
+    }
+}

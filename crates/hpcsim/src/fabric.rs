@@ -1,0 +1,241 @@
+//! The fabric delay model.
+//!
+//! A LogGP-flavoured model: every transfer between two simulated processes
+//! pays `latency + bytes * ns_per_byte` on the link connecting their nodes,
+//! plus a per-message CPU overhead charged to both endpoints. Intra-node
+//! transfers use the shared-memory link; inter-node transfers use the
+//! network link. RDMA transfers pay a one-time setup cost (registration /
+//! handshake at the initiator) but stream at full link bandwidth with no
+//! per-fragment CPU involvement, which is what makes the eager→RDMA switch
+//! profitable for large messages.
+//!
+//! The presets in [`presets`] are calibrated against the paper's own
+//! microbenchmarks on Cori (Tables I and II); see EXPERIMENTS.md for the
+//! calibration notes.
+
+use crate::cluster::NodeId;
+
+/// Transfer class, selecting which cost components apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Xfer {
+    /// Eagerly copied message (header + payload through the messaging path).
+    Eager,
+    /// One-sided RDMA get/put on registered memory.
+    Rdma,
+    /// Small control message (RPC header, ack, rendezvous handshake).
+    Control,
+}
+
+/// Cost parameters of one link type.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkModel {
+    /// One-way latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Transfer cost per byte, in picoseconds (1 GB/s == 1000 ps/byte).
+    pub ps_per_byte: u64,
+}
+
+impl LinkModel {
+    /// Serialized transfer time for `bytes` over this link.
+    pub fn transfer_ns(&self, bytes: usize) -> u64 {
+        self.latency_ns + (bytes as u64 * self.ps_per_byte) / 1000
+    }
+
+    /// Convenience constructor from gigabytes-per-second bandwidth.
+    pub fn from_gbps(latency_ns: u64, gb_per_s: f64) -> Self {
+        Self {
+            latency_ns,
+            ps_per_byte: (1000.0 / gb_per_s) as u64,
+        }
+    }
+}
+
+/// The complete fabric model for a cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricModel {
+    /// Inter-node (network) link.
+    pub net: LinkModel,
+    /// Intra-node (shared-memory) link.
+    pub shm: LinkModel,
+    /// CPU overhead charged per eager/control message at each endpoint
+    /// (matching, queueing, header processing).
+    pub per_msg_cpu_ns: u64,
+    /// One-time initiator-side cost of an RDMA operation (memory
+    /// registration lookup + doorbell).
+    pub rdma_setup_ns: u64,
+    /// Additional per-byte cost (picoseconds) of copying an eager payload
+    /// through bounce buffers; RDMA avoids it.
+    pub eager_copy_ps_per_byte: u64,
+}
+
+impl FabricModel {
+    /// Delay, in virtual ns, for a transfer of `bytes` from a process on
+    /// `src` to a process on `dst` with transfer class `class`.
+    ///
+    /// The returned value is the *wire* component: time between departure
+    /// and arrival. Endpoint CPU overheads are returned separately by
+    /// [`FabricModel::endpoint_cpu_ns`] so callers charge them to the right
+    /// clock.
+    pub fn wire_ns(&self, src: NodeId, dst: NodeId, bytes: usize, class: Xfer) -> u64 {
+        let link = if src == dst { &self.shm } else { &self.net };
+        match class {
+            Xfer::Control => link.latency_ns,
+            Xfer::Eager => {
+                link.transfer_ns(bytes) + (bytes as u64 * self.eager_copy_ps_per_byte) / 1000
+            }
+            Xfer::Rdma => self.rdma_setup_ns + link.transfer_ns(bytes),
+        }
+    }
+
+    /// CPU time charged to an endpoint for sending or receiving one message
+    /// of the given class.
+    pub fn endpoint_cpu_ns(&self, class: Xfer) -> u64 {
+        match class {
+            Xfer::Eager | Xfer::Control => self.per_msg_cpu_ns,
+            // RDMA progress is offloaded to the NIC; the endpoint only pays
+            // a completion-processing sliver.
+            Xfer::Rdma => self.per_msg_cpu_ns / 4,
+        }
+    }
+
+    /// A zero-cost fabric: every transfer is instantaneous. Used by unit
+    /// tests that only care about protocol correctness.
+    pub fn zero() -> Self {
+        Self {
+            net: LinkModel {
+                latency_ns: 0,
+                ps_per_byte: 0,
+            },
+            shm: LinkModel {
+                latency_ns: 0,
+                ps_per_byte: 0,
+            },
+            per_msg_cpu_ns: 0,
+            rdma_setup_ns: 0,
+            eager_copy_ps_per_byte: 0,
+        }
+    }
+}
+
+impl Default for FabricModel {
+    fn default() -> Self {
+        presets::aries()
+    }
+}
+
+/// Calibrated fabric presets.
+pub mod presets {
+    use super::*;
+
+    /// Cray Aries (Cori Haswell) calibration.
+    ///
+    /// Derived from the paper's Table I: 1000 small (8 B) Cray-mpich
+    /// send/recv round trips take 1.163 ms, i.e. ~580 ns one-way per
+    /// message including software overhead. Aries hardware latency is
+    /// ~400 ns; we attribute the remainder to per-message CPU overhead.
+    /// The effective large-message bandwidth implied by Table I's 512 KiB
+    /// Cray-mpich row is ~19 GB/s (bidirectional traffic over the NIC).
+    pub fn aries() -> FabricModel {
+        FabricModel {
+            net: LinkModel::from_gbps(400, 19.0),
+            shm: LinkModel::from_gbps(90, 40.0),
+            per_msg_cpu_ns: 90,
+            rdma_setup_ns: 900,
+            eager_copy_ps_per_byte: 150,
+        }
+    }
+
+    /// Job-launch cost model for the static-restart baseline of Fig. 4.
+    /// `srun` start-up on a busy Cray front end is seconds-scale and highly
+    /// variable; SWIM-based joining avoids all of it except daemon start.
+    pub fn launch() -> LaunchModel {
+        LaunchModel {
+            srun_min_ns: 2 * crate::SEC,
+            srun_max_ns: 25 * crate::SEC,
+            daemon_init_ns: 1_200 * crate::MS,
+            bootstrap_per_proc_ns: 18 * crate::MS,
+        }
+    }
+}
+
+/// Cost model for launching staging daemons through the resource manager.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchModel {
+    /// Minimum `srun`/launcher overhead.
+    pub srun_min_ns: u64,
+    /// Maximum `srun`/launcher overhead (uniformly sampled).
+    pub srun_max_ns: u64,
+    /// Fixed per-daemon initialization (binary load, transports up).
+    pub daemon_init_ns: u64,
+    /// Per-process cost of the PMI-style bootstrap exchange when starting a
+    /// whole group from scratch.
+    pub bootstrap_per_proc_ns: u64,
+}
+
+impl LaunchModel {
+    /// Samples a launcher overhead using the provided RNG draw in `[0,1)`.
+    pub fn sample_srun_ns(&self, unit: f64) -> u64 {
+        let span = self.srun_max_ns.saturating_sub(self.srun_min_ns);
+        self.srun_min_ns + (span as f64 * unit) as u64
+    }
+
+    /// Cost of cold-starting a staging area of `n` processes.
+    pub fn cold_start_ns(&self, n: usize, unit: f64) -> u64 {
+        self.sample_srun_ns(unit) + self.daemon_init_ns + self.bootstrap_per_proc_ns * n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fabric_costs_nothing() {
+        let f = FabricModel::zero();
+        assert_eq!(f.wire_ns(0, 1, 1 << 20, Xfer::Eager), 0);
+        assert_eq!(f.endpoint_cpu_ns(Xfer::Eager), 0);
+    }
+
+    #[test]
+    fn intra_node_is_cheaper_than_inter_node() {
+        let f = presets::aries();
+        let local = f.wire_ns(3, 3, 4096, Xfer::Eager);
+        let remote = f.wire_ns(3, 4, 4096, Xfer::Eager);
+        assert!(local < remote, "shm {local} !< net {remote}");
+    }
+
+    #[test]
+    fn rdma_beats_eager_for_large_messages() {
+        let f = presets::aries();
+        let big = 512 * 1024;
+        assert!(f.wire_ns(0, 1, big, Xfer::Rdma) < f.wire_ns(0, 1, big, Xfer::Eager));
+        // ... but not for tiny ones, because of the setup cost.
+        assert!(f.wire_ns(0, 1, 8, Xfer::Rdma) > f.wire_ns(0, 1, 8, Xfer::Eager));
+    }
+
+    #[test]
+    fn bandwidth_term_scales_linearly() {
+        let l = LinkModel::from_gbps(0, 1.0); // 1 GB/s == 1 ns/byte
+        assert_eq!(l.transfer_ns(1000), 1000);
+        assert_eq!(l.transfer_ns(2000), 2000);
+    }
+
+    #[test]
+    fn launch_model_grows_with_group_size() {
+        let l = presets::launch();
+        assert!(l.cold_start_ns(16, 0.5) > l.cold_start_ns(1, 0.5));
+        assert!(l.sample_srun_ns(0.0) <= l.sample_srun_ns(0.999));
+    }
+
+    #[test]
+    fn small_message_calibration_matches_paper_order() {
+        // One eager 8-byte hop plus two endpoint overheads should land near
+        // the ~580 ns per-message figure implied by Table I's first row.
+        let f = presets::aries();
+        let per_msg = f.wire_ns(0, 1, 8, Xfer::Eager) + 2 * f.endpoint_cpu_ns(Xfer::Eager);
+        assert!(
+            (400..900).contains(&per_msg),
+            "calibration drifted: {per_msg} ns"
+        );
+    }
+}

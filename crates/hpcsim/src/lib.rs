@@ -1,0 +1,44 @@
+//! # hpcsim — a virtual-time HPC platform simulator
+//!
+//! The Colza paper runs on NERSC's Cori (a Cray XC40 with an Aries dragonfly
+//! interconnect). This crate is the reproduction's stand-in for that
+//! platform: a *virtual-time* distributed-system simulator in the tradition
+//! of SimGrid and LogGOPSim.
+//!
+//! Every simulated process is an OS thread carrying its own **virtual
+//! clock** (in nanoseconds). Real computation runs for real and charges the
+//! clock with measured per-thread CPU time; communication advances clocks
+//! according to a LogGP-style [`fabric::FabricModel`] with distinct
+//! intra-node (shared-memory) and inter-node (network) parameters.
+//! Timestamps piggyback on messages: a receiver's clock becomes
+//! `max(local, departure + delay)`, so parallel schedules — who waits for
+//! whom — are resolved faithfully even on a single-core host.
+//!
+//! The crate deliberately knows nothing about message *contents* or
+//! protocols; those live in the `na` crate. Here we provide:
+//!
+//! * [`cluster::Cluster`] — nodes and simulated processes,
+//! * [`process`] — the per-thread process context (identity, clock, RNG),
+//! * [`clock`] — virtual clocks and compute charging,
+//! * [`cpu`] — per-thread CPU time measurement,
+//! * [`fabric`] — the link-delay model and calibrated presets,
+//! * [`stats`] — small summary-statistics helpers used by the harnesses.
+
+pub mod clock;
+pub mod cluster;
+pub mod cpu;
+pub mod fabric;
+pub mod process;
+pub mod stats;
+
+pub use clock::VClock;
+pub use cluster::{Cluster, ClusterConfig, NodeId};
+pub use fabric::{FabricModel, LinkModel, Xfer};
+pub use process::{current, with_current, Pid, ProcessCtx};
+
+/// One second in virtual nanoseconds.
+pub const SEC: u64 = 1_000_000_000;
+/// One millisecond in virtual nanoseconds.
+pub const MS: u64 = 1_000_000;
+/// One microsecond in virtual nanoseconds.
+pub const US: u64 = 1_000;

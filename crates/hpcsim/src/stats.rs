@@ -1,0 +1,125 @@
+//! Small summary-statistics helpers used by the experiment harnesses.
+
+/// Summary statistics over a sample of `u64` measurements (virtual ns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Median (lower median for even sizes).
+    pub median: u64,
+}
+
+impl Summary {
+    /// Computes summary statistics; returns `None` for an empty sample.
+    pub fn of(samples: &[u64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Some(Self {
+            n,
+            min,
+            max,
+            mean,
+            stddev: var.sqrt(),
+            median: sorted[(n - 1) / 2],
+        })
+    }
+}
+
+/// Formats virtual nanoseconds as a human-friendly string.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Formats a byte count as a human-friendly string (KiB/MiB/GiB).
+pub fn fmt_bytes(b: u64) -> String {
+    const KIB: u64 = 1024;
+    const MIB: u64 = KIB * 1024;
+    const GIB: u64 = MIB * 1024;
+    if b >= GIB {
+        format!("{:.2} GiB", b as f64 / GIB as f64)
+    } else if b >= MIB {
+        format!("{:.2} MiB", b as f64 / MIB as f64)
+    } else if b >= KIB {
+        format!("{:.2} KiB", b as f64 / KIB as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_has_no_summary() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[5, 5, 5, 5]).unwrap();
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 5);
+    }
+
+    #[test]
+    fn summary_basic_values() {
+        let s = Summary::of(&[1, 2, 3, 4, 10]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.median, 3);
+        assert!(s.stddev > 3.0 && s.stddev < 3.5);
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 us");
+        assert_eq!(fmt_ns(2_000_000), "2.000 ms");
+        assert_eq!(fmt_ns(3_500_000_000), "3.500 s");
+    }
+
+    #[test]
+    fn byte_formatting_picks_units() {
+        assert_eq!(fmt_bytes(100), "100 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(8 * 1024 * 1024), "8.00 MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.00 GiB");
+    }
+}

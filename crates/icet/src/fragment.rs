@@ -1,0 +1,167 @@
+//! Image fragments: contiguous pixel bands exchanged by binary swap.
+
+use vizkit::Image;
+
+/// A contiguous band of pixels `[start, start + len)` of a full image,
+/// carrying RGBA and depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fragment {
+    /// First pixel (row-major index into the full image).
+    pub start: usize,
+    /// RGBA bytes (4 per pixel).
+    pub rgba: Vec<u8>,
+    /// Depth values.
+    pub depth: Vec<f32>,
+}
+
+impl Fragment {
+    /// The whole image as one fragment.
+    pub fn whole(img: &Image) -> Fragment {
+        Fragment {
+            start: 0,
+            rgba: img.rgba.clone(),
+            depth: img.depth.clone(),
+        }
+    }
+
+    /// Number of pixels.
+    pub fn len(&self) -> usize {
+        self.depth.len()
+    }
+
+    /// Whether the fragment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.depth.is_empty()
+    }
+
+    /// Splits into `(low, high)` halves (low gets the extra pixel).
+    pub fn split(&self) -> (Fragment, Fragment) {
+        let half = self.len().div_ceil(2);
+        let low = Fragment {
+            start: self.start,
+            rgba: self.rgba[..half * 4].to_vec(),
+            depth: self.depth[..half].to_vec(),
+        };
+        let high = Fragment {
+            start: self.start + half,
+            rgba: self.rgba[half * 4..].to_vec(),
+            depth: self.depth[half..].to_vec(),
+        };
+        (low, high)
+    }
+
+    /// Z-buffer composites another fragment covering the same band.
+    pub fn composite_closest(&mut self, other: &Fragment) {
+        assert_eq!(self.start, other.start, "fragment bands must align");
+        assert_eq!(self.len(), other.len(), "fragment bands must align");
+        for i in 0..self.depth.len() {
+            if other.depth[i] < self.depth[i] {
+                self.depth[i] = other.depth[i];
+                self.rgba[i * 4..i * 4 + 4].copy_from_slice(&other.rgba[i * 4..i * 4 + 4]);
+            }
+        }
+    }
+
+    /// Copies this band into a full image.
+    pub fn blit_into(&self, img: &mut Image) {
+        let end = self.start + self.len();
+        assert!(end <= img.depth.len(), "fragment exceeds image");
+        img.rgba[self.start * 4..end * 4].copy_from_slice(&self.rgba);
+        img.depth[self.start..end].copy_from_slice(&self.depth);
+    }
+
+    /// Serializes to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.rgba.len() + self.depth.len() * 4);
+        out.extend_from_slice(&(self.start as u64).to_le_bytes());
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.rgba);
+        for d in &self.depth {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from [`Fragment::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Fragment {
+        let start = u64::from_le_bytes(bytes[0..8].try_into().unwrap()) as usize;
+        let n = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let rgba = bytes[16..16 + n * 4].to_vec();
+        let depth = bytes[16 + n * 4..16 + n * 8]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Fragment { start, rgba, depth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Fragment {
+        let mut img = Image::new(3, 2);
+        for i in 0..6 {
+            img.set_if_closer(i % 3, i / 3, i as f32 / 10.0, [i as u8, 0, 0, 255]);
+        }
+        Fragment::whole(&img)
+    }
+
+    #[test]
+    fn split_partitions_pixels() {
+        let f = sample();
+        let (lo, hi) = f.split();
+        assert_eq!(lo.len(), 3);
+        assert_eq!(hi.len(), 3);
+        assert_eq!(lo.start, 0);
+        assert_eq!(hi.start, 3);
+        assert_eq!(lo.len() + hi.len(), f.len());
+    }
+
+    #[test]
+    fn odd_split_gives_low_the_extra() {
+        let mut img = Image::new(5, 1);
+        img.set_if_closer(0, 0, 0.5, [1, 2, 3, 4]);
+        let (lo, hi) = Fragment::whole(&img).split();
+        assert_eq!(lo.len(), 3);
+        assert_eq!(hi.len(), 2);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let f = sample();
+        assert_eq!(Fragment::from_bytes(&f.to_bytes()), f);
+    }
+
+    #[test]
+    fn blit_reassembles() {
+        let f = sample();
+        let (lo, hi) = f.split();
+        let mut out = Image::new(3, 2);
+        hi.blit_into(&mut out);
+        lo.blit_into(&mut out);
+        assert_eq!(Fragment::whole(&out), f);
+    }
+
+    #[test]
+    fn closest_composite_matches_image_semantics() {
+        let mut a = sample();
+        let mut closer = sample();
+        for d in closer.depth.iter_mut() {
+            *d -= 0.05;
+        }
+        for c in closer.rgba.iter_mut() {
+            *c = c.saturating_add(100);
+        }
+        a.composite_closest(&closer);
+        assert_eq!(a.rgba, closer.rgba);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_composite_panics() {
+        let f = sample();
+        let (mut lo, hi) = f.split();
+        lo.composite_closest(&hi);
+    }
+}

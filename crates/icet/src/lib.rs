@@ -1,0 +1,479 @@
+//! # icet — sort-last parallel image compositing
+//!
+//! A reproduction of the IceT library's role in the paper: each rank
+//! renders its local data into a full-size image, and the ranks composite
+//! those images into one. IceT abstracts its transport behind an
+//! `IceTCommunicator` struct of function pointers; here that is the
+//! [`IceTComm`] trait, and — exactly as in the paper — the only concrete
+//! implementations live elsewhere (the `catalyst` crate provides MPI- and
+//! MoNA-backed ones via the converter factory registry).
+//!
+//! Strategies:
+//! * [`Strategy::Tree`] — binomial reduction to the root (z-buffer only),
+//! * [`Strategy::BinarySwap`] — the classic log-round halving exchange
+//!   (z-buffer only; handles non-power-of-two by folding),
+//! * [`Strategy::Direct`] — everyone sends to the root, which composites
+//!   sequentially; the only strategy valid for *ordered alpha blending*,
+//!   where a visibility order must be respected (volume rendering).
+//!
+//! The compositing operators themselves ([`CompositeOp`]) delegate to
+//! `vizkit::Image`'s z-buffer and premultiplied-OVER primitives.
+
+use vizkit::Image;
+
+mod fragment;
+
+pub use fragment::Fragment;
+
+/// The transport abstraction (IceT's `IceTCommunicator`).
+pub trait IceTComm: Send + Sync {
+    /// This rank.
+    fn rank(&self) -> usize;
+    /// Number of ranks.
+    fn size(&self) -> usize;
+    /// Tagged send to a rank.
+    fn send(&self, data: &[u8], dst: usize, tag: u16) -> Result<(), String>;
+    /// Tagged receive from a rank.
+    fn recv(&self, src: usize, tag: u16) -> Result<Vec<u8>, String>;
+}
+
+/// Pixel-combination rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompositeOp {
+    /// Keep the fragment closest to the camera (opaque geometry).
+    Closest,
+    /// Ordered premultiplied-alpha OVER (volume rendering).
+    Blend,
+}
+
+/// Compositing communication pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Binomial reduction to the root.
+    Tree,
+    /// Binary swap with non-power-of-two folding.
+    BinarySwap,
+    /// All-to-root sequential compositing.
+    Direct,
+}
+
+/// Composites every rank's `local` image; the root returns the result.
+///
+/// For [`CompositeOp::Blend`], `order` must give the visibility order of
+/// ranks front-to-back and the strategy must be [`Strategy::Direct`].
+pub fn composite(
+    comm: &dyn IceTComm,
+    local: Image,
+    op: CompositeOp,
+    strategy: Strategy,
+    order: Option<&[usize]>,
+    root: usize,
+) -> Result<Option<Image>, String> {
+    if comm.size() == 1 {
+        return Ok(Some(local));
+    }
+    match (strategy, op) {
+        (Strategy::Direct, _) => direct(comm, local, op, order, root),
+        (Strategy::Tree, CompositeOp::Closest) => tree(comm, local, root),
+        (Strategy::BinarySwap, CompositeOp::Closest) => binary_swap(comm, local, root),
+        (s, CompositeOp::Blend) => Err(format!(
+            "{s:?} cannot honor a visibility order; use Strategy::Direct for blending"
+        )),
+    }
+}
+
+const TAG_TREE: u16 = 40;
+const TAG_DIRECT: u16 = 41;
+const TAG_FOLD: u16 = 42;
+const TAG_GATHER: u16 = 44;
+// Binary-swap rounds use TAG_SWAP_BASE + round.
+const TAG_SWAP_BASE: u16 = 50;
+
+fn direct(
+    comm: &dyn IceTComm,
+    local: Image,
+    op: CompositeOp,
+    order: Option<&[usize]>,
+    root: usize,
+) -> Result<Option<Image>, String> {
+    let me = comm.rank();
+    let n = comm.size();
+    if me != root {
+        comm.send(&local.to_bytes(), root, TAG_DIRECT)?;
+        return Ok(None);
+    }
+    let mut images: Vec<Option<Image>> = (0..n).map(|_| None).collect();
+    images[me] = Some(local);
+    for r in 0..n {
+        if r != root {
+            images[r] = Some(Image::from_bytes(&comm.recv(r, TAG_DIRECT)?));
+        }
+    }
+    let default_order: Vec<usize> = (0..n).collect();
+    let order = order.unwrap_or(&default_order);
+    if order.len() != n {
+        return Err(format!("order has {} entries for {n} ranks", order.len()));
+    }
+    // Composite front-to-back: acc = acc OVER next (acc stays in front).
+    let mut acc = images[order[0]].take().expect("image present");
+    for &r in &order[1..] {
+        let img = images[r].take().expect("image present");
+        match op {
+            CompositeOp::Blend => acc.composite_over(&img),
+            CompositeOp::Closest => acc.composite_closest(&img),
+        }
+    }
+    Ok(Some(acc))
+}
+
+fn tree(comm: &dyn IceTComm, local: Image, root: usize) -> Result<Option<Image>, String> {
+    let n = comm.size();
+    let me = comm.rank();
+    let relative = (me + n - root) % n;
+    let mut acc = local;
+    let mut mask = 1usize;
+    while mask < n {
+        if relative & mask == 0 {
+            let child_rel = relative | mask;
+            if child_rel < n {
+                let src = (child_rel + root) % n;
+                let img = Image::from_bytes(&comm.recv(src, TAG_TREE)?);
+                acc.composite_closest(&img);
+            }
+        } else {
+            let parent = ((relative & !mask) + root) % n;
+            comm.send(&acc.to_bytes(), parent, TAG_TREE)?;
+            return Ok(None);
+        }
+        mask <<= 1;
+    }
+    Ok(Some(acc))
+}
+
+fn binary_swap(comm: &dyn IceTComm, local: Image, root: usize) -> Result<Option<Image>, String> {
+    let n = comm.size();
+    let me = comm.rank();
+    let (width, height) = (local.width, local.height);
+    let total_px = width * height;
+    let p2 = if n.is_power_of_two() {
+        n
+    } else {
+        n.next_power_of_two() / 2
+    };
+
+    // Fold ranks beyond the largest power of two into their partners.
+    let mut frag = Fragment::whole(&local);
+    if me >= p2 {
+        comm.send(&frag.to_bytes(), me - p2, TAG_FOLD)?;
+        // Folded ranks still participate in delivery of nothing.
+        return Ok(None);
+    }
+    if me + p2 < n {
+        let other = Fragment::from_bytes(&comm.recv(me + p2, TAG_FOLD)?);
+        frag.composite_closest(&other);
+    }
+
+    // log2(p2) halving rounds.
+    let mut bit = 1usize;
+    let mut round: u16 = 0;
+    while bit < p2 {
+        let partner = me ^ bit;
+        let (keep_low, send_part, keep_part) = {
+            let (low, high) = frag.split();
+            if me & bit == 0 {
+                (true, high, low)
+            } else {
+                (false, low, high)
+            }
+        };
+        let _ = keep_low;
+        // Deterministic exchange order: large sends are synchronous, so a
+        // send/send crossing would deadlock. The lower rank sends first.
+        let their = if me < partner {
+            comm.send(&send_part.to_bytes(), partner, TAG_SWAP_BASE + round)?;
+            Fragment::from_bytes(&comm.recv(partner, TAG_SWAP_BASE + round)?)
+        } else {
+            let got = Fragment::from_bytes(&comm.recv(partner, TAG_SWAP_BASE + round)?);
+            comm.send(&send_part.to_bytes(), partner, TAG_SWAP_BASE + round)?;
+            got
+        };
+        frag = keep_part;
+        frag.composite_closest(&their);
+        bit <<= 1;
+        round += 1;
+    }
+
+    // Gather the distributed slices at the root.
+    if me == root % p2 && me == root {
+        let mut out = Image::new(width, height);
+        frag.blit_into(&mut out);
+        for r in 0..p2 {
+            if r != me {
+                let piece = Fragment::from_bytes(&comm.recv(r, TAG_GATHER)?);
+                piece.blit_into(&mut out);
+            }
+        }
+        debug_assert_eq!(out.depth.len(), total_px);
+        Ok(Some(out))
+    } else {
+        // Root outside the fold group cannot happen: root < p2 is required.
+        let dst = if root < p2 { root } else { root - p2 };
+        comm.send(&frag.to_bytes(), dst, TAG_GATHER)?;
+        if me != root && root >= p2 && me == root - p2 {
+            // Forwarding case: the folded root receives nothing here; the
+            // assembled image lives at its partner. Keep semantics simple:
+            // roots must be < p2.
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    use crossbeam::channel::{unbounded, Receiver, Sender};
+    use parking_lot_stub::Mutex;
+
+    /// Tiny in-memory comm for unit tests (threads + channels).
+    mod parking_lot_stub {
+        pub use std::sync::Mutex;
+    }
+
+    struct ChanComm {
+        rank: usize,
+        size: usize,
+        txs: Vec<Sender<(usize, u16, Vec<u8>)>>,
+        rx: Receiver<(usize, u16, Vec<u8>)>,
+        stash: Mutex<Vec<(usize, u16, Vec<u8>)>>,
+    }
+
+    impl IceTComm for ChanComm {
+        fn rank(&self) -> usize {
+            self.rank
+        }
+        fn size(&self) -> usize {
+            self.size
+        }
+        fn send(&self, data: &[u8], dst: usize, tag: u16) -> Result<(), String> {
+            self.txs[dst]
+                .send((self.rank, tag, data.to_vec()))
+                .map_err(|e| e.to_string())
+        }
+        fn recv(&self, src: usize, tag: u16) -> Result<Vec<u8>, String> {
+            let mut stash = self.stash.lock().unwrap();
+            if let Some(pos) = stash.iter().position(|(s, t, _)| *s == src && *t == tag) {
+                return Ok(stash.remove(pos).2);
+            }
+            loop {
+                let msg = self.rx.recv().map_err(|e| e.to_string())?;
+                if msg.0 == src && msg.1 == tag {
+                    return Ok(msg.2);
+                }
+                stash.push(msg);
+            }
+        }
+    }
+
+    fn run_composite(
+        n: usize,
+        op: CompositeOp,
+        strategy: Strategy,
+        order: Option<Vec<usize>>,
+        make_image: impl Fn(usize) -> Image + Send + Sync + 'static,
+    ) -> Image {
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let make_image = Arc::new(make_image);
+        let mut handles = Vec::new();
+        let mut results = HashMap::new();
+        for (rank, rx) in rxs.into_iter().enumerate() {
+            let comm = ChanComm {
+                rank,
+                size: n,
+                txs: txs.clone(),
+                rx,
+                stash: Mutex::new(Vec::new()),
+            };
+            let make_image = Arc::clone(&make_image);
+            let order = order.clone();
+            handles.push(std::thread::spawn(move || {
+                let img = make_image(rank);
+                (
+                    rank,
+                    composite(&comm, img, op, strategy, order.as_deref(), 0).unwrap(),
+                )
+            }));
+        }
+        for h in handles {
+            let (rank, out) = h.join().unwrap();
+            results.insert(rank, out);
+        }
+        for (rank, out) in &results {
+            if *rank != 0 {
+                assert!(out.is_none(), "non-root {rank} returned an image");
+            }
+        }
+        results.remove(&0).unwrap().expect("root image")
+    }
+
+    /// Each rank draws an opaque column at x == rank with depth rank/10.
+    fn column_image(n: usize, w: usize, h: usize) -> impl Fn(usize) -> Image + Send + Sync {
+        move |rank| {
+            let _ = n;
+            let mut img = Image::new(w, h);
+            for y in 0..h {
+                img.set_if_closer(rank, y, 0.1 + rank as f32 / 10.0, [rank as u8 + 1, 0, 0, 255]);
+            }
+            img
+        }
+    }
+
+    /// Every rank draws the SAME pixel at a different depth; closest wins.
+    fn overlapping_image() -> impl Fn(usize) -> Image + Send + Sync {
+        |rank| {
+            let mut img = Image::new(4, 4);
+            img.set_if_closer(1, 1, 0.9 - rank as f32 / 10.0, [rank as u8, 7, 7, 255]);
+            img
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_disjoint_columns() {
+        for n in [2, 3, 4, 5, 8] {
+            let direct = run_composite(n, CompositeOp::Closest, Strategy::Direct, None, column_image(n, 8, 4));
+            let tree = run_composite(n, CompositeOp::Closest, Strategy::Tree, None, column_image(n, 8, 4));
+            let swap = run_composite(n, CompositeOp::Closest, Strategy::BinarySwap, None, column_image(n, 8, 4));
+            assert_eq!(direct, tree, "tree n={n}");
+            assert_eq!(direct, swap, "swap n={n}");
+            // And the content is right: column x holds rank x's color.
+            for r in 0..n {
+                assert_eq!(direct.rgba[direct.idx(r, 0) * 4], r as u8 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn closest_rank_wins_overlap() {
+        for strategy in [Strategy::Direct, Strategy::Tree, Strategy::BinarySwap] {
+            let out = run_composite(5, CompositeOp::Closest, strategy, None, overlapping_image());
+            // Rank 4 has the smallest depth (0.5).
+            assert_eq!(out.rgba[out.idx(1, 1) * 4], 4, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn blend_respects_visibility_order() {
+        // Rank 0 in front (half-transparent red), rank 1 behind (opaque
+        // green). Front-to-back order [0, 1].
+        let make = |rank: usize| {
+            let mut img = Image::new(1, 1);
+            if rank == 0 {
+                img.rgba = vec![128, 0, 0, 128];
+                img.depth = vec![0.2];
+            } else {
+                img.rgba = vec![0, 255, 0, 255];
+                img.depth = vec![0.8];
+            }
+            img
+        };
+        let out = run_composite(2, CompositeOp::Blend, Strategy::Direct, Some(vec![0, 1]), make);
+        assert_eq!(out.rgba[0], 128);
+        assert!((out.rgba[1] as i32 - 127).abs() <= 2);
+        // Reversed order: green is opaque and fully hides red.
+        let out = run_composite(2, CompositeOp::Blend, Strategy::Direct, Some(vec![1, 0]), make);
+        assert_eq!(out.rgba[1], 255);
+        assert_eq!(out.rgba[0], 0);
+    }
+
+    #[test]
+    fn blend_refuses_unordered_strategies() {
+        let comm_err = {
+            // A 1-rank comm short-circuits, so check the validation path
+            // directly.
+            composite_strategy_check()
+        };
+        assert!(comm_err.contains("Direct"));
+    }
+
+    fn composite_strategy_check() -> String {
+        struct NoComm;
+        impl IceTComm for NoComm {
+            fn rank(&self) -> usize {
+                0
+            }
+            fn size(&self) -> usize {
+                2
+            }
+            fn send(&self, _: &[u8], _: usize, _: u16) -> Result<(), String> {
+                unreachable!()
+            }
+            fn recv(&self, _: usize, _: u16) -> Result<Vec<u8>, String> {
+                unreachable!()
+            }
+        }
+        composite(
+            &NoComm,
+            Image::new(1, 1),
+            CompositeOp::Blend,
+            Strategy::BinarySwap,
+            None,
+            0,
+        )
+        .unwrap_err()
+    }
+
+    #[test]
+    fn single_rank_short_circuits() {
+        struct Solo;
+        impl IceTComm for Solo {
+            fn rank(&self) -> usize {
+                0
+            }
+            fn size(&self) -> usize {
+                1
+            }
+            fn send(&self, _: &[u8], _: usize, _: u16) -> Result<(), String> {
+                unreachable!()
+            }
+            fn recv(&self, _: usize, _: u16) -> Result<Vec<u8>, String> {
+                unreachable!()
+            }
+        }
+        let mut img = Image::new(2, 2);
+        img.set_if_closer(0, 0, 0.1, [9, 9, 9, 255]);
+        let out = composite(&Solo, img.clone(), CompositeOp::Closest, Strategy::BinarySwap, None, 0)
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn larger_images_survive_binary_swap() {
+        let out = run_composite(4, CompositeOp::Closest, Strategy::BinarySwap, None, |rank| {
+            let mut img = Image::new(33, 17); // odd sizes stress splitting
+            for y in 0..17 {
+                for x in 0..33 {
+                    if (x + y) % 4 == rank {
+                        img.set_if_closer(x, y, 0.3, [rank as u8 + 1, 0, 0, 255]);
+                    }
+                }
+            }
+            img
+        });
+        // Every pixel is covered by exactly one rank.
+        for y in 0..17 {
+            for x in 0..33 {
+                let expect = ((x + y) % 4 + 1) as u8;
+                assert_eq!(out.rgba[out.idx(x, y) * 4], expect, "({x},{y})");
+            }
+        }
+    }
+}

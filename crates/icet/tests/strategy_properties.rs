@@ -1,0 +1,120 @@
+//! Property tests: all z-buffer compositing strategies must agree
+//! pixel-for-pixel on arbitrary per-rank images, for arbitrary group
+//! sizes — the invariant that makes strategy choice a pure performance
+//! ablation.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use icet::{composite, CompositeOp, IceTComm, Strategy as IcetStrategy};
+use proptest::prelude::*;
+use vizkit::Image;
+
+struct ChanComm {
+    rank: usize,
+    size: usize,
+    txs: Vec<Sender<(usize, u16, Vec<u8>)>>,
+    rx: Receiver<(usize, u16, Vec<u8>)>,
+    stash: Mutex<Vec<(usize, u16, Vec<u8>)>>,
+}
+
+impl IceTComm for ChanComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+    fn size(&self) -> usize {
+        self.size
+    }
+    fn send(&self, data: &[u8], dst: usize, tag: u16) -> Result<(), String> {
+        self.txs[dst]
+            .send((self.rank, tag, data.to_vec()))
+            .map_err(|e| e.to_string())
+    }
+    fn recv(&self, src: usize, tag: u16) -> Result<Vec<u8>, String> {
+        let mut stash = self.stash.lock().unwrap();
+        if let Some(pos) = stash.iter().position(|(s, t, _)| *s == src && *t == tag) {
+            return Ok(stash.remove(pos).2);
+        }
+        loop {
+            let msg = self.rx.recv().map_err(|e| e.to_string())?;
+            if msg.0 == src && msg.1 == tag {
+                return Ok(msg.2);
+            }
+            stash.push(msg);
+        }
+    }
+}
+
+fn run(n: usize, strategy: IcetStrategy, images: Vec<Image>) -> Image {
+    let mut txs = Vec::new();
+    let mut rxs = Vec::new();
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let mut handles = Vec::new();
+    let mut results = HashMap::new();
+    for (rank, (rx, img)) in rxs.into_iter().zip(images).enumerate() {
+        let comm = ChanComm {
+            rank,
+            size: n,
+            txs: txs.clone(),
+            rx,
+            stash: Mutex::new(Vec::new()),
+        };
+        handles.push(std::thread::spawn(move || {
+            (
+                rank,
+                composite(&comm, img, CompositeOp::Closest, strategy, None, 0).unwrap(),
+            )
+        }));
+    }
+    for h in handles {
+        let (rank, out) = h.join().unwrap();
+        results.insert(rank, out);
+    }
+    results.remove(&0).unwrap().expect("root image")
+}
+
+/// Sequential oracle: fold with the closest-depth operator.
+fn oracle(images: &[Image]) -> Image {
+    let mut acc = images[0].clone();
+    for img in &images[1..] {
+        acc.composite_closest(img);
+    }
+    acc
+}
+
+fn arb_image(w: usize, h: usize) -> impl Strategy<Value = Image> {
+    proptest::collection::vec((0u8..=255, 0.0f32..1.5), w * h).prop_map(move |px| {
+        let mut img = Image::new(w, h);
+        for (i, (color, depth)) in px.into_iter().enumerate() {
+            if depth < 1.0 {
+                img.depth[i] = depth;
+                img.rgba[i * 4] = color;
+                img.rgba[i * 4 + 3] = 255;
+            }
+        }
+        img
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn strategies_match_sequential_oracle(
+        n in 2usize..7,
+        seed_images in proptest::collection::vec(arb_image(9, 5), 7),
+    ) {
+        let images: Vec<Image> = seed_images.into_iter().take(n).collect();
+        prop_assume!(images.len() == n);
+        let expect = oracle(&images);
+        for strategy in [IcetStrategy::Direct, IcetStrategy::Tree, IcetStrategy::BinarySwap] {
+            let got = run(n, strategy, images.clone());
+            prop_assert_eq!(&got, &expect, "strategy {:?}", strategy);
+        }
+    }
+}

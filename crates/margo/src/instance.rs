@@ -1,0 +1,544 @@
+//! The margo instance: progress loop, handler registry, forward path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use na::{Address, Endpoint, Fabric, NaError, RecvSelector};
+
+use crate::protocol::{Envelope, Reply, RpcError};
+use crate::Result;
+
+/// Which pool a handler executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerPool {
+    /// The default pool: control-plane RPCs (activate, membership, admin).
+    Control,
+    /// The heavy pool: long-running work (pipeline execution).
+    Heavy,
+}
+
+/// Context passed to every handler invocation.
+pub struct CallCtx {
+    /// Address of the calling process.
+    pub caller: Address,
+    /// The local endpoint, for RDMA pulls from inside handlers (this is
+    /// how `stage` fetches staged data from the simulation's memory).
+    pub endpoint: Arc<Endpoint>,
+}
+
+type RawHandler = Arc<dyn Fn(&[u8], &CallCtx) -> std::result::Result<Vec<u8>, String> + Send + Sync>;
+
+/// Software overhead charged per RPC at each side (Mercury header
+/// processing, callback dispatch). Calibrated so an empty RPC costs a few
+/// microseconds round trip, as on Cori.
+const RPC_SW_NS: u64 = 700;
+
+/// A margo instance: one per simulated process participating in RPC.
+pub struct MargoInstance {
+    endpoint: Arc<Endpoint>,
+    handlers: RwLock<HashMap<String, (RawHandler, HandlerPool)>>,
+    control_pool: argo::Pool,
+    heavy_pool: argo::Pool,
+    next_resp: AtomicU64,
+    running: AtomicBool,
+    default_timeout: RwLock<Option<Duration>>,
+}
+
+impl MargoInstance {
+    /// Initializes margo for the calling simulated process, opening a
+    /// fresh endpoint and starting the progress loop.
+    pub fn init(fabric: &Fabric) -> Arc<Self> {
+        Self::from_endpoint(Arc::new(fabric.open()))
+    }
+
+    /// Initializes margo over an existing endpoint (shared with MoNA in
+    /// Colza daemons) and starts the progress loop.
+    pub fn from_endpoint(endpoint: Arc<Endpoint>) -> Arc<Self> {
+        let ctx = Arc::clone(endpoint.ctx());
+        let wrapper: argo::TaskWrapper = {
+            let ctx = Arc::clone(&ctx);
+            Arc::new(move |task| hpcsim::process::enter(Arc::clone(&ctx), task))
+        };
+        let inst = Arc::new(Self {
+            endpoint,
+            handlers: RwLock::new(HashMap::new()),
+            control_pool: argo::PoolBuilder::new("margo-ctl")
+                .xstreams(2)
+                .task_wrapper(Arc::clone(&wrapper))
+                .build(),
+            heavy_pool: argo::PoolBuilder::new("margo-heavy")
+                .xstreams(2)
+                .task_wrapper(wrapper)
+                .build(),
+            next_resp: AtomicU64::new(1),
+            running: AtomicBool::new(true),
+            default_timeout: RwLock::new(Some(Duration::from_secs(30))),
+        });
+        let progress = Arc::clone(&inst);
+        std::thread::Builder::new()
+            .name(format!("margo-progress-{}", inst.address()))
+            .spawn(move || hpcsim::process::enter(Arc::clone(progress.endpoint.ctx()), || progress.progress_loop()))
+            .expect("spawn margo progress loop");
+        inst
+    }
+
+    /// This instance's address.
+    pub fn address(&self) -> Address {
+        self.endpoint.address()
+    }
+
+    /// The shared endpoint.
+    pub fn endpoint(&self) -> &Arc<Endpoint> {
+        &self.endpoint
+    }
+
+    /// Sets the default liveness timeout applied to `forward` calls.
+    pub fn set_default_timeout(&self, t: Option<Duration>) {
+        *self.default_timeout.write() = t;
+    }
+
+    /// Registers a typed RPC handler on the control pool.
+    pub fn register<A, R, F>(&self, name: &str, f: F)
+    where
+        A: DeserializeOwned,
+        R: Serialize,
+        F: Fn(A, &CallCtx) -> std::result::Result<R, String> + Send + Sync + 'static,
+    {
+        self.register_in_pool(name, HandlerPool::Control, f)
+    }
+
+    /// Registers a typed RPC handler on a chosen pool.
+    pub fn register_in_pool<A, R, F>(&self, name: &str, pool: HandlerPool, f: F)
+    where
+        A: DeserializeOwned,
+        R: Serialize,
+        F: Fn(A, &CallCtx) -> std::result::Result<R, String> + Send + Sync + 'static,
+    {
+        let raw: RawHandler = Arc::new(move |bytes, ctx| {
+            let args: A = wire::from_slice(bytes).map_err(|e| format!("bad args: {e}"))?;
+            let out = f(args, ctx)?;
+            wire::to_vec(&out).map_err(|e| format!("bad response: {e}"))
+        });
+        self.handlers.write().insert(name.to_string(), (raw, pool));
+    }
+
+    /// Removes a handler (used when pipelines are destroyed).
+    pub fn deregister(&self, name: &str) -> bool {
+        self.handlers.write().remove(name).is_some()
+    }
+
+    /// Calls RPC `name` at `dst` with `args`, blocking for the typed
+    /// response. Applies the instance's default liveness timeout.
+    pub fn forward<A: Serialize, R: DeserializeOwned>(
+        &self,
+        dst: Address,
+        name: &str,
+        args: &A,
+    ) -> Result<R> {
+        self.forward_timeout(dst, name, args, *self.default_timeout.read())
+    }
+
+    /// `forward` with an explicit liveness timeout.
+    pub fn forward_timeout<A: Serialize, R: DeserializeOwned>(
+        &self,
+        dst: Address,
+        name: &str,
+        args: &A,
+        timeout: Option<Duration>,
+    ) -> Result<R> {
+        let resp_tag = na::tags::RPC_RESP_BASE + self.next_resp.fetch_add(1, Ordering::Relaxed);
+        let env = Envelope {
+            name: name.to_string(),
+            resp_tag,
+            body: wire::to_vec(args)?,
+        };
+        self.endpoint.ctx().advance(RPC_SW_NS);
+        let payload = Bytes::from(wire::to_vec(&env)?);
+        self.endpoint
+            .send(dst, na::tags::RPC_BASE, payload)
+            .map_err(|e| match e {
+                NaError::Unreachable(a) => RpcError::Unreachable(a),
+                _ => RpcError::Shutdown,
+            })?;
+        let msg = self
+            .endpoint
+            .recv_timeout(RecvSelector::tag(resp_tag), timeout)
+            .map_err(|e| match e {
+                NaError::Timeout => RpcError::Timeout,
+                _ => RpcError::Shutdown,
+            })?;
+        self.endpoint.ctx().advance(RPC_SW_NS);
+        match wire::from_slice::<Reply>(&msg.data)? {
+            Reply::Ok(body) => Ok(wire::from_slice(&body)?),
+            Reply::Err(m) => {
+                if let Some(name) = m.strip_prefix("__no_such_rpc__:") {
+                    Err(RpcError::NoSuchRpc(name.to_string()))
+                } else {
+                    Err(RpcError::Handler(m))
+                }
+            }
+        }
+    }
+
+    /// Stops the progress loop and closes the endpoint. Idempotent.
+    pub fn finalize(&self) {
+        if self.running.swap(false, Ordering::AcqRel) {
+            self.endpoint.close();
+        }
+    }
+
+    /// Whether `finalize` has been called.
+    pub fn finalized(&self) -> bool {
+        !self.running.load(Ordering::Acquire)
+    }
+
+    fn progress_loop(self: &Arc<Self>) {
+        loop {
+            let msg = match self.endpoint.recv(RecvSelector::tag(na::tags::RPC_BASE)) {
+                Ok(m) => m,
+                Err(_) => return, // endpoint closed: instance finalized
+            };
+            let env: Envelope = match wire::from_slice(&msg.data) {
+                Ok(e) => e,
+                Err(_) => continue, // corrupt request: drop, as Mercury does
+            };
+            let caller = msg.src;
+            let entry = self.handlers.read().get(&env.name).cloned();
+            let pool_choice = entry.as_ref().map(|(_, p)| *p);
+            let this = Arc::clone(self);
+            let run = move || {
+                this.endpoint.ctx().advance(RPC_SW_NS);
+                let reply = match &entry {
+                    Some((handler, _)) => {
+                        let ctx = CallCtx {
+                            caller,
+                            endpoint: Arc::clone(&this.endpoint),
+                        };
+                        match handler(&env.body, &ctx) {
+                            Ok(body) => Reply::Ok(body),
+                            Err(m) => Reply::Err(m),
+                        }
+                    }
+                    None => Reply::Err(format!("__no_such_rpc__:{}", env.name)),
+                };
+                let bytes = wire::to_vec(&reply).expect("reply encodes");
+                // Best-effort: the caller may have died while we worked.
+                let _ = this
+                    .endpoint
+                    .send(caller, env.resp_tag, Bytes::from(bytes));
+            };
+            match pool_choice {
+                Some(HandlerPool::Heavy) => self.heavy_pool.post(run),
+                _ => self.control_pool.post(run),
+            }
+        }
+    }
+}
+
+impl Drop for MargoInstance {
+    fn drop(&mut self) {
+        self.finalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcsim::Cluster;
+
+    fn setup() -> (Cluster, Fabric) {
+        let c = Cluster::default();
+        let f = Fabric::new(Arc::clone(c.shared()));
+        (c, f)
+    }
+
+    #[test]
+    fn typed_rpc_roundtrip() {
+        let (c, f) = setup();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let f2 = f.clone();
+        let server = c.spawn("server", 0, move || {
+            let margo = MargoInstance::init(&f2);
+            margo.register("sum", |args: Vec<i64>, _ctx| Ok(args.iter().sum::<i64>()));
+            tx.send(margo.address()).unwrap();
+            // Serve until the client closes us via the "stop" RPC.
+            let stop = argo::Eventual::<()>::new();
+            let s2 = stop.clone();
+            margo.register("stop", move |_: (), _ctx| {
+                s2.set(());
+                Ok(0u8)
+            });
+            stop.wait();
+            margo.finalize();
+        });
+        let addr = rx.recv().unwrap();
+        c.spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f);
+            let sum: i64 = margo.forward(addr, "sum", &vec![1i64, 2, 3]).unwrap();
+            assert_eq!(sum, 6);
+            let _: u8 = margo.forward(addr, "stop", &()).unwrap();
+        })
+        .join();
+        server.join();
+    }
+
+    #[test]
+    fn unknown_rpc_is_reported() {
+        let (c, f) = setup();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let f2 = f.clone();
+        let server = c.spawn("server", 0, move || {
+            let margo = MargoInstance::init(&f2);
+            let stop = argo::Eventual::<()>::new();
+            let s2 = stop.clone();
+            margo.register("stop", move |_: (), _| {
+                s2.set(());
+                Ok(())
+            });
+            tx.send(margo.address()).unwrap();
+            stop.wait();
+            margo.finalize();
+        });
+        let addr = rx.recv().unwrap();
+        c.spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f);
+            let r: Result<u8> = margo.forward(addr, "nope", &());
+            assert!(matches!(r, Err(RpcError::NoSuchRpc(n)) if n == "nope"));
+            let _: () = margo.forward(addr, "stop", &()).unwrap();
+        })
+        .join();
+        server.join();
+    }
+
+    #[test]
+    fn handler_errors_propagate() {
+        let (c, f) = setup();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let f2 = f.clone();
+        let server = c.spawn("server", 0, move || {
+            let margo = MargoInstance::init(&f2);
+            margo.register("fail", |_: (), _| Err::<u8, _>("boom".to_string()));
+            let stop = argo::Eventual::<()>::new();
+            let s2 = stop.clone();
+            margo.register("stop", move |_: (), _| {
+                s2.set(());
+                Ok(())
+            });
+            tx.send(margo.address()).unwrap();
+            stop.wait();
+            margo.finalize();
+        });
+        let addr = rx.recv().unwrap();
+        c.spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f);
+            let r: Result<u8> = margo.forward(addr, "fail", &());
+            assert_eq!(r, Err(RpcError::Handler("boom".to_string())));
+            let _: () = margo.forward(addr, "stop", &()).unwrap();
+        })
+        .join();
+        server.join();
+    }
+
+    #[test]
+    fn forward_to_dead_server_times_out_or_unreachable() {
+        let (c, f) = setup();
+        let f2 = f.clone();
+        let dead = c.spawn("dead", 0, move || {
+            let margo = MargoInstance::init(&f2);
+            let addr = margo.address();
+            margo.finalize();
+            addr
+        });
+        let addr = dead.join();
+        c.spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f);
+            let r: Result<u8> =
+                margo.forward_timeout(addr, "x", &(), Some(Duration::from_millis(50)));
+            assert!(matches!(r, Err(RpcError::Unreachable(_)) | Err(RpcError::Timeout)));
+        })
+        .join();
+    }
+
+    #[test]
+    fn concurrent_rpcs_from_many_clients() {
+        let (c, f) = setup();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let f2 = f.clone();
+        let server = c.spawn("server", 0, move || {
+            let margo = MargoInstance::init(&f2);
+            margo.register("double", |x: u64, _| Ok(x * 2));
+            let stop = argo::Eventual::<()>::new();
+            let s2 = stop.clone();
+            let remaining = Arc::new(AtomicU64::new(4));
+            margo.register("done", move |_: (), _| {
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    s2.set(());
+                }
+                Ok(())
+            });
+            tx.send(margo.address()).unwrap();
+            stop.wait();
+            margo.finalize();
+        });
+        let addr = rx.recv().unwrap();
+        let clients: Vec<_> = (0..4u64)
+            .map(|i| {
+                let f = f.clone();
+                c.spawn(&format!("cl{i}"), 1, move || {
+                    let margo = MargoInstance::init(&f);
+                    for k in 0..20u64 {
+                        let out: u64 = margo.forward(addr, "double", &(i * 100 + k)).unwrap();
+                        assert_eq!(out, (i * 100 + k) * 2);
+                    }
+                    let _: () = margo.forward(addr, "done", &()).unwrap();
+                })
+            })
+            .collect();
+        for cl in clients {
+            cl.join();
+        }
+        server.join();
+    }
+
+    #[test]
+    fn rpc_advances_virtual_time_round_trip() {
+        let c = Cluster::new(hpcsim::ClusterConfig::aries());
+        let f = Fabric::new(Arc::clone(c.shared()));
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let f2 = f.clone();
+        let server = c.spawn("server", 0, move || {
+            let margo = MargoInstance::init(&f2);
+            let stop = argo::Eventual::<()>::new();
+            let s2 = stop.clone();
+            margo.register("stop", move |_: (), _| {
+                s2.set(());
+                Ok(())
+            });
+            margo.register("noop", |_: (), _| Ok(()));
+            tx.send(margo.address()).unwrap();
+            stop.wait();
+            margo.finalize();
+        });
+        let addr = rx.recv().unwrap();
+        c.spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f);
+            let before = hpcsim::current().now();
+            let _: () = margo.forward(addr, "noop", &()).unwrap();
+            let rtt = hpcsim::current().now() - before;
+            // Two control hops plus software overheads: microsecond scale.
+            assert!(rtt > 1_000, "rtt {rtt} ns too small");
+            assert!(rtt < 1_000_000, "rtt {rtt} ns too large");
+            let _: () = margo.forward(addr, "stop", &()).unwrap();
+        })
+        .join();
+        server.join();
+    }
+
+    #[test]
+    fn deregistered_rpcs_stop_resolving() {
+        let (c, f) = setup();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let f2 = f.clone();
+        let server = c.spawn("server", 0, move || {
+            let margo = MargoInstance::init(&f2);
+            margo.register("temp", |_: (), _| Ok(1u8));
+            let stop = argo::Eventual::<()>::new();
+            let s2 = stop.clone();
+            margo.register("drop_temp", move |_: (), _ctx| Ok(()));
+            let m2 = Arc::downgrade(&margo);
+            margo.register("do_drop", move |_: (), _| {
+                if let Some(m) = m2.upgrade() {
+                    Ok(m.deregister("temp"))
+                } else {
+                    Err("gone".to_string())
+                }
+            });
+            margo.register("stop", move |_: (), _| {
+                s2.set(());
+                Ok(())
+            });
+            tx.send(margo.address()).unwrap();
+            stop.wait();
+            margo.finalize();
+        });
+        let addr = rx.recv().unwrap();
+        c.spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f);
+            let v: u8 = margo.forward(addr, "temp", &()).unwrap();
+            assert_eq!(v, 1);
+            let dropped: bool = margo.forward(addr, "do_drop", &()).unwrap();
+            assert!(dropped);
+            let r: Result<u8> = margo.forward(addr, "temp", &());
+            assert!(matches!(r, Err(RpcError::NoSuchRpc(_))));
+            let _: () = margo.forward(addr, "stop", &()).unwrap();
+        })
+        .join();
+        server.join();
+    }
+
+    #[test]
+    fn heavy_pool_does_not_starve_control_rpcs() {
+        // A long-running heavy handler (pipeline execution) must not block
+        // control-plane RPCs - the multi-pool property Colza relies on.
+        let (c, f) = setup();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let f2 = f.clone();
+        let server = c.spawn("server", 0, move || {
+            let margo = MargoInstance::init(&f2);
+            let gate: argo::Eventual<()> = argo::Eventual::new();
+            let g2 = gate.clone();
+            margo.register_in_pool("slow", HandlerPool::Heavy, move |_: (), _| {
+                g2.wait_cloned();
+                Ok(())
+            });
+            let g3 = gate.clone();
+            margo.register("unblock", move |_: (), _| {
+                if !g3.is_ready() {
+                    g3.set(());
+                }
+                Ok(())
+            });
+            margo.register("ping", |_: (), _| Ok(0xAAu8));
+            let stop = argo::Eventual::<()>::new();
+            let s2 = stop.clone();
+            margo.register("stop", move |_: (), _| {
+                s2.set(());
+                Ok(())
+            });
+            tx.send(margo.address()).unwrap();
+            stop.wait();
+            margo.finalize();
+        });
+        let addr = rx.recv().unwrap();
+        c.spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f);
+            // Occupy both heavy streams.
+            let m1 = Arc::clone(&margo);
+            let ctx = hpcsim::process::current();
+            let ctx2 = Arc::clone(&ctx);
+            let t1 = std::thread::spawn(move || {
+                hpcsim::process::enter(ctx2, move || {
+                    let _: () = m1.forward(addr, "slow", &()).unwrap();
+                })
+            });
+            // Control RPCs keep flowing while "slow" blocks.
+            for _ in 0..5 {
+                let v: u8 = margo.forward(addr, "ping", &()).unwrap();
+                assert_eq!(v, 0xAA);
+            }
+            let _: () = margo.forward(addr, "unblock", &()).unwrap();
+            t1.join().unwrap();
+            let _: () = margo.forward(addr, "stop", &()).unwrap();
+        })
+        .join();
+        server.join();
+    }
+
+}

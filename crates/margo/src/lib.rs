@@ -1,0 +1,29 @@
+//! # margo — the RPC runtime binding messaging and tasking
+//!
+//! Mercury provides RPC on top of NA; Margo binds Mercury to Argobots so
+//! the network progress loop runs in a user-level thread and handlers run
+//! in pools. This crate reproduces that composition:
+//!
+//! * a **progress loop** (one thread with the owner's simulated-process
+//!   context) receives requests and dispatches them,
+//! * handlers are registered by name and execute on [`argo::Pool`]s —
+//!   either the default control pool or a dedicated heavy pool (Colza
+//!   routes `execute` there so long pipeline runs never starve control
+//!   RPCs, matching Margo's multi-pool deployments),
+//! * [`MargoInstance::forward`] is the client side: typed request out,
+//!   typed response back, with an optional real-time liveness timeout used
+//!   to detect dead servers,
+//! * argument/response encoding uses the [`wire`] codec.
+//!
+//! RPC failures carry a [`RpcError`]; handler panics are not caught (a
+//! handler panic is a bug in the service, as in the C original where it
+//! would abort the daemon).
+
+mod instance;
+mod protocol;
+
+pub use instance::{CallCtx, HandlerPool, MargoInstance};
+pub use protocol::RpcError;
+
+/// Result alias for RPC operations.
+pub type Result<T> = std::result::Result<T, RpcError>;

@@ -1,0 +1,63 @@
+//! RPC wire protocol and error type.
+
+use serde::{Deserialize, Serialize};
+
+use na::Address;
+
+/// A request as it travels on the wire.
+#[derive(Serialize, Deserialize, Debug)]
+pub(crate) struct Envelope {
+    /// Registered handler name.
+    pub name: String,
+    /// Tag on which the caller awaits the response.
+    pub resp_tag: u64,
+    /// wire-encoded argument payload.
+    pub body: Vec<u8>,
+}
+
+/// A response as it travels on the wire.
+#[derive(Serialize, Deserialize, Debug)]
+pub(crate) enum Reply {
+    /// Handler output (wire-encoded).
+    Ok(Vec<u8>),
+    /// Handler-reported failure.
+    Err(String),
+}
+
+/// RPC failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcError {
+    /// The target address has no live endpoint.
+    Unreachable(Address),
+    /// The response did not arrive within the liveness timeout.
+    Timeout,
+    /// No handler registered under this name at the target.
+    NoSuchRpc(String),
+    /// The handler returned an application error.
+    Handler(String),
+    /// Argument or response (de)serialization failed.
+    Codec(String),
+    /// The local endpoint shut down mid-call.
+    Shutdown,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Unreachable(a) => write!(f, "target {a} unreachable"),
+            RpcError::Timeout => write!(f, "RPC timed out"),
+            RpcError::NoSuchRpc(n) => write!(f, "no RPC registered as {n:?}"),
+            RpcError::Handler(m) => write!(f, "handler error: {m}"),
+            RpcError::Codec(m) => write!(f, "codec error: {m}"),
+            RpcError::Shutdown => write!(f, "local margo instance shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<wire::Error> for RpcError {
+    fn from(e: wire::Error) -> Self {
+        RpcError::Codec(e.to_string())
+    }
+}

@@ -1,0 +1,209 @@
+//! Collective algorithms.
+//!
+//! The Vendor profile keeps MPICH-style binomial trees at every size. The
+//! Open profile switches `reduce` to a *linear* algorithm once payloads
+//! reach its rendezvous threshold — the structural fallback that, combined
+//! with the per-rendezvous synchronization penalty, reproduces Table II's
+//! OpenMPI collapse.
+
+use bytes::Bytes;
+
+use crate::comm::MpiComm;
+use crate::{ReduceOp, Result};
+
+mod opcode {
+    pub const BARRIER: u16 = 1;
+    pub const BCAST: u16 = 2;
+    pub const REDUCE: u16 = 3;
+    pub const GATHER: u16 = 4;
+    pub const ALLGATHER: u16 = 5;
+    pub const SCATTER: u16 = 6;
+}
+
+impl MpiComm {
+    /// Dissemination barrier.
+    pub fn barrier(&self) -> Result<()> {
+        let n = self.size();
+        if n <= 1 {
+            return Ok(());
+        }
+        let seq = self.next_seq();
+        let me = self.rank();
+        let mut step = 1usize;
+        let mut round: u16 = 0;
+        while step < n {
+            let tag = self.coll_tag(seq, opcode::BARRIER + (round << 4));
+            self.raw_send((me + step) % n, tag, &[])?;
+            self.raw_recv(Some((me + n - step) % n), tag)?;
+            step <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial-tree broadcast.
+    pub fn bcast(&self, data: Option<&[u8]>, root: usize) -> Result<Bytes> {
+        let n = self.size();
+        let me = self.rank();
+        let seq = self.next_seq();
+        let tag = self.coll_tag(seq, opcode::BCAST);
+        let relative = (me + n - root) % n;
+        let mut buf: Option<Bytes> = data.map(Bytes::copy_from_slice);
+        if me == root {
+            assert!(buf.is_some(), "root must supply the broadcast payload");
+        }
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask != 0 {
+                let src = (relative - mask + root) % n;
+                buf = Some(self.raw_recv(Some(src), tag)?.0);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        let payload = buf.expect("payload present");
+        while mask > 0 {
+            if relative + mask < n {
+                self.raw_send((relative + mask + root) % n, tag, &payload)?;
+            }
+            mask >>= 1;
+        }
+        Ok(payload)
+    }
+
+    /// Reduce with a commutative operator; result only at the root.
+    ///
+    /// Algorithm selection follows the profile: binomial tree normally, or
+    /// linear (root sequentially receives from every rank) once the Open
+    /// profile's payloads reach rendezvous size.
+    pub fn reduce(&self, data: &[u8], op: &dyn ReduceOp, root: usize) -> Result<Option<Vec<u8>>> {
+        let linear = self
+            .params()
+            .linear_reduce_threshold
+            .is_some_and(|t| data.len() >= t);
+        if linear {
+            self.reduce_linear(data, op, root)
+        } else {
+            self.reduce_binomial(data, op, root)
+        }
+    }
+
+    fn reduce_binomial(
+        &self,
+        data: &[u8],
+        op: &dyn ReduceOp,
+        root: usize,
+    ) -> Result<Option<Vec<u8>>> {
+        let n = self.size();
+        let me = self.rank();
+        let seq = self.next_seq();
+        let tag = self.coll_tag(seq, opcode::REDUCE);
+        let relative = (me + n - root) % n;
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask == 0 {
+                let child_rel = relative | mask;
+                if child_rel < n {
+                    let (got, _) = self.raw_recv(Some((child_rel + root) % n), tag)?;
+                    op.apply(&mut acc, &got);
+                }
+            } else {
+                self.raw_send((relative & !mask).wrapping_add(root) % n, tag, &acc)?;
+                return Ok(None);
+            }
+            mask <<= 1;
+        }
+        Ok(Some(acc))
+    }
+
+    fn reduce_linear(&self, data: &[u8], op: &dyn ReduceOp, root: usize) -> Result<Option<Vec<u8>>> {
+        let n = self.size();
+        let me = self.rank();
+        let seq = self.next_seq();
+        let tag = self.coll_tag(seq, opcode::REDUCE);
+        if me == root {
+            let mut acc = data.to_vec();
+            // Sequential receipt: every child's rendezvous handshake is
+            // serialized through the root — the structural cost driver.
+            for _ in 0..n - 1 {
+                let (got, _) = self.raw_recv(None, tag)?;
+                op.apply(&mut acc, &got);
+            }
+            Ok(Some(acc))
+        } else {
+            self.raw_send(root, tag, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Reduce-then-broadcast allreduce.
+    pub fn allreduce(&self, data: &[u8], op: &dyn ReduceOp) -> Result<Vec<u8>> {
+        let reduced = self.reduce(data, op, 0)?;
+        Ok(self.bcast(reduced.as_deref(), 0)?.to_vec())
+    }
+
+    /// Linear gather (gatherv semantics); parts in rank order at the root.
+    pub fn gather(&self, data: &[u8], root: usize) -> Result<Option<Vec<Bytes>>> {
+        let n = self.size();
+        let me = self.rank();
+        let seq = self.next_seq();
+        let tag = self.coll_tag(seq, opcode::GATHER);
+        if me == root {
+            let mut parts: Vec<Option<Bytes>> = vec![None; n];
+            parts[me] = Some(Bytes::copy_from_slice(data));
+            for _ in 0..n - 1 {
+                let (got, src) = self.raw_recv(None, tag)?;
+                parts[src] = Some(got);
+            }
+            Ok(Some(parts.into_iter().map(|p| p.expect("all sent")).collect()))
+        } else {
+            self.raw_send(root, tag, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Ring allgather.
+    pub fn allgather(&self, data: &[u8]) -> Result<Vec<Bytes>> {
+        let n = self.size();
+        let me = self.rank();
+        let seq = self.next_seq();
+        let mut parts: Vec<Option<Bytes>> = vec![None; n];
+        parts[me] = Some(Bytes::copy_from_slice(data));
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let mut carry = parts[me].clone().expect("own part");
+        for step in 0..n.saturating_sub(1) {
+            let tag = self.coll_tag(seq, opcode::ALLGATHER + ((step as u16 & 0x3F) << 4));
+            let this = self.clone();
+            let payload = carry.to_vec();
+            let send = self.pool().spawn(move || this.raw_send(right, tag, &payload));
+            let (got, _) = self.raw_recv(Some(left), tag)?;
+            send.wait()?;
+            parts[(me + n - 1 - step) % n] = Some(got.clone());
+            carry = got;
+        }
+        Ok(parts.into_iter().map(|p| p.expect("ring complete")).collect())
+    }
+
+    /// Linear scatter from the root.
+    pub fn scatter(&self, parts: Option<&[Vec<u8>]>, root: usize) -> Result<Bytes> {
+        let n = self.size();
+        let me = self.rank();
+        let seq = self.next_seq();
+        let tag = self.coll_tag(seq, opcode::SCATTER);
+        if me == root {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), n);
+            for (dst, part) in parts.iter().enumerate() {
+                if dst != me {
+                    self.raw_send(dst, tag, part)?;
+                }
+            }
+            Ok(Bytes::copy_from_slice(&parts[me]))
+        } else {
+            Ok(self.raw_recv(Some(root), tag)?.0)
+        }
+    }
+}

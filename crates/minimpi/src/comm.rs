@@ -1,0 +1,348 @@
+//! Communicators and the point-to-point protocol layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use na::{Address, Endpoint, NaError, RecvSelector};
+
+use crate::Result;
+
+/// Which MPI implementation this world models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Cray-mpich-like: vendor-optimized, uGNI-direct.
+    Vendor,
+    /// OpenMPI-like: generic, with the documented rendezvous cliff.
+    Open,
+}
+
+/// Calibrated cost/protocol parameters of a profile.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileParams {
+    /// Software overhead charged per send/recv operation.
+    pub sw_op_ns: u64,
+    /// Largest message sent eagerly; above this the large-message protocol
+    /// kicks in.
+    pub eager_max: usize,
+    /// Large-message protocol: `true` → one-sided RDMA (vendor), `false`
+    /// → two-sided rendezvous with handshake (open).
+    pub large_uses_rdma: bool,
+    /// Progress-synchronization penalty charged per rendezvous handshake
+    /// (models mismatched polling between sender and receiver progress
+    /// engines; only meaningful when `large_uses_rdma` is false).
+    pub rndv_sync_ns: u64,
+    /// Payload size at which `reduce` abandons the tree algorithm for a
+    /// linear one (OpenMPI fallback); `None` keeps the tree at all sizes.
+    pub linear_reduce_threshold: Option<usize>,
+}
+
+impl Profile {
+    /// The calibrated parameters for this profile.
+    pub fn params(self) -> ProfileParams {
+        match self {
+            Profile::Vendor => ProfileParams {
+                sw_op_ns: 20,
+                eager_max: 8 * 1024,
+                large_uses_rdma: true,
+                rndv_sync_ns: 0,
+                linear_reduce_threshold: None,
+            },
+            Profile::Open => ProfileParams {
+                sw_op_ns: 180,
+                eager_max: 16 * 1024 - 1,
+                large_uses_rdma: false,
+                rndv_sync_ns: 27_000,
+                linear_reduce_threshold: Some(16 * 1024),
+            },
+        }
+    }
+}
+
+const SUB_BITS: u64 = 26;
+const CID_MASK: u64 = (1 << 18) - 1;
+const ACK_BIT: u64 = 1 << 16;
+const COLL_BIT: u64 = 1 << 25;
+pub(crate) const COLL_ACK_BIT: u64 = 1 << 10;
+
+const KIND_EAGER: u8 = 0;
+const KIND_RDMA: u8 = 1;
+const KIND_RTS: u8 = 2;
+
+fn comm_id(members: &[Address], context: u64) -> u64 {
+    let mut h: u64 = 0x84222325_cbf29ce4 ^ context.wrapping_mul(0x1000_0000_01b3);
+    for a in members {
+        h ^= a.0.rotate_left(17);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h & CID_MASK
+}
+
+/// An MPI communicator: fixed membership, ranks in member-list order.
+#[derive(Clone)]
+pub struct MpiComm {
+    endpoint: Arc<Endpoint>,
+    members: Arc<Vec<Address>>,
+    rank: usize,
+    cid: u64,
+    context: u64,
+    profile: Profile,
+    params: ProfileParams,
+    seq: Arc<AtomicU64>,
+    pool: Arc<argo::Pool>,
+}
+
+impl MpiComm {
+    /// Wraps an already-open endpoint into a communicator over `members`.
+    /// Used by the launcher and by services embedding MPI next to an RPC
+    /// layer. The caller's address must be in `members`.
+    pub fn from_endpoint(
+        endpoint: Arc<Endpoint>,
+        members: Vec<Address>,
+        profile: Profile,
+    ) -> Self {
+        Self::with_context(endpoint, members, profile, 0)
+    }
+
+    fn with_context(
+        endpoint: Arc<Endpoint>,
+        members: Vec<Address>,
+        profile: Profile,
+        context: u64,
+    ) -> Self {
+        let me = endpoint.address();
+        let rank = members
+            .iter()
+            .position(|&a| a == me)
+            .unwrap_or_else(|| panic!("{me} not in communicator"));
+        let ctx = Arc::clone(endpoint.ctx());
+        let pool = argo::PoolBuilder::new(format!("mpi-{me}"))
+            .xstreams(2)
+            .task_wrapper(Arc::new(move |task| {
+                hpcsim::process::enter(Arc::clone(&ctx), task)
+            }))
+            .build();
+        let cid = comm_id(&members, context);
+        Self {
+            endpoint,
+            members: Arc::new(members),
+            rank,
+            cid,
+            context,
+            profile,
+            params: profile.params(),
+            seq: Arc::new(AtomicU64::new(0)),
+            pool: Arc::new(pool),
+        }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The member list in rank order.
+    pub fn members(&self) -> &[Address] {
+        &self.members
+    }
+
+    /// The modeled MPI implementation.
+    pub fn profile(&self) -> Profile {
+        self.profile
+    }
+
+    /// The underlying endpoint (shared with RPC layers in services).
+    pub fn endpoint(&self) -> &Arc<Endpoint> {
+        &self.endpoint
+    }
+
+    pub(crate) fn params(&self) -> &ProfileParams {
+        &self.params
+    }
+
+    pub(crate) fn pool(&self) -> &argo::Pool {
+        &self.pool
+    }
+
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn p2p_tag(&self, tag: u16) -> u64 {
+        na::tags::MPI_BASE | (self.cid << SUB_BITS) | tag as u64
+    }
+
+    pub(crate) fn coll_tag(&self, seq: u64, op: u16) -> u64 {
+        debug_assert!(op < 1024);
+        na::tags::MPI_BASE | (self.cid << SUB_BITS) | COLL_BIT | ((seq & 0x3FFF) << 11) | op as u64
+    }
+
+    fn charge_op(&self) {
+        self.endpoint.ctx().advance(self.params.sw_op_ns);
+    }
+
+    /// `MPI_Comm_split`: ranks with equal `color` form a new communicator,
+    /// ordered by `key` (ties broken by old rank). This is how Damaris
+    /// carves dedicated cores out of `MPI_COMM_WORLD`.
+    pub fn split(&self, color: u64, key: u64) -> Result<MpiComm> {
+        // Allgather (color, key, rank, address) and filter.
+        let mut mine = Vec::with_capacity(32);
+        mine.extend_from_slice(&color.to_le_bytes());
+        mine.extend_from_slice(&key.to_le_bytes());
+        mine.extend_from_slice(&(self.rank as u64).to_le_bytes());
+        mine.extend_from_slice(&self.members[self.rank].0.to_le_bytes());
+        let all = self.allgather(&mine)?;
+        let mut rows: Vec<(u64, u64, u64, Address)> = all
+            .iter()
+            .map(|b| {
+                let f = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
+                (f(0), f(8), f(16), Address(f(24)))
+            })
+            .filter(|&(c, ..)| c == color)
+            .collect();
+        rows.sort_by_key(|&(_, key, old_rank, _)| (key, old_rank));
+        let members: Vec<Address> = rows.iter().map(|&(.., a)| a).collect();
+        Ok(MpiComm::with_context(
+            Arc::clone(&self.endpoint),
+            members,
+            self.profile,
+            self.context ^ color.wrapping_mul(0x9E37_79B9).wrapping_add(1),
+        ))
+    }
+
+    /// Blocking tagged send. Eager below the profile threshold; RDMA or
+    /// rendezvous above it (then it blocks until the receiver matched).
+    pub fn send(&self, data: &[u8], dst: usize, tag: u16) -> Result<()> {
+        self.raw_send(dst, self.p2p_tag(tag), data)
+    }
+
+    /// Blocking tagged receive from a specific rank.
+    pub fn recv(&self, src: usize, tag: u16) -> Result<Bytes> {
+        self.raw_recv(Some(src), self.p2p_tag(tag)).map(|(b, _)| b)
+    }
+
+    /// Receive from any source; returns payload and source rank.
+    pub fn recv_any(&self, tag: u16) -> Result<(Bytes, usize)> {
+        self.raw_recv(None, self.p2p_tag(tag))
+    }
+
+    /// Deadlock-safe simultaneous send and receive (`MPI_Sendrecv`).
+    pub fn sendrecv(
+        &self,
+        data: &[u8],
+        dst: usize,
+        send_tag: u16,
+        src: usize,
+        recv_tag: u16,
+    ) -> Result<Bytes> {
+        let this = self.clone();
+        let out_data = data.to_vec();
+        let wire = self.p2p_tag(send_tag);
+        let send = self.pool.spawn(move || this.raw_send(dst, wire, &out_data));
+        let got = self.recv(src, recv_tag)?;
+        send.wait()?;
+        Ok(got)
+    }
+
+    pub(crate) fn raw_send(&self, dst: usize, wire_tag: u64, data: &[u8]) -> Result<()> {
+        let ep = &self.endpoint;
+        let dst_addr = self.members[dst];
+        self.charge_op();
+        if data.len() <= self.params.eager_max {
+            let mut buf = BytesMut::with_capacity(data.len() + 1);
+            buf.put_u8(KIND_EAGER);
+            buf.put_slice(data);
+            return ep.send(dst_addr, wire_tag, buf.freeze());
+        }
+        if self.params.large_uses_rdma {
+            // Vendor path: expose + notice + remote get + ack.
+            let handle = ep.expose(Bytes::copy_from_slice(data));
+            let mut notice = BytesMut::with_capacity(25);
+            notice.put_u8(KIND_RDMA);
+            notice.put_u64_le(handle.owner.0);
+            notice.put_u64_le(handle.key);
+            notice.put_u64_le(handle.size as u64);
+            ep.send_control(dst_addr, wire_tag, notice.freeze())?;
+            let ack = ep.recv(RecvSelector::exact(dst_addr, wire_tag | ack_bit(wire_tag)));
+            ep.unexpose(handle).ok();
+            ack.map(|_| ())
+        } else {
+            // Open path: RTS → CTS → DATA rendezvous, paying the progress
+            // synchronization penalty once the CTS is observed.
+            let mut rts = BytesMut::with_capacity(9);
+            rts.put_u8(KIND_RTS);
+            rts.put_u64_le(data.len() as u64);
+            ep.send_control(dst_addr, wire_tag, rts.freeze())?;
+            ep.recv(RecvSelector::exact(dst_addr, wire_tag | ack_bit(wire_tag)))?;
+            self.endpoint.ctx().advance(self.params.rndv_sync_ns);
+            // The granted payload streams zero-copy (no eager bounce
+            // buffers) — rendezvous' one redeeming feature.
+            let mut buf = BytesMut::with_capacity(data.len() + 1);
+            buf.put_u8(KIND_EAGER);
+            buf.put_slice(data);
+            ep.send_class(dst_addr, wire_tag, buf.freeze(), hpcsim::Xfer::Rdma)
+        }
+    }
+
+    pub(crate) fn raw_recv(&self, src: Option<usize>, wire_tag: u64) -> Result<(Bytes, usize)> {
+        let ep = &self.endpoint;
+        self.charge_op();
+        let sel = match src {
+            Some(r) => RecvSelector::exact(self.members[r], wire_tag),
+            None => RecvSelector::tag(wire_tag),
+        };
+        let msg = ep.recv(sel)?;
+        let src_rank = self
+            .members
+            .iter()
+            .position(|&a| a == msg.src)
+            .ok_or(NaError::Unreachable(msg.src))?;
+        let (kind, body) = msg
+            .data
+            .split_first()
+            .map(|(k, _)| (*k, msg.data.slice(1..)))
+            .ok_or(NaError::Closed)?;
+        match kind {
+            KIND_EAGER => Ok((body, src_rank)),
+            KIND_RDMA => {
+                let owner = Address(u64_at(&body, 0));
+                let key = u64_at(&body, 8);
+                let size = u64_at(&body, 16) as usize;
+                let data = ep.rdma_get(na::BulkHandle { owner, key, size }, 0, size)?;
+                ep.send_control(msg.src, wire_tag | ack_bit(wire_tag), Bytes::new())?;
+                Ok((data, src_rank))
+            }
+            KIND_RTS => {
+                // Grant the rendezvous and wait for the payload.
+                ep.send_control(msg.src, wire_tag | ack_bit(wire_tag), Bytes::new())?;
+                let data_msg = ep.recv(RecvSelector::exact(msg.src, wire_tag))?;
+                let (k, body) = data_msg
+                    .data
+                    .split_first()
+                    .map(|(k, _)| (*k, data_msg.data.slice(1..)))
+                    .ok_or(NaError::Closed)?;
+                assert_eq!(k, KIND_EAGER, "rendezvous DATA frame expected");
+                Ok((body, src_rank))
+            }
+            other => panic!("corrupt minimpi frame kind {other}"),
+        }
+    }
+}
+
+fn ack_bit(wire_tag: u64) -> u64 {
+    if wire_tag & COLL_BIT != 0 {
+        COLL_ACK_BIT
+    } else {
+        ACK_BIT
+    }
+}
+
+fn u64_at(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("frame too short"))
+}

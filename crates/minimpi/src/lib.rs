@@ -1,0 +1,54 @@
+//! # minimpi — a static MPI stand-in with calibrated vendor profiles
+//!
+//! The paper compares MoNA against two real MPI implementations on Cori:
+//! Cray-mpich (vendor-optimized, driving the Aries NIC through uGNI) and
+//! OpenMPI (generic, with a well-documented performance cliff at its
+//! eager→rendezvous switchover on that system — see Table I/II). This
+//! crate is the reproduction's stand-in for both, and the baseline
+//! communication layer for the `Colza+MPI`, Damaris and DataSpaces
+//! experiments.
+//!
+//! Like real MPI (and unlike MoNA), the world is **fixed at launch**:
+//! [`MpiWorld::launch`] plays the role of `mpirun` and there is no way to
+//! add a rank afterwards — this is precisely the limitation that motivates
+//! MoNA in the paper.
+//!
+//! ## Profiles
+//!
+//! [`Profile::Vendor`] models Cray-mpich: tiny per-operation software
+//! overhead, RDMA for large messages, tuned tree collectives.
+//!
+//! [`Profile::Open`] models OpenMPI on this fabric: moderate overhead, an
+//! eager→rendezvous switch at 16 KiB whose handshake carries a large
+//! progress-synchronization penalty, and a fallback to a *linear* reduce
+//! algorithm for rendezvous-sized payloads. Those two structural choices
+//! reproduce the Table I cliff (16 KiB send/recv jumping ~30×) and the
+//! Table II collapse (reduce degrading by orders of magnitude), without
+//! faking any numbers: the costs emerge from counting real protocol
+//! messages against the fabric model.
+
+mod coll;
+mod comm;
+mod world;
+
+pub use comm::{MpiComm, Profile, ProfileParams};
+pub use world::MpiWorld;
+
+/// Errors surfaced by minimpi (today these are NA transport errors).
+pub type MpiError = na::NaError;
+/// Result alias.
+pub type Result<T> = std::result::Result<T, MpiError>;
+
+/// A reduction operator over raw element buffers (same contract as
+/// `mona::ReduceOp`; duplicated because the two libraries are independent
+/// stacks in the paper's architecture).
+pub trait ReduceOp: Sync {
+    /// Folds `other` into `acc` elementwise.
+    fn apply(&self, acc: &mut [u8], other: &[u8]);
+}
+
+impl<F: Fn(&mut [u8], &[u8]) + Sync> ReduceOp for F {
+    fn apply(&self, acc: &mut [u8], other: &[u8]) {
+        self(acc, other)
+    }
+}

@@ -1,0 +1,231 @@
+//! The launcher: `mpirun` for the simulated cluster.
+
+use std::sync::Arc;
+
+use na::{Address, Fabric};
+
+use crate::comm::{MpiComm, Profile};
+
+/// Launch-time facilities for a fixed-size MPI world.
+///
+/// Unlike MoNA — where communicators are built from address lists at any
+/// time — an MPI world exists only from launch to teardown, and its size
+/// cannot change. `MpiWorld` makes that explicit: the only way to obtain
+/// an `MpiComm` covering fresh processes is to launch them all together.
+pub struct MpiWorld;
+
+impl MpiWorld {
+    /// Launches `n` ranks (placed `procs_per_node` per node starting at
+    /// `first_node`) on a shared fabric and runs `f(world_comm)` on each.
+    /// Plays the role of `mpirun`, including the PMI-style bootstrap that
+    /// exchanges endpoint addresses before rank 0 releases the world.
+    pub fn launch<R: Send + 'static>(
+        cluster: &hpcsim::Cluster,
+        fabric: &Fabric,
+        n: usize,
+        procs_per_node: usize,
+        first_node: usize,
+        profile: Profile,
+        f: impl Fn(MpiComm) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let (addr_tx, addr_rx) = crossbeam::channel::unbounded();
+        let (list_tx, list_rx) = crossbeam::channel::unbounded::<Vec<Address>>();
+        let f = Arc::new(f);
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                let fabric = fabric.clone();
+                let addr_tx = addr_tx.clone();
+                let list_rx = list_rx.clone();
+                let f = Arc::clone(&f);
+                cluster.spawn(
+                    &format!("mpi[{rank}]"),
+                    first_node + rank / procs_per_node,
+                    move || {
+                        let endpoint = Arc::new(fabric.open());
+                        addr_tx.send((rank, endpoint.address())).unwrap();
+                        let members = list_rx.recv().unwrap();
+                        let comm = MpiComm::from_endpoint(endpoint, members, profile);
+                        f(comm)
+                    },
+                )
+            })
+            .collect();
+        let mut addrs = vec![Address(0); n];
+        for _ in 0..n {
+            let (rank, addr) = addr_rx.recv().unwrap();
+            addrs[rank] = addr;
+        }
+        for _ in 0..n {
+            list_tx.send(addrs.clone()).unwrap();
+        }
+        handles.into_iter().map(|h| h.join()).collect()
+    }
+
+    /// Convenience: fresh zero-latency cluster and fabric (tests).
+    pub fn run<R: Send + 'static>(
+        n: usize,
+        profile: Profile,
+        f: impl Fn(MpiComm) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let cluster = hpcsim::Cluster::default();
+        let fabric = Fabric::new(Arc::clone(cluster.shared()));
+        Self::launch(&cluster, &fabric, n, 4, 0, profile, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_op(acc: &mut [u8], other: &[u8]) {
+        for (a, b) in acc.iter_mut().zip(other) {
+            *a ^= b;
+        }
+    }
+
+    #[test]
+    fn world_ranks_are_dense() {
+        for profile in [Profile::Vendor, Profile::Open] {
+            let mut ranks = MpiWorld::run(5, profile, |comm| (comm.rank(), comm.size()));
+            ranks.sort_unstable();
+            assert_eq!(ranks, (0..5).map(|r| (r, 5)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn p2p_small_and_large_roundtrip_both_profiles() {
+        for profile in [Profile::Vendor, Profile::Open] {
+            let out = MpiWorld::run(2, profile, |comm| {
+                if comm.rank() == 0 {
+                    comm.send(b"small", 1, 1).unwrap();
+                    comm.send(&vec![3u8; 64 * 1024], 1, 2).unwrap();
+                    0
+                } else {
+                    let a = comm.recv(0, 1).unwrap();
+                    let b = comm.recv(0, 2).unwrap();
+                    assert_eq!(&a[..], b"small");
+                    assert_eq!(b.len(), 64 * 1024);
+                    assert!(b.iter().all(|&x| x == 3));
+                    1
+                }
+            });
+            assert_eq!(out, vec![0, 1], "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn collectives_match_oracle_both_profiles() {
+        for profile in [Profile::Vendor, Profile::Open] {
+            let out = MpiWorld::run(6, profile, |comm| {
+                comm.barrier().unwrap();
+                let data = vec![comm.rank() as u8 + 1; 8];
+                let red = comm.reduce(&data, &xor_op, 0).unwrap();
+                let b = comm.bcast(Some(&[9, 9]), 0).unwrap();
+                assert_eq!(&b[..], &[9, 9]);
+                red
+            });
+            let expect = (1..=6u8).fold(0, |a, b| a ^ b);
+            assert_eq!(out[0].as_ref().unwrap(), &vec![expect; 8], "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn open_profile_linear_reduce_matches_tree_result() {
+        // Payload over the rendezvous threshold triggers the linear
+        // algorithm; the *result* must be identical to Vendor's tree.
+        let big = 20 * 1024;
+        let run = |profile| {
+            MpiWorld::run(4, profile, move |comm| {
+                let data = vec![comm.rank() as u8 + 1; big];
+                comm.reduce(&data, &xor_op, 0).unwrap()
+            })
+        };
+        assert_eq!(run(Profile::Vendor)[0], run(Profile::Open)[0]);
+    }
+
+    #[test]
+    fn open_rendezvous_is_structurally_slower_than_vendor_rdma() {
+        let time = |profile| {
+            let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+            let fabric = Fabric::new(Arc::clone(cluster.shared()));
+            let out = MpiWorld::launch(&cluster, &fabric, 2, 1, 0, profile, |comm| {
+                let before = hpcsim::current().now();
+                if comm.rank() == 0 {
+                    for _ in 0..10 {
+                        comm.send(&vec![0u8; 32 * 1024], 1, 0).unwrap();
+                        comm.recv(1, 1).unwrap();
+                    }
+                } else {
+                    for _ in 0..10 {
+                        comm.recv(0, 0).unwrap();
+                        comm.send(&vec![0u8; 32 * 1024], 0, 1).unwrap();
+                    }
+                }
+                hpcsim::current().now() - before
+            });
+            out[0]
+        };
+        let vendor = time(Profile::Vendor);
+        let open = time(Profile::Open);
+        assert!(
+            open > vendor * 3,
+            "rendezvous cliff missing: vendor={vendor} open={open}"
+        );
+    }
+
+    #[test]
+    fn split_partitions_by_color_and_orders_by_key() {
+        let out = MpiWorld::run(6, Profile::Vendor, |comm| {
+            let color = (comm.rank() % 2) as u64;
+            // Reverse key order within each color group.
+            let key = 100 - comm.rank() as u64;
+            let sub = comm.split(color, key).unwrap();
+            // Verify the subgroup works as a communicator.
+            let gathered = sub.gather(&[comm.rank() as u8], 0).unwrap();
+            (comm.rank(), sub.rank(), sub.size(), gathered.map(|g| {
+                g.iter().map(|p| p[0]).collect::<Vec<_>>()
+            }))
+        });
+        for (world_rank, sub_rank, sub_size, gathered) in &out {
+            assert_eq!(*sub_size, 3);
+            // Keys were reversed, so higher world ranks get lower sub ranks.
+            let peers: Vec<usize> = (0..6).filter(|r| r % 2 == world_rank % 2).collect();
+            let expect_rank = peers.iter().rev().position(|&r| r == *world_rank).unwrap();
+            assert_eq!(*sub_rank, expect_rank);
+            if let Some(g) = gathered {
+                let mut expect: Vec<u8> = peers.iter().rev().map(|&r| r as u8).collect();
+                let got = g.clone();
+                expect.sort_unstable();
+                let mut sorted = got.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_and_scatter_roundtrip() {
+        let out = MpiWorld::run(4, Profile::Open, |comm| {
+            let all = comm.allgather(&[comm.rank() as u8]).unwrap();
+            let flat: Vec<u8> = all.iter().map(|p| p[0]).collect();
+            let parts = (comm.rank() == 0)
+                .then(|| (0..4).map(|i| vec![i as u8 * 2]).collect::<Vec<_>>());
+            let mine = comm.scatter(parts.as_deref(), 0).unwrap();
+            (flat, mine[0])
+        });
+        for (rank, (flat, mine)) in out.iter().enumerate() {
+            assert_eq!(flat, &vec![0, 1, 2, 3]);
+            assert_eq!(*mine, rank as u8 * 2);
+        }
+    }
+
+    #[test]
+    fn sendrecv_exchanges_without_deadlock() {
+        let out = MpiWorld::run(2, Profile::Open, |comm| {
+            let peer = 1 - comm.rank();
+            let data = vec![comm.rank() as u8; 40 * 1024];
+            comm.sendrecv(&data, peer, 0, peer, 0).unwrap()[0]
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+}

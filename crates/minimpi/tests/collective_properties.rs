@@ -1,0 +1,85 @@
+//! Property tests: minimpi collectives agree with sequential oracles for
+//! both profiles, arbitrary sizes and roots — including payloads that
+//! straddle the Open profile's rendezvous/linear-reduce thresholds.
+
+use minimpi::{MpiWorld, Profile};
+use proptest::prelude::*;
+
+fn xor(acc: &mut [u8], other: &[u8]) {
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a ^= b;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn reduce_matches_oracle_across_profiles(
+        n in 1usize..7,
+        root_pick in 0usize..8,
+        // Sizes chosen to cross the eager/rendezvous and linear-reduce
+        // thresholds of the Open profile.
+        len in prop_oneof![Just(16usize), Just(4096), Just(20 * 1024)],
+        seed in any::<u8>(),
+    ) {
+        let root = root_pick % n;
+        for profile in [Profile::Vendor, Profile::Open] {
+            let out = MpiWorld::run(n, profile, move |comm| {
+                let data = vec![seed ^ comm.rank() as u8; len];
+                comm.reduce(&data, &xor, root).unwrap()
+            });
+            // Oracle: xor of every rank's payload byte.
+            let mut expect = vec![0u8; len];
+            for r in 0..n {
+                for byte in expect.iter_mut() {
+                    *byte ^= seed ^ r as u8;
+                }
+            }
+            prop_assert_eq!(out[root].as_ref().unwrap(), &expect, "{:?}", profile);
+        }
+    }
+
+    #[test]
+    fn bcast_and_gather_roundtrip(
+        n in 1usize..7,
+        root_pick in 0usize..8,
+        payload in proptest::collection::vec(any::<u8>(), 1..600),
+    ) {
+        let root = root_pick % n;
+        for profile in [Profile::Vendor, Profile::Open] {
+            let expect = payload.clone();
+            let p2 = payload.clone();
+            let out = MpiWorld::run(n, profile, move |comm| {
+                let data = (comm.rank() == root).then(|| p2.clone());
+                let got = comm.bcast(data.as_deref(), root).unwrap().to_vec();
+                let gathered = comm.gather(&[comm.rank() as u8], root).unwrap();
+                (got, gathered)
+            });
+            for (rank, (got, gathered)) in out.into_iter().enumerate() {
+                prop_assert_eq!(&got, &expect);
+                if rank == root {
+                    let parts = gathered.unwrap();
+                    for (r, p) in parts.iter().enumerate() {
+                        prop_assert_eq!(p[0], r as u8);
+                    }
+                } else {
+                    prop_assert!(gathered.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_matches_everywhere(n in 1usize..6, width in 1usize..64) {
+        let out = MpiWorld::run(n, Profile::Open, move |comm| {
+            let data = vec![comm.rank() as u8; width];
+            comm.allgather(&data).unwrap().iter().map(|p| p.to_vec()).collect::<Vec<_>>()
+        });
+        for parts in out {
+            for (r, p) in parts.iter().enumerate() {
+                prop_assert_eq!(p, &vec![r as u8; width]);
+            }
+        }
+    }
+}

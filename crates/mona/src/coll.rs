@@ -1,0 +1,417 @@
+//! Collective operations.
+//!
+//! The algorithms mirror MPICH's classic implementations, as the paper
+//! says MoNA's do: binomial trees for broadcast and reduce, a dissemination
+//! barrier, a ring allgather, and linear gather/scatter. Every operation
+//! draws a fresh sequence number from the communicator, so concurrent
+//! collectives on the same communicator are impossible to confuse as long
+//! as all ranks issue them in the same order (the MPI rule).
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::comm::Communicator;
+use crate::{ReduceOp, Request, Result};
+
+/// Opcode constants embedded in collective wire tags.
+mod opcode {
+    pub const BARRIER: u16 = 1;
+    pub const BCAST: u16 = 2;
+    pub const REDUCE: u16 = 3;
+    pub const GATHER: u16 = 4;
+    pub const ALLGATHER: u16 = 5;
+    pub const SCATTER: u16 = 6;
+}
+
+impl Communicator {
+    /// Dissemination barrier: log₂(n) rounds of paired messages.
+    pub fn barrier(&self) -> Result<()> {
+        let n = self.size();
+        if n <= 1 {
+            return Ok(());
+        }
+        let seq = self.next_seq();
+        let me = self.rank();
+        let mut step = 1usize;
+        let mut round: u16 = 0;
+        while step < n {
+            let to = (me + step) % n;
+            let from = (me + n - step) % n;
+            let tag = self.coll_tag(seq, opcode::BARRIER + (round << 4));
+            self.raw_send(to, tag, &[])?;
+            self.raw_recv(Some(from), tag)?;
+            step <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial-tree broadcast. The root passes the payload; every rank
+    /// returns the broadcast bytes.
+    pub fn bcast(&self, data: Option<&[u8]>, root: usize) -> Result<Bytes> {
+        let n = self.size();
+        let me = self.rank();
+        if me == root {
+            assert!(data.is_some(), "root must supply the broadcast payload");
+        }
+        let seq = self.next_seq();
+        let tag = self.coll_tag(seq, opcode::BCAST);
+        let relative = (me + n - root) % n;
+        let mut buf: Option<Bytes> = data.map(Bytes::copy_from_slice);
+
+        // Phase 1: receive from the parent (non-roots only).
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask != 0 {
+                let src = (relative - mask + root) % n;
+                let (got, _) = self.raw_recv(Some(src), tag)?;
+                buf = Some(got);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Phase 2: forward to children.
+        mask >>= 1;
+        let payload = buf.expect("bcast payload present after receive phase");
+        while mask > 0 {
+            if relative + mask < n {
+                let dst = (relative + mask + root) % n;
+                self.raw_send(dst, tag, &payload)?;
+            }
+            mask >>= 1;
+        }
+        Ok(payload)
+    }
+
+    /// Binomial-tree reduce with a commutative operator. Returns the
+    /// reduction at the root, `None` elsewhere.
+    pub fn reduce(&self, data: &[u8], op: &dyn ReduceOp, root: usize) -> Result<Option<Vec<u8>>> {
+        let n = self.size();
+        let me = self.rank();
+        let seq = self.next_seq();
+        let tag = self.coll_tag(seq, opcode::REDUCE);
+        let relative = (me + n - root) % n;
+
+        let mut acc = self.inst.buffers.take(data.len());
+        acc.extend_from_slice(data);
+
+        let mut mask = 1usize;
+        loop {
+            if mask >= n {
+                break; // only the root exits here
+            }
+            if relative & mask == 0 {
+                let child_rel = relative | mask;
+                if child_rel < n {
+                    let src = (child_rel + root) % n;
+                    let (got, _) = self.raw_recv(Some(src), tag)?;
+                    op.apply(&mut acc, &got);
+                }
+            } else {
+                let parent_rel = relative & !mask;
+                let dst = (parent_rel + root) % n;
+                self.raw_send(dst, tag, &acc)?;
+                self.inst.buffers.put(acc);
+                return Ok(None);
+            }
+            mask <<= 1;
+        }
+        Ok(Some(std::mem::take(&mut acc)))
+    }
+
+    /// Reduce-then-broadcast allreduce; every rank returns the reduction.
+    pub fn allreduce(&self, data: &[u8], op: &dyn ReduceOp) -> Result<Vec<u8>> {
+        let reduced = self.reduce(data, op, 0)?;
+        let out = self.bcast(reduced.as_deref(), 0)?;
+        Ok(out.to_vec())
+    }
+
+    /// Linear gather to the root. Payload sizes may differ per rank
+    /// (gatherv semantics). The root receives `Some(parts)` in rank order.
+    pub fn gather(&self, data: &[u8], root: usize) -> Result<Option<Vec<Bytes>>> {
+        let n = self.size();
+        let me = self.rank();
+        let seq = self.next_seq();
+        let tag = self.coll_tag(seq, opcode::GATHER);
+        if me == root {
+            let mut parts: Vec<Option<Bytes>> = vec![None; n];
+            parts[me] = Some(Bytes::copy_from_slice(data));
+            for _ in 0..n - 1 {
+                let (got, src) = self.raw_recv(None, tag)?;
+                parts[src] = Some(got);
+            }
+            Ok(Some(parts.into_iter().map(|p| p.expect("all ranks sent")).collect()))
+        } else {
+            self.raw_send(root, tag, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Ring allgather: n−1 steps, each forwarding the block received in
+    /// the previous step. Handles per-rank size differences.
+    pub fn allgather(&self, data: &[u8]) -> Result<Vec<Bytes>> {
+        let n = self.size();
+        let me = self.rank();
+        let seq = self.next_seq();
+        let mut parts: Vec<Option<Bytes>> = vec![None; n];
+        parts[me] = Some(Bytes::copy_from_slice(data));
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let mut carry: Bytes = parts[me].clone().expect("own part set");
+        for step in 0..n.saturating_sub(1) {
+            let tag = self.coll_tag(seq, opcode::ALLGATHER + ((step as u16 & 0x3F) << 4));
+            // Deadlock-safe pairwise exchange around the ring.
+            let req = self.instance_isend_raw(carry.to_vec(), right, tag);
+            let (got, _) = self.raw_recv(Some(left), tag)?;
+            req.wait()?;
+            let origin = (me + n - 1 - step) % n;
+            parts[origin] = Some(got.clone());
+            carry = got;
+        }
+        Ok(parts.into_iter().map(|p| p.expect("ring complete")).collect())
+    }
+
+    /// Linear scatter from the root: rank `i` receives `parts[i]`.
+    pub fn scatter(&self, parts: Option<&[Vec<u8>]>, root: usize) -> Result<Bytes> {
+        let n = self.size();
+        let me = self.rank();
+        let seq = self.next_seq();
+        let tag = self.coll_tag(seq, opcode::SCATTER);
+        if me == root {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), n, "scatter needs one part per rank");
+            for (dst, part) in parts.iter().enumerate() {
+                if dst != me {
+                    self.raw_send(dst, tag, part)?;
+                }
+            }
+            Ok(Bytes::copy_from_slice(&parts[me]))
+        } else {
+            let (got, _) = self.raw_recv(Some(root), tag)?;
+            Ok(got)
+        }
+    }
+
+    /// Non-blocking broadcast.
+    pub fn ibcast(&self, data: Option<Vec<u8>>, root: usize) -> Request {
+        let this = self.clone();
+        Request::pending(self.instance().task_pool().spawn(move || {
+            this.bcast(data.as_deref(), root).map(Some)
+        }))
+    }
+
+    /// Non-blocking reduce (operator must be shareable).
+    pub fn ireduce(
+        &self,
+        data: Vec<u8>,
+        op: Arc<dyn ReduceOp + Send + Sync>,
+        root: usize,
+    ) -> Request {
+        let this = self.clone();
+        Request::pending(self.instance().task_pool().spawn(move || {
+            this.reduce(&data, op.as_ref(), root)
+                .map(|o| o.map(Bytes::from))
+        }))
+    }
+
+    /// Non-blocking barrier.
+    pub fn ibarrier(&self) -> Request {
+        let this = self.clone();
+        Request::pending(
+            self.instance()
+                .task_pool()
+                .spawn(move || this.barrier().map(|()| None)),
+        )
+    }
+
+    /// Internal raw isend used by the ring allgather (collective tags).
+    fn instance_isend_raw(&self, data: Vec<u8>, dst: usize, wire_tag: u64) -> Request {
+        if data.len() < self.instance().config().rdma_threshold {
+            Request::ready(self.raw_send(dst, wire_tag, &data).map(|()| None))
+        } else {
+            let this = self.clone();
+            Request::pending(
+                self.instance()
+                    .task_pool()
+                    .spawn(move || this.raw_send(dst, wire_tag, &data).map(|()| None)),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::tests::with_comm;
+    use crate::comm::MonaConfig;
+    use crate::ops;
+
+    #[test]
+    fn bcast_from_every_root() {
+        for root in 0..4 {
+            let out = with_comm(4, MonaConfig::default(), move |comm| {
+                let data = if comm.rank() == root {
+                    Some(vec![root as u8, 42])
+                } else {
+                    None
+                };
+                comm.bcast(data.as_deref(), root).unwrap().to_vec()
+            });
+            assert!(out.iter().all(|v| v == &vec![root as u8, 42]), "root {root}");
+        }
+    }
+
+    #[test]
+    fn bcast_large_payload_uses_rdma_path() {
+        let payload = vec![0xAB; 100 * 1024];
+        let expect = payload.clone();
+        let out = with_comm(5, MonaConfig::default(), move |comm| {
+            let data = (comm.rank() == 0).then(|| payload.clone());
+            comm.bcast(data.as_deref(), 0).unwrap().len()
+        });
+        assert!(out.iter().all(|&l| l == expect.len()));
+    }
+
+    #[test]
+    fn reduce_xor_matches_oracle() {
+        let out = with_comm(7, MonaConfig::default(), |comm| {
+            let data = vec![comm.rank() as u8 + 1; 16];
+            comm.reduce(&data, &ops::bxor_u8, 0).unwrap()
+        });
+        let expect = (1..=7u8).fold(0, |a, b| a ^ b);
+        assert_eq!(out[0].as_ref().unwrap(), &vec![expect; 16]);
+        assert!(out[1..].iter().all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn reduce_to_nonzero_root() {
+        let out = with_comm(5, MonaConfig::default(), |comm| {
+            let data = ops::u64s_to_bytes(&[comm.rank() as u64]);
+            comm.reduce(&data, &ops::sum_u64, 3).unwrap()
+        });
+        assert_eq!(ops::bytes_to_u64s(out[3].as_ref().unwrap()), vec![10]);
+    }
+
+    #[test]
+    fn allreduce_sums_everywhere() {
+        let out = with_comm(6, MonaConfig::default(), |comm| {
+            let data = ops::f64s_to_bytes(&[comm.rank() as f64, 1.0]);
+            ops::bytes_to_f64s(&comm.allreduce(&data, &ops::sum_f64).unwrap())
+        });
+        for v in out {
+            assert_eq!(v, vec![15.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order_with_varied_sizes() {
+        let out = with_comm(4, MonaConfig::default(), |comm| {
+            let data = vec![comm.rank() as u8; comm.rank() + 1];
+            comm.gather(&data, 2)
+                .unwrap()
+                .map(|parts| parts.iter().map(|p| p.to_vec()).collect::<Vec<_>>())
+        });
+        let gathered = out[2].as_ref().unwrap();
+        assert_eq!(gathered.len(), 4);
+        for (rank, part) in gathered.iter().enumerate() {
+            assert_eq!(part, &vec![rank as u8; rank + 1]);
+        }
+        assert!(out[0].is_none() && out[1].is_none() && out[3].is_none());
+    }
+
+    #[test]
+    fn allgather_ring_delivers_all_parts() {
+        let out = with_comm(5, MonaConfig::default(), |comm| {
+            let data = vec![comm.rank() as u8 * 10; 3];
+            comm.allgather(&data)
+                .unwrap()
+                .iter()
+                .map(|p| p.to_vec())
+                .collect::<Vec<_>>()
+        });
+        for parts in out {
+            for (rank, part) in parts.iter().enumerate() {
+                assert_eq!(part, &vec![rank as u8 * 10; 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_rank_parts() {
+        let out = with_comm(4, MonaConfig::default(), |comm| {
+            let parts = (comm.rank() == 1)
+                .then(|| (0..4).map(|i| vec![i as u8; 2]).collect::<Vec<_>>());
+            comm.scatter(parts.as_deref(), 1).unwrap().to_vec()
+        });
+        for (rank, part) in out.iter().enumerate() {
+            assert_eq!(part, &vec![rank as u8; 2]);
+        }
+    }
+
+    #[test]
+    fn barrier_completes_at_many_sizes() {
+        for n in [1, 2, 3, 5, 8] {
+            let out = with_comm(n, MonaConfig::default(), |comm| {
+                for _ in 0..3 {
+                    comm.barrier().unwrap();
+                }
+                true
+            });
+            assert!(out.into_iter().all(|b| b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn barrier_actually_synchronizes_virtual_time() {
+        // After a barrier, every rank's virtual clock must be >= the
+        // pre-barrier maximum across ranks (information flowed from all).
+        let out = with_comm(4, MonaConfig::default(), |comm| {
+            hpcsim::current().advance(1_000 * (comm.rank() as u64 + 1));
+            let before_max = 4_000;
+            comm.barrier().unwrap();
+            hpcsim::current().now() >= before_max
+        });
+        assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn nonblocking_collectives_complete() {
+        let out = with_comm(4, MonaConfig::default(), |comm| {
+            let b = comm.ibarrier();
+            b.wait().unwrap();
+            let data = (comm.rank() == 0).then(|| vec![5u8; 8]);
+            let r = comm.ibcast(data, 0);
+            let got = r.wait().unwrap().unwrap();
+            got.len()
+        });
+        assert!(out.into_iter().all(|l| l == 8));
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_talk() {
+        let out = with_comm(3, MonaConfig::default(), |comm| {
+            let mut results = Vec::new();
+            for i in 0..10u8 {
+                let data = (comm.rank() == (i as usize) % 3).then(|| vec![i; 4]);
+                let got = comm.bcast(data.as_deref(), (i as usize) % 3).unwrap();
+                results.push(got[0]);
+            }
+            results
+        });
+        for r in out {
+            assert_eq!(r, (0..10).collect::<Vec<u8>>());
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let out = with_comm(1, MonaConfig::default(), |comm| {
+            comm.barrier().unwrap();
+            let b = comm.bcast(Some(&[1, 2]), 0).unwrap().to_vec();
+            let r = comm.reduce(&[3, 4], &ops::bxor_u8, 0).unwrap().unwrap();
+            let g = comm.gather(&[5], 0).unwrap().unwrap();
+            (b, r, g[0].to_vec())
+        });
+        assert_eq!(out[0], (vec![1, 2], vec![3, 4], vec![5]));
+    }
+}

@@ -1,0 +1,504 @@
+//! MoNA instances and communicators: lifecycle plus the point-to-point
+//! protocol layer (eager vs RDMA) that collectives build on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use na::{Address, Endpoint, Fabric, NaError, RecvSelector};
+
+use crate::pool::BufferPool;
+use crate::Result;
+
+/// Tunables and calibrated cost constants for a MoNA instance.
+#[derive(Debug, Clone, Copy)]
+pub struct MonaConfig {
+    /// Messages of at least this many bytes use the RDMA path (expose +
+    /// notice + remote get + ack) instead of the eager path.
+    pub rdma_threshold: usize,
+    /// Software overhead charged per send or receive operation: MoNA's
+    /// progress loop runs through Argobots and a generic request layer.
+    pub sw_op_ns: u64,
+    /// Extra overhead per operation when buffer pooling is disabled — the
+    /// "many small allocations" the paper says raw NA suffers from.
+    pub alloc_ns: u64,
+    /// Whether request/buffer caching is active. Disabling it reproduces
+    /// the raw-NA rows of Table I and is one of the DESIGN.md ablations.
+    pub pooling: bool,
+    /// Extra initiator-side cost of MoNA's RDMA path: NA-level memory
+    /// registration and handle marshaling are costlier than a vendor
+    /// MPI's pre-registered pools (calibrated from Table I's 16 KiB row).
+    pub rdma_extra_ns: u64,
+}
+
+impl Default for MonaConfig {
+    fn default() -> Self {
+        Self {
+            rdma_threshold: 16 * 1024,
+            sw_op_ns: 380,
+            alloc_ns: 90,
+            pooling: true,
+            rdma_extra_ns: 3_800,
+        }
+    }
+}
+
+impl MonaConfig {
+    /// The configuration modelling *raw NA* usage: no request/buffer
+    /// caching and no RDMA protocol switch (NA alone has no matching
+    /// rendezvous logic — the paper's NA column stops at 2 KiB).
+    pub fn raw_na() -> Self {
+        Self {
+            pooling: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// A MoNA progress-loop instance (the `mona_instance_t` of the C library).
+pub struct MonaInstance {
+    endpoint: Arc<Endpoint>,
+    config: MonaConfig,
+    task_pool: argo::Pool,
+    pub(crate) buffers: BufferPool,
+}
+
+impl MonaInstance {
+    /// Initializes MoNA for the calling simulated process, opening a fresh
+    /// NA endpoint on `fabric`.
+    pub fn init(fabric: &Fabric) -> Arc<Self> {
+        Self::from_endpoint(Arc::new(fabric.open()), MonaConfig::default())
+    }
+
+    /// Initializes with an explicit configuration.
+    pub fn init_with(fabric: &Fabric, config: MonaConfig) -> Arc<Self> {
+        Self::from_endpoint(Arc::new(fabric.open()), config)
+    }
+
+    /// Wraps an already-open endpoint (shared with margo, as Colza does).
+    pub fn from_endpoint(endpoint: Arc<Endpoint>, config: MonaConfig) -> Arc<Self> {
+        let ctx = Arc::clone(endpoint.ctx());
+        let task_pool = argo::PoolBuilder::new(format!("mona-{}", endpoint.address()))
+            .xstreams(2)
+            .task_wrapper(Arc::new(move |task| {
+                hpcsim::process::enter(Arc::clone(&ctx), task)
+            }))
+            .build();
+        Arc::new(Self {
+            endpoint,
+            config,
+            task_pool,
+            buffers: BufferPool::default(),
+        })
+    }
+
+    /// This instance's NA address.
+    pub fn address(&self) -> Address {
+        self.endpoint.address()
+    }
+
+    /// The underlying endpoint.
+    pub fn endpoint(&self) -> &Arc<Endpoint> {
+        &self.endpoint
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MonaConfig {
+        &self.config
+    }
+
+    pub(crate) fn task_pool(&self) -> &argo::Pool {
+        &self.task_pool
+    }
+
+    /// Charges the per-operation software overhead to the caller's clock.
+    pub(crate) fn charge_op(&self) {
+        let mut ns = self.config.sw_op_ns;
+        if !self.config.pooling {
+            ns += self.config.alloc_ns;
+        }
+        self.endpoint.ctx().advance(ns);
+    }
+
+    /// Builds a communicator over `members` (context 0). The caller's own
+    /// address must appear in the list; its index becomes the rank.
+    pub fn comm_create(self: &Arc<Self>, members: Vec<Address>) -> Result<Communicator> {
+        self.comm_create_with_context(members, 0)
+    }
+
+    /// Builds a communicator with an explicit context id, allowing several
+    /// communicators over the same member list to coexist.
+    pub fn comm_create_with_context(
+        self: &Arc<Self>,
+        members: Vec<Address>,
+        context: u64,
+    ) -> Result<Communicator> {
+        let me = self.address();
+        let rank = members
+            .iter()
+            .position(|&a| a == me)
+            .unwrap_or_else(|| panic!("{me} is not in the member list"));
+        let cid = comm_id(&members, context);
+        Ok(Communicator {
+            inst: Arc::clone(self),
+            members: Arc::new(members),
+            rank,
+            cid,
+            context,
+            seq: Arc::new(AtomicU64::new(0)),
+        })
+    }
+}
+
+/// Deterministic communicator id from the membership and a context value.
+fn comm_id(members: &[Address], context: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ context.wrapping_mul(0x1000_0000_01b3);
+    for a in members {
+        h ^= a.0;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h & CID_MASK
+}
+
+const CID_MASK: u64 = (1 << 18) - 1;
+const SUB_BITS: u64 = 26;
+const P2P_ACK_BIT: u64 = 1 << 16;
+const COLL_BIT: u64 = 1 << 25;
+const COLL_ACK_BIT: u64 = 1 << 10;
+
+/// Message kinds on the wire.
+const KIND_EAGER: u8 = 0;
+const KIND_RDMA: u8 = 1;
+
+/// A MoNA communicator: a rank within an explicit member list.
+///
+/// Cloning is cheap and yields a handle sharing the collective sequence
+/// counter — clones are for moving into non-blocking tasks, not for
+/// concurrent independent use.
+#[derive(Clone)]
+pub struct Communicator {
+    pub(crate) inst: Arc<MonaInstance>,
+    members: Arc<Vec<Address>>,
+    rank: usize,
+    cid: u64,
+    context: u64,
+    seq: Arc<AtomicU64>,
+}
+
+impl Communicator {
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The member list, in rank order.
+    pub fn members(&self) -> &[Address] {
+        &self.members
+    }
+
+    /// The address of a rank.
+    pub fn address_of(&self, rank: usize) -> Address {
+        self.members[rank]
+    }
+
+    /// The owning instance.
+    pub fn instance(&self) -> &Arc<MonaInstance> {
+        &self.inst
+    }
+
+    /// A new communicator over the same members with a fresh context
+    /// (disjoint tag space).
+    pub fn dup(&self) -> Communicator {
+        self.inst
+            .comm_create_with_context((*self.members).clone(), self.context.wrapping_add(1))
+            .expect("self is a member")
+    }
+
+    fn p2p_tag(&self, tag: u16) -> u64 {
+        na::tags::MONA_BASE | (self.cid << SUB_BITS) | tag as u64
+    }
+
+    pub(crate) fn coll_tag(&self, seq: u64, op: u16) -> u64 {
+        debug_assert!(op < 1024);
+        na::tags::MONA_BASE
+            | (self.cid << SUB_BITS)
+            | COLL_BIT
+            | ((seq & 0x3FFF) << 11)
+            | op as u64
+    }
+
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sends `data` to `dst` with a user tag. Eager below the RDMA
+    /// threshold (buffered, returns immediately); RDMA above it (blocks
+    /// until the receiver has pulled the data).
+    pub fn send(&self, data: &[u8], dst: usize, tag: u16) -> Result<()> {
+        self.raw_send(dst, self.p2p_tag(tag), data)
+    }
+
+    /// Receives a message from `src` with a user tag.
+    pub fn recv(&self, src: usize, tag: u16) -> Result<Bytes> {
+        self.raw_recv(Some(src), self.p2p_tag(tag)).map(|(b, _)| b)
+    }
+
+    /// Receives a message with the given tag from any rank, returning the
+    /// payload and the source rank.
+    pub fn recv_any(&self, tag: u16) -> Result<(Bytes, usize)> {
+        self.raw_recv(None, self.p2p_tag(tag))
+    }
+
+    /// Simultaneous send and receive (deadlock-safe even for large
+    /// messages: the send side runs as a background task).
+    pub fn sendrecv(
+        &self,
+        data: &[u8],
+        dst: usize,
+        send_tag: u16,
+        src: usize,
+        recv_tag: u16,
+    ) -> Result<Bytes> {
+        let req = self.isend(data.to_vec(), dst, send_tag);
+        let out = self.recv(src, recv_tag)?;
+        req.wait()?;
+        Ok(out)
+    }
+
+    /// Non-blocking send; completion means the data is delivered (eager)
+    /// or pulled by the receiver (RDMA).
+    pub fn isend(&self, data: Vec<u8>, dst: usize, tag: u16) -> crate::Request {
+        let wire_tag = self.p2p_tag(tag);
+        if data.len() < self.inst.config.rdma_threshold {
+            // Eager sends are buffered; complete immediately.
+            crate::Request::ready(self.raw_send(dst, wire_tag, &data).map(|()| None))
+        } else {
+            let this = self.clone();
+            crate::Request::pending(
+                self.inst
+                    .task_pool()
+                    .spawn(move || this.raw_send(dst, wire_tag, &data).map(|()| None)),
+            )
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn irecv(&self, src: usize, tag: u16) -> crate::Request {
+        let wire_tag = self.p2p_tag(tag);
+        let this = self.clone();
+        crate::Request::pending(
+            self.inst
+                .task_pool()
+                .spawn(move || this.raw_recv(Some(src), wire_tag).map(|(b, _)| Some(b))),
+        )
+    }
+
+    /// Low-level tagged send used by both p2p and collectives.
+    pub(crate) fn raw_send(&self, dst: usize, wire_tag: u64, data: &[u8]) -> Result<()> {
+        let ep = &self.inst.endpoint;
+        let dst_addr = self.members[dst];
+        self.inst.charge_op();
+        if data.len() < self.inst.config.rdma_threshold {
+            let mut buf = BytesMut::with_capacity(data.len() + 1);
+            buf.put_u8(KIND_EAGER);
+            buf.put_slice(data);
+            ep.send(dst_addr, wire_tag, buf.freeze())
+        } else {
+            // RDMA path: expose, notify, wait for the receiver's ack.
+            ep.ctx().advance(self.inst.config.rdma_extra_ns);
+            let handle = ep.expose(Bytes::copy_from_slice(data));
+            let mut notice = BytesMut::with_capacity(25);
+            notice.put_u8(KIND_RDMA);
+            notice.put_u64_le(handle.owner.0);
+            notice.put_u64_le(handle.key);
+            notice.put_u64_le(handle.size as u64);
+            ep.send_control(dst_addr, wire_tag, notice.freeze())?;
+            let ack = ep.recv(RecvSelector::exact(dst_addr, ack_tag(wire_tag)));
+            ep.unexpose(handle).ok();
+            ack.map(|_| ())
+        }
+    }
+
+    /// Low-level tagged receive used by both p2p and collectives. Returns
+    /// the payload and the source *rank*.
+    pub(crate) fn raw_recv(&self, src: Option<usize>, wire_tag: u64) -> Result<(Bytes, usize)> {
+        let ep = &self.inst.endpoint;
+        self.inst.charge_op();
+        let sel = match src {
+            Some(r) => RecvSelector::exact(self.members[r], wire_tag),
+            None => RecvSelector::tag(wire_tag),
+        };
+        let msg = ep.recv(sel)?;
+        let src_rank = self
+            .members
+            .iter()
+            .position(|&a| a == msg.src)
+            .ok_or(NaError::Unreachable(msg.src))?;
+        let (kind, body) = msg
+            .data
+            .split_first()
+            .map(|(k, _)| (*k, msg.data.slice(1..)))
+            .ok_or(NaError::Closed)?;
+        match kind {
+            KIND_EAGER => Ok((body, src_rank)),
+            KIND_RDMA => {
+                let owner = Address(u64_at(&body, 0));
+                let key = u64_at(&body, 8);
+                let size = u64_at(&body, 16) as usize;
+                let handle = na::BulkHandle { owner, key, size };
+                let data = ep.rdma_get(handle, 0, size)?;
+                ep.send_control(msg.src, ack_tag(wire_tag), Bytes::new())?;
+                Ok((data, src_rank))
+            }
+            other => panic!("corrupt MoNA frame kind {other}"),
+        }
+    }
+}
+
+fn ack_tag(wire_tag: u64) -> u64 {
+    if wire_tag & COLL_BIT != 0 {
+        wire_tag | COLL_ACK_BIT
+    } else {
+        wire_tag | P2P_ACK_BIT
+    }
+}
+
+fn u64_at(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("frame too short"))
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    pub(crate) use crate::testing::with_comm;
+
+    #[test]
+    fn p2p_eager_roundtrip() {
+        let out = with_comm(2, MonaConfig::default(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(b"ping", 1, 5).unwrap();
+                Vec::new()
+            } else {
+                comm.recv(0, 5).unwrap().to_vec()
+            }
+        });
+        assert_eq!(out[1], b"ping");
+    }
+
+    #[test]
+    fn p2p_rdma_roundtrip() {
+        let big = vec![7u8; 64 * 1024];
+        let expect = big.clone();
+        let out = with_comm(2, MonaConfig::default(), move |comm| {
+            if comm.rank() == 0 {
+                comm.send(&big, 1, 1).unwrap();
+                Vec::new()
+            } else {
+                comm.recv(0, 1).unwrap().to_vec()
+            }
+        });
+        assert_eq!(out[1], expect);
+    }
+
+    #[test]
+    fn rdma_send_leaves_no_exposure() {
+        // After a completed large send the exposure table must be empty.
+        let out = with_comm(2, MonaConfig::default(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(&vec![1u8; 32 * 1024], 1, 0).unwrap();
+                comm.instance().endpoint().fabric().exposure_count()
+            } else {
+                comm.recv(0, 0).unwrap();
+                0
+            }
+        });
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn sendrecv_crossing_large_messages_does_not_deadlock() {
+        let out = with_comm(2, MonaConfig::default(), |comm| {
+            let peer = 1 - comm.rank();
+            let data = vec![comm.rank() as u8; 100 * 1024];
+            let got = comm.sendrecv(&data, peer, 3, peer, 3).unwrap();
+            got[0]
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn isend_irecv_complete() {
+        let out = with_comm(2, MonaConfig::default(), |comm| {
+            if comm.rank() == 0 {
+                let r = comm.isend(vec![9u8; 10], 1, 2);
+                r.wait().unwrap();
+                0
+            } else {
+                let r = comm.irecv(0, 2);
+                r.wait().unwrap().unwrap()[0]
+            }
+        });
+        assert_eq!(out[1], 9);
+    }
+
+    #[test]
+    fn recv_any_reports_source_rank() {
+        let out = with_comm(3, MonaConfig::default(), |comm| {
+            if comm.rank() == 0 {
+                let mut seen = Vec::new();
+                for _ in 0..2 {
+                    let (data, src) = comm.recv_any(9).unwrap();
+                    seen.push((data[0], src));
+                }
+                seen.sort_unstable();
+                seen
+            } else {
+                comm.send(&[comm.rank() as u8], 0, 9).unwrap();
+                Vec::new()
+            }
+        });
+        assert_eq!(out[0], vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn communicators_with_different_contexts_do_not_collide() {
+        let out = with_comm(2, MonaConfig::default(), |comm| {
+            let comm2 = comm.dup();
+            if comm.rank() == 0 {
+                // Send on comm2 first, then comm; receiver reads comm first.
+                comm2.send(b"two", 1, 0).unwrap();
+                comm.send(b"one", 1, 0).unwrap();
+                Vec::new()
+            } else {
+                let a = comm.recv(0, 0).unwrap().to_vec();
+                let b = comm2.recv(0, 0).unwrap().to_vec();
+                vec![a, b]
+            }
+        });
+        assert_eq!(out[1], vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn comm_id_depends_on_members_and_context() {
+        let a = vec![Address(1), Address(2)];
+        let b = vec![Address(1), Address(3)];
+        assert_ne!(comm_id(&a, 0), comm_id(&b, 0));
+        assert_ne!(comm_id(&a, 0), comm_id(&a, 1));
+        assert_eq!(comm_id(&a, 0), comm_id(&a, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the member list")]
+    fn creating_a_comm_without_self_panics() {
+        with_comm(1, MonaConfig::default(), |comm| {
+            let inst = Arc::clone(comm.instance());
+            let _ = inst.comm_create(vec![Address(u64::MAX)]);
+        });
+    }
+}

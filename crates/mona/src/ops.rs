@@ -1,0 +1,119 @@
+//! Typed reduction operators over raw element buffers.
+//!
+//! Collectives move bytes; these helpers give them element semantics. The
+//! binary-xor operator is the one benchmarked in the paper's Table II
+//! ("1000 binary-xor reduce operations"), chosen there because bitwise
+//! reduction is at the core of image compositing.
+
+macro_rules! elementwise {
+    ($name:ident, $ty:ty, $op:expr, $doc:literal) => {
+        #[doc = $doc]
+        pub fn $name(acc: &mut [u8], other: &[u8]) {
+            const W: usize = std::mem::size_of::<$ty>();
+            assert_eq!(acc.len(), other.len(), "reduce length mismatch");
+            assert_eq!(acc.len() % W, 0, "buffer not a whole number of elements");
+            let f: fn($ty, $ty) -> $ty = $op;
+            for (a, b) in acc.chunks_exact_mut(W).zip(other.chunks_exact(W)) {
+                let x = <$ty>::from_le_bytes(a.try_into().unwrap());
+                let y = <$ty>::from_le_bytes(b.try_into().unwrap());
+                a.copy_from_slice(&f(x, y).to_le_bytes());
+            }
+        }
+    };
+}
+
+elementwise!(bxor_u8, u8, |a, b| a ^ b, "Elementwise XOR over `u8` (Table II's operator).");
+elementwise!(bxor_u32, u32, |a, b| a ^ b, "Elementwise XOR over `u32`.");
+elementwise!(sum_i32, i32, |a, b| a.wrapping_add(b), "Elementwise wrapping sum over `i32`.");
+elementwise!(sum_u64, u64, |a, b| a.wrapping_add(b), "Elementwise wrapping sum over `u64`.");
+elementwise!(sum_f32, f32, |a, b| a + b, "Elementwise sum over `f32`.");
+elementwise!(sum_f64, f64, |a, b| a + b, "Elementwise sum over `f64`.");
+elementwise!(min_f64, f64, |a, b| a.min(b), "Elementwise minimum over `f64`.");
+elementwise!(max_f64, f64, |a, b| a.max(b), "Elementwise maximum over `f64`.");
+elementwise!(min_u64, u64, |a, b| a.min(b), "Elementwise minimum over `u64`.");
+elementwise!(max_u64, u64, |a, b| a.max(b), "Elementwise maximum over `u64`.");
+
+/// Converts a slice of `f64` to its little-endian byte representation.
+pub fn f64s_to_bytes(v: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Converts little-endian bytes back to `f64`s.
+pub fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
+    assert_eq!(b.len() % 8, 0);
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Converts a slice of `u64` to little-endian bytes.
+pub fn u64s_to_bytes(v: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Converts little-endian bytes back to `u64`s.
+pub fn bytes_to_u64s(b: &[u8]) -> Vec<u64> {
+    assert_eq!(b.len() % 8, 0);
+    b.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_matches_scalar() {
+        let mut acc = vec![0b1010, 0b1111];
+        bxor_u8(&mut acc, &[0b0110, 0b1111]);
+        assert_eq!(acc, vec![0b1100, 0]);
+    }
+
+    #[test]
+    fn f64_sum_matches_scalar() {
+        let mut acc = f64s_to_bytes(&[1.5, -2.0]);
+        sum_f64(&mut acc, &f64s_to_bytes(&[0.5, 3.0]));
+        assert_eq!(bytes_to_f64s(&acc), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn min_max_f64() {
+        let mut lo = f64s_to_bytes(&[1.0, 9.0]);
+        min_f64(&mut lo, &f64s_to_bytes(&[3.0, 2.0]));
+        assert_eq!(bytes_to_f64s(&lo), vec![1.0, 2.0]);
+        let mut hi = f64s_to_bytes(&[1.0, 9.0]);
+        max_f64(&mut hi, &f64s_to_bytes(&[3.0, 2.0]));
+        assert_eq!(bytes_to_f64s(&hi), vec![3.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        sum_i32(&mut [0; 4], &[0; 8]);
+    }
+
+    #[test]
+    fn u64_byte_conversions_roundtrip() {
+        let v = vec![0u64, 1, u64::MAX];
+        assert_eq!(bytes_to_u64s(&u64s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn wrapping_sum_does_not_panic_on_overflow() {
+        let mut acc = i32::MAX.to_le_bytes().to_vec();
+        sum_i32(&mut acc, &1i32.to_le_bytes());
+        assert_eq!(
+            i32::from_le_bytes(acc.try_into().unwrap()),
+            i32::MIN
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Buffer pooling.
+//!
+//! The paper attributes MoNA's advantage over raw NA to "caching and
+//! reusing requests and message buffers, avoiding many small allocations".
+//! This module is that cache: collectives draw their scratch buffers from
+//! here instead of allocating per operation.
+
+use parking_lot::Mutex;
+
+/// A size-bucketed pool of byte buffers.
+pub struct BufferPool {
+    /// Buffers kept for reuse, roughly sorted by capacity.
+    free: Mutex<Vec<Vec<u8>>>,
+    /// Maximum number of cached buffers.
+    max_cached: usize,
+    /// Pool hit/miss counters (diagnostics + tests).
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl BufferPool {
+    /// Creates a pool caching at most `max_cached` buffers.
+    pub fn new(max_cached: usize) -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+            max_cached,
+            hits: Default::default(),
+            misses: Default::default(),
+        }
+    }
+
+    /// Takes a zeroed-length buffer with at least `capacity` bytes of
+    /// capacity, reusing a cached one when possible.
+    pub fn take(&self, capacity: usize) -> Vec<u8> {
+        let mut free = self.free.lock();
+        if let Some(pos) = free.iter().position(|b| b.capacity() >= capacity) {
+            let mut buf = free.swap_remove(pos);
+            drop(free);
+            buf.clear();
+            self.hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            buf
+        } else {
+            drop(free);
+            self.misses
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Vec::with_capacity(capacity)
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.lock();
+        if free.len() < self.max_cached {
+            free.push(buf);
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_hits_the_cache() {
+        let p = BufferPool::new(8);
+        let b = p.take(100);
+        assert_eq!(p.stats(), (0, 1));
+        p.put(b);
+        let b2 = p.take(50);
+        assert!(b2.capacity() >= 50);
+        assert_eq!(p.stats(), (1, 1));
+    }
+
+    #[test]
+    fn undersized_buffers_are_not_reused() {
+        let p = BufferPool::new(8);
+        p.put(Vec::with_capacity(10));
+        let b = p.take(100);
+        assert!(b.capacity() >= 100);
+        assert_eq!(p.stats(), (0, 1));
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        let p = BufferPool::new(2);
+        for _ in 0..5 {
+            p.put(Vec::with_capacity(16));
+        }
+        assert!(p.free.lock().len() <= 2);
+    }
+
+    #[test]
+    fn taken_buffers_are_empty() {
+        let p = BufferPool::new(8);
+        let mut b = p.take(4);
+        b.extend_from_slice(&[1, 2, 3]);
+        p.put(b);
+        assert!(p.take(2).is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Non-blocking operation requests.
+
+use argo::Eventual;
+use bytes::Bytes;
+
+use crate::Result;
+
+/// Outcome payload of a request: receives and value-producing collectives
+/// resolve to `Some(bytes)`, pure-completion operations to `None`.
+pub type Outcome = Result<Option<Bytes>>;
+
+/// A handle to a non-blocking MoNA operation.
+pub struct Request {
+    state: State,
+}
+
+enum State {
+    Ready(Option<Outcome>),
+    Pending(Eventual<Outcome>),
+}
+
+impl Request {
+    /// A request that completed synchronously.
+    pub fn ready(outcome: Outcome) -> Self {
+        Self {
+            state: State::Ready(Some(outcome)),
+        }
+    }
+
+    /// A request backed by a background task.
+    pub fn pending(ev: Eventual<Outcome>) -> Self {
+        Self {
+            state: State::Pending(ev),
+        }
+    }
+
+    /// Whether the operation has completed (wait will not block).
+    pub fn test(&self) -> bool {
+        match &self.state {
+            State::Ready(_) => true,
+            State::Pending(ev) => ev.is_ready(),
+        }
+    }
+
+    /// Blocks until completion and returns the outcome.
+    pub fn wait(self) -> Outcome {
+        match self.state {
+            State::Ready(out) => out.expect("request already consumed"),
+            State::Pending(ev) => ev.wait(),
+        }
+    }
+}
+
+/// Waits on a batch of requests, returning the first error if any failed.
+pub fn wait_all(reqs: impl IntoIterator<Item = Request>) -> Result<Vec<Option<Bytes>>> {
+    reqs.into_iter().map(|r| r.wait()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_requests_complete_immediately() {
+        let r = Request::ready(Ok(None));
+        assert!(r.test());
+        assert_eq!(r.wait().unwrap(), None);
+    }
+
+    #[test]
+    fn pending_requests_block_until_set() {
+        let ev = Eventual::new();
+        let r = Request::pending(ev.clone());
+        assert!(!r.test());
+        ev.set(Ok(Some(Bytes::from_static(b"x"))));
+        assert_eq!(r.wait().unwrap().unwrap()[..1], b"x"[..]);
+    }
+
+    #[test]
+    fn wait_all_collects_outcomes() {
+        let out = wait_all([Request::ready(Ok(None)), Request::ready(Ok(Some(Bytes::new())))]);
+        assert_eq!(out.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wait_all_propagates_errors() {
+        let out = wait_all([
+            Request::ready(Ok(None)),
+            Request::ready(Err(na::NaError::Closed)),
+        ]);
+        assert!(out.is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Test and benchmark support: spin up an n-rank MoNA world in one call.
+//!
+//! Used by this crate's own tests, the workspace integration tests, and
+//! the Table I/II benchmark harnesses.
+
+use std::sync::Arc;
+
+use na::{Address, Fabric};
+
+use crate::{Communicator, MonaConfig, MonaInstance};
+
+/// Spawns `n` simulated ranks on `cluster` (placing `procs_per_node` per
+/// node), builds one MoNA communicator spanning them, and runs `f(comm)`
+/// in each. Returns the per-rank results in rank order.
+pub fn run_ranks<R: Send + 'static>(
+    cluster: &hpcsim::Cluster,
+    n: usize,
+    procs_per_node: usize,
+    config: MonaConfig,
+    f: impl Fn(Communicator) -> R + Send + Sync + 'static,
+) -> Vec<R> {
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let (addr_tx, addr_rx) = crossbeam::channel::unbounded();
+    let (list_tx, list_rx) = crossbeam::channel::unbounded::<Vec<Address>>();
+    let f = Arc::new(f);
+    let handles: Vec<_> = (0..n)
+        .map(|rank| {
+            let fabric = fabric.clone();
+            let addr_tx = addr_tx.clone();
+            let list_rx = list_rx.clone();
+            let f = Arc::clone(&f);
+            cluster.spawn(&format!("rank{rank}"), rank / procs_per_node, move || {
+                let inst = MonaInstance::init_with(&fabric, config);
+                addr_tx.send((rank, inst.address())).unwrap();
+                let members = list_rx.recv().unwrap();
+                let comm = inst.comm_create(members).unwrap();
+                f(comm)
+            })
+        })
+        .collect();
+    let mut addrs = vec![Address(0); n];
+    for _ in 0..n {
+        let (rank, addr) = addr_rx.recv().unwrap();
+        addrs[rank] = addr;
+    }
+    for _ in 0..n {
+        list_tx.send(addrs.clone()).unwrap();
+    }
+    handles.into_iter().map(|h| h.join()).collect()
+}
+
+/// [`run_ranks`] on a fresh zero-latency cluster (protocol-correctness
+/// testing; virtual time plays no role).
+pub fn with_comm<R: Send + 'static>(
+    n: usize,
+    config: MonaConfig,
+    f: impl Fn(Communicator) -> R + Send + Sync + 'static,
+) -> Vec<R> {
+    let cluster = hpcsim::Cluster::default();
+    run_ranks(&cluster, n, 4, config, f)
+}

@@ -1,0 +1,146 @@
+//! Property tests: MoNA collectives must agree with a sequential oracle
+//! for arbitrary communicator sizes, roots, payload sizes and contents.
+
+use mona::{ops, testing::with_comm, MonaConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bcast_equals_root_payload(
+        n in 1usize..9,
+        root_pick in 0usize..8,
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let root = root_pick % n;
+        let expect = payload.clone();
+        let out = with_comm(n, MonaConfig::default(), move |comm| {
+            let data = (comm.rank() == root).then(|| payload.clone());
+            comm.bcast(data.as_deref(), root).unwrap().to_vec()
+        });
+        for v in out {
+            prop_assert_eq!(&v, &expect);
+        }
+    }
+
+    #[test]
+    fn reduce_xor_equals_oracle(
+        n in 1usize..9,
+        root_pick in 0usize..8,
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let root = root_pick % n;
+        // Deterministic per-rank payloads derived from the seed.
+        let payload = move |rank: usize| -> Vec<u8> {
+            (0..len).map(|i| {
+                (seed.wrapping_mul(rank as u64 + 1).wrapping_add(i as u64) >> 3) as u8
+            }).collect()
+        };
+        let p2 = payload;
+        let out = with_comm(n, MonaConfig::default(), move |comm| {
+            comm.reduce(&payload(comm.rank()), &ops::bxor_u8, root).unwrap()
+        });
+        let mut oracle = p2(0);
+        for r in 1..n {
+            for (a, b) in oracle.iter_mut().zip(p2(r)) {
+                *a ^= b;
+            }
+        }
+        prop_assert_eq!(out[root].as_ref().unwrap(), &oracle);
+        for (r, o) in out.iter().enumerate() {
+            if r != root {
+                prop_assert!(o.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_equals_oracle(n in 1usize..8, len in 1usize..32) {
+        let out = with_comm(n, MonaConfig::default(), move |comm| {
+            let vals: Vec<u64> = (0..len).map(|i| (comm.rank() * 1000 + i) as u64).collect();
+            ops::bytes_to_u64s(&comm.allreduce(&ops::u64s_to_bytes(&vals), &ops::sum_u64).unwrap())
+        });
+        let oracle: Vec<u64> = (0..len)
+            .map(|i| (0..n).map(|r| (r * 1000 + i) as u64).sum())
+            .collect();
+        for v in out {
+            prop_assert_eq!(&v, &oracle);
+        }
+    }
+
+    #[test]
+    fn gather_preserves_rank_order(n in 1usize..8, root_pick in 0usize..8) {
+        let root = root_pick % n;
+        let out = with_comm(n, MonaConfig::default(), move |comm| {
+            comm.gather(&[comm.rank() as u8 + 1], root).unwrap()
+        });
+        let parts = out[root].as_ref().unwrap();
+        for (r, p) in parts.iter().enumerate() {
+            prop_assert_eq!(p[0], r as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn allgather_matches_gather_everywhere(n in 1usize..8, width in 1usize..10) {
+        let out = with_comm(n, MonaConfig::default(), move |comm| {
+            let data = vec![comm.rank() as u8; width * (comm.rank() + 1)];
+            comm.allgather(&data).unwrap().iter().map(|p| p.to_vec()).collect::<Vec<_>>()
+        });
+        for parts in out {
+            for (r, p) in parts.iter().enumerate() {
+                prop_assert_eq!(p, &vec![r as u8; width * (r + 1)]);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_routes_each_part(n in 1usize..8, root_pick in 0usize..8) {
+        let root = root_pick % n;
+        let out = with_comm(n, MonaConfig::default(), move |comm| {
+            let parts = (comm.rank() == root)
+                .then(|| (0..comm.size()).map(|i| vec![(i * 3) as u8; i + 1]).collect::<Vec<_>>());
+            comm.scatter(parts.as_deref(), root).unwrap().to_vec()
+        });
+        for (r, part) in out.iter().enumerate() {
+            prop_assert_eq!(part, &vec![(r * 3) as u8; r + 1]);
+        }
+    }
+
+    #[test]
+    fn pooling_does_not_change_results(n in 2usize..6) {
+        let run = move |pooling: bool| {
+            with_comm(n, MonaConfig { pooling, ..Default::default() }, |comm| {
+                let data = ops::u64s_to_bytes(&[comm.rank() as u64 + 7]);
+                comm.allreduce(&data, &ops::sum_u64).unwrap()
+            })
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
+
+#[test]
+fn virtual_time_of_reduce_grows_logarithmically() {
+    // Structural sanity of the cost model: doubling the communicator adds
+    // roughly one tree level, not double the time.
+    let time_for = |n: usize| {
+        let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+        let out = mona::testing::run_ranks(&cluster, n, 4, MonaConfig::default(), |comm| {
+            let data = vec![1u8; 64];
+            let before = hpcsim::current().now();
+            for _ in 0..10 {
+                comm.allreduce(&data, &ops::bxor_u8).unwrap();
+            }
+            hpcsim::current().now() - before
+        });
+        *out.iter().max().unwrap()
+    };
+    let t4 = time_for(4);
+    let t16 = time_for(16);
+    assert!(t16 > t4, "more ranks must cost more: {t4} vs {t16}");
+    assert!(
+        t16 < t4 * 6,
+        "tree collectives must scale sublinearly: {t4} vs {t16}"
+    );
+}

@@ -1,0 +1,78 @@
+//! Endpoint addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use hpcsim::Pid;
+
+/// The address of an NA endpoint.
+///
+/// Real Mercury addresses look like `ofi+gni://nid00012:7471`; ours encode
+/// the simulated pid. Addresses are serializable so they can travel inside
+/// RPC payloads (SSG views, Colza connection files).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Address(pub u64);
+
+impl Address {
+    /// The address of the endpoint owned by simulated process `pid`.
+    pub fn of(pid: Pid) -> Self {
+        Self(pid.0)
+    }
+
+    /// The owning simulated process.
+    pub fn pid(&self) -> Pid {
+        Pid(self.0)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "na+sim://{}", self.0)
+    }
+}
+
+impl FromStr for Address {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix("na+sim://")
+            .ok_or_else(|| format!("bad address scheme: {s}"))?;
+        let id: u64 = rest.parse().map_err(|e| format!("bad address {s}: {e}"))?;
+        Ok(Self(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = Address(42);
+        let s = a.to_string();
+        assert_eq!(s, "na+sim://42");
+        assert_eq!(s.parse::<Address>().unwrap(), a);
+    }
+
+    #[test]
+    fn bad_addresses_are_rejected() {
+        assert!("http://x".parse::<Address>().is_err());
+        assert!("na+sim://abc".parse::<Address>().is_err());
+    }
+
+    #[test]
+    fn pid_mapping_is_bijective() {
+        let pid = Pid(99);
+        let a = Address::of(pid);
+        assert_eq!(a.pid(), pid);
+        assert_eq!(Address(99), a);
+    }
+
+    #[test]
+    fn ordering_follows_pid() {
+        assert!(Address(1) < Address(2));
+    }
+}

@@ -1,0 +1,47 @@
+//! Registered memory and bulk handles (the RDMA path).
+//!
+//! `stage()` in Colza does not push data: the client *exposes* a memory
+//! region and sends a small handle; the server *pulls* via RDMA. These
+//! types reproduce that flow. A [`BulkHandle`] is a serializable
+//! capability naming a registered region on some process.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Address;
+
+/// A serializable capability for a registered memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BulkHandle {
+    /// The process owning the memory.
+    pub owner: Address,
+    /// Registration key in the owner's exposure table.
+    pub key: u64,
+    /// Size of the region in bytes.
+    pub size: usize,
+}
+
+impl BulkHandle {
+    /// A sub-range view check: returns true when `[offset, offset+len)` is
+    /// inside the region.
+    pub fn contains(&self, offset: usize, len: usize) -> bool {
+        offset.checked_add(len).is_some_and(|end| end <= self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_checking() {
+        let h = BulkHandle {
+            owner: Address(0),
+            key: 1,
+            size: 100,
+        };
+        assert!(h.contains(0, 100));
+        assert!(h.contains(99, 1));
+        assert!(!h.contains(99, 2));
+        assert!(!h.contains(usize::MAX, 2)); // overflow must not wrap
+    }
+}

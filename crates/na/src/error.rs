@@ -1,0 +1,46 @@
+//! NA error type.
+
+use std::fmt;
+
+use crate::Address;
+
+/// Result alias for NA operations.
+pub type Result<T> = std::result::Result<T, NaError>;
+
+/// Failures surfaced by the network abstraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NaError {
+    /// No endpoint is open at this address (never opened, or closed).
+    Unreachable(Address),
+    /// The local endpoint was closed while an operation was blocked on it.
+    Closed,
+    /// A blocking receive exceeded its real-time liveness timeout.
+    Timeout,
+    /// An RDMA handle was invalid or already released.
+    BadBulkHandle(u64),
+    /// RDMA access out of the registered region's bounds.
+    BulkOutOfRange {
+        /// Requested offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Size of the registered region.
+        size: usize,
+    },
+}
+
+impl fmt::Display for NaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NaError::Unreachable(a) => write!(f, "address {a} is unreachable"),
+            NaError::Closed => write!(f, "local endpoint closed"),
+            NaError::Timeout => write!(f, "receive timed out"),
+            NaError::BadBulkHandle(k) => write!(f, "invalid bulk handle {k}"),
+            NaError::BulkOutOfRange { offset, len, size } => {
+                write!(f, "bulk access [{offset}, {offset}+{len}) outside region of {size} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NaError {}

@@ -1,0 +1,133 @@
+//! The fabric: per-cluster message router and RDMA exposure table.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use hpcsim::cluster::ClusterShared;
+
+use crate::endpoint::{Endpoint, InMsg};
+use crate::error::{NaError, Result};
+use crate::Address;
+
+pub(crate) struct Mailbox {
+    pub(crate) queue: Mutex<MailboxState>,
+    pub(crate) cond: Condvar,
+}
+
+pub(crate) struct MailboxState {
+    pub(crate) msgs: VecDeque<InMsg>,
+    pub(crate) closed: bool,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(MailboxState {
+                msgs: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+struct FabricInner {
+    cluster: Arc<ClusterShared>,
+    mailboxes: RwLock<HashMap<Address, Arc<Mailbox>>>,
+    exposures: RwLock<HashMap<(Address, u64), Bytes>>,
+    next_key: AtomicU64,
+}
+
+/// The cluster-wide network: endpoint registry, message routing, and the
+/// RDMA exposure table. Clone handles freely; all clones share state.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl Fabric {
+    /// Creates a fabric over a cluster.
+    pub fn new(cluster: Arc<ClusterShared>) -> Self {
+        Self {
+            inner: Arc::new(FabricInner {
+                cluster,
+                mailboxes: RwLock::new(HashMap::new()),
+                exposures: RwLock::new(HashMap::new()),
+                next_key: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Arc<ClusterShared> {
+        &self.inner.cluster
+    }
+
+    /// Opens an endpoint for the calling simulated process.
+    ///
+    /// # Panics
+    /// Panics if the caller is not a simulated process, or if it already
+    /// has an open endpoint on this fabric.
+    pub fn open(&self) -> Endpoint {
+        let ctx = hpcsim::process::current();
+        let addr = Address::of(ctx.pid());
+        let mailbox = Arc::new(Mailbox::new());
+        let prev = self
+            .inner
+            .mailboxes
+            .write()
+            .insert(addr, Arc::clone(&mailbox));
+        assert!(prev.is_none(), "endpoint already open at {addr}");
+        Endpoint::new(self.clone(), addr, ctx, mailbox)
+    }
+
+    /// Whether an endpoint is currently open at `addr`.
+    pub fn is_open(&self, addr: Address) -> bool {
+        self.inner.mailboxes.read().contains_key(&addr)
+    }
+
+    pub(crate) fn mailbox_of(&self, addr: Address) -> Result<Arc<Mailbox>> {
+        self.inner
+            .mailboxes
+            .read()
+            .get(&addr)
+            .cloned()
+            .ok_or(NaError::Unreachable(addr))
+    }
+
+    pub(crate) fn close(&self, addr: Address) {
+        if let Some(mb) = self.inner.mailboxes.write().remove(&addr) {
+            let mut q = mb.queue.lock();
+            q.closed = true;
+            mb.cond.notify_all();
+        }
+        // Drop all memory this endpoint had exposed.
+        self.inner
+            .exposures
+            .write()
+            .retain(|(owner, _), _| *owner != addr);
+    }
+
+    pub(crate) fn register_exposure(&self, owner: Address, data: Bytes) -> u64 {
+        let key = self.inner.next_key.fetch_add(1, Ordering::Relaxed);
+        self.inner.exposures.write().insert((owner, key), data);
+        key
+    }
+
+    pub(crate) fn lookup_exposure(&self, owner: Address, key: u64) -> Option<Bytes> {
+        self.inner.exposures.read().get(&(owner, key)).cloned()
+    }
+
+    pub(crate) fn unregister_exposure(&self, owner: Address, key: u64) -> bool {
+        self.inner.exposures.write().remove(&(owner, key)).is_some()
+    }
+
+    /// Number of live exposures (diagnostics; lets tests assert no leaks).
+    pub fn exposure_count(&self) -> usize {
+        self.inner.exposures.read().len()
+    }
+}

@@ -1,0 +1,55 @@
+//! # na — network abstraction layer
+//!
+//! Mercury's NA layer provides connectionless point-to-point messaging and
+//! one-sided RDMA on registered memory. This crate reproduces it on top of
+//! the `hpcsim` virtual-time fabric:
+//!
+//! * [`Fabric`] — the per-cluster message router (the "network"),
+//! * [`Endpoint`] — a process's NIC: tagged send/recv with unexpected-
+//!   message queueing, plus memory exposure and one-sided [`Endpoint::rdma_get`],
+//! * [`Address`] — a serializable endpoint address (what Colza daemons
+//!   write to their connection file),
+//! * [`bulk`] — registered-memory handles used by the staging RDMA path.
+//!
+//! ## Timing semantics
+//!
+//! Sends are buffered (they never block). A send charges the sender's
+//! virtual clock with the model's per-message CPU overhead and stamps the
+//! message with a departure time; the matching receive merges
+//! `departure + wire_delay` into the receiver's clock and charges the
+//! receiver-side overhead. One-sided RDMA charges only the initiator
+//! (setup + wire); the target's CPU is not involved, exactly the property
+//! that makes the staging `stage()` RPC cheap for the simulation.
+//!
+//! Higher layers (`mona`, `minimpi`, `margo`) charge their own additional
+//! software overheads — that is where the Table I differences between NA,
+//! MoNA and the MPI profiles come from.
+
+mod address;
+pub mod bulk;
+mod endpoint;
+mod error;
+mod fabric;
+
+pub use address::Address;
+pub use bulk::BulkHandle;
+pub use endpoint::{Endpoint, InMsg, RecvSelector};
+pub use error::{NaError, Result};
+pub use fabric::Fabric;
+
+/// Message tags are 64-bit; layers partition the space (see `tags`).
+pub type Tag = u64;
+
+/// Tag-space partitioning between the layers sharing an endpoint.
+pub mod tags {
+    /// Base of the range used by margo RPC requests.
+    pub const RPC_BASE: u64 = 0x1000_0000_0000;
+    /// Base of the range used by margo RPC responses.
+    pub const RPC_RESP_BASE: u64 = 0x2000_0000_0000;
+    /// Base of the range used by MoNA communicator traffic.
+    pub const MONA_BASE: u64 = 0x3000_0000_0000;
+    /// Base of the range used by minimpi communicator traffic.
+    pub const MPI_BASE: u64 = 0x4000_0000_0000;
+    /// Base of the range used by SSG gossip traffic.
+    pub const SSG_BASE: u64 = 0x5000_0000_0000;
+}

@@ -1,0 +1,241 @@
+//! The Deep Water Impact proxy.
+//!
+//! The paper's DWI proxy replays 30 snapshots of LANL's Deep Water Impact
+//! ensemble (an asteroid–ocean impact run with xRAGE), whose defining
+//! property is that **both data size and rendering complexity grow as the
+//! run progresses** (Fig. 1a: ~4 M cells growing to ~132 M, file sizes to
+//! ~16 GiB). The dataset itself is a multi-hundred-GB LANL product, so —
+//! per the substitution rule — this module generates a synthetic stand-in
+//! with the same structure: 512 voxel-based unstructured blocks per
+//! iteration whose total cell count follows the paper's growth curve, a
+//! splash-like geometry expanding over time, and a `v02` velocity-
+//! magnitude cell field for volume rendering.
+
+use vizkit::data::{CellType, DataArray, UnstructuredGrid};
+
+/// The synthetic Deep Water Impact series.
+#[derive(Debug, Clone, Copy)]
+pub struct DwiSeries {
+    /// Number of blocks per iteration (the real dataset has 512 VTU files
+    /// from a 512-process run).
+    pub total_blocks: usize,
+    /// Scale factor on cell counts (1.0 ≈ paper scale: up to ~132 M cells;
+    /// use small values on laptop-class hosts).
+    pub scale: f64,
+    /// Number of iterations in the series (the paper replays 30).
+    pub iterations: u64,
+}
+
+impl Default for DwiSeries {
+    fn default() -> Self {
+        Self {
+            total_blocks: 512,
+            scale: 1.0,
+            iterations: 30,
+        }
+    }
+}
+
+impl DwiSeries {
+    /// A laptop-scale series: 1/4096 of the paper's cell counts.
+    pub fn scaled_down(total_blocks: usize) -> Self {
+        Self {
+            total_blocks,
+            scale: 1.0 / 4096.0,
+            iterations: 30,
+        }
+    }
+
+    /// Total cell count at an iteration (1-based, following the paper's
+    /// renumbering 1..=30). Calibrated to Fig. 1a: ~4 M cells early,
+    /// accelerating growth to ~132 M at iteration 30.
+    pub fn cells_at(&self, iteration: u64) -> u64 {
+        let t = (iteration.clamp(1, self.iterations)) as f64 / self.iterations as f64;
+        let paper_cells = 4.0e6 + 128.0e6 * t.powf(2.2);
+        (paper_cells * self.scale) as u64
+    }
+
+    /// Approximate serialized size in bytes at an iteration (the "file
+    /// size" series of Fig. 1a — roughly 128 bytes per cell in VTK form).
+    pub fn bytes_at(&self, iteration: u64) -> u64 {
+        self.cells_at(iteration) * 128
+    }
+
+    /// Grid resolution used internally at an iteration.
+    fn resolution(&self, iteration: u64) -> usize {
+        // The splash occupies ~35% of the bounding volume; solve
+        // n³ * fill ≈ cells.
+        let cells = self.cells_at(iteration) as f64;
+        ((cells / 0.35).cbrt().ceil() as usize).max(8)
+    }
+
+    /// Generates block `block_id` of the given iteration: a z-slab of the
+    /// splash region as voxel cells with the `v02` velocity field.
+    pub fn generate_block(&self, iteration: u64, block_id: usize) -> UnstructuredGrid {
+        assert!(block_id < self.total_blocks);
+        let n = self.resolution(iteration);
+        let t = iteration as f32 / self.iterations as f32;
+        // Physical domain [0,1]³; ocean surface at z = 0.45; crown radius
+        // and height grow with time.
+        let spacing = 1.0 / n as f32;
+        let zlo = (block_id * n) / self.total_blocks;
+        let zhi = ((block_id + 1) * n) / self.total_blocks;
+
+        let mut g = UnstructuredGrid::new();
+        let mut vels = Vec::new();
+        // Point dedup within the block via a lattice index map.
+        let mut point_ids: std::collections::HashMap<(u32, u32, u32), u32> =
+            std::collections::HashMap::new();
+        let mut get_point = |g: &mut UnstructuredGrid, i: u32, j: u32, k: u32| -> u32 {
+            *point_ids.entry((i, j, k)).or_insert_with(|| {
+                g.points
+                    .push([i as f32 * spacing, j as f32 * spacing, k as f32 * spacing]);
+                (g.points.len() - 1) as u32
+            })
+        };
+
+        for k in zlo..zhi.max(zlo) {
+            for j in 0..n {
+                for i in 0..n {
+                    let x = (i as f32 + 0.5) * spacing;
+                    let y = (j as f32 + 0.5) * spacing;
+                    let z = (k as f32 + 0.5) * spacing;
+                    let Some(v) = splash_velocity(x, y, z, t) else {
+                        continue;
+                    };
+                    let (i, j, k) = (i as u32, j as u32, k as u32);
+                    let c = [
+                        get_point(&mut g, i, j, k),
+                        get_point(&mut g, i + 1, j, k),
+                        get_point(&mut g, i, j + 1, k),
+                        get_point(&mut g, i + 1, j + 1, k),
+                        get_point(&mut g, i, j, k + 1),
+                        get_point(&mut g, i + 1, j, k + 1),
+                        get_point(&mut g, i, j + 1, k + 1),
+                        get_point(&mut g, i + 1, j + 1, k + 1),
+                    ];
+                    g.add_cell(CellType::Voxel, &c);
+                    vels.push(v);
+                }
+            }
+        }
+        g.cell_data.set("v02", DataArray::F32(vels));
+        debug_assert!(g.validate().is_ok());
+        g
+    }
+
+    /// Actual generated cell count for an iteration (sum over blocks; the
+    /// analytic [`DwiSeries::cells_at`] is the target the generator aims
+    /// for).
+    pub fn generated_cells(&self, iteration: u64) -> u64 {
+        (0..self.total_blocks)
+            .map(|b| self.generate_block(iteration, b).num_cells() as u64)
+            .sum()
+    }
+}
+
+/// The splash shape: water body + expanding crown + rising central jet.
+/// Returns the velocity magnitude for cells inside water, `None` outside.
+fn splash_velocity(x: f32, y: f32, z: f32, t: f32) -> Option<f32> {
+    let (dx, dy) = (x - 0.5, y - 0.5);
+    let r = (dx * dx + dy * dy).sqrt();
+    let surface = 0.45;
+
+    // Undisturbed ocean below the surface, with a growing transient
+    // crater around the impact point.
+    let crater_r = 0.08 + 0.25 * t;
+    let crater_depth = 0.18 * (1.0 - (r / crater_r).min(1.0));
+    if z < surface - crater_depth.max(0.0) {
+        let v = 0.05 + 0.3 * t * (-r * 4.0).exp();
+        return Some(v);
+    }
+    // Crown: an annular wall at radius ~crater_r, climbing with t.
+    let crown_height = surface + 0.35 * t;
+    let wall = (r - crater_r).abs() < 0.03 + 0.05 * t;
+    if wall && z < crown_height {
+        return Some(1.5 + 2.0 * t + (z - surface) * 2.0);
+    }
+    // Central jet appears mid-run.
+    if t > 0.4 {
+        let jet_r = 0.05 * (t - 0.4) / 0.6 + 0.02;
+        let jet_h = surface + 0.5 * (t - 0.4);
+        if r < jet_r && z >= surface && z < jet_h {
+            return Some(3.0 + 4.0 * (t - 0.4));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_cell_counts_match_fig1a_shape() {
+        let s = DwiSeries::default();
+        assert!((3.5e6..6.0e6).contains(&(s.cells_at(1) as f64)));
+        assert!((120.0e6..140.0e6).contains(&(s.cells_at(30) as f64)));
+        // Monotone growth.
+        for i in 1..30 {
+            assert!(s.cells_at(i + 1) >= s.cells_at(i));
+        }
+        // File sizes land in the paper's GiB range at the end.
+        assert!(s.bytes_at(30) > 10 << 30);
+    }
+
+    #[test]
+    fn generated_blocks_grow_over_time() {
+        let s = DwiSeries::scaled_down(8);
+        let early = s.generated_cells(2);
+        let late = s.generated_cells(28);
+        assert!(early > 0);
+        assert!(
+            late > early * 3,
+            "growth too weak: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn generated_count_tracks_analytic_target() {
+        let s = DwiSeries::scaled_down(4);
+        for iter in [5, 15, 30] {
+            let got = s.generated_cells(iter) as f64;
+            let want = s.cells_at(iter) as f64;
+            let ratio = got / want;
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "iter {iter}: generated {got} vs target {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocks_have_velocity_field_and_valid_structure() {
+        let s = DwiSeries::scaled_down(4);
+        for b in 0..4 {
+            let g = s.generate_block(10, b);
+            g.validate().unwrap();
+            if g.num_cells() > 0 {
+                let v = g.cell_data.get("v02").unwrap();
+                assert_eq!(v.len(), g.num_cells());
+                let (lo, hi) = v.range().unwrap();
+                assert!(lo >= 0.0 && hi < 20.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = DwiSeries::scaled_down(4);
+        let a = s.generate_block(7, 1);
+        let b = s.generate_block(7, 1);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.connectivity, b.connectivity);
+    }
+
+    #[test]
+    fn jet_appears_only_in_late_iterations() {
+        assert!(splash_velocity(0.5, 0.5, 0.6, 0.2).is_none());
+        assert!(splash_velocity(0.5, 0.5, 0.6, 0.9).is_some());
+    }
+}

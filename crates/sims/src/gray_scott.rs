@@ -1,0 +1,338 @@
+//! The Gray–Scott reaction–diffusion simulation.
+//!
+//! Two species `u` and `v` on a periodic 3-D grid:
+//!
+//! ```text
+//! du/dt = Du ∇²u − u v² + F (1 − u)
+//! dv/dt = Dv ∇²v + u v² − (F + k) v
+//! ```
+//!
+//! The domain is partitioned along z across ranks; each step exchanges
+//! one-deep ghost planes with the two neighbors through `minimpi`
+//! (`MPI_Sendrecv`), exactly like the ADIOS tutorial code uses MPI.
+//! A serial constructor exists for tests and workload generation.
+
+use vizkit::data::{DataArray, DataSet, ImageData};
+
+/// Model parameters (defaults are the tutorial's pattern-forming regime).
+#[derive(Debug, Clone, Copy)]
+pub struct GrayScottParams {
+    /// Feed rate.
+    pub f: f64,
+    /// Kill rate.
+    pub k: f64,
+    /// Diffusion rate of `u`.
+    pub du: f64,
+    /// Diffusion rate of `v`.
+    pub dv: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Noise amplitude applied to the seed.
+    pub noise: f64,
+}
+
+impl Default for GrayScottParams {
+    fn default() -> Self {
+        Self {
+            f: 0.01,
+            k: 0.05,
+            du: 0.2,
+            dv: 0.1,
+            dt: 1.0,
+            noise: 0.1,
+        }
+    }
+}
+
+/// One rank's slab of the Gray–Scott domain.
+pub struct GrayScott {
+    /// Global grid edge length (cube).
+    pub n: usize,
+    /// First global z-plane owned by this rank.
+    pub z0: usize,
+    /// Number of owned z-planes.
+    pub nz: usize,
+    params: GrayScottParams,
+    /// Fields with ghost planes: (nz + 2) planes of n×n.
+    u: Vec<f64>,
+    v: Vec<f64>,
+    u_next: Vec<f64>,
+    v_next: Vec<f64>,
+    rank: usize,
+    ranks: usize,
+}
+
+impl GrayScott {
+    /// Creates rank `rank` of `ranks` over a global n³ domain, seeded with
+    /// a central square of `v` surrounded by deterministic noise.
+    pub fn new(n: usize, rank: usize, ranks: usize, params: GrayScottParams) -> Self {
+        assert!(ranks >= 1 && rank < ranks);
+        assert!(n % ranks == 0, "grid must divide evenly across ranks");
+        let nz = n / ranks;
+        let z0 = rank * nz;
+        let plane = n * n;
+        let total = (nz + 2) * plane;
+        let mut sim = Self {
+            n,
+            z0,
+            nz,
+            params,
+            u: vec![1.0; total],
+            v: vec![0.0; total],
+            u_next: vec![0.0; total],
+            v_next: vec![0.0; total],
+            rank,
+            ranks,
+        };
+        // Deterministic noise + central seed block, as in the miniapp.
+        let center = n / 2;
+        let half = (n / 8).max(1);
+        for gz in z0..z0 + nz {
+            for y in 0..n {
+                for x in 0..n {
+                    let idx = sim.index(x, y, gz - z0);
+                    let h = hash3(x as u64, y as u64, gz as u64);
+                    sim.v[idx] = params.noise * (h % 1000) as f64 / 1000.0;
+                    let seeded = x.abs_diff(center) < half
+                        && y.abs_diff(center) < half
+                        && gz.abs_diff(center) < half;
+                    if seeded {
+                        sim.u[idx] = 0.25;
+                        sim.v[idx] = 0.5;
+                    }
+                }
+            }
+        }
+        sim
+    }
+
+    /// A serial (single-rank) instance.
+    pub fn serial(n: usize, params: GrayScottParams) -> Self {
+        Self::new(n, 0, 1, params)
+    }
+
+    fn index(&self, x: usize, y: usize, local_z: usize) -> usize {
+        // Ghost plane 0; owned planes 1..=nz; ghost plane nz+1.
+        ((local_z + 1) * self.n + y) * self.n + x
+    }
+
+    /// Exchanges ghost planes with the z-neighbors (periodic) through the
+    /// provided communicator; pass `None` for serial periodic wrap.
+    pub fn exchange_ghosts(&mut self, comm: Option<&minimpi::MpiComm>) -> Result<(), String> {
+        let plane = self.n * self.n;
+        match comm {
+            None => {
+                // Periodic wrap within the local slab.
+                let (u, v) = (&mut self.u, &mut self.v);
+                let last_owned = self.nz * plane; // start of plane nz
+                u.copy_within(last_owned..last_owned + plane, 0);
+                v.copy_within(last_owned..last_owned + plane, 0);
+                let first_owned = plane; // plane 1
+                let top_ghost = (self.nz + 1) * plane;
+                u.copy_within(first_owned..first_owned + plane, top_ghost);
+                v.copy_within(first_owned..first_owned + plane, top_ghost);
+                Ok(())
+            }
+            Some(comm) => {
+                assert_eq!(comm.size(), self.ranks);
+                assert_eq!(comm.rank(), self.rank);
+                let up = (self.rank + 1) % self.ranks;
+                let down = (self.rank + self.ranks - 1) % self.ranks;
+                for (field_idx, tag_base) in [(0u8, 100u16), (1u8, 102u16)] {
+                    let field: &mut Vec<f64> = if field_idx == 0 {
+                        &mut self.u
+                    } else {
+                        &mut self.v
+                    };
+                    // Send top owned plane up, receive bottom ghost.
+                    let top = f64s_bytes(&field[self.nz * plane..(self.nz + 1) * plane]);
+                    let got = comm
+                        .sendrecv(&top, up, tag_base, down, tag_base)
+                        .map_err(|e| e.to_string())?;
+                    bytes_into_f64s(&got, &mut field[0..plane]);
+                    // Send bottom owned plane down, receive top ghost.
+                    let bottom = f64s_bytes(&field[plane..2 * plane]);
+                    let got = comm
+                        .sendrecv(&bottom, down, tag_base + 1, up, tag_base + 1)
+                        .map_err(|e| e.to_string())?;
+                    bytes_into_f64s(&got, &mut field[(self.nz + 1) * plane..(self.nz + 2) * plane]);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Advances one time step (ghosts must be current).
+    pub fn step(&mut self) {
+        let n = self.n;
+        let p = &self.params;
+        for lz in 0..self.nz {
+            for y in 0..n {
+                for x in 0..n {
+                    let i = self.index(x, y, lz);
+                    let xm = self.index((x + n - 1) % n, y, lz);
+                    let xp = self.index((x + 1) % n, y, lz);
+                    let ym = self.index(x, (y + n - 1) % n, lz);
+                    let yp = self.index(x, (y + 1) % n, lz);
+                    // z neighbors may live in ghost planes.
+                    let zm = i - n * n;
+                    let zp = i + n * n;
+                    let (u, v) = (self.u[i], self.v[i]);
+                    // The miniapp's normalized 7-point Laplacian keeps the
+                    // explicit scheme stable at dt = 1.
+                    let lap_u = (self.u[xm] + self.u[xp] + self.u[ym] + self.u[yp] + self.u[zm]
+                        + self.u[zp])
+                        / 6.0
+                        - u;
+                    let lap_v = (self.v[xm] + self.v[xp] + self.v[ym] + self.v[yp] + self.v[zm]
+                        + self.v[zp])
+                        / 6.0
+                        - v;
+                    let uvv = u * v * v;
+                    self.u_next[i] = u + p.dt * (p.du * lap_u - uvv + p.f * (1.0 - u));
+                    self.v_next[i] = v + p.dt * (p.dv * lap_v + uvv - (p.f + p.k) * v);
+                }
+            }
+        }
+        std::mem::swap(&mut self.u, &mut self.u_next);
+        std::mem::swap(&mut self.v, &mut self.v_next);
+    }
+
+    /// Runs `iters` steps with ghost exchange.
+    pub fn run(&mut self, iters: usize, comm: Option<&minimpi::MpiComm>) -> Result<(), String> {
+        for _ in 0..iters {
+            self.exchange_ghosts(comm)?;
+            self.step();
+        }
+        Ok(())
+    }
+
+    /// Exports this rank's slab (both fields) as a dataset block.
+    pub fn to_dataset(&self) -> DataSet {
+        let mut img = ImageData::new([self.n, self.n, self.nz]);
+        img.origin = [0.0, 0.0, self.z0 as f32];
+        let plane = self.n * self.n;
+        let mut u = Vec::with_capacity(self.nz * plane);
+        let mut v = Vec::with_capacity(self.nz * plane);
+        for lz in 0..self.nz {
+            let start = (lz + 1) * plane;
+            u.extend(self.u[start..start + plane].iter().map(|&x| x as f32));
+            v.extend(self.v[start..start + plane].iter().map(|&x| x as f32));
+        }
+        img.point_data.set("u", DataArray::F32(u));
+        img.point_data.set("v", DataArray::F32(v));
+        DataSet::Image(img)
+    }
+
+    /// Mean of `v` over the owned slab (a cheap conservation probe).
+    pub fn mean_v(&self) -> f64 {
+        let plane = self.n * self.n;
+        let owned = &self.v[plane..(self.nz + 1) * plane];
+        owned.iter().sum::<f64>() / owned.len() as f64
+    }
+}
+
+fn hash3(x: u64, y: u64, z: u64) -> u64 {
+    let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ y.rotate_left(21).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ z.rotate_left(42).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    h ^ (h >> 29)
+}
+
+fn f64s_bytes(v: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_into_f64s(b: &[u8], out: &mut [f64]) {
+    assert_eq!(b.len(), out.len() * 8);
+    for (slot, chunk) in out.iter_mut().zip(b.chunks_exact(8)) {
+        *slot = f64::from_le_bytes(chunk.try_into().unwrap());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_is_deterministic() {
+        let a = GrayScott::serial(16, GrayScottParams::default());
+        let b = GrayScott::serial(16, GrayScottParams::default());
+        assert_eq!(a.u, b.u);
+        assert_eq!(a.v, b.v);
+    }
+
+    #[test]
+    fn fields_stay_bounded() {
+        let mut sim = GrayScott::serial(12, GrayScottParams::default());
+        sim.run(30, None).unwrap();
+        for (&u, &v) in sim.u.iter().zip(&sim.v) {
+            assert!((-0.1..=1.5).contains(&u), "u escaped: {u}");
+            assert!((-0.1..=1.5).contains(&v), "v escaped: {v}");
+        }
+    }
+
+    #[test]
+    fn reaction_spreads_from_seed() {
+        let mut sim = GrayScott::serial(16, GrayScottParams::default());
+        let before = sim.mean_v();
+        sim.run(50, None).unwrap();
+        // The autocatalytic reaction consumes u and makes structures in v;
+        // the field must have evolved away from the seed state.
+        assert!((sim.mean_v() - before).abs() > 1e-6);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial() {
+        // 2-rank domain must evolve identically to the serial domain.
+        let n = 8;
+        let iters = 10;
+        let mut serial = GrayScott::serial(n, GrayScottParams::default());
+        serial.run(iters, None).unwrap();
+        let serial_ds = serial.to_dataset();
+        let out = minimpi::MpiWorld::run(2, minimpi::Profile::Vendor, move |comm| {
+            let mut sim = GrayScott::new(n, comm.rank(), comm.size(), GrayScottParams::default());
+            sim.run(iters, Some(&comm)).unwrap();
+            let ds = sim.to_dataset();
+            let DataSet::Image(img) = ds else { unreachable!() };
+            let v = img.point_data.get("v").unwrap();
+            (0..v.len()).map(|i| v.get_f32(i)).collect::<Vec<f32>>()
+        });
+        let DataSet::Image(full) = &serial_ds else {
+            unreachable!()
+        };
+        let v_full = full.point_data.get("v").unwrap();
+        let joined: Vec<f32> = out.into_iter().flatten().collect();
+        assert_eq!(joined.len(), v_full.len());
+        for (i, got) in joined.iter().enumerate() {
+            let want = v_full.get_f32(i);
+            assert!(
+                (got - want).abs() < 1e-5,
+                "divergence at {i}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_export_has_both_fields() {
+        let sim = GrayScott::serial(8, GrayScottParams::default());
+        let DataSet::Image(img) = sim.to_dataset() else {
+            unreachable!()
+        };
+        assert_eq!(img.dims, [8, 8, 8]);
+        assert_eq!(img.point_data.get("u").unwrap().len(), 512);
+        assert_eq!(img.point_data.get("v").unwrap().len(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_partition_is_rejected() {
+        GrayScott::new(10, 0, 3, GrayScottParams::default());
+    }
+}

@@ -1,0 +1,18 @@
+//! # sims — the paper's three data-source applications
+//!
+//! * [`gray_scott`] — a 3-D Gray–Scott reaction–diffusion solver (the
+//!   ADIOS tutorial miniapp): regular grid, fixed data volume per
+//!   iteration, halo exchange over `minimpi` exactly the way the original
+//!   uses MPI — unchanged by Colza, as §III-D emphasizes.
+//! * [`mandelbulb`] — the Mandelbulb miniapp: a power-8 3-D fractal
+//!   escape-time field on a z-partitioned grid, stressing contouring with
+//!   complex geometry.
+//! * [`dwi`] — the Deep Water Impact proxy: a synthetic generator whose
+//!   unstructured mesh *grows with the iteration number*, following the
+//!   cell-count curve of the paper's Fig. 1a (the real LANL ensemble
+//!   dataset is not redistributable; DESIGN.md §2 documents the
+//!   substitution).
+
+pub mod dwi;
+pub mod gray_scott;
+pub mod mandelbulb;

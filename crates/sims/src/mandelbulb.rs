@@ -1,0 +1,181 @@
+//! The Mandelbulb miniapp: a 3-D power-8 fractal escape-time field.
+//!
+//! The original is a Catalyst tutorial example that stresses
+//! visualization pipelines with complex mesh geometry. The global domain
+//! is a regular grid over `[-1.2, 1.2]³` partitioned along z; each process
+//! may own several blocks (the paper runs 4 blocks of 128³ per client).
+
+use vizkit::data::{DataArray, DataSet, ImageData};
+
+/// Mandelbulb field generator.
+#[derive(Debug, Clone, Copy)]
+pub struct Mandelbulb {
+    /// Global grid points per axis `[nx, ny, nz]`.
+    pub dims: [usize; 3],
+    /// Fractal power (the classic bulb is 8).
+    pub power: f32,
+    /// Escape-iteration cap.
+    pub max_iter: u32,
+    /// Domain half-width.
+    pub extent: f32,
+}
+
+impl Default for Mandelbulb {
+    fn default() -> Self {
+        Self {
+            dims: [64, 64, 64],
+            power: 8.0,
+            max_iter: 30,
+            extent: 1.2,
+        }
+    }
+}
+
+impl Mandelbulb {
+    /// Escape iterations for one spatial point.
+    pub fn escape_iterations(&self, x: f32, y: f32, z: f32) -> u32 {
+        let (cx, cy, cz) = (x, y, z);
+        let (mut px, mut py, mut pz) = (x, y, z);
+        for it in 0..self.max_iter {
+            let r = (px * px + py * py + pz * pz).sqrt();
+            if r > 2.0 {
+                return it;
+            }
+            // White–Nylander spherical-coordinate power map.
+            let theta = (pz / r.max(1e-12)).acos();
+            let phi = py.atan2(px);
+            let rn = r.powf(self.power);
+            let (tn, pn) = (theta * self.power, phi * self.power);
+            px = rn * tn.sin() * pn.cos() + cx;
+            py = rn * tn.sin() * pn.sin() + cy;
+            pz = rn * tn.cos() + cz;
+        }
+        self.max_iter
+    }
+
+    /// Generates block `block` of `total_blocks` (z-partition). The block
+    /// carries the `iterations` point field the pipelines contour.
+    pub fn generate_block(&self, block: usize, total_blocks: usize) -> DataSet {
+        assert!(block < total_blocks);
+        let [nx, ny, nz] = self.dims;
+        assert!(
+            nz % total_blocks == 0,
+            "z extent must divide across blocks"
+        );
+        let local_nz = nz / total_blocks;
+        let z_start = block * local_nz;
+        // One overlapping plane so contours are seamless across blocks.
+        let z_planes = if block + 1 < total_blocks {
+            local_nz + 1
+        } else {
+            local_nz
+        };
+        let spacing = 2.0 * self.extent / (self.dims[0] - 1) as f32;
+        let mut img = ImageData::new([nx, ny, z_planes]);
+        img.origin = [-self.extent, -self.extent, -self.extent + z_start as f32 * spacing];
+        img.spacing = [spacing; 3];
+        let mut vals = Vec::with_capacity(nx * ny * z_planes);
+        for dz in 0..z_planes {
+            let z = img.origin[2] + dz as f32 * spacing;
+            for jy in 0..ny {
+                let y = -self.extent + jy as f32 * spacing;
+                for ix in 0..nx {
+                    let x = -self.extent + ix as f32 * spacing;
+                    vals.push(self.escape_iterations(x, y, z) as f32);
+                }
+            }
+        }
+        img.point_data.set("iterations", DataArray::F32(vals));
+        DataSet::Image(img)
+    }
+
+    /// Payload size in bytes of one block for `total_blocks` partitioning.
+    pub fn block_bytes(&self, total_blocks: usize) -> usize {
+        let [nx, ny, nz] = self.dims;
+        nx * ny * (nz / total_blocks + 1) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_points_never_escape() {
+        let m = Mandelbulb::default();
+        assert_eq!(m.escape_iterations(0.0, 0.0, 0.0), m.max_iter);
+    }
+
+    #[test]
+    fn far_points_escape_fast() {
+        let m = Mandelbulb::default();
+        assert!(m.escape_iterations(1.19, 1.19, 1.19) < 3);
+    }
+
+    #[test]
+    fn blocks_tile_the_domain() {
+        let m = Mandelbulb {
+            dims: [16, 16, 16],
+            ..Default::default()
+        };
+        let blocks: Vec<_> = (0..4).map(|b| m.generate_block(b, 4)).collect();
+        let mut total_planes = 0;
+        for (i, b) in blocks.iter().enumerate() {
+            let DataSet::Image(img) = b else { unreachable!() };
+            assert_eq!(img.dims[0], 16);
+            let expect = if i < 3 { 5 } else { 4 }; // 4 owned + 1 overlap
+            assert_eq!(img.dims[2], expect);
+            total_planes += img.dims[2];
+        }
+        // 16 planes + 3 overlaps.
+        assert_eq!(total_planes, 19);
+    }
+
+    #[test]
+    fn field_contains_surface_crossings() {
+        // The escape field must straddle the standard isovalue so the
+        // contour filter has work to do.
+        let m = Mandelbulb {
+            dims: [24, 24, 24],
+            ..Default::default()
+        };
+        let DataSet::Image(img) = m.generate_block(0, 1) else {
+            unreachable!()
+        };
+        let (lo, hi) = img.point_data.get("iterations").unwrap().range().unwrap();
+        assert!(lo < 25.0 && hi >= 25.0, "range ({lo}, {hi})");
+    }
+
+    #[test]
+    fn adjacent_blocks_share_the_boundary_plane() {
+        let m = Mandelbulb {
+            dims: [8, 8, 8],
+            ..Default::default()
+        };
+        let DataSet::Image(a) = m.generate_block(0, 2) else {
+            unreachable!()
+        };
+        let DataSet::Image(b) = m.generate_block(1, 2) else {
+            unreachable!()
+        };
+        let fa = a.point_data.get("iterations").unwrap();
+        let fb = b.point_data.get("iterations").unwrap();
+        // Last plane of block 0 == first plane of block 1.
+        let plane = 8 * 8;
+        for i in 0..plane {
+            assert_eq!(fa.get_f32(4 * plane + i), fb.get_f32(i));
+        }
+    }
+
+    #[test]
+    fn block_bytes_accounts_payload() {
+        let m = Mandelbulb {
+            dims: [128, 128, 128],
+            ..Default::default()
+        };
+        // The paper's 8 MB blocks: 128×128×128 ints in 4 blocks → 128³/4
+        // points each (~2M squared... 128*128*33*4 ≈ 2.2 MB per block with
+        // our overlap convention).
+        assert!(m.block_bytes(4) > 2_000_000);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ssg — Scalable Service Groups (SWIM gossip membership)
+//!
+//! Mochi's SSG tracks the set of live service processes using the SWIM
+//! protocol [Das et al., DSN'02]: periodic random probing with indirect
+//! ping-req fallback, a suspicion mechanism with incarnation-number
+//! refutation, and infection-style (piggybacked) dissemination of
+//! membership updates. Views are **eventually consistent** — the property
+//! Colza compensates for with a two-phase commit at `activate`.
+//!
+//! The crate splits cleanly:
+//!
+//! * [`swim`] — the pure protocol state machine (no I/O, heavily tested),
+//! * [`group::SsgGroup`] — the live group: SWIM wired to margo RPCs
+//!   (`ping`, `ping-req`, `join`, `leave`), with observer callbacks and
+//!   the freeze/unfreeze hooks Colza's `activate`/`deactivate` use to
+//!   stop membership churn during an iteration.
+//!
+//! ## Time
+//!
+//! Protocol periods are driven by explicit [`group::SsgGroup::tick`]
+//! calls. A tick *merges* the owning process's virtual clock up to
+//! `group start + round × period` — gossip runs concurrently with real
+//! work on a real machine, so it never *adds* time to a busy process, it
+//! only represents the passage of wall-clock protocol periods on an idle
+//! one. Experiment harnesses pump ticks; daemons embed them in their
+//! service loops.
+
+pub mod group;
+pub mod swim;
+
+pub use group::{SsgConfig, SsgGroup};
+pub use swim::{Event, Status, SwimConfig, Update};

@@ -1,0 +1,527 @@
+//! The SWIM protocol state machine (pure: no clocks, no I/O).
+//!
+//! All transport and timing concerns live in [`crate::group`]; this module
+//! only encodes SWIM's rules:
+//!
+//! * membership table with per-member incarnation numbers,
+//! * update precedence (alive/suspect/dead resolution),
+//! * self-refutation (bump incarnation when suspected),
+//! * suspicion expiry after a configurable number of protocol rounds,
+//! * bounded infection-style dissemination (each update is piggybacked a
+//!   limited number of times, scaling with log of the group size).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use na::Address;
+
+/// Liveness status of a member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Believed alive.
+    Alive,
+    /// Probed and unresponsive; may refute by bumping its incarnation.
+    Suspect,
+    /// Declared failed (suspicion expired).
+    Dead,
+    /// Gracefully departed.
+    Left,
+}
+
+/// A disseminated membership update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Update {
+    /// Subject member.
+    pub addr: Address,
+    /// Subject's incarnation number the update refers to.
+    pub incarnation: u64,
+    /// Asserted status.
+    pub status: Status,
+}
+
+/// Membership-change events surfaced to the embedding service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A new member is now part of the view.
+    Joined(Address),
+    /// A member is suspected of having failed.
+    Suspected(Address),
+    /// A member was declared dead.
+    Died(Address),
+    /// A member left gracefully.
+    Left(Address),
+    /// A suspected member refuted the suspicion.
+    Refuted(Address),
+}
+
+/// Protocol constants.
+#[derive(Debug, Clone, Copy)]
+pub struct SwimConfig {
+    /// Rounds a member may stay suspected before being declared dead.
+    pub suspect_rounds: u64,
+    /// Maximum updates piggybacked per message.
+    pub piggyback_max: usize,
+}
+
+impl Default for SwimConfig {
+    fn default() -> Self {
+        Self {
+            suspect_rounds: 5,
+            piggyback_max: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Member {
+    incarnation: u64,
+    status: Status,
+    suspected_at: u64,
+}
+
+/// The SWIM state machine for one group member.
+#[derive(Debug)]
+pub struct SwimState {
+    me: Address,
+    incarnation: u64,
+    members: BTreeMap<Address, Member>,
+    /// Updates awaiting dissemination, with remaining transmission budget.
+    outbox: Vec<(Update, u32)>,
+    round: u64,
+    config: SwimConfig,
+    /// Rotation cursor for round-robin probing.
+    probe_cursor: usize,
+}
+
+impl SwimState {
+    /// A fresh state containing only ourselves.
+    pub fn new(me: Address, config: SwimConfig) -> Self {
+        let mut members = BTreeMap::new();
+        members.insert(
+            me,
+            Member {
+                incarnation: 0,
+                status: Status::Alive,
+                suspected_at: 0,
+            },
+        );
+        Self {
+            me,
+            incarnation: 0,
+            members,
+            outbox: Vec::new(),
+            round: 0,
+            config,
+            probe_cursor: 0,
+        }
+    }
+
+    /// Our own address.
+    pub fn me(&self) -> Address {
+        self.me
+    }
+
+    /// Current protocol round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Sorted list of alive members (the *view*).
+    pub fn view(&self) -> Vec<Address> {
+        self.members
+            .iter()
+            .filter(|(_, m)| m.status == Status::Alive || m.status == Status::Suspect)
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// A stable hash of the view, used by Colza's 2PC to compare views
+    /// across processes cheaply.
+    pub fn view_epoch(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for a in self.view() {
+            h ^= a.0;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Number of transmissions each update gets: 3·⌈log₂(n)⌉ + 2.
+    fn tx_budget(&self) -> u32 {
+        let n = self.members.len().max(2) as u32;
+        3 * (32 - (n - 1).leading_zeros()) + 2
+    }
+
+    /// Seeds the table from a join reply (list of `(addr, inc, status)`).
+    pub fn absorb_roster(&mut self, roster: &[Update]) -> Vec<Event> {
+        roster.iter().filter_map(|&u| self.apply_update(u)).collect()
+    }
+
+    /// Records a locally observed join (e.g. we served the join RPC) and
+    /// queues its dissemination.
+    pub fn local_join(&mut self, addr: Address) -> Option<Event> {
+        let u = Update {
+            addr,
+            incarnation: 0,
+            status: Status::Alive,
+        };
+        let ev = self.apply_update(u);
+        ev
+    }
+
+    /// Records a graceful leave observed locally.
+    pub fn local_leave(&mut self, addr: Address) -> Option<Event> {
+        let inc = self.members.get(&addr).map(|m| m.incarnation).unwrap_or(0);
+        self.apply_update(Update {
+            addr,
+            incarnation: inc,
+            status: Status::Left,
+        })
+    }
+
+    /// Marks a probe failure: the target becomes suspected.
+    pub fn on_probe_failure(&mut self, addr: Address) -> Option<Event> {
+        let inc = self.members.get(&addr).map(|m| m.incarnation).unwrap_or(0);
+        self.apply_update(Update {
+            addr,
+            incarnation: inc,
+            status: Status::Suspect,
+        })
+    }
+
+    /// Applies one disseminated update with SWIM's precedence rules and
+    /// returns the membership event it caused, if any. Also queues the
+    /// update for further gossip when it changed our state.
+    pub fn apply_update(&mut self, u: Update) -> Option<Event> {
+        // Updates about ourselves: refute suspicion/death by bumping our
+        // incarnation and gossiping a fresher Alive.
+        if u.addr == self.me {
+            if matches!(u.status, Status::Suspect | Status::Dead) && u.incarnation >= self.incarnation
+            {
+                self.incarnation = u.incarnation + 1;
+                let refutation = Update {
+                    addr: self.me,
+                    incarnation: self.incarnation,
+                    status: Status::Alive,
+                };
+                self.members.get_mut(&self.me).expect("self present").incarnation =
+                    self.incarnation;
+                self.queue(refutation);
+                return Some(Event::Refuted(self.me));
+            }
+            return None;
+        }
+
+        let round = self.round;
+        let (changed, event) = match self.members.get_mut(&u.addr) {
+            None => {
+                if matches!(u.status, Status::Dead | Status::Left) {
+                    // Don't resurrect tombstones we never knew; still gossip.
+                    (true, None)
+                } else {
+                    self.members.insert(
+                        u.addr,
+                        Member {
+                            incarnation: u.incarnation,
+                            status: u.status,
+                            suspected_at: round,
+                        },
+                    );
+                    (true, Some(Event::Joined(u.addr)))
+                }
+            }
+            Some(m) => {
+                let supersedes = match (m.status, u.status) {
+                    // Dead/Left are terminal for a given member.
+                    (Status::Dead | Status::Left, _) => false,
+                    (_, Status::Dead | Status::Left) => u.incarnation >= m.incarnation,
+                    (Status::Alive, Status::Alive) => u.incarnation > m.incarnation,
+                    (Status::Alive, Status::Suspect) => u.incarnation >= m.incarnation,
+                    (Status::Suspect, Status::Alive) => u.incarnation > m.incarnation,
+                    (Status::Suspect, Status::Suspect) => u.incarnation > m.incarnation,
+                };
+                if !supersedes {
+                    (false, None)
+                } else {
+                    let was = m.status;
+                    m.incarnation = u.incarnation;
+                    m.status = u.status;
+                    if u.status == Status::Suspect {
+                        m.suspected_at = round;
+                    }
+                    let ev = match (was, u.status) {
+                        (_, Status::Dead) => Some(Event::Died(u.addr)),
+                        (_, Status::Left) => Some(Event::Left(u.addr)),
+                        (Status::Suspect, Status::Alive) => Some(Event::Refuted(u.addr)),
+                        (Status::Alive, Status::Suspect) => Some(Event::Suspected(u.addr)),
+                        _ => None,
+                    };
+                    (true, ev)
+                }
+            }
+        };
+        if changed {
+            self.queue(u);
+        }
+        event
+    }
+
+    fn queue(&mut self, u: Update) {
+        let budget = self.tx_budget();
+        // Replace any older queued update about the same member.
+        self.outbox.retain(|(q, _)| q.addr != u.addr);
+        self.outbox.push((u, budget));
+    }
+
+    /// Takes up to `piggyback_max` updates to attach to an outgoing
+    /// message, decrementing their transmission budgets.
+    pub fn take_piggyback(&mut self) -> Vec<Update> {
+        let max = self.config.piggyback_max;
+        let mut out = Vec::with_capacity(max.min(self.outbox.len()));
+        // Prefer the freshest updates (most recently queued).
+        for entry in self.outbox.iter_mut().rev().take(max) {
+            out.push(entry.0);
+            entry.1 -= 1;
+        }
+        self.outbox.retain(|&(_, left)| left > 0);
+        out
+    }
+
+    /// The full roster as updates (what a join reply carries).
+    pub fn roster(&self) -> Vec<Update> {
+        self.members
+            .iter()
+            .map(|(&addr, m)| Update {
+                addr,
+                incarnation: m.incarnation,
+                status: m.status,
+            })
+            .collect()
+    }
+
+    /// Advances one protocol round: expires suspects into deaths and
+    /// returns the next probe target (round-robin over the live view,
+    /// excluding ourselves).
+    pub fn advance_round(&mut self) -> (Option<Address>, Vec<Event>) {
+        self.round += 1;
+        let expired: Vec<Address> = self
+            .members
+            .iter()
+            .filter(|(_, m)| {
+                m.status == Status::Suspect
+                    && self.round.saturating_sub(m.suspected_at) > self.config.suspect_rounds
+            })
+            .map(|(&a, _)| a)
+            .collect();
+        let mut events = Vec::new();
+        for addr in expired {
+            let inc = self.members[&addr].incarnation;
+            if let Some(ev) = self.apply_update(Update {
+                addr,
+                incarnation: inc,
+                status: Status::Dead,
+            }) {
+                events.push(ev);
+            }
+        }
+        let peers: Vec<Address> = self
+            .view()
+            .into_iter()
+            .filter(|&a| a != self.me)
+            .collect();
+        let target = if peers.is_empty() {
+            None
+        } else {
+            self.probe_cursor = (self.probe_cursor + 1) % peers.len();
+            Some(peers[self.probe_cursor])
+        };
+        (target, events)
+    }
+
+    /// Candidate helpers for indirect probing (k members ≠ target, ≠ me).
+    pub fn pingreq_candidates(&self, target: Address, k: usize) -> Vec<Address> {
+        self.view()
+            .into_iter()
+            .filter(|&a| a != self.me && a != target)
+            .take(k)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> Address {
+        Address(n)
+    }
+
+    fn state() -> SwimState {
+        SwimState::new(addr(0), SwimConfig::default())
+    }
+
+    #[test]
+    fn fresh_state_contains_self() {
+        let s = state();
+        assert_eq!(s.view(), vec![addr(0)]);
+    }
+
+    #[test]
+    fn join_adds_member_and_fires_event() {
+        let mut s = state();
+        let ev = s.local_join(addr(1));
+        assert_eq!(ev, Some(Event::Joined(addr(1))));
+        assert_eq!(s.view(), vec![addr(0), addr(1)]);
+        // Duplicate join of the same incarnation is idempotent.
+        assert_eq!(s.local_join(addr(1)), None);
+    }
+
+    #[test]
+    fn leave_removes_from_view() {
+        let mut s = state();
+        s.local_join(addr(1));
+        let ev = s.local_leave(addr(1));
+        assert_eq!(ev, Some(Event::Left(addr(1))));
+        assert_eq!(s.view(), vec![addr(0)]);
+    }
+
+    #[test]
+    fn suspicion_expires_into_death() {
+        let mut s = state();
+        s.local_join(addr(1));
+        s.on_probe_failure(addr(1));
+        let mut died = false;
+        for _ in 0..=SwimConfig::default().suspect_rounds + 1 {
+            let (_, events) = s.advance_round();
+            died |= events.contains(&Event::Died(addr(1)));
+        }
+        assert!(died);
+        assert_eq!(s.view(), vec![addr(0)]);
+    }
+
+    #[test]
+    fn fresher_alive_refutes_suspicion() {
+        let mut s = state();
+        s.local_join(addr(1));
+        s.on_probe_failure(addr(1));
+        let ev = s.apply_update(Update {
+            addr: addr(1),
+            incarnation: 1,
+            status: Status::Alive,
+        });
+        assert_eq!(ev, Some(Event::Refuted(addr(1))));
+        assert_eq!(s.view(), vec![addr(0), addr(1)]);
+    }
+
+    #[test]
+    fn stale_alive_does_not_refute() {
+        let mut s = state();
+        s.local_join(addr(1));
+        s.on_probe_failure(addr(1));
+        let ev = s.apply_update(Update {
+            addr: addr(1),
+            incarnation: 0,
+            status: Status::Alive,
+        });
+        assert_eq!(ev, None);
+    }
+
+    #[test]
+    fn self_suspicion_bumps_incarnation() {
+        let mut s = state();
+        let ev = s.apply_update(Update {
+            addr: addr(0),
+            incarnation: 0,
+            status: Status::Suspect,
+        });
+        assert_eq!(ev, Some(Event::Refuted(addr(0))));
+        // The refutation must be queued for gossip with incarnation 1.
+        let pb = s.take_piggyback();
+        assert!(pb
+            .iter()
+            .any(|u| u.addr == addr(0) && u.incarnation == 1 && u.status == Status::Alive));
+    }
+
+    #[test]
+    fn dead_is_terminal() {
+        let mut s = state();
+        s.local_join(addr(1));
+        s.apply_update(Update {
+            addr: addr(1),
+            incarnation: 5,
+            status: Status::Dead,
+        });
+        let ev = s.apply_update(Update {
+            addr: addr(1),
+            incarnation: 9,
+            status: Status::Alive,
+        });
+        assert_eq!(ev, None);
+        assert_eq!(s.view(), vec![addr(0)]);
+    }
+
+    #[test]
+    fn piggyback_budget_is_bounded() {
+        let mut s = state();
+        for i in 1..=4 {
+            s.local_join(addr(i));
+        }
+        let mut seen = 0;
+        // Updates must eventually stop being transmitted.
+        for _ in 0..200 {
+            seen += s.take_piggyback().len();
+        }
+        assert!(seen > 0);
+        assert!(s.take_piggyback().is_empty());
+        assert!(seen < 200, "budget not enforced: {seen}");
+    }
+
+    #[test]
+    fn probe_targets_rotate_over_peers() {
+        let mut s = state();
+        for i in 1..=3 {
+            s.local_join(addr(i));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..6 {
+            if let (Some(t), _) = s.advance_round() {
+                seen.insert(t);
+            }
+        }
+        assert_eq!(seen.len(), 3, "all peers probed");
+    }
+
+    #[test]
+    fn view_epoch_changes_with_membership() {
+        let mut s = state();
+        let e0 = s.view_epoch();
+        s.local_join(addr(1));
+        let e1 = s.view_epoch();
+        assert_ne!(e0, e1);
+        s.local_leave(addr(1));
+        assert_eq!(s.view_epoch(), e0);
+    }
+
+    #[test]
+    fn roster_roundtrips_through_absorb() {
+        let mut a = state();
+        a.local_join(addr(1));
+        a.local_join(addr(2));
+        let mut b = SwimState::new(addr(3), SwimConfig::default());
+        let events = b.absorb_roster(&a.roster());
+        assert_eq!(events.len(), 3); // learned 0, 1, 2
+        assert_eq!(b.view(), vec![addr(0), addr(1), addr(2), addr(3)]);
+    }
+
+    #[test]
+    fn pingreq_candidates_exclude_target_and_self() {
+        let mut s = state();
+        for i in 1..=4 {
+            s.local_join(addr(i));
+        }
+        let c = s.pingreq_candidates(addr(2), 2);
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(&addr(0)) && !c.contains(&addr(2)));
+    }
+}

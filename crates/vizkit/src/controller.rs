@@ -1,0 +1,185 @@
+//! The communication abstraction — `vtkMultiProcessController` and
+//! `vtkCommunicator` in VTK.
+//!
+//! This is the seam the whole paper hinges on: VTK's parallel filters and
+//! compositing code call through this interface, never through MPI
+//! directly, so an implementation backed by MoNA can be injected without
+//! modifying any of the algorithms. Concrete controllers (MPI-backed,
+//! MoNA-backed) live in the `catalyst` crate, mirroring how
+//! `vtkMPIController` lives outside VTK's core modules.
+//!
+//! VTK exposes the active controller through a process-global
+//! `SetGlobalController`. Simulated processes share one OS process here,
+//! so the global is keyed by simulated-process id.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// The abstract communicator (`vtkCommunicator`): byte-oriented so any
+/// transport can implement it, with the collectives VTK's parallel
+/// rendering path needs.
+pub trait VtkComm: Send + Sync {
+    /// This process's rank.
+    fn rank(&self) -> usize;
+    /// Number of participating processes.
+    fn size(&self) -> usize;
+    /// A short name of the backing transport ("mpi", "mona", ...) — used
+    /// by the IceT context factory registry.
+    fn kind(&self) -> &'static str;
+    /// Point-to-point send.
+    fn send(&self, data: &[u8], dst: usize, tag: u16) -> Result<(), String>;
+    /// Point-to-point receive.
+    fn recv(&self, src: usize, tag: u16) -> Result<Vec<u8>, String>;
+    /// Broadcast from `root`; all ranks return the payload.
+    fn bcast(&self, data: Option<&[u8]>, root: usize) -> Result<Vec<u8>, String>;
+    /// Reduce with a caller-supplied elementwise fold; result at `root`.
+    fn reduce(
+        &self,
+        data: &[u8],
+        op: &(dyn Fn(&mut [u8], &[u8]) + Sync),
+        root: usize,
+    ) -> Result<Option<Vec<u8>>, String>;
+    /// Gather variable-size payloads to `root` in rank order.
+    fn gather(&self, data: &[u8], root: usize) -> Result<Option<Vec<Vec<u8>>>, String>;
+    /// Barrier.
+    fn barrier(&self) -> Result<(), String>;
+}
+
+/// The controller (`vtkMultiProcessController`): owns a communicator and
+/// is what pipelines are handed.
+#[derive(Clone)]
+pub struct Controller {
+    comm: Arc<dyn VtkComm>,
+}
+
+impl Controller {
+    /// Wraps a communicator.
+    pub fn new(comm: Arc<dyn VtkComm>) -> Self {
+        Self { comm }
+    }
+
+    /// The communicator.
+    pub fn comm(&self) -> &Arc<dyn VtkComm> {
+        &self.comm
+    }
+
+    /// Rank shorthand.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Size shorthand.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+}
+
+static GLOBAL: RwLock<Option<Registry>> = RwLock::new(None);
+
+type Registry = HashMap<u64, Controller>;
+
+/// Installs `ctrl` as the global controller for the *calling simulated
+/// process* (`vtkMultiProcessController::SetGlobalController`). Passing
+/// `None` clears it.
+pub fn set_global_controller(pid: u64, ctrl: Option<Controller>) {
+    let mut g = GLOBAL.write();
+    let reg = g.get_or_insert_with(HashMap::new);
+    match ctrl {
+        Some(c) => {
+            reg.insert(pid, c);
+        }
+        None => {
+            reg.remove(&pid);
+        }
+    }
+}
+
+/// Fetches the calling simulated process's global controller.
+pub fn global_controller(pid: u64) -> Option<Controller> {
+    GLOBAL.read().as_ref().and_then(|r| r.get(&pid).cloned())
+}
+
+/// A single-process communicator (VTK's `vtkDummyController`): all
+/// collectives are identities. Useful for serial tests and one-server
+/// staging areas.
+pub struct DummyComm;
+
+impl VtkComm for DummyComm {
+    fn rank(&self) -> usize {
+        0
+    }
+    fn size(&self) -> usize {
+        1
+    }
+    fn kind(&self) -> &'static str {
+        "dummy"
+    }
+    fn send(&self, _data: &[u8], _dst: usize, _tag: u16) -> Result<(), String> {
+        Err("dummy controller has no peers".to_string())
+    }
+    fn recv(&self, _src: usize, _tag: u16) -> Result<Vec<u8>, String> {
+        Err("dummy controller has no peers".to_string())
+    }
+    fn bcast(&self, data: Option<&[u8]>, _root: usize) -> Result<Vec<u8>, String> {
+        Ok(data.expect("root payload").to_vec())
+    }
+    fn reduce(
+        &self,
+        data: &[u8],
+        _op: &(dyn Fn(&mut [u8], &[u8]) + Sync),
+        _root: usize,
+    ) -> Result<Option<Vec<u8>>, String> {
+        Ok(Some(data.to_vec()))
+    }
+    fn gather(&self, data: &[u8], _root: usize) -> Result<Option<Vec<Vec<u8>>>, String> {
+        Ok(Some(vec![data.to_vec()]))
+    }
+    fn barrier(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_controller_identities() {
+        let c = Controller::new(Arc::new(DummyComm));
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.comm().bcast(Some(b"x"), 0).unwrap(), b"x");
+        assert_eq!(
+            c.comm().reduce(b"y", &|_, _| {}, 0).unwrap().unwrap(),
+            b"y"
+        );
+        assert_eq!(c.comm().gather(b"z", 0).unwrap().unwrap(), vec![b"z".to_vec()]);
+        c.comm().barrier().unwrap();
+        assert!(c.comm().send(b"", 0, 0).is_err());
+    }
+
+    #[test]
+    fn global_registry_is_per_pid() {
+        set_global_controller(101, Some(Controller::new(Arc::new(DummyComm))));
+        set_global_controller(102, Some(Controller::new(Arc::new(DummyComm))));
+        assert!(global_controller(101).is_some());
+        assert!(global_controller(103).is_none());
+        set_global_controller(101, None);
+        assert!(global_controller(101).is_none());
+        assert!(global_controller(102).is_some());
+        set_global_controller(102, None);
+    }
+
+    #[test]
+    fn replacing_the_controller_is_allowed() {
+        // The paper specifically needed ParaView to accept
+        // re-initialization with a different communicator; our registry
+        // trivially supports replacement.
+        set_global_controller(200, Some(Controller::new(Arc::new(DummyComm))));
+        set_global_controller(200, Some(Controller::new(Arc::new(DummyComm))));
+        assert_eq!(global_controller(200).unwrap().size(), 1);
+        set_global_controller(200, None);
+    }
+}

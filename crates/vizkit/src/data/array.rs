@@ -1,0 +1,199 @@
+//! Typed data arrays and named attribute collections.
+
+use std::collections::BTreeMap;
+
+/// A typed, single-component data array (VTK's `vtkDataArray`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataArray {
+    /// 32-bit floats.
+    F32(Vec<f32>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// 32-bit signed integers.
+    I32(Vec<i32>),
+    /// Bytes.
+    U8(Vec<u8>),
+}
+
+impl DataArray {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        match self {
+            DataArray::F32(v) => v.len(),
+            DataArray::F64(v) => v.len(),
+            DataArray::I32(v) => v.len(),
+            DataArray::U8(v) => v.len(),
+        }
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of one element in bytes.
+    pub fn elem_size(&self) -> usize {
+        match self {
+            DataArray::F32(_) | DataArray::I32(_) => 4,
+            DataArray::F64(_) => 8,
+            DataArray::U8(_) => 1,
+        }
+    }
+
+    /// Total byte size of the payload.
+    pub fn byte_size(&self) -> usize {
+        self.len() * self.elem_size()
+    }
+
+    /// Element `i` widened to `f64`.
+    pub fn get(&self, i: usize) -> f64 {
+        match self {
+            DataArray::F32(v) => v[i] as f64,
+            DataArray::F64(v) => v[i],
+            DataArray::I32(v) => v[i] as f64,
+            DataArray::U8(v) => v[i] as f64,
+        }
+    }
+
+    /// Element `i` as `f32` (the rendering precision).
+    pub fn get_f32(&self, i: usize) -> f32 {
+        self.get(i) as f32
+    }
+
+    /// `(min, max)` over the array; `None` when empty.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..self.len() {
+            let v = self.get(i);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Serializes to little-endian bytes (staging payloads).
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_size());
+        match self {
+            DataArray::F32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            DataArray::F64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            DataArray::I32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            DataArray::U8(v) => out.extend_from_slice(v),
+        }
+        out
+    }
+
+    /// Deserializes an `F32` array from little-endian bytes.
+    pub fn f32_from_le_bytes(bytes: &[u8]) -> DataArray {
+        assert_eq!(bytes.len() % 4, 0);
+        DataArray::F32(
+            bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+    }
+
+    /// Deserializes an `I32` array from little-endian bytes.
+    pub fn i32_from_le_bytes(bytes: &[u8]) -> DataArray {
+        assert_eq!(bytes.len() % 4, 0);
+        DataArray::I32(
+            bytes
+                .chunks_exact(4)
+                .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+    }
+}
+
+/// Named attribute arrays attached to points or cells.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Attributes {
+    arrays: BTreeMap<String, DataArray>,
+}
+
+impl Attributes {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds or replaces an array.
+    pub fn set(&mut self, name: impl Into<String>, array: DataArray) {
+        self.arrays.insert(name.into(), array);
+    }
+
+    /// Fetches an array by name.
+    pub fn get(&self, name: &str) -> Option<&DataArray> {
+        self.arrays.get(name)
+    }
+
+    /// Iterates `(name, array)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &DataArray)> {
+        self.arrays.iter()
+    }
+
+    /// Number of arrays.
+    pub fn len(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Whether there are no arrays.
+    pub fn is_empty(&self) -> bool {
+        self.arrays.is_empty()
+    }
+
+    /// Total byte size across arrays.
+    pub fn byte_size(&self) -> usize {
+        self.arrays.values().map(|a| a.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_accessors() {
+        let a = DataArray::I32(vec![-3, 5]);
+        assert_eq!(a.get(0), -3.0);
+        assert_eq!(a.get_f32(1), 5.0);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.byte_size(), 8);
+    }
+
+    #[test]
+    fn range_over_types() {
+        assert_eq!(DataArray::F32(vec![2.0, -1.0, 3.0]).range(), Some((-1.0, 3.0)));
+        assert_eq!(DataArray::U8(vec![]).range(), None);
+    }
+
+    #[test]
+    fn le_bytes_roundtrip_f32() {
+        let a = DataArray::F32(vec![1.5, -2.25, 0.0]);
+        let b = DataArray::f32_from_le_bytes(&a.to_le_bytes());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn le_bytes_roundtrip_i32() {
+        let a = DataArray::I32(vec![7, -9, i32::MAX]);
+        let b = DataArray::i32_from_le_bytes(&a.to_le_bytes());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attributes_store_and_account() {
+        let mut at = Attributes::new();
+        at.set("u", DataArray::F32(vec![0.0; 10]));
+        at.set("v", DataArray::F64(vec![0.0; 10]));
+        assert_eq!(at.len(), 2);
+        assert_eq!(at.byte_size(), 40 + 80);
+        assert!(at.get("u").is_some());
+        assert!(at.get("w").is_none());
+    }
+}

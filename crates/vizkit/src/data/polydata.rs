@@ -1,0 +1,166 @@
+//! Triangle surfaces (`vtkPolyData`, triangles only).
+
+use crate::data::Attributes;
+use crate::math::Vec3;
+
+/// A triangle mesh with optional per-point normals and attributes.
+#[derive(Debug, Clone, Default)]
+pub struct PolyData {
+    /// Point coordinates.
+    pub points: Vec<[f32; 3]>,
+    /// Per-point normals (empty, or same length as `points`).
+    pub normals: Vec<[f32; 3]>,
+    /// Triangles as point-index triples.
+    pub triangles: Vec<[u32; 3]>,
+    /// Attributes on points.
+    pub point_data: Attributes,
+}
+
+impl PolyData {
+    /// An empty mesh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triangles.
+    pub fn num_triangles(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Appends a point (with optional normal) and returns its index.
+    pub fn add_point(&mut self, p: [f32; 3], n: Option<[f32; 3]>) -> u32 {
+        self.points.push(p);
+        if let Some(n) = n {
+            self.normals.push(n);
+        }
+        (self.points.len() - 1) as u32
+    }
+
+    /// Geometric (area-weighted) normal of triangle `t`.
+    pub fn face_normal(&self, t: usize) -> Vec3 {
+        let [a, b, c] = self.triangles[t];
+        let pa = Vec3::from_array(self.points[a as usize]);
+        let pb = Vec3::from_array(self.points[b as usize]);
+        let pc = Vec3::from_array(self.points[c as usize]);
+        (pb - pa).cross(pc - pa)
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f32 {
+        (0..self.triangles.len())
+            .map(|t| self.face_normal(t).length() * 0.5)
+            .sum()
+    }
+
+    /// Axis-aligned bounds; `None` when empty.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut lo = Vec3::from_array(self.points[0]);
+        let mut hi = lo;
+        for p in &self.points {
+            lo.x = lo.x.min(p[0]);
+            lo.y = lo.y.min(p[1]);
+            lo.z = lo.z.min(p[2]);
+            hi.x = hi.x.max(p[0]);
+            hi.y = hi.y.max(p[1]);
+            hi.z = hi.z.max(p[2]);
+        }
+        Some((lo, hi))
+    }
+
+    /// Approximate byte size.
+    pub fn byte_size(&self) -> usize {
+        self.points.len() * 12
+            + self.normals.len() * 12
+            + self.triangles.len() * 12
+            + self.point_data.byte_size()
+    }
+
+    /// Merges another mesh into this one (indices rebased). Point-data
+    /// arrays present in *both* meshes are concatenated (as `f32`); others
+    /// are dropped, matching `merge_blocks` semantics.
+    pub fn append(&mut self, other: &PolyData) {
+        let old_len = self.points.len();
+        let base = old_len as u32;
+        self.points.extend_from_slice(&other.points);
+        self.normals.extend_from_slice(&other.normals);
+        self.triangles
+            .extend(other.triangles.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+        let names: Vec<String> = self.point_data.iter().map(|(n, _)| n.clone()).collect();
+        let mut merged = Attributes::new();
+        for name in names {
+            if let Some(theirs) = other.point_data.get(&name) {
+                let ours = self.point_data.get(&name).expect("listed");
+                let mut vals: Vec<f32> = (0..old_len.min(ours.len())).map(|i| ours.get_f32(i)).collect();
+                vals.extend((0..theirs.len()).map(|i| theirs.get_f32(i)));
+                merged.set(name, crate::data::DataArray::F32(vals));
+            }
+        }
+        self.point_data = merged;
+    }
+
+    /// Structural invariant check.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.normals.is_empty() && self.normals.len() != self.points.len() {
+            return Err("normals length mismatch".to_string());
+        }
+        for (i, t) in self.triangles.iter().enumerate() {
+            if t.iter().any(|&p| (p as usize) >= self.points.len()) {
+                return Err(format!("triangle {i} references missing point"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_triangle() -> PolyData {
+        let mut m = PolyData::new();
+        m.add_point([0.0, 0.0, 0.0], None);
+        m.add_point([1.0, 0.0, 0.0], None);
+        m.add_point([0.0, 1.0, 0.0], None);
+        m.triangles.push([0, 1, 2]);
+        m
+    }
+
+    #[test]
+    fn area_and_normal() {
+        let m = unit_triangle();
+        assert!((m.surface_area() - 0.5).abs() < 1e-6);
+        let n = m.face_normal(0).normalized();
+        assert!((n.z - 1.0).abs() < 1e-6);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn append_rebases_indices() {
+        let mut a = unit_triangle();
+        let b = unit_triangle();
+        a.append(&b);
+        assert_eq!(a.points.len(), 6);
+        assert_eq!(a.triangles.len(), 2);
+        assert_eq!(a.triangles[1], [3, 4, 5]);
+        a.validate().unwrap();
+        assert!((a.surface_area() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validate_catches_bad_triangles() {
+        let mut m = unit_triangle();
+        m.triangles.push([0, 1, 9]);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn bounds_track_points() {
+        let m = unit_triangle();
+        let (lo, hi) = m.bounds().unwrap();
+        assert_eq!(lo.to_array(), [0.0, 0.0, 0.0]);
+        assert_eq!(hi.to_array(), [1.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Unstructured grids (`vtkUnstructuredGrid`).
+
+use crate::data::Attributes;
+use crate::math::Vec3;
+
+/// Supported cell types (VTK type ids in comments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellType {
+    /// Triangle (VTK 5): 3 points.
+    Triangle,
+    /// Tetrahedron (VTK 10): 4 points.
+    Tetra,
+    /// Voxel (VTK 11): axis-aligned box, 8 points in x-fastest order.
+    Voxel,
+    /// Hexahedron (VTK 12): 8 points in VTK winding.
+    Hexahedron,
+}
+
+impl CellType {
+    /// Number of points defining a cell of this type.
+    pub fn num_points(self) -> usize {
+        match self {
+            CellType::Triangle => 3,
+            CellType::Tetra => 4,
+            CellType::Voxel | CellType::Hexahedron => 8,
+        }
+    }
+}
+
+/// An unstructured grid: explicit points plus typed cells.
+#[derive(Debug, Clone, Default)]
+pub struct UnstructuredGrid {
+    /// Point coordinates.
+    pub points: Vec<[f32; 3]>,
+    /// Cell connectivity, flattened; cell `c` spans
+    /// `connectivity[offsets[c]..offsets[c+1]]`.
+    pub connectivity: Vec<u32>,
+    /// Prefix offsets into `connectivity`; `len == num_cells + 1`.
+    pub offsets: Vec<u32>,
+    /// Per-cell types; `len == num_cells`.
+    pub cell_types: Vec<CellType>,
+    /// Attributes on points.
+    pub point_data: Attributes,
+    /// Attributes on cells.
+    pub cell_data: Attributes,
+}
+
+impl UnstructuredGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            ..Default::default()
+        }
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cell_types.len()
+    }
+
+    /// Number of points.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Appends a cell; returns its index.
+    ///
+    /// # Panics
+    /// Panics if the point count does not match the cell type or an index
+    /// is out of range.
+    pub fn add_cell(&mut self, ty: CellType, pts: &[u32]) -> usize {
+        assert_eq!(pts.len(), ty.num_points(), "wrong point count for {ty:?}");
+        assert!(
+            pts.iter().all(|&p| (p as usize) < self.points.len()),
+            "cell references missing point"
+        );
+        self.connectivity.extend_from_slice(pts);
+        self.offsets.push(self.connectivity.len() as u32);
+        self.cell_types.push(ty);
+        self.cell_types.len() - 1
+    }
+
+    /// The point indices of cell `c`.
+    pub fn cell_points(&self, c: usize) -> &[u32] {
+        let lo = self.offsets[c] as usize;
+        let hi = self.offsets[c + 1] as usize;
+        &self.connectivity[lo..hi]
+    }
+
+    /// Centroid of cell `c`.
+    pub fn cell_center(&self, c: usize) -> Vec3 {
+        let pts = self.cell_points(c);
+        let mut acc = Vec3::default();
+        for &p in pts {
+            acc = acc + Vec3::from_array(self.points[p as usize]);
+        }
+        acc * (1.0 / pts.len() as f32)
+    }
+
+    /// Axis-aligned bounds; `None` for an empty grid.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut lo = Vec3::from_array(self.points[0]);
+        let mut hi = lo;
+        for p in &self.points {
+            lo.x = lo.x.min(p[0]);
+            lo.y = lo.y.min(p[1]);
+            lo.z = lo.z.min(p[2]);
+            hi.x = hi.x.max(p[0]);
+            hi.y = hi.y.max(p[1]);
+            hi.z = hi.z.max(p[2]);
+        }
+        Some((lo, hi))
+    }
+
+    /// Approximate in-memory byte size (what Fig. 1a tracks per
+    /// iteration as "file size").
+    pub fn byte_size(&self) -> usize {
+        self.points.len() * 12
+            + self.connectivity.len() * 4
+            + self.offsets.len() * 4
+            + self.cell_types.len()
+            + self.point_data.byte_size()
+            + self.cell_data.byte_size()
+    }
+
+    /// Structural invariant check (used by tests and debug assertions).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.len() != self.cell_types.len() + 1 {
+            return Err(format!(
+                "offsets {} != cells {} + 1",
+                self.offsets.len(),
+                self.cell_types.len()
+            ));
+        }
+        if *self.offsets.last().unwrap() as usize != self.connectivity.len() {
+            return Err("last offset != connectivity length".to_string());
+        }
+        for c in 0..self.num_cells() {
+            let pts = self.cell_points(c);
+            if pts.len() != self.cell_types[c].num_points() {
+                return Err(format!("cell {c} has {} points", pts.len()));
+            }
+            if pts.iter().any(|&p| (p as usize) >= self.points.len()) {
+                return Err(format!("cell {c} references missing point"));
+            }
+        }
+        for (name, arr) in self.point_data.iter() {
+            if arr.len() != self.points.len() {
+                return Err(format!("point array {name:?} length mismatch"));
+            }
+        }
+        for (name, arr) in self.cell_data.iter() {
+            if arr.len() != self.num_cells() {
+                return Err(format!("cell array {name:?} length mismatch"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataArray;
+    use crate::math::vec3;
+
+    fn one_voxel() -> UnstructuredGrid {
+        let mut g = UnstructuredGrid::new();
+        for k in 0..2 {
+            for j in 0..2 {
+                for i in 0..2 {
+                    g.points.push([i as f32, j as f32, k as f32]);
+                }
+            }
+        }
+        g.add_cell(CellType::Voxel, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        g
+    }
+
+    #[test]
+    fn add_cell_and_lookup() {
+        let g = one_voxel();
+        assert_eq!(g.num_cells(), 1);
+        assert_eq!(g.cell_points(0), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(g.cell_center(0), vec3(0.5, 0.5, 0.5));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn bounds_cover_points() {
+        let g = one_voxel();
+        let (lo, hi) = g.bounds().unwrap();
+        assert_eq!(lo, vec3(0.0, 0.0, 0.0));
+        assert_eq!(hi, vec3(1.0, 1.0, 1.0));
+        assert!(UnstructuredGrid::new().bounds().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong point count")]
+    fn wrong_cell_arity_panics() {
+        let mut g = one_voxel();
+        g.add_cell(CellType::Tetra, &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing point")]
+    fn out_of_range_point_panics() {
+        let mut g = one_voxel();
+        g.add_cell(CellType::Triangle, &[0, 1, 99]);
+    }
+
+    #[test]
+    fn validate_catches_attribute_mismatch() {
+        let mut g = one_voxel();
+        g.cell_data.set("v", DataArray::F32(vec![1.0, 2.0])); // 2 != 1 cell
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn byte_size_tracks_content() {
+        let g = one_voxel();
+        let base = g.byte_size();
+        let mut g2 = g.clone();
+        g2.point_data.set("u", DataArray::F64(vec![0.0; 8]));
+        assert_eq!(g2.byte_size(), base + 64);
+    }
+}

@@ -1,0 +1,184 @@
+//! Plane clipping of triangle surfaces.
+
+use crate::data::{DataArray, PolyData};
+use crate::math::Vec3;
+
+/// An oriented plane: keeps the half-space `dot(n, p) + d >= 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Plane {
+    /// Plane normal (need not be unit length).
+    pub normal: Vec3,
+    /// Plane offset.
+    pub offset: f32,
+}
+
+impl Plane {
+    /// A plane through `point` with the given normal.
+    pub fn through(point: Vec3, normal: Vec3) -> Self {
+        Self {
+            normal,
+            offset: -normal.dot(point),
+        }
+    }
+
+    /// Signed distance (scaled by |normal|) of `p`.
+    pub fn eval(&self, p: Vec3) -> f32 {
+        self.normal.dot(p) + self.offset
+    }
+}
+
+/// Clips a triangle mesh against a plane, keeping the positive side.
+/// Crossing triangles are split exactly; normals and all point-data
+/// arrays are interpolated.
+pub fn clip(mesh: &PolyData, plane: Plane) -> PolyData {
+    let mut out = PolyData::new();
+    let carried: Vec<String> = mesh.point_data.iter().map(|(n, _)| n.clone()).collect();
+    let mut carried_vals: Vec<Vec<f32>> = vec![Vec::new(); carried.len()];
+    let has_normals = !mesh.normals.is_empty();
+
+    // Copies vertex `v` of the input into the output.
+    let copy_vertex = |v: u32, out: &mut PolyData, cv: &mut [Vec<f32>]| -> u32 {
+        let n = has_normals.then(|| mesh.normals[v as usize]);
+        let idx = out.add_point(mesh.points[v as usize], n);
+        for (slot, name) in cv.iter_mut().zip(&carried) {
+            slot.push(mesh.point_data.get(name).unwrap().get_f32(v as usize));
+        }
+        idx
+    };
+
+    // Emits the intersection of edge (a, b) with the plane.
+    let lerp_vertex = |a: u32, b: u32, t: f32, out: &mut PolyData, cv: &mut [Vec<f32>]| -> u32 {
+        let pa = Vec3::from_array(mesh.points[a as usize]);
+        let pb = Vec3::from_array(mesh.points[b as usize]);
+        let p = pa + (pb - pa) * t;
+        let n = has_normals.then(|| {
+            let na = Vec3::from_array(mesh.normals[a as usize]);
+            let nb = Vec3::from_array(mesh.normals[b as usize]);
+            (na + (nb - na) * t).normalized().to_array()
+        });
+        let idx = out.add_point(p.to_array(), n);
+        for (slot, name) in cv.iter_mut().zip(&carried) {
+            let arr = mesh.point_data.get(name).unwrap();
+            let fa = arr.get_f32(a as usize);
+            let fb = arr.get_f32(b as usize);
+            slot.push(fa + (fb - fa) * t);
+        }
+        idx
+    };
+
+    for tri in &mesh.triangles {
+        let d: Vec<f32> = tri
+            .iter()
+            .map(|&v| plane.eval(Vec3::from_array(mesh.points[v as usize])))
+            .collect();
+        let inside: Vec<usize> = (0..3).filter(|&i| d[i] >= 0.0).collect();
+        match inside.len() {
+            0 => {}
+            3 => {
+                let v0 = copy_vertex(tri[0], &mut out, &mut carried_vals);
+                let v1 = copy_vertex(tri[1], &mut out, &mut carried_vals);
+                let v2 = copy_vertex(tri[2], &mut out, &mut carried_vals);
+                out.triangles.push([v0, v1, v2]);
+            }
+            1 => {
+                let a = inside[0];
+                let (b, c) = ((a + 1) % 3, (a + 2) % 3);
+                let tab = d[a] / (d[a] - d[b]);
+                let tac = d[a] / (d[a] - d[c]);
+                let va = copy_vertex(tri[a], &mut out, &mut carried_vals);
+                let vab = lerp_vertex(tri[a], tri[b], tab, &mut out, &mut carried_vals);
+                let vac = lerp_vertex(tri[a], tri[c], tac, &mut out, &mut carried_vals);
+                out.triangles.push([va, vab, vac]);
+            }
+            2 => {
+                let c = (0..3).find(|i| !inside.contains(i)).unwrap();
+                let (a, b) = ((c + 1) % 3, (c + 2) % 3);
+                let tac = d[a] / (d[a] - d[c]);
+                let tbc = d[b] / (d[b] - d[c]);
+                let va = copy_vertex(tri[a], &mut out, &mut carried_vals);
+                let vb = copy_vertex(tri[b], &mut out, &mut carried_vals);
+                let vac = lerp_vertex(tri[a], tri[c], tac, &mut out, &mut carried_vals);
+                let vbc = lerp_vertex(tri[b], tri[c], tbc, &mut out, &mut carried_vals);
+                out.triangles.push([va, vb, vbc]);
+                out.triangles.push([va, vbc, vac]);
+            }
+            _ => unreachable!(),
+        }
+    }
+    for (name, vals) in carried.iter().zip(carried_vals) {
+        out.point_data.set(name.clone(), DataArray::F32(vals));
+    }
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::vec3;
+
+    /// A unit square in the z=0 plane, two triangles.
+    fn square() -> PolyData {
+        let mut m = PolyData::new();
+        m.add_point([0.0, 0.0, 0.0], Some([0.0, 0.0, 1.0]));
+        m.add_point([1.0, 0.0, 0.0], Some([0.0, 0.0, 1.0]));
+        m.add_point([1.0, 1.0, 0.0], Some([0.0, 0.0, 1.0]));
+        m.add_point([0.0, 1.0, 0.0], Some([0.0, 0.0, 1.0]));
+        m.triangles.push([0, 1, 2]);
+        m.triangles.push([0, 2, 3]);
+        m.point_data.set("x", DataArray::F32(vec![0.0, 1.0, 1.0, 0.0]));
+        m
+    }
+
+    #[test]
+    fn keep_all_and_drop_all() {
+        let m = square();
+        let keep = clip(&m, Plane::through(vec3(0.0, 0.0, -1.0), vec3(0.0, 0.0, 1.0)));
+        assert_eq!(keep.num_triangles(), 2);
+        let drop = clip(&m, Plane::through(vec3(0.0, 0.0, 1.0), vec3(0.0, 0.0, 1.0)));
+        assert_eq!(drop.num_triangles(), 0);
+    }
+
+    #[test]
+    fn half_clip_preserves_half_the_area() {
+        let m = square();
+        let clipped = clip(&m, Plane::through(vec3(0.5, 0.0, 0.0), vec3(1.0, 0.0, 0.0)));
+        assert!((clipped.surface_area() - 0.5).abs() < 1e-5);
+        // All remaining vertices are on the kept side.
+        for p in &clipped.points {
+            assert!(p[0] >= 0.5 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn clip_interpolates_point_data() {
+        let m = square();
+        let clipped = clip(&m, Plane::through(vec3(0.25, 0.0, 0.0), vec3(1.0, 0.0, 0.0)));
+        let xs = clipped.point_data.get("x").unwrap();
+        for (i, p) in clipped.points.iter().enumerate() {
+            assert!(
+                (xs.get_f32(i) - p[0]).abs() < 1e-5,
+                "carried x must equal coordinate"
+            );
+        }
+    }
+
+    #[test]
+    fn complementary_clips_cover_the_surface() {
+        let m = square();
+        let pos = clip(&m, Plane::through(vec3(0.3, 0.0, 0.0), vec3(1.0, 0.0, 0.0)));
+        let neg = clip(&m, Plane::through(vec3(0.3, 0.0, 0.0), vec3(-1.0, 0.0, 0.0)));
+        let total = pos.surface_area() + neg.surface_area();
+        assert!((total - 1.0).abs() < 1e-4, "total {total}");
+    }
+
+    #[test]
+    fn normals_survive_clipping() {
+        let m = square();
+        let clipped = clip(&m, Plane::through(vec3(0.5, 0.0, 0.0), vec3(1.0, 0.0, 0.0)));
+        assert_eq!(clipped.normals.len(), clipped.points.len());
+        for n in &clipped.normals {
+            assert!((n[2] - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Block merging (ParaView's MergeBlocks, used by the DWI pipeline).
+
+use crate::data::{DataArray, UnstructuredGrid};
+
+/// Merges unstructured grids into one: points and cells are concatenated
+/// (indices rebased); only attribute arrays present in *every* block are
+/// kept, concatenated in block order.
+pub fn merge_blocks(blocks: &[&UnstructuredGrid]) -> UnstructuredGrid {
+    let mut out = UnstructuredGrid::new();
+    if blocks.is_empty() {
+        return out;
+    }
+
+    // Arrays common to all blocks, by name, separately for points/cells.
+    let common = |pick: fn(&UnstructuredGrid) -> &crate::data::Attributes| -> Vec<String> {
+        let first: Vec<String> = pick(blocks[0]).iter().map(|(n, _)| n.clone()).collect();
+        first
+            .into_iter()
+            .filter(|n| blocks.iter().all(|b| pick(b).get(n).is_some()))
+            .collect()
+    };
+    let point_arrays = common(|g| &g.point_data);
+    let cell_arrays = common(|g| &g.cell_data);
+
+    for block in blocks {
+        let base = out.points.len() as u32;
+        out.points.extend_from_slice(&block.points);
+        let conn_base = out.connectivity.len() as u32;
+        out.connectivity
+            .extend(block.connectivity.iter().map(|&p| p + base));
+        // Skip the leading 0 of each block's offsets.
+        out.offsets
+            .extend(block.offsets.iter().skip(1).map(|&o| o + conn_base));
+        out.cell_types.extend_from_slice(&block.cell_types);
+    }
+
+    let concat = |names: &[String],
+                  pick: fn(&UnstructuredGrid) -> &crate::data::Attributes|
+     -> Vec<(String, DataArray)> {
+        names
+            .iter()
+            .map(|name| {
+                let mut vals = Vec::new();
+                for block in blocks {
+                    let arr = pick(block).get(name).expect("common array");
+                    for i in 0..arr.len() {
+                        vals.push(arr.get_f32(i));
+                    }
+                }
+                (name.clone(), DataArray::F32(vals))
+            })
+            .collect()
+    };
+    for (name, arr) in concat(&point_arrays, |g| &g.point_data) {
+        out.point_data.set(name, arr);
+    }
+    for (name, arr) in concat(&cell_arrays, |g| &g.cell_data) {
+        out.cell_data.set(name, arr);
+    }
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::CellType;
+
+    fn block(offset: f32, value: f32) -> UnstructuredGrid {
+        let mut g = UnstructuredGrid::new();
+        for k in 0..2 {
+            for j in 0..2 {
+                for i in 0..2 {
+                    g.points.push([i as f32 + offset, j as f32, k as f32]);
+                }
+            }
+        }
+        g.add_cell(CellType::Voxel, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        g.cell_data.set("v", DataArray::F32(vec![value]));
+        g.point_data.set("p", DataArray::F32(vec![value; 8]));
+        g
+    }
+
+    #[test]
+    fn merge_concatenates_and_rebases() {
+        let a = block(0.0, 1.0);
+        let b = block(2.0, 2.0);
+        let merged = merge_blocks(&[&a, &b]);
+        assert_eq!(merged.num_points(), 16);
+        assert_eq!(merged.num_cells(), 2);
+        assert_eq!(merged.cell_points(1), &[8, 9, 10, 11, 12, 13, 14, 15]);
+        merged.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_concatenates_attributes_in_order() {
+        let a = block(0.0, 1.0);
+        let b = block(2.0, 2.0);
+        let merged = merge_blocks(&[&a, &b]);
+        let v = merged.cell_data.get("v").unwrap();
+        assert_eq!((v.get(0), v.get(1)), (1.0, 2.0));
+        assert_eq!(merged.point_data.get("p").unwrap().len(), 16);
+    }
+
+    #[test]
+    fn non_common_arrays_are_dropped() {
+        let a = block(0.0, 1.0);
+        let mut b = block(2.0, 2.0);
+        b.cell_data.set("extra", DataArray::F32(vec![9.0]));
+        let merged = merge_blocks(&[&a, &b]);
+        assert!(merged.cell_data.get("extra").is_none());
+        assert!(merged.cell_data.get("v").is_some());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_grid() {
+        let merged = merge_blocks(&[]);
+        assert_eq!(merged.num_cells(), 0);
+        merged.validate().unwrap();
+    }
+
+    #[test]
+    fn single_block_is_identity_shaped() {
+        let a = block(0.0, 3.0);
+        let merged = merge_blocks(&[&a]);
+        assert_eq!(merged.num_points(), a.num_points());
+        assert_eq!(merged.num_cells(), a.num_cells());
+        assert_eq!(merged.cell_points(0), a.cell_points(0));
+    }
+}

@@ -1,0 +1,18 @@
+//! Filters: the analysis stages of the paper's three pipelines.
+//!
+//! * Gray–Scott: [`contour`] (multiple isovalues) + [`clip`];
+//! * Mandelbulb: [`contour`] (single isovalue);
+//! * Deep Water Impact: [`merge_blocks`] + [`resample_to_image`] feeding
+//!   the volume renderer.
+
+mod clip;
+mod contour;
+mod merge;
+mod resample;
+mod threshold;
+
+pub use clip::{clip, Plane};
+pub use contour::contour;
+pub use merge::merge_blocks;
+pub use resample::resample_to_image;
+pub use threshold::threshold_cells;

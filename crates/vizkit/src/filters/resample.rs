@@ -1,0 +1,182 @@
+//! Resampling voxel-based unstructured grids onto regular grids.
+//!
+//! The Deep Water Impact pipeline volume-renders an unstructured mesh.
+//! Its meshes (like the xRAGE AMR output the real dataset comes from) are
+//! voxel-based, so resampling reduces to rasterizing each cell's box into
+//! the target grid — no general point location needed.
+
+use crate::data::{CellType, DataArray, ImageData, UnstructuredGrid};
+use crate::math::Vec3;
+
+/// Resamples the cell-data scalar `field` of a voxel/hexahedron grid onto
+/// a regular grid with `dims` points covering the input's bounds. Grid
+/// points covered by no cell get `background`.
+pub fn resample_to_image(
+    grid: &UnstructuredGrid,
+    field: &str,
+    dims: [usize; 3],
+    background: f32,
+) -> ImageData {
+    let arr = grid
+        .cell_data
+        .get(field)
+        .unwrap_or_else(|| panic!("resample: no cell field {field:?}"));
+    let mut img = ImageData::new(dims);
+    let Some((lo, hi)) = grid.bounds() else {
+        img.point_data
+            .set(field, DataArray::F32(vec![background; img.num_points()]));
+        return img;
+    };
+    img.origin = lo.to_array();
+    let span = hi - lo;
+    img.spacing = [
+        span.x / (dims[0].saturating_sub(1).max(1)) as f32,
+        span.y / (dims[1].saturating_sub(1).max(1)) as f32,
+        span.z / (dims[2].saturating_sub(1).max(1)) as f32,
+    ];
+    let mut vals = vec![background; img.num_points()];
+    let mut weight = vec![0u16; img.num_points()];
+
+    for c in 0..grid.num_cells() {
+        debug_assert!(matches!(
+            grid.cell_types[c],
+            CellType::Voxel | CellType::Hexahedron
+        ));
+        // Cell bounding box.
+        let pts = grid.cell_points(c);
+        let mut clo = Vec3::from_array(grid.points[pts[0] as usize]);
+        let mut chi = clo;
+        for &p in &pts[1..] {
+            let v = Vec3::from_array(grid.points[p as usize]);
+            clo.x = clo.x.min(v.x);
+            clo.y = clo.y.min(v.y);
+            clo.z = clo.z.min(v.z);
+            chi.x = chi.x.max(v.x);
+            chi.y = chi.y.max(v.y);
+            chi.z = chi.z.max(v.z);
+        }
+        let v = arr.get_f32(c);
+        // Covered grid-point index range (inclusive).
+        let to_idx = |w: f32, axis: usize, round_up: bool| -> usize {
+            let f = (w - img.origin[axis]) / img.spacing[axis].max(1e-20);
+            let i = if round_up { f.ceil() } else { f.floor() } as i64;
+            i.clamp(0, dims[axis] as i64 - 1) as usize
+        };
+        let (i0, i1) = (to_idx(clo.x, 0, true), to_idx(chi.x, 0, false));
+        let (j0, j1) = (to_idx(clo.y, 1, true), to_idx(chi.y, 1, false));
+        let (k0, k1) = (to_idx(clo.z, 2, true), to_idx(chi.z, 2, false));
+        for k in k0..=k1 {
+            for j in j0..=j1 {
+                for i in i0..=i1 {
+                    let idx = img.point_index(i, j, k);
+                    // Average overlapping cells (block boundaries).
+                    let w = weight[idx];
+                    if w == 0 {
+                        vals[idx] = v;
+                    } else {
+                        vals[idx] = (vals[idx] * w as f32 + v) / (w + 1) as f32;
+                    }
+                    weight[idx] = w.saturating_add(1);
+                }
+            }
+        }
+    }
+    img.point_data.set(field, DataArray::F32(vals));
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn voxel_grid(n: usize, value_fn: impl Fn(usize) -> f32) -> UnstructuredGrid {
+        // A row of n unit voxels along x.
+        let mut g = UnstructuredGrid::new();
+        // Points: (n+1) x 2 x 2, x-fastest.
+        for k in 0..2u32 {
+            for j in 0..2u32 {
+                for i in 0..=n as u32 {
+                    g.points.push([i as f32, j as f32, k as f32]);
+                }
+            }
+        }
+        let nx = (n + 1) as u32;
+        let idx = |i: u32, j: u32, k: u32| k * (nx * 2) + j * nx + i;
+        let mut vals = Vec::new();
+        for c in 0..n as u32 {
+            g.add_cell(
+                CellType::Voxel,
+                &[
+                    idx(c, 0, 0),
+                    idx(c + 1, 0, 0),
+                    idx(c, 1, 0),
+                    idx(c + 1, 1, 0),
+                    idx(c, 0, 1),
+                    idx(c + 1, 0, 1),
+                    idx(c, 1, 1),
+                    idx(c + 1, 1, 1),
+                ],
+            );
+            vals.push(value_fn(c as usize));
+        }
+        g.cell_data.set("v", DataArray::F32(vals));
+        g
+    }
+
+    #[test]
+    fn resampled_grid_covers_bounds() {
+        let g = voxel_grid(4, |c| c as f32);
+        let img = resample_to_image(&g, "v", [9, 3, 3], -1.0);
+        assert_eq!(img.origin, [0.0, 0.0, 0.0]);
+        let (_, hi) = img.bounds();
+        assert!((hi.x - 4.0).abs() < 1e-5);
+        assert!((hi.y - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn interior_points_take_cell_values() {
+        let g = voxel_grid(4, |c| c as f32 * 10.0);
+        let img = resample_to_image(&g, "v", [9, 3, 3], -1.0);
+        let arr = img.point_data.get("v").unwrap();
+        // Point at x = 0.5 lies inside cell 0 only.
+        let v = arr.get_f32(img.point_index(1, 1, 1));
+        assert_eq!(v, 0.0);
+        // Point at x = 2.5 lies inside cell 2 only.
+        let v = arr.get_f32(img.point_index(5, 1, 1));
+        assert_eq!(v, 20.0);
+    }
+
+    #[test]
+    fn shared_faces_average_neighbors() {
+        let g = voxel_grid(2, |c| if c == 0 { 0.0 } else { 10.0 });
+        let img = resample_to_image(&g, "v", [3, 2, 2], -1.0);
+        let arr = img.point_data.get("v").unwrap();
+        // The middle plane belongs to both voxels: average.
+        let v = arr.get_f32(img.point_index(1, 0, 0));
+        assert_eq!(v, 5.0);
+    }
+
+    #[test]
+    fn uncovered_points_keep_background() {
+        let mut g = voxel_grid(1, |_| 7.0);
+        // Stretch bounds with an isolated far point so part of the target
+        // grid is uncovered.
+        g.points.push([10.0, 10.0, 10.0]);
+        let img = resample_to_image(&g, "v", [11, 11, 11], -3.0);
+        let arr = img.point_data.get("v").unwrap();
+        assert_eq!(arr.get_f32(img.point_index(10, 10, 10)), -3.0);
+        assert_eq!(arr.get_f32(img.point_index(0, 0, 0)), 7.0);
+    }
+
+    #[test]
+    fn empty_grid_yields_background_everywhere() {
+        let g = UnstructuredGrid::new();
+        let mut g2 = g.clone();
+        g2.cell_data.set("v", DataArray::F32(vec![]));
+        let img = resample_to_image(&g2, "v", [4, 4, 4], 0.5);
+        let arr = img.point_data.get("v").unwrap();
+        for i in 0..arr.len() {
+            assert_eq!(arr.get_f32(i), 0.5);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Cell thresholding.
+
+use crate::data::{DataArray, UnstructuredGrid};
+
+/// Keeps the cells whose cell-data scalar `field` lies in
+/// `[lo, hi]`. Points are compacted; point attributes follow.
+pub fn threshold_cells(grid: &UnstructuredGrid, field: &str, lo: f64, hi: f64) -> UnstructuredGrid {
+    let arr = grid
+        .cell_data
+        .get(field)
+        .unwrap_or_else(|| panic!("threshold: no cell field {field:?}"));
+    let mut out = UnstructuredGrid::new();
+    let mut point_map: Vec<Option<u32>> = vec![None; grid.num_points()];
+    let mut kept_cells = Vec::new();
+    let mut mapped = Vec::new();
+
+    for c in 0..grid.num_cells() {
+        let v = arr.get(c);
+        if v < lo || v > hi {
+            continue;
+        }
+        kept_cells.push(c);
+        mapped.clear();
+        for &p in grid.cell_points(c) {
+            let new = match point_map[p as usize] {
+                Some(n) => n,
+                None => {
+                    let n = out.points.len() as u32;
+                    out.points.push(grid.points[p as usize]);
+                    point_map[p as usize] = Some(n);
+                    n
+                }
+            };
+            mapped.push(new);
+        }
+        out.add_cell(grid.cell_types[c], &mapped);
+    }
+
+    // Compact attributes.
+    for (name, src) in grid.cell_data.iter() {
+        let vals: Vec<f32> = kept_cells.iter().map(|&c| src.get_f32(c)).collect();
+        out.cell_data.set(name.clone(), DataArray::F32(vals));
+    }
+    for (name, src) in grid.point_data.iter() {
+        let mut vals = vec![0f32; out.points.len()];
+        for (old, new) in point_map.iter().enumerate() {
+            if let Some(n) = new {
+                vals[*n as usize] = src.get_f32(old);
+            }
+        }
+        out.point_data.set(name.clone(), DataArray::F32(vals));
+    }
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::CellType;
+
+    fn two_voxels() -> UnstructuredGrid {
+        let mut g = UnstructuredGrid::new();
+        for k in 0..2 {
+            for j in 0..2 {
+                for i in 0..3 {
+                    g.points.push([i as f32, j as f32, k as f32]);
+                }
+            }
+        }
+        // Points laid out x-fastest with nx = 3.
+        let idx = |i: u32, j: u32, k: u32| k * 6 + j * 3 + i;
+        g.add_cell(
+            CellType::Voxel,
+            &[
+                idx(0, 0, 0),
+                idx(1, 0, 0),
+                idx(0, 1, 0),
+                idx(1, 1, 0),
+                idx(0, 0, 1),
+                idx(1, 0, 1),
+                idx(0, 1, 1),
+                idx(1, 1, 1),
+            ],
+        );
+        g.add_cell(
+            CellType::Voxel,
+            &[
+                idx(1, 0, 0),
+                idx(2, 0, 0),
+                idx(1, 1, 0),
+                idx(2, 1, 0),
+                idx(1, 0, 1),
+                idx(2, 0, 1),
+                idx(1, 1, 1),
+                idx(2, 1, 1),
+            ],
+        );
+        g.cell_data.set("v", DataArray::F32(vec![1.0, 5.0]));
+        g.point_data
+            .set("x", DataArray::F32(g.points.iter().map(|p| p[0]).collect()));
+        g
+    }
+
+    #[test]
+    fn keeps_only_matching_cells() {
+        let g = two_voxels();
+        let t = threshold_cells(&g, "v", 4.0, 10.0);
+        assert_eq!(t.num_cells(), 1);
+        assert_eq!(t.cell_data.get("v").unwrap().get(0), 5.0);
+        // Only the 8 points of the second voxel remain.
+        assert_eq!(t.num_points(), 8);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn point_attributes_follow_compaction() {
+        let g = two_voxels();
+        let t = threshold_cells(&g, "v", 4.0, 10.0);
+        let xs = t.point_data.get("x").unwrap();
+        for (i, p) in t.points.iter().enumerate() {
+            assert_eq!(xs.get_f32(i), p[0]);
+        }
+    }
+
+    #[test]
+    fn full_range_is_identity_sized() {
+        let g = two_voxels();
+        let t = threshold_cells(&g, "v", 0.0, 10.0);
+        assert_eq!(t.num_cells(), 2);
+        assert_eq!(t.num_points(), 12);
+    }
+
+    #[test]
+    fn empty_result_is_valid() {
+        let g = two_voxels();
+        let t = threshold_cells(&g, "v", 100.0, 200.0);
+        assert_eq!(t.num_cells(), 0);
+        assert_eq!(t.num_points(), 0);
+        t.validate().unwrap();
+    }
+}

@@ -1,0 +1,222 @@
+//! Minimal 3-D math: vectors and 4×4 matrices for cameras and transforms.
+
+use std::ops::{Add, Mul, Sub};
+
+/// A 3-component single-precision vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+    /// z component.
+    pub z: f32,
+}
+
+/// Constructs a [`Vec3`].
+pub const fn vec3(x: f32, y: f32, z: f32) -> Vec3 {
+    Vec3 { x, y, z }
+}
+
+impl Vec3 {
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        vec3(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit-length copy (returns self when near zero length).
+    pub fn normalized(self) -> Vec3 {
+        let l = self.length();
+        if l > 1e-20 {
+            self * (1.0 / l)
+        } else {
+            self
+        }
+    }
+
+    /// Component-wise scale.
+    pub fn scale(self, s: f32) -> Vec3 {
+        self * s
+    }
+
+    /// As an array.
+    pub fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// From an array.
+    pub fn from_array(a: [f32; 3]) -> Vec3 {
+        vec3(a[0], a[1], a[2])
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        vec3(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        vec3(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f32) -> Vec3 {
+        vec3(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+/// A column-major 4×4 matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// Elements in column-major order: `m[col][row]`.
+    pub m: [[f32; 4]; 4],
+}
+
+impl Mat4 {
+    /// Identity matrix.
+    pub fn identity() -> Self {
+        let mut m = [[0.0; 4]; 4];
+        for (i, col) in m.iter_mut().enumerate() {
+            col[i] = 1.0;
+        }
+        Self { m }
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul_mat(&self, rhs: &Mat4) -> Mat4 {
+        let mut out = [[0.0f32; 4]; 4];
+        for (c, out_col) in out.iter_mut().enumerate() {
+            for (r, out_cell) in out_col.iter_mut().enumerate() {
+                *out_cell = (0..4).map(|k| self.m[k][r] * rhs.m[c][k]).sum();
+            }
+        }
+        Mat4 { m: out }
+    }
+
+    /// Transforms a point (w = 1), returning the homogeneous result.
+    pub fn transform_point(&self, p: Vec3) -> [f32; 4] {
+        let v = [p.x, p.y, p.z, 1.0];
+        let mut out = [0.0f32; 4];
+        for (r, out_cell) in out.iter_mut().enumerate() {
+            *out_cell = (0..4).map(|c| self.m[c][r] * v[c]).sum();
+        }
+        out
+    }
+
+    /// A right-handed look-at view matrix.
+    pub fn look_at(eye: Vec3, center: Vec3, up: Vec3) -> Mat4 {
+        let f = (center - eye).normalized();
+        let s = f.cross(up).normalized();
+        let u = s.cross(f);
+        let mut m = Mat4::identity();
+        m.m[0][0] = s.x;
+        m.m[1][0] = s.y;
+        m.m[2][0] = s.z;
+        m.m[0][1] = u.x;
+        m.m[1][1] = u.y;
+        m.m[2][1] = u.z;
+        m.m[0][2] = -f.x;
+        m.m[1][2] = -f.y;
+        m.m[2][2] = -f.z;
+        m.m[3][0] = -s.dot(eye);
+        m.m[3][1] = -u.dot(eye);
+        m.m[3][2] = f.dot(eye);
+        m
+    }
+
+    /// A right-handed perspective projection (depth to [-1, 1]).
+    pub fn perspective(fovy_rad: f32, aspect: f32, near: f32, far: f32) -> Mat4 {
+        let f = 1.0 / (fovy_rad / 2.0).tan();
+        let mut m = Mat4 { m: [[0.0; 4]; 4] };
+        m.m[0][0] = f / aspect;
+        m.m[1][1] = f;
+        m.m[2][2] = (far + near) / (near - far);
+        m.m[2][3] = -1.0;
+        m.m[3][2] = 2.0 * far * near / (near - far);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = vec3(1.0, 0.0, 0.0);
+        let b = vec3(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), vec3(0.0, 0.0, 1.0));
+        assert!(close(a.dot(b), 0.0));
+        assert!(close((a + b).length(), 2f32.sqrt()));
+        assert!(close((a - b).length(), 2f32.sqrt()));
+        assert!(close(vec3(3.0, 4.0, 0.0).normalized().length(), 1.0));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let i = Mat4::identity();
+        let p = vec3(1.5, -2.0, 3.0);
+        let out = i.transform_point(p);
+        assert_eq!(&out[..3], &[1.5, -2.0, 3.0]);
+        assert_eq!(out[3], 1.0);
+        assert_eq!(i.mul_mat(&i), i);
+    }
+
+    #[test]
+    fn look_at_moves_eye_to_origin() {
+        let eye = vec3(0.0, 0.0, 5.0);
+        let view = Mat4::look_at(eye, vec3(0.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0));
+        let out = view.transform_point(eye);
+        assert!(close(out[0], 0.0) && close(out[1], 0.0) && close(out[2], 0.0));
+        // A point in front of the eye lands on the -z axis.
+        let front = view.transform_point(vec3(0.0, 0.0, 0.0));
+        assert!(front[2] < 0.0);
+    }
+
+    #[test]
+    fn perspective_maps_near_and_far_planes() {
+        let proj = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 1.0, 10.0);
+        let near = proj.transform_point(vec3(0.0, 0.0, -1.0));
+        let far = proj.transform_point(vec3(0.0, 0.0, -10.0));
+        assert!(close(near[2] / near[3], -1.0));
+        assert!(close(far[2] / far[3], 1.0));
+    }
+
+    #[test]
+    fn matrix_product_composes_transforms() {
+        let view = Mat4::look_at(vec3(3.0, 0.0, 0.0), vec3(0.0, 0.0, 0.0), vec3(0.0, 0.0, 1.0));
+        let proj = Mat4::perspective(1.0, 1.0, 0.1, 100.0);
+        let combined = proj.mul_mat(&view);
+        let p = vec3(0.5, 0.5, 0.5);
+        let a = combined.transform_point(p);
+        let v = view.transform_point(p);
+        let b = proj.transform_point(vec3(v[0], v[1], v[2]));
+        for i in 0..4 {
+            assert!(close(a[i], b[i]), "{a:?} vs {b:?}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Framebuffer images with depth, and the compositing primitives IceT
+//! strategies are built from.
+
+/// An RGBA + depth framebuffer.
+///
+/// Depth is the normalized device depth in `[0, 1]`; `1.0` means
+/// background (infinitely far). Alpha is premultiplied for the blend
+/// operator, as IceT requires for correct ordered compositing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// RGBA bytes, row-major, premultiplied alpha.
+    pub rgba: Vec<u8>,
+    /// Per-pixel depth.
+    pub depth: Vec<f32>,
+}
+
+impl Image {
+    /// A background image (transparent black, depth 1).
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            rgba: vec![0; width * height * 4],
+            depth: vec![1.0; width * height],
+        }
+    }
+
+    /// Pixel index.
+    pub fn idx(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// Writes a pixel if it wins the depth test.
+    pub fn set_if_closer(&mut self, x: usize, y: usize, depth: f32, rgba: [u8; 4]) {
+        let i = self.idx(x, y);
+        if depth < self.depth[i] {
+            self.depth[i] = depth;
+            self.rgba[i * 4..i * 4 + 4].copy_from_slice(&rgba);
+        }
+    }
+
+    /// Z-buffer composite: for each pixel keep the closer fragment.
+    /// This is IceT's `ICET_COMPOSITE_MODE_Z_BUFFER`.
+    pub fn composite_closest(&mut self, other: &Image) {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        for i in 0..self.depth.len() {
+            if other.depth[i] < self.depth[i] {
+                self.depth[i] = other.depth[i];
+                self.rgba[i * 4..i * 4 + 4].copy_from_slice(&other.rgba[i * 4..i * 4 + 4]);
+            }
+        }
+    }
+
+    /// Ordered blend composite: `self = self OVER other` (self in front).
+    /// This is IceT's `ICET_COMPOSITE_MODE_BLEND` with premultiplied alpha.
+    pub fn composite_over(&mut self, other: &Image) {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        for i in 0..self.depth.len() {
+            let a_front = self.rgba[i * 4 + 3] as u32;
+            let inv = 255 - a_front;
+            for c in 0..4 {
+                let f = self.rgba[i * 4 + c] as u32;
+                let b = other.rgba[i * 4 + c] as u32;
+                self.rgba[i * 4 + c] = (f + (b * inv + 127) / 255).min(255) as u8;
+            }
+            self.depth[i] = self.depth[i].min(other.depth[i]);
+        }
+    }
+
+    /// Serializes to raw bytes (depth as LE f32 after the RGBA plane).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.rgba.len() + self.depth.len() * 4);
+        out.extend_from_slice(&(self.width as u64).to_le_bytes());
+        out.extend_from_slice(&(self.height as u64).to_le_bytes());
+        out.extend_from_slice(&self.rgba);
+        for d in &self.depth {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from [`Image::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Image {
+        let width = u64::from_le_bytes(bytes[0..8].try_into().unwrap()) as usize;
+        let height = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let n = width * height;
+        let rgba = bytes[16..16 + n * 4].to_vec();
+        let depth = bytes[16 + n * 4..16 + n * 8]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Image {
+            width,
+            height,
+            rgba,
+            depth,
+        }
+    }
+
+    /// Fraction of pixels covered (alpha > 0 or depth < 1).
+    pub fn coverage(&self) -> f64 {
+        let covered = (0..self.width * self.height)
+            .filter(|&i| self.rgba[i * 4 + 3] > 0 || self.depth[i] < 1.0)
+            .count();
+        covered as f64 / (self.width * self.height).max(1) as f64
+    }
+
+    /// Writes a binary PPM (P6) file, compositing onto a white background.
+    pub fn write_ppm(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "P6\n{} {}\n255", self.width, self.height)?;
+        for i in 0..self.width * self.height {
+            let a = self.rgba[i * 4 + 3] as u32;
+            let inv = 255 - a;
+            for c in 0..3 {
+                let v = self.rgba[i * 4 + c] as u32 + (255 * inv + 127) / 255;
+                f.write_all(&[v.min(255) as u8])?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_test_keeps_closest() {
+        let mut img = Image::new(2, 2);
+        img.set_if_closer(0, 0, 0.5, [10, 0, 0, 255]);
+        img.set_if_closer(0, 0, 0.7, [20, 0, 0, 255]); // behind: ignored
+        img.set_if_closer(0, 0, 0.3, [30, 0, 0, 255]); // front: wins
+        assert_eq!(img.rgba[0], 30);
+        assert_eq!(img.depth[0], 0.3);
+    }
+
+    #[test]
+    fn composite_closest_is_commutative_on_disjoint_pixels() {
+        let mut a = Image::new(2, 1);
+        a.set_if_closer(0, 0, 0.2, [1, 0, 0, 255]);
+        let mut b = Image::new(2, 1);
+        b.set_if_closer(1, 0, 0.4, [2, 0, 0, 255]);
+        let mut ab = a.clone();
+        ab.composite_closest(&b);
+        let mut ba = b.clone();
+        ba.composite_closest(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.rgba[0], 1);
+        assert_eq!(ab.rgba[4], 2);
+    }
+
+    #[test]
+    fn over_operator_blends_premultiplied() {
+        let mut front = Image::new(1, 1);
+        front.rgba = vec![100, 0, 0, 128]; // half-transparent red (premult)
+        front.depth = vec![0.2];
+        let mut back = Image::new(1, 1);
+        back.rgba = vec![0, 200, 0, 255]; // opaque green
+        back.depth = vec![0.8];
+        front.composite_over(&back);
+        assert_eq!(front.rgba[0], 100);
+        assert!((front.rgba[1] as i32 - 100).abs() <= 1); // 200 * (1-0.5)
+        assert_eq!(front.rgba[3], 255);
+    }
+
+    #[test]
+    fn over_with_transparent_front_is_identity() {
+        let front = Image::new(1, 1);
+        let mut back = Image::new(1, 1);
+        back.rgba = vec![9, 8, 7, 255];
+        let mut out = front.clone();
+        out.composite_over(&back);
+        assert_eq!(&out.rgba[..], &[9, 8, 7, 255]);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut img = Image::new(3, 2);
+        img.set_if_closer(1, 1, 0.25, [1, 2, 3, 4]);
+        let back = Image::from_bytes(&img.to_bytes());
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn coverage_counts_touched_pixels() {
+        let mut img = Image::new(2, 2);
+        assert_eq!(img.coverage(), 0.0);
+        img.set_if_closer(0, 0, 0.5, [0, 0, 0, 255]);
+        assert_eq!(img.coverage(), 0.25);
+    }
+
+    #[test]
+    fn ppm_writes_header_and_payload() {
+        let mut img = Image::new(2, 1);
+        img.set_if_closer(0, 0, 0.1, [255, 0, 0, 255]);
+        let path = std::env::temp_dir().join("vizkit_test.ppm");
+        img.write_ppm(&path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(b"P6\n2 1\n255\n"));
+        assert_eq!(data.len(), 11 + 6);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,15 @@
+//! Software rendering: cameras, color mapping, triangle rasterization and
+//! volume ray-casting, producing depth-carrying images suitable for
+//! IceT-style parallel compositing.
+
+mod camera;
+mod color;
+mod image;
+mod rasterizer;
+mod volume;
+
+pub use camera::Camera;
+pub use color::{ColorMap, TransferFunction};
+pub use image::Image;
+pub use rasterizer::render_surface;
+pub use volume::render_volume;

@@ -1,0 +1,242 @@
+//! Software triangle rasterization with z-buffering and Lambert shading.
+
+use crate::data::PolyData;
+use crate::math::Vec3;
+use crate::render::{Camera, ColorMap, Image};
+
+/// Renders a triangle mesh into a fresh image.
+///
+/// Coloring: if `color_field` names a point-data array it is mapped
+/// through `colors`; otherwise a constant mid-range color is used. Shading
+/// is Lambertian with a headlight (light at the eye), matching ParaView's
+/// default.
+pub fn render_surface(
+    mesh: &PolyData,
+    camera: &Camera,
+    colors: &ColorMap,
+    color_field: Option<&str>,
+    width: usize,
+    height: usize,
+) -> Image {
+    let mut img = Image::new(width, height);
+    let scalars = color_field.and_then(|f| mesh.point_data.get(f));
+    let has_normals = mesh.normals.len() == mesh.points.len();
+    let eye_dir = (camera.focal_point - camera.position).normalized();
+
+    // Project all vertices once.
+    let projected: Vec<Option<(f32, f32, f32)>> = mesh
+        .points
+        .iter()
+        .map(|&p| camera.project(Vec3::from_array(p), width, height))
+        .collect();
+
+    for (t, tri) in mesh.triangles.iter().enumerate() {
+        let (Some(a), Some(b), Some(c)) = (
+            projected[tri[0] as usize],
+            projected[tri[1] as usize],
+            projected[tri[2] as usize],
+        ) else {
+            continue; // triangle crosses the near plane: dropped
+        };
+
+        // Flat shade factor from the face (or averaged vertex) normal.
+        let n = if has_normals {
+            let sum = tri
+                .iter()
+                .fold(Vec3::default(), |acc, &v| acc + Vec3::from_array(mesh.normals[v as usize]));
+            sum.normalized()
+        } else {
+            mesh.face_normal(t).normalized()
+        };
+        let shade = n.dot(eye_dir * -1.0).abs().clamp(0.0, 1.0) * 0.85 + 0.15;
+
+        // Per-vertex scalars for Gouraud color interpolation.
+        let sv: [f32; 3] = match scalars {
+            Some(arr) => [
+                arr.get_f32(tri[0] as usize),
+                arr.get_f32(tri[1] as usize),
+                arr.get_f32(tri[2] as usize),
+            ],
+            None => {
+                let (lo, hi) = colors.range();
+                [(lo + hi) * 0.5; 3]
+            }
+        };
+
+        rasterize_triangle(&mut img, a, b, c, sv, shade, colors);
+    }
+    img
+}
+
+/// Rasterizes one screen-space triangle with barycentric interpolation.
+fn rasterize_triangle(
+    img: &mut Image,
+    a: (f32, f32, f32),
+    b: (f32, f32, f32),
+    c: (f32, f32, f32),
+    scalars: [f32; 3],
+    shade: f32,
+    colors: &ColorMap,
+) {
+    let min_x = a.0.min(b.0).min(c.0).floor().max(0.0) as usize;
+    let max_x = (a.0.max(b.0).max(c.0).ceil() as usize).min(img.width.saturating_sub(1));
+    let min_y = a.1.min(b.1).min(c.1).floor().max(0.0) as usize;
+    let max_y = (a.1.max(b.1).max(c.1).ceil() as usize).min(img.height.saturating_sub(1));
+    if min_x > max_x || min_y > max_y {
+        return;
+    }
+    let area = edge(a, b, (c.0, c.1));
+    if area.abs() < 1e-12 {
+        return;
+    }
+    let inv_area = 1.0 / area;
+    for y in min_y..=max_y {
+        for x in min_x..=max_x {
+            let p = (x as f32, y as f32);
+            let w0 = edge(b, c, p) * inv_area;
+            let w1 = edge(c, a, p) * inv_area;
+            let w2 = edge(a, b, p) * inv_area;
+            if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                continue;
+            }
+            let depth = w0 * a.2 + w1 * b.2 + w2 * c.2;
+            if !(0.0..=1.0).contains(&depth) {
+                continue;
+            }
+            let scalar = w0 * scalars[0] + w1 * scalars[1] + w2 * scalars[2];
+            let rgb = colors.map(scalar);
+            let px = [
+                (rgb[0] * shade * 255.0) as u8,
+                (rgb[1] * shade * 255.0) as u8,
+                (rgb[2] * shade * 255.0) as u8,
+                255,
+            ];
+            img.set_if_closer(x, y, depth, px);
+        }
+    }
+}
+
+fn edge(a: (f32, f32, f32), b: (f32, f32, f32), p: (f32, f32)) -> f32 {
+    (b.0 - a.0) * (p.1 - a.1) - (b.1 - a.1) * (p.0 - a.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::vec3;
+
+    /// A big quad facing the default camera.
+    fn facing_quad() -> PolyData {
+        let mut m = PolyData::new();
+        m.add_point([-1.0, -1.0, 0.0], Some([0.0, 0.0, 1.0]));
+        m.add_point([1.0, -1.0, 0.0], Some([0.0, 0.0, 1.0]));
+        m.add_point([1.0, 1.0, 0.0], Some([0.0, 0.0, 1.0]));
+        m.add_point([-1.0, 1.0, 0.0], Some([0.0, 0.0, 1.0]));
+        m.triangles.push([0, 1, 2]);
+        m.triangles.push([0, 2, 3]);
+        m
+    }
+
+    #[test]
+    fn quad_covers_center_of_image() {
+        let img = render_surface(
+            &facing_quad(),
+            &Camera::default(),
+            &ColorMap::viridis((0.0, 1.0)),
+            None,
+            64,
+            64,
+        );
+        assert!(img.coverage() > 0.05, "coverage {}", img.coverage());
+        let center = img.idx(32, 32);
+        assert_eq!(img.rgba[center * 4 + 3], 255);
+        assert!(img.depth[center] < 1.0);
+    }
+
+    #[test]
+    fn empty_mesh_renders_background() {
+        let img = render_surface(
+            &PolyData::new(),
+            &Camera::default(),
+            &ColorMap::viridis((0.0, 1.0)),
+            None,
+            16,
+            16,
+        );
+        assert_eq!(img.coverage(), 0.0);
+    }
+
+    #[test]
+    fn nearer_geometry_occludes_farther() {
+        let mut m = facing_quad(); // at z = 0
+        let mut near = PolyData::new(); // smaller quad at z = 2 (closer to +z eye)
+        near.add_point([-0.2, -0.2, 2.0], Some([0.0, 0.0, 1.0]));
+        near.add_point([0.2, -0.2, 2.0], Some([0.0, 0.0, 1.0]));
+        near.add_point([0.2, 0.2, 2.0], Some([0.0, 0.0, 1.0]));
+        near.add_point([-0.2, 0.2, 2.0], Some([0.0, 0.0, 1.0]));
+        near.triangles.push([0, 1, 2]);
+        near.triangles.push([0, 2, 3]);
+        // Tag layers with a scalar so we can tell who won.
+        use crate::data::DataArray;
+        m.point_data.set("s", DataArray::F32(vec![0.0; 4]));
+        near.point_data.set("s", DataArray::F32(vec![1.0; 4]));
+        m.append(&near);
+        let cmap = ColorMap::from_stops(
+            vec![(0.0, [0.0, 0.0, 1.0]), (1.0, [1.0, 0.0, 0.0])],
+            (0.0, 1.0),
+        );
+        let img = render_surface(&m, &Camera::default(), &cmap, Some("s"), 65, 65);
+        // At the image center both quads overlap; the near one must win.
+        let i = img.idx(32, 32);
+        assert!(
+            img.rgba[i * 4] > img.rgba[i * 4 + 2],
+            "near (red) should occlude far (blue): {:?}",
+            &img.rgba[i * 4..i * 4 + 4]
+        );
+    }
+
+    #[test]
+    fn scalar_coloring_varies_across_surface() {
+        use crate::data::DataArray;
+        let mut m = facing_quad();
+        m.point_data
+            .set("s", DataArray::F32(vec![0.0, 1.0, 1.0, 0.0]));
+        let cmap = ColorMap::from_stops(
+            vec![(0.0, [0.0, 0.0, 1.0]), (1.0, [1.0, 0.0, 0.0])],
+            (0.0, 1.0),
+        );
+        let img = render_surface(&m, &Camera::default(), &cmap, Some("s"), 64, 64);
+        let left = img.idx(20, 32) * 4;
+        let right = img.idx(44, 32) * 4;
+        assert!(img.rgba[left + 2] > img.rgba[left], "left is blue");
+        assert!(img.rgba[right] > img.rgba[right + 2], "right is red");
+    }
+
+    #[test]
+    fn geometry_behind_camera_is_dropped() {
+        let mut m = PolyData::new();
+        m.add_point([0.0, 0.0, 10.0], None);
+        m.add_point([1.0, 0.0, 10.0], None);
+        m.add_point([0.0, 1.0, 10.0], None);
+        m.triangles.push([0, 1, 2]);
+        let img = render_surface(
+            &m,
+            &Camera::default(),
+            &ColorMap::viridis((0.0, 1.0)),
+            None,
+            32,
+            32,
+        );
+        assert_eq!(img.coverage(), 0.0);
+    }
+
+    #[test]
+    fn camera_fit_bounds_sees_mesh() {
+        let m = facing_quad();
+        let (lo, hi) = m.bounds().unwrap();
+        let cam = Camera::fit_bounds(lo, hi);
+        let img = render_surface(&m, &cam, &ColorMap::viridis((0.0, 1.0)), None, 64, 64);
+        assert!(img.coverage() > 0.01);
+        let _ = vec3(0.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests on the filter pipeline: invariants that must hold for
+//! arbitrary scalar fields and cut planes.
+
+use proptest::prelude::*;
+use vizkit::data::{DataArray, ImageData};
+use vizkit::filters::{clip, contour, Plane};
+use vizkit::math::vec3;
+
+fn arb_grid(n: usize) -> impl Strategy<Value = ImageData> {
+    proptest::collection::vec(-10.0f32..10.0, n * n * n).prop_map(move |vals| {
+        let mut g = ImageData::new([n, n, n]);
+        g.point_data.set("f", DataArray::F32(vals));
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every contour vertex lies in a grid cell whose corner values
+    /// bracket the isovalue. (Vertices sit on tetrahedron edges, which
+    /// include face/body diagonals where the per-tet linear interpolant
+    /// legitimately differs from trilinear resampling, so value equality
+    /// is only guaranteed cell-range-wise for arbitrary fields.)
+    #[test]
+    fn contour_vertices_lie_in_bracketing_cells(grid in arb_grid(5), iso in -8.0f64..8.0) {
+        let surf = contour(&grid, "f", &[iso]);
+        surf.validate().unwrap();
+        let arr = grid.point_data.get("f").unwrap();
+        let n = grid.dims[0];
+        for p in &surf.points {
+            let cell = |w: f32| (w.floor() as usize).min(n - 2);
+            let (i, j, k) = (cell(p[0]), cell(p[1]), cell(p[2]));
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for dk in 0..2 {
+                for dj in 0..2 {
+                    for di in 0..2 {
+                        let v = arr.get(grid.point_index(i + di, j + dj, k + dk));
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+            }
+            prop_assert!(
+                lo - 1e-4 <= iso && iso <= hi + 1e-4,
+                "vertex at {p:?} in cell ({i},{j},{k}) with range [{lo}, {hi}] vs iso {iso}"
+            );
+        }
+    }
+
+    /// All contour triangles live inside the grid bounds.
+    #[test]
+    fn contour_stays_in_bounds(grid in arb_grid(4), iso in -8.0f64..8.0) {
+        let surf = contour(&grid, "f", &[iso]);
+        let (lo, hi) = grid.bounds();
+        for p in &surf.points {
+            prop_assert!(p[0] >= lo.x - 1e-4 && p[0] <= hi.x + 1e-4);
+            prop_assert!(p[1] >= lo.y - 1e-4 && p[1] <= hi.y + 1e-4);
+            prop_assert!(p[2] >= lo.z - 1e-4 && p[2] <= hi.z + 1e-4);
+        }
+    }
+
+    /// Clipping with complementary planes partitions the surface area.
+    #[test]
+    fn complementary_clips_partition_area(
+        grid in arb_grid(4),
+        iso in -5.0f64..5.0,
+        nx in -1.0f32..1.0,
+        ny in -1.0f32..1.0,
+        nz in -1.0f32..1.0,
+        off in 0.0f32..3.0,
+    ) {
+        let n = vec3(nx, ny, nz);
+        prop_assume!(n.length() > 0.1);
+        let surf = contour(&grid, "f", &[iso]);
+        prop_assume!(surf.num_triangles() > 0);
+        let origin = vec3(off, off, off);
+        let pos = clip(&surf, Plane::through(origin, n));
+        let neg = clip(&surf, Plane::through(origin, n * -1.0));
+        let total = surf.surface_area();
+        let sum = pos.surface_area() + neg.surface_area();
+        prop_assert!(
+            (sum - total).abs() <= total * 1e-3 + 1e-3,
+            "area not partitioned: {sum} vs {total}"
+        );
+    }
+
+    /// Clipped vertices are all on the kept side (within epsilon).
+    #[test]
+    fn clip_respects_half_space(grid in arb_grid(4), iso in -5.0f64..5.0) {
+        let surf = contour(&grid, "f", &[iso]);
+        let plane = Plane::through(vec3(1.5, 1.5, 1.5), vec3(1.0, 0.3, -0.4));
+        let kept = clip(&surf, plane);
+        kept.validate().unwrap();
+        for p in &kept.points {
+            prop_assert!(plane.eval(vec3(p[0], p[1], p[2])) >= -1e-3);
+        }
+    }
+
+}

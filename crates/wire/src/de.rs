@@ -1,0 +1,420 @@
+//! The wire deserializer.
+
+use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
+
+use crate::error::{Error, Result};
+use crate::read_varint;
+
+/// Deserializes a value of type `T` from `input`, requiring the entire
+/// slice to be consumed.
+pub fn from_slice<'de, T: de::Deserialize<'de>>(input: &'de [u8]) -> Result<T> {
+    let mut de = Deserializer::new(input);
+    let value = T::deserialize(&mut de)?;
+    if de.input.is_empty() {
+        Ok(value)
+    } else {
+        Err(Error::TrailingBytes(de.input.len()))
+    }
+}
+
+/// A serde deserializer reading the wire format from a byte slice.
+pub struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    /// Wraps an input slice.
+    pub fn new(input: &'de [u8]) -> Self {
+        Self { input }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'de [u8]> {
+        if self.input.len() < n {
+            return Err(Error::Eof);
+        }
+        let (head, rest) = self.input.split_at(n);
+        self.input = rest;
+        Ok(head)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        Ok(self.take(N)?.try_into().expect("exact split"))
+    }
+
+    fn read_len(&mut self) -> Result<usize> {
+        let n = read_varint(&mut self.input)?;
+        if n > self.input.len() as u64 {
+            return Err(Error::BadLength(n));
+        }
+        Ok(n as usize)
+    }
+}
+
+macro_rules! de_fixed {
+    ($method:ident, $ty:ty, $visit:ident) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+            let v = <$ty>::from_le_bytes(self.take_array()?);
+            visitor.$visit(v)
+        }
+    };
+}
+
+impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::Unsupported("deserialize_any: wire is not self-describing"))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(Error::BadBool(b)),
+        }
+    }
+
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_i8(self.take(1)?[0] as i8)
+    }
+
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_u8(self.take(1)?[0])
+    }
+
+    de_fixed!(deserialize_i16, i16, visit_i16);
+    de_fixed!(deserialize_i32, i32, visit_i32);
+    de_fixed!(deserialize_i64, i64, visit_i64);
+    de_fixed!(deserialize_u16, u16, visit_u16);
+    de_fixed!(deserialize_u32, u32, visit_u32);
+    de_fixed!(deserialize_u64, u64, visit_u64);
+    de_fixed!(deserialize_f32, f32, visit_f32);
+    de_fixed!(deserialize_f64, f64, visit_f64);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let scalar = u32::from_le_bytes(self.take_array()?);
+        let c = char::from_u32(scalar).ok_or(Error::BadChar(scalar))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let n = self.read_len()?;
+        let bytes = self.take(n)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| Error::BadUtf8)?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let n = self.read_len()?;
+        visitor.visit_borrowed_bytes(self.take(n)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(Error::BadOptionTag(b)),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.read_len()?;
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.read_len()?;
+        visitor.visit_map(Counted { de: self, left: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::Unsupported("identifiers are never encoded"))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::Unsupported("cannot skip values in a non-self-describing format"))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'de, 'a> {
+    de: &'a mut Deserializer<'de>,
+    left: usize,
+}
+
+impl<'de, 'a> de::SeqAccess<'de> for Counted<'de, 'a> {
+    type Error = Error;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(&mut self, seed: T) -> Result<Option<T::Value>> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+impl<'de, 'a> de::MapAccess<'de> for Counted<'de, 'a> {
+    type Error = Error;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct EnumAccess<'de, 'a> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'de, 'a> de::EnumAccess<'de> for EnumAccess<'de, 'a> {
+    type Error = Error;
+    type Variant = &'a mut Deserializer<'de>;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self::Variant)> {
+        let idx = read_varint(&mut self.de.input)?;
+        if idx > u32::MAX as u64 {
+            return Err(Error::VarintOverflow);
+        }
+        let val = seed.deserialize((idx as u32).into_deserializer())?;
+        Ok((val, self.de))
+    }
+}
+
+impl<'de, 'a> de::VariantAccess<'de> for &'a mut Deserializer<'de> {
+    type Error = Error;
+
+    fn unit_variant(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value> {
+        seed.deserialize(self)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        de::Deserializer::deserialize_tuple(self, len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        de::Deserializer::deserialize_tuple(self, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_vec;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Meta {
+        name: String,
+        dims: [u64; 3],
+        kind: Kind,
+        tag: Option<u32>,
+        payload: Vec<u8>,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    enum Kind {
+        Unit,
+        Newtype(i32),
+        Tuple(u8, u8),
+        Struct { x: f32 },
+    }
+
+    fn roundtrip<T: Serialize + for<'de> Deserialize<'de> + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_vec(&v).unwrap();
+        let back: T = from_slice(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        roundtrip(Meta {
+            name: "density".into(),
+            dims: [64, 64, 128],
+            kind: Kind::Struct { x: 2.5 },
+            tag: Some(9),
+            payload: vec![1, 2, 3, 4, 5],
+        });
+    }
+
+    #[test]
+    fn enum_variants_roundtrip() {
+        roundtrip(Kind::Unit);
+        roundtrip(Kind::Newtype(-7));
+        roundtrip(Kind::Tuple(3, 4));
+        roundtrip(Kind::Struct { x: -0.0 });
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(vec![vec![1u32, 2], vec![], vec![3]]);
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        roundtrip(m);
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = to_vec(&7u8).unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            from_slice::<u8>(&bytes),
+            Err(Error::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let bytes = to_vec(&0xAABBCCDDu32).unwrap();
+        assert!(matches!(from_slice::<u32>(&bytes[..3]), Err(Error::Eof)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        // A vec claiming u64::MAX elements must not allocate.
+        let mut bytes = Vec::new();
+        crate::write_varint(&mut bytes, u64::MAX);
+        assert!(matches!(
+            from_slice::<Vec<u8>>(&bytes),
+            Err(Error::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn bad_bool_is_rejected() {
+        assert!(matches!(from_slice::<bool>(&[2]), Err(Error::BadBool(2))));
+    }
+
+    #[test]
+    fn chars_and_floats() {
+        roundtrip('λ');
+        roundtrip(f64::MIN_POSITIVE);
+        roundtrip(f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn borrowed_bytes_are_zero_copy() {
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        struct B<'a> {
+            #[serde(with = "serde_bytes_shim")]
+            data: &'a [u8],
+        }
+        mod serde_bytes_shim {
+            use serde::{Deserializer, Serializer};
+            pub fn serialize<S: Serializer>(v: &[u8], s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_bytes(v)
+            }
+            pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<&'de [u8], D::Error> {
+                struct V;
+                impl<'de> serde::de::Visitor<'de> for V {
+                    type Value = &'de [u8];
+                    fn expecting(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
+                        f.write_str("bytes")
+                    }
+                    fn visit_borrowed_bytes<E>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+                        Ok(v)
+                    }
+                }
+                d.deserialize_bytes(V)
+            }
+        }
+        let payload = vec![9u8; 1000];
+        let bytes = to_vec(&B { data: &payload }).unwrap();
+        let back: B = from_slice(&bytes).unwrap();
+        assert_eq!(back.data, &payload[..]);
+        // The decoded slice must point into the encoded buffer, not a copy.
+        let enc_range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+        assert!(enc_range.contains(&(back.data.as_ptr() as usize)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type shared by the serializer and deserializer.
+
+use std::fmt;
+
+/// Result alias for wire operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Encoding/decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended before the value was complete.
+    Eof,
+    /// A varint ran past 64 bits.
+    VarintOverflow,
+    /// A length prefix exceeded the remaining input.
+    BadLength(u64),
+    /// A `bool` byte was neither 0 nor 1.
+    BadBool(u8),
+    /// An `Option` tag was neither 0 nor 1.
+    BadOptionTag(u8),
+    /// A `char` was not a valid Unicode scalar value.
+    BadChar(u32),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// The input had trailing bytes after a complete value.
+    TrailingBytes(usize),
+    /// The format cannot encode this (e.g. `deserialize_any`).
+    Unsupported(&'static str),
+    /// Custom message from serde.
+    Message(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Eof => write!(f, "unexpected end of input"),
+            Error::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            Error::BadLength(n) => write!(f, "length prefix {n} exceeds remaining input"),
+            Error::BadBool(b) => write!(f, "invalid bool byte {b:#x}"),
+            Error::BadOptionTag(b) => write!(f, "invalid option tag {b:#x}"),
+            Error::BadChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            Error::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            Error::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}

@@ -1,0 +1,98 @@
+//! # wire — compact binary serde format for RPC payloads
+//!
+//! Mercury encodes RPC arguments with hand-written `proc` routines; this
+//! crate is the reproduction's equivalent: a small, allocation-conscious,
+//! self-contained binary format with a `serde` front end, used by `margo`
+//! for RPC argument and response encoding.
+//!
+//! Format rules (little-endian throughout):
+//! * fixed-width primitives are stored verbatim;
+//! * `bool` is one byte (0/1);
+//! * lengths (strings, byte strings, sequences, maps) are LEB128 varints;
+//! * `Option` is a 1-byte tag followed by the value when present;
+//! * enum variants are encoded by their u32 variant index as a varint;
+//! * structs and tuples are field concatenations (no framing) — both sides
+//!   must agree on the schema, as is standard for HPC RPC layers.
+
+mod de;
+mod error;
+mod ser;
+
+pub use de::{from_slice, Deserializer};
+pub use error::{Error, Result};
+pub use ser::{to_vec, Serializer};
+
+/// Serializes `value` and appends it to `buf`, returning the number of
+/// bytes written. Lets callers reuse buffers on hot paths.
+pub fn to_extend<T: serde::Serialize>(value: &T, buf: &mut Vec<u8>) -> Result<usize> {
+    let before = buf.len();
+    {
+        let mut ser = Serializer::new(buf);
+        value.serialize(&mut ser)?;
+    }
+    Ok(buf.len() - before)
+}
+
+pub(crate) fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+pub(crate) fn read_varint(input: &mut &[u8]) -> Result<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input.split_first().ok_or(Error::Eof)?;
+        *input = rest;
+        if shift >= 64 {
+            return Err(Error::VarintOverflow);
+        }
+        out |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod varint_tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_varint(&mut s).unwrap(), v);
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_values() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 5);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_varint_is_eof() {
+        let mut s: &[u8] = &[0x80];
+        assert!(matches!(read_varint(&mut s), Err(Error::Eof)));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let mut s: &[u8] = &[0x80; 11];
+        assert!(matches!(read_varint(&mut s), Err(Error::VarintOverflow)));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: every encodable value decodes back to itself, and the
+//! decoder never panics on arbitrary input.
+
+use proptest::prelude::*;
+use proptest_derive::Arbitrary;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq, Arbitrary)]
+enum Shape {
+    Empty,
+    Point(i64),
+    Pair(u32, u32),
+    Labeled { name: String, weight: f64 },
+}
+
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq, Arbitrary)]
+struct Record {
+    id: u64,
+    flag: bool,
+    tag: Option<i16>,
+    name: String,
+    values: Vec<f32>,
+    shape: Shape,
+    nested: Vec<Vec<u8>>,
+}
+
+fn assert_roundtrip<T>(v: &T)
+where
+    T: Serialize + for<'de> Deserialize<'de> + PartialEq + std::fmt::Debug,
+{
+    let bytes = wire::to_vec(v).expect("serialize");
+    let back: T = wire::from_slice(&bytes).expect("deserialize");
+    assert_eq!(&back, v);
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrips(v: u64) { assert_roundtrip(&v); }
+
+    #[test]
+    fn f64_roundtrips(v in prop::num::f64::NORMAL | prop::num::f64::ZERO) {
+        assert_roundtrip(&v);
+    }
+
+    #[test]
+    fn strings_roundtrip(v in "\\PC*") { assert_roundtrip(&v); }
+
+    #[test]
+    fn byte_vectors_roundtrip(v: Vec<u8>) { assert_roundtrip(&v); }
+
+    #[test]
+    fn tuples_roundtrip(v: (u8, i32, String, Option<u64>)) { assert_roundtrip(&v); }
+
+    #[test]
+    fn records_roundtrip(v: Record) { assert_roundtrip(&v); }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes: Vec<u8>) {
+        let _ = wire::from_slice::<Record>(&bytes);
+        let _ = wire::from_slice::<Vec<String>>(&bytes);
+        let _ = wire::from_slice::<Shape>(&bytes);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(v: Record) {
+        prop_assert_eq!(wire::to_vec(&v).unwrap(), wire::to_vec(&v).unwrap());
+    }
+
+    #[test]
+    fn to_extend_appends(v: Record, prefix: Vec<u8>) {
+        let mut buf = prefix.clone();
+        let n = wire::to_extend(&v, &mut buf).unwrap();
+        prop_assert_eq!(&buf[..prefix.len()], &prefix[..]);
+        prop_assert_eq!(buf.len(), prefix.len() + n);
+        let back: Record = wire::from_slice(&buf[prefix.len()..]).unwrap();
+        prop_assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,112 @@
+//! The Gray–Scott simulation coupled to Colza, the way the paper runs it:
+//! the simulation keeps using MPI for its own halo exchanges (unchanged,
+//! unlike with Damaris), while each rank stages its slab to the elastic
+//! staging area every few steps.
+//!
+//! Run: `cargo run --release --example gray_scott_insitu
+//!       [grid] [clients] [servers]` (defaults 32, 4, 2)
+
+use std::sync::Arc;
+
+use colza::daemon::launch_group;
+use colza::{AdminClient, BlockMeta, ColzaClient, DaemonConfig};
+use margo::MargoInstance;
+use na::Fabric;
+use sims::gray_scott::{GrayScott, GrayScottParams};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let grid: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let clients: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let servers: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let steps_per_output = 10usize;
+    let outputs = 3u64;
+
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let conn = std::env::temp_dir().join("colza-grayscott.addrs");
+    std::fs::remove_file(&conn).ok();
+    let cfg = DaemonConfig::new(&conn);
+    let daemons = launch_group(&cluster, &fabric, servers, 2, 0, &cfg);
+    let contact = daemons[0].address();
+    println!("{servers} staging servers up; running Gray-Scott {grid}^3 on {clients} ranks");
+
+    let out = minimpi::MpiWorld::launch(
+        &cluster,
+        &fabric,
+        clients,
+        4,
+        servers,
+        minimpi::Profile::Vendor,
+        move |comm| {
+            // The simulation's own MPI usage is untouched; Colza's client
+            // just shares the endpoint.
+            let margo = MargoInstance::from_endpoint(Arc::clone(comm.endpoint()));
+            let client = ColzaClient::new(Arc::clone(&margo));
+            let rank = comm.rank();
+            if rank == 0 {
+                let admin = AdminClient::new(Arc::clone(&margo));
+                let script = catalyst::PipelineScript::gray_scott(320, 240).to_json();
+                let view = client.view_from(contact).expect("view");
+                admin
+                    .create_pipeline_on_all(&view, "catalyst", "gs", &script)
+                    .expect("deploy");
+            }
+            comm.barrier().unwrap();
+            let handle = client.distributed_handle(contact, "gs").expect("handle");
+
+            let mut sim = GrayScott::new(grid, rank, comm.size(), GrayScottParams::default());
+            let ctx = hpcsim::current();
+            for iteration in 0..outputs {
+                // Simulate (with MPI halo exchange), then stage the slab.
+                sim.run(steps_per_output, Some(&comm)).expect("simulate");
+                if rank == 0 {
+                    handle.activate(iteration).expect("activate");
+                }
+                comm.barrier().unwrap();
+                let payload = colza::codec::dataset_to_bytes(&sim.to_dataset());
+                handle
+                    .stage(
+                        BlockMeta {
+                            name: "gray-scott".into(),
+                            block_id: rank as u64,
+                            iteration,
+                            size: payload.len(),
+                        },
+                        &payload,
+                    )
+                    .expect("stage");
+                comm.barrier().unwrap();
+                if rank == 0 {
+                    let before = ctx.now();
+                    handle.execute(iteration).expect("execute");
+                    let span = ctx.now() - before;
+                    handle.deactivate(iteration).expect("deactivate");
+                    println!(
+                        "iteration {iteration}: staged {} ranks, pipeline took {}",
+                        comm.size(),
+                        hpcsim::stats::fmt_ns(span)
+                    );
+                }
+                comm.barrier().unwrap();
+            }
+            if rank == 0 {
+                handle
+                    .fetch_result()
+                    .expect("fetch")
+                    .map(|bytes| {
+                        let img = vizkit::Image::from_bytes(&bytes);
+                        let path = std::env::temp_dir().join("gray_scott_insitu.ppm");
+                        img.write_ppm(&path).expect("write");
+                        println!("final frame -> {}", path.display());
+                    });
+            }
+            margo.finalize();
+        },
+    );
+    drop(out);
+    for d in daemons {
+        d.stop();
+    }
+    std::fs::remove_file(&conn).ok();
+}

@@ -1,0 +1,117 @@
+//! Quickstart: the smallest end-to-end Colza session.
+//!
+//! Starts a simulated cluster, a 2-process staging area, deploys a
+//! Catalyst pipeline, stages one data block from a "simulation" process,
+//! executes, fetches the rendered image, and scales the staging area up
+//! by one server before a second iteration.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use colza::daemon::{launch_group, settle_views};
+use colza::{AdminClient, BlockMeta, ColzaClient, ColzaDaemon, DaemonConfig};
+use margo::MargoInstance;
+use na::Fabric;
+
+fn main() {
+    // 1. A simulated cluster (the hpcsim stand-in for a real machine)
+    //    and its network fabric.
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+
+    // 2. A staging area of two Colza daemons, bootstrapped through a
+    //    connection file exactly as the real deployment does.
+    let conn = std::env::temp_dir().join("colza-quickstart.addrs");
+    std::fs::remove_file(&conn).ok();
+    let cfg = DaemonConfig::new(&conn);
+    let mut daemons = launch_group(&cluster, &fabric, 2, 1, 0, &cfg);
+    let contact = daemons[0].address();
+    println!("staging area up: {:?}", daemons.iter().map(|d| d.address().to_string()).collect::<Vec<_>>());
+
+    // 3. A simulation process: deploys the pipeline, stages a block,
+    //    executes, and pulls the rendered image back.
+    let f2 = fabric.clone();
+    let cfg2 = cfg.clone();
+    let (grow_tx, grow_rx) = crossbeam::channel::bounded::<()>(1);
+    let (grown_tx, grown_rx) = crossbeam::channel::bounded::<()>(1);
+    let sim = cluster.spawn("simulation", 10, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+
+        // Deploy a Mandelbulb isosurface pipeline on every server.
+        let script = catalyst::PipelineScript::mandelbulb(320, 240).to_json();
+        let view = client.view_from(contact).expect("staging area reachable");
+        admin
+            .create_pipeline_on_all(&view, "catalyst", "viz", &script)
+            .expect("deploy pipeline");
+
+        let handle = client.distributed_handle(contact, "viz").expect("handle");
+        let bulb = sims::mandelbulb::Mandelbulb::default();
+
+        for iteration in 0..2u64 {
+            if iteration == 1 {
+                // Ask the host to grow the staging area mid-run, then
+                // deploy the pipeline on the newcomers.
+                grow_tx.send(()).unwrap();
+                grown_rx.recv().unwrap();
+                let view = handle.refresh_view().expect("grown view");
+                admin
+                    .create_pipeline_on_all(&view, "catalyst", "viz", &script)
+                    .expect("deploy on grown view");
+                println!("staging area grew to {} servers", view.len());
+            }
+
+            handle.activate(iteration).expect("activate (2PC)");
+            for block in 0..4u64 {
+                let ds = bulb.generate_block(block as usize, 4);
+                let payload = colza::codec::dataset_to_bytes(&ds);
+                handle
+                    .stage(
+                        BlockMeta {
+                            name: "mandelbulb".into(),
+                            block_id: block,
+                            iteration,
+                            size: payload.len(),
+                        },
+                        &payload,
+                    )
+                    .expect("stage");
+            }
+            handle.execute(iteration).expect("execute");
+            let image = handle
+                .fetch_result()
+                .expect("fetch")
+                .expect("rendered image at the root");
+            handle.deactivate(iteration).expect("deactivate");
+
+            let img = vizkit::Image::from_bytes(&image);
+            let path = std::env::temp_dir().join(format!("quickstart_iter{iteration}.ppm"));
+            img.write_ppm(&path).expect("write image");
+            println!(
+                "iteration {iteration}: rendered {}x{} image ({:.1}% coverage) -> {}",
+                img.width,
+                img.height,
+                img.coverage() * 100.0,
+                path.display()
+            );
+        }
+        margo.finalize();
+    });
+
+    // 4. The host grows the staging area when asked (the paper's job-
+    //    script trigger).
+    grow_rx.recv().unwrap();
+    let newcomer = ColzaDaemon::spawn(&cluster, &fabric, 2, cfg2);
+    daemons.push(newcomer);
+    settle_views(&daemons, 3);
+    grown_tx.send(()).unwrap();
+
+    sim.join();
+    for d in daemons {
+        d.stop();
+    }
+    std::fs::remove_file(&conn).ok();
+    println!("done.");
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper into results/.
+set -x
+B=./target/release
+$B/table1_p2p --ops 1000                 > results/table1.txt 2>&1
+$B/table2_reduce --procs 64 --ops 200    > results/table2.txt 2>&1
+$B/fig1_dwi_growth --render              > results/fig1.txt   2>&1
+$B/fig3_renders                          > results/fig3.txt   2>&1
+$B/fig4_resize                           > results/fig4.txt   2>&1
+$B/fig5_mandelbulb_weak --max-servers 8 --grid 20 --iters 6 > results/fig5.txt 2>&1
+$B/fig6_grayscott_strong --max-servers 8 --grid 24 --clients 4 --iters 5 > results/fig6.txt 2>&1
+$B/fig7_dwi_scaling                      > results/fig7.txt   2>&1
+$B/fig8_frameworks --clients 8 --servers 8 --blocks-per-client 4 --iters 6 --grid 20 > results/fig8.txt 2>&1
+$B/fig9_elastic_mandelbulb               > results/fig9.txt   2>&1
+$B/fig10_elastic_dwi                     > results/fig10.txt  2>&1
+$B/ablation_2pc                          > results/ablation_2pc.txt 2>&1
+echo ALL_DONE

@@ -1,0 +1,16 @@
+//! Workspace umbrella crate; real code lives in `crates/*`. Re-exports the
+//! public crates so integration tests and examples have one import root.
+pub use argo;
+pub use baselines;
+pub use catalyst;
+pub use colza;
+pub use hpcsim;
+pub use icet;
+pub use margo;
+pub use minimpi;
+pub use mona;
+pub use na;
+pub use sims;
+pub use ssg;
+pub use vizkit;
+pub use wire;

@@ -1,0 +1,123 @@
+//! End-to-end automatic resizing (the paper's §IV-B future-work trigger):
+//! the simulation feeds execute durations to the controller; when the
+//! growing DWI data pushes analysis time over target, the controller asks
+//! the host for more servers and the iteration time comes back down.
+
+use std::sync::Arc;
+
+use colza::daemon::{launch_group, settle_views};
+use colza::{
+    AdminClient, AutoScaleConfig, AutoScaler, BlockMeta, ColzaClient, ColzaDaemon, DaemonConfig,
+    ScaleDecision,
+};
+use margo::MargoInstance;
+use na::Fabric;
+
+#[test]
+fn autoscaler_grows_the_staging_area_under_load() {
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let conn = std::env::temp_dir().join(format!("autoscale-e2e-{}.addrs", std::process::id()));
+    std::fs::remove_file(&conn).ok();
+    let cfg = DaemonConfig::new(&conn);
+    let mut daemons = launch_group(&cluster, &fabric, 1, 2, 0, &cfg);
+    let contact = daemons[0].address();
+
+    let (grow_tx, grow_rx) = crossbeam::channel::bounded::<usize>(4);
+    let (grown_tx, grown_rx) = crossbeam::channel::bounded::<Vec<na::Address>>(4);
+
+    let f2 = fabric.clone();
+    let sim = cluster.spawn("sim", 10, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+        let script = catalyst::PipelineScript::deep_water_impact(128, 96).to_json();
+        let view = client.view_from(contact).unwrap();
+        admin
+            .create_pipeline_on_all(&view, "catalyst", "dwi", &script)
+            .unwrap();
+        let handle = client.distributed_handle(contact, "dwi").unwrap();
+        let series = sims::dwi::DwiSeries {
+            total_blocks: 8,
+            scale: 1.0 / 2048.0,
+            iterations: 16,
+        };
+        let ctx = hpcsim::current();
+        // Target far below what one server can deliver on the late, heavy
+        // iterations: growth must trigger.
+        let mut scaler = AutoScaler::new(AutoScaleConfig {
+            cooldown_iters: 1,
+            max_servers: 4,
+            ..AutoScaleConfig::with_target(12 * hpcsim::MS)
+        });
+        let mut grew = 0usize;
+        let mut had_join = false;
+        let mut sizes = Vec::new();
+        for iteration in 0..16u64 {
+            handle.activate(iteration).unwrap();
+            sizes.push(handle.members().len());
+            for b in 0..8usize {
+                let ds = vizkit::DataSet::UGrid(series.generate_block(iteration + 1, b));
+                let payload = colza::codec::dataset_to_bytes(&ds);
+                handle
+                    .stage(
+                        BlockMeta {
+                            name: "dwi".into(),
+                            block_id: b as u64,
+                            iteration,
+                            size: payload.len(),
+                        },
+                        &payload,
+                    )
+                    .unwrap();
+            }
+            let before = ctx.now();
+            handle.execute(iteration).unwrap();
+            let span = ctx.now() - before;
+            handle.deactivate(iteration).unwrap();
+
+            let decision = scaler.observe(span, handle.members().len(), had_join);
+            had_join = false;
+            if let ScaleDecision::Grow(n) = decision {
+                grow_tx.send(n).unwrap();
+                let fresh = grown_rx.recv().unwrap();
+                for addr in &fresh {
+                    admin
+                        .create_pipeline(*addr, "catalyst", "dwi", &script)
+                        .unwrap();
+                }
+                handle.refresh_view().unwrap();
+                grew += fresh.len();
+                had_join = true;
+            }
+        }
+        margo.finalize();
+        (grew, sizes)
+    });
+
+    // Host: serve growth requests until the simulation finishes.
+    let mut next_node = 1usize;
+    while let Ok(n) = grow_rx.recv() {
+        let mut fresh = Vec::new();
+        for _ in 0..n {
+            let d = ColzaDaemon::spawn(&cluster, &fabric, next_node, cfg.clone());
+            next_node += 1;
+            fresh.push(d.address());
+            daemons.push(d);
+        }
+        settle_views(&daemons, daemons.len());
+        grown_tx.send(fresh).unwrap();
+    }
+
+    let (grew, sizes) = sim.join();
+    assert!(grew >= 1, "the controller never grew the staging area");
+    assert_eq!(sizes[0], 1, "started with one server");
+    assert!(
+        *sizes.last().unwrap() > 1,
+        "staging area should have grown by the end: {sizes:?}"
+    );
+    for d in daemons {
+        d.stop();
+    }
+    std::fs::remove_file(&conn).ok();
+}

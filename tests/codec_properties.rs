@@ -1,0 +1,33 @@
+//! Property tests: the staged-dataset codec roundtrips arbitrary grids.
+
+use proptest::prelude::*;
+use vizkit::data::{DataArray, ImageData};
+
+fn arb_grid(n: usize) -> impl Strategy<Value = ImageData> {
+    proptest::collection::vec(-10.0f32..10.0, n * n * n).prop_map(move |vals| {
+        let mut g = ImageData::new([n, n, n]);
+        g.point_data.set("f", DataArray::F32(vals));
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dataset_codec_roundtrips_grids(grid in arb_grid(4)) {
+        let ds = vizkit::DataSet::Image(grid);
+        let bytes = colza::codec::dataset_to_bytes(&ds);
+        let back = colza::codec::dataset_from_bytes(&bytes).unwrap();
+        let (vizkit::DataSet::Image(a), vizkit::DataSet::Image(b)) = (&ds, &back) else {
+            panic!("variant changed");
+        };
+        prop_assert_eq!(&a.point_data, &b.point_data);
+        prop_assert_eq!(a.dims, b.dims);
+    }
+
+    #[test]
+    fn codec_rejects_garbage_without_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = colza::codec::dataset_from_bytes(&bytes);
+    }
+}

@@ -1,0 +1,385 @@
+//! Workspace-level integration tests: whole-system flows spanning the
+//! simulation applications, the Colza staging service, the visualization
+//! stack, and the baselines.
+
+use std::sync::Arc;
+
+use colza::daemon::{launch_group, settle_views};
+use colza::{AdminClient, BlockMeta, ColzaClient, ColzaDaemon, DaemonConfig};
+use margo::MargoInstance;
+use na::Fabric;
+
+fn env(name: &str) -> (hpcsim::Cluster, Fabric, DaemonConfig) {
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let conn = std::env::temp_dir().join(format!("colza-e2e-{name}-{}.addrs", std::process::id()));
+    std::fs::remove_file(&conn).ok();
+    (cluster, fabric, DaemonConfig::new(conn))
+}
+
+#[test]
+fn gray_scott_through_colza_produces_an_image() {
+    let (cluster, fabric, cfg) = env("gs");
+    let daemons = launch_group(&cluster, &fabric, 2, 1, 0, &cfg);
+    let contact = daemons[0].address();
+    let coverage = minimpi::MpiWorld::launch(
+        &cluster,
+        &fabric,
+        2,
+        2,
+        2,
+        minimpi::Profile::Vendor,
+        move |comm| {
+            let margo = MargoInstance::from_endpoint(Arc::clone(comm.endpoint()));
+            let client = ColzaClient::new(Arc::clone(&margo));
+            if comm.rank() == 0 {
+                let admin = AdminClient::new(Arc::clone(&margo));
+                let script = catalyst::PipelineScript::gray_scott(96, 96).to_json();
+                let view = client.view_from(contact).unwrap();
+                admin
+                    .create_pipeline_on_all(&view, "catalyst", "gs", &script)
+                    .unwrap();
+            }
+            comm.barrier().unwrap();
+            let handle = client.distributed_handle(contact, "gs").unwrap();
+            let mut sim = sims::gray_scott::GrayScott::new(
+                24,
+                comm.rank(),
+                comm.size(),
+                sims::gray_scott::GrayScottParams::default(),
+            );
+            sim.run(20, Some(&comm)).unwrap();
+            if comm.rank() == 0 {
+                handle.activate(0).unwrap();
+            }
+            comm.barrier().unwrap();
+            let payload = colza::codec::dataset_to_bytes(&sim.to_dataset());
+            handle
+                .stage(
+                    BlockMeta {
+                        name: "gs".into(),
+                        block_id: comm.rank() as u64,
+                        iteration: 0,
+                        size: payload.len(),
+                    },
+                    &payload,
+                )
+                .unwrap();
+            comm.barrier().unwrap();
+            let out = if comm.rank() == 0 {
+                handle.execute(0).unwrap();
+                let img = handle.fetch_result().unwrap().expect("image");
+                handle.deactivate(0).unwrap();
+                vizkit::Image::from_bytes(&img).coverage()
+            } else {
+                -1.0
+            };
+            comm.barrier().unwrap();
+            margo.finalize();
+            out
+        },
+    );
+    assert!(coverage[0] > 0.0, "root coverage {}", coverage[0]);
+    for d in daemons {
+        d.stop();
+    }
+}
+
+#[test]
+fn elastic_grow_and_admin_shrink_under_load() {
+    let (cluster, fabric, cfg) = env("elastic");
+    let mut daemons = launch_group(&cluster, &fabric, 2, 1, 0, &cfg);
+    let contact = daemons[0].address();
+    let script = catalyst::PipelineScript::mandelbulb(48, 48).to_json();
+
+    let (grow_tx, grow_rx) = crossbeam::channel::bounded::<()>(1);
+    let (grown_tx, grown_rx) = crossbeam::channel::bounded::<na::Address>(1);
+
+    let f2 = fabric.clone();
+    let sim = cluster.spawn("sim", 8, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+        let view = client.view_from(contact).unwrap();
+        admin
+            .create_pipeline_on_all(&view, "catalyst", "m", &script)
+            .unwrap();
+        let handle = client.distributed_handle(contact, "m").unwrap();
+        let bulb = sims::mandelbulb::Mandelbulb {
+            dims: [12, 12, 12],
+            ..Default::default()
+        };
+
+        let mut server_counts = Vec::new();
+        for iteration in 0..4u64 {
+            if iteration == 1 {
+                grow_tx.send(()).unwrap();
+                let fresh = grown_rx.recv().unwrap();
+                admin
+                    .create_pipeline(fresh, "catalyst", "m", &script)
+                    .unwrap();
+                handle.refresh_view().unwrap();
+            }
+            if iteration == 3 {
+                // Scale down: ask the newest member to leave, wait for the
+                // view to shrink, then keep iterating.
+                let view = handle.refresh_view().unwrap();
+                admin.request_leave(*view.last().unwrap()).unwrap();
+                for _ in 0..400 {
+                    if handle.refresh_view().map(|v| v.len()) == Ok(view.len() - 1) {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+            handle.activate(iteration).unwrap();
+            server_counts.push(handle.members().len());
+            for b in 0..4u64 {
+                let payload =
+                    colza::codec::dataset_to_bytes(&bulb.generate_block(b as usize, 4));
+                handle
+                    .stage(
+                        BlockMeta {
+                            name: "m".into(),
+                            block_id: b,
+                            iteration,
+                            size: payload.len(),
+                        },
+                        &payload,
+                    )
+                    .unwrap();
+            }
+            handle.execute(iteration).unwrap();
+            handle.deactivate(iteration).unwrap();
+        }
+        margo.finalize();
+        server_counts
+    });
+
+    grow_rx.recv().unwrap();
+    let newcomer = ColzaDaemon::spawn(&cluster, &fabric, 4, cfg.clone());
+    let fresh_addr = newcomer.address();
+    daemons.push(newcomer);
+    settle_views(&daemons, 3);
+    grown_tx.send(fresh_addr).unwrap();
+
+    let counts = sim.join();
+    assert_eq!(counts[0], 2);
+    assert_eq!(counts[1], 3, "grew before iteration 1");
+    assert_eq!(counts[3], 2, "shrank before iteration 3");
+
+    // The leaver exits by itself; collect it before stopping the rest.
+    let leaver = daemons.pop().unwrap();
+    leaver.wait();
+    for d in daemons {
+        d.stop();
+    }
+}
+
+#[test]
+fn all_three_pipelines_render_through_the_catalyst_backend() {
+    let (cluster, fabric, cfg) = env("allpipes");
+    let daemons = launch_group(&cluster, &fabric, 1, 1, 0, &cfg);
+    let contact = daemons[0].address();
+    let f2 = fabric.clone();
+    let coverages = cluster
+        .spawn("sim", 8, move || {
+            let margo = MargoInstance::init(&f2);
+            let client = ColzaClient::new(Arc::clone(&margo));
+            let admin = AdminClient::new(Arc::clone(&margo));
+            let view = client.view_from(contact).unwrap();
+            let mut out = Vec::new();
+
+            // Gray-Scott (contour + clip), Mandelbulb (contour), DWI
+            // (merge + volume) on the same staging area.
+            let mut gs = sims::gray_scott::GrayScott::serial(
+                16,
+                sims::gray_scott::GrayScottParams::default(),
+            );
+            gs.run(30, None).unwrap();
+            let bulb = sims::mandelbulb::Mandelbulb {
+                dims: [16, 16, 16],
+                ..Default::default()
+            };
+            let dwi = sims::dwi::DwiSeries::scaled_down(2);
+            let cases: Vec<(&str, String, Vec<vizkit::DataSet>)> = vec![
+                (
+                    "gs",
+                    catalyst::PipelineScript::gray_scott(64, 64).to_json(),
+                    vec![gs.to_dataset()],
+                ),
+                (
+                    "bulb",
+                    catalyst::PipelineScript::mandelbulb(64, 64).to_json(),
+                    vec![bulb.generate_block(0, 1)],
+                ),
+                (
+                    "dwi",
+                    catalyst::PipelineScript::deep_water_impact(64, 64).to_json(),
+                    (0..2)
+                        .map(|b| vizkit::DataSet::UGrid(dwi.generate_block(20, b)))
+                        .collect(),
+                ),
+            ];
+            for (name, script, blocks) in cases {
+                admin
+                    .create_pipeline_on_all(&view, "catalyst", name, &script)
+                    .unwrap();
+                let handle = client.distributed_handle(contact, name).unwrap();
+                handle.activate(0).unwrap();
+                for (b, ds) in blocks.iter().enumerate() {
+                    let payload = colza::codec::dataset_to_bytes(ds);
+                    handle
+                        .stage(
+                            BlockMeta {
+                                name: name.into(),
+                                block_id: b as u64,
+                                iteration: 0,
+                                size: payload.len(),
+                            },
+                            &payload,
+                        )
+                        .unwrap();
+                }
+                handle.execute(0).unwrap();
+                let img = handle.fetch_result().unwrap().expect("image");
+                handle.deactivate(0).unwrap();
+                out.push((name, vizkit::Image::from_bytes(&img).coverage()));
+            }
+            margo.finalize();
+            out
+        })
+        .join();
+    for (name, cov) in coverages {
+        assert!(cov > 0.0, "{name} rendered an empty image");
+    }
+    for d in daemons {
+        d.stop();
+    }
+}
+
+#[test]
+fn killed_server_is_detected_and_protocol_recovers() {
+    let (cluster, fabric, cfg) = env("failure");
+    let mut daemons = launch_group(&cluster, &fabric, 3, 1, 0, &cfg);
+    let contact = daemons[0].address();
+    let victim = daemons.remove(2);
+    let victim_addr = victim.address();
+
+    let f2 = fabric.clone();
+    let (killed_tx, killed_rx) = crossbeam::channel::bounded::<()>(1);
+    let (ready_tx, ready_rx) = crossbeam::channel::bounded::<()>(1);
+    let sim = cluster.spawn("sim", 8, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+        let view = client.view_from(contact).unwrap();
+        assert_eq!(view.len(), 3);
+        admin
+            .create_pipeline_on_all(&view, "null", "p", "")
+            .unwrap();
+        let handle = client.distributed_handle(contact, "p").unwrap();
+        handle.activate(0).unwrap();
+        handle.execute(0).unwrap();
+        handle.deactivate(0).unwrap();
+
+        // Wait for the harness to crash a server and SWIM to notice.
+        ready_tx.send(()).unwrap();
+        killed_rx.recv().unwrap();
+        for _ in 0..600 {
+            if client.view_from(contact).map(|v| !v.contains(&victim_addr)) == Ok(true) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // The 2PC in activate adopts the survivor view; the protocol keeps
+        // working on 2 servers.
+        handle.refresh_view().unwrap();
+        handle.activate(1).unwrap();
+        let n = handle.members().len();
+        handle.execute(1).unwrap();
+        handle.deactivate(1).unwrap();
+        margo.finalize();
+        n
+    });
+
+    ready_rx.recv().unwrap();
+    victim.kill();
+    // Drive gossip so suspicion matures (ticks also advance rounds).
+    for _ in 0..400 {
+        for d in &daemons {
+            d.tick();
+        }
+        if daemons.iter().all(|d| !d.view().contains(&victim_addr)) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    killed_tx.send(()).unwrap();
+    let n = sim.join();
+    assert_eq!(n, 2, "protocol must continue on the survivors");
+    for d in daemons {
+        d.stop();
+    }
+}
+
+#[test]
+fn baselines_and_colza_run_the_same_workload() {
+    // Fig. 8's comparability check at smoke scale: all four frameworks
+    // process the same Mandelbulb blocks without error.
+    let cluster = hpcsim::Cluster::default();
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let script = catalyst::PipelineScript::mandelbulb(32, 32);
+
+    // Damaris.
+    let times = baselines::damaris::run_damaris(
+        &cluster,
+        &fabric,
+        baselines::damaris::DamarisConfig {
+            clients: 2,
+            servers: 2,
+            profile: minimpi::Profile::Vendor,
+            script: script.clone(),
+            iterations: 1,
+        },
+        |rank, _| {
+            vec![sims::mandelbulb::Mandelbulb {
+                dims: [8, 8, 8],
+                ..Default::default()
+            }
+            .generate_block(rank % 2, 2)]
+        },
+    );
+    assert_eq!(times.len(), 1);
+
+    // DataSpaces.
+    let deployment = baselines::dataspaces::DataSpacesDeployment::launch(
+        &cluster,
+        &fabric,
+        2,
+        1,
+        10,
+        minimpi::Profile::Vendor,
+        script,
+    );
+    let servers = deployment.addrs().to_vec();
+    let f2 = fabric.clone();
+    cluster
+        .spawn("ds-client", 20, move || {
+            let margo = MargoInstance::init(&f2);
+            let client = baselines::dataspaces::DsClient::new(Arc::clone(&margo), servers);
+            let bulb = sims::mandelbulb::Mandelbulb {
+                dims: [8, 8, 8],
+                ..Default::default()
+            };
+            for b in 0..2u64 {
+                let payload =
+                    colza::codec::dataset_to_bytes(&bulb.generate_block(b as usize, 2));
+                client.put("m", 0, b, &payload).unwrap();
+            }
+            client.exec(0).unwrap();
+            margo.finalize();
+        })
+        .join();
+    deployment.stop();
+}
