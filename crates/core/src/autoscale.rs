@@ -122,6 +122,23 @@ impl AutoScaler {
         }
         ScaleDecision::Hold
     }
+
+    /// Feeds a *failed* iteration (no duration to learn from).
+    ///
+    /// A retryable failure ([`crate::error::ColzaError::is_retryable`])
+    /// means the staging area is churning — a member died or the view is
+    /// catching up; resizing on top of that churn would only add more.
+    /// The controller holds and re-arms its cooldown so the first few
+    /// post-recovery iterations can't trigger a panic grow. A fatal
+    /// failure additionally discards the smoothed signal: whatever comes
+    /// back up may have a very different performance profile.
+    pub fn observe_failure(&mut self, retryable: bool) -> ScaleDecision {
+        self.cooldown = self.cooldown.max(self.cfg.cooldown_iters.max(1));
+        if !retryable {
+            self.smoothed_ns = None;
+        }
+        ScaleDecision::Hold
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +210,24 @@ mod tests {
         assert_eq!(s.observe(50_000_000, 3, false), ScaleDecision::Hold);
         assert_eq!(s.observe(50_000_000, 3, false), ScaleDecision::Hold);
         assert!(matches!(s.observe(50_000_000, 3, false), ScaleDecision::Grow(_)));
+    }
+
+    #[test]
+    fn failures_hold_and_rearm_cooldown() {
+        let mut s = AutoScaler::new(AutoScaleConfig {
+            cooldown_iters: 2,
+            ..AutoScaleConfig::with_target(10_000_000)
+        });
+        s.observe(50_000_000, 2, false); // Grow, cooldown = 2
+        // A retryable failure during recovery re-arms the cooldown...
+        assert_eq!(s.observe_failure(true), ScaleDecision::Hold);
+        // ...so two over-target post-recovery iterations still hold.
+        assert_eq!(s.observe(50_000_000, 3, false), ScaleDecision::Hold);
+        assert_eq!(s.observe(50_000_000, 3, false), ScaleDecision::Hold);
+        assert!(matches!(s.observe(50_000_000, 3, false), ScaleDecision::Grow(_)));
+        // A fatal failure discards the learned signal entirely.
+        assert_eq!(s.observe_failure(false), ScaleDecision::Hold);
+        assert_eq!(s.smoothed_ns(), None);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use margo::MargoInstance;
+use margo::{MargoInstance, RetryConfig};
 use na::Address;
 
 use crate::error::{ColzaError, Result};
@@ -54,8 +54,15 @@ impl ColzaClient {
     }
 
     /// Queries the current staging-area view from any live member.
+    /// Retries briefly through transient loss; a dead contact fails fast.
     pub fn view_from(&self, contact: Address) -> Result<Vec<Address>> {
-        Ok(self.margo.forward(contact, "colza.get_view", &())?)
+        let cfg = RetryConfig {
+            deadline: Some(Duration::from_secs(2)),
+            ..control_retry()
+        };
+        Ok(self
+            .margo
+            .forward_retry(contact, "colza.get_view", &(), &cfg)?)
     }
 
     /// Opens a handle to one pipeline instance on one server.
@@ -109,15 +116,17 @@ impl PipelineHandle {
     /// one-server handle has a trivially consistent view, but membership
     /// is still frozen for the iteration).
     pub fn activate(&self, iteration: u64) -> Result<()> {
-        let _: PrepareActivateReply = self.client.margo.forward(
+        let cfg = control_retry();
+        let _: PrepareActivateReply = self.client.margo.forward_retry(
             self.server,
             "colza.prepare_activate",
             &PrepareActivateArgs {
                 pipeline: self.pipeline.clone(),
                 iteration,
             },
+            &cfg,
         )?;
-        Ok(self.client.margo.forward(
+        Ok(self.client.margo.forward_retry(
             self.server,
             "colza.commit_activate",
             &CommitActivateArgs {
@@ -125,6 +134,7 @@ impl PipelineHandle {
                 iteration,
                 members: vec![self.server],
             },
+            &cfg,
         )?)
     }
 
@@ -135,36 +145,39 @@ impl PipelineHandle {
 
     /// Executes the pipeline on this server alone.
     pub fn execute(&self, iteration: u64) -> Result<()> {
-        Ok(self.client.margo.forward(
+        Ok(self.client.margo.forward_retry(
             self.server,
             "colza.execute",
             &ExecuteArgs {
                 pipeline: self.pipeline.clone(),
                 iteration,
             },
+            &heavy_retry(),
         )?)
     }
 
     /// Ends the iteration on this server.
     pub fn deactivate(&self, iteration: u64) -> Result<()> {
-        Ok(self.client.margo.forward(
+        Ok(self.client.margo.forward_retry(
             self.server,
             "colza.deactivate",
             &DeactivateArgs {
                 pipeline: self.pipeline.clone(),
                 iteration,
             },
+            &control_retry(),
         )?)
     }
 
     /// Fetches the pipeline's latest result from this server.
     pub fn fetch_result(&self) -> Result<Option<Vec<u8>>> {
-        Ok(self.client.margo.forward(
+        Ok(self.client.margo.forward_retry(
             self.server,
             "colza.fetch_result",
             &FetchResultArgs {
                 pipeline: self.pipeline.clone(),
             },
+            &heavy_retry(),
         )?)
     }
 }
@@ -210,6 +223,7 @@ impl DistributedPipelineHandle {
                 &members,
                 "colza.prepare_activate",
                 &args,
+                &control_retry(),
             );
             let mut ok_votes = Vec::new();
             let mut failed = false;
@@ -230,8 +244,12 @@ impl DistributedPipelineHandle {
                     iteration,
                     members: members.clone(),
                 };
-                let results =
-                    self.broadcast::<_, ()>(&members, "colza.commit_activate", &commit);
+                let results = self.broadcast::<_, ()>(
+                    &members,
+                    "colza.commit_activate",
+                    &commit,
+                    &control_retry(),
+                );
                 if results.iter().all(|r| r.is_ok()) {
                     return Ok(());
                 }
@@ -241,7 +259,8 @@ impl DistributedPipelineHandle {
                 pipeline: self.pipeline.clone(),
                 iteration,
             };
-            let _ = self.broadcast::<_, ()>(&members, "colza.abort_activate", &abort);
+            let _ =
+                self.broadcast::<_, ()>(&members, "colza.abort_activate", &abort, &control_retry());
             let mut fresh: Option<Vec<Address>> = None;
             for v in ok_votes {
                 fresh = Some(match fresh {
@@ -311,7 +330,7 @@ impl DistributedPipelineHandle {
         };
         // Servers run a collective inside the handler, so every execute
         // RPC must be in flight simultaneously.
-        let results = self.broadcast::<_, ()>(&members, "colza.execute", &args);
+        let results = self.broadcast::<_, ()>(&members, "colza.execute", &args, &heavy_retry());
         for r in results {
             r?;
         }
@@ -339,7 +358,7 @@ impl DistributedPipelineHandle {
             pipeline: self.pipeline.clone(),
             iteration,
         };
-        let results = self.broadcast::<_, ()>(&members, "colza.deactivate", &args);
+        let results = self.broadcast::<_, ()>(&members, "colza.deactivate", &args, &control_retry());
         for r in results {
             r?;
         }
@@ -351,12 +370,13 @@ impl DistributedPipelineHandle {
     pub fn fetch_result(&self) -> Result<Option<Vec<u8>>> {
         let members = self.members.lock().clone();
         let root = *members.first().ok_or(ColzaError::EmptyGroup)?;
-        Ok(self.client.margo.forward(
+        Ok(self.client.margo.forward_retry(
             root,
             "colza.fetch_result",
             &FetchResultArgs {
                 pipeline: self.pipeline.clone(),
             },
+            &heavy_retry(),
         )?)
     }
 
@@ -376,8 +396,15 @@ impl DistributedPipelineHandle {
 
     /// Concurrently forwards an RPC to every member (one thread each,
     /// sharing this process's simulated context), collecting per-member
-    /// results in order.
-    fn broadcast<A, R>(&self, members: &[Address], name: &str, args: &A) -> Vec<Result<R>>
+    /// results in order. Each call retries under `cfg`, so transient
+    /// message loss does not abort a whole round.
+    fn broadcast<A, R>(
+        &self,
+        members: &[Address],
+        name: &str,
+        args: &A,
+        cfg: &RetryConfig,
+    ) -> Vec<Result<R>>
     where
         A: serde::Serialize + Clone + Send + 'static,
         R: serde::de::DeserializeOwned + Send + 'static,
@@ -386,7 +413,7 @@ impl DistributedPipelineHandle {
             return vec![self
                 .client
                 .margo
-                .forward_timeout(members[0], name, args, Some(RPC_TIMEOUT))
+                .forward_retry(members[0], name, args, cfg)
                 .map_err(ColzaError::from)];
         }
         let ctx = hpcsim::process::current();
@@ -397,12 +424,13 @@ impl DistributedPipelineHandle {
                 let name = name.to_string();
                 let args = args.clone();
                 let ctx = Arc::clone(&ctx);
+                let cfg = *cfg;
                 std::thread::Builder::new()
                     .name("colza-bcast".to_string())
                     .spawn(move || {
                         hpcsim::process::enter(ctx, move || {
                             margo
-                                .forward_timeout::<A, R>(m, &name, &args, Some(RPC_TIMEOUT))
+                                .forward_retry::<A, R>(m, &name, &args, &cfg)
                                 .map_err(ColzaError::from)
                         })
                     })
@@ -417,6 +445,35 @@ impl DistributedPipelineHandle {
 }
 
 const RPC_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Retry policy for control-plane RPCs (activate phases, view queries,
+/// deactivate): short tries, quick backoff, a bounded overall budget.
+/// `Unreachable` is not retried — a closed endpoint means a dead peer,
+/// and membership (not the transport) must react to that.
+fn control_retry() -> RetryConfig {
+    RetryConfig {
+        max_attempts: 0,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(50),
+        per_try_timeout: Duration::from_millis(400),
+        deadline: Some(Duration::from_secs(6)),
+        ..Default::default()
+    }
+}
+
+/// Retry policy for heavy RPCs (execute, stage, result fetch), whose
+/// handlers legitimately run for a long time: generous per-try timeouts
+/// so slow-but-alive servers are not mistaken for lossy links.
+fn heavy_retry() -> RetryConfig {
+    RetryConfig {
+        max_attempts: 0,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(100),
+        per_try_timeout: Duration::from_secs(10),
+        deadline: Some(RPC_TIMEOUT),
+        ..Default::default()
+    }
+}
 
 fn stage_on(
     margo: &Arc<MargoInstance>,
@@ -433,8 +490,15 @@ fn stage_on(
         meta,
         bulk,
     };
+    // Stage RPCs retry through loss: the server's RDMA pull is repeatable
+    // while the exposure is live, and req-id dedup keeps a block from
+    // being staged twice.
+    let cfg = RetryConfig {
+        per_try_timeout: Duration::from_secs(2),
+        ..heavy_retry()
+    };
     let out: std::result::Result<(), margo::RpcError> =
-        margo.forward_timeout(target, "colza.stage", &args, Some(RPC_TIMEOUT));
+        margo.forward_retry(target, "colza.stage", &args, &cfg);
     endpoint.unexpose(bulk).ok();
     out.map_err(ColzaError::from)
 }

@@ -98,16 +98,27 @@ impl ColzaDaemon {
             let mona = MonaInstance::from_endpoint(Arc::clone(&endpoint), MonaConfig::default());
             let me = margo.address();
 
-            // Bootstrap membership from the connection file.
+            // Bootstrap membership from the connection file. Each contact
+            // gets a few attempts: under message loss (or a transient
+            // partition) a single failed join must not make the daemon
+            // bootstrap a split-brain second group.
             let contacts = read_connection_file(&cfg.connection_file);
             let mut group = None;
-            for contact in contacts {
+            'contacts: for contact in contacts {
                 if contact == me {
                     continue;
                 }
-                if let Ok(g) = SsgGroup::join(Arc::clone(&margo), &cfg.group, contact, cfg.ssg) {
-                    group = Some(g);
-                    break;
+                for attempt in 0..3 {
+                    match SsgGroup::join(Arc::clone(&margo), &cfg.group, contact, cfg.ssg) {
+                        Ok(g) => {
+                            group = Some(g);
+                            break 'contacts;
+                        }
+                        Err(e) if e.is_retryable() && attempt < 2 => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
                 }
             }
             let group =

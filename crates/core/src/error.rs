@@ -7,6 +7,10 @@ use std::fmt;
 pub enum ColzaError {
     /// An RPC-level failure (transport, timeout, missing handler).
     Rpc(String),
+    /// A transient availability failure: the request (or its reply) was
+    /// lost, or the target was temporarily unreachable. Retrying — after
+    /// refreshing the view — may succeed.
+    Unavailable(String),
     /// The two-phase-commit on `activate` kept failing (view churn).
     ActivateConflict {
         /// Attempts performed before giving up.
@@ -28,6 +32,7 @@ impl fmt::Display for ColzaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ColzaError::Rpc(m) => write!(f, "rpc failure: {m}"),
+            ColzaError::Unavailable(m) => write!(f, "temporarily unavailable: {m}"),
             ColzaError::ActivateConflict { attempts } => {
                 write!(f, "activate 2PC failed after {attempts} attempts")
             }
@@ -40,11 +45,27 @@ impl fmt::Display for ColzaError {
     }
 }
 
+impl ColzaError {
+    /// Whether the operation may succeed if retried — possibly after
+    /// refreshing the staging-area view. Clients and the autoscaler use
+    /// this to separate wait-and-retry from give-up.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ColzaError::Unavailable(_) | ColzaError::ActivateConflict { .. }
+        )
+    }
+}
+
 impl std::error::Error for ColzaError {}
 
 impl From<margo::RpcError> for ColzaError {
     fn from(e: margo::RpcError) -> Self {
-        ColzaError::Rpc(e.to_string())
+        if e.is_retryable() {
+            ColzaError::Unavailable(e.to_string())
+        } else {
+            ColzaError::Rpc(e.to_string())
+        }
     }
 }
 

@@ -15,6 +15,7 @@ use parking_lot::RwLock;
 
 use crate::clock::VClock;
 use crate::fabric::FabricModel;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::process::{enter, Pid, ProcessCtx};
 
 /// Identifier of a compute node.
@@ -30,6 +31,8 @@ pub struct ClusterConfig {
     /// Scale factor applied when charging measured compute time to virtual
     /// clocks. Used to map scaled-down workloads back to paper-scale cost.
     pub compute_scale: f64,
+    /// Fault-injection schedule applied to the fabric (defaults to none).
+    pub faults: FaultPlan,
 }
 
 impl Default for ClusterConfig {
@@ -38,6 +41,7 @@ impl Default for ClusterConfig {
             fabric: FabricModel::zero(),
             seed: 0xC017A_5EED,
             compute_scale: 1.0,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -65,6 +69,7 @@ pub struct ClusterShared {
     fabric: FabricModel,
     seed: u64,
     compute_scale: f64,
+    faults: FaultInjector,
     next_pid: AtomicU64,
     procs: RwLock<HashMap<Pid, ProcInfo>>,
 }
@@ -73,6 +78,11 @@ impl ClusterShared {
     /// The fabric model.
     pub fn fabric(&self) -> &FabricModel {
         &self.fabric
+    }
+
+    /// The fault injector built from the configured [`FaultPlan`].
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// The compute-time scale factor.
@@ -183,6 +193,7 @@ impl Cluster {
                 fabric: cfg.fabric,
                 seed: cfg.seed,
                 compute_scale: cfg.compute_scale,
+                faults: FaultInjector::new(cfg.faults),
                 next_pid: AtomicU64::new(0),
                 procs: RwLock::new(HashMap::new()),
             }),

@@ -1,0 +1,605 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* on the wire: per-link
+//! message loss, duplication, extra delay and reordering, node-set
+//! partitions, and node crashes at a virtual time. The plan is attached to
+//! [`crate::cluster::ClusterConfig`] and consulted by the `na` layer on
+//! every send.
+//!
+//! ## Determinism
+//!
+//! Every randomized decision is a pure hash of
+//! `(plan seed, src pid, dst pid, per-link sequence number)` — no global
+//! RNG is shared between links, so thread interleaving *across* links
+//! cannot change any decision. As long as each link's send order is
+//! deterministic (true for the sequential protocols the harnesses drive),
+//! the same seed reproduces the exact same fault trace and virtual-time
+//! trajectory. The injector records every triggered fault in a trace that
+//! tests compare across runs.
+//!
+//! ## Scoping
+//!
+//! Randomized faults can be restricted to tag ranges (e.g. the margo RPC
+//! plane) via [`FaultPlan::scope_tags`]. This models a real deployment in
+//! which RPCs ride an unreliable datagram service while collectives use a
+//! reliable transport — and it is what lets chaos tests inject loss into
+//! the retry-capable RPC layer without deadlocking retry-free collectives.
+//! Partitions and crashes are network-level and ignore the tag scope.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::cluster::NodeId;
+use crate::process::Pid;
+
+/// Per-link fault rates. Probabilities are in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a message is silently dropped.
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a message is delayed by an extra amount.
+    pub delay: f64,
+    /// Extra delay range (virtual ns, inclusive) when `delay` triggers.
+    pub delay_ns: (u64, u64),
+    /// Probability a message jumps the queue (reordering).
+    pub reorder: f64,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        Self {
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            delay_ns: (0, 0),
+            reorder: 0.0,
+        }
+    }
+}
+
+impl LinkFaults {
+    fn any(&self) -> bool {
+        self.drop > 0.0 || self.duplicate > 0.0 || self.delay > 0.0 || self.reorder > 0.0
+    }
+}
+
+/// A rate override for one directed node pair.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkRule {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Rates applied to messages on this link.
+    pub faults: LinkFaults,
+}
+
+/// A partition between two node sets during a virtual-time window.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// One side of the cut.
+    pub left: Vec<NodeId>,
+    /// The other side.
+    pub right: Vec<NodeId>,
+    /// Virtual time the partition forms.
+    pub from_ns: u64,
+    /// Virtual time the partition heals (exclusive; `u64::MAX` = never).
+    pub until_ns: u64,
+}
+
+impl Partition {
+    fn cuts(&self, a: NodeId, b: NodeId, now_ns: u64) -> bool {
+        if now_ns < self.from_ns || now_ns >= self.until_ns {
+            return false;
+        }
+        (self.left.contains(&a) && self.right.contains(&b))
+            || (self.left.contains(&b) && self.right.contains(&a))
+    }
+}
+
+/// The full fault schedule for a cluster. `Default` injects nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for all fault decisions (independent of the cluster seed).
+    pub seed: u64,
+    /// Default rates applied to every link.
+    pub default_faults: LinkFaults,
+    /// Per-link overrides (first match wins).
+    pub links: Vec<LinkRule>,
+    /// Scheduled partitions.
+    pub partitions: Vec<Partition>,
+    /// Nodes that crash at a virtual time: traffic to/from them is dropped
+    /// from that point on (detection is the failure detector's job).
+    pub crashes: Vec<(NodeId, u64)>,
+    /// Inclusive tag ranges randomized faults apply to (empty = all tags).
+    pub tag_ranges: Vec<(u64, u64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given decision seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the default per-link drop probability.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.default_faults.drop = p;
+        self
+    }
+
+    /// Sets the default per-link duplication probability.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.default_faults.duplicate = p;
+        self
+    }
+
+    /// Sets the default extra-delay probability and range.
+    pub fn with_delay(mut self, p: f64, min_ns: u64, max_ns: u64) -> Self {
+        self.default_faults.delay = p;
+        self.default_faults.delay_ns = (min_ns, max_ns.max(min_ns));
+        self
+    }
+
+    /// Sets the default reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.default_faults.reorder = p;
+        self
+    }
+
+    /// Adds a per-link rate override.
+    pub fn with_link(mut self, src: NodeId, dst: NodeId, faults: LinkFaults) -> Self {
+        self.links.push(LinkRule { src, dst, faults });
+        self
+    }
+
+    /// Restricts randomized faults to an inclusive tag range. May be called
+    /// repeatedly to add ranges.
+    pub fn scope_tags(mut self, lo: u64, hi: u64) -> Self {
+        self.tag_ranges.push((lo, hi));
+        self
+    }
+
+    /// Schedules a partition between two node sets for a virtual-time
+    /// window.
+    pub fn with_partition(
+        mut self,
+        left: Vec<NodeId>,
+        right: Vec<NodeId>,
+        from_ns: u64,
+        until_ns: u64,
+    ) -> Self {
+        self.partitions.push(Partition {
+            left,
+            right,
+            from_ns,
+            until_ns,
+        });
+        self
+    }
+
+    /// Schedules a node crash at a virtual time.
+    pub fn with_crash(mut self, node: NodeId, at_ns: u64) -> Self {
+        self.crashes.push((node, at_ns));
+        self
+    }
+
+    fn any_randomized(&self) -> bool {
+        self.default_faults.any() || self.links.iter().any(|l| l.faults.any())
+    }
+
+    fn in_scope(&self, tag: u64) -> bool {
+        self.tag_ranges.is_empty() || self.tag_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&tag))
+    }
+
+    fn rates_for(&self, src: NodeId, dst: NodeId) -> LinkFaults {
+        self.links
+            .iter()
+            .find(|l| l.src == src && l.dst == dst)
+            .map(|l| l.faults)
+            .unwrap_or(self.default_faults)
+    }
+}
+
+/// The injector's verdict for one send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendFault {
+    /// Whether the message reaches the destination mailbox at all.
+    pub deliver: bool,
+    /// Extra virtual delay added to the arrival time.
+    pub extra_delay_ns: u64,
+    /// Whether a second copy is delivered.
+    pub duplicate: bool,
+    /// Whether the message jumps ahead of queued messages.
+    pub reorder: bool,
+}
+
+impl SendFault {
+    /// Fault-free delivery.
+    pub const CLEAN: SendFault = SendFault {
+        deliver: true,
+        extra_delay_ns: 0,
+        duplicate: false,
+        reorder: false,
+    };
+}
+
+/// What kind of fault fired (trace records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Random per-link loss.
+    Drop,
+    /// Dropped because an endpoint node had crashed.
+    Crash,
+    /// Dropped by an active partition.
+    Partition,
+    /// Extra delay injected.
+    Delay,
+    /// Message duplicated.
+    Duplicate,
+    /// Message reordered.
+    Reorder,
+}
+
+/// One triggered fault, as recorded in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultRecord {
+    /// Sender pid.
+    pub src: u64,
+    /// Destination pid.
+    pub dst: u64,
+    /// In-scope sequence number of the message on the (src, dst) link.
+    pub seq: u64,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Injected delay (zero unless `kind == Delay`).
+    pub delay_ns: u64,
+}
+
+/// Runtime state of the fault plan: per-link counters, the fault trace,
+/// and dynamically added partitions (for tests that partition/heal at
+/// explicit points rather than virtual times).
+pub struct FaultInjector {
+    plan: FaultPlan,
+    randomized: bool,
+    scheduled: AtomicBool,
+    dynamic_active: AtomicBool,
+    counters: Mutex<HashMap<(u64, u64), u64>>,
+    dynamic_partitions: Mutex<Vec<Partition>>,
+    trace: Mutex<Vec<FaultRecord>>,
+}
+
+impl FaultInjector {
+    /// Builds the runtime injector for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let randomized = plan.any_randomized();
+        let scheduled = !plan.partitions.is_empty() || !plan.crashes.is_empty();
+        Self {
+            randomized,
+            scheduled: AtomicBool::new(scheduled),
+            dynamic_active: AtomicBool::new(false),
+            plan,
+            counters: Mutex::new(HashMap::new()),
+            dynamic_partitions: Mutex::new(Vec::new()),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether any fault could possibly fire — the fast path for
+    /// fault-free runs skips all bookkeeping.
+    pub fn is_active(&self) -> bool {
+        self.randomized
+            || self.scheduled.load(Ordering::Acquire)
+            || self.dynamic_active.load(Ordering::Acquire)
+    }
+
+    /// Immediately partitions two node sets (until healed).
+    pub fn partition_now(&self, left: &[NodeId], right: &[NodeId]) {
+        self.dynamic_partitions.lock().push(Partition {
+            left: left.to_vec(),
+            right: right.to_vec(),
+            from_ns: 0,
+            until_ns: u64::MAX,
+        });
+        self.dynamic_active.store(true, Ordering::Release);
+    }
+
+    /// Heals every dynamically added partition.
+    pub fn heal_partitions(&self) {
+        self.dynamic_partitions.lock().clear();
+        self.dynamic_active.store(false, Ordering::Release);
+    }
+
+    /// Whether `node` has crashed by virtual time `now_ns` per the plan.
+    pub fn is_crashed(&self, node: NodeId, now_ns: u64) -> bool {
+        self.plan
+            .crashes
+            .iter()
+            .any(|&(n, at)| n == node && now_ns >= at)
+    }
+
+    /// Whether traffic between two nodes is currently cut by a partition.
+    pub fn partitioned(&self, a: NodeId, b: NodeId, now_ns: u64) -> bool {
+        self.plan.partitions.iter().any(|p| p.cuts(a, b, now_ns))
+            || (self.dynamic_active.load(Ordering::Acquire)
+                && self.dynamic_partitions.lock().iter().any(|p| p.cuts(a, b, now_ns)))
+    }
+
+    /// Decides the fate of one message. Called by the `na` layer with the
+    /// sender's virtual departure time.
+    pub fn on_send(
+        &self,
+        src: Pid,
+        dst: Pid,
+        src_node: NodeId,
+        dst_node: NodeId,
+        tag: u64,
+        now_ns: u64,
+    ) -> SendFault {
+        // Network-level faults first: they ignore the tag scope.
+        if self.is_crashed(src_node, now_ns) || self.is_crashed(dst_node, now_ns) {
+            self.record(src, dst, 0, FaultKind::Crash, 0);
+            return SendFault {
+                deliver: false,
+                ..SendFault::CLEAN
+            };
+        }
+        if self.partitioned(src_node, dst_node, now_ns) {
+            self.record(src, dst, 0, FaultKind::Partition, 0);
+            return SendFault {
+                deliver: false,
+                ..SendFault::CLEAN
+            };
+        }
+        if !self.randomized || !self.plan.in_scope(tag) {
+            return SendFault::CLEAN;
+        }
+        let rates = self.plan.rates_for(src_node, dst_node);
+        if !rates.any() {
+            return SendFault::CLEAN;
+        }
+        // Only in-scope messages on faulty links consume a sequence
+        // number, so out-of-scope traffic (whose volume may vary run to
+        // run) cannot perturb the decision stream.
+        let seq = {
+            let mut c = self.counters.lock();
+            let ctr = c.entry((src.0, dst.0)).or_insert(0);
+            let s = *ctr;
+            *ctr += 1;
+            s
+        };
+        if draw(self.plan.seed, src.0, dst.0, seq, SALT_DROP) < rates.drop {
+            self.record(src, dst, seq, FaultKind::Drop, 0);
+            return SendFault {
+                deliver: false,
+                ..SendFault::CLEAN
+            };
+        }
+        let mut fault = SendFault::CLEAN;
+        if draw(self.plan.seed, src.0, dst.0, seq, SALT_DELAY) < rates.delay {
+            let (lo, hi) = rates.delay_ns;
+            let span = hi - lo + 1;
+            let extra = lo + mix(&[self.plan.seed, src.0, dst.0, seq, SALT_DELAY_AMT]) % span;
+            fault.extra_delay_ns = extra;
+            self.record(src, dst, seq, FaultKind::Delay, extra);
+        }
+        if draw(self.plan.seed, src.0, dst.0, seq, SALT_DUP) < rates.duplicate {
+            fault.duplicate = true;
+            self.record(src, dst, seq, FaultKind::Duplicate, 0);
+        }
+        if draw(self.plan.seed, src.0, dst.0, seq, SALT_REORDER) < rates.reorder {
+            fault.reorder = true;
+            self.record(src, dst, seq, FaultKind::Reorder, 0);
+        }
+        fault
+    }
+
+    /// The fault trace, sorted by `(src, dst, seq, kind)` so it is
+    /// comparable across runs regardless of thread interleaving.
+    pub fn trace(&self) -> Vec<FaultRecord> {
+        let mut t = self.trace.lock().clone();
+        t.sort_unstable();
+        t
+    }
+
+    /// Number of faults triggered so far.
+    pub fn fault_count(&self) -> usize {
+        self.trace.lock().len()
+    }
+
+    fn record(&self, src: Pid, dst: Pid, seq: u64, kind: FaultKind, delay_ns: u64) {
+        self.trace.lock().push(FaultRecord {
+            src: src.0,
+            dst: dst.0,
+            seq,
+            kind,
+            delay_ns,
+        });
+    }
+}
+
+const SALT_DROP: u64 = 0xD509;
+const SALT_DELAY: u64 = 0xDE1A;
+const SALT_DELAY_AMT: u64 = 0xDE1B;
+const SALT_DUP: u64 = 0xD0B1;
+const SALT_REORDER: u64 = 0x5EC2;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix(vals: &[u64]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3u64; // pi, as tradition demands
+    for &v in vals {
+        h = splitmix(h ^ v);
+    }
+    h
+}
+
+/// A uniform draw in `[0, 1)` from the decision hash.
+fn draw(seed: u64, src: u64, dst: u64, seq: u64, salt: u64) -> f64 {
+    (mix(&[seed, src, dst, seq, salt]) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> Pid {
+        Pid(n)
+    }
+
+    #[test]
+    fn default_plan_is_inert() {
+        let inj = FaultInjector::new(FaultPlan::default());
+        assert!(!inj.is_active());
+        assert_eq!(inj.on_send(p(0), p(1), 0, 1, 7, 0), SendFault::CLEAN);
+        assert_eq!(inj.fault_count(), 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let run = |seed| {
+            let inj = FaultInjector::new(
+                FaultPlan::seeded(seed)
+                    .with_loss(0.3)
+                    .with_duplication(0.2)
+                    .with_delay(0.4, 10, 100)
+                    .with_reorder(0.1),
+            );
+            for s in 0..200u64 {
+                inj.on_send(p(0), p(1), 0, 1, 7, s);
+                inj.on_send(p(1), p(0), 1, 0, 7, s);
+            }
+            inj.trace()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn decisions_are_independent_of_cross_link_interleaving() {
+        // Sending A→B then C→D must give the same decisions as the
+        // reverse interleaving: links have independent counters.
+        let plan = || FaultPlan::seeded(9).with_loss(0.5);
+        let a = FaultInjector::new(plan());
+        let f1 = a.on_send(p(0), p(1), 0, 1, 7, 0);
+        let f2 = a.on_send(p(2), p(3), 2, 3, 7, 0);
+        let b = FaultInjector::new(plan());
+        let g2 = b.on_send(p(2), p(3), 2, 3, 7, 0);
+        let g1 = b.on_send(p(0), p(1), 0, 1, 7, 0);
+        assert_eq!(f1, g1);
+        assert_eq!(f2, g2);
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored() {
+        let inj = FaultInjector::new(FaultPlan::seeded(1).with_loss(0.25));
+        let n = 4000;
+        let dropped = (0..n)
+            .filter(|_| !inj.on_send(p(0), p(1), 0, 1, 7, 0).deliver)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((0.20..0.30).contains(&rate), "observed loss {rate}");
+    }
+
+    #[test]
+    fn delay_stays_in_range() {
+        let inj = FaultInjector::new(FaultPlan::seeded(2).with_delay(1.0, 50, 60));
+        for _ in 0..200 {
+            let f = inj.on_send(p(0), p(1), 0, 1, 7, 0);
+            assert!((50..=60).contains(&f.extra_delay_ns));
+        }
+    }
+
+    #[test]
+    fn tag_scope_limits_randomized_faults() {
+        let inj = FaultInjector::new(FaultPlan::seeded(3).with_loss(1.0).scope_tags(100, 200));
+        assert!(inj.on_send(p(0), p(1), 0, 1, 99, 0).deliver);
+        assert!(!inj.on_send(p(0), p(1), 0, 1, 150, 0).deliver);
+        assert!(inj.on_send(p(0), p(1), 0, 1, 201, 0).deliver);
+    }
+
+    #[test]
+    fn link_rules_override_defaults() {
+        let inj = FaultInjector::new(FaultPlan::seeded(4).with_link(
+            0,
+            1,
+            LinkFaults {
+                drop: 1.0,
+                ..Default::default()
+            },
+        ));
+        assert!(!inj.on_send(p(0), p(1), 0, 1, 7, 0).deliver);
+        assert!(inj.on_send(p(1), p(0), 1, 0, 7, 0).deliver, "other direction clean");
+    }
+
+    #[test]
+    fn scheduled_partition_cuts_cross_traffic_during_window() {
+        let inj = FaultInjector::new(FaultPlan::seeded(5).with_partition(
+            vec![0],
+            vec![1, 2],
+            100,
+            200,
+        ));
+        assert!(inj.on_send(p(0), p(1), 0, 1, 7, 50).deliver, "before window");
+        assert!(!inj.on_send(p(0), p(1), 0, 1, 7, 150).deliver, "cut in window");
+        assert!(!inj.on_send(p(1), p(0), 1, 0, 7, 150).deliver, "both directions");
+        assert!(inj.on_send(p(1), p(2), 1, 2, 7, 150).deliver, "same side flows");
+        assert!(inj.on_send(p(0), p(1), 0, 1, 7, 250).deliver, "healed");
+    }
+
+    #[test]
+    fn dynamic_partition_and_heal() {
+        let inj = FaultInjector::new(FaultPlan::default());
+        assert!(!inj.is_active());
+        inj.partition_now(&[0], &[1]);
+        assert!(inj.is_active());
+        assert!(!inj.on_send(p(0), p(1), 0, 1, 7, 0).deliver);
+        inj.heal_partitions();
+        assert!(inj.on_send(p(0), p(1), 0, 1, 7, 0).deliver);
+    }
+
+    #[test]
+    fn crash_drops_traffic_after_the_virtual_time() {
+        let inj = FaultInjector::new(FaultPlan::seeded(6).with_crash(1, 1000));
+        assert!(inj.on_send(p(0), p(1), 0, 1, 7, 999).deliver);
+        assert!(!inj.on_send(p(0), p(1), 0, 1, 7, 1000).deliver, "to crashed");
+        assert!(!inj.on_send(p(1), p(0), 1, 0, 7, 1000).deliver, "from crashed");
+        assert!(inj.is_crashed(1, 1000));
+        assert!(!inj.is_crashed(0, 1000));
+    }
+
+    #[test]
+    fn trace_is_sorted_and_reproducible() {
+        let run = || {
+            let inj = FaultInjector::new(FaultPlan::seeded(8).with_loss(0.5));
+            // Interleave two links in opposite orders; the sorted trace
+            // must come out identical.
+            inj.on_send(p(0), p(1), 0, 1, 7, 0);
+            inj.on_send(p(1), p(0), 1, 0, 7, 0);
+            inj.on_send(p(0), p(1), 0, 1, 7, 0);
+            inj.trace()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(a, sorted);
+    }
+}

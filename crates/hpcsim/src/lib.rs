@@ -22,18 +22,21 @@
 //! * [`clock`] — virtual clocks and compute charging,
 //! * [`cpu`] — per-thread CPU time measurement,
 //! * [`fabric`] — the link-delay model and calibrated presets,
+//! * [`fault`] — deterministic fault injection on the fabric,
 //! * [`stats`] — small summary-statistics helpers used by the harnesses.
 
 pub mod clock;
 pub mod cluster;
 pub mod cpu;
 pub mod fabric;
+pub mod fault;
 pub mod process;
 pub mod stats;
 
 pub use clock::VClock;
 pub use cluster::{Cluster, ClusterConfig, NodeId};
 pub use fabric::{FabricModel, LinkModel, Xfer};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRecord, LinkFaults, SendFault};
 pub use process::{current, with_current, Pid, ProcessCtx};
 
 /// One second in virtual nanoseconds.

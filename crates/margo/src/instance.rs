@@ -1,18 +1,19 @@
 //! The margo instance: progress loop, handler registry, forward path.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 use na::{Address, Endpoint, Fabric, NaError, RecvSelector};
 
 use crate::protocol::{Envelope, Reply, RpcError};
+use crate::retry::{backoff_delay, RetryConfig};
 use crate::Result;
 
 /// Which pool a handler executes on.
@@ -40,6 +41,43 @@ type RawHandler = Arc<dyn Fn(&[u8], &CallCtx) -> std::result::Result<Vec<u8>, St
 /// microseconds round trip, as on Cori.
 const RPC_SW_NS: u64 = 700;
 
+/// Completed-request replies remembered per caller for duplicate
+/// suppression; oldest entries are evicted first.
+const DEDUP_CAP: usize = 4096;
+
+/// Server-side duplicate suppression, keyed by `(caller, req_id)`.
+/// `None` marks a request still executing (duplicates are dropped — the
+/// in-flight execution will reply); `Some` holds the encoded reply, which
+/// duplicates get resent verbatim instead of re-executing the handler.
+#[derive(Default)]
+struct DedupCache {
+    entries: HashMap<(Address, u64), Option<Bytes>>,
+    order: VecDeque<(Address, u64)>,
+}
+
+impl DedupCache {
+    /// Registers a request. Returns the prior state if it is a duplicate.
+    fn admit(&mut self, key: (Address, u64)) -> Option<Option<Bytes>> {
+        if let Some(prior) = self.entries.get(&key) {
+            return Some(prior.clone());
+        }
+        if self.order.len() >= DEDUP_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+        self.entries.insert(key, None);
+        self.order.push_back(key);
+        None
+    }
+
+    fn complete(&mut self, key: (Address, u64), reply: Bytes) {
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = Some(reply);
+        }
+    }
+}
+
 /// A margo instance: one per simulated process participating in RPC.
 pub struct MargoInstance {
     endpoint: Arc<Endpoint>,
@@ -47,6 +85,8 @@ pub struct MargoInstance {
     control_pool: argo::Pool,
     heavy_pool: argo::Pool,
     next_resp: AtomicU64,
+    next_req: AtomicU64,
+    dedup: Mutex<DedupCache>,
     running: AtomicBool,
     default_timeout: RwLock<Option<Duration>>,
 }
@@ -78,6 +118,8 @@ impl MargoInstance {
                 .task_wrapper(wrapper)
                 .build(),
             next_resp: AtomicU64::new(1),
+            next_req: AtomicU64::new(1),
+            dedup: Mutex::new(DedupCache::default()),
             running: AtomicBool::new(true),
             default_timeout: RwLock::new(Some(Duration::from_secs(30))),
         });
@@ -153,14 +195,90 @@ impl MargoInstance {
         args: &A,
         timeout: Option<Duration>,
     ) -> Result<R> {
-        let resp_tag = na::tags::RPC_RESP_BASE + self.next_resp.fetch_add(1, Ordering::Relaxed);
-        let env = Envelope {
+        let env = self.make_envelope(name, args)?;
+        decode_reply(&self.forward_envelope(dst, &env, timeout)?)
+    }
+
+    /// `forward` with retries under a [`RetryConfig`]: exponential backoff
+    /// with seeded jitter, per-try timeouts, and an overall deadline.
+    ///
+    /// Every attempt carries the same request id and response tag, so
+    /// retries are idempotent end to end: the server executes the handler
+    /// at most once (duplicates are suppressed or answered from the reply
+    /// cache), and a straggler reply to an earlier attempt still completes
+    /// the call.
+    pub fn forward_retry<A: Serialize, R: DeserializeOwned>(
+        &self,
+        dst: Address,
+        name: &str,
+        args: &A,
+        cfg: &RetryConfig,
+    ) -> Result<R> {
+        let env = self.make_envelope(name, args)?;
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            let remaining = match cfg.deadline {
+                Some(d) => match d.checked_sub(started.elapsed()) {
+                    Some(r) if !r.is_zero() => Some(r),
+                    _ => return Err(RpcError::Timeout),
+                },
+                None => None,
+            };
+            let per_try = match remaining {
+                Some(r) => cfg.per_try_timeout.min(r),
+                None => cfg.per_try_timeout,
+            };
+            let err = match self.forward_envelope(dst, &env, Some(per_try)) {
+                Ok(data) => return decode_reply(&data),
+                Err(e) => e,
+            };
+            let retryable = match &err {
+                RpcError::Timeout => true,
+                RpcError::Unreachable(_) => cfg.retry_unreachable,
+                _ => false,
+            };
+            if !retryable {
+                return Err(err);
+            }
+            attempt += 1;
+            if cfg.max_attempts != 0 && attempt >= cfg.max_attempts {
+                return Err(err);
+            }
+            let mut pause = backoff_delay(cfg, attempt - 1, self.endpoint.ctx().rng_unit());
+            if let Some(d) = cfg.deadline {
+                match d.checked_sub(started.elapsed()) {
+                    Some(r) if !r.is_zero() => pause = pause.min(r),
+                    _ => return Err(RpcError::Timeout),
+                }
+            }
+            if !pause.is_zero() {
+                // Backoff costs both real time (liveness clocks keep
+                // running) and virtual time (the caller really waits).
+                self.endpoint.ctx().advance(pause.as_nanos() as u64);
+                std::thread::sleep(pause);
+            }
+        }
+    }
+
+    fn make_envelope<A: Serialize>(&self, name: &str, args: &A) -> Result<Envelope> {
+        Ok(Envelope {
             name: name.to_string(),
-            resp_tag,
+            resp_tag: na::tags::RPC_RESP_BASE + self.next_resp.fetch_add(1, Ordering::Relaxed),
+            req_id: self.next_req.fetch_add(1, Ordering::Relaxed),
             body: wire::to_vec(args)?,
-        };
+        })
+    }
+
+    /// One request/response exchange for an already built envelope.
+    fn forward_envelope(
+        &self,
+        dst: Address,
+        env: &Envelope,
+        timeout: Option<Duration>,
+    ) -> Result<Bytes> {
         self.endpoint.ctx().advance(RPC_SW_NS);
-        let payload = Bytes::from(wire::to_vec(&env)?);
+        let payload = Bytes::from(wire::to_vec(env)?);
         self.endpoint
             .send(dst, na::tags::RPC_BASE, payload)
             .map_err(|e| match e {
@@ -169,22 +287,13 @@ impl MargoInstance {
             })?;
         let msg = self
             .endpoint
-            .recv_timeout(RecvSelector::tag(resp_tag), timeout)
+            .recv_timeout(RecvSelector::tag(env.resp_tag), timeout)
             .map_err(|e| match e {
                 NaError::Timeout => RpcError::Timeout,
                 _ => RpcError::Shutdown,
             })?;
         self.endpoint.ctx().advance(RPC_SW_NS);
-        match wire::from_slice::<Reply>(&msg.data)? {
-            Reply::Ok(body) => Ok(wire::from_slice(&body)?),
-            Reply::Err(m) => {
-                if let Some(name) = m.strip_prefix("__no_such_rpc__:") {
-                    Err(RpcError::NoSuchRpc(name.to_string()))
-                } else {
-                    Err(RpcError::Handler(m))
-                }
-            }
-        }
+        Ok(msg.data)
     }
 
     /// Stops the progress loop and closes the endpoint. Idempotent.
@@ -210,6 +319,18 @@ impl MargoInstance {
                 Err(_) => continue, // corrupt request: drop, as Mercury does
             };
             let caller = msg.src;
+            let key = (caller, env.req_id);
+            match self.dedup.lock().admit(key) {
+                Some(Some(cached)) => {
+                    // Duplicate of a completed request: replay the reply
+                    // without re-executing the handler.
+                    self.endpoint.ctx().advance(RPC_SW_NS);
+                    let _ = self.endpoint.send(caller, env.resp_tag, cached);
+                    continue;
+                }
+                Some(None) => continue, // still executing: it will reply
+                None => {}
+            }
             let entry = self.handlers.read().get(&env.name).cloned();
             let pool_choice = entry.as_ref().map(|(_, p)| *p);
             let this = Arc::clone(self);
@@ -228,11 +349,10 @@ impl MargoInstance {
                     }
                     None => Reply::Err(format!("__no_such_rpc__:{}", env.name)),
                 };
-                let bytes = wire::to_vec(&reply).expect("reply encodes");
+                let bytes = Bytes::from(wire::to_vec(&reply).expect("reply encodes"));
+                this.dedup.lock().complete(key, bytes.clone());
                 // Best-effort: the caller may have died while we worked.
-                let _ = this
-                    .endpoint
-                    .send(caller, env.resp_tag, Bytes::from(bytes));
+                let _ = this.endpoint.send(caller, env.resp_tag, bytes);
             };
             match pool_choice {
                 Some(HandlerPool::Heavy) => self.heavy_pool.post(run),
@@ -245,6 +365,19 @@ impl MargoInstance {
 impl Drop for MargoInstance {
     fn drop(&mut self) {
         self.finalize();
+    }
+}
+
+fn decode_reply<R: DeserializeOwned>(data: &[u8]) -> Result<R> {
+    match wire::from_slice::<Reply>(data)? {
+        Reply::Ok(body) => Ok(wire::from_slice(&body)?),
+        Reply::Err(m) => {
+            if let Some(name) = m.strip_prefix("__no_such_rpc__:") {
+                Err(RpcError::NoSuchRpc(name.to_string()))
+            } else {
+                Err(RpcError::Handler(m))
+            }
+        }
     }
 }
 
@@ -481,6 +614,122 @@ mod tests {
         })
         .join();
         server.join();
+    }
+
+    fn faulty_setup(plan: hpcsim::FaultPlan) -> (Cluster, Fabric) {
+        let c = Cluster::new(hpcsim::ClusterConfig {
+            faults: plan,
+            ..Default::default()
+        });
+        let f = Fabric::new(Arc::clone(c.shared()));
+        (c, f)
+    }
+
+    /// Spawns a counting echo server; returns its address and the
+    /// invocation counter.
+    fn spawn_counting_server(
+        c: &Cluster,
+        f: &Fabric,
+    ) -> (Address, Arc<AtomicU64>, crossbeam::channel::Sender<()>) {
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = Arc::clone(&calls);
+        let (addr_tx, addr_rx) = crossbeam::channel::bounded(1);
+        let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+        let f2 = f.clone();
+        c.spawn("server", 0, move || {
+            let margo = MargoInstance::init(&f2);
+            margo.register("echo", move |x: u64, _| {
+                calls2.fetch_add(1, Ordering::AcqRel);
+                Ok(x)
+            });
+            addr_tx.send(margo.address()).unwrap();
+            let _ = stop_rx.recv();
+            margo.finalize();
+        });
+        (addr_rx.recv().unwrap(), calls, stop_tx)
+    }
+
+    #[test]
+    fn duplicate_requests_execute_exactly_once() {
+        // Duplicate every request (but not replies): with req-id dedup the
+        // handler must still run exactly once per logical call.
+        let (c, f) = faulty_setup(
+            hpcsim::FaultPlan::seeded(7)
+                .with_duplication(1.0)
+                .scope_tags(na::tags::RPC_BASE, na::tags::RPC_BASE),
+        );
+        let (addr, calls, stop) = spawn_counting_server(&c, &f);
+        c.spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f);
+            for k in 0..20u64 {
+                let out: u64 = margo.forward(addr, "echo", &k).unwrap();
+                assert_eq!(out, k);
+            }
+        })
+        .join();
+        assert_eq!(calls.load(Ordering::Acquire), 20, "handler re-executed a duplicate");
+        let _ = stop.send(());
+    }
+
+    #[test]
+    fn forward_retry_recovers_from_lost_requests() {
+        let (c, f) = faulty_setup(
+            hpcsim::FaultPlan::seeded(11)
+                .with_loss(0.3)
+                .scope_tags(na::tags::RPC_BASE, na::tags::RPC_BASE),
+        );
+        let (addr, calls, stop) = spawn_counting_server(&c, &f);
+        c.spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f);
+            let cfg = RetryConfig {
+                max_attempts: 0,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(5),
+                per_try_timeout: Duration::from_millis(50),
+                deadline: Some(Duration::from_secs(20)),
+                ..Default::default()
+            };
+            for k in 0..30u64 {
+                let out: u64 = margo.forward_retry(addr, "echo", &k, &cfg).unwrap();
+                assert_eq!(out, k);
+            }
+        })
+        .join();
+        assert!(calls.load(Ordering::Acquire) >= 30);
+        let _ = stop.send(());
+    }
+
+    #[test]
+    fn forward_retry_gives_up_after_deadline_with_timeout() {
+        // Total request loss against a live server: retries burn the
+        // deadline and the call must surface Timeout, not hang.
+        let (c, f) = faulty_setup(
+            hpcsim::FaultPlan::seeded(13)
+                .with_loss(1.0)
+                .scope_tags(na::tags::RPC_BASE, na::tags::RPC_BASE),
+        );
+        let (addr, calls, stop) = spawn_counting_server(&c, &f);
+        c.spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f);
+            let cfg = RetryConfig {
+                max_attempts: 0,
+                base_delay: Duration::from_millis(2),
+                max_delay: Duration::from_millis(10),
+                per_try_timeout: Duration::from_millis(40),
+                deadline: Some(Duration::from_millis(200)),
+                ..Default::default()
+            };
+            let start = Instant::now();
+            let r: Result<u64> = margo.forward_retry(addr, "echo", &1u64, &cfg);
+            assert_eq!(r, Err(RpcError::Timeout));
+            assert!(start.elapsed() >= Duration::from_millis(150));
+            // And bounded: well under ten times the deadline even on a
+            // loaded machine.
+            assert!(start.elapsed() < Duration::from_secs(2));
+        })
+        .join();
+        assert_eq!(calls.load(Ordering::Acquire), 0, "no request should get through");
+        let _ = stop.send(());
     }
 
     #[test]

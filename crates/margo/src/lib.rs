@@ -21,9 +21,11 @@
 
 mod instance;
 mod protocol;
+mod retry;
 
 pub use instance::{CallCtx, HandlerPool, MargoInstance};
 pub use protocol::RpcError;
+pub use retry::{backoff_delay, RetryConfig};
 
 /// Result alias for RPC operations.
 pub type Result<T> = std::result::Result<T, RpcError>;

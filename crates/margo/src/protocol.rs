@@ -11,6 +11,9 @@ pub(crate) struct Envelope {
     pub name: String,
     /// Tag on which the caller awaits the response.
     pub resp_tag: u64,
+    /// Caller-unique request id; identical across retries of one logical
+    /// call so the server can suppress duplicate executions.
+    pub req_id: u64,
     /// wire-encoded argument payload.
     pub body: Vec<u8>,
 }
@@ -51,6 +54,16 @@ impl std::fmt::Display for RpcError {
             RpcError::Codec(m) => write!(f, "codec error: {m}"),
             RpcError::Shutdown => write!(f, "local margo instance shut down"),
         }
+    }
+}
+
+impl RpcError {
+    /// Whether the failure is transient: the call may succeed if retried
+    /// (the request or reply may simply have been lost). `Unreachable`
+    /// counts because a peer may not have opened its endpoint yet;
+    /// policies decide per call site whether to actually retry it.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RpcError::Timeout | RpcError::Unreachable(_))
     }
 }
 

@@ -1,0 +1,136 @@
+//! Retry policy for forwarded RPCs: bounded exponential backoff with
+//! jitter, per-try timeouts, and an overall deadline.
+//!
+//! Retries are safe because [`crate::MargoInstance::forward_retry`] reuses
+//! the same request id and response tag across attempts: the server
+//! suppresses duplicate executions, and a late reply to an earlier attempt
+//! still satisfies the caller's wait.
+
+use std::time::Duration;
+
+/// Policy for [`crate::MargoInstance::forward_retry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryConfig {
+    /// Maximum number of attempts; `0` means bounded by `deadline` only.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_delay: Duration,
+    /// Cap on the backoff between any two attempts (before jitter).
+    pub max_delay: Duration,
+    /// Backoff growth factor per attempt (values below 1 are treated as 1).
+    pub multiplier: f64,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a factor in
+    /// `[1, 1 + jitter]` drawn from the process RNG.
+    pub jitter: f64,
+    /// Liveness timeout applied to each individual attempt.
+    pub per_try_timeout: Duration,
+    /// Overall budget across attempts and backoffs; when it runs out the
+    /// call fails with [`crate::RpcError::Timeout`]. `None` disables it.
+    pub deadline: Option<Duration>,
+    /// Whether `Unreachable` (no live endpoint at the target) is retried.
+    /// Off by default: a closed endpoint usually means the peer is dead
+    /// and membership should react, not the transport. Join/bootstrap
+    /// paths, where the peer may simply not be up yet, turn it on.
+    pub retry_unreachable: bool,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(250),
+            multiplier: 2.0,
+            jitter: 0.25,
+            per_try_timeout: Duration::from_millis(500),
+            deadline: Some(Duration::from_secs(30)),
+            retry_unreachable: false,
+        }
+    }
+}
+
+/// The backoff to sleep after attempt number `attempt` (0-based) fails.
+///
+/// `jitter_unit` is a uniform draw in `[0, 1)` supplied by the caller so
+/// the schedule stays deterministic under the simulator's seeded RNG.
+/// The result is monotone nondecreasing in `attempt` (for a fixed draw)
+/// and bounded by `max_delay * (1 + jitter)`.
+pub fn backoff_delay(cfg: &RetryConfig, attempt: u32, jitter_unit: f64) -> Duration {
+    let mult = if cfg.multiplier.is_finite() {
+        cfg.multiplier.max(1.0)
+    } else {
+        1.0
+    };
+    let growth = mult.powi(attempt.min(63) as i32);
+    let mut secs = cfg.base_delay.as_secs_f64() * growth;
+    if !secs.is_finite() {
+        secs = cfg.max_delay.as_secs_f64();
+    }
+    secs = secs.min(cfg.max_delay.as_secs_f64());
+    let unit = if jitter_unit.is_finite() {
+        jitter_unit.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    secs *= 1.0 + cfg.jitter.clamp(0.0, 1.0) * unit;
+    if !secs.is_finite() || secs < 0.0 {
+        secs = 0.0;
+    }
+    // An hour dwarfs any plausible deadline; the cap just keeps
+    // `from_secs_f64` well inside its domain.
+    Duration::from_secs_f64(secs.min(3600.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cfg = RetryConfig {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            multiplier: 2.0,
+            jitter: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(backoff_delay(&cfg, 0, 0.0), Duration::from_millis(10));
+        assert_eq!(backoff_delay(&cfg, 1, 0.0), Duration::from_millis(20));
+        assert_eq!(backoff_delay(&cfg, 2, 0.0), Duration::from_millis(40));
+        assert_eq!(backoff_delay(&cfg, 3, 0.0), Duration::from_millis(80));
+        assert_eq!(backoff_delay(&cfg, 10, 0.0), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn jitter_scales_within_bounds() {
+        let cfg = RetryConfig {
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(100),
+            jitter: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(backoff_delay(&cfg, 0, 0.0), Duration::from_millis(100));
+        let top = backoff_delay(&cfg, 0, 0.999_999);
+        assert!(top > Duration::from_millis(100));
+        assert!(top <= Duration::from_millis(150));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let cfg = RetryConfig {
+            base_delay: Duration::from_secs(1_000_000),
+            max_delay: Duration::from_secs(u64::MAX / 2),
+            multiplier: f64::INFINITY,
+            jitter: f64::NAN,
+            ..Default::default()
+        };
+        let d = backoff_delay(&cfg, 63, f64::NAN);
+        assert!(d <= Duration::from_secs(3600));
+        let cfg2 = RetryConfig {
+            multiplier: 0.1, // sub-1 growth treated as constant
+            jitter: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(backoff_delay(&cfg2, 5, 0.0), backoff_delay(&cfg2, 0, 0.0));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: the retry backoff schedule must be bounded and
+//! monotone for arbitrary configurations — a runaway or shrinking
+//! schedule would either blow past deadlines or hammer a recovering peer.
+
+use std::time::Duration;
+
+use margo::{backoff_delay, RetryConfig};
+use proptest::prelude::*;
+
+fn cfg(base_ms: u64, max_ms: u64, mult: f64, jitter: f64) -> RetryConfig {
+    RetryConfig {
+        base_delay: Duration::from_millis(base_ms),
+        max_delay: Duration::from_millis(max_ms),
+        multiplier: mult,
+        jitter,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn backoff_is_bounded_by_max_delay_plus_jitter(
+        base_ms in 0u64..1000,
+        max_ms in 1u64..5000,
+        mult in 1.0f64..4.0,
+        jitter in 0.0f64..1.0,
+        attempt in 0u32..64,
+        unit in 0.0f64..1.0,
+    ) {
+        let c = cfg(base_ms, max_ms, mult, jitter);
+        let d = backoff_delay(&c, attempt, unit);
+        // Bound: max_delay scaled by the worst-case jitter factor, plus a
+        // microsecond of float slack.
+        let bound = c.max_delay.mul_f64(1.0 + jitter) + Duration::from_micros(1);
+        prop_assert!(
+            d <= bound,
+            "delay {d:?} exceeds bound {bound:?} (attempt {attempt})"
+        );
+    }
+
+    #[test]
+    fn backoff_is_monotone_in_attempt(
+        base_ms in 1u64..500,
+        max_ms in 1u64..5000,
+        mult in 1.0f64..4.0,
+        jitter in 0.0f64..1.0,
+        unit in 0.0f64..1.0,
+    ) {
+        let c = cfg(base_ms, max_ms, mult, jitter);
+        let mut prev = Duration::ZERO;
+        for attempt in 0..32u32 {
+            let d = backoff_delay(&c, attempt, unit);
+            prop_assert!(
+                d >= prev,
+                "schedule shrank at attempt {attempt}: {prev:?} -> {d:?}"
+            );
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn sub_unit_multipliers_behave_like_constant_backoff(
+        base_ms in 1u64..500,
+        mult in 0.0f64..1.0,
+        attempt in 0u32..32,
+    ) {
+        let c = cfg(base_ms, 5000, mult, 0.0);
+        prop_assert_eq!(backoff_delay(&c, attempt, 0.0), backoff_delay(&c, 0, 0.0));
+    }
+}
+
+/// Fixed regression cases: exact values the default policy must produce
+/// (these anchor the schedule against accidental re-tuning).
+#[test]
+fn default_schedule_regression() {
+    let c = RetryConfig {
+        jitter: 0.0,
+        ..Default::default()
+    };
+    let ms: Vec<u128> = (0..8)
+        .map(|a| backoff_delay(&c, a, 0.0).as_millis())
+        .collect();
+    assert_eq!(ms, vec![5, 10, 20, 40, 80, 160, 250, 250]);
+}

@@ -135,7 +135,18 @@ impl Endpoint {
             .cluster()
             .node_of(dst.pid())
             .ok_or(NaError::Unreachable(dst))?;
-        let arrive = depart + model.wire_ns(src_node, dst_node, data.len(), class);
+        let mut arrive = depart + model.wire_ns(src_node, dst_node, data.len(), class);
+        let injector = self.fabric.cluster().faults();
+        let mut fault = hpcsim::SendFault::CLEAN;
+        if injector.is_active() {
+            fault = injector.on_send(self.ctx.pid(), dst.pid(), src_node, dst_node, tag, depart);
+            if !fault.deliver {
+                // Faults are silent at the sender, like a real lossy wire:
+                // the failure surfaces downstream as a receive timeout.
+                return Ok(());
+            }
+            arrive += fault.extra_delay_ns;
+        }
         let msg = InMsg {
             src: self.addr,
             tag,
@@ -147,7 +158,14 @@ impl Endpoint {
         if q.closed {
             return Err(NaError::Unreachable(dst));
         }
-        q.msgs.push_back(msg);
+        if fault.duplicate {
+            q.msgs.push_back(msg.clone());
+        }
+        if fault.reorder {
+            q.msgs.push_front(msg);
+        } else {
+            q.msgs.push_back(msg);
+        }
         mailbox.cond.notify_all();
         Ok(())
     }

@@ -19,6 +19,10 @@ pub struct SsgConfig {
     pub period_ns: u64,
     /// Real-time liveness timeout for one probe RPC.
     pub ping_timeout: Duration,
+    /// Extra direct-ping attempts before falling back to indirect
+    /// probing. One retry makes a round tolerate a single lost
+    /// request/reply without spending suspicion budget.
+    pub ping_retries: u32,
     /// Number of helpers asked during indirect probing.
     pub pingreq_k: usize,
     /// Protocol constants passed to the state machine.
@@ -30,6 +34,7 @@ impl Default for SsgConfig {
         Self {
             period_ns: hpcsim::SEC,
             ping_timeout: Duration::from_millis(200),
+            ping_retries: 1,
             pingreq_k: 2,
             swim: SwimConfig::default(),
         }
@@ -294,12 +299,20 @@ impl SsgGroup {
             from: self.address(),
             updates: updates.clone(),
         };
-        let reply: Result<PingReply, _> = self.margo.forward_timeout(
-            target,
-            &format!("{}.ping", self.name),
-            &ping,
-            Some(self.config.ping_timeout),
-        );
+        let mut reply: Result<PingReply, _> = Err(RpcError::Timeout);
+        for _ in 0..=self.config.ping_retries {
+            reply = self.margo.forward_timeout(
+                target,
+                &format!("{}.ping", self.name),
+                &ping,
+                Some(self.config.ping_timeout),
+            );
+            match &reply {
+                Ok(_) => break,
+                Err(e) if e.is_retryable() => continue,
+                Err(_) => break,
+            }
+        }
         match reply {
             Ok(reply) => {
                 let events: Vec<Event> = {

@@ -385,28 +385,45 @@ mod tests {
 
     #[test]
     fn borrowed_bytes_are_zero_copy() {
-        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        // Manual impls: the shim derive rejects lifetime-generic types, and
+        // this struct needs `serialize_bytes`/`deserialize_bytes` anyway.
+        #[derive(PartialEq, Debug)]
         struct B<'a> {
-            #[serde(with = "serde_bytes_shim")]
             data: &'a [u8],
         }
-        mod serde_bytes_shim {
-            use serde::{Deserializer, Serializer};
-            pub fn serialize<S: Serializer>(v: &[u8], s: S) -> Result<S::Ok, S::Error> {
-                s.serialize_bytes(v)
-            }
-            pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<&'de [u8], D::Error> {
-                struct V;
-                impl<'de> serde::de::Visitor<'de> for V {
-                    type Value = &'de [u8];
-                    fn expecting(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
-                        f.write_str("bytes")
-                    }
-                    fn visit_borrowed_bytes<E>(self, v: &'de [u8]) -> Result<Self::Value, E> {
-                        Ok(v)
+        impl serde::Serialize for B<'_> {
+            fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
+                struct AsBytes<'a>(&'a [u8]);
+                impl serde::Serialize for AsBytes<'_> {
+                    fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
+                        s.serialize_bytes(self.0)
                     }
                 }
-                d.deserialize_bytes(V)
+                use serde::ser::SerializeStruct;
+                let mut st = s.serialize_struct("B", 1)?;
+                st.serialize_field("data", &AsBytes(self.data))?;
+                st.end()
+            }
+        }
+        impl<'de> serde::Deserialize<'de> for B<'de> {
+            fn deserialize<D: serde::Deserializer<'de>>(d: D) -> std::result::Result<Self, D::Error> {
+                struct V;
+                impl<'de> serde::de::Visitor<'de> for V {
+                    type Value = B<'de>;
+                    fn expecting(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
+                        f.write_str("struct B")
+                    }
+                    fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> std::result::Result<Self::Value, A::Error> {
+                        let data: &'de [u8] = seq
+                            .next_element()?
+                            .ok_or_else(|| serde::de::Error::custom("missing field `data`"))?;
+                        Ok(B { data })
+                    }
+                }
+                d.deserialize_struct("B", &["data"], V)
             }
         }
         let payload = vec![9u8; 1000];

@@ -1,5 +1,8 @@
 #!/bin/sh
 # Regenerates every table and figure of the paper into results/.
+# Preflight: build + full test suite + chaos suite must be green before
+# burning hours on experiment runs (and it produces target/release).
+sh "$(dirname "$0")/scripts/check.sh" || exit 1
 set -x
 B=./target/release
 $B/table1_p2p --ops 1000                 > results/table1.txt 2>&1

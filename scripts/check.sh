@@ -1,0 +1,18 @@
+#!/bin/sh
+# Offline preflight: release build, the full test suite, then the chaos
+# suite under the pinned fault-injection seed. Everything runs with
+# --offline (the workspace vendors its dependencies as in-tree shims), so
+# this works with no network at all.
+#
+# Override the chaos seed to reproduce a specific run:
+#   COLZA_CHAOS_SEED=7 sh scripts/check.sh
+set -e
+cd "$(dirname "$0")/.."
+
+COLZA_CHAOS_SEED="${COLZA_CHAOS_SEED:-42}"
+export COLZA_CHAOS_SEED
+
+cargo build --release --offline --workspace
+cargo test -q --offline
+cargo test -q --offline --test chaos_e2e
+echo "CHECK_OK (chaos seed $COLZA_CHAOS_SEED)"

@@ -1,0 +1,22 @@
+//! Offline shim for `libc`: just the declarations `hpcsim::cpu` needs to
+//! read the per-thread CPU clock on Linux.
+
+#![allow(non_camel_case_types)]
+
+pub type time_t = i64;
+pub type c_long = i64;
+pub type c_int = i32;
+pub type clockid_t = i32;
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+extern "C" {
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}

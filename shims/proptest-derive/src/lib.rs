@@ -1,0 +1,253 @@
+//! Offline shim for `proptest-derive`: `#[derive(Arbitrary)]`.
+//!
+//! Hand-rolled token parsing (no syn/quote in this container). Field
+//! types are never parsed — generated code constructs the value with
+//! `Arbitrary::arbitrary(__rng)` in each field position and lets type
+//! inference do the rest. Generics and attributes are not supported;
+//! none of the derive sites in this workspace use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Arbitrary, attributes(proptest))]
+pub fn derive_arbitrary(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    // Skip outer attributes and visibility.
+    while pos < toks.len() {
+        match &toks[pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => pos += 2,
+            TokenTree::Ident(i) if i.to_string() == "pub" => {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("Arbitrary: expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+    let name = match toks.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("Arbitrary: expected type name".into()),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!("Arbitrary shim: generic type `{name}` not supported"));
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => {
+            let ctor = match toks.get(pos) {
+                Some(TokenTree::Group(g)) => constructor(&name, &parse_fields(g)?),
+                _ => format!("{name}"), // unit struct `struct X;`
+            };
+            ctor
+        }
+        "enum" => {
+            let variants = match toks.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g)?
+                }
+                _ => return Err("Arbitrary: expected enum body".into()),
+            };
+            if variants.is_empty() {
+                return Err(format!("Arbitrary: enum `{name}` has no variants"));
+            }
+            let n = variants.len();
+            let mut arms = String::new();
+            for (i, (vname, vfields)) in variants.iter().enumerate() {
+                let ctor = constructor(&format!("{name}::{vname}"), vfields);
+                if i + 1 == n {
+                    arms.push_str(&format!("_ => {ctor},\n"));
+                } else {
+                    arms.push_str(&format!("{i}usize => {ctor},\n"));
+                }
+            }
+            format!("match ::proptest::test_runner::pick(__rng, {n}usize) {{ {arms} }}")
+        }
+        other => return Err(format!("Arbitrary: cannot derive for `{other}`")),
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::proptest::arbitrary::Arbitrary for {name} {{\n\
+             fn arbitrary(__rng: &mut ::proptest::test_runner::TestRng) -> Self {{\n\
+                 #[allow(unused_imports)]\n\
+                 use ::proptest::arbitrary::Arbitrary as __Arb;\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse()
+        .map_err(|e| format!("Arbitrary shim: generated code failed to parse: {e:?}"))
+}
+
+fn constructor(path: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => path.to_string(),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: __Arb::arbitrary(__rng)"))
+                .collect();
+            format!("{path} {{ {} }}", inits.join(", "))
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n).map(|_| "__Arb::arbitrary(__rng)".into()).collect();
+            format!("{path}({})", inits.join(", "))
+        }
+    }
+}
+
+/// Parses a struct/variant field group: `{ a: T, b: U }` or `(T, U)`.
+fn parse_fields(g: &proc_macro::Group) -> Result<Fields, String> {
+    match g.delimiter() {
+        Delimiter::Brace => Ok(Fields::Named(named_field_names(g)?)),
+        Delimiter::Parenthesis => Ok(Fields::Tuple(count_top_level_types(g))),
+        _ => Err("Arbitrary: unexpected field delimiter".into()),
+    }
+}
+
+fn named_field_names(g: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut pos = 0;
+    while pos < toks.len() {
+        // Skip attributes and visibility.
+        while pos < toks.len() {
+            match &toks[pos] {
+                TokenTree::Punct(p) if p.as_char() == '#' => pos += 2,
+                TokenTree::Ident(i) if i.to_string() == "pub" => {
+                    pos += 1;
+                    if let Some(TokenTree::Group(gg)) = toks.get(pos) {
+                        if gg.delimiter() == Delimiter::Parenthesis {
+                            pos += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if pos >= toks.len() {
+            break;
+        }
+        let name = match &toks[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            t => return Err(format!("Arbitrary: expected field name, got `{t}`")),
+        };
+        names.push(name);
+        pos += 1; // field name
+        pos += 1; // ':'
+        // Skip the type up to a top-level comma.
+        let mut depth = 0i32;
+        while pos < toks.len() {
+            match &toks[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    Ok(names)
+}
+
+fn count_top_level_types(g: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut trailing = true; // whether the last top-level token was a comma
+    for t in &toks {
+        trailing = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses enum variants: name + optional field group, comma separated.
+fn parse_variants(g: &proc_macro::Group) -> Result<Vec<(String, Fields)>, String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < toks.len() {
+        // Skip attributes (e.g. doc comments).
+        while pos + 1 < toks.len() {
+            if let TokenTree::Punct(p) = &toks[pos] {
+                if p.as_char() == '#' {
+                    pos += 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        if pos >= toks.len() {
+            break;
+        }
+        let name = match &toks[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            t => return Err(format!("Arbitrary: expected variant name, got `{t}`")),
+        };
+        pos += 1;
+        let fields = match toks.get(pos) {
+            Some(TokenTree::Group(gg)) => {
+                let f = parse_fields(gg)?;
+                pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip discriminant (`= expr`) if present, then the comma.
+        while pos < toks.len() {
+            if let TokenTree::Punct(p) = &toks[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        out.push((name, fields));
+    }
+    Ok(out)
+}

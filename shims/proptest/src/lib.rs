@@ -1,0 +1,649 @@
+//! Offline shim for `proptest`: the macro/strategy surface this workspace
+//! uses, re-implemented as a small deterministic framework.
+//!
+//! Differences from real proptest, on purpose:
+//! - no shrinking — a failing case reports its seed so it can be replayed;
+//! - case seeds derive from a fixed base hashed with the test name, so
+//!   every run explores the same inputs (bit-for-bit reproducible in CI);
+//! - regex string strategies generate arbitrary printable strings rather
+//!   than honoring the pattern (the only pattern used here is `\PC*`).
+
+pub mod test_runner {
+    pub use rand::rngs::SmallRng as TestRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Runner configuration. Only the case count is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Uniform index in `0..n` (helper for derived `Arbitrary` enums).
+    pub fn pick(rng: &mut TestRng, n: usize) -> usize {
+        rng.random_range(0..n.max(1))
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `config.cases` generated cases of `f`, deterministically.
+    pub fn run_test<F>(config: ProptestConfig, name: &str, f: F)
+    where
+        F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name) ^ 0x9E37_79B9_7F4A_7C15;
+        let mut passed = 0u32;
+        let mut attempt = 0u64;
+        let max_attempts = config.cases as u64 * 50 + 100;
+        while passed < config.cases {
+            attempt += 1;
+            if attempt > max_attempts {
+                panic!(
+                    "proptest shim: test `{name}` rejected too many cases \
+                     ({passed}/{} passed after {attempt} attempts)",
+                    config.cases
+                );
+            }
+            let seed = base.wrapping_add(attempt.wrapping_mul(0xA076_1D64_78BD_642F));
+            let mut rng = TestRng::seed_from_u64(seed);
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest shim: test `{name}` failed at case {} (seed {seed:#x}):\n{msg}",
+                    passed + 1
+                ),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values. Unlike real proptest there is no value tree
+    /// and no shrinking: `generate` produces one value per call.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { strategy: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                strategy: self,
+                f,
+                whence,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) strategy: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.strategy.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        pub(crate) strategy: S,
+        pub(crate) f: F,
+        pub(crate) whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.strategy.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("proptest shim: prop_filter `{}` rejected 1000 values", self.whence)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.random_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    // Integer range strategies.
+    macro_rules! int_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.random::<f64>() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + rng.random::<f32>() * (self.end - self.start)
+        }
+    }
+
+    // Tuples of strategies generate tuples of values.
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (0 S0, 1 S1)
+        (0 S0, 1 S1, 2 S2)
+        (0 S0, 1 S1, 2 S2, 3 S3)
+        (0 S0, 1 S1, 2 S2, 3 S3, 4 S4)
+    }
+
+    /// A printable char, mostly ASCII with some multibyte coverage.
+    pub(crate) fn printable_char(rng: &mut TestRng) -> char {
+        if rng.random_range(0..8u32) == 0 {
+            // Multibyte: pick from a few safe non-ASCII blocks.
+            loop {
+                let cp = rng.random_range(0xA1u32..0x2FA0);
+                if let Some(c) = char::from_u32(cp) {
+                    if !c.is_control() {
+                        return c;
+                    }
+                }
+            }
+        } else {
+            char::from_u32(rng.random_range(0x20u32..0x7F)).unwrap()
+        }
+    }
+
+    /// Regex patterns are approximated as arbitrary printable strings —
+    /// the only pattern used in this workspace is `\PC*` ("any sequence
+    /// of printable chars"), which this matches exactly.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = rng.random_range(0..24usize);
+            (0..len).map(|_| printable_char(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{printable_char, Strategy};
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// A type with a canonical "generate any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T` (`any::<T>()`).
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.random()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            printable_char(rng)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            // Finite, non-NaN: roundtrip tests compare with `==`.
+            let m = rng.random::<f32>() * 2.0 - 1.0;
+            let e = rng.random_range(-30i32..30);
+            m * 2f32.powi(e)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            let m = rng.random::<f64>() * 2.0 - 1.0;
+            let e = rng.random_range(-200i32..200);
+            m * 2f64.powi(e)
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> String {
+            let len = rng.random_range(0..16usize);
+            (0..len).map(|_| printable_char(rng)).collect()
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Option<T> {
+            if rng.random() {
+                Some(T::arbitrary(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Vec<T> {
+        fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+            let len = rng.random_range(0..8usize);
+            (0..len).map(|_| T::arbitrary(rng)).collect()
+        }
+    }
+
+    macro_rules! tuple_arbitrary {
+        ($(($($t:ident),+))+) => {$(
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($t::arbitrary(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_arbitrary! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Element-count bound for collection strategies (inclusive lo,
+    /// exclusive hi).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    /// Float class strategies (`prop::num::f64::NORMAL | ZERO` style).
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// Bitmask of float classes; `|` unions them and the result is
+        /// itself a strategy over `f64`.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct F64Class(u32);
+
+        pub const NORMAL: F64Class = F64Class(1);
+        pub const ZERO: F64Class = F64Class(2);
+        pub const SUBNORMAL: F64Class = F64Class(4);
+        pub const INFINITE: F64Class = F64Class(8);
+
+        impl ::std::ops::BitOr for F64Class {
+            type Output = F64Class;
+            fn bitor(self, rhs: F64Class) -> F64Class {
+                F64Class(self.0 | rhs.0)
+            }
+        }
+
+        impl Strategy for F64Class {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                let classes: Vec<u32> = (0..4).filter(|b| self.0 & (1 << b) != 0).collect();
+                assert!(!classes.is_empty(), "empty f64 class mask");
+                let class = classes[rng.random_range(0..classes.len())];
+                let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                match 1u32 << class {
+                    1 => {
+                        // Normal: mantissa in [0.5, 1), exponent well inside
+                        // the normal range.
+                        let m = 0.5 + rng.random::<f64>() * 0.5;
+                        let e = rng.random_range(-500i32..500);
+                        sign * m * 2f64.powi(e)
+                    }
+                    2 => sign * 0.0,
+                    4 => sign * f64::MIN_POSITIVE * rng.random::<f64>() * 0.5,
+                    _ => sign * f64::INFINITY,
+                }
+            }
+        }
+    }
+}
+
+/// `use proptest::prelude::*` gives tests the `prop::` path prefix.
+pub mod prop {
+    pub use crate::{collection, num, strategy};
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                            stringify!($a), stringify!($b), __left, __right,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            format!($($fmt)+), __left, __right,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__left, __right) => {
+                if *__left == *__right {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: {} != {} (both: {:?})",
+                            stringify!($a), stringify!($b), __left,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    // ---- internal: iterate test fns ----
+    (@fns ($cfg:expr)) => {};
+    (@fns ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $crate::proptest!(@accum ($cfg) [$(#[$meta])*] $name [] [$($params)*] $body);
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    // ---- internal: accumulate (pattern, strategy) pairs ----
+    (@accum ($cfg:expr) [$($meta:tt)*] $name:ident [$($acc:tt)*] [] $body:block) => {
+        $crate::proptest!(@emit ($cfg) [$($meta)*] $name [$($acc)*] $body);
+    };
+    (@accum ($cfg:expr) [$($meta:tt)*] $name:ident [$($acc:tt)*] [$p:ident in $s:expr, $($rest:tt)*] $body:block) => {
+        $crate::proptest!(@accum ($cfg) [$($meta)*] $name [$($acc)* ($p, $s)] [$($rest)*] $body);
+    };
+    (@accum ($cfg:expr) [$($meta:tt)*] $name:ident [$($acc:tt)*] [$p:ident in $s:expr] $body:block) => {
+        $crate::proptest!(@accum ($cfg) [$($meta)*] $name [$($acc)* ($p, $s)] [] $body);
+    };
+    (@accum ($cfg:expr) [$($meta:tt)*] $name:ident [$($acc:tt)*] [$p:ident: $t:ty, $($rest:tt)*] $body:block) => {
+        $crate::proptest!(@accum ($cfg) [$($meta)*] $name
+            [$($acc)* ($p, $crate::arbitrary::any::<$t>())] [$($rest)*] $body);
+    };
+    (@accum ($cfg:expr) [$($meta:tt)*] $name:ident [$($acc:tt)*] [$p:ident: $t:ty] $body:block) => {
+        $crate::proptest!(@accum ($cfg) [$($meta)*] $name
+            [$($acc)* ($p, $crate::arbitrary::any::<$t>())] [] $body);
+    };
+    // ---- internal: emit one test fn ----
+    (@emit ($cfg:expr) [$($meta:tt)*] $name:ident [$(($p:ident, $s:expr))*] $body:block) => {
+        $($meta)*
+        fn $name() {
+            $crate::test_runner::run_test($cfg, stringify!($name), |__rng| {
+                $(let $p = $crate::strategy::Strategy::generate(&($s), __rng);)*
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __result
+            });
+        }
+    };
+    // ---- entry points ----
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,227 @@
+//! Offline shim for `rand` 0.9: `SmallRng`/`StdRng` over xoshiro256++, the
+//! `Rng`/`SeedableRng` traits with the `random`/`random_range` method names,
+//! and nothing else. Fully deterministic — there is no entropy source in
+//! the simulator, every RNG is seeded explicitly.
+
+/// Core RNG state: xoshiro256++ (Blackman & Vigna), seeded via splitmix64.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        // splitmix64 expansion of the 64-bit seed into 256 bits of state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A value samplable uniformly over its full domain via `Rng::random`.
+pub trait Standard: Sized {
+    fn sample(rng: &mut Xoshiro256) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut Xoshiro256) -> f64 {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut Xoshiro256) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut Xoshiro256) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut Xoshiro256) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u8 {
+    fn sample(rng: &mut Xoshiro256) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut Xoshiro256) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range samplable via `Rng::random_range`.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut Xoshiro256) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128 + self.start as i128;
+                v as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128 + start as i128;
+                v as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Xoshiro256) -> f64 {
+        self.start + <f64 as Standard>::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::Range<f32> {
+    type Output = f32;
+    fn sample(self, rng: &mut Xoshiro256) -> f32 {
+        self.start + <f32 as Standard>::sample(rng) * (self.end - self.start)
+    }
+}
+
+pub trait Rng {
+    fn core(&mut self) -> &mut Xoshiro256;
+
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self.core())
+    }
+
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.core())
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.core().next_u64()
+    }
+}
+
+pub mod rngs {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(pub(crate) Xoshiro256);
+
+    #[derive(Debug, Clone)]
+    pub struct StdRng(pub(crate) Xoshiro256);
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(Xoshiro256::from_u64(seed))
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xoshiro256::from_u64(seed))
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn core(&mut self) -> &mut Xoshiro256 {
+            &mut self.0
+        }
+    }
+
+    impl Rng for StdRng {
+        fn core(&mut self) -> &mut Xoshiro256 {
+            &mut self.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = r.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.random_range(3..17u64);
+            assert!((3..17).contains(&v));
+            let w = r.random_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Support machinery for the derive shim: a self-describing `Content`
+//! value that internally-tagged enums buffer into and replay out of, plus
+//! a seed that decodes enum variant identifiers from either an index or a
+//! name.
+
+use crate::de::{
+    self, Deserialize, DeserializeSeed, Deserializer, EnumAccess, MapAccess, SeqAccess,
+    VariantAccess, Visitor,
+};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A buffered self-describing value (the subset of the serde data model a
+/// human-readable format produces).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(Content, Content)>),
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = Content;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("any value")
+            }
+            fn visit_bool<E: de::Error>(self, v: bool) -> Result<Content, E> {
+                Ok(Content::Bool(v))
+            }
+            fn visit_i64<E: de::Error>(self, v: i64) -> Result<Content, E> {
+                Ok(Content::I64(v))
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<Content, E> {
+                Ok(Content::U64(v))
+            }
+            fn visit_f64<E: de::Error>(self, v: f64) -> Result<Content, E> {
+                Ok(Content::F64(v))
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<Content, E> {
+                Ok(Content::Str(v.to_owned()))
+            }
+            fn visit_string<E: de::Error>(self, v: String) -> Result<Content, E> {
+                Ok(Content::Str(v))
+            }
+            fn visit_none<E: de::Error>(self) -> Result<Content, E> {
+                Ok(Content::Null)
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Content, E> {
+                Ok(Content::Null)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Content, D::Error> {
+                Content::deserialize(d)
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Content, A::Error> {
+                let mut items = Vec::new();
+                while let Some(v) = seq.next_element::<Content>()? {
+                    items.push(v);
+                }
+                Ok(Content::Seq(items))
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Content, A::Error> {
+                let mut entries = Vec::new();
+                while let Some((k, v)) = map.next_entry::<Content, Content>()? {
+                    entries.push((k, v));
+                }
+                Ok(Content::Map(entries))
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+/// Removes and returns the entry with string key `key` from a buffered map.
+pub fn take_content_entry(entries: &mut Vec<(Content, Content)>, key: &str) -> Option<Content> {
+    let idx = entries
+        .iter()
+        .position(|(k, _)| matches!(k, Content::Str(s) if s == key))?;
+    Some(entries.remove(idx).1)
+}
+
+/// Replays a buffered [`Content`] through the deserialization data model.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<E>,
+}
+
+impl<E: de::Error> ContentDeserializer<E> {
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: PhantomData,
+        }
+    }
+}
+
+struct ContentSeqAccess<E> {
+    iter: std::vec::IntoIter<Content>,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: de::Error> SeqAccess<'de> for ContentSeqAccess<E> {
+    type Error = E;
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, E> {
+        match self.iter.next() {
+            Some(content) => seed.deserialize(ContentDeserializer::new(content)).map(Some),
+            None => Ok(None),
+        }
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct ContentMapAccess<E> {
+    iter: std::vec::IntoIter<(Content, Content)>,
+    pending_value: Option<Content>,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: de::Error> MapAccess<'de> for ContentMapAccess<E> {
+    type Error = E;
+    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>, E> {
+        match self.iter.next() {
+            Some((k, v)) => {
+                self.pending_value = Some(v);
+                seed.deserialize(ContentDeserializer::new(k)).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, E> {
+        let v = self
+            .pending_value
+            .take()
+            .ok_or_else(|| E::custom("next_value called before next_key"))?;
+        seed.deserialize(ContentDeserializer::new(v))
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct ContentEnumAccess<E> {
+    variant: Content,
+    payload: Option<Content>,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: de::Error> EnumAccess<'de> for ContentEnumAccess<E> {
+    type Error = E;
+    type Variant = ContentVariantAccess<E>;
+    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self::Variant), E> {
+        let tag = seed.deserialize(ContentDeserializer::new(self.variant))?;
+        Ok((
+            tag,
+            ContentVariantAccess {
+                payload: self.payload,
+                marker: PhantomData,
+            },
+        ))
+    }
+}
+
+struct ContentVariantAccess<E> {
+    payload: Option<Content>,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: de::Error> VariantAccess<'de> for ContentVariantAccess<E> {
+    type Error = E;
+    fn unit_variant(self) -> Result<(), E> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, E> {
+        let payload = self.payload.unwrap_or(Content::Null);
+        seed.deserialize(ContentDeserializer::new(payload))
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value, E> {
+        match self.payload {
+            Some(Content::Seq(items)) => visitor.visit_seq(ContentSeqAccess {
+                iter: items.into_iter(),
+                marker: PhantomData,
+            }),
+            _ => Err(E::custom("expected a sequence for tuple variant")),
+        }
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        match self.payload {
+            Some(Content::Map(entries)) => visitor.visit_map(ContentMapAccess {
+                iter: entries.into_iter(),
+                pending_value: None,
+                marker: PhantomData,
+            }),
+            _ => Err(E::custom("expected a map for struct variant")),
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+        match self.content {
+            Content::Null => visitor.visit_unit(),
+            Content::Bool(v) => visitor.visit_bool(v),
+            Content::U64(v) => visitor.visit_u64(v),
+            Content::I64(v) => visitor.visit_i64(v),
+            Content::F64(v) => visitor.visit_f64(v),
+            Content::Str(v) => visitor.visit_string(v),
+            Content::Seq(items) => visitor.visit_seq(ContentSeqAccess {
+                iter: items.into_iter(),
+                marker: PhantomData,
+            }),
+            Content::Map(entries) => visitor.visit_map(ContentMapAccess {
+                iter: entries.into_iter(),
+                pending_value: None,
+                marker: PhantomData,
+            }),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+        match self.content {
+            Content::Null => visitor.visit_none(),
+            content => visitor.visit_some(ContentDeserializer::new(content)),
+        }
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        let (variant, payload) = match self.content {
+            Content::Str(s) => (Content::Str(s), None),
+            Content::Map(mut entries) => {
+                if entries.len() != 1 {
+                    return Err(E::custom("expected a single-entry map for enum"));
+                }
+                let (k, v) = entries.remove(0);
+                (k, Some(v))
+            }
+            Content::U64(v) => (Content::U64(v), None),
+            _ => return Err(E::custom("invalid content for enum")),
+        };
+        visitor.visit_enum(ContentEnumAccess {
+            variant,
+            payload,
+            marker: PhantomData,
+        })
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_i8<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_i16<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_i32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_i64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_u8<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_u16<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_u32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_u64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_f32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_f64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_char<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_str<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_string<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_bytes<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_unit<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        v: V,
+    ) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_seq<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_tuple<V: Visitor<'de>>(self, _: usize, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        _: usize,
+        v: V,
+    ) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_map<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        _: &'static [&'static str],
+        v: V,
+    ) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_identifier<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+        self.deserialize_any(v)
+    }
+}
+
+/// Decodes an enum variant identifier, accepting either a numeric index
+/// (binary formats) or the variant name (human-readable formats).
+pub struct VariantIdSeed {
+    pub names: &'static [&'static str],
+}
+
+impl<'de> DeserializeSeed<'de> for VariantIdSeed {
+    type Value = usize;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<usize, D::Error> {
+        struct V {
+            names: &'static [&'static str],
+        }
+        impl<'de> Visitor<'de> for V {
+            type Value = usize;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a variant identifier")
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<usize, E> {
+                let idx = v as usize;
+                if idx < self.names.len() {
+                    Ok(idx)
+                } else {
+                    Err(E::custom(format_args!(
+                        "variant index {idx} out of range (max {})",
+                        self.names.len()
+                    )))
+                }
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<usize, E> {
+                self.names
+                    .iter()
+                    .position(|n| *n == v)
+                    .ok_or_else(|| E::unknown_variant(v, &[]))
+            }
+        }
+        deserializer.deserialize_identifier(V { names: self.names })
+    }
+}
+
+/// Decodes a struct field key as an index into `names`; unknown keys map to
+/// `None` so the caller can skip them with `IgnoredAny`.
+pub struct FieldIdSeed {
+    pub names: &'static [&'static str],
+}
+
+impl<'de> DeserializeSeed<'de> for FieldIdSeed {
+    type Value = Option<usize>;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Option<usize>, D::Error> {
+        struct V {
+            names: &'static [&'static str],
+        }
+        impl<'de> Visitor<'de> for V {
+            type Value = Option<usize>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a field identifier")
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<Option<usize>, E> {
+                let idx = v as usize;
+                Ok(if idx < self.names.len() { Some(idx) } else { None })
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<Option<usize>, E> {
+                Ok(self.names.iter().position(|n| *n == v))
+            }
+        }
+        deserializer.deserialize_identifier(V { names: self.names })
+    }
+}

@@ -1,0 +1,526 @@
+//! The deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: Display>(msg: T) -> Self;
+
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    fn duplicate_field(field: &'static str) -> Self {
+        Self::custom(format_args!("duplicate field `{field}`"))
+    }
+
+    fn unknown_field(field: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown field `{field}`, expected one of {expected:?}"
+        ))
+    }
+
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
+    }
+
+    fn invalid_length(len: usize, expected: &str) -> Self {
+        Self::custom(format_args!("invalid length {len}, expected {expected}"))
+    }
+
+    fn invalid_type(unexpected: &str, expected: &str) -> Self {
+        Self::custom(format_args!("invalid type: {unexpected}, expected {expected}"))
+    }
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A `Deserialize` not borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stateful deserialization entry point (serde's seed abstraction).
+pub trait DeserializeSeed<'de>: Sized {
+    type Value;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// Receiver of deserialized values, driven by the format.
+pub trait Visitor<'de>: Sized {
+    type Value;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result;
+
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected bool {v}: {}", Expecting(&self))))
+    }
+
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected integer {v}: {}", Expecting(&self))))
+    }
+
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected integer {v}: {}", Expecting(&self))))
+    }
+
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected float {v}: {}", Expecting(&self))))
+    }
+
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        self.visit_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected string {v:?}: {}", Expecting(&self))))
+    }
+
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected bytes: {}", Expecting(&self))))
+    }
+
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected none: {}", Expecting(&self))))
+    }
+
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(D::Error::custom(format_args!("unexpected some: {}", Expecting(&self))))
+    }
+
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected unit: {}", Expecting(&self))))
+    }
+
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        _deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(D::Error::custom(format_args!(
+            "unexpected newtype struct: {}",
+            Expecting(&self)
+        )))
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom(format_args!("unexpected sequence: {}", Expecting(&self))))
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom(format_args!("unexpected map: {}", Expecting(&self))))
+    }
+
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom(format_args!("unexpected enum: {}", Expecting(&self))))
+    }
+}
+
+/// Renders a visitor's `expecting` message for error text.
+struct Expecting<'a, V>(&'a V);
+
+impl<'de, V: Visitor<'de>> Display for Expecting<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected ")?;
+        self.0.expecting(f)
+    }
+}
+
+/// A data format that can drive a [`Visitor`].
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    type Error: Error;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map.
+pub trait MapAccess<'de> {
+    type Error: Error;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V)
+        -> Result<V::Value, Self::Error>;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum.
+pub trait EnumAccess<'de>: Sized {
+    type Error: Error;
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of an enum variant.
+pub trait VariantAccess<'de>: Sized {
+    type Error: Error;
+
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T)
+        -> Result<T::Value, Self::Error>;
+
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of a primitive into a deserializer of itself (used for
+/// variant indices and tags).
+pub trait IntoDeserializer<'de, E: Error> {
+    type Deserializer: Deserializer<'de, Error = E>;
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = value::U32Deserializer<E>;
+    fn into_deserializer(self) -> value::U32Deserializer<E> {
+        value::U32Deserializer {
+            value: self,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u64 {
+    type Deserializer = value::U64Deserializer<E>;
+    fn into_deserializer(self) -> value::U64Deserializer<E> {
+        value::U64Deserializer {
+            value: self,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for &'de str {
+    type Deserializer = value::StrDeserializer<'de, E>;
+    fn into_deserializer(self) -> value::StrDeserializer<'de, E> {
+        value::StrDeserializer {
+            value: self,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for String {
+    type Deserializer = value::StringDeserializer<E>;
+    fn into_deserializer(self) -> value::StringDeserializer<E> {
+        value::StringDeserializer {
+            value: self,
+            marker: PhantomData,
+        }
+    }
+}
+
+/// Deserializers over single primitive values.
+pub mod value {
+    use super::*;
+
+    macro_rules! forward_all {
+        ($visit:ident, $field:ident $(. $conv:ident ())?) => {
+            fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.$field $(. $conv ())?)
+            }
+
+            fn deserialize_bool<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_i8<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_i16<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_i32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_i64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_u8<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_u16<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_u32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_u64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_f32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_f64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_char<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_str<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_string<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_bytes<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_byte_buf<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_option<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_unit<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_unit_struct<V: Visitor<'de>>(self, _: &'static str, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_newtype_struct<V: Visitor<'de>>(self, _: &'static str, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_seq<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_tuple<V: Visitor<'de>>(self, _: usize, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_tuple_struct<V: Visitor<'de>>(self, _: &'static str, _: usize, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_map<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_struct<V: Visitor<'de>>(self, _: &'static str, _: &'static [&'static str], v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_enum<V: Visitor<'de>>(self, _: &'static str, _: &'static [&'static str], v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_identifier<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+            fn deserialize_ignored_any<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> { self.deserialize_any(v) }
+        };
+    }
+
+    pub struct U32Deserializer<E> {
+        pub(crate) value: u32,
+        pub(crate) marker: PhantomData<E>,
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+        type Error = E;
+        forward_all!(visit_u32, value);
+    }
+
+    pub struct U64Deserializer<E> {
+        pub(crate) value: u64,
+        pub(crate) marker: PhantomData<E>,
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for U64Deserializer<E> {
+        type Error = E;
+        forward_all!(visit_u64, value);
+    }
+
+    pub struct StrDeserializer<'de, E> {
+        pub(crate) value: &'de str,
+        pub(crate) marker: PhantomData<E>,
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for StrDeserializer<'de, E> {
+        type Error = E;
+        forward_all!(visit_borrowed_str, value);
+    }
+
+    pub struct StringDeserializer<E> {
+        pub(crate) value: String,
+        pub(crate) marker: PhantomData<E>,
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for StringDeserializer<E> {
+        type Error = E;
+        forward_all!(visit_string, value);
+    }
+}
+
+/// A sink that accepts and discards any single value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IgnoredAny;
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = IgnoredAny;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("anything")
+            }
+            fn visit_bool<E: Error>(self, _: bool) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_i64<E: Error>(self, _: i64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_u64<E: Error>(self, _: u64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_f64<E: Error>(self, _: f64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_str<E: Error>(self, _: &str) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_bytes<E: Error>(self, _: &[u8]) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_none<E: Error>(self) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<IgnoredAny, D::Error> {
+                IgnoredAny::deserialize(d)
+            }
+            fn visit_unit<E: Error>(self) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_newtype_struct<D: Deserializer<'de>>(
+                self,
+                d: D,
+            ) -> Result<IgnoredAny, D::Error> {
+                IgnoredAny::deserialize(d)
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<IgnoredAny, A::Error> {
+                while seq.next_element::<IgnoredAny>()?.is_some() {}
+                Ok(IgnoredAny)
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<IgnoredAny, A::Error> {
+                while map.next_entry::<IgnoredAny, IgnoredAny>()?.is_some() {}
+                Ok(IgnoredAny)
+            }
+        }
+        deserializer.deserialize_ignored_any(V)
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline shim for `serde`: the serialization/deserialization data model
+//! at the surface this workspace uses (the `wire` binary format, the
+//! `serde_json` shim, and the hand-rolled `serde_derive` shim).
+//!
+//! Faithful to real serde where it matters: the 29-method `Serializer`
+//! visitor, the `Deserializer`/`Visitor` pairing with seq/map/enum access
+//! traits, borrowed-data visits for zero-copy decoding, and
+//! `IntoDeserializer` for variant indices. Omitted: 128-bit ints, rc/cell
+//! impls, and the exotic corners of the derive attribute language.
+
+pub mod de;
+pub mod ser;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

@@ -1,0 +1,904 @@
+//! Offline shim for `serde_derive`: a hand-rolled derive with no syn/quote
+//! dependency. Parses `proc_macro::TokenTree`s directly and emits the impl
+//! as a string.
+//!
+//! Supported shapes — exactly what this workspace derives on: concrete
+//! (non-generic) named structs, newtype/tuple structs, and enums with
+//! unit/newtype/tuple/struct variants. Supported attributes:
+//! `#[serde(tag = "...")]` (internally tagged enums),
+//! `#[serde(rename_all = "snake_case"|"lowercase")]`, `#[serde(rename)]`,
+//! `#[serde(default)]` and `#[serde(default = "path")]` on fields.
+//! Generic types get a `compile_error!` telling you to write the impl by
+//! hand. Generated deserializers accept both positional sequences (the
+//! `wire` binary format) and string-keyed maps (`serde_json`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let container = match parse_container(input) {
+        Ok(c) => c,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match mode {
+        Mode::Ser => gen_serialize(&container),
+        Mode::De => gen_deserialize(&container),
+    };
+    match code {
+        Ok(src) => src
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim derive generated bad code: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Container {
+    name: String,
+    tag: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    ser_name: String,
+    default: Option<DefaultAttr>,
+}
+
+#[derive(Clone)]
+enum DefaultAttr {
+    Std,
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    ser_name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Default)]
+struct Attrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    rename: Option<String>,
+    default: Option<DefaultAttr>,
+    unsupported: Option<String>,
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_attrs(cur: &mut Cursor) -> Attrs {
+    let mut attrs = Attrs::default();
+    while cur.at_punct('#') {
+        cur.next();
+        let Some(TokenTree::Group(g)) = cur.next() else {
+            break;
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let is_serde = matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue; // doc comments, #[default], other derives' helpers
+        }
+        if let Some(TokenTree::Group(args)) = inner.get(1) {
+            parse_serde_args(args.stream(), &mut attrs);
+        }
+    }
+    attrs
+}
+
+fn parse_serde_args(ts: TokenStream, attrs: &mut Attrs) {
+    let mut cur = Cursor::new(ts);
+    while let Some(tt) = cur.next() {
+        let key = tt.to_string();
+        let mut val = None;
+        if cur.eat_punct('=') {
+            if let Some(TokenTree::Literal(l)) = cur.next() {
+                val = Some(unquote(&l.to_string()));
+            }
+        }
+        match key.as_str() {
+            "tag" => attrs.tag = val,
+            "rename_all" => attrs.rename_all = val,
+            "rename" => attrs.rename = val,
+            "default" => {
+                attrs.default = Some(match val {
+                    Some(p) => DefaultAttr::Path(p),
+                    None => DefaultAttr::Std,
+                })
+            }
+            "deny_unknown_fields" => {}
+            other => attrs.unsupported = Some(other.to_string()),
+        }
+        cur.eat_punct(',');
+    }
+}
+
+fn skip_vis(cur: &mut Cursor) {
+    if matches!(cur.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        cur.next();
+        if matches!(cur.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            cur.next();
+        }
+    }
+}
+
+/// Consumes type tokens up to (not including) a top-level comma. Angle
+/// brackets are depth-tracked; delimited groups are atomic token trees.
+fn skip_type(cur: &mut Cursor) -> usize {
+    let mut depth = 0i32;
+    let mut consumed = 0;
+    while let Some(tt) = cur.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return consumed,
+                _ => {}
+            }
+        }
+        cur.next();
+        consumed += 1;
+    }
+    consumed
+}
+
+fn apply_rename(name: &str, rename_all: Option<&str>) -> Result<String, String> {
+    match rename_all {
+        None => Ok(name.to_string()),
+        Some("snake_case") => Ok(to_snake(name)),
+        Some("lowercase") => Ok(name.to_lowercase()),
+        Some(other) => Err(format!("serde shim derive: unsupported rename_all = {other:?}")),
+    }
+}
+
+fn to_snake(s: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if c.is_uppercase() {
+            if i != 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn parse_named_fields(ts: TokenStream, rename_all: Option<&str>) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = parse_attrs(&mut cur);
+        if let Some(u) = attrs.unsupported {
+            return Err(format!(
+                "serde shim derive: unsupported field attribute `{u}`; write the impl by hand"
+            ));
+        }
+        skip_vis(&mut cur);
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        if !cur.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        skip_type(&mut cur);
+        cur.eat_punct(',');
+        let ser_name = match attrs.rename {
+            Some(r) => r,
+            None => apply_rename(&name, rename_all)?,
+        };
+        fields.push(Field {
+            name,
+            ser_name,
+            default: attrs.default,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut cur = Cursor::new(ts);
+    let mut n = 0;
+    while cur.peek().is_some() {
+        let _ = parse_attrs(&mut cur);
+        skip_vis(&mut cur);
+        if skip_type(&mut cur) > 0 {
+            n += 1;
+        }
+        cur.eat_punct(',');
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream, rename_all: Option<&str>) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = parse_attrs(&mut cur);
+        if let Some(u) = attrs.unsupported {
+            return Err(format!(
+                "serde shim derive: unsupported variant attribute `{u}`"
+            ));
+        }
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let payload = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                Payload::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream(), None)?;
+                cur.next();
+                Payload::Struct(fields)
+            }
+            _ => Payload::Unit,
+        };
+        cur.eat_punct(',');
+        let ser_name = match attrs.rename {
+            Some(r) => r,
+            None => apply_rename(&name, rename_all)?,
+        };
+        variants.push(Variant {
+            name,
+            ser_name,
+            payload,
+        });
+    }
+    Ok(variants)
+}
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let mut cur = Cursor::new(input);
+    let cattrs = parse_attrs(&mut cur);
+    if let Some(u) = cattrs.unsupported {
+        return Err(format!(
+            "serde shim derive: unsupported container attribute `{u}`"
+        ));
+    }
+    skip_vis(&mut cur);
+    let kw = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if cur.at_punct('<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`; implement Serialize/Deserialize by hand"
+        ));
+    }
+    let rename_all = cattrs.rename_all.as_deref();
+    let kind = match kw.as_str() {
+        "struct" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream(), rename_all)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream(), rename_all)?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("serde shim derive: cannot derive for `{other}`")),
+    };
+    if cattrs.tag.is_some() && !matches!(kind, Kind::Enum(_)) {
+        return Err("serde shim derive: tag attribute is only supported on enums".into());
+    }
+    Ok(Container {
+        name,
+        tag: cattrs.tag,
+        kind,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(c: &Container) -> Result<String, String> {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::NamedStruct(fields) => {
+            let mut out = format!(
+                "let mut __s = ::serde::ser::Serializer::serialize_struct(__serializer, {name:?}, {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __s, {:?}, &self.{})?;\n",
+                    f.ser_name, f.name
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__s)\n");
+            out
+        }
+        Kind::TupleStruct(1) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(__serializer, {name:?}, &self.0)\n"
+        ),
+        Kind::TupleStruct(n) => {
+            let mut out = format!(
+                "let mut __s = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, {name:?}, {n})?;\n"
+            );
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __s, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__s)\n");
+            out
+        }
+        Kind::UnitStruct => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, {name:?})\n")
+        }
+        Kind::Enum(variants) => match &c.tag {
+            None => gen_serialize_enum_external(name, variants),
+            Some(tag) => gen_serialize_enum_tagged(name, tag, variants)?,
+        },
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    ))
+}
+
+fn gen_serialize_enum_external(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let (vname, sname) = (&v.name, &v.ser_name);
+        match &v.payload {
+            Payload::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, {name:?}, {idx}u32, {sname:?}),\n"
+            )),
+            Payload::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vname}(__v0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, {name:?}, {idx}u32, {sname:?}, __v0),\n"
+            )),
+            Payload::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{vname}({}) => {{\n\
+                     let mut __s = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, {name:?}, {idx}u32, {sname:?}, {n})?;\n",
+                    binds.join(", ")
+                );
+                for b in &binds {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __s, {b})?;\n"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeTupleVariant::end(__s)\n},\n");
+                arms.push_str(&arm);
+            }
+            Payload::Struct(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                     let mut __s = ::serde::ser::Serializer::serialize_struct_variant(__serializer, {name:?}, {idx}u32, {sname:?}, {})?;\n",
+                    binds.join(", "),
+                    fields.len()
+                );
+                for f in fields {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(&mut __s, {:?}, {})?;\n",
+                        f.ser_name, f.name
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeStructVariant::end(__s)\n},\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}\n")
+}
+
+fn gen_serialize_enum_tagged(
+    name: &str,
+    tag: &str,
+    variants: &[Variant],
+) -> Result<String, String> {
+    let mut arms = String::new();
+    for v in variants {
+        let (vname, sname) = (&v.name, &v.ser_name);
+        match &v.payload {
+            Payload::Unit => arms.push_str(&format!(
+                "{name}::{vname} => {{\n\
+                 let mut __s = ::serde::ser::Serializer::serialize_map(__serializer, ::std::option::Option::Some(1))?;\n\
+                 ::serde::ser::SerializeMap::serialize_entry(&mut __s, {tag:?}, {sname:?})?;\n\
+                 ::serde::ser::SerializeMap::end(__s)\n}},\n"
+            )),
+            Payload::Struct(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                     let mut __s = ::serde::ser::Serializer::serialize_map(__serializer, ::std::option::Option::Some({}))?;\n\
+                     ::serde::ser::SerializeMap::serialize_entry(&mut __s, {tag:?}, {sname:?})?;\n",
+                    binds.join(", "),
+                    fields.len() + 1
+                );
+                for f in fields {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeMap::serialize_entry(&mut __s, {:?}, {})?;\n",
+                        f.ser_name, f.name
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeMap::end(__s)\n},\n");
+                arms.push_str(&arm);
+            }
+            Payload::Tuple(_) => {
+                return Err(format!(
+                    "serde shim derive: tuple variant `{vname}` not supported in internally tagged enum"
+                ))
+            }
+        }
+    }
+    Ok(format!("match self {{\n{arms}}}\n"))
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// Generates `let __f{i} = ...` bindings for `visit_seq`.
+fn gen_seq_lets(fields: &[Field], expect: &str) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        let missing = match &f.default {
+            None => format!(
+                "return ::std::result::Result::Err(::serde::de::Error::invalid_length({i}usize, {expect:?}))"
+            ),
+            Some(DefaultAttr::Std) => "::std::default::Default::default()".to_string(),
+            Some(DefaultAttr::Path(p)) => format!("{p}()"),
+        };
+        out.push_str(&format!(
+            "let __f{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::std::option::Option::Some(__v) => __v,\n\
+             ::std::option::Option::None => {missing},\n\
+             }};\n"
+        ));
+    }
+    out
+}
+
+/// Generates the map-mode body: option lets, key-match loop, unwraps.
+fn gen_map_body(fields: &[Field], fields_const: &str) -> String {
+    let mut opts = String::new();
+    let mut arms = String::new();
+    let mut unwraps = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        opts.push_str(&format!("let mut __f{i} = ::std::option::Option::None;\n"));
+        arms.push_str(&format!(
+            "::std::option::Option::Some({i}usize) => {{\n\
+             if __f{i}.is_some() {{ return ::std::result::Result::Err(::serde::de::Error::duplicate_field({:?})); }}\n\
+             __f{i} = ::std::option::Option::Some(::serde::de::MapAccess::next_value(&mut __map)?);\n\
+             }},\n",
+            f.ser_name
+        ));
+        let missing = match &f.default {
+            None => format!(
+                "return ::std::result::Result::Err(::serde::de::Error::missing_field({:?}))",
+                f.ser_name
+            ),
+            Some(DefaultAttr::Std) => "::std::default::Default::default()".to_string(),
+            Some(DefaultAttr::Path(p)) => format!("{p}()"),
+        };
+        unwraps.push_str(&format!(
+            "let __f{i} = match __f{i} {{\n\
+             ::std::option::Option::Some(__v) => __v,\n\
+             ::std::option::Option::None => {missing},\n\
+             }};\n"
+        ));
+    }
+    let body = format!(
+        "{opts}\
+         while let ::std::option::Option::Some(__k) = ::serde::de::MapAccess::next_key_seed(&mut __map, ::serde::__private::FieldIdSeed {{ names: {fields_const} }})? {{\n\
+         match __k {{\n\
+         {arms}\
+         _ => {{ let __ig: ::serde::de::IgnoredAny = ::serde::de::MapAccess::next_value(&mut __map)?; let _ = __ig; }}\n\
+         }}\n\
+         }}\n\
+         {unwraps}"
+    );
+    body
+}
+
+fn field_inits(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| format!("{}: __f{i}", f.name))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// A full `struct __V; impl Visitor` block decoding `constructor { fields }`
+/// from either a sequence or a map.
+fn gen_struct_visitor(
+    visitor: &str,
+    value_ty: &str,
+    constructor: &str,
+    fields: &[Field],
+    fields_const: &str,
+    expect: &str,
+) -> String {
+    let seq_lets = gen_seq_lets(fields, expect);
+    let map_body = gen_map_body(fields, fields_const);
+    let inits = field_inits(fields);
+    format!(
+        "struct {visitor};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor} {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                 __f.write_str({expect:?})\n\
+             }}\n\
+             #[allow(unused_mut, unused_variables)]\n\
+             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 {seq_lets}\
+                 ::std::result::Result::Ok({constructor} {{ {inits} }})\n\
+             }}\n\
+             #[allow(unused_mut, unused_variables)]\n\
+             fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 {map_body}\
+                 ::std::result::Result::Ok({constructor} {{ {inits} }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn fields_const_decl(const_name: &str, fields: &[Field]) -> String {
+    let names: Vec<String> = fields.iter().map(|f| format!("{:?}", f.ser_name)).collect();
+    format!(
+        "const {const_name}: &'static [&'static str] = &[{}];\n",
+        names.join(", ")
+    )
+}
+
+fn gen_deserialize(c: &Container) -> Result<String, String> {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::NamedStruct(fields) => {
+            let consts = fields_const_decl("__FIELDS", fields);
+            let visitor = gen_struct_visitor(
+                "__Visitor",
+                name,
+                name,
+                fields,
+                "__FIELDS",
+                &format!("struct {name}"),
+            );
+            format!(
+                "{consts}{visitor}\
+                 ::serde::de::Deserializer::deserialize_struct(__deserializer, {name:?}, __FIELDS, __Visitor)\n"
+            )
+        }
+        Kind::TupleStruct(1) => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                     __f.write_str({:?})\n\
+                 }}\n\
+                 fn visit_newtype_struct<__D2: ::serde::de::Deserializer<'de>>(self, __d: __D2) -> ::std::result::Result<Self::Value, __D2::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__d)?))\n\
+                 }}\n\
+                 #[allow(unused_mut)]\n\
+                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                     match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                         ::std::option::Option::Some(__v) => ::std::result::Result::Ok({name}(__v)),\n\
+                         ::std::option::Option::None => ::std::result::Result::Err(::serde::de::Error::invalid_length(0usize, {:?})),\n\
+                     }}\n\
+                 }}\n\
+             }}\n\
+             ::serde::de::Deserializer::deserialize_newtype_struct(__deserializer, {name:?}, __Visitor)\n",
+            format!("tuple struct {name}"),
+            format!("tuple struct {name}"),
+        ),
+        Kind::TupleStruct(n) => {
+            let expect = format!("tuple struct {name}");
+            let mut lets = String::new();
+            for i in 0..*n {
+                lets.push_str(&format!(
+                    "let __f{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                     ::std::option::Option::Some(__v) => __v,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(::serde::de::Error::invalid_length({i}usize, {expect:?})),\n\
+                     }};\n"
+                ));
+            }
+            let inits: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                         __f.write_str({expect:?})\n\
+                     }}\n\
+                     #[allow(unused_mut)]\n\
+                     fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                         {lets}\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_tuple_struct(__deserializer, {name:?}, {n}, __Visitor)\n",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                     __f.write_str({:?})\n\
+                 }}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self) -> ::std::result::Result<Self::Value, __E> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}\n\
+             ::serde::de::Deserializer::deserialize_unit_struct(__deserializer, {name:?}, __Visitor)\n",
+            format!("unit struct {name}"),
+        ),
+        Kind::Enum(variants) => match &c.tag {
+            None => gen_deserialize_enum_external(name, variants),
+            Some(tag) => gen_deserialize_enum_tagged(name, tag, variants)?,
+        },
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) -> ::std::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    ))
+}
+
+fn gen_deserialize_enum_external(name: &str, variants: &[Variant]) -> String {
+    let vnames: Vec<String> = variants.iter().map(|v| format!("{:?}", v.ser_name)).collect();
+    let consts = format!(
+        "const __VARIANTS: &'static [&'static str] = &[{}];\n",
+        vnames.join(", ")
+    );
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        let arm_body = match &v.payload {
+            Payload::Unit => format!(
+                "{{ ::serde::de::VariantAccess::unit_variant(__variant)?; ::std::result::Result::Ok({name}::{vname}) }}"
+            ),
+            Payload::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}::{vname}(::serde::de::VariantAccess::newtype_variant(__variant)?))"
+            ),
+            Payload::Tuple(n) => {
+                let expect = format!("tuple variant {name}::{vname}");
+                let mut lets = String::new();
+                for i in 0..*n {
+                    lets.push_str(&format!(
+                        "let __f{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                         ::std::option::Option::Some(__v) => __v,\n\
+                         ::std::option::Option::None => return ::std::result::Result::Err(::serde::de::Error::invalid_length({i}usize, {expect:?})),\n\
+                         }};\n"
+                    ));
+                }
+                let inits: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                format!(
+                    "{{\n\
+                     struct __TV{idx};\n\
+                     impl<'de> ::serde::de::Visitor<'de> for __TV{idx} {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                             __f.write_str({expect:?})\n\
+                         }}\n\
+                         #[allow(unused_mut)]\n\
+                         fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                             {lets}\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                         }}\n\
+                     }}\n\
+                     ::serde::de::VariantAccess::tuple_variant(__variant, {n}, __TV{idx})\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Payload::Struct(fields) => {
+                let const_name = format!("__VF{idx}");
+                let consts = fields_const_decl(&const_name, fields);
+                let visitor = gen_struct_visitor(
+                    &format!("__SV{idx}"),
+                    name,
+                    &format!("{name}::{vname}"),
+                    fields,
+                    &const_name,
+                    &format!("struct variant {name}::{vname}"),
+                );
+                format!(
+                    "{{\n{consts}{visitor}\
+                     ::serde::de::VariantAccess::struct_variant(__variant, {const_name}, __SV{idx})\n\
+                     }}"
+                )
+            }
+        };
+        arms.push_str(&format!("{idx}usize => {arm_body},\n"));
+    }
+    format!(
+        "{consts}\
+         struct __Visitor;\n\
+         impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                 __f.write_str({:?})\n\
+             }}\n\
+             fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__idx, __variant) = ::serde::de::EnumAccess::variant_seed(__data, ::serde::__private::VariantIdSeed {{ names: __VARIANTS }})?;\n\
+                 match __idx {{\n\
+                 {arms}\
+                 _ => ::std::unreachable!(),\n\
+                 }}\n\
+             }}\n\
+         }}\n\
+         ::serde::de::Deserializer::deserialize_enum(__deserializer, {name:?}, __VARIANTS, __Visitor)\n",
+        format!("enum {name}"),
+    )
+}
+
+fn gen_deserialize_enum_tagged(
+    name: &str,
+    tag: &str,
+    variants: &[Variant],
+) -> Result<String, String> {
+    let vnames: Vec<String> = variants.iter().map(|v| format!("{:?}", v.ser_name)).collect();
+    let consts = format!(
+        "const __VARIANTS: &'static [&'static str] = &[{}];\n",
+        vnames.join(", ")
+    );
+    let mut arms = String::new();
+    for v in variants {
+        let (vname, sname) = (&v.name, &v.ser_name);
+        let arm_body = match &v.payload {
+            Payload::Unit => format!("::std::result::Result::Ok({name}::{vname})"),
+            Payload::Struct(fields) => {
+                let mut lets = String::new();
+                for (i, f) in fields.iter().enumerate() {
+                    let missing = match &f.default {
+                        None => format!(
+                            "return ::std::result::Result::Err(::serde::de::Error::missing_field({:?}))",
+                            f.ser_name
+                        ),
+                        Some(DefaultAttr::Std) => "::std::default::Default::default()".to_string(),
+                        Some(DefaultAttr::Path(p)) => format!("{p}()"),
+                    };
+                    lets.push_str(&format!(
+                        "let __f{i} = match ::serde::__private::take_content_entry(&mut __entries, {:?}) {{\n\
+                         ::std::option::Option::Some(__v) => ::serde::de::Deserialize::deserialize(::serde::__private::ContentDeserializer::<__D::Error>::new(__v))?,\n\
+                         ::std::option::Option::None => {missing},\n\
+                         }};\n",
+                        f.ser_name
+                    ));
+                }
+                let inits = field_inits(fields);
+                format!(
+                    "{{\n{lets}\
+                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                     }}"
+                )
+            }
+            Payload::Tuple(_) => {
+                return Err(format!(
+                    "serde shim derive: tuple variant `{vname}` not supported in internally tagged enum"
+                ))
+            }
+        };
+        arms.push_str(&format!("{sname:?} => {arm_body},\n"));
+    }
+    Ok(format!(
+        "{consts}\
+         let __content = <::serde::__private::Content as ::serde::de::Deserialize>::deserialize(__deserializer)?;\n\
+         let mut __entries = match __content {{\n\
+             ::serde::__private::Content::Map(__m) => __m,\n\
+             _ => return ::std::result::Result::Err(::serde::de::Error::custom({:?})),\n\
+         }};\n\
+         let __tag = match ::serde::__private::take_content_entry(&mut __entries, {tag:?}) {{\n\
+             ::std::option::Option::Some(::serde::__private::Content::Str(__s)) => __s,\n\
+             _ => return ::std::result::Result::Err(::serde::de::Error::missing_field({tag:?})),\n\
+         }};\n\
+         match __tag.as_str() {{\n\
+         {arms}\
+         __other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(__other, __VARIANTS)),\n\
+         }}\n",
+        format!("expected a map for internally tagged enum {name}"),
+    ))
+}

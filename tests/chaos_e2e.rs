@@ -1,0 +1,385 @@
+//! Chaos tests: whole-system flows under injected faults.
+//!
+//! Every scenario runs against a [`hpcsim::FaultPlan`] attached to the
+//! cluster, so the chaos is deterministic: the plan's seed fully decides
+//! which messages are dropped, delayed, duplicated, or reordered. The
+//! seed is pinned through `COLZA_CHAOS_SEED` (default 42) so a failing
+//! run can be reproduced exactly.
+//!
+//! Loss is scoped to the RPC tag plane (requests and responses): the RPC
+//! layer owns retry and duplicate suppression, while MoNA/MPI collectives
+//! model a reliable transport underneath (they have no retry layer and an
+//! unscoped drop would wedge a reduction forever).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use colza::daemon::{launch_group, settle_views};
+use colza::{AdminClient, BlockMeta, ColzaClient, ColzaDaemon, DaemonConfig};
+use hpcsim::FaultPlan;
+use margo::{MargoInstance, RetryConfig};
+use na::Fabric;
+
+/// The pinned chaos seed (override with `COLZA_CHAOS_SEED`).
+fn chaos_seed() -> u64 {
+    std::env::var("COLZA_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A plan scoped to the retryable RPC plane (requests + responses).
+fn rpc_scoped(plan: FaultPlan) -> FaultPlan {
+    plan.scope_tags(na::tags::RPC_BASE, na::tags::MONA_BASE - 1)
+}
+
+fn env(name: &str, plan: FaultPlan) -> (hpcsim::Cluster, Fabric, DaemonConfig) {
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig {
+        faults: plan,
+        ..hpcsim::ClusterConfig::aries()
+    });
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let conn = std::env::temp_dir().join(format!(
+        "colza-chaos-{name}-{}.addrs",
+        std::process::id()
+    ));
+    std::fs::remove_file(&conn).ok();
+    (cluster, fabric, DaemonConfig::new(conn))
+}
+
+/// A provider crashes in the middle of the activate 2PC. The prepare
+/// round fails fast on the dead endpoint, the coordinator aborts, and the
+/// client's retry loop adopts the survivor view once SWIM notices.
+#[test]
+fn activate_recovers_when_a_provider_crashes_mid_2pc() {
+    let (cluster, fabric, cfg) = env("crash2pc", FaultPlan::default());
+    let mut daemons = launch_group(&cluster, &fabric, 3, 1, 0, &cfg);
+    let contact = daemons[0].address();
+    let victim = daemons.remove(2);
+    let victim_addr = victim.address();
+
+    let f2 = fabric.clone();
+    let (killed_tx, killed_rx) = crossbeam::channel::bounded::<()>(1);
+    let (ready_tx, ready_rx) = crossbeam::channel::bounded::<()>(1);
+    let sim = cluster.spawn("sim", 8, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+        let view = client.view_from(contact).unwrap();
+        assert_eq!(view.len(), 3);
+        admin.create_pipeline_on_all(&view, "null", "p", "").unwrap();
+        let handle = client.distributed_handle(contact, "p").unwrap();
+        handle.activate(0).unwrap();
+        handle.execute(0).unwrap();
+        handle.deactivate(0).unwrap();
+
+        // The harness crashes a provider *now*; the next activate walks
+        // straight into the dead member mid-prepare.
+        ready_tx.send(()).unwrap();
+        killed_rx.recv().unwrap();
+        let mut members = 0;
+        let mut done = false;
+        for _ in 0..600 {
+            match handle.activate(1) {
+                Ok(()) => {
+                    members = handle.members().len();
+                    done = true;
+                    break;
+                }
+                Err(e) if e.is_retryable() => {
+                    // Abort-and-retry: refresh to whatever view the
+                    // survivors have converged on by now.
+                    let _ = handle.refresh_view();
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => panic!("non-retryable activate failure: {e}"),
+            }
+        }
+        assert!(done, "activate never recovered from the crash");
+        handle.execute(1).unwrap();
+        handle.deactivate(1).unwrap();
+        margo.finalize();
+        members
+    });
+
+    ready_rx.recv().unwrap();
+    victim.kill();
+    killed_tx.send(()).unwrap();
+    // Drive gossip so suspicion matures while the client keeps retrying.
+    for _ in 0..400 {
+        for d in &daemons {
+            d.tick();
+        }
+        if daemons.iter().all(|d| !d.view().contains(&victim_addr)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let members = sim.join();
+    assert_eq!(members, 2, "2PC must complete on the survivor view");
+    for d in daemons {
+        d.stop();
+    }
+}
+
+/// A full stage/execute pipeline runs to completion through 1% message
+/// loss (plus a little duplication) on the RPC plane.
+#[test]
+fn stage_and_execute_complete_through_one_percent_loss() {
+    let plan = rpc_scoped(
+        FaultPlan::seeded(chaos_seed())
+            .with_loss(0.01)
+            .with_duplication(0.002),
+    );
+    let (cluster, fabric, cfg) = env("loss", plan);
+    let daemons = launch_group(&cluster, &fabric, 2, 1, 0, &cfg);
+    let contact = daemons[0].address();
+    let script = catalyst::PipelineScript::mandelbulb(48, 48).to_json();
+
+    let f2 = fabric.clone();
+    let coverage = cluster
+        .spawn("sim", 8, move || {
+            let margo = MargoInstance::init(&f2);
+            let client = ColzaClient::new(Arc::clone(&margo));
+            let admin = AdminClient::new(Arc::clone(&margo));
+            let view = client.view_from(contact).unwrap();
+            admin
+                .create_pipeline_on_all(&view, "catalyst", "m", &script)
+                .unwrap();
+            let handle = client.distributed_handle(contact, "m").unwrap();
+            let bulb = sims::mandelbulb::Mandelbulb {
+                dims: [12, 12, 12],
+                ..Default::default()
+            };
+            let mut cov = -1.0;
+            for iteration in 0..3u64 {
+                handle.activate(iteration).unwrap();
+                for b in 0..2u64 {
+                    let payload =
+                        colza::codec::dataset_to_bytes(&bulb.generate_block(b as usize, 2));
+                    handle
+                        .stage(
+                            BlockMeta {
+                                name: "m".into(),
+                                block_id: b,
+                                iteration,
+                                size: payload.len(),
+                            },
+                            &payload,
+                        )
+                        .unwrap();
+                }
+                handle.execute(iteration).unwrap();
+                let img = handle.fetch_result().unwrap().expect("image");
+                cov = vizkit::Image::from_bytes(&img).coverage();
+                handle.deactivate(iteration).unwrap();
+            }
+            margo.finalize();
+            cov
+        })
+        .join();
+    assert!(
+        cluster.shared().faults().fault_count() > 0,
+        "the plan injected nothing — the scenario tested a clean wire"
+    );
+    assert!(coverage > 0.0, "final image empty under loss: {coverage}");
+    for d in daemons {
+        d.stop();
+    }
+}
+
+/// A network partition opens while the staging area is growing: the
+/// joiner's first contact sits on the wrong side of the cut, so its join
+/// retries fail over to a reachable member. After the partition heals,
+/// all four daemons converge on one view and the protocol completes.
+#[test]
+fn elastic_grow_survives_a_partition_that_later_heals() {
+    let (cluster, fabric, mut cfg) = env("partition", FaultPlan::default());
+    // Long suspicion budget: nobody may be declared dead (permanently in
+    // this SWIM variant) over a partition we intend to heal; short probe
+    // timeouts keep the partitioned rounds quick.
+    cfg.ssg.swim.suspect_rounds = 500;
+    cfg.ssg.ping_timeout = Duration::from_millis(50);
+    cfg.rpc_timeout = Duration::from_millis(100);
+    let mut daemons = launch_group(&cluster, &fabric, 3, 1, 0, &cfg);
+    let contact0 = daemons[0].address();
+
+    // Cut node 0 (the first daemon — and the joiner's first contact) off
+    // from everyone else, then grow.
+    cluster.shared().faults().partition_now(&[0], &[1, 2, 3]);
+    let newcomer = ColzaDaemon::spawn(&cluster, &fabric, 3, cfg.clone());
+    daemons.push(newcomer);
+
+    // A few probe rounds inside the partition: failures surface as
+    // suspicion, never as death.
+    for _ in 0..3 {
+        for d in &daemons {
+            d.tick();
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    cluster.shared().faults().heal_partitions();
+    settle_views(&daemons, 4);
+
+    let f2 = fabric.clone();
+    let members = cluster
+        .spawn("sim", 8, move || {
+            let margo = MargoInstance::init(&f2);
+            let client = ColzaClient::new(Arc::clone(&margo));
+            let admin = AdminClient::new(Arc::clone(&margo));
+            let view = client.view_from(contact0).unwrap();
+            admin.create_pipeline_on_all(&view, "null", "p", "").unwrap();
+            let handle = client.distributed_handle(contact0, "p").unwrap();
+            handle.activate(0).unwrap();
+            let n = handle.members().len();
+            handle.execute(0).unwrap();
+            handle.deactivate(0).unwrap();
+            margo.finalize();
+            n
+        })
+        .join();
+    assert_eq!(members, 4, "healed group must serve with all four members");
+    for d in daemons {
+        d.stop();
+    }
+}
+
+/// One deterministic run of a sequential RPC workload under loss, delay,
+/// and reorder. Returns the injector's fault trace and the client's final
+/// virtual time.
+///
+/// Duplication is deliberately absent: whether a duplicate is answered
+/// from the reply cache or dropped as in-flight depends on a real-time
+/// race in the handler, which perturbs virtual clocks. Everything else is
+/// decided by per-link counters and the plan seed alone.
+fn deterministic_run(seed: u64) -> (Vec<hpcsim::FaultRecord>, u64) {
+    let plan = rpc_scoped(
+        FaultPlan::seeded(seed)
+            .with_loss(0.05)
+            .with_delay(0.2, 10_000, 50_000)
+            .with_reorder(0.1),
+    );
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig {
+        faults: plan,
+        ..hpcsim::ClusterConfig::aries()
+    });
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+
+    let (addr_tx, addr_rx) = crossbeam::channel::bounded(1);
+    let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+    let f2 = fabric.clone();
+    let server = cluster.spawn("server", 1, move || {
+        let margo = MargoInstance::init(&f2);
+        margo.register("echo", |x: u64, _ctx: &margo::CallCtx| Ok(x.wrapping_mul(3)));
+        addr_tx.send(margo.address()).unwrap();
+        stop_rx.recv().ok();
+        margo.finalize();
+    });
+    let dst = addr_rx.recv().unwrap();
+
+    let f3 = fabric.clone();
+    let final_time = cluster
+        .spawn("client", 0, move || {
+            let margo = MargoInstance::init(&f3);
+            // Generous per-try timeout: only injected drops may trigger a
+            // retry, never host scheduling jitter.
+            let cfg = RetryConfig {
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(4),
+                per_try_timeout: Duration::from_millis(200),
+                deadline: Some(Duration::from_secs(60)),
+                ..Default::default()
+            };
+            for i in 0..30u64 {
+                let r: u64 = margo.forward_retry(dst, "echo", &i, &cfg).unwrap();
+                assert_eq!(r, i.wrapping_mul(3));
+            }
+            let now = hpcsim::current().now();
+            margo.finalize();
+            now
+        })
+        .join();
+    stop_tx.send(()).unwrap();
+    server.join();
+    (cluster.shared().faults().trace(), final_time)
+}
+
+/// The acceptance property of the fault plan: the same seed reproduces
+/// the exact fault trace *and* the exact virtual-time outcome across two
+/// fresh clusters; a different seed produces a different trace.
+#[test]
+fn same_seed_reproduces_the_exact_virtual_time_trace() {
+    let seed = chaos_seed();
+    let (trace_a, time_a) = deterministic_run(seed);
+    let (trace_b, time_b) = deterministic_run(seed);
+    assert!(!trace_a.is_empty(), "plan injected nothing at 5% loss");
+    assert_eq!(trace_a, trace_b, "fault traces diverged for one seed");
+    assert_eq!(time_a, time_b, "virtual end times diverged for one seed");
+
+    let (trace_c, _) = deterministic_run(seed.wrapping_add(1));
+    assert_ne!(trace_a, trace_c, "distinct seeds produced identical chaos");
+}
+
+/// The original end-to-end failure scenario, now with 1% message loss on
+/// top of the crash: SWIM still detects the kill and the protocol still
+/// recovers on the survivors.
+#[test]
+fn killed_server_is_detected_under_one_percent_loss() {
+    let plan = rpc_scoped(FaultPlan::seeded(chaos_seed()).with_loss(0.01));
+    let (cluster, fabric, cfg) = env("killloss", plan);
+    let mut daemons = launch_group(&cluster, &fabric, 3, 1, 0, &cfg);
+    let contact = daemons[0].address();
+    let victim = daemons.remove(2);
+    let victim_addr = victim.address();
+
+    let f2 = fabric.clone();
+    let (killed_tx, killed_rx) = crossbeam::channel::bounded::<()>(1);
+    let (ready_tx, ready_rx) = crossbeam::channel::bounded::<()>(1);
+    let sim = cluster.spawn("sim", 8, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+        let view = client.view_from(contact).unwrap();
+        assert_eq!(view.len(), 3);
+        admin.create_pipeline_on_all(&view, "null", "p", "").unwrap();
+        let handle = client.distributed_handle(contact, "p").unwrap();
+        handle.activate(0).unwrap();
+        handle.execute(0).unwrap();
+        handle.deactivate(0).unwrap();
+
+        ready_tx.send(()).unwrap();
+        killed_rx.recv().unwrap();
+        for _ in 0..600 {
+            if client.view_from(contact).map(|v| !v.contains(&victim_addr)) == Ok(true) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.refresh_view().unwrap();
+        handle.activate(1).unwrap();
+        let n = handle.members().len();
+        handle.execute(1).unwrap();
+        handle.deactivate(1).unwrap();
+        margo.finalize();
+        n
+    });
+
+    ready_rx.recv().unwrap();
+    victim.kill();
+    for _ in 0..400 {
+        for d in &daemons {
+            d.tick();
+        }
+        if daemons.iter().all(|d| !d.view().contains(&victim_addr)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    killed_tx.send(()).unwrap();
+    let n = sim.join();
+    assert_eq!(n, 2, "protocol must continue on the survivors despite loss");
+    for d in daemons {
+        d.stop();
+    }
+}
