@@ -4,15 +4,17 @@
 //! paper's NA column stops at 2 KiB because NA alone has no
 //! large-message protocol).
 //!
-//! Run: `cargo run --release -p colza-bench --bin table1_p2p [--ops 1000]`
+//! Run: `cargo run --release -p colza-bench --bin table1_p2p [--ops 1000]
+//!       [--trace results/BENCH_trace.json]`
 
 use std::sync::Arc;
 
-use colza_bench::{table, Args};
+use colza_bench::{table, Args, TraceOut};
 use na::Fabric;
 
 fn main() {
     let args = Args::parse();
+    let trace = TraceOut::from_args(&args);
     let ops: usize = args.get("ops", 1000);
     let sizes: &[(usize, &str)] = &[
         (8, "8 bytes"),
@@ -64,6 +66,37 @@ fn main() {
     println!("  - Cray-mpich fastest at every size");
     println!("  - OpenMPI collapses at >= 16 KiB (rendezvous cliff); MoNA overtakes it there");
     println!("  - raw NA slower than MoNA at small sizes (no request/buffer pooling)");
+
+    // One extra traced capture run — the measured rows above are always
+    // dark, so exporting a timeline cannot perturb the table.
+    if trace.wanted() {
+        export_timeline(&trace, 2 * 1024, ops.min(100));
+    }
+}
+
+/// A traced MoNA ping-pong capture exported as a Perfetto timeline.
+fn export_timeline(trace: &TraceOut, size: usize, ops: usize) {
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    trace.arm(&cluster);
+    mona::testing::run_ranks(
+        &cluster,
+        2,
+        1,
+        mona::MonaConfig::default(),
+        move |comm| {
+            let data = vec![0u8; size];
+            for _ in 0..ops {
+                if comm.rank() == 0 {
+                    comm.send(&data, 1, 0).unwrap();
+                    comm.recv(1, 1).unwrap();
+                } else {
+                    comm.recv(0, 0).unwrap();
+                    comm.send(&data, 0, 1).unwrap();
+                }
+            }
+        },
+    );
+    trace.export(&cluster);
 }
 
 /// Virtual ns for `ops` ping-pong pairs under a minimpi profile.

@@ -6,15 +6,17 @@
 //! `--procs`/`--ops` flags rescale. Virtual times are scale-faithful.
 //!
 //! Run: `cargo run --release -p colza-bench --bin table2_reduce
-//!       [--procs 64] [--ops 200] [--per-node 16]`
+//!       [--procs 64] [--ops 200] [--per-node 16]
+//!       [--trace results/BENCH_trace_reduce.json]`
 
 use std::sync::Arc;
 
-use colza_bench::{table, Args};
+use colza_bench::{table, Args, TraceOut};
 use na::Fabric;
 
 fn main() {
     let args = Args::parse();
+    let trace = TraceOut::from_args(&args);
     let procs: usize = args.get("procs", 64);
     let ops: usize = args.get("ops", 200);
     let per_node: usize = args.get("per-node", 16);
@@ -55,6 +57,32 @@ fn main() {
     println!("  - OpenMPI collapses by orders of magnitude at >= 16 KiB");
     println!("    (rendezvous penalty x linear-reduce fallback)");
     println!("  - MoNA stays within a small factor of Cray-mpich");
+
+    // Separate traced capture run so the table rows stay dark.
+    if trace.wanted() {
+        export_timeline(&trace, procs.min(16), per_node, 2 * 1024, ops.min(20));
+    }
+}
+
+/// A traced MoNA reduce capture exported as a Perfetto timeline.
+fn export_timeline(trace: &TraceOut, procs: usize, per_node: usize, size: usize, ops: usize) {
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    trace.arm(&cluster);
+    mona::testing::run_ranks(
+        &cluster,
+        procs,
+        per_node,
+        mona::MonaConfig::default(),
+        move |comm| {
+            let data = vec![(comm.rank() % 251) as u8; size];
+            comm.barrier().unwrap();
+            for _ in 0..ops {
+                comm.reduce(&data, &mona::ops::bxor_u8, 0).unwrap();
+            }
+            comm.barrier().unwrap();
+        },
+    );
+    trace.export(&cluster);
 }
 
 fn mpi_reduce(

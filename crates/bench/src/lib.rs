@@ -14,6 +14,8 @@
 pub mod args;
 pub mod experiment;
 pub mod table;
+pub mod trace_out;
 
 pub use args::Args;
 pub use experiment::{run_pipeline_experiment, IterationTimes, PipelineExperiment};
+pub use trace_out::TraceOut;

@@ -1,0 +1,55 @@
+//! Timeline export for harness binaries (`--trace <path>`).
+//!
+//! Every harness that opts in takes a `--trace results/BENCH_trace.json`
+//! argument and, after its measured (untraced) runs, performs one extra
+//! traced capture run and writes the cluster's Chrome-trace timeline to
+//! the given path (open it at <https://ui.perfetto.dev>). Keeping the
+//! capture separate from the measured runs means the published numbers
+//! are always from dark runs — tracing can never perturb a result row.
+
+use crate::Args;
+
+/// Where (and whether) a harness should export a timeline.
+pub struct TraceOut {
+    path: Option<String>,
+}
+
+impl TraceOut {
+    /// Reads the `--trace <path>` argument; absent means no export.
+    pub fn from_args(args: &Args) -> Self {
+        let p = args.get_str("trace", "");
+        Self {
+            path: (!p.is_empty()).then_some(p),
+        }
+    }
+
+    /// Whether a capture run should happen at all.
+    pub fn wanted(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Enables recording on a capture cluster.
+    pub fn arm(&self, cluster: &hpcsim::Cluster) {
+        if self.wanted() {
+            cluster.shared().tracer().set_enabled(true);
+        }
+    }
+
+    /// Writes the cluster's timeline as Chrome-trace JSON, plus the
+    /// counter/histogram dump as JSONL next to it (`<path>.metrics.jsonl`).
+    pub fn export(&self, cluster: &hpcsim::Cluster) {
+        let Some(path) = &self.path else { return };
+        let snap = cluster.shared().trace_snapshot();
+        match std::fs::write(path, snap.to_chrome_json()) {
+            Ok(()) => println!(
+                "trace: wrote {} spans to {path} (open at https://ui.perfetto.dev)",
+                snap.spans.len()
+            ),
+            Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+        }
+        let metrics_path = format!("{path}.metrics.jsonl");
+        if let Err(e) = std::fs::write(&metrics_path, snap.to_metrics_jsonl()) {
+            eprintln!("trace: failed to write {metrics_path}: {e}");
+        }
+    }
+}

@@ -8,7 +8,7 @@ use margo::MargoInstance;
 use na::Address;
 
 use crate::error::Result;
-use crate::protocol::{CreatePipelineArgs, DestroyPipelineArgs};
+use crate::protocol::{CreatePipelineArgs, DestroyPipelineArgs, MetricsReport};
 
 /// Administrative client for a Colza deployment.
 pub struct AdminClient {
@@ -79,5 +79,12 @@ impl AdminClient {
     /// scale-down trigger, §II-F).
     pub fn request_leave(&self, server: Address) -> Result<()> {
         Ok(self.margo.forward(server, "colza.admin.leave", &())?)
+    }
+
+    /// Scrapes one server's trace counters (its per-RPC, per-plane and
+    /// membership statistics). With tracing disabled on the server the
+    /// report comes back with `enabled: false` and no counters.
+    pub fn metrics(&self, server: Address) -> Result<MetricsReport> {
+        Ok(self.margo.forward(server, "colza.admin.metrics", &())?)
     }
 }

@@ -92,6 +92,12 @@ impl AutoScaler {
     /// be passed with `had_join = true`; their spike is excluded from the
     /// smoothed signal, as the paper excludes them when reading Fig. 10.
     pub fn observe(&mut self, execute_ns: u64, servers: usize, had_join: bool) -> ScaleDecision {
+        let decision = self.observe_inner(execute_ns, servers, had_join);
+        Self::count_decision(&decision);
+        decision
+    }
+
+    fn observe_inner(&mut self, execute_ns: u64, servers: usize, had_join: bool) -> ScaleDecision {
         if !had_join {
             let s = self.smoothed_ns.unwrap_or(execute_ns as f64);
             self.smoothed_ns =
@@ -137,7 +143,19 @@ impl AutoScaler {
         if !retryable {
             self.smoothed_ns = None;
         }
-        ScaleDecision::Hold
+        let decision = ScaleDecision::Hold;
+        Self::count_decision(&decision);
+        decision
+    }
+
+    /// Counts the decision in the trace (no-op outside a traced process).
+    fn count_decision(decision: &ScaleDecision) {
+        let name = match decision {
+            ScaleDecision::Hold => "autoscale.hold",
+            ScaleDecision::Grow(_) => "autoscale.grow",
+            ScaleDecision::Shrink(_) => "autoscale.shrink",
+        };
+        hpcsim::trace::counter_add(name, 1);
     }
 }
 

@@ -116,6 +116,11 @@ impl PipelineHandle {
     /// one-server handle has a trivially consistent view, but membership
     /// is still frozen for the iteration).
     pub fn activate(&self, iteration: u64) -> Result<()> {
+        let mut sp = hpcsim::trace::span("colza", "colza.activate");
+        if sp.active() {
+            sp.arg("iteration", iteration);
+            sp.arg("servers", 1);
+        }
         let cfg = control_retry();
         let _: PrepareActivateReply = self.client.margo.forward_retry(
             self.server,
@@ -209,7 +214,11 @@ impl DistributedPipelineHandle {
     /// until [`DistributedPipelineHandle::deactivate`].
     pub fn activate(&self, iteration: u64) -> Result<()> {
         const MAX_ATTEMPTS: usize = 16;
-        for _attempt in 0..MAX_ATTEMPTS {
+        let mut sp = hpcsim::trace::span("colza", "colza.activate");
+        if sp.active() {
+            sp.arg("iteration", iteration);
+        }
+        for attempt in 0..MAX_ATTEMPTS {
             let members = self.members.lock().clone();
             if members.is_empty() {
                 return Err(ColzaError::EmptyGroup);
@@ -219,12 +228,23 @@ impl DistributedPipelineHandle {
                 pipeline: self.pipeline.clone(),
                 iteration,
             };
-            let votes = self.broadcast::<_, PrepareActivateReply>(
-                &members,
-                "colza.prepare_activate",
-                &args,
-                &control_retry(),
-            );
+            let votes = {
+                let mut psp = hpcsim::trace::span("colza", "colza.2pc.prepare");
+                if psp.active() {
+                    psp.arg("servers", members.len());
+                }
+                let t0 = hpcsim::process::try_current().map(|c| c.now());
+                let votes = self.broadcast::<_, PrepareActivateReply>(
+                    &members,
+                    "colza.prepare_activate",
+                    &args,
+                    &control_retry(),
+                );
+                if let (Some(t0), Some(c)) = (t0, hpcsim::process::try_current()) {
+                    hpcsim::trace::record_duration("colza.2pc.vote", c.now() - t0);
+                }
+                votes
+            };
             let mut ok_votes = Vec::new();
             let mut failed = false;
             for v in votes {
@@ -244,23 +264,35 @@ impl DistributedPipelineHandle {
                     iteration,
                     members: members.clone(),
                 };
-                let results = self.broadcast::<_, ()>(
-                    &members,
-                    "colza.commit_activate",
-                    &commit,
-                    &control_retry(),
-                );
+                let results = {
+                    let mut csp = hpcsim::trace::span("colza", "colza.2pc.commit");
+                    if csp.active() {
+                        csp.arg("servers", members.len());
+                    }
+                    self.broadcast::<_, ()>(
+                        &members,
+                        "colza.commit_activate",
+                        &commit,
+                        &control_retry(),
+                    )
+                };
                 if results.iter().all(|r| r.is_ok()) {
+                    if sp.active() {
+                        sp.arg("attempts", attempt + 1);
+                    }
                     return Ok(());
                 }
             }
             // Abort and refresh: adopt the freshest view any server holds.
+            hpcsim::trace::counter_add("colza.2pc.aborts", 1);
             let abort = AbortActivateArgs {
                 pipeline: self.pipeline.clone(),
                 iteration,
             };
-            let _ =
-                self.broadcast::<_, ()>(&members, "colza.abort_activate", &abort, &control_retry());
+            let _ = {
+                let _asp = hpcsim::trace::span("colza", "colza.2pc.abort");
+                self.broadcast::<_, ()>(&members, "colza.abort_activate", &abort, &control_retry())
+            };
             let mut fresh: Option<Vec<Address>> = None;
             for v in ok_votes {
                 fresh = Some(match fresh {
@@ -324,6 +356,11 @@ impl DistributedPipelineHandle {
     /// Runs the pipeline collectively on all servers for this iteration.
     pub fn execute(&self, iteration: u64) -> Result<()> {
         let members = self.members.lock().clone();
+        let mut sp = hpcsim::trace::span("colza", "colza.execute");
+        if sp.active() {
+            sp.arg("iteration", iteration);
+            sp.arg("servers", members.len());
+        }
         let args = ExecuteArgs {
             pipeline: self.pipeline.clone(),
             iteration,
@@ -354,6 +391,10 @@ impl DistributedPipelineHandle {
     /// Ends the iteration: staged data is released and membership thaws.
     pub fn deactivate(&self, iteration: u64) -> Result<()> {
         let members = self.members.lock().clone();
+        let mut sp = hpcsim::trace::span("colza", "colza.deactivate");
+        if sp.active() {
+            sp.arg("iteration", iteration);
+        }
         let args = DeactivateArgs {
             pipeline: self.pipeline.clone(),
             iteration,
@@ -483,6 +524,12 @@ fn stage_on(
     payload: &Bytes,
 ) -> Result<()> {
     debug_assert_eq!(meta.size, payload.len());
+    let mut sp = hpcsim::trace::span("colza", "colza.stage");
+    if sp.active() {
+        sp.arg("block", meta.block_id);
+        sp.arg("iteration", meta.iteration);
+        sp.arg("bytes", meta.size);
+    }
     let endpoint = margo.endpoint();
     let bulk = endpoint.expose(payload.clone());
     let args = StageArgs {

@@ -46,4 +46,4 @@ pub use backend::{Backend, BackendCtx, StagedBlock};
 pub use client::{ColzaClient, DistributedPipelineHandle, PipelineHandle, StagePolicy};
 pub use daemon::{ColzaDaemon, CommMode, DaemonConfig};
 pub use error::ColzaError;
-pub use protocol::BlockMeta;
+pub use protocol::{BlockMeta, MetricsReport};

@@ -82,3 +82,18 @@ pub(crate) struct DestroyPipelineArgs {
 pub(crate) struct FetchResultArgs {
     pub pipeline: String,
 }
+
+/// A scrape of one server's trace counters, served by the
+/// `colza.admin.metrics` RPC. Counter names follow the span taxonomy in
+/// DESIGN.md §9 (`rpc.*`, `na.*`, `ssg.*`, `colza.*`); values are
+/// cumulative since the tracer was enabled (or last cleared).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// The simulated process id of the reporting server.
+    pub pid: u64,
+    /// Whether tracing was enabled when scraped (all-zero counters are
+    /// expected when it was not).
+    pub enabled: bool,
+    /// Counter name → cumulative value, in sorted name order.
+    pub counters: Vec<(String, u64)>,
+}

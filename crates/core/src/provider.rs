@@ -109,6 +109,11 @@ impl ColzaProvider {
             let p = Arc::clone(&provider);
             margo.register("colza.stage", move |args: StageArgs, ctx| {
                 let entry = p.pipeline(&args.pipeline)?;
+                let mut sp = hpcsim::trace::span("colza", "colza.srv.stage");
+                if sp.active() {
+                    sp.arg("block", args.meta.block_id);
+                    sp.arg("bytes", args.meta.size);
+                }
                 // Pull the payload from the simulation's memory.
                 let data = ctx
                     .endpoint
@@ -131,6 +136,11 @@ impl ColzaProvider {
                     .cloned()
                     .ok_or_else(|| "execute before activate".to_string())?;
                 let ctrl = p.controller(&members, args.iteration)?;
+                let mut sp = hpcsim::trace::span("colza", "colza.srv.execute");
+                if sp.active() {
+                    sp.arg("iteration", args.iteration);
+                    sp.arg("servers", members.len());
+                }
                 entry.execute(args.iteration, &ctrl)
             });
         }
@@ -198,6 +208,20 @@ impl ColzaProvider {
                 let mut names: Vec<String> = p.pipelines.read().keys().cloned().collect();
                 names.sort();
                 Ok(names)
+            });
+        }
+        {
+            // Scrapes this server's trace counters (DESIGN.md §9). Always
+            // registered; with tracing disabled it reports empty counters.
+            margo.register("colza.admin.metrics", move |_: (), _ctx| {
+                let ctx = hpcsim::process::current();
+                let tracer = ctx.cluster().tracer();
+                let pid = ctx.pid().0;
+                Ok(MetricsReport {
+                    pid,
+                    enabled: tracer.is_enabled(),
+                    counters: tracer.counters_for(pid),
+                })
             });
         }
 

@@ -17,6 +17,7 @@ use crate::clock::VClock;
 use crate::fabric::FabricModel;
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::process::{enter, Pid, ProcessCtx};
+use crate::trace::Tracer;
 
 /// Identifier of a compute node.
 pub type NodeId = usize;
@@ -70,6 +71,7 @@ pub struct ClusterShared {
     seed: u64,
     compute_scale: f64,
     faults: FaultInjector,
+    tracer: Tracer,
     next_pid: AtomicU64,
     procs: RwLock<HashMap<Pid, ProcInfo>>,
 }
@@ -83,6 +85,23 @@ impl ClusterShared {
     /// The fault injector built from the configured [`FaultPlan`].
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
+    }
+
+    /// The trace collector (disabled until [`Tracer::set_enabled`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// A canonical snapshot of the trace, with process names attached for
+    /// timeline labels.
+    pub fn trace_snapshot(&self) -> crate::trace::TraceSnapshot {
+        let mut snap = self.tracer.snapshot();
+        snap.proc_names = self
+            .snapshot()
+            .into_iter()
+            .map(|(pid, _, name, _, _)| (pid.0, name))
+            .collect();
+        snap
     }
 
     /// The compute-time scale factor.
@@ -194,6 +213,7 @@ impl Cluster {
                 seed: cfg.seed,
                 compute_scale: cfg.compute_scale,
                 faults: FaultInjector::new(cfg.faults),
+                tracer: Tracer::new(),
                 next_pid: AtomicU64::new(0),
                 procs: RwLock::new(HashMap::new()),
             }),

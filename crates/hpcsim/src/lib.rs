@@ -23,6 +23,7 @@
 //! * [`cpu`] — per-thread CPU time measurement,
 //! * [`fabric`] — the link-delay model and calibrated presets,
 //! * [`fault`] — deterministic fault injection on the fabric,
+//! * [`trace`] — virtual-time spans/counters with timeline + metrics export,
 //! * [`stats`] — small summary-statistics helpers used by the harnesses.
 
 pub mod clock;
@@ -32,12 +33,14 @@ pub mod fabric;
 pub mod fault;
 pub mod process;
 pub mod stats;
+pub mod trace;
 
 pub use clock::VClock;
 pub use cluster::{Cluster, ClusterConfig, NodeId};
 pub use fabric::{FabricModel, LinkModel, Xfer};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRecord, LinkFaults, SendFault};
 pub use process::{current, with_current, Pid, ProcessCtx};
+pub use trace::{TraceSnapshot, Tracer};
 
 /// One second in virtual nanoseconds.
 pub const SEC: u64 = 1_000_000_000;

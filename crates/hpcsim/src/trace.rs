@@ -1,0 +1,826 @@
+//! Virtual-time observability: spans, counters, and latency histograms.
+//!
+//! Every record is stamped with **virtual** nanoseconds from the recording
+//! process's [`crate::clock::VClock`], never with wall time, so traces are
+//! as deterministic as the simulation itself: two runs with the same seed
+//! produce byte-identical exports (the same property the fault injector's
+//! canonical trace has). Recording never advances a clock — observing a
+//! run cannot change its virtual-time results.
+//!
+//! The recording half lives behind the crate's default-on `trace` feature.
+//! With the feature disabled every entry point below still exists with the
+//! same signature but compiles to nothing, so instrumented crates build
+//! unchanged under `--no-default-features` (checked by `scripts/check.sh`).
+//! With the feature on but the [`Tracer`] runtime-disabled (the default),
+//! each instrumentation point costs one thread-local read and one relaxed
+//! atomic load.
+//!
+//! Exports (DESIGN.md §9):
+//! * [`TraceSnapshot::to_chrome_json`] — a Chrome-trace / Perfetto JSON
+//!   timeline (open at <https://ui.perfetto.dev>);
+//! * [`TraceSnapshot::to_metrics_jsonl`] — a compact JSONL metrics dump
+//!   (one counter / histogram / span-aggregate object per line).
+
+use std::cmp::Reverse;
+
+/// Number of power-of-two latency buckets (bucket `k` holds durations in
+/// `[2^(k-1), 2^k)` ns; bucket 43 ≈ 2.4 virtual hours, plenty for any run).
+pub const HIST_BUCKETS: usize = 44;
+
+/// One completed span: a named interval of virtual time on one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Recording process.
+    pub pid: u64,
+    /// Category (crate-level taxonomy: `na`, `rpc`, `mona`, `ssg`, `colza`).
+    pub cat: &'static str,
+    /// Span name (e.g. `rpc:colza.stage`).
+    pub name: String,
+    /// Virtual start time.
+    pub start_ns: u64,
+    /// Virtual end time (`>= start_ns`; clocks are monotone).
+    pub end_ns: u64,
+    /// Nesting depth on the recording thread (0 = top level).
+    pub depth: u32,
+    /// Canonical export lane (Chrome `tid`); assigned by [`Tracer::snapshot`].
+    pub lane: u32,
+    /// Key/value annotations in recording order.
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// A monotonic counter total for one `(pid, name)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterRec {
+    /// Recording process.
+    pub pid: u64,
+    /// Counter name (e.g. `na.link.bytes.0->1`).
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// A log₂-bucketed latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples (ns).
+    pub sum_ns: u64,
+    /// Smallest sample (ns).
+    pub min_ns: u64,
+    /// Largest sample (ns).
+    pub max_ns: u64,
+    /// Power-of-two buckets; see [`HIST_BUCKETS`].
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Hist {
+    /// Folds one sample in.
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[bucket_of(ns)] += 1;
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` in 0..=100) from the
+    /// bucket boundaries; exact min/max at the extremes.
+    pub fn quantile_ns(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * q).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bound(k).min(self.max_ns).max(self.min_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    (64 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+fn bucket_bound(k: usize) -> u64 {
+    if k >= 63 {
+        u64::MAX
+    } else {
+        1u64 << k
+    }
+}
+
+/// A histogram with its owner and name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistRec {
+    /// Recording process.
+    pub pid: u64,
+    /// Histogram name (e.g. `rpc:ssg.colza.ping`).
+    pub name: String,
+    /// The bucketed samples.
+    pub hist: Hist,
+}
+
+/// An immutable, canonically ordered copy of everything a [`Tracer`]
+/// recorded. Construction sorts every collection by stable keys (never by
+/// thread interleaving), which is what makes exports byte-reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// Spans, sorted by `(pid, start, -end, depth, cat, name, args)`.
+    pub spans: Vec<SpanRec>,
+    /// Counters, sorted by `(pid, name)`.
+    pub counters: Vec<CounterRec>,
+    /// Histograms, sorted by `(pid, name)`.
+    pub hists: Vec<HistRec>,
+    /// `(pid, process name)` rows for timeline labels, sorted by pid.
+    pub proc_names: Vec<(u64, String)>,
+}
+
+impl TraceSnapshot {
+    /// Sum of a counter across all processes.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Sum across all processes of every counter whose name starts with
+    /// `prefix` (e.g. `na.link.bytes.` sums all links).
+    pub fn counter_prefix_total(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name.starts_with(prefix))
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// All spans with the given name.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRec> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// The Chrome-trace / Perfetto JSON timeline. Timestamps are virtual
+    /// microseconds (Chrome's unit) with nanosecond precision preserved in
+    /// the decimals.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events = Vec::with_capacity(self.proc_names.len() + self.spans.len());
+        for (pid, name) in &self.proc_names {
+            events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape_json(name)
+            ));
+        }
+        for s in &self.spans {
+            let mut args = String::new();
+            for (i, (k, v)) in s.args.iter().enumerate() {
+                if i > 0 {
+                    args.push(',');
+                }
+                args.push_str(&format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+            }
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\
+                 \"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+                escape_json(&s.name),
+                escape_json(s.cat),
+                s.pid,
+                s.lane,
+                fmt_us(s.start_ns),
+                fmt_us(s.end_ns - s.start_ns),
+            ));
+        }
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+            events.join(",\n")
+        )
+    }
+
+    /// The compact JSONL metrics dump: one `counter`, `hist`, or
+    /// `span_stats` object per line, in canonical order.
+    pub fn to_metrics_jsonl(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"pid\":{},\"name\":\"{}\",\"value\":{}}}\n",
+                c.pid,
+                escape_json(&c.name),
+                c.value
+            ));
+        }
+        for h in &self.hists {
+            out.push_str(&format!(
+                "{{\"type\":\"hist\",\"pid\":{},\"name\":\"{}\",\"count\":{},\"sum_ns\":{},\
+                 \"min_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}\n",
+                h.pid,
+                escape_json(&h.name),
+                h.hist.count,
+                h.hist.sum_ns,
+                if h.hist.count == 0 { 0 } else { h.hist.min_ns },
+                h.hist.max_ns,
+                h.hist.quantile_ns(50),
+                h.hist.quantile_ns(99),
+            ));
+        }
+        // Span aggregates by (pid, cat, name): the per-phase totals the
+        // bench harnesses regress against.
+        let mut agg: Vec<(u64, &'static str, &str, u64, u64)> = Vec::new();
+        for s in &self.spans {
+            match agg
+                .iter_mut()
+                .find(|(p, c, n, _, _)| *p == s.pid && *c == s.cat && *n == s.name)
+            {
+                Some((_, _, _, count, total)) => {
+                    *count += 1;
+                    *total += s.end_ns - s.start_ns;
+                }
+                None => agg.push((s.pid, s.cat, &s.name, 1, s.end_ns - s.start_ns)),
+            }
+        }
+        agg.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+        for (pid, cat, name, count, total) in agg {
+            out.push_str(&format!(
+                "{{\"type\":\"span_stats\",\"pid\":{pid},\"cat\":\"{}\",\"name\":\"{}\",\
+                 \"count\":{count},\"total_ns\":{total}}}\n",
+                escape_json(cat),
+                escape_json(name),
+            ));
+        }
+        out
+    }
+}
+
+/// Virtual ns rendered as microseconds with the sub-µs digits kept.
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sorts spans canonically and packs each process's spans onto export
+/// lanes (Chrome `tid`s) so that spans within a lane obey stack
+/// discipline. Lanes are derived from the sorted data, never from OS
+/// thread identity, so which pool thread ran a handler cannot perturb the
+/// export.
+#[cfg_attr(not(feature = "trace"), allow(dead_code))]
+fn canonicalize(spans: &mut Vec<SpanRec>) {
+    spans.sort_by(|a, b| {
+        (a.pid, a.start_ns, Reverse(a.end_ns), a.depth, a.cat, &a.name, &a.args).cmp(&(
+            b.pid,
+            b.start_ns,
+            Reverse(b.end_ns),
+            b.depth,
+            b.cat,
+            &b.name,
+            &b.args,
+        ))
+    });
+    let mut i = 0;
+    while i < spans.len() {
+        let pid = spans[i].pid;
+        let mut j = i;
+        while j < spans.len() && spans[j].pid == pid {
+            j += 1;
+        }
+        // Greedy interval stacking: place each span in the first lane where
+        // it either nests inside the currently open span or starts after
+        // everything already placed there has ended.
+        let mut open: Vec<Vec<(u64, u64)>> = Vec::new();
+        let mut last_end: Vec<u64> = Vec::new();
+        for k in i..j {
+            let (s, e) = (spans[k].start_ns, spans[k].end_ns);
+            let mut placed = None;
+            for (li, stack) in open.iter_mut().enumerate() {
+                while stack.last().is_some_and(|&(_, te)| te <= s) {
+                    stack.pop();
+                }
+                let fits = match stack.last() {
+                    None => last_end[li] <= s,
+                    Some(&(ts, te)) => ts <= s && e <= te,
+                };
+                if fits {
+                    placed = Some(li);
+                    break;
+                }
+            }
+            let li = placed.unwrap_or_else(|| {
+                open.push(Vec::new());
+                last_end.push(0);
+                open.len() - 1
+            });
+            open[li].push((s, e));
+            last_end[li] = last_end[li].max(e);
+            spans[k].lane = li as u32;
+        }
+        i = j;
+    }
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use parking_lot::Mutex;
+
+    use super::{canonicalize, CounterRec, Hist, HistRec, SpanRec, TraceSnapshot};
+    use crate::process::{self, ProcessCtx};
+
+    /// The cluster-wide trace collector (one per
+    /// [`crate::cluster::ClusterShared`], like the fault injector).
+    /// Disabled by default; enabling it mid-run is allowed.
+    pub struct Tracer {
+        enabled: AtomicBool,
+        spans: Mutex<Vec<SpanRec>>,
+        counters: Mutex<BTreeMap<(u64, String), u64>>,
+        hists: Mutex<BTreeMap<(u64, String), Hist>>,
+    }
+
+    impl Tracer {
+        /// A disabled tracer.
+        pub fn new() -> Self {
+            Self {
+                enabled: AtomicBool::new(false),
+                spans: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+            }
+        }
+
+        /// Whether recording is on (the fast path every instrumentation
+        /// point checks first).
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            self.enabled.load(Ordering::Relaxed)
+        }
+
+        /// Turns recording on or off.
+        pub fn set_enabled(&self, on: bool) {
+            self.enabled.store(on, Ordering::Relaxed);
+        }
+
+        /// Discards everything recorded so far.
+        pub fn clear(&self) {
+            self.spans.lock().clear();
+            self.counters.lock().clear();
+            self.hists.lock().clear();
+        }
+
+        /// Records a completed span.
+        pub fn push_span(&self, span: SpanRec) {
+            self.spans.lock().push(span);
+        }
+
+        /// Adds `delta` to the `(pid, name)` counter.
+        pub fn counter_add(&self, pid: u64, name: &str, delta: u64) {
+            let mut c = self.counters.lock();
+            match c.get_mut(&(pid, name.to_string())) {
+                Some(v) => *v += delta,
+                None => {
+                    c.insert((pid, name.to_string()), delta);
+                }
+            }
+        }
+
+        /// Folds one duration sample into the `(pid, name)` histogram.
+        pub fn record_duration(&self, pid: u64, name: &str, ns: u64) {
+            self.hists
+                .lock()
+                .entry((pid, name.to_string()))
+                .or_default()
+                .record(ns);
+        }
+
+        /// This process's counters, sorted by name (the `metrics` RPC).
+        pub fn counters_for(&self, pid: u64) -> Vec<(String, u64)> {
+            self.counters
+                .lock()
+                .iter()
+                .filter(|((p, _), _)| *p == pid)
+                .map(|((_, name), v)| (name.clone(), *v))
+                .collect()
+        }
+
+        /// A canonically ordered copy of everything recorded so far.
+        pub fn snapshot(&self) -> TraceSnapshot {
+            let mut spans = self.spans.lock().clone();
+            canonicalize(&mut spans);
+            let counters = self
+                .counters
+                .lock()
+                .iter()
+                .map(|((pid, name), v)| CounterRec {
+                    pid: *pid,
+                    name: name.clone(),
+                    value: *v,
+                })
+                .collect();
+            let hists = self
+                .hists
+                .lock()
+                .iter()
+                .map(|((pid, name), h)| HistRec {
+                    pid: *pid,
+                    name: name.clone(),
+                    hist: h.clone(),
+                })
+                .collect();
+            TraceSnapshot {
+                spans,
+                counters,
+                hists,
+                proc_names: Vec::new(),
+            }
+        }
+    }
+
+    impl Default for Tracer {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    thread_local! {
+        static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    }
+
+    /// Whether the calling process's tracer is recording.
+    #[inline]
+    pub fn enabled() -> bool {
+        process::try_current().is_some_and(|ctx| ctx.cluster().tracer().is_enabled())
+    }
+
+    /// An open span: records on drop. Inert (and allocation-free) when the
+    /// tracer is off or the caller is not a simulated process.
+    pub struct SpanGuard(Option<Open>);
+
+    struct Open {
+        ctx: Arc<ProcessCtx>,
+        cat: &'static str,
+        name: String,
+        start: u64,
+        depth: u32,
+        args: Vec<(&'static str, String)>,
+    }
+
+    impl SpanGuard {
+        /// Whether this guard will record (lets callers skip building args).
+        pub fn active(&self) -> bool {
+            self.0.is_some()
+        }
+
+        /// Attaches a key/value annotation.
+        pub fn arg(&mut self, key: &'static str, value: impl std::fmt::Display) {
+            if let Some(o) = &mut self.0 {
+                o.args.push((key, value.to_string()));
+            }
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if let Some(o) = self.0.take() {
+                DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+                let end_ns = o.ctx.now();
+                o.ctx.cluster().tracer().push_span(SpanRec {
+                    pid: o.ctx.pid().0,
+                    cat: o.cat,
+                    name: o.name,
+                    start_ns: o.start,
+                    end_ns,
+                    depth: o.depth,
+                    lane: 0,
+                    args: o.args,
+                });
+            }
+        }
+    }
+
+    /// Opens a span on the current process's virtual clock.
+    pub fn span(cat: &'static str, name: impl Into<String>) -> SpanGuard {
+        let Some(ctx) = process::try_current() else {
+            return SpanGuard(None);
+        };
+        if !ctx.cluster().tracer().is_enabled() {
+            return SpanGuard(None);
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        SpanGuard(Some(Open {
+            start: ctx.now(),
+            cat,
+            name: name.into(),
+            depth,
+            args: Vec::new(),
+            ctx,
+        }))
+    }
+
+    /// Adds `delta` to the current process's `name` counter.
+    pub fn counter_add(name: impl AsRef<str>, delta: u64) {
+        if let Some(ctx) = process::try_current() {
+            let tracer = ctx.cluster().tracer();
+            if tracer.is_enabled() {
+                tracer.counter_add(ctx.pid().0, name.as_ref(), delta);
+            }
+        }
+    }
+
+    /// Records one latency sample into the current process's histogram.
+    pub fn record_duration(name: impl AsRef<str>, ns: u64) {
+        if let Some(ctx) = process::try_current() {
+            let tracer = ctx.cluster().tracer();
+            if tracer.is_enabled() {
+                tracer.record_duration(ctx.pid().0, name.as_ref(), ns);
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use super::TraceSnapshot;
+
+    /// No-op tracer: the `trace` feature is disabled, so every call
+    /// compiles away and snapshots are empty.
+    #[derive(Default)]
+    pub struct Tracer;
+
+    impl Tracer {
+        /// A disabled tracer.
+        pub fn new() -> Self {
+            Tracer
+        }
+
+        /// Always `false` without the `trace` feature.
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+
+        /// Ignored without the `trace` feature.
+        pub fn set_enabled(&self, _on: bool) {}
+
+        /// Nothing to discard.
+        pub fn clear(&self) {}
+
+        /// Dropped.
+        pub fn push_span(&self, _span: super::SpanRec) {}
+
+        /// Dropped.
+        pub fn counter_add(&self, _pid: u64, _name: &str, _delta: u64) {}
+
+        /// Dropped.
+        pub fn record_duration(&self, _pid: u64, _name: &str, _ns: u64) {}
+
+        /// Always empty.
+        pub fn counters_for(&self, _pid: u64) -> Vec<(String, u64)> {
+            Vec::new()
+        }
+
+        /// Always empty.
+        pub fn snapshot(&self) -> TraceSnapshot {
+            TraceSnapshot::default()
+        }
+    }
+
+    /// Inert span handle.
+    pub struct SpanGuard;
+
+    impl SpanGuard {
+        /// Always `false`.
+        pub fn active(&self) -> bool {
+            false
+        }
+
+        /// Ignored.
+        pub fn arg(&mut self, _key: &'static str, _value: impl std::fmt::Display) {}
+    }
+
+    /// Always `false`.
+    #[inline]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    /// Returns an inert guard.
+    #[inline]
+    pub fn span(_cat: &'static str, _name: impl Into<String>) -> SpanGuard {
+        SpanGuard
+    }
+
+    /// Dropped.
+    #[inline]
+    pub fn counter_add(_name: impl AsRef<str>, _delta: u64) {}
+
+    /// Dropped.
+    #[inline]
+    pub fn record_duration(_name: impl AsRef<str>, _ns: u64) {}
+}
+
+pub use imp::{counter_add, enabled, record_duration, span, SpanGuard, Tracer};
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+
+    fn traced_cluster() -> Cluster {
+        let c = Cluster::new(ClusterConfig::default());
+        c.shared().tracer().set_enabled(true);
+        c
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let c = Cluster::new(ClusterConfig::default());
+        c.spawn("p", 0, || {
+            let mut sp = span("t", "work");
+            assert!(!sp.active());
+            sp.arg("k", 1);
+            counter_add("n", 5);
+            record_duration("d", 10);
+        })
+        .join();
+        let snap = c.shared().trace_snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.hists.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_by_thread_depth() {
+        let c = traced_cluster();
+        c.spawn("p", 0, || {
+            let ctx = crate::current();
+            let _outer = span("t", "outer");
+            ctx.advance(10);
+            {
+                let _inner = span("t", "inner");
+                ctx.advance(5);
+            }
+            ctx.advance(10);
+        })
+        .join();
+        let snap = c.shared().trace_snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let outer = &snap.spans[0];
+        let inner = &snap.spans[1];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.name, "inner");
+        assert_eq!((outer.depth, inner.depth), (0, 1));
+        assert_eq!(outer.lane, inner.lane, "nested spans share a lane");
+        assert!(outer.start_ns <= inner.start_ns && inner.end_ns <= outer.end_ns);
+    }
+
+    #[test]
+    fn disjoint_spans_share_a_lane_and_overlaps_split() {
+        let mut spans = vec![
+            SpanRec {
+                pid: 0,
+                cat: "t",
+                name: "a".into(),
+                start_ns: 0,
+                end_ns: 10,
+                depth: 0,
+                lane: 0,
+                args: vec![],
+            },
+            SpanRec {
+                pid: 0,
+                cat: "t",
+                name: "b".into(),
+                start_ns: 20,
+                end_ns: 30,
+                depth: 0,
+                lane: 0,
+                args: vec![],
+            },
+            // Partially overlaps `b`: must go to its own lane.
+            SpanRec {
+                pid: 0,
+                cat: "t",
+                name: "c".into(),
+                start_ns: 25,
+                end_ns: 40,
+                depth: 0,
+                lane: 0,
+                args: vec![],
+            },
+        ];
+        canonicalize(&mut spans);
+        let lane_of = |n: &str| spans.iter().find(|s| s.name == n).unwrap().lane;
+        assert_eq!(lane_of("a"), lane_of("b"));
+        assert_ne!(lane_of("b"), lane_of("c"));
+    }
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        let c = traced_cluster();
+        c.spawn("p", 0, || {
+            counter_add("bytes", 100);
+            counter_add("bytes", 24);
+            record_duration("lat", 700);
+            record_duration("lat", 1300);
+        })
+        .join();
+        let snap = c.shared().trace_snapshot();
+        assert_eq!(snap.counter_total("bytes"), 124);
+        assert_eq!(snap.counter_prefix_total("by"), 124);
+        let h = &snap.hists[0];
+        assert_eq!(h.name, "lat");
+        assert_eq!(h.hist.count, 2);
+        assert_eq!(h.hist.sum_ns, 2000);
+        assert_eq!(h.hist.min_ns, 700);
+        assert_eq!(h.hist.max_ns, 1300);
+        assert!(h.hist.quantile_ns(50) >= 700);
+    }
+
+    #[test]
+    fn exports_are_valid_and_labeled() {
+        let c = traced_cluster();
+        c.spawn("worker", 0, || {
+            let ctx = crate::current();
+            let mut sp = span("t", "step \"quoted\"");
+            sp.arg("bytes", 42);
+            ctx.advance(1234);
+            drop(sp);
+            counter_add("n", 1);
+        })
+        .join();
+        let snap = c.shared().trace_snapshot();
+        let chrome = snap.to_chrome_json();
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("step \\\"quoted\\\""));
+        assert!(chrome.contains("\"dur\":1.234"));
+        assert!(chrome.contains("process_name"));
+        assert!(chrome.contains("worker"));
+        let jsonl = snap.to_metrics_jsonl();
+        assert!(jsonl.contains("\"type\":\"counter\""));
+        assert!(jsonl.contains("\"type\":\"span_stats\""));
+    }
+
+    #[test]
+    fn snapshot_order_is_independent_of_recording_order() {
+        let rec = |flip: bool| {
+            let c = traced_cluster();
+            c.spawn("p", 0, move || {
+                let ctx = crate::current();
+                let names = if flip { ["b", "a"] } else { ["a", "b"] };
+                for n in names {
+                    let sp = span("t", n);
+                    drop(sp);
+                    counter_add(n, 1);
+                }
+                ctx.advance(1);
+            })
+            .join();
+            let snap = c.shared().trace_snapshot();
+            (
+                snap.counters
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect::<Vec<_>>(),
+                snap.to_metrics_jsonl(),
+            )
+        };
+        // Counters are keyed, so recording order doesn't leak into exports.
+        assert_eq!(rec(false).0, rec(true).0);
+    }
+}

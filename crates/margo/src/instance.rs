@@ -243,8 +243,10 @@ impl MargoInstance {
             }
             attempt += 1;
             if cfg.max_attempts != 0 && attempt >= cfg.max_attempts {
+                hpcsim::trace::counter_add("rpc.retry.giveup", 1);
                 return Err(err);
             }
+            hpcsim::trace::counter_add("rpc.retries", 1);
             let mut pause = backoff_delay(cfg, attempt - 1, self.endpoint.ctx().rng_unit());
             if let Some(d) = cfg.deadline {
                 match d.checked_sub(started.elapsed()) {
@@ -277,22 +279,47 @@ impl MargoInstance {
         env: &Envelope,
         timeout: Option<Duration>,
     ) -> Result<Bytes> {
+        let mut sp = hpcsim::trace::span("rpc", format!("rpc:{}", env.name));
         self.endpoint.ctx().advance(RPC_SW_NS);
+        let start = self.endpoint.ctx().now();
         let payload = Bytes::from(wire::to_vec(env)?);
+        if sp.active() {
+            sp.arg("req_id", env.req_id);
+            sp.arg("bytes", payload.len());
+            hpcsim::trace::counter_add("rpc.sent.msgs", 1);
+        }
+        let sent_bytes = payload.len() as u64;
         self.endpoint
             .send(dst, na::tags::RPC_BASE, payload)
-            .map_err(|e| match e {
-                NaError::Unreachable(a) => RpcError::Unreachable(a),
-                _ => RpcError::Shutdown,
+            .map_err(|e| {
+                sp.arg("outcome", "unreachable");
+                match e {
+                    NaError::Unreachable(a) => RpcError::Unreachable(a),
+                    _ => RpcError::Shutdown,
+                }
             })?;
+        hpcsim::trace::counter_add("rpc.bytes.out", sent_bytes);
         let msg = self
             .endpoint
             .recv_timeout(RecvSelector::tag(env.resp_tag), timeout)
             .map_err(|e| match e {
-                NaError::Timeout => RpcError::Timeout,
-                _ => RpcError::Shutdown,
+                NaError::Timeout => {
+                    sp.arg("outcome", "timeout");
+                    hpcsim::trace::counter_add("rpc.timeouts", 1);
+                    RpcError::Timeout
+                }
+                _ => {
+                    sp.arg("outcome", "shutdown");
+                    RpcError::Shutdown
+                }
             })?;
         self.endpoint.ctx().advance(RPC_SW_NS);
+        if sp.active() {
+            hpcsim::trace::record_duration(
+                &format!("rpc:{}", env.name),
+                self.endpoint.ctx().now() - start,
+            );
+        }
         Ok(msg.data)
     }
 
@@ -325,34 +352,58 @@ impl MargoInstance {
                     // Duplicate of a completed request: replay the reply
                     // without re-executing the handler.
                     self.endpoint.ctx().advance(RPC_SW_NS);
-                    let _ = self.endpoint.send(caller, env.resp_tag, cached);
+                    hpcsim::trace::counter_add("rpc.dedup.replayed", 1);
+                    let cached_len = cached.len() as u64;
+                    if self.endpoint.send(caller, env.resp_tag, cached).is_ok() {
+                        hpcsim::trace::counter_add("rpc.bytes.reply", cached_len);
+                    }
                     continue;
                 }
-                Some(None) => continue, // still executing: it will reply
+                Some(None) => {
+                    // Still executing: the in-flight run will reply.
+                    hpcsim::trace::counter_add("rpc.dedup.inflight", 1);
+                    continue;
+                }
                 None => {}
             }
             let entry = self.handlers.read().get(&env.name).cloned();
             let pool_choice = entry.as_ref().map(|(_, p)| *p);
             let this = Arc::clone(self);
             let run = move || {
-                this.endpoint.ctx().advance(RPC_SW_NS);
-                let reply = match &entry {
-                    Some((handler, _)) => {
-                        let ctx = CallCtx {
-                            caller,
-                            endpoint: Arc::clone(&this.endpoint),
-                        };
-                        match handler(&env.body, &ctx) {
-                            Ok(body) => Reply::Ok(body),
-                            Err(m) => Reply::Err(m),
+                let reply = {
+                    // The span must end before the reply leaves: once the
+                    // caller unblocks it may issue its next request, and the
+                    // progress loop would then race this thread on the shared
+                    // process clock, making the recorded end nondeterministic.
+                    let mut sp = hpcsim::trace::span("rpc", format!("rpc.handle:{}", env.name));
+                    this.endpoint.ctx().advance(RPC_SW_NS);
+                    let reply = match &entry {
+                        Some((handler, _)) => {
+                            let ctx = CallCtx {
+                                caller,
+                                endpoint: Arc::clone(&this.endpoint),
+                            };
+                            match handler(&env.body, &ctx) {
+                                Ok(body) => Reply::Ok(body),
+                                Err(m) => Reply::Err(m),
+                            }
                         }
+                        None => Reply::Err(format!("__no_such_rpc__:{}", env.name)),
+                    };
+                    if sp.active() {
+                        sp.arg("req_id", env.req_id);
+                        sp.arg("ok", matches!(reply, Reply::Ok(_)));
+                        hpcsim::trace::counter_add("rpc.handled.msgs", 1);
                     }
-                    None => Reply::Err(format!("__no_such_rpc__:{}", env.name)),
+                    reply
                 };
                 let bytes = Bytes::from(wire::to_vec(&reply).expect("reply encodes"));
                 this.dedup.lock().complete(key, bytes.clone());
+                let reply_len = bytes.len() as u64;
                 // Best-effort: the caller may have died while we worked.
-                let _ = this.endpoint.send(caller, env.resp_tag, bytes);
+                if this.endpoint.send(caller, env.resp_tag, bytes).is_ok() {
+                    hpcsim::trace::counter_add("rpc.bytes.reply", reply_len);
+                }
             };
             match pool_choice {
                 Some(HandlerPool::Heavy) => self.heavy_pool.post(run),

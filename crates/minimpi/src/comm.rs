@@ -253,6 +253,19 @@ impl MpiComm {
     pub(crate) fn raw_send(&self, dst: usize, wire_tag: u64, data: &[u8]) -> Result<()> {
         let ep = &self.endpoint;
         let dst_addr = self.members[dst];
+        let mut sp = hpcsim::trace::span("mpi", "mpi.send");
+        if sp.active() {
+            let kind = if data.len() <= self.params.eager_max {
+                "eager"
+            } else if self.params.large_uses_rdma {
+                "rdma"
+            } else {
+                "rendezvous"
+            };
+            sp.arg("kind", kind);
+            sp.arg("bytes", data.len());
+            sp.arg("dst", dst);
+        }
         self.charge_op();
         if data.len() <= self.params.eager_max {
             let mut buf = BytesMut::with_capacity(data.len() + 1);
@@ -292,6 +305,7 @@ impl MpiComm {
 
     pub(crate) fn raw_recv(&self, src: Option<usize>, wire_tag: u64) -> Result<(Bytes, usize)> {
         let ep = &self.endpoint;
+        let mut sp = hpcsim::trace::span("mpi", "mpi.recv");
         self.charge_op();
         let sel = match src {
             Some(r) => RecvSelector::exact(self.members[r], wire_tag),
@@ -307,13 +321,25 @@ impl MpiComm {
             .data
             .split_first()
             .map(|(k, _)| (*k, msg.data.slice(1..)))
-            .ok_or(NaError::Closed)?;
+            .ok_or(NaError::ShortFrame { need: 1, have: 0 })?;
         match kind {
-            KIND_EAGER => Ok((body, src_rank)),
+            KIND_EAGER => {
+                if sp.active() {
+                    sp.arg("kind", "eager");
+                    sp.arg("bytes", body.len());
+                    sp.arg("src", src_rank);
+                }
+                Ok((body, src_rank))
+            }
             KIND_RDMA => {
-                let owner = Address(u64_at(&body, 0));
-                let key = u64_at(&body, 8);
-                let size = u64_at(&body, 16) as usize;
+                let owner = Address(u64_at(&body, 0)?);
+                let key = u64_at(&body, 8)?;
+                let size = u64_at(&body, 16)? as usize;
+                if sp.active() {
+                    sp.arg("kind", "rdma");
+                    sp.arg("bytes", size);
+                    sp.arg("src", src_rank);
+                }
                 let data = ep.rdma_get(na::BulkHandle { owner, key, size }, 0, size)?;
                 ep.send_control(msg.src, wire_tag | ack_bit(wire_tag), Bytes::new())?;
                 Ok((data, src_rank))
@@ -326,11 +352,16 @@ impl MpiComm {
                     .data
                     .split_first()
                     .map(|(k, _)| (*k, data_msg.data.slice(1..)))
-                    .ok_or(NaError::Closed)?;
+                    .ok_or(NaError::ShortFrame { need: 1, have: 0 })?;
                 assert_eq!(k, KIND_EAGER, "rendezvous DATA frame expected");
+                if sp.active() {
+                    sp.arg("kind", "rendezvous");
+                    sp.arg("bytes", body.len());
+                    sp.arg("src", src_rank);
+                }
                 Ok((body, src_rank))
             }
-            other => panic!("corrupt minimpi frame kind {other}"),
+            other => Err(NaError::BadFrameKind(other)),
         }
     }
 }
@@ -343,6 +374,32 @@ fn ack_bit(wire_tag: u64) -> u64 {
     }
 }
 
-fn u64_at(b: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(b[off..off + 8].try_into().expect("frame too short"))
+/// Reads a little-endian u64 at `off`, surfacing a typed [`NaError::ShortFrame`]
+/// instead of panicking when the frame is truncated.
+fn u64_at(b: &[u8], off: usize) -> Result<u64> {
+    match b.get(off..off + 8) {
+        Some(s) => Ok(u64::from_le_bytes(s.try_into().expect("slice is 8 bytes"))),
+        None => Err(NaError::ShortFrame {
+            need: off + 8,
+            have: b.len(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_at_surfaces_short_frames_as_typed_errors() {
+        assert_eq!(u64_at(&[1, 0, 0, 0, 0, 0, 0, 0], 0), Ok(1));
+        assert_eq!(
+            u64_at(&[1, 2, 3], 0),
+            Err(NaError::ShortFrame { need: 8, have: 3 })
+        );
+        assert_eq!(
+            u64_at(&[0; 12], 8),
+            Err(NaError::ShortFrame { need: 16, have: 12 })
+        );
+    }
 }

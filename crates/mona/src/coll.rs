@@ -25,6 +25,18 @@ mod opcode {
 }
 
 impl Communicator {
+    /// Opens a collective-level trace span tagged with the operation name,
+    /// sequence number, communicator size and calling rank.
+    fn coll_span(&self, op: &'static str, seq: u64) -> hpcsim::trace::SpanGuard {
+        let mut sp = hpcsim::trace::span("mona", format!("mona.coll:{op}"));
+        if sp.active() {
+            sp.arg("seq", seq);
+            sp.arg("size", self.size());
+            sp.arg("rank", self.rank());
+        }
+        sp
+    }
+
     /// Dissemination barrier: log₂(n) rounds of paired messages.
     pub fn barrier(&self) -> Result<()> {
         let n = self.size();
@@ -32,6 +44,7 @@ impl Communicator {
             return Ok(());
         }
         let seq = self.next_seq();
+        let _sp = self.coll_span("barrier", seq);
         let me = self.rank();
         let mut step = 1usize;
         let mut round: u16 = 0;
@@ -39,8 +52,15 @@ impl Communicator {
             let to = (me + step) % n;
             let from = (me + n - step) % n;
             let tag = self.coll_tag(seq, opcode::BARRIER + (round << 4));
+            let mut rsp = hpcsim::trace::span("mona", "mona.coll.round");
+            if rsp.active() {
+                rsp.arg("round", round);
+                rsp.arg("to", to);
+                rsp.arg("from", from);
+            }
             self.raw_send(to, tag, &[])?;
             self.raw_recv(Some(from), tag)?;
+            drop(rsp);
             step <<= 1;
             round += 1;
         }
@@ -56,6 +76,7 @@ impl Communicator {
             assert!(data.is_some(), "root must supply the broadcast payload");
         }
         let seq = self.next_seq();
+        let _sp = self.coll_span("bcast", seq);
         let tag = self.coll_tag(seq, opcode::BCAST);
         let relative = (me + n - root) % n;
         let mut buf: Option<Bytes> = data.map(Bytes::copy_from_slice);
@@ -90,6 +111,7 @@ impl Communicator {
         let n = self.size();
         let me = self.rank();
         let seq = self.next_seq();
+        let _sp = self.coll_span("reduce", seq);
         let tag = self.coll_tag(seq, opcode::REDUCE);
         let relative = (me + n - root) % n;
 
@@ -122,6 +144,7 @@ impl Communicator {
 
     /// Reduce-then-broadcast allreduce; every rank returns the reduction.
     pub fn allreduce(&self, data: &[u8], op: &dyn ReduceOp) -> Result<Vec<u8>> {
+        let _sp = self.coll_span("allreduce", self.next_seq());
         let reduced = self.reduce(data, op, 0)?;
         let out = self.bcast(reduced.as_deref(), 0)?;
         Ok(out.to_vec())
@@ -133,6 +156,7 @@ impl Communicator {
         let n = self.size();
         let me = self.rank();
         let seq = self.next_seq();
+        let _sp = self.coll_span("gather", seq);
         let tag = self.coll_tag(seq, opcode::GATHER);
         if me == root {
             let mut parts: Vec<Option<Bytes>> = vec![None; n];
@@ -154,6 +178,7 @@ impl Communicator {
         let n = self.size();
         let me = self.rank();
         let seq = self.next_seq();
+        let _sp = self.coll_span("allgather", seq);
         let mut parts: Vec<Option<Bytes>> = vec![None; n];
         parts[me] = Some(Bytes::copy_from_slice(data));
         let right = (me + 1) % n;
@@ -161,10 +186,17 @@ impl Communicator {
         let mut carry: Bytes = parts[me].clone().expect("own part set");
         for step in 0..n.saturating_sub(1) {
             let tag = self.coll_tag(seq, opcode::ALLGATHER + ((step as u16 & 0x3F) << 4));
+            let mut rsp = hpcsim::trace::span("mona", "mona.coll.round");
+            if rsp.active() {
+                rsp.arg("round", step);
+                rsp.arg("to", right);
+                rsp.arg("from", left);
+            }
             // Deadlock-safe pairwise exchange around the ring.
             let req = self.instance_isend_raw(carry.to_vec(), right, tag);
             let (got, _) = self.raw_recv(Some(left), tag)?;
             req.wait()?;
+            drop(rsp);
             let origin = (me + n - 1 - step) % n;
             parts[origin] = Some(got.clone());
             carry = got;
@@ -177,6 +209,7 @@ impl Communicator {
         let n = self.size();
         let me = self.rank();
         let seq = self.next_seq();
+        let _sp = self.coll_span("scatter", seq);
         let tag = self.coll_tag(seq, opcode::SCATTER);
         if me == root {
             let parts = parts.expect("root must supply scatter parts");

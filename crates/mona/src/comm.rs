@@ -303,8 +303,15 @@ impl Communicator {
     pub(crate) fn raw_send(&self, dst: usize, wire_tag: u64, data: &[u8]) -> Result<()> {
         let ep = &self.inst.endpoint;
         let dst_addr = self.members[dst];
+        let eager = data.len() < self.inst.config.rdma_threshold;
+        let mut sp = hpcsim::trace::span("mona", "mona.send");
+        if sp.active() {
+            sp.arg("kind", if eager { "eager" } else { "rdma" });
+            sp.arg("bytes", data.len());
+            sp.arg("dst", dst);
+        }
         self.inst.charge_op();
-        if data.len() < self.inst.config.rdma_threshold {
+        if eager {
             let mut buf = BytesMut::with_capacity(data.len() + 1);
             buf.put_u8(KIND_EAGER);
             buf.put_slice(data);
@@ -329,6 +336,7 @@ impl Communicator {
     /// the payload and the source *rank*.
     pub(crate) fn raw_recv(&self, src: Option<usize>, wire_tag: u64) -> Result<(Bytes, usize)> {
         let ep = &self.inst.endpoint;
+        let mut sp = hpcsim::trace::span("mona", "mona.recv");
         self.inst.charge_op();
         let sel = match src {
             Some(r) => RecvSelector::exact(self.members[r], wire_tag),
@@ -344,19 +352,31 @@ impl Communicator {
             .data
             .split_first()
             .map(|(k, _)| (*k, msg.data.slice(1..)))
-            .ok_or(NaError::Closed)?;
+            .ok_or(NaError::ShortFrame { need: 1, have: 0 })?;
         match kind {
-            KIND_EAGER => Ok((body, src_rank)),
+            KIND_EAGER => {
+                if sp.active() {
+                    sp.arg("kind", "eager");
+                    sp.arg("bytes", body.len());
+                    sp.arg("src", src_rank);
+                }
+                Ok((body, src_rank))
+            }
             KIND_RDMA => {
-                let owner = Address(u64_at(&body, 0));
-                let key = u64_at(&body, 8);
-                let size = u64_at(&body, 16) as usize;
+                let owner = Address(u64_at(&body, 0)?);
+                let key = u64_at(&body, 8)?;
+                let size = u64_at(&body, 16)? as usize;
+                if sp.active() {
+                    sp.arg("kind", "rdma");
+                    sp.arg("bytes", size);
+                    sp.arg("src", src_rank);
+                }
                 let handle = na::BulkHandle { owner, key, size };
                 let data = ep.rdma_get(handle, 0, size)?;
                 ep.send_control(msg.src, ack_tag(wire_tag), Bytes::new())?;
                 Ok((data, src_rank))
             }
-            other => panic!("corrupt MoNA frame kind {other}"),
+            other => Err(NaError::BadFrameKind(other)),
         }
     }
 }
@@ -369,8 +389,16 @@ fn ack_tag(wire_tag: u64) -> u64 {
     }
 }
 
-fn u64_at(b: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(b[off..off + 8].try_into().expect("frame too short"))
+/// Reads a little-endian u64 at `off`, surfacing a typed [`NaError::ShortFrame`]
+/// instead of panicking when the frame is truncated.
+fn u64_at(b: &[u8], off: usize) -> Result<u64> {
+    match b.get(off..off + 8) {
+        Some(s) => Ok(u64::from_le_bytes(s.try_into().expect("slice is 8 bytes"))),
+        None => Err(NaError::ShortFrame {
+            need: off + 8,
+            have: b.len(),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -482,6 +510,69 @@ pub(crate) mod tests {
             }
         });
         assert_eq!(out[1], vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn truncated_rdma_notice_is_a_typed_error_not_a_panic() {
+        // A KIND_RDMA frame carrying only the owner field (8 of the 24
+        // header bytes) must surface ShortFrame, not panic the receiver.
+        let out = with_comm(2, MonaConfig::default(), |comm| {
+            if comm.rank() == 0 {
+                let mut buf = BytesMut::with_capacity(9);
+                buf.put_u8(KIND_RDMA);
+                buf.put_u64_le(42);
+                let ep = comm.instance().endpoint();
+                ep.send(comm.address_of(1), comm.p2p_tag(4), buf.freeze())
+                    .unwrap();
+                String::new()
+            } else {
+                match comm.recv(0, 4) {
+                    Err(NaError::ShortFrame { need: 16, have: 8 }) => "short".into(),
+                    other => format!("unexpected: {other:?}"),
+                }
+            }
+        });
+        assert_eq!(out[1], "short");
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_a_typed_error() {
+        let out = with_comm(2, MonaConfig::default(), |comm| {
+            if comm.rank() == 0 {
+                let ep = comm.instance().endpoint();
+                ep.send(
+                    comm.address_of(1),
+                    comm.p2p_tag(4),
+                    Bytes::from_static(&[9, 0, 0]),
+                )
+                .unwrap();
+                String::new()
+            } else {
+                match comm.recv(0, 4) {
+                    Err(NaError::BadFrameKind(9)) => "bad-kind".into(),
+                    other => format!("unexpected: {other:?}"),
+                }
+            }
+        });
+        assert_eq!(out[1], "bad-kind");
+    }
+
+    #[test]
+    fn empty_frame_is_a_typed_error() {
+        let out = with_comm(2, MonaConfig::default(), |comm| {
+            if comm.rank() == 0 {
+                let ep = comm.instance().endpoint();
+                ep.send(comm.address_of(1), comm.p2p_tag(4), Bytes::new())
+                    .unwrap();
+                String::new()
+            } else {
+                match comm.recv(0, 4) {
+                    Err(NaError::ShortFrame { need: 1, have: 0 }) => "empty".into(),
+                    other => format!("unexpected: {other:?}"),
+                }
+            }
+        });
+        assert_eq!(out[1], "empty");
     }
 
     #[test]

@@ -120,6 +120,99 @@ proptest! {
     }
 }
 
+/// Dissemination/binomial round count: ⌈log₂ n⌉.
+fn ceil_log2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        n.next_power_of_two().trailing_zeros() as usize
+    }
+}
+
+fn span_arg(s: &hpcsim::trace::SpanRec, key: &str) -> usize {
+    s.args
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or_else(|| panic!("span {} missing arg {key}", s.name))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The trace is a faithful record of the collective algorithms: for a
+    /// random communicator size, span counts match the predicted
+    /// dissemination (barrier), binomial (bcast/reduce), linear
+    /// (gather/scatter) and ring (allgather) schedules exactly, and the
+    /// barrier's per-round partners are the dissemination pairs.
+    #[test]
+    fn trace_spans_match_predicted_collective_schedules(n in 1usize..=64) {
+        let cluster = hpcsim::Cluster::default();
+        cluster.shared().tracer().set_enabled(true);
+        mona::testing::run_ranks(&cluster, n, 8, MonaConfig::default(), move |comm| {
+            comm.barrier().unwrap();
+            let data = (comm.rank() == 0).then(|| vec![7u8; 16]);
+            comm.bcast(data.as_deref(), 0).unwrap();
+            comm.reduce(&[comm.rank() as u8; 8], &ops::bxor_u8, 0).unwrap();
+            comm.allreduce(&[comm.rank() as u8; 8], &ops::bxor_u8).unwrap();
+            comm.gather(&[comm.rank() as u8], 0).unwrap();
+            let parts = (comm.rank() == 0)
+                .then(|| (0..comm.size()).map(|i| vec![i as u8; 4]).collect::<Vec<_>>());
+            comm.scatter(parts.as_deref(), 0).unwrap();
+            comm.allgather(&[comm.rank() as u8; 4]).unwrap();
+        });
+        let snap = cluster.shared().trace_snapshot();
+        let count = |name: &str| snap.spans_named(name).count();
+        let rounds = ceil_log2(n);
+        let edges = n - 1; // edges of one binomial tree / linear fan
+
+        // One collective span per rank per call; allreduce opens its own
+        // span around an inner reduce + bcast; barrier skips n == 1.
+        prop_assert_eq!(count("mona.coll:barrier"), if n > 1 { n } else { 0 });
+        prop_assert_eq!(count("mona.coll:bcast"), 2 * n);
+        prop_assert_eq!(count("mona.coll:reduce"), 2 * n);
+        prop_assert_eq!(count("mona.coll:allreduce"), n);
+        prop_assert_eq!(count("mona.coll:gather"), n);
+        prop_assert_eq!(count("mona.coll:scatter"), n);
+        prop_assert_eq!(count("mona.coll:allgather"), n);
+
+        // Rounds: every rank walks ⌈log₂ n⌉ dissemination rounds in the
+        // barrier and n−1 ring steps in the allgather.
+        prop_assert_eq!(count("mona.coll.round"), n * rounds + n * (n - 1));
+
+        // Point-to-point volume: barrier n·⌈log₂n⌉ per side; the binomial
+        // trees and linear fans one message per edge (bcast, reduce, the
+        // pair inside allreduce, gather, scatter); the ring n·(n−1).
+        let p2p = n * rounds + 6 * edges + n * (n - 1);
+        prop_assert_eq!(count("mona.send"), p2p);
+        prop_assert_eq!(count("mona.recv"), p2p);
+
+        // Tree-round structure: inside each rank's barrier span, round k
+        // must pair with partners rank ± 2^k (mod n), in order.
+        for b in snap.spans_named("mona.coll:barrier") {
+            let me = span_arg(b, "rank");
+            let mut inner: Vec<_> = snap
+                .spans
+                .iter()
+                .filter(|s| {
+                    s.pid == b.pid
+                        && s.name == "mona.coll.round"
+                        && s.depth > b.depth
+                        && s.start_ns >= b.start_ns
+                        && s.end_ns <= b.end_ns
+                })
+                .collect();
+            inner.sort_by_key(|s| span_arg(s, "round"));
+            prop_assert_eq!(inner.len(), rounds);
+            for (k, s) in inner.iter().enumerate() {
+                prop_assert_eq!(span_arg(s, "round"), k);
+                prop_assert_eq!(span_arg(s, "to"), (me + (1 << k)) % n);
+                prop_assert_eq!(span_arg(s, "from"), (me + n - (1 << k)) % n);
+            }
+        }
+    }
+}
+
 #[test]
 fn virtual_time_of_reduce_grows_logarithmically() {
     // Structural sanity of the cost model: doubling the communicator adds

@@ -136,6 +136,18 @@ impl Endpoint {
             .node_of(dst.pid())
             .ok_or(NaError::Unreachable(dst))?;
         let mut arrive = depart + model.wire_ns(src_node, dst_node, data.len(), class);
+        if hpcsim::trace::enabled() {
+            // Bytes are counted at the sender for every message put on the
+            // wire — including ones the fault injector then drops, exactly
+            // as a NIC counter would see them.
+            let plane = crate::tags::plane_name(tag);
+            hpcsim::trace::counter_add(format!("na.plane.{plane}.msgs"), 1);
+            hpcsim::trace::counter_add(format!("na.plane.{plane}.bytes"), data.len() as u64);
+            hpcsim::trace::counter_add(
+                format!("na.link.bytes.{src_node}->{dst_node}"),
+                data.len() as u64,
+            );
+        }
         let injector = self.fabric.cluster().faults();
         let mut fault = hpcsim::SendFault::CLEAN;
         if injector.is_active() {
@@ -143,7 +155,11 @@ impl Endpoint {
             if !fault.deliver {
                 // Faults are silent at the sender, like a real lossy wire:
                 // the failure surfaces downstream as a receive timeout.
+                hpcsim::trace::counter_add("na.dropped.msgs", 1);
                 return Ok(());
+            }
+            if fault.duplicate {
+                hpcsim::trace::counter_add("na.duplicated.msgs", 1);
             }
             arrive += fault.extra_delay_ns;
         }
@@ -258,6 +274,15 @@ impl Endpoint {
             .cluster()
             .node_of(handle.owner.pid())
             .ok_or(NaError::Unreachable(handle.owner))?;
+        let mut sp = hpcsim::trace::span("na", "na.rdma_get");
+        if sp.active() {
+            sp.arg("bytes", len);
+            hpcsim::trace::counter_add("na.rdma.bytes", len as u64);
+            hpcsim::trace::counter_add(
+                format!("na.link.rdma.bytes.{owner_node}->{}", self.ctx.node()),
+                len as u64,
+            );
+        }
         self.ctx.advance(model.endpoint_cpu_ns(Xfer::Rdma));
         self.ctx
             .advance(model.wire_ns(owner_node, self.ctx.node(), len, Xfer::Rdma));

@@ -27,6 +27,16 @@ pub enum NaError {
         /// Size of the registered region.
         size: usize,
     },
+    /// A received frame was shorter than its protocol header requires
+    /// (truncated or corrupt; surfaced by the mona/minimpi frame decoders).
+    ShortFrame {
+        /// Bytes the decoder needed.
+        need: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// A received frame had an unknown protocol kind byte.
+    BadFrameKind(u8),
 }
 
 impl fmt::Display for NaError {
@@ -39,6 +49,10 @@ impl fmt::Display for NaError {
             NaError::BulkOutOfRange { offset, len, size } => {
                 write!(f, "bulk access [{offset}, {offset}+{len}) outside region of {size} bytes")
             }
+            NaError::ShortFrame { need, have } => {
+                write!(f, "truncated frame: header needs {need} bytes, got {have}")
+            }
+            NaError::BadFrameKind(k) => write!(f, "unknown frame kind byte {k}"),
         }
     }
 }

@@ -52,4 +52,21 @@ pub mod tags {
     pub const MPI_BASE: u64 = 0x4000_0000_0000;
     /// Base of the range used by SSG gossip traffic.
     pub const SSG_BASE: u64 = 0x5000_0000_0000;
+
+    /// The traffic plane a tag belongs to, as used in trace counter names
+    /// (`na.plane.<plane>.bytes`). RPC requests and responses share the
+    /// `rpc` plane so the margo-side payload totals reconcile directly.
+    pub fn plane_name(tag: super::Tag) -> &'static str {
+        if tag >= SSG_BASE {
+            "ssg"
+        } else if tag >= MPI_BASE {
+            "mpi"
+        } else if tag >= MONA_BASE {
+            "mona"
+        } else if tag >= RPC_BASE {
+            "rpc"
+        } else {
+            "raw"
+        }
+    }
 }

@@ -301,6 +301,7 @@ impl SsgGroup {
         };
         let mut reply: Result<PingReply, _> = Err(RpcError::Timeout);
         for _ in 0..=self.config.ping_retries {
+            hpcsim::trace::counter_add("ssg.ping.sent", 1);
             reply = self.margo.forward_timeout(
                 target,
                 &format!("{}.ping", self.name),
@@ -315,6 +316,7 @@ impl SsgGroup {
         }
         match reply {
             Ok(reply) => {
+                hpcsim::trace::counter_add("ssg.ping.ok", 1);
                 let events: Vec<Event> = {
                     let mut st = self.state.lock();
                     reply
@@ -325,7 +327,10 @@ impl SsgGroup {
                 };
                 notify(&self.observers, &events);
             }
-            Err(_) => self.probe_indirect(target, updates),
+            Err(_) => {
+                hpcsim::trace::counter_add("ssg.ping.failed", 1);
+                self.probe_indirect(target, updates);
+            }
         }
     }
 
@@ -336,6 +341,7 @@ impl SsgGroup {
             .pingreq_candidates(target, self.config.pingreq_k);
         let mut confirmed = false;
         for helper in helpers {
+            hpcsim::trace::counter_add("ssg.pingreq.sent", 1);
             let ok: Result<bool, _> = self.margo.forward_timeout(
                 helper,
                 &format!("{}.pingreq", self.name),
@@ -402,6 +408,18 @@ impl SsgGroup {
 fn notify(observers: &Arc<Mutex<Vec<Observer>>>, events: &[Event]) {
     if events.is_empty() {
         return;
+    }
+    if hpcsim::trace::enabled() {
+        for ev in events {
+            let kind = match ev {
+                Event::Joined(_) => "joined",
+                Event::Suspected(_) => "suspected",
+                Event::Died(_) => "died",
+                Event::Left(_) => "left",
+                Event::Refuted(_) => "refuted",
+            };
+            hpcsim::trace::counter_add(format!("ssg.event.{kind}"), 1);
+        }
     }
     let obs = observers.lock();
     for ev in events {

@@ -5,6 +5,10 @@
 //!
 //! Run: `cargo run --release --example gray_scott_insitu
 //!       [grid] [clients] [servers]` (defaults 32, 4, 2)
+//!
+//! Set `COLZA_TRACE=/tmp/gs_trace.json` to record the whole coupled run —
+//! halo exchanges, staging RDMA, 2PC, pipeline collectives — as a
+//! Chrome-trace timeline viewable at <https://ui.perfetto.dev>.
 
 use std::sync::Arc;
 
@@ -23,6 +27,10 @@ fn main() {
     let outputs = 3u64;
 
     let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    let trace_path = std::env::var("COLZA_TRACE").ok();
+    if trace_path.is_some() {
+        cluster.shared().tracer().set_enabled(true);
+    }
     let fabric = Fabric::new(Arc::clone(cluster.shared()));
     let conn = std::env::temp_dir().join("colza-grayscott.addrs");
     std::fs::remove_file(&conn).ok();
@@ -107,6 +115,16 @@ fn main() {
     drop(out);
     for d in daemons {
         d.stop();
+    }
+    if let Some(path) = trace_path {
+        let snap = cluster.shared().trace_snapshot();
+        match std::fs::write(&path, snap.to_chrome_json()) {
+            Ok(()) => println!(
+                "timeline ({} spans) -> {path} (open at https://ui.perfetto.dev)",
+                snap.spans.len()
+            ),
+            Err(e) => eprintln!("failed to write trace {path}: {e}"),
+        }
     }
     std::fs::remove_file(&conn).ok();
 }

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Offline preflight: release build, the full test suite, then the chaos
-# suite under the pinned fault-injection seed. Everything runs with
+# suite under the pinned fault-injection seed, the observability suite,
+# and a build with instrumentation compiled out. Everything runs with
 # --offline (the workspace vendors its dependencies as in-tree shims), so
 # this works with no network at all.
 #
@@ -15,4 +16,12 @@ export COLZA_CHAOS_SEED
 cargo build --release --offline --workspace
 cargo test -q --offline
 cargo test -q --offline --test chaos_e2e
+cargo test -q --offline --test observability_e2e
+
+# The trace feature must compile away cleanly: every instrumented crate
+# has to build with instrumentation disabled.
+for crate in hpcsim na mona minimpi margo ssg colza colza-bench; do
+    cargo build -q --offline -p "$crate" --no-default-features
+done
+
 echo "CHECK_OK (chaos seed $COLZA_CHAOS_SEED)"

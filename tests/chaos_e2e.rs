@@ -253,7 +253,7 @@ fn elastic_grow_survives_a_partition_that_later_heals() {
 /// from the reply cache or dropped as in-flight depends on a real-time
 /// race in the handler, which perturbs virtual clocks. Everything else is
 /// decided by per-link counters and the plan seed alone.
-fn deterministic_run(seed: u64) -> (Vec<hpcsim::FaultRecord>, u64) {
+fn deterministic_run(seed: u64) -> (Vec<hpcsim::FaultRecord>, u64, hpcsim::TraceSnapshot) {
     let plan = rpc_scoped(
         FaultPlan::seeded(seed)
             .with_loss(0.05)
@@ -264,6 +264,7 @@ fn deterministic_run(seed: u64) -> (Vec<hpcsim::FaultRecord>, u64) {
         faults: plan,
         ..hpcsim::ClusterConfig::aries()
     });
+    cluster.shared().tracer().set_enabled(true);
     let fabric = Fabric::new(Arc::clone(cluster.shared()));
 
     let (addr_tx, addr_rx) = crossbeam::channel::bounded(1);
@@ -302,7 +303,8 @@ fn deterministic_run(seed: u64) -> (Vec<hpcsim::FaultRecord>, u64) {
         .join();
     stop_tx.send(()).unwrap();
     server.join();
-    (cluster.shared().faults().trace(), final_time)
+    let snapshot = cluster.shared().trace_snapshot();
+    (cluster.shared().faults().trace(), final_time, snapshot)
 }
 
 /// The acceptance property of the fault plan: the same seed reproduces
@@ -311,14 +313,60 @@ fn deterministic_run(seed: u64) -> (Vec<hpcsim::FaultRecord>, u64) {
 #[test]
 fn same_seed_reproduces_the_exact_virtual_time_trace() {
     let seed = chaos_seed();
-    let (trace_a, time_a) = deterministic_run(seed);
-    let (trace_b, time_b) = deterministic_run(seed);
+    let (trace_a, time_a, _) = deterministic_run(seed);
+    let (trace_b, time_b, _) = deterministic_run(seed);
     assert!(!trace_a.is_empty(), "plan injected nothing at 5% loss");
     assert_eq!(trace_a, trace_b, "fault traces diverged for one seed");
     assert_eq!(time_a, time_b, "virtual end times diverged for one seed");
 
-    let (trace_c, _) = deterministic_run(seed.wrapping_add(1));
+    let (trace_c, _, _) = deterministic_run(seed.wrapping_add(1));
     assert_ne!(trace_a, trace_c, "distinct seeds produced identical chaos");
+}
+
+/// What the injector says it did is exactly what the observability layer
+/// saw happen: every `Drop` record in the canonical fault trace is one
+/// `na.dropped.msgs` increment, and on the retryable RPC plane every drop
+/// costs precisely one timed-out attempt and one retry.
+#[test]
+fn injected_faults_reconcile_with_observed_counters() {
+    let (trace, _, snap) = deterministic_run(chaos_seed());
+
+    let injected_drops = trace
+        .iter()
+        .filter(|r| matches!(r.kind, hpcsim::FaultKind::Drop))
+        .count() as u64;
+    let injected_dups = trace
+        .iter()
+        .filter(|r| matches!(r.kind, hpcsim::FaultKind::Duplicate))
+        .count() as u64;
+    assert!(injected_drops > 0, "5% loss over 30 RPCs injected nothing");
+    assert_eq!(
+        snap.counter_total("na.dropped.msgs"),
+        injected_drops,
+        "drop counter disagrees with the injector's canonical trace"
+    );
+    assert_eq!(snap.counter_total("na.duplicated.msgs"), injected_dups);
+
+    // Each failed attempt lost exactly one message (its request, or the
+    // reply — original or replayed), and the generous per-try timeout
+    // means nothing else can fail an attempt. All calls succeed, so every
+    // timeout was retried: drops == timeouts == retries.
+    let retries = snap.counter_total("rpc.retries");
+    assert_eq!(snap.counter_total("rpc.timeouts"), retries);
+    assert_eq!(injected_drops, retries);
+    assert_eq!(snap.counter_total("rpc.retry.giveup"), 0);
+
+    // 30 logical calls: one send per attempt, one handler execution per
+    // request id (dedup absorbs re-deliveries), and the NA plane counted
+    // every message anyone put on the wire — dropped ones included.
+    assert_eq!(snap.counter_total("rpc.sent.msgs"), 30 + retries);
+    assert_eq!(snap.counter_total("rpc.handled.msgs"), 30);
+    assert_eq!(
+        snap.counter_total("na.plane.rpc.msgs"),
+        snap.counter_total("rpc.sent.msgs")
+            + snap.counter_total("rpc.handled.msgs")
+            + snap.counter_total("rpc.dedup.replayed")
+    );
 }
 
 /// The original end-to-end failure scenario, now with 1% message loss on

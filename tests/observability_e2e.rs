@@ -1,0 +1,329 @@
+//! Observability end-to-end tests: a full stage → execute → deactivate
+//! run against a manual (non-ticking) server, with the tracer enabled.
+//!
+//! The scenario is built for *exact* determinism: `compute_scale: 0.0`
+//! (no measured host CPU time reaches the virtual clocks), no daemon
+//! loops or SWIM ticks (real-time timers), one sequential client, and the
+//! inert `null` pipeline backend. Under those conditions every virtual
+//! timestamp is a pure function of the protocol, so two runs with the
+//! same seed must export byte-identical timelines.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use colza::provider::{ColzaProvider, ProviderComm};
+use colza::{AdminClient, BlockMeta, ColzaClient, MetricsReport};
+use margo::MargoInstance;
+use mona::{MonaConfig, MonaInstance};
+use na::Fabric;
+use ssg::{SsgConfig, SsgGroup};
+
+const ITERATIONS: u64 = 3;
+const BLOCKS: u64 = 4;
+
+/// Per-block payload size: varied so byte totals are not accidentally
+/// symmetric.
+fn block_len(iteration: u64, block: u64) -> usize {
+    1024 + 512 * block as usize + 96 * iteration as usize
+}
+
+struct RunOutput {
+    snapshot: hpcsim::TraceSnapshot,
+    chrome: String,
+    jsonl: String,
+    report: MetricsReport,
+    client_end_ns: u64,
+}
+
+/// One deterministic client/server staging session. `trace` controls
+/// whether the cluster tracer is enabled for the run.
+fn run_scenario(seed: u64, trace: bool) -> RunOutput {
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig {
+        seed,
+        compute_scale: 0.0,
+        ..hpcsim::ClusterConfig::aries()
+    });
+    cluster.shared().tracer().set_enabled(trace);
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+
+    let (addr_tx, addr_rx) = crossbeam::channel::bounded(1);
+    let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+    let f2 = fabric.clone();
+    let server = cluster.spawn("server", 0, move || {
+        let endpoint = Arc::new(f2.open());
+        let margo = MargoInstance::from_endpoint(Arc::clone(&endpoint));
+        let mona = MonaInstance::from_endpoint(Arc::clone(&endpoint), MonaConfig::default());
+        let group = SsgGroup::create(Arc::clone(&margo), "colza", SsgConfig::default());
+        let _provider = ColzaProvider::register(
+            Arc::clone(&margo),
+            mona,
+            Arc::clone(&group),
+            ProviderComm::Mona,
+        );
+        addr_tx.send(margo.address()).unwrap();
+        // Serve without ticking: SWIM rounds are real-time driven and
+        // would perturb the virtual clocks nondeterministically.
+        stop_rx.recv().ok();
+        margo.finalize();
+    });
+    let contact = addr_rx.recv().unwrap();
+
+    let f3 = fabric.clone();
+    let (report, client_end_ns) = cluster
+        .spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f3);
+            let client = ColzaClient::new(Arc::clone(&margo));
+            let admin = AdminClient::new(Arc::clone(&margo));
+            let view = client.view_from(contact).unwrap();
+            assert_eq!(view, vec![contact]);
+            admin.create_pipeline(contact, "null", "p", "").unwrap();
+            let handle = client.distributed_handle(contact, "p").unwrap();
+            for iteration in 0..ITERATIONS {
+                handle.activate(iteration).unwrap();
+                for block in 0..BLOCKS {
+                    let payload = Bytes::from(vec![block as u8; block_len(iteration, block)]);
+                    handle
+                        .stage(
+                            BlockMeta {
+                                name: "p".into(),
+                                block_id: block,
+                                iteration,
+                                size: payload.len(),
+                            },
+                            &payload,
+                        )
+                        .unwrap();
+                }
+                handle.execute(iteration).unwrap();
+                handle.deactivate(iteration).unwrap();
+            }
+            // End-of-workload timestamp, taken *before* the metrics scrape:
+            // the scrape's reply size depends on how many counters exist, so
+            // its wire time legitimately differs between traced and dark
+            // runs and must not count against the zero-cost property.
+            let now = hpcsim::current().now();
+            let report = admin.metrics(contact).unwrap();
+            margo.finalize();
+            (report, now)
+        })
+        .join();
+    stop_tx.send(()).unwrap();
+    server.join();
+
+    let snapshot = cluster.shared().trace_snapshot();
+    RunOutput {
+        chrome: snapshot.to_chrome_json(),
+        jsonl: snapshot.to_metrics_jsonl(),
+        snapshot,
+        report,
+        client_end_ns,
+    }
+}
+
+/// Every span is well-formed: non-empty names, end ≥ start, and per
+/// (pid, lane) the spans obey stack discipline — properly nested or
+/// disjoint, never partially overlapping — with monotone start times.
+#[test]
+fn full_run_produces_well_formed_nested_spans() {
+    let out = run_scenario(7, true);
+    let spans = &out.snapshot.spans;
+    assert!(!spans.is_empty(), "traced run recorded no spans");
+
+    let pids: std::collections::BTreeSet<u64> =
+        out.snapshot.proc_names.iter().map(|&(p, _)| p).collect();
+    for s in spans {
+        assert!(!s.name.is_empty() && !s.cat.is_empty());
+        assert!(s.end_ns >= s.start_ns, "span {} ends before it starts", s.name);
+        assert!(
+            pids.contains(&s.pid),
+            "span {} belongs to unknown pid {} (orphan)",
+            s.name,
+            s.pid
+        );
+    }
+
+    // Stack discipline per timeline lane.
+    let mut lanes: std::collections::BTreeMap<(u64, u32), Vec<&hpcsim::trace::SpanRec>> =
+        std::collections::BTreeMap::new();
+    for s in spans {
+        lanes.entry((s.pid, s.lane)).or_default().push(s);
+    }
+    for ((pid, lane), lane_spans) in lanes {
+        let mut stack: Vec<&hpcsim::trace::SpanRec> = Vec::new();
+        let mut prev_start = 0u64;
+        for s in lane_spans {
+            assert!(
+                s.start_ns >= prev_start,
+                "lane ({pid},{lane}) start times not monotone"
+            );
+            prev_start = s.start_ns;
+            while let Some(top) = stack.last() {
+                if top.end_ns <= s.start_ns {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last() {
+                assert!(
+                    s.end_ns <= top.end_ns,
+                    "lane ({pid},{lane}): span {} [{}, {}] partially overlaps {} [{}, {}]",
+                    s.name,
+                    s.start_ns,
+                    s.end_ns,
+                    top.name,
+                    top.start_ns,
+                    top.end_ns
+                );
+            }
+            stack.push(s);
+        }
+    }
+
+    // The protocol phases and the layers below them all appear.
+    for name in [
+        "colza.activate",
+        "colza.2pc.prepare",
+        "colza.2pc.commit",
+        "colza.stage",
+        "colza.srv.stage",
+        "colza.execute",
+        "colza.srv.execute",
+        "colza.deactivate",
+        "rpc:colza.stage",
+        "rpc.handle:colza.execute",
+        "na.rdma_get",
+    ] {
+        assert!(
+            out.snapshot.spans_named(name).next().is_some(),
+            "expected at least one {name:?} span"
+        );
+    }
+    // One activate per iteration, one client stage span per block.
+    assert_eq!(
+        out.snapshot.spans_named("colza.activate").count(),
+        ITERATIONS as usize
+    );
+    assert_eq!(
+        out.snapshot.spans_named("colza.stage").count(),
+        (ITERATIONS * BLOCKS) as usize
+    );
+    // A clean single-server run commits on the first 2PC attempt.
+    assert_eq!(out.snapshot.counter_total("colza.2pc.aborts"), 0);
+}
+
+/// The same seed exports byte-identical Chrome-trace and metrics files
+/// across two fresh clusters (the property PR 1 established for fault
+/// traces, extended to the whole observability layer).
+#[test]
+fn same_seed_exports_byte_identical_traces() {
+    let a = run_scenario(42, true);
+    let b = run_scenario(42, true);
+    assert_eq!(a.client_end_ns, b.client_end_ns, "virtual end times diverged");
+    assert_eq!(a.chrome, b.chrome, "Chrome trace exports diverged");
+    assert_eq!(a.jsonl, b.jsonl, "metrics JSONL exports diverged");
+    assert!(a.chrome.contains("\"ph\":\"X\""));
+    assert!(a.jsonl.contains("\"type\":\"counter\""));
+}
+
+/// Byte accounting reconciles across layers: what margo says it put on
+/// the RPC plane equals what the NA layer counted there, per-link bytes
+/// sum to the plane totals, and the server's RDMA pulls equal the staged
+/// payload bytes exactly.
+#[test]
+fn counters_reconcile_across_layers() {
+    let out = run_scenario(3, true);
+    let snap = &out.snapshot;
+
+    let plane_rpc = snap.counter_total("na.plane.rpc.bytes");
+    let rpc_out = snap.counter_total("rpc.bytes.out");
+    let rpc_reply = snap.counter_total("rpc.bytes.reply");
+    assert!(plane_rpc > 0 && rpc_out > 0 && rpc_reply > 0);
+    assert_eq!(
+        plane_rpc,
+        rpc_out + rpc_reply,
+        "margo byte accounting disagrees with the NA plane counter"
+    );
+
+    // Message counts: every request the client sent plus every reply the
+    // server sent is exactly what NA saw on the rpc plane.
+    let sent = snap.counter_total("rpc.sent.msgs");
+    let replies =
+        snap.counter_total("rpc.handled.msgs") + snap.counter_total("rpc.dedup.replayed");
+    assert_eq!(snap.counter_total("na.plane.rpc.msgs"), sent + replies);
+
+    // Per-link bytes partition the total send volume across all planes.
+    let all_planes = ["rpc", "mona", "mpi", "ssg", "raw"]
+        .iter()
+        .map(|p| snap.counter_total(&format!("na.plane.{p}.bytes")))
+        .sum::<u64>();
+    assert_eq!(snap.counter_prefix_total("na.link.bytes."), all_planes);
+
+    // The server pulled every staged payload once, via RDMA.
+    let staged: u64 = (0..ITERATIONS)
+        .flat_map(|i| (0..BLOCKS).map(move |b| block_len(i, b) as u64))
+        .sum();
+    assert_eq!(snap.counter_total("na.rdma.bytes"), staged);
+
+    // Clean wire: nothing dropped, nothing duplicated, no retries.
+    assert_eq!(snap.counter_total("na.dropped.msgs"), 0);
+    assert_eq!(snap.counter_total("rpc.retries"), 0);
+}
+
+/// The `colza.admin.metrics` RPC scrapes the server's own counters and
+/// they agree with the cluster-level snapshot for that pid.
+#[test]
+fn metrics_rpc_scrapes_server_counters() {
+    let out = run_scenario(11, true);
+    assert!(out.report.enabled, "server reported tracing disabled");
+    let get = |name: &str| -> u64 {
+        out.report
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert!(get("rpc.handled.msgs") > 0, "server handled no RPCs?");
+    assert!(get("na.rdma.bytes") > 0, "server pulled no staged data?");
+    // Names come back sorted (BTreeMap order) — the scrape is canonical.
+    let names: Vec<&String> = out.report.counters.iter().map(|(n, _)| n).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+
+    // The scrape is a prefix of the final cluster truth: every scraped
+    // value is ≤ the end-of-run value for the same (pid, counter).
+    for (name, value) in &out.report.counters {
+        let end = out
+            .snapshot
+            .counters
+            .iter()
+            .find(|c| c.pid == out.report.pid && &c.name == name)
+            .map(|c| c.value)
+            .unwrap_or(0);
+        assert!(
+            *value <= end,
+            "scraped {name}={value} exceeds final value {end}"
+        );
+    }
+}
+
+/// With the tracer disabled the run records nothing — and the virtual
+/// time outcome is identical to the traced run, i.e. observing the system
+/// does not change it.
+#[test]
+fn disabled_tracer_is_zero_cost_in_virtual_time() {
+    let traced = run_scenario(5, true);
+    let dark = run_scenario(5, false);
+    assert!(dark.snapshot.spans.is_empty());
+    assert!(dark.snapshot.counters.is_empty());
+    assert!(dark.snapshot.hists.is_empty());
+    assert_eq!(
+        traced.client_end_ns, dark.client_end_ns,
+        "tracing perturbed the virtual clock"
+    );
+    assert!(!dark.report.enabled);
+    assert!(dark.report.counters.is_empty());
+}
