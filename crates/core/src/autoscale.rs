@@ -10,6 +10,17 @@
 //! The controller is deliberately mechanism-agnostic: it returns
 //! [`ScaleDecision`]s; the embedding (job script, simulation, admin tool)
 //! performs the actual node allocation, exactly as §II-F describes.
+//!
+//! When the decision is [`ScaleDecision::Shrink`], the embedding must
+//! still pick *which* servers to retire. [`drain_aware_victims`] makes
+//! that choice drain-aware: it scrapes each candidate's staged-byte load
+//! over `colza.admin.metrics` and nominates the least-loaded servers, so
+//! the departure drain (which pushes every held block to its new ring
+//! owners) moves as few bytes as possible.
+
+use na::Address;
+
+use crate::admin::AdminClient;
 
 /// Configuration of the feedback controller.
 #[derive(Debug, Clone, Copy)]
@@ -159,6 +170,49 @@ impl AutoScaler {
     }
 }
 
+/// Picks the `n` servers whose departure costs the least drain traffic:
+/// the candidates holding the fewest staged bytes. Ties break toward the
+/// *later* member (never the contact/compositing root at rank 0), and the
+/// ordering is total, so the same loads always nominate the same victims.
+///
+/// Servers that fail to answer the metrics scrape are treated as
+/// maximally loaded — a server we cannot reach is the wrong one to ask
+/// for a graceful, fully-drained departure.
+///
+/// Each nomination bumps the `autoscale.victim.drain_aware` counter (and
+/// `autoscale.victim.bytes` by the victim's staged load) in the caller's
+/// trace.
+pub fn drain_aware_victims(admin: &AdminClient, members: &[Address], n: usize) -> Vec<Address> {
+    let loads: Vec<(Address, u64)> = members
+        .iter()
+        .map(|&m| (m, admin.metrics(m).map_or(u64::MAX, |r| r.staged_bytes)))
+        .collect();
+    let victims = select_victims(&loads, n);
+    for &v in &victims {
+        hpcsim::trace::counter_add("autoscale.victim.drain_aware", 1);
+        if let Some(&(_, bytes)) = loads.iter().find(|(m, _)| *m == v) {
+            if bytes != u64::MAX {
+                hpcsim::trace::counter_add("autoscale.victim.bytes", bytes);
+            }
+        }
+    }
+    victims
+}
+
+/// The pure core of [`drain_aware_victims`]: given `(server, staged
+/// bytes)` pairs in member order, returns the `n` cheapest departures.
+pub fn select_victims(loads: &[(Address, u64)], n: usize) -> Vec<Address> {
+    let mut ranked: Vec<(usize, Address, u64)> = loads
+        .iter()
+        .enumerate()
+        .map(|(i, &(m, b))| (i, m, b))
+        .collect();
+    // Cheapest first; among equals prefer the highest member rank, so
+    // rank 0 (the bootstrap contact and compositing root) goes last.
+    ranked.sort_by(|a, b| a.2.cmp(&b.2).then(b.0.cmp(&a.0)));
+    ranked.into_iter().take(n).map(|(_, m, _)| m).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +324,35 @@ mod tests {
             s2.observe(100_000, 2, false);
         }
         assert_eq!(s2.observe(100_000, 2, false), ScaleDecision::Hold, "at min");
+    }
+
+    #[test]
+    fn victims_are_least_loaded_first() {
+        let loads = [
+            (Address(0), 500),
+            (Address(1), 100),
+            (Address(2), 300),
+            (Address(3), 200),
+        ];
+        assert_eq!(select_victims(&loads, 1), vec![Address(1)]);
+        assert_eq!(select_victims(&loads, 2), vec![Address(1), Address(3)]);
+        assert_eq!(select_victims(&loads, 9).len(), loads.len());
+    }
+
+    #[test]
+    fn victim_ties_spare_the_root() {
+        // All equally loaded: rank 0 must be nominated last.
+        let loads = [(Address(0), 64), (Address(1), 64), (Address(2), 64)];
+        assert_eq!(select_victims(&loads, 2), vec![Address(2), Address(1)]);
+        assert_eq!(
+            select_victims(&loads, 3),
+            vec![Address(2), Address(1), Address(0)]
+        );
+    }
+
+    #[test]
+    fn unreachable_servers_are_never_preferred() {
+        let loads = [(Address(0), u64::MAX), (Address(1), 1 << 30)];
+        assert_eq!(select_victims(&loads, 1), vec![Address(1)]);
     }
 }

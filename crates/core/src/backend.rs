@@ -46,6 +46,13 @@ pub trait Backend: Send + Sync {
     fn activate(&self, iteration: u64) -> std::result::Result<(), String>;
     /// A block of data has been staged for this pipeline.
     fn stage(&self, block: StagedBlock) -> std::result::Result<(), String>;
+    /// A previously staged block was demoted off this server (its primary
+    /// moved elsewhere during migration or repair) and must no longer be
+    /// part of this server's `execute`. Default: no-op, for backends that
+    /// never run under replication.
+    fn unstage(&self, _meta: &BlockMeta) -> std::result::Result<(), String> {
+        Ok(())
+    }
     /// Run the analysis collectively over the staged data.
     fn execute(&self, iteration: u64, ctrl: &Controller) -> std::result::Result<(), String>;
     /// The iteration is complete; staged data may be released.
@@ -122,6 +129,12 @@ impl Backend for NullBackend {
         Ok(())
     }
 
+    fn unstage(&self, meta: &BlockMeta) -> std::result::Result<(), String> {
+        let mut bytes = self.staged_bytes.lock();
+        *bytes = bytes.saturating_sub(meta.size as u64);
+        Ok(())
+    }
+
     fn execute(&self, _iteration: u64, _ctrl: &Controller) -> std::result::Result<(), String> {
         self.calls.lock().2 += 1;
         Ok(())
@@ -180,6 +193,13 @@ impl Backend for CatalystBackend {
             .entry(block.meta.iteration)
             .or_default()
             .push(block);
+        Ok(())
+    }
+
+    fn unstage(&self, meta: &BlockMeta) -> std::result::Result<(), String> {
+        if let Some(blocks) = self.staged.lock().get_mut(&meta.iteration) {
+            blocks.retain(|b| b.meta.block_id != meta.block_id);
+        }
         Ok(())
     }
 

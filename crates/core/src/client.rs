@@ -1,4 +1,12 @@
 //! The Colza client library: pipeline handles and the staging protocol.
+//!
+//! Block placement runs through the `store` crate's consistent-hash
+//! ring: the client rebuilds the ring from the frozen member list (the
+//! same computation every server performs at `commit_activate`) and
+//! stages each block on its primary owner plus `replication - 1`
+//! replicas. The old ad-hoc policies (block-modulo, round-robin) are
+//! gone — determinism between client and servers is what lets crash
+//! repair promote replicas without any coordination.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -8,34 +16,10 @@ use parking_lot::Mutex;
 
 use margo::{MargoInstance, RetryConfig};
 use na::Address;
+use store::{BlockKey, HashRing, RingConfig, Role};
 
 use crate::error::{ColzaError, Result};
 use crate::protocol::*;
-
-/// How `stage` selects the receiving server for a block.
-#[derive(Clone)]
-pub enum StagePolicy {
-    /// `block_id % num_servers` — the paper's default.
-    BlockModulo,
-    /// Rotate through servers regardless of block id.
-    RoundRobin,
-    /// User-provided mapping from `(meta, num_servers)` to a server index.
-    Custom(Arc<dyn Fn(&BlockMeta, usize) -> usize + Send + Sync>),
-}
-
-impl StagePolicy {
-    fn select(&self, meta: &BlockMeta, n: usize, rr_state: &mut usize) -> usize {
-        match self {
-            StagePolicy::BlockModulo => (meta.block_id % n as u64) as usize,
-            StagePolicy::RoundRobin => {
-                let s = *rr_state % n;
-                *rr_state = rr_state.wrapping_add(1);
-                s
-            }
-            StagePolicy::Custom(f) => f(meta, n) % n,
-        }
-    }
-}
 
 /// A Colza client: one per simulation process.
 pub struct ColzaClient {
@@ -93,8 +77,8 @@ impl ColzaClient {
             client: Arc::clone(self),
             pipeline: pipeline.to_string(),
             members: Mutex::new(members),
-            policy: StagePolicy::BlockModulo,
-            rr_state: Mutex::new(0),
+            ring_cfg: RingConfig::default(),
+            placement: Mutex::new(None),
         })
     }
 }
@@ -138,14 +122,17 @@ impl PipelineHandle {
                 pipeline: self.pipeline.clone(),
                 iteration,
                 members: vec![self.server],
+                ring: RingConfig::default(),
             },
             &cfg,
         )?)
     }
 
-    /// Stages one serialized dataset on this server.
+    /// Stages one serialized dataset on this server (a one-member ring:
+    /// the server is trivially the block's primary).
     pub fn stage(&self, meta: BlockMeta, payload: &Bytes) -> Result<()> {
-        stage_on(&self.client.margo, self.server, &self.pipeline, meta, payload)
+        let ring = HashRing::build_in_sim(&[self.server], RingConfig::default());
+        stage_via_ring(&self.client.margo, &ring, &self.pipeline, &meta, payload)
     }
 
     /// Executes the pipeline on this server alone.
@@ -192,8 +179,9 @@ pub struct DistributedPipelineHandle {
     client: Arc<ColzaClient>,
     pipeline: String,
     members: Mutex<Vec<Address>>,
-    policy: StagePolicy,
-    rr_state: Mutex<usize>,
+    ring_cfg: RingConfig,
+    /// Ring cache: rebuilt only when the member list changes.
+    placement: Mutex<Option<(Vec<Address>, Arc<HashRing>)>>,
 }
 
 impl DistributedPipelineHandle {
@@ -202,16 +190,57 @@ impl DistributedPipelineHandle {
         self.members.lock().clone()
     }
 
-    /// Replaces the stage-distribution policy (§II-B: "users can change
-    /// this policy").
-    pub fn set_policy(&mut self, policy: StagePolicy) {
-        self.policy = policy;
+    /// Sets the replication factor: each block is staged on its primary
+    /// plus `replication - 1` replicas (clamped to the group size), and
+    /// a crash between `stage` and `execute` recovers from the replicas
+    /// instead of erroring back to the simulation. Takes effect at the
+    /// next [`DistributedPipelineHandle::activate`].
+    pub fn set_replication(&mut self, replication: usize) {
+        assert!(replication >= 1, "replication factor must be at least 1");
+        self.ring_cfg.replication = replication;
+        self.placement.lock().take();
+    }
+
+    /// Replaces the full ring configuration (vnodes and replication).
+    pub fn set_ring_config(&mut self, cfg: RingConfig) {
+        assert!(cfg.replication >= 1, "replication factor must be at least 1");
+        self.ring_cfg = cfg;
+        self.placement.lock().take();
+    }
+
+    /// The ring configuration staged blocks are placed with.
+    pub fn ring_config(&self) -> RingConfig {
+        self.ring_cfg
+    }
+
+    /// The servers that will hold a block (primary first) under the
+    /// current member view — the ring placement shared with the servers.
+    pub fn targets_for(&self, block_id: u64) -> Vec<Address> {
+        self.ring().owners(&BlockKey::new(&self.pipeline, block_id))
+    }
+
+    /// The ring over the current member list (cached until the view
+    /// changes).
+    fn ring(&self) -> Arc<HashRing> {
+        let members = self.members.lock().clone();
+        let mut placement = self.placement.lock();
+        match placement.as_ref() {
+            Some((m, ring)) if *m == members => Arc::clone(ring),
+            _ => {
+                let ring = Arc::new(HashRing::build_in_sim(&members, self.ring_cfg));
+                *placement = Some((members, Arc::clone(&ring)));
+                ring
+            }
+        }
     }
 
     /// Starts an analysis iteration with the paper's two-phase commit:
     /// every server votes with its view epoch; any disagreement refreshes
     /// the client's view and retries. On success membership is frozen
-    /// until [`DistributedPipelineHandle::deactivate`].
+    /// until [`DistributedPipelineHandle::deactivate`] — and, new with
+    /// the staging store, every server has reconciled its held blocks
+    /// against the frozen view (migration/repair) before the commit
+    /// acknowledgement comes back.
     pub fn activate(&self, iteration: u64) -> Result<()> {
         const MAX_ATTEMPTS: usize = 16;
         let mut sp = hpcsim::trace::span("colza", "colza.activate");
@@ -238,7 +267,7 @@ impl DistributedPipelineHandle {
                     &members,
                     "colza.prepare_activate",
                     &args,
-                    &control_retry(),
+                    &activate_retry(),
                 );
                 if let (Some(t0), Some(c)) = (t0, hpcsim::process::try_current()) {
                     hpcsim::trace::record_duration("colza.2pc.vote", c.now() - t0);
@@ -258,11 +287,13 @@ impl DistributedPipelineHandle {
                     .iter()
                     .all(|v| v.epoch == ok_votes[0].epoch && v.view == members);
             if consistent {
-                // Phase 2: commit with the agreed member list.
+                // Phase 2: commit with the agreed member list and ring
+                // parameters; servers sync their stores before replying.
                 let commit = CommitActivateArgs {
                     pipeline: self.pipeline.clone(),
                     iteration,
                     members: members.clone(),
+                    ring: self.ring_cfg,
                 };
                 let results = {
                     let mut csp = hpcsim::trace::span("colza", "colza.2pc.commit");
@@ -273,7 +304,7 @@ impl DistributedPipelineHandle {
                         &members,
                         "colza.commit_activate",
                         &commit,
-                        &control_retry(),
+                        &commit_retry(),
                     )
                 };
                 if results.iter().all(|r| r.is_ok()) {
@@ -291,7 +322,7 @@ impl DistributedPipelineHandle {
             };
             let _ = {
                 let _asp = hpcsim::trace::span("colza", "colza.2pc.abort");
-                self.broadcast::<_, ()>(&members, "colza.abort_activate", &abort, &control_retry())
+                self.broadcast::<_, ()>(&members, "colza.abort_activate", &abort, &activate_retry())
             };
             let mut fresh: Option<Vec<Address>> = None;
             for v in ok_votes {
@@ -320,18 +351,34 @@ impl DistributedPipelineHandle {
         })
     }
 
-    /// Stages one block: the policy picks a server, which pulls the
+    /// Stages one block on its ring owners: the primary (which feeds the
+    /// pipeline) plus `replication - 1` replicas, each pulling the
     /// payload via RDMA from this process's memory.
+    ///
+    /// When a target fails mid-stage (a server died or is draining out),
+    /// the client refreshes its view and re-routes the block through the
+    /// ring over the surviving members — the block lands on the dead
+    /// server's successor instead of being lost. Server-side inserts are
+    /// idempotent, so re-staging an already-delivered copy is harmless.
     pub fn stage(&self, meta: BlockMeta, payload: &Bytes) -> Result<()> {
-        let members = self.members.lock().clone();
-        if members.is_empty() {
-            return Err(ColzaError::EmptyGroup);
+        const MAX_REROUTES: usize = 4;
+        let mut last: Option<ColzaError> = None;
+        for attempt in 0..MAX_REROUTES {
+            if self.members.lock().is_empty() {
+                return Err(ColzaError::EmptyGroup);
+            }
+            let ring = self.ring();
+            match stage_via_ring(&self.client.margo, &ring, &self.pipeline, &meta, payload) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() && attempt + 1 < MAX_REROUTES => {
+                    hpcsim::trace::counter_add("colza.stage.reroutes", 1);
+                    last = Some(e);
+                    let _ = self.refresh_view();
+                }
+                Err(e) => return Err(e),
+            }
         }
-        let target = {
-            let mut rr = self.rr_state.lock();
-            members[self.policy.select(&meta, members.len(), &mut rr)]
-        };
-        stage_on(&self.client.margo, target, &self.pipeline, meta, payload)
+        Err(last.unwrap_or(ColzaError::EmptyGroup))
     }
 
     /// Non-blocking [`DistributedPipelineHandle::stage`].
@@ -502,6 +549,36 @@ fn control_retry() -> RetryConfig {
     }
 }
 
+/// Retry policy for the 2PC prepare/abort broadcasts: trivial handlers,
+/// so short tries only resend over genuinely dropped messages, but a
+/// generous deadline — a commit syncing stores on another member can
+/// hold the view busy for a while, and abandoning the round early just
+/// re-enqueues the whole 2PC behind it (a livelock). A dead member
+/// still fails fast (`Unreachable`).
+fn activate_retry() -> RetryConfig {
+    RetryConfig {
+        deadline: Some(Duration::from_secs(30)),
+        ..control_retry()
+    }
+}
+
+/// Retry policy for the 2PC commit specifically. The commit handler
+/// re-syncs the server's store holdings before replying, which takes
+/// real seconds when pushes ride out loss — with a short per-try the
+/// client would race the handler with resends, and *how many* resends
+/// land is a wall-clock race that perturbs the per-link message
+/// sequence the fault plan hashes on, breaking same-seed determinism.
+/// A long per-try means resends happen only for genuinely dropped
+/// messages; in-flight suppression absorbs them either way, and the
+/// straggler reply to an earlier attempt still completes the call.
+fn commit_retry() -> RetryConfig {
+    RetryConfig {
+        per_try_timeout: Duration::from_secs(10),
+        deadline: Some(Duration::from_secs(30)),
+        ..control_retry()
+    }
+}
+
 /// Retry policy for heavy RPCs (execute, stage, result fetch), whose
 /// handlers legitimately run for a long time: generous per-try timeouts
 /// so slow-but-alive servers are not mistaken for lossy links.
@@ -516,27 +593,31 @@ fn heavy_retry() -> RetryConfig {
     }
 }
 
-fn stage_on(
+/// Stages one block on its ring owners: the payload is exposed once and
+/// each owner pulls it; the primary (owner 0) feeds its backend, the
+/// replicas only keep the bytes. Shared by both handle flavours — this
+/// is the single placement path in the client.
+fn stage_via_ring(
     margo: &Arc<MargoInstance>,
-    target: Address,
+    ring: &HashRing,
     pipeline: &str,
-    meta: BlockMeta,
+    meta: &BlockMeta,
     payload: &Bytes,
 ) -> Result<()> {
     debug_assert_eq!(meta.size, payload.len());
+    let targets = ring.owners(&BlockKey::new(pipeline, meta.block_id));
+    if targets.is_empty() {
+        return Err(ColzaError::EmptyGroup);
+    }
     let mut sp = hpcsim::trace::span("colza", "colza.stage");
     if sp.active() {
         sp.arg("block", meta.block_id);
         sp.arg("iteration", meta.iteration);
         sp.arg("bytes", meta.size);
+        sp.arg("copies", targets.len());
     }
     let endpoint = margo.endpoint();
     let bulk = endpoint.expose(payload.clone());
-    let args = StageArgs {
-        pipeline: pipeline.to_string(),
-        meta,
-        bulk,
-    };
     // Stage RPCs retry through loss: the server's RDMA pull is repeatable
     // while the exposure is live, and req-id dedup keeps a block from
     // being staged twice.
@@ -544,60 +625,76 @@ fn stage_on(
         per_try_timeout: Duration::from_secs(2),
         ..heavy_retry()
     };
-    let out: std::result::Result<(), margo::RpcError> =
-        margo.forward_retry(target, "colza.stage", &args, &cfg);
+    let mut out: Result<()> = Ok(());
+    for (i, &target) in targets.iter().enumerate() {
+        let args = StageArgs {
+            pipeline: pipeline.to_string(),
+            meta: meta.clone(),
+            role: if i == 0 { Role::Primary } else { Role::Replica },
+            bulk,
+        };
+        if let Err(e) = margo.forward_retry::<_, ()>(target, "colza.stage", &args, &cfg) {
+            out = Err(ColzaError::from(e));
+            break;
+        }
+    }
     endpoint.unexpose(bulk).ok();
-    out.map_err(ColzaError::from)
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn meta(block_id: u64) -> BlockMeta {
-        BlockMeta {
-            name: "b".to_string(),
-            block_id,
-            iteration: 0,
-            size: 0,
+    fn ring(n: u64, replication: usize) -> HashRing {
+        let members: Vec<Address> = (0..n).map(Address).collect();
+        HashRing::build(
+            &members,
+            |_| None,
+            RingConfig {
+                replication,
+                ..RingConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn ring_placement_is_deterministic() {
+        let a = ring(4, 2);
+        let b = ring(4, 2);
+        for id in 0..32 {
+            let k = BlockKey::new("p", id);
+            assert_eq!(a.owners(&k), b.owners(&k), "client and servers must agree");
         }
     }
 
     #[test]
-    fn block_modulo_policy_is_deterministic() {
-        let p = StagePolicy::BlockModulo;
-        let mut rr = 0;
-        assert_eq!(p.select(&meta(0), 4, &mut rr), 0);
-        assert_eq!(p.select(&meta(5), 4, &mut rr), 1);
-        assert_eq!(p.select(&meta(7), 4, &mut rr), 3);
-        // Same block, same server - the property staging relies on.
-        assert_eq!(p.select(&meta(7), 4, &mut rr), 3);
-    }
-
-    #[test]
-    fn round_robin_policy_rotates() {
-        let p = StagePolicy::RoundRobin;
-        let mut rr = 0;
-        let picks: Vec<usize> = (0..6).map(|_| p.select(&meta(9), 3, &mut rr)).collect();
-        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
-    }
-
-    #[test]
-    fn custom_policy_is_clamped_to_group_size() {
-        let p = StagePolicy::Custom(Arc::new(|m: &BlockMeta, _n| m.block_id as usize * 100));
-        let mut rr = 0;
-        let s = p.select(&meta(3), 4, &mut rr);
-        assert!(s < 4, "custom policy result must be reduced mod n");
-    }
-
-    #[test]
-    fn policies_cover_all_servers_for_dense_blocks() {
-        let p = StagePolicy::BlockModulo;
-        let mut rr = 0;
+    fn ring_placement_covers_all_servers_for_dense_blocks() {
+        let r = ring(4, 1);
         let mut seen = std::collections::BTreeSet::new();
-        for b in 0..8 {
-            seen.insert(p.select(&meta(b), 4, &mut rr));
+        for id in 0..64 {
+            seen.insert(r.primary(&BlockKey::new("p", id)).unwrap());
         }
         assert_eq!(seen.len(), 4, "all servers receive blocks");
+    }
+
+    #[test]
+    fn replication_yields_distinct_owners_primary_first() {
+        let r = ring(3, 2);
+        for id in 0..32 {
+            let k = BlockKey::new("p", id);
+            let owners = r.owners(&k);
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1]);
+            assert_eq!(owners[0], r.primary(&k).unwrap());
+        }
+    }
+
+    #[test]
+    fn single_server_ring_is_trivial() {
+        // The one-server PipelineHandle path reduces to "that server".
+        let members = [Address(7)];
+        let r = HashRing::build(&members, |_| None, RingConfig::default());
+        assert_eq!(r.owners(&BlockKey::new("p", 3)), vec![Address(7)]);
     }
 }

@@ -39,6 +39,11 @@ pub struct DaemonConfig {
     pub tick_interval: Duration,
     /// RPC liveness timeout for this daemon's outbound calls.
     pub rpc_timeout: Duration,
+    /// Run a staging-store repair pass whenever SSG reports a death or
+    /// departure (re-replicates under-replicated blocks without waiting
+    /// for the next commit). Deterministic harnesses that pin all
+    /// migration traffic to the 2PC boundary turn this off.
+    pub auto_repair: bool,
 }
 
 impl DaemonConfig {
@@ -51,12 +56,14 @@ impl DaemonConfig {
             ssg: SsgConfig::default(),
             tick_interval: Duration::from_millis(2),
             rpc_timeout: Duration::from_millis(500),
+            auto_repair: true,
         }
     }
 }
 
 enum Cmd {
     Tick,
+    TickSync(Sender<()>),
     SetStaticWorld(Vec<Address>),
     Stop,
     Kill,
@@ -139,10 +146,18 @@ impl ColzaDaemon {
                 .send((me, Arc::clone(&group), Arc::clone(&provider)))
                 .expect("daemon handshake");
 
-            // Service loop: gossip on a timer, watch for admin leave.
+            // Service loop: gossip on a timer, watch for admin leave,
+            // repair the staging store after membership losses.
             loop {
+                if cfg.auto_repair && provider.take_repair_request() {
+                    provider.repair();
+                }
                 match cmd_rx.recv_timeout(cfg.tick_interval) {
                     Ok(Cmd::Tick) => group.tick(),
+                    Ok(Cmd::TickSync(done)) => {
+                        group.tick();
+                        let _ = done.send(());
+                    }
                     Ok(Cmd::SetStaticWorld(members)) => {
                         if let CommMode::MpiStatic(profile) = cfg.comm {
                             provider.set_static_world(minimpi::MpiComm::from_endpoint(
@@ -153,6 +168,9 @@ impl ColzaDaemon {
                         }
                     }
                     Ok(Cmd::Stop) => {
+                        // Drain before leaving: staged blocks move to
+                        // their owners under the view without us.
+                        provider.drain();
                         group.leave();
                         remove_connection_entry(&cfg.connection_file, me);
                         margo.finalize();
@@ -168,6 +186,7 @@ impl ColzaDaemon {
                         // time of foreground staging work.
                         group.tick_quiet();
                         if provider.leave_requested() {
+                            provider.drain();
                             group.leave();
                             remove_connection_entry(&cfg.connection_file, me);
                             margo.finalize();
@@ -214,6 +233,17 @@ impl ColzaDaemon {
     /// Requests one explicit SWIM tick (harness-driven experiments).
     pub fn tick(&self) {
         let _ = self.cmd.send(Cmd::Tick);
+    }
+
+    /// Runs one SWIM tick and waits for it to complete. Deterministic
+    /// harnesses serialize gossip with this: ticking daemons one at a
+    /// time makes the whole protocol-state evolution (and therefore the
+    /// fault-injection stream) a pure function of the seed.
+    pub fn tick_sync(&self) {
+        let (done_tx, done_rx) = bounded(1);
+        if self.cmd.send(Cmd::TickSync(done_tx)).is_ok() {
+            let _ = done_rx.recv();
+        }
     }
 
     /// Installs the static MPI world (MpiStatic deployments only).

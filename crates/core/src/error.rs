@@ -61,10 +61,14 @@ impl std::error::Error for ColzaError {}
 
 impl From<margo::RpcError> for ColzaError {
     fn from(e: margo::RpcError) -> Self {
-        if e.is_retryable() {
-            ColzaError::Unavailable(e.to_string())
-        } else {
-            ColzaError::Rpc(e.to_string())
+        match &e {
+            // A draining server refuses new blocks by design; the client
+            // re-routes them through the surviving view.
+            margo::RpcError::Handler(m) if m.starts_with(crate::provider::DRAINING) => {
+                ColzaError::Unavailable(m.clone())
+            }
+            _ if e.is_retryable() => ColzaError::Unavailable(e.to_string()),
+            _ => ColzaError::Rpc(e.to_string()),
         }
     }
 }

@@ -15,9 +15,10 @@
 //!    on any mismatch the client refreshes its view and retries. A
 //!    successful prepare *freezes* membership until `deactivate`.
 //! 2. [`stage`](client::DistributedPipelineHandle::stage) — sends only a
-//!    block's metadata plus an RDMA bulk handle; the selected server (by
-//!    block id, policy-pluggable) *pulls* the data from the simulation's
-//!    memory.
+//!    block's metadata plus an RDMA bulk handle; the block's ring owners
+//!    (consistent-hash primary plus optional replicas, computed from the
+//!    frozen member list by the `store` crate) *pull* the data from the
+//!    simulation's memory.
 //! 3. [`execute`](client::DistributedPipelineHandle::execute) — broadcast
 //!    to all servers; each builds the iteration's communicator from the
 //!    frozen member list (a fresh MoNA communicator — or a static MPI one
@@ -41,9 +42,9 @@ pub mod protocol;
 pub mod provider;
 
 pub use admin::AdminClient;
-pub use autoscale::{AutoScaleConfig, AutoScaler, ScaleDecision};
+pub use autoscale::{drain_aware_victims, select_victims, AutoScaleConfig, AutoScaler, ScaleDecision};
 pub use backend::{Backend, BackendCtx, StagedBlock};
-pub use client::{ColzaClient, DistributedPipelineHandle, PipelineHandle, StagePolicy};
+pub use client::{ColzaClient, DistributedPipelineHandle, PipelineHandle};
 pub use daemon::{ColzaDaemon, CommMode, DaemonConfig};
 pub use error::ColzaError;
 pub use protocol::{BlockMeta, MetricsReport};

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use na::{Address, BulkHandle};
+use store::{RingConfig, Role};
 
 /// Metadata accompanying a staged block (field name, dimensions, type —
 /// what the paper's `stage` RPC carries besides the memory handle).
@@ -36,6 +37,10 @@ pub(crate) struct CommitActivateArgs {
     pub iteration: u64,
     /// The frozen member list all parties agreed on; rank order.
     pub members: Vec<Address>,
+    /// Ring parameters for the iteration. Servers rebuild the placement
+    /// ring from `(members, ring)` and reconcile their holdings against
+    /// it before acknowledging the commit (DESIGN.md §10).
+    pub ring: RingConfig,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,6 +53,21 @@ pub(crate) struct AbortActivateArgs {
 pub(crate) struct StageArgs {
     pub pipeline: String,
     pub meta: BlockMeta,
+    /// Role this copy holds on the receiving server: the ring's primary
+    /// owner feeds the backend, replicas only keep the bytes.
+    pub role: Role,
+    pub bulk: BulkHandle,
+}
+
+/// Server-to-server block transfer (migration, drain and repair). The
+/// source exposes the payload and the destination pulls it — the same
+/// RDMA shape as `colza.stage`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct PushBlockArgs {
+    pub pipeline: String,
+    pub meta: BlockMeta,
+    /// Role the copy will hold at the destination.
+    pub role: Role,
     pub bulk: BulkHandle,
 }
 
@@ -94,6 +114,10 @@ pub struct MetricsReport {
     /// Whether tracing was enabled when scraped (all-zero counters are
     /// expected when it was not).
     pub enabled: bool,
+    /// Payload bytes currently held in the server's staging store —
+    /// the drain-aware shrink signal. Reported regardless of whether
+    /// tracing is enabled.
+    pub staged_bytes: u64,
     /// Counter name → cumulative value, in sorted name order.
     pub counters: Vec<(String, u64)>,
 }

@@ -1,16 +1,26 @@
 //! The Colza provider: server-side RPC handlers and pipeline management.
+//!
+//! Block placement and survival run through the `store` crate: every
+//! staged block is recorded in a [`StagingStore`] with its ring role
+//! (primary feeds the backend, replicas hold bytes for recovery), and
+//! every `commit_activate` reconciles the holdings against the newly
+//! frozen member list — pushing copies to new owners over the same RDMA
+//! pull path as `stage`, promoting surviving replicas when their primary
+//! died, and dropping copies the ring moved elsewhere (DESIGN.md §10).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
 use catalyst::{MonaVtkComm, MpiVtkComm};
-use margo::{HandlerPool, MargoInstance};
+use margo::{HandlerPool, MargoInstance, RetryConfig};
 use mona::MonaInstance;
 use na::Address;
 use ssg::SsgGroup;
+use store::{BlockKey, HashRing, RingConfig, Role, StagingStore, StoredBlock};
 use vizkit::Controller;
 
 use crate::backend::{self, Backend, BackendCtx, StagedBlock};
@@ -30,6 +40,14 @@ struct PipelineEntry {
     backend: Arc<dyn Backend>,
 }
 
+/// The member list and ring parameters blocks are currently placed
+/// under; updated by every `commit_activate` and by crash repair.
+#[derive(Debug, Clone)]
+struct Placement {
+    members: Vec<Address>,
+    cfg: RingConfig,
+}
+
 /// Per-server provider state, registered on a margo instance.
 pub struct ColzaProvider {
     margo: Arc<MargoInstance>,
@@ -39,6 +57,19 @@ pub struct ColzaProvider {
     pipelines: RwLock<HashMap<String, PipelineEntry>>,
     /// Member lists frozen by `commit_activate`, per (pipeline, iteration).
     frozen: Mutex<HashMap<(String, u64), Vec<Address>>>,
+    /// Every copy this server holds. Placement truth for sync/drain.
+    store: StagingStore,
+    /// What the held blocks were last placed against. The lock also
+    /// serializes sync/drain/repair passes.
+    placement: Mutex<Option<Placement>>,
+    /// Set by the SSG observer on a death/leave; the daemon loop turns it
+    /// into a repair pass.
+    repair_needed: AtomicBool,
+    /// Set (permanently) when this server starts draining out. New
+    /// stage/push admissions are refused from then on: a block admitted
+    /// after the drain snapshot would be acknowledged to the client and
+    /// then die with this server.
+    draining: AtomicBool,
     /// Set by the admin `leave` RPC; the daemon loop acts on it.
     pub(crate) leave_requested: AtomicBool,
 }
@@ -54,12 +85,30 @@ impl ColzaProvider {
         let provider = Arc::new(Self {
             margo: Arc::clone(&margo),
             mona,
-            group,
+            group: Arc::clone(&group),
             comm,
             pipelines: RwLock::new(HashMap::new()),
             frozen: Mutex::new(HashMap::new()),
+            store: StagingStore::new(),
+            placement: Mutex::new(None),
+            repair_needed: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             leave_requested: AtomicBool::new(false),
         });
+
+        // Membership-change hook: a death or departure leaves blocks
+        // under-replicated; flag it so the daemon loop runs a repair
+        // pass (when enabled) without waiting for the next commit.
+        {
+            let weak = Arc::downgrade(&provider);
+            group.observe(move |ev| {
+                if ev.is_departure() {
+                    if let Some(p) = weak.upgrade() {
+                        p.repair_needed.store(true, Ordering::Release);
+                    }
+                }
+            });
+        }
 
         // --- control-plane handlers -------------------------------------
         {
@@ -88,6 +137,18 @@ impl ColzaProvider {
                 move |args: CommitActivateArgs, _ctx| {
                     let entry = p.pipeline(&args.pipeline)?;
                     entry.activate(args.iteration)?;
+                    // Reconcile holdings against the newly frozen view
+                    // *before* acknowledging: when the commit returns,
+                    // every survivor-owned block is already in place and
+                    // fed, so `execute` can proceed from replicas. A
+                    // commit whose pushes did not all land must fail —
+                    // the client aborts and retries the 2PC, and the
+                    // dirty flag makes the next pass re-push what is
+                    // still missing.
+                    let failed = p.sync_to(&args.members, args.ring, "commit");
+                    if failed > 0 {
+                        return Err(format!("store sync incomplete: {failed} push(es) failed"));
+                    }
                     p.frozen
                         .lock()
                         .insert((args.pipeline, args.iteration), args.members);
@@ -119,11 +180,28 @@ impl ColzaProvider {
                     .endpoint
                     .rdma_get(args.bulk, 0, args.meta.size)
                     .map_err(|e| e.to_string())?;
-                entry.stage(StagedBlock {
-                    meta: args.meta,
-                    data,
-                })
+                p.admit(&args.pipeline, &entry, args.meta, args.role, data)
             });
+        }
+        {
+            // Server-to-server transfer (migration/drain/repair). In the
+            // heavy pool: a sync pass inside one server's commit handler
+            // must not be able to starve the destination's control pool.
+            let p = Arc::clone(&provider);
+            margo.register_in_pool(
+                "colza.store.push",
+                HandlerPool::Heavy,
+                move |args: PushBlockArgs, ctx| {
+                    let entry = p.pipeline(&args.pipeline)?;
+                    let data = ctx
+                        .endpoint
+                        .rdma_get(args.bulk, 0, args.meta.size)
+                        .map_err(|e| e.to_string())?;
+                    hpcsim::trace::counter_add("colza.store.recv.blocks", 1);
+                    hpcsim::trace::counter_add("colza.store.recv.bytes", args.meta.size as u64);
+                    p.admit(&args.pipeline, &entry, args.meta, args.role, data)
+                },
+            );
         }
         {
             let p = Arc::clone(&provider);
@@ -149,6 +227,7 @@ impl ColzaProvider {
             margo.register("colza.deactivate", move |args: DeactivateArgs, _ctx| {
                 let entry = p.pipeline(&args.pipeline)?;
                 entry.deactivate(args.iteration)?;
+                p.store.release_iteration(&args.pipeline, args.iteration);
                 p.frozen
                     .lock()
                     .remove(&(args.pipeline.clone(), args.iteration));
@@ -211,8 +290,10 @@ impl ColzaProvider {
             });
         }
         {
-            // Scrapes this server's trace counters (DESIGN.md §9). Always
-            // registered; with tracing disabled it reports empty counters.
+            // Scrapes this server's trace counters (DESIGN.md §9) and
+            // staging-store load. Always registered; with tracing
+            // disabled it reports empty counters (but live load).
+            let p = Arc::clone(&provider);
             margo.register("colza.admin.metrics", move |_: (), _ctx| {
                 let ctx = hpcsim::process::current();
                 let tracer = ctx.cluster().tracer();
@@ -220,6 +301,7 @@ impl ColzaProvider {
                 Ok(MetricsReport {
                     pid,
                     enabled: tracer.is_enabled(),
+                    staged_bytes: p.store.staged_bytes(),
                     counters: tracer.counters_for(pid),
                 })
             });
@@ -244,6 +326,326 @@ impl ColzaProvider {
     /// The membership group.
     pub fn group(&self) -> &Arc<SsgGroup> {
         &self.group
+    }
+
+    /// The staging store (test/diagnostic access).
+    pub fn store(&self) -> &StagingStore {
+        &self.store
+    }
+
+    /// Consumes a pending repair request flagged by the SSG observer.
+    pub fn take_repair_request(&self) -> bool {
+        self.repair_needed.swap(false, Ordering::AcqRel)
+    }
+
+    /// Re-replicates under-replicated blocks against the *current* SSG
+    /// view — the crash-repair path, run by the daemon loop after a
+    /// death or departure so `execute` can proceed from survivors even
+    /// before the next commit.
+    pub fn repair(&self) {
+        let view = self.group.view();
+        if view.is_empty() {
+            return;
+        }
+        let cfg = self
+            .placement
+            .lock()
+            .as_ref()
+            .map(|p| p.cfg)
+            .unwrap_or_default();
+        if self.sync_to(&view, cfg, "repair") > 0 {
+            // Incomplete pass: re-arm so the next daemon tick retries.
+            self.repair_needed.store(true, Ordering::Release);
+        }
+    }
+
+    /// Pushes every held block to its owners under the view *without*
+    /// this server, then drops the local copies — the graceful-shrink
+    /// path, run before `leave` so no block rides the leaver down.
+    pub fn drain(&self) {
+        let me = self.margo.address();
+        // Refuse new admissions from here on: anything admitted after the
+        // snapshot below would be acknowledged and then lost. `admit`
+        // re-checks the flag after its insert, so the flag plus the store
+        // mutex leave no window.
+        self.draining.store(true, Ordering::SeqCst);
+        let survivors: Vec<Address> = self
+            .group
+            .view()
+            .into_iter()
+            .filter(|&a| a != me)
+            .collect();
+        if survivors.is_empty() {
+            return;
+        }
+        let mut placement = self.placement.lock();
+        let blocks = self.store.snapshot();
+        if blocks.is_empty() {
+            return;
+        }
+        let (old_members, cfg) = match placement.as_ref() {
+            Some(p) => (p.members.clone(), p.cfg),
+            None => (self.group.view(), RingConfig::default()),
+        };
+        let old_ring = HashRing::build_in_sim(&old_members, cfg);
+        let new_ring = HashRing::build_in_sim(&survivors, cfg);
+        let mut sp = hpcsim::trace::span("colza", "colza.store.drain");
+        if sp.active() {
+            sp.arg("blocks", blocks.len());
+            sp.arg("survivors", survivors.len());
+        }
+        let (mut moved_blocks, mut moved_bytes) = (0u64, 0u64);
+        for b in blocks {
+            let old_owners = old_ring.owners(&b.key);
+            // Unlike a sync pass, the leaver pushes to *every* new owner
+            // that is not already a surviving holder: survivors only
+            // reconcile at the next commit, and the data must be safe
+            // before this server goes away.
+            let mut all_landed = true;
+            for (i, &target) in new_ring.owners(&b.key).iter().enumerate() {
+                if old_owners.contains(&target) {
+                    continue;
+                }
+                let role = if i == 0 { Role::Primary } else { Role::Replica };
+                match self.push_block(target, &b, role) {
+                    Ok(()) => {
+                        moved_blocks += 1;
+                        moved_bytes += b.data.len() as u64;
+                    }
+                    Err(_) => {
+                        all_landed = false;
+                        hpcsim::trace::counter_add("colza.store.push_failed", 1)
+                    }
+                }
+            }
+            if !all_landed {
+                // Keep the copy rather than silently lose it: the leave
+                // does not quiesce until the store is empty, so a failed
+                // drain surfaces as a stuck departure, not missing data.
+                continue;
+            }
+            let meta = block_meta(&b);
+            if let Some(removed) = self.store.remove(&b.key.pipeline, b.iteration, b.key.block_id) {
+                if removed.fed {
+                    if let Ok(entry) = self.pipeline(&b.key.pipeline) {
+                        let _ = entry.unstage(&meta);
+                    }
+                }
+            }
+        }
+        hpcsim::trace::counter_add("colza.store.drain.blocks", moved_blocks);
+        hpcsim::trace::counter_add("colza.store.drain.bytes", moved_bytes);
+        *placement = Some(Placement {
+            members: survivors,
+            cfg,
+        });
+    }
+
+    /// Records a staged or pushed copy and feeds the backend when this
+    /// server is the copy's primary. Insert is idempotent (stage
+    /// retries, repair races); the feed claim guarantees at most one
+    /// feed per copy.
+    fn admit(
+        &self,
+        pipeline: &str,
+        entry: &Arc<dyn Backend>,
+        meta: BlockMeta,
+        role: Role,
+        data: bytes::Bytes,
+    ) -> std::result::Result<(), String> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(DRAINING.to_string());
+        }
+        let fresh = self.store.insert(StoredBlock {
+            key: BlockKey::new(pipeline, meta.block_id),
+            name: meta.name.clone(),
+            iteration: meta.iteration,
+            role,
+            fed: false,
+            data: data.clone(),
+        });
+        // Re-check after the insert: if a drain set the flag in between,
+        // its snapshot may have missed this block. Undo and refuse — the
+        // store mutex (insert vs. snapshot) makes the flag visible here
+        // whenever the snapshot ran first.
+        if self.draining.load(Ordering::SeqCst) {
+            if fresh {
+                self.store.remove(pipeline, meta.iteration, meta.block_id);
+            }
+            return Err(DRAINING.to_string());
+        }
+        if role == Role::Primary && self.store.promote(pipeline, meta.iteration, meta.block_id) {
+            if let Err(e) = entry.stage(StagedBlock { meta: meta.clone(), data }) {
+                self.store.unmark_fed(pipeline, meta.iteration, meta.block_id);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconciles this server's holdings against a new placement: the
+    /// planner diffs the previous ring with the new one, and this server
+    /// pushes copies to new owners, promotes/demotes its own copies, and
+    /// drops what no longer belongs here. No-op when placement is
+    /// unchanged, so it is cheap to run on every commit. Returns the
+    /// number of pushes that failed; when nonzero the recorded placement
+    /// is reverted to the old view, so the next sync re-diffs and
+    /// re-pushes what is still owed (pushes are idempotent on the
+    /// receiver, so re-sending an already-landed copy is harmless).
+    fn sync_to(&self, members: &[Address], cfg: RingConfig, reason: &'static str) -> u64 {
+        let me = self.margo.address();
+        let mut placement = self.placement.lock();
+        let old = match placement.as_ref() {
+            Some(p) if p.members == members && p.cfg == cfg => return 0,
+            Some(p) => p.clone(),
+            None => {
+                *placement = Some(Placement {
+                    members: members.to_vec(),
+                    cfg,
+                });
+                return 0;
+            }
+        };
+        let blocks = self.store.snapshot();
+        *placement = Some(Placement {
+            members: members.to_vec(),
+            cfg,
+        });
+        if blocks.is_empty() {
+            return 0;
+        }
+        let mut sp = hpcsim::trace::span("colza", "colza.store.sync");
+        if sp.active() {
+            sp.arg("reason", reason);
+            sp.arg("blocks", blocks.len());
+            sp.arg("servers", members.len());
+        }
+        let old_ring = HashRing::build_in_sim(&old.members, old.cfg);
+        let new_ring = HashRing::build_in_sim(members, cfg);
+        let (mut moved_blocks, mut moved_bytes) = (0u64, 0u64);
+        let (mut promoted, mut demoted, mut dropped) = (0u64, 0u64, 0u64);
+        let mut failed = 0u64;
+        for b in blocks {
+            let sync = store::sync_block(
+                me,
+                &old_ring.owners(&b.key),
+                &new_ring.owners(&b.key),
+                new_ring.members(),
+            );
+            for (target, role) in &sync.push {
+                match self.push_block(*target, &b, *role) {
+                    Ok(()) => {
+                        moved_blocks += 1;
+                        moved_bytes += b.data.len() as u64;
+                    }
+                    Err(_) => {
+                        failed += 1;
+                        hpcsim::trace::counter_add("colza.store.push_failed", 1)
+                    }
+                }
+            }
+            let meta = block_meta(&b);
+            match sync.keep {
+                Some(Role::Primary) => {
+                    if self.store.promote(&b.key.pipeline, b.iteration, b.key.block_id) {
+                        promoted += 1;
+                        match self.pipeline(&b.key.pipeline) {
+                            Ok(entry) => {
+                                if entry
+                                    .stage(StagedBlock {
+                                        meta: meta.clone(),
+                                        data: b.data.clone(),
+                                    })
+                                    .is_err()
+                                {
+                                    self.store.unmark_fed(
+                                        &b.key.pipeline,
+                                        b.iteration,
+                                        b.key.block_id,
+                                    );
+                                }
+                            }
+                            Err(_) => {
+                                self.store
+                                    .unmark_fed(&b.key.pipeline, b.iteration, b.key.block_id)
+                            }
+                        }
+                    }
+                }
+                Some(Role::Replica) => {
+                    if self.store.demote(&b.key.pipeline, b.iteration, b.key.block_id) {
+                        demoted += 1;
+                        if let Ok(entry) = self.pipeline(&b.key.pipeline) {
+                            let _ = entry.unstage(&meta);
+                        }
+                    }
+                }
+                None => {
+                    if let Some(removed) =
+                        self.store.remove(&b.key.pipeline, b.iteration, b.key.block_id)
+                    {
+                        dropped += 1;
+                        if removed.fed {
+                            if let Ok(entry) = self.pipeline(&b.key.pipeline) {
+                                let _ = entry.unstage(&meta);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        hpcsim::trace::counter_add("colza.store.moved.blocks", moved_blocks);
+        hpcsim::trace::counter_add("colza.store.moved.bytes", moved_bytes);
+        hpcsim::trace::counter_add("colza.store.promoted.blocks", promoted);
+        hpcsim::trace::counter_add("colza.store.demoted.blocks", demoted);
+        hpcsim::trace::counter_add("colza.store.dropped.blocks", dropped);
+        if failed > 0 {
+            // The new placement was not fully realized: fall back to the
+            // old one so the next pass (commit retry or repair tick)
+            // re-diffs against it and re-pushes the copies still owed.
+            *placement = Some(old);
+        }
+        failed
+    }
+
+    /// Pushes one copy to a peer: expose the payload, forward the push
+    /// RPC, let the peer RDMA-pull — the same bulk shape as `stage`.
+    fn push_block(
+        &self,
+        target: Address,
+        b: &StoredBlock,
+        role: Role,
+    ) -> std::result::Result<(), margo::RpcError> {
+        let mut sp = hpcsim::trace::span("colza", "colza.store.push");
+        if sp.active() {
+            sp.arg("block", b.key.block_id);
+            sp.arg("bytes", b.data.len());
+            sp.arg("to", target.0);
+        }
+        let endpoint = self.margo.endpoint();
+        let bulk = endpoint.expose(b.data.clone());
+        let args = PushBlockArgs {
+            pipeline: b.key.pipeline.clone(),
+            meta: block_meta(b),
+            role,
+            bulk,
+        };
+        // Fast per-try timeout: a dropped push must not stall the caller
+        // (the commit/drain path holds a server pool slot while pushing,
+        // and the client's 2PC is waiting behind it).
+        let cfg = RetryConfig {
+            max_attempts: 0,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+            per_try_timeout: Duration::from_millis(500),
+            deadline: Some(Duration::from_secs(10)),
+            ..Default::default()
+        };
+        let out = self
+            .margo
+            .forward_retry(target, "colza.store.push", &args, &cfg);
+        endpoint.unexpose(bulk).ok();
+        out
     }
 
     fn pipeline(&self, name: &str) -> std::result::Result<Arc<dyn Backend>, String> {
@@ -276,5 +678,19 @@ impl ColzaProvider {
                 Ok(Controller::new(MpiVtkComm::new(comm)))
             }
         }
+    }
+}
+
+/// Marker prefix of the drain refusal, recognized by
+/// `ColzaError::from(RpcError)` so clients treat it as retryable and
+/// re-route the block through the surviving view.
+pub(crate) const DRAINING: &str = "server draining";
+
+fn block_meta(b: &StoredBlock) -> BlockMeta {
+    BlockMeta {
+        name: b.name.clone(),
+        block_id: b.key.block_id,
+        iteration: b.iteration,
+        size: b.data.len(),
     }
 }

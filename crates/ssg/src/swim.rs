@@ -55,6 +55,25 @@ pub enum Event {
     Refuted(Address),
 }
 
+impl Event {
+    /// The member the event concerns.
+    pub fn addr(&self) -> Address {
+        match *self {
+            Event::Joined(a)
+            | Event::Suspected(a)
+            | Event::Died(a)
+            | Event::Left(a)
+            | Event::Refuted(a) => a,
+        }
+    }
+
+    /// Whether the member is gone from the view (crashed or left) — the
+    /// trigger for staging-store repair in observers.
+    pub fn is_departure(&self) -> bool {
+        matches!(self, Event::Died(_) | Event::Left(_))
+    }
+}
+
 /// Protocol constants.
 #[derive(Debug, Clone, Copy)]
 pub struct SwimConfig {

@@ -1,0 +1,36 @@
+//! # store — the resilient elastic staging store
+//!
+//! Colza's original design binds a staged block to exactly one server: a
+//! crash or shrink between `stage` and `execute` loses the block and the
+//! simulation must resubmit the whole iteration. This crate removes that
+//! weakness with three pieces, kept deliberately free of RPC machinery so
+//! every placement decision is a pure, testable function:
+//!
+//! 1. [`ring`] — a deterministic consistent-hash ring over the SSG member
+//!    view. Virtual nodes smooth the key distribution; a configurable
+//!    replication factor maps every block to a primary plus `k-1`
+//!    replicas, spread across distinct physical nodes when the topology
+//!    (from hpcsim) allows it. Determinism matters: client and every
+//!    server recompute the same ring from the same frozen member list,
+//!    with no coordination.
+//! 2. [`plan`] — the migration planner. Diffing the pre- and
+//!    post-membership rings at the `activate` 2PC boundary yields, per
+//!    held block, a minimal set of push transfers plus a keep/promote/
+//!    demote/drop verdict for the local copy. Grow rebalances, graceful
+//!    shrink drains, and crash repair re-replicates — all three are the
+//!    same diff.
+//! 3. [`store`] — [`StagingStore`], the per-server block table that backs
+//!    the provider: role (primary/replica) and fed-to-backend tracking,
+//!    idempotent inserts (pushes may race and repeat), and staged-byte
+//!    accounting exported through `colza.admin.metrics`.
+//!
+//! The RPC execution of a plan (bulk transfers over mona/na) lives in the
+//! `colza` provider; this crate only decides *what* moves *where*.
+
+pub mod plan;
+pub mod ring;
+pub mod store;
+
+pub use plan::{rebalance_plan, sync_block, BlockSync, Transfer};
+pub use ring::{key_hash, BlockKey, HashRing, RingConfig};
+pub use store::{Role, StagingStore, StoredBlock};

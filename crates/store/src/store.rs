@@ -1,0 +1,254 @@
+//! The per-server block table backing a Colza provider.
+//!
+//! Every staged (or migrated-in) block is recorded here with its role and
+//! whether it has been *fed* to the pipeline backend. Only the primary
+//! copy is fed — that is what keeps `execute` rendering each block
+//! exactly once across the staging area even when `k` servers hold it —
+//! and promotion/demotion during repair flips feeding accordingly.
+//! Inserts are idempotent: stage retries, drain and repair may race and
+//! deliver the same copy twice.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::ring::BlockKey;
+
+/// The role of one copy of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// The copy fed to the backend; exactly one per block per view.
+    Primary,
+    /// A passive copy kept for crash recovery.
+    Replica,
+}
+
+/// One copy of a block held by a server.
+#[derive(Debug, Clone)]
+pub struct StoredBlock {
+    /// Placement key (pipeline, block id).
+    pub key: BlockKey,
+    /// Dataset/field name from the block's metadata.
+    pub name: String,
+    /// Iteration the block belongs to.
+    pub iteration: u64,
+    /// This copy's role.
+    pub role: Role,
+    /// Whether this copy has been fed to the backend.
+    pub fed: bool,
+    /// The payload.
+    pub data: Bytes,
+}
+
+type Key = (String, u64, u64); // (pipeline, iteration, block_id)
+
+fn key_of(b: &StoredBlock) -> Key {
+    (b.key.pipeline.clone(), b.iteration, b.key.block_id)
+}
+
+/// The block table. Iteration order (and therefore sync/drain push
+/// order) is the sorted `(pipeline, iteration, block_id)` order, which
+/// keeps migration traffic deterministic for a deterministic store.
+#[derive(Debug, Default)]
+pub struct StagingStore {
+    blocks: Mutex<BTreeMap<Key, StoredBlock>>,
+    bytes: AtomicU64,
+}
+
+impl StagingStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a copy. Idempotent: re-inserting an already-held block
+    /// keeps the existing payload and fed flag, only upgrading the role
+    /// to `Primary` if the incoming copy claims it. Returns `true` when
+    /// the block was not held before.
+    pub fn insert(&self, block: StoredBlock) -> bool {
+        let k = key_of(&block);
+        let mut blocks = self.blocks.lock();
+        match blocks.get_mut(&k) {
+            Some(existing) => {
+                if block.role == Role::Primary {
+                    existing.role = Role::Primary;
+                }
+                false
+            }
+            None => {
+                self.bytes.fetch_add(block.data.len() as u64, Ordering::Relaxed);
+                blocks.insert(k, block);
+                true
+            }
+        }
+    }
+
+    /// Makes a held copy the primary. Returns `true` when the copy still
+    /// needs to be fed to the backend (and marks it fed — the caller must
+    /// feed it or call [`StagingStore::unmark_fed`] on failure).
+    pub fn promote(&self, pipeline: &str, iteration: u64, block_id: u64) -> bool {
+        let mut blocks = self.blocks.lock();
+        match blocks.get_mut(&(pipeline.to_string(), iteration, block_id)) {
+            Some(b) => {
+                b.role = Role::Primary;
+                if b.fed {
+                    false
+                } else {
+                    b.fed = true;
+                    true
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Demotes a held copy to replica. Returns `true` when the copy had
+    /// been fed (the caller must unstage it from the backend).
+    pub fn demote(&self, pipeline: &str, iteration: u64, block_id: u64) -> bool {
+        let mut blocks = self.blocks.lock();
+        match blocks.get_mut(&(pipeline.to_string(), iteration, block_id)) {
+            Some(b) => {
+                b.role = Role::Replica;
+                std::mem::take(&mut b.fed)
+            }
+            None => false,
+        }
+    }
+
+    /// Reverts a [`StagingStore::promote`] feed claim after the backend
+    /// rejected the block.
+    pub fn unmark_fed(&self, pipeline: &str, iteration: u64, block_id: u64) {
+        if let Some(b) = self
+            .blocks
+            .lock()
+            .get_mut(&(pipeline.to_string(), iteration, block_id))
+        {
+            b.fed = false;
+        }
+    }
+
+    /// Removes one copy, returning it.
+    pub fn remove(&self, pipeline: &str, iteration: u64, block_id: u64) -> Option<StoredBlock> {
+        let removed = self
+            .blocks
+            .lock()
+            .remove(&(pipeline.to_string(), iteration, block_id));
+        if let Some(b) = &removed {
+            self.bytes.fetch_sub(b.data.len() as u64, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Drops every copy belonging to `(pipeline, iteration)` — the
+    /// `deactivate` release path. Returns how many were dropped.
+    pub fn release_iteration(&self, pipeline: &str, iteration: u64) -> usize {
+        let mut blocks = self.blocks.lock();
+        let keys: Vec<Key> = blocks
+            .range((pipeline.to_string(), iteration, 0)..=(pipeline.to_string(), iteration, u64::MAX))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut dropped = 0;
+        for k in keys {
+            if let Some(b) = blocks.remove(&k) {
+                self.bytes.fetch_sub(b.data.len() as u64, Ordering::Relaxed);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// A sorted snapshot of every held copy (sync and drain walk this).
+    pub fn snapshot(&self) -> Vec<StoredBlock> {
+        self.blocks.lock().values().cloned().collect()
+    }
+
+    /// Total payload bytes currently held (the drain-aware shrink
+    /// signal exported through `colza.admin.metrics`).
+    pub fn staged_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of copies held.
+    pub fn len(&self) -> usize {
+        self.blocks.lock().len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(id: u64, role: Role, bytes: usize) -> StoredBlock {
+        StoredBlock {
+            key: BlockKey::new("p", id),
+            name: "field".to_string(),
+            iteration: 0,
+            role,
+            fed: false,
+            data: Bytes::from(vec![0u8; bytes]),
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_counts_bytes() {
+        let s = StagingStore::new();
+        assert!(s.insert(block(1, Role::Replica, 10)));
+        assert!(!s.insert(block(1, Role::Replica, 10)), "duplicate insert");
+        assert_eq!(s.staged_bytes(), 10);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_upgrades_role_but_never_downgrades() {
+        let s = StagingStore::new();
+        s.insert(block(1, Role::Replica, 4));
+        s.insert(block(1, Role::Primary, 4));
+        assert_eq!(s.snapshot()[0].role, Role::Primary);
+        s.insert(block(1, Role::Replica, 4));
+        assert_eq!(s.snapshot()[0].role, Role::Primary);
+    }
+
+    #[test]
+    fn promote_claims_feeding_exactly_once() {
+        let s = StagingStore::new();
+        s.insert(block(1, Role::Replica, 4));
+        assert!(s.promote("p", 0, 1), "first promote must feed");
+        assert!(!s.promote("p", 0, 1), "already fed");
+        assert!(s.demote("p", 0, 1), "was fed: caller unstages");
+        assert!(s.promote("p", 0, 1), "re-promotion feeds again");
+        s.unmark_fed("p", 0, 1);
+        assert!(s.promote("p", 0, 1), "failed feed can be retried");
+    }
+
+    #[test]
+    fn release_iteration_only_touches_that_iteration() {
+        let s = StagingStore::new();
+        s.insert(block(1, Role::Primary, 8));
+        let mut b2 = block(2, Role::Primary, 8);
+        b2.iteration = 1;
+        s.insert(b2);
+        assert_eq!(s.release_iteration("p", 0), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.staged_bytes(), 8);
+        assert_eq!(s.release_iteration("other", 1), 0);
+    }
+
+    #[test]
+    fn remove_returns_the_copy() {
+        let s = StagingStore::new();
+        s.insert(block(3, Role::Replica, 16));
+        let b = s.remove("p", 0, 3).expect("held");
+        assert_eq!(b.key.block_id, 3);
+        assert_eq!(s.staged_bytes(), 0);
+        assert!(s.is_empty());
+        assert!(s.remove("p", 0, 3).is_none());
+    }
+}

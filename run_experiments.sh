@@ -17,4 +17,5 @@ $B/fig8_frameworks --clients 8 --servers 8 --blocks-per-client 4 --iters 6 --gri
 $B/fig9_elastic_mandelbulb               > results/fig9.txt   2>&1
 $B/fig10_elastic_dwi                     > results/fig10.txt  2>&1
 $B/ablation_2pc                          > results/ablation_2pc.txt 2>&1
+$B/bench_store --out results/BENCH_store.json > results/bench_store.txt 2>&1
 echo ALL_DONE

@@ -15,12 +15,15 @@ export COLZA_CHAOS_SEED
 
 cargo build --release --offline --workspace
 cargo test -q --offline
+cargo test -q --offline -p store
 cargo test -q --offline --test chaos_e2e
+cargo test -q --offline --test chaos_e2e crashed_primary_recovers_from_replicas_deterministically
+cargo test -q --offline --test chaos_e2e request_leave_during_staging_loses_no_block
 cargo test -q --offline --test observability_e2e
 
 # The trace feature must compile away cleanly: every instrumented crate
 # has to build with instrumentation disabled.
-for crate in hpcsim na mona minimpi margo ssg colza colza-bench; do
+for crate in hpcsim na mona minimpi margo ssg store colza colza-bench; do
     cargo build -q --offline -p "$crate" --no-default-features
 done
 

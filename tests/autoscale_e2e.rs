@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use colza::daemon::{launch_group, settle_views};
 use colza::{
-    AdminClient, AutoScaleConfig, AutoScaler, BlockMeta, ColzaClient, ColzaDaemon, DaemonConfig,
-    ScaleDecision,
+    drain_aware_victims, AdminClient, AutoScaleConfig, AutoScaler, BlockMeta, ColzaClient,
+    ColzaDaemon, DaemonConfig, ScaleDecision,
 };
 use margo::MargoInstance;
 use na::Fabric;
@@ -116,6 +116,89 @@ fn autoscaler_grows_the_staging_area_under_load() {
         *sizes.last().unwrap() > 1,
         "staging area should have grown by the end: {sizes:?}"
     );
+    for d in daemons {
+        d.stop();
+    }
+    std::fs::remove_file(&conn).ok();
+}
+
+/// Shrink victim selection is drain-aware: with uneven staged load
+/// across the area, [`drain_aware_victims`] scrapes each server's
+/// staged-byte load over the metrics RPC and nominates the server whose
+/// departure moves the fewest bytes.
+#[test]
+fn shrink_victims_are_chosen_by_staged_load() {
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    cluster.shared().tracer().set_enabled(true);
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let conn = std::env::temp_dir().join(format!("autoscale-drain-{}.addrs", std::process::id()));
+    std::fs::remove_file(&conn).ok();
+    let cfg = DaemonConfig::new(&conn);
+    let daemons = launch_group(&cluster, &fabric, 3, 1, 0, &cfg);
+    let contact = daemons[0].address();
+
+    let f2 = fabric.clone();
+    let (staged_tx, staged_rx) = crossbeam::channel::bounded::<()>(1);
+    let (victim_tx, victim_rx) = crossbeam::channel::bounded::<Vec<na::Address>>(1);
+    let (done_tx, done_rx) = crossbeam::channel::bounded::<()>(1);
+    let sim = cluster.spawn("sim", 8, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+        let view = client.view_from(contact).unwrap();
+        admin.create_pipeline_on_all(&view, "null", "p", "").unwrap();
+        let handle = client.distributed_handle(contact, "p").unwrap();
+        handle.activate(0).unwrap();
+        // Enough blocks of varying size that the ring spreads a clearly
+        // uneven byte load across the three servers.
+        for b in 0..12u64 {
+            let payload = bytes::Bytes::from(vec![1u8; 128 * (b as usize + 1)]);
+            handle
+                .stage(
+                    BlockMeta {
+                        name: "x".into(),
+                        block_id: b,
+                        iteration: 0,
+                        size: payload.len(),
+                    },
+                    &payload,
+                )
+                .unwrap();
+        }
+        staged_tx.send(()).unwrap();
+        victim_tx
+            .send(drain_aware_victims(&admin, &view, 1))
+            .unwrap();
+        done_rx.recv().unwrap();
+        handle.deactivate(0).unwrap();
+        margo.finalize();
+    });
+
+    staged_rx.recv().unwrap();
+    let victims = victim_rx.recv().unwrap();
+    // Independent expectation, straight from the stores (not the metrics
+    // RPC under test): least bytes wins; ties go to the later member.
+    let mut view: Vec<na::Address> = daemons.iter().map(|d| d.address()).collect();
+    view.sort_unstable();
+    let loads: Vec<(na::Address, u64)> = view
+        .iter()
+        .map(|&a| {
+            let d = daemons.iter().find(|d| d.address() == a).unwrap();
+            (a, d.provider().store().staged_bytes())
+        })
+        .collect();
+    let expected = colza::select_victims(&loads, 1);
+    assert_eq!(victims, expected, "victim must be the least-loaded server");
+    assert_eq!(
+        cluster
+            .shared()
+            .trace_snapshot()
+            .counter_total("autoscale.victim.drain_aware"),
+        1,
+        "each nomination must be counted in the trace"
+    );
+    done_tx.send(()).unwrap();
+    sim.join();
     for d in daemons {
         d.stop();
     }
