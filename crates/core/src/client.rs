@@ -360,6 +360,11 @@ impl DistributedPipelineHandle {
     /// ring over the surviving members — the block lands on the dead
     /// server's successor instead of being lost. Server-side inserts are
     /// idempotent, so re-staging an already-delivered copy is harmless.
+    /// A re-route can transiently leave the block *fed* on two servers
+    /// (the original primary was falsely suspected, or fed the copy
+    /// before the failure); servers settle that at `execute` time by
+    /// reconciling fed state against the frozen placement, so the block
+    /// still renders exactly once.
     pub fn stage(&self, meta: BlockMeta, payload: &Bytes) -> Result<()> {
         const MAX_REROUTES: usize = 4;
         let mut last: Option<ColzaError> = None;

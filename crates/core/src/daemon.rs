@@ -169,8 +169,14 @@ impl ColzaDaemon {
                     }
                     Ok(Cmd::Stop) => {
                         // Drain before leaving: staged blocks move to
-                        // their owners under the view without us.
-                        provider.drain();
+                        // their owners under the view without us. Stop is
+                        // a hard shutdown — the owner is joining on this
+                        // thread — so after the bounded retries inside
+                        // `drain_for_leave` we must exit either way; the
+                        // counter records any copies abandoned.
+                        if !drain_for_leave(&provider, &group, me) {
+                            hpcsim::trace::counter_add("colza.store.drain.abandoned", 1);
+                        }
                         group.leave();
                         remove_connection_entry(&cfg.connection_file, me);
                         margo.finalize();
@@ -186,11 +192,18 @@ impl ColzaDaemon {
                         // time of foreground staging work.
                         group.tick_quiet();
                         if provider.leave_requested() {
-                            provider.drain();
-                            group.leave();
-                            remove_connection_entry(&cfg.connection_file, me);
-                            margo.finalize();
-                            return;
+                            if drain_for_leave(&provider, &group, me) {
+                                group.leave();
+                                remove_connection_entry(&cfg.connection_file, me);
+                                margo.finalize();
+                                return;
+                            }
+                            // The store would not empty: leaving now would
+                            // take the kept copies down with us. Call the
+                            // departure off — admissions resume, and a
+                            // later admin `leave` retries from scratch.
+                            provider.cancel_departure();
+                            hpcsim::trace::counter_add("colza.store.drain.cancelled", 1);
                         }
                     }
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
@@ -327,6 +340,34 @@ pub fn settle_views(daemons: &[ColzaDaemon], expect: usize) {
         "views failed to settle at {expect}: {:?}",
         daemons.iter().map(|d| d.view().len()).collect::<Vec<_>>()
     );
+}
+
+/// Drains the provider's store ahead of a departure, looping until it
+/// empties: `drain()` deliberately keeps every block whose push failed,
+/// so a single pass under message loss can leave copies behind that
+/// would die with the leaver. Bounded retries with backoff ride out
+/// transient loss; each pass re-reads the SSG view, so a target that
+/// died mid-drain is replaced by its successor on the next pass.
+///
+/// Returns whether every copy is safe: the store emptied, or no
+/// survivor exists to push to (the whole group is going away — there is
+/// nowhere for the data to live).
+fn drain_for_leave(provider: &ColzaProvider, group: &SsgGroup, me: Address) -> bool {
+    const ATTEMPTS: u32 = 8;
+    for attempt in 0..ATTEMPTS {
+        provider.drain();
+        if provider.store().is_empty() {
+            return true;
+        }
+        if !group.view().iter().any(|&a| a != me) {
+            return true;
+        }
+        if attempt + 1 < ATTEMPTS {
+            hpcsim::trace::counter_add("colza.store.drain.retries", 1);
+            std::thread::sleep(Duration::from_millis(5u64 << attempt.min(5)));
+        }
+    }
+    provider.store().is_empty()
 }
 
 fn read_connection_file(path: &PathBuf) -> Vec<Address> {

@@ -55,8 +55,9 @@ pub struct ColzaProvider {
     group: Arc<SsgGroup>,
     comm: ProviderComm,
     pipelines: RwLock<HashMap<String, PipelineEntry>>,
-    /// Member lists frozen by `commit_activate`, per (pipeline, iteration).
-    frozen: Mutex<HashMap<(String, u64), Vec<Address>>>,
+    /// Member lists and ring parameters frozen by `commit_activate`, per
+    /// (pipeline, iteration).
+    frozen: Mutex<HashMap<(String, u64), (Vec<Address>, RingConfig)>>,
     /// Every copy this server holds. Placement truth for sync/drain.
     store: StagingStore,
     /// What the held blocks were last placed against. The lock also
@@ -65,10 +66,11 @@ pub struct ColzaProvider {
     /// Set by the SSG observer on a death/leave; the daemon loop turns it
     /// into a repair pass.
     repair_needed: AtomicBool,
-    /// Set (permanently) when this server starts draining out. New
-    /// stage/push admissions are refused from then on: a block admitted
-    /// after the drain snapshot would be acknowledged to the client and
-    /// then die with this server.
+    /// Set while this server drains out. New stage/push admissions are
+    /// refused from then on: a block admitted after the drain snapshot
+    /// would be acknowledged to the client and then die with this
+    /// server. Cleared only by [`ColzaProvider::cancel_departure`] when
+    /// a drain cannot empty the store and the departure is called off.
     draining: AtomicBool,
     /// Set by the admin `leave` RPC; the daemon loop acts on it.
     pub(crate) leave_requested: AtomicBool,
@@ -151,7 +153,7 @@ impl ColzaProvider {
                     }
                     p.frozen
                         .lock()
-                        .insert((args.pipeline, args.iteration), args.members);
+                        .insert((args.pipeline, args.iteration), (args.members, args.ring));
                     Ok(())
                 },
             );
@@ -207,12 +209,16 @@ impl ColzaProvider {
             let p = Arc::clone(&provider);
             margo.register_in_pool("colza.execute", HandlerPool::Heavy, move |args: ExecuteArgs, _ctx| {
                 let entry = p.pipeline(&args.pipeline)?;
-                let members = p
+                let (members, ring_cfg) = p
                     .frozen
                     .lock()
                     .get(&(args.pipeline.clone(), args.iteration))
                     .cloned()
                     .ok_or_else(|| "execute before activate".to_string())?;
+                // Settle which copies render before running the pipeline:
+                // a mid-iteration re-route or repair may have fed a block
+                // on two servers (or on none that survived).
+                p.reconcile_fed(&args.pipeline, &entry, args.iteration, &members, ring_cfg);
                 let ctrl = p.controller(&members, args.iteration)?;
                 let mut sp = hpcsim::trace::span("colza", "colza.srv.execute");
                 if sp.active() {
@@ -338,6 +344,17 @@ impl ColzaProvider {
         self.repair_needed.swap(false, Ordering::AcqRel)
     }
 
+    /// Calls off a departure whose drain could not empty the store:
+    /// clears the admission refusal so the server resumes serving, and
+    /// the pending leave flag so the daemon loop stops retrying. Leaving
+    /// anyway would take the kept copies down with the leaver — exactly
+    /// what the drain-before-leave contract forbids. A later admin
+    /// `leave` restarts the drain from scratch.
+    pub fn cancel_departure(&self) {
+        self.draining.store(false, Ordering::SeqCst);
+        self.leave_requested.store(false, Ordering::SeqCst);
+    }
+
     /// Re-replicates under-replicated blocks against the *current* SSG
     /// view — the crash-repair path, run by the daemon loop after a
     /// death or departure so `execute` can proceed from survivors even
@@ -419,13 +436,17 @@ impl ColzaProvider {
                 }
             }
             if !all_landed {
-                // Keep the copy rather than silently lose it: the leave
-                // does not quiesce until the store is empty, so a failed
-                // drain surfaces as a stuck departure, not missing data.
+                // Keep the copy rather than silently lose it: the daemon
+                // loops drain until the store is empty before it leaves
+                // the group, so a failed drain surfaces as a stuck (or
+                // aborted) departure, not missing data.
                 continue;
             }
             let meta = block_meta(&b);
-            if let Some(removed) = self.store.remove(&b.key.pipeline, b.iteration, b.key.block_id) {
+            if let Some(removed) =
+                self.store
+                    .remove(&b.key.pipeline, b.iteration, b.key.block_id, &b.name)
+            {
                 if removed.fed {
                     if let Ok(entry) = self.pipeline(&b.key.pipeline) {
                         let _ = entry.unstage(&meta);
@@ -470,13 +491,19 @@ impl ColzaProvider {
         // whenever the snapshot ran first.
         if self.draining.load(Ordering::SeqCst) {
             if fresh {
-                self.store.remove(pipeline, meta.iteration, meta.block_id);
+                self.store
+                    .remove(pipeline, meta.iteration, meta.block_id, &meta.name);
             }
             return Err(DRAINING.to_string());
         }
-        if role == Role::Primary && self.store.promote(pipeline, meta.iteration, meta.block_id) {
+        if role == Role::Primary
+            && self
+                .store
+                .promote(pipeline, meta.iteration, meta.block_id, &meta.name)
+        {
             if let Err(e) = entry.stage(StagedBlock { meta: meta.clone(), data }) {
-                self.store.unmark_fed(pipeline, meta.iteration, meta.block_id);
+                self.store
+                    .unmark_fed(pipeline, meta.iteration, meta.block_id, &meta.name);
                 return Err(e);
             }
         }
@@ -532,6 +559,7 @@ impl ColzaProvider {
                 &new_ring.owners(&b.key),
                 new_ring.members(),
             );
+            let mut all_landed = true;
             for (target, role) in &sync.push {
                 match self.push_block(*target, &b, *role) {
                     Ok(()) => {
@@ -540,6 +568,7 @@ impl ColzaProvider {
                     }
                     Err(_) => {
                         failed += 1;
+                        all_landed = false;
                         hpcsim::trace::counter_add("colza.store.push_failed", 1)
                     }
                 }
@@ -547,7 +576,10 @@ impl ColzaProvider {
             let meta = block_meta(&b);
             match sync.keep {
                 Some(Role::Primary) => {
-                    if self.store.promote(&b.key.pipeline, b.iteration, b.key.block_id) {
+                    if self
+                        .store
+                        .promote(&b.key.pipeline, b.iteration, b.key.block_id, &b.name)
+                    {
                         promoted += 1;
                         match self.pipeline(&b.key.pipeline) {
                             Ok(entry) => {
@@ -562,18 +594,24 @@ impl ColzaProvider {
                                         &b.key.pipeline,
                                         b.iteration,
                                         b.key.block_id,
+                                        &b.name,
                                     );
                                 }
                             }
-                            Err(_) => {
-                                self.store
-                                    .unmark_fed(&b.key.pipeline, b.iteration, b.key.block_id)
-                            }
+                            Err(_) => self.store.unmark_fed(
+                                &b.key.pipeline,
+                                b.iteration,
+                                b.key.block_id,
+                                &b.name,
+                            ),
                         }
                     }
                 }
                 Some(Role::Replica) => {
-                    if self.store.demote(&b.key.pipeline, b.iteration, b.key.block_id) {
+                    if self
+                        .store
+                        .demote(&b.key.pipeline, b.iteration, b.key.block_id, &b.name)
+                    {
                         demoted += 1;
                         if let Ok(entry) = self.pipeline(&b.key.pipeline) {
                             let _ = entry.unstage(&meta);
@@ -581,8 +619,17 @@ impl ColzaProvider {
                     }
                 }
                 None => {
+                    // Drop the local copy only once every push for this
+                    // block landed. Removing it under a failed push would
+                    // make the revert-and-retry below unrecoverable: the
+                    // retried sync snapshots the store, the block is gone,
+                    // nothing is re-pushed — permanent loss at k=1.
+                    if !all_landed {
+                        continue;
+                    }
                     if let Some(removed) =
-                        self.store.remove(&b.key.pipeline, b.iteration, b.key.block_id)
+                        self.store
+                            .remove(&b.key.pipeline, b.iteration, b.key.block_id, &b.name)
                     {
                         dropped += 1;
                         if removed.fed {
@@ -606,6 +653,71 @@ impl ColzaProvider {
             *placement = Some(old);
         }
         failed
+    }
+
+    /// Settles, at `execute` time, which copies of an iteration's blocks
+    /// are fed to the backend: exactly the primary under the frozen
+    /// placement restricted to members still in the current SSG view.
+    ///
+    /// Two hazards close here. A client that re-routed a `stage` through
+    /// a refreshed view mid-iteration can have fed a block on both the
+    /// frozen primary and its successor (the frozen primary was falsely
+    /// suspected, or had already fed the copy before refusing) — the
+    /// stale copy is demoted so the block renders once. Conversely, when
+    /// the frozen primary died and no repair pass ran, the surviving
+    /// successor promotes and feeds its replica so `execute` proceeds
+    /// instead of rendering a hole. In a healthy iteration fed state
+    /// already matches the frozen ring and this is a no-op.
+    fn reconcile_fed(
+        &self,
+        pipeline: &str,
+        entry: &Arc<dyn Backend>,
+        iteration: u64,
+        frozen: &[Address],
+        cfg: RingConfig,
+    ) {
+        let me = self.margo.address();
+        let current = self.group.view();
+        let alive: Vec<Address> = frozen
+            .iter()
+            .copied()
+            .filter(|a| current.contains(a))
+            .collect();
+        if alive.is_empty() {
+            return;
+        }
+        // Serialize with sync/drain/repair passes.
+        let _placement = self.placement.lock();
+        let ring = HashRing::build_in_sim(&alive, cfg);
+        for b in self.store.snapshot() {
+            if b.key.pipeline != pipeline || b.iteration != iteration {
+                continue;
+            }
+            if ring.primary(&b.key) == Some(me) {
+                if self
+                    .store
+                    .promote(pipeline, iteration, b.key.block_id, &b.name)
+                {
+                    hpcsim::trace::counter_add("colza.store.exec.promoted", 1);
+                    if entry
+                        .stage(StagedBlock {
+                            meta: block_meta(&b),
+                            data: b.data.clone(),
+                        })
+                        .is_err()
+                    {
+                        self.store
+                            .unmark_fed(pipeline, iteration, b.key.block_id, &b.name);
+                    }
+                }
+            } else if self
+                .store
+                .demote(pipeline, iteration, b.key.block_id, &b.name)
+            {
+                hpcsim::trace::counter_add("colza.store.exec.demoted", 1);
+                let _ = entry.unstage(&block_meta(&b));
+            }
+        }
     }
 
     /// Pushes one copy to a peer: expose the payload, forward the push

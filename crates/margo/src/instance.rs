@@ -353,10 +353,11 @@ impl MargoInstance {
                     // without re-executing the handler.
                     self.endpoint.ctx().advance(RPC_SW_NS);
                     hpcsim::trace::counter_add("rpc.dedup.replayed", 1);
-                    let cached_len = cached.len() as u64;
-                    if self.endpoint.send(caller, env.resp_tag, cached).is_ok() {
-                        hpcsim::trace::counter_add("rpc.bytes.reply", cached_len);
-                    }
+                    // Counted before the send: once the reply leaves, the
+                    // caller unblocks and may finish (and snapshot the
+                    // tracer) before this thread runs again.
+                    hpcsim::trace::counter_add("rpc.bytes.reply", cached.len() as u64);
+                    let _ = self.endpoint.send(caller, env.resp_tag, cached);
                     continue;
                 }
                 Some(None) => {
@@ -399,11 +400,13 @@ impl MargoInstance {
                 };
                 let bytes = Bytes::from(wire::to_vec(&reply).expect("reply encodes"));
                 this.dedup.lock().complete(key, bytes.clone());
-                let reply_len = bytes.len() as u64;
-                // Best-effort: the caller may have died while we worked.
-                if this.endpoint.send(caller, env.resp_tag, bytes).is_ok() {
-                    hpcsim::trace::counter_add("rpc.bytes.reply", reply_len);
-                }
+                // Like the span above, the byte accounting must land before
+                // the reply does: the send unblocks the caller, which may
+                // finish — and snapshot the tracer — before this (detached)
+                // pool thread is scheduled again. The send itself stays
+                // best-effort: the caller may have died while we worked.
+                hpcsim::trace::counter_add("rpc.bytes.reply", bytes.len() as u64);
+                let _ = this.endpoint.send(caller, env.resp_tag, bytes);
             };
             match pool_choice {
                 Some(HandlerPool::Heavy) => self.heavy_pool.post(run),

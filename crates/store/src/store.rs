@@ -7,6 +7,11 @@
 //! and promotion/demotion during repair flips feeding accordingly.
 //! Inserts are idempotent: stage retries, drain and repair may race and
 //! deliver the same copy twice.
+//!
+//! A copy's identity is `(pipeline, iteration, block_id, dataset name)`:
+//! one block may carry several datasets (`BlockMeta::name`), and each is
+//! held separately. The *ring* key deliberately excludes the name, so
+//! all datasets of a block colocate on the same owners.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,15 +48,20 @@ pub struct StoredBlock {
     pub data: Bytes,
 }
 
-type Key = (String, u64, u64); // (pipeline, iteration, block_id)
+type Key = (String, u64, u64, String); // (pipeline, iteration, block_id, name)
 
 fn key_of(b: &StoredBlock) -> Key {
-    (b.key.pipeline.clone(), b.iteration, b.key.block_id)
+    (
+        b.key.pipeline.clone(),
+        b.iteration,
+        b.key.block_id,
+        b.name.clone(),
+    )
 }
 
 /// The block table. Iteration order (and therefore sync/drain push
-/// order) is the sorted `(pipeline, iteration, block_id)` order, which
-/// keeps migration traffic deterministic for a deterministic store.
+/// order) is the sorted `(pipeline, iteration, block_id, name)` order,
+/// which keeps migration traffic deterministic for a deterministic store.
 #[derive(Debug, Default)]
 pub struct StagingStore {
     blocks: Mutex<BTreeMap<Key, StoredBlock>>,
@@ -89,9 +99,9 @@ impl StagingStore {
     /// Makes a held copy the primary. Returns `true` when the copy still
     /// needs to be fed to the backend (and marks it fed — the caller must
     /// feed it or call [`StagingStore::unmark_fed`] on failure).
-    pub fn promote(&self, pipeline: &str, iteration: u64, block_id: u64) -> bool {
+    pub fn promote(&self, pipeline: &str, iteration: u64, block_id: u64, name: &str) -> bool {
         let mut blocks = self.blocks.lock();
-        match blocks.get_mut(&(pipeline.to_string(), iteration, block_id)) {
+        match blocks.get_mut(&(pipeline.to_string(), iteration, block_id, name.to_string())) {
             Some(b) => {
                 b.role = Role::Primary;
                 if b.fed {
@@ -107,9 +117,9 @@ impl StagingStore {
 
     /// Demotes a held copy to replica. Returns `true` when the copy had
     /// been fed (the caller must unstage it from the backend).
-    pub fn demote(&self, pipeline: &str, iteration: u64, block_id: u64) -> bool {
+    pub fn demote(&self, pipeline: &str, iteration: u64, block_id: u64, name: &str) -> bool {
         let mut blocks = self.blocks.lock();
-        match blocks.get_mut(&(pipeline.to_string(), iteration, block_id)) {
+        match blocks.get_mut(&(pipeline.to_string(), iteration, block_id, name.to_string())) {
             Some(b) => {
                 b.role = Role::Replica;
                 std::mem::take(&mut b.fed)
@@ -120,22 +130,28 @@ impl StagingStore {
 
     /// Reverts a [`StagingStore::promote`] feed claim after the backend
     /// rejected the block.
-    pub fn unmark_fed(&self, pipeline: &str, iteration: u64, block_id: u64) {
+    pub fn unmark_fed(&self, pipeline: &str, iteration: u64, block_id: u64, name: &str) {
         if let Some(b) = self
             .blocks
             .lock()
-            .get_mut(&(pipeline.to_string(), iteration, block_id))
+            .get_mut(&(pipeline.to_string(), iteration, block_id, name.to_string()))
         {
             b.fed = false;
         }
     }
 
     /// Removes one copy, returning it.
-    pub fn remove(&self, pipeline: &str, iteration: u64, block_id: u64) -> Option<StoredBlock> {
+    pub fn remove(
+        &self,
+        pipeline: &str,
+        iteration: u64,
+        block_id: u64,
+        name: &str,
+    ) -> Option<StoredBlock> {
         let removed = self
             .blocks
             .lock()
-            .remove(&(pipeline.to_string(), iteration, block_id));
+            .remove(&(pipeline.to_string(), iteration, block_id, name.to_string()));
         if let Some(b) = &removed {
             self.bytes.fetch_sub(b.data.len() as u64, Ordering::Relaxed);
         }
@@ -146,17 +162,16 @@ impl StagingStore {
     /// `deactivate` release path. Returns how many were dropped.
     pub fn release_iteration(&self, pipeline: &str, iteration: u64) -> usize {
         let mut blocks = self.blocks.lock();
-        let keys: Vec<Key> = blocks
-            .range((pipeline.to_string(), iteration, 0)..=(pipeline.to_string(), iteration, u64::MAX))
-            .map(|(k, _)| k.clone())
-            .collect();
         let mut dropped = 0;
-        for k in keys {
-            if let Some(b) = blocks.remove(&k) {
+        blocks.retain(|k, b| {
+            if k.0 == pipeline && k.1 == iteration {
                 self.bytes.fetch_sub(b.data.len() as u64, Ordering::Relaxed);
                 dropped += 1;
+                false
+            } else {
+                true
             }
-        }
+        });
         dropped
     }
 
@@ -220,12 +235,32 @@ mod tests {
     fn promote_claims_feeding_exactly_once() {
         let s = StagingStore::new();
         s.insert(block(1, Role::Replica, 4));
-        assert!(s.promote("p", 0, 1), "first promote must feed");
-        assert!(!s.promote("p", 0, 1), "already fed");
-        assert!(s.demote("p", 0, 1), "was fed: caller unstages");
-        assert!(s.promote("p", 0, 1), "re-promotion feeds again");
-        s.unmark_fed("p", 0, 1);
-        assert!(s.promote("p", 0, 1), "failed feed can be retried");
+        assert!(s.promote("p", 0, 1, "field"), "first promote must feed");
+        assert!(!s.promote("p", 0, 1, "field"), "already fed");
+        assert!(s.demote("p", 0, 1, "field"), "was fed: caller unstages");
+        assert!(s.promote("p", 0, 1, "field"), "re-promotion feeds again");
+        s.unmark_fed("p", 0, 1, "field");
+        assert!(s.promote("p", 0, 1, "field"), "failed feed can be retried");
+    }
+
+    #[test]
+    fn distinct_datasets_under_one_block_id_are_held_separately() {
+        // Two datasets of the same block must not collide: the second
+        // insert is a new copy, not a silently-dropped duplicate.
+        let s = StagingStore::new();
+        let mut temperature = block(1, Role::Primary, 8);
+        temperature.name = "temperature".to_string();
+        let mut pressure = block(1, Role::Primary, 16);
+        pressure.name = "pressure".to_string();
+        assert!(s.insert(temperature));
+        assert!(s.insert(pressure), "second dataset is a fresh insert");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.staged_bytes(), 24);
+        assert!(s.promote("p", 0, 1, "temperature"), "fed independently");
+        assert!(s.promote("p", 0, 1, "pressure"), "fed independently");
+        let removed = s.remove("p", 0, 1, "temperature").expect("held");
+        assert_eq!(removed.name, "temperature");
+        assert_eq!(s.staged_bytes(), 16);
     }
 
     #[test]
@@ -245,10 +280,10 @@ mod tests {
     fn remove_returns_the_copy() {
         let s = StagingStore::new();
         s.insert(block(3, Role::Replica, 16));
-        let b = s.remove("p", 0, 3).expect("held");
+        let b = s.remove("p", 0, 3, "field").expect("held");
         assert_eq!(b.key.block_id, 3);
         assert_eq!(s.staged_bytes(), 0);
         assert!(s.is_empty());
-        assert!(s.remove("p", 0, 3).is_none());
+        assert!(s.remove("p", 0, 3, "field").is_none());
     }
 }

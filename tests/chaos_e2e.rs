@@ -379,7 +379,9 @@ fn injected_faults_reconcile_with_observed_counters() {
 struct RecoveryOutcome {
     /// Canonical (sorted, line-per-record) export of the fault trace.
     trace_export: String,
-    /// `colza.store.promoted.blocks`: replicas promoted to primary.
+    /// Replicas promoted to primary, at either promotion point: the
+    /// commit-boundary sync (`colza.store.promoted.blocks`) or the
+    /// execute-time fed reconciliation (`colza.store.exec.promoted`).
     promoted: u64,
     /// `colza.store.recv.blocks`: blocks received over server pushes.
     pushed: u64,
@@ -396,9 +398,11 @@ struct RecoveryOutcome {
 /// stream included — is a pure function of the seed.
 ///
 /// Recovery is client-driven: `execute` against the frozen view fails
-/// fast on the dead member, the client refreshes and re-activates the
-/// same iteration, and the commit-boundary sync promotes the surviving
-/// replicas. The client never re-stages a block.
+/// fast on the dead member (though the survivors' execute-time fed
+/// reconciliation already promotes the dead primary's replicas), the
+/// client refreshes and re-activates the same iteration, and the
+/// commit-boundary sync re-replicates what is still missing. The client
+/// never re-stages a block.
 fn replica_recovery_run(seed: u64, tag: &str) -> RecoveryOutcome {
     const BLOCKS: u64 = 4;
     let total_bytes: u64 = (0..BLOCKS).map(|b| 256 * (b + 1)).sum();
@@ -553,7 +557,8 @@ fn replica_recovery_run(seed: u64, tag: &str) -> RecoveryOutcome {
         .join("\n");
     let out = RecoveryOutcome {
         trace_export,
-        promoted: snap.counter_total("colza.store.promoted.blocks"),
+        promoted: snap.counter_total("colza.store.promoted.blocks")
+            + snap.counter_total("colza.store.exec.promoted"),
         pushed: snap.counter_total("colza.store.recv.blocks"),
         survivors,
     };
