@@ -6,8 +6,14 @@
 //! `--procs`/`--ops` flags rescale. Virtual times are scale-faithful.
 //!
 //! Run: `cargo run --release -p colza-bench --bin table2_reduce
-//!       [--procs 64] [--ops 200] [--per-node 16]
+//!       [--procs 64] [--ops 200] [--per-node 16] [--check-shape]
 //!       [--trace results/BENCH_trace_reduce.json]`
+//!
+//! `--check-shape` re-verifies the paper's Table II shape numerically and
+//! exits nonzero on violation: Cray-mpich fastest at every size, the
+//! OpenMPI collapse (>= 50x Cray at >= 16 KiB), and MoNA within a small
+//! factor of Cray-mpich (<= 8x, and <= 15 ms absolute at >= 16 KiB now
+//! that large reduces are pipelined).
 
 use std::sync::Arc;
 
@@ -61,6 +67,46 @@ fn main() {
     // Separate traced capture run so the table rows stay dark.
     if trace.wanted() {
         export_timeline(&trace, procs.min(16), per_node, 2 * 1024, ops.min(20));
+    }
+
+    if args.has("check-shape") {
+        let mut violations = Vec::new();
+        for ((size, label), row) in sizes.iter().zip(&rows) {
+            let (cray, open, mona_ms) = (row.1[0], row.1[1], row.1[2]);
+            if cray > open || cray > mona_ms {
+                violations.push(format!("{label}: Cray-mpich is not fastest"));
+            }
+            if mona_ms / cray > 8.0 {
+                violations.push(format!(
+                    "{label}: MoNA is {:.1}x Cray-mpich (limit 8x)",
+                    mona_ms / cray
+                ));
+            }
+            if *size >= 16 * 1024 {
+                if open / cray < 50.0 {
+                    violations.push(format!(
+                        "{label}: OpenMPI collapse missing ({:.1}x Cray-mpich, expected >= 50x)",
+                        open / cray
+                    ));
+                }
+                if mona_ms > 15.0 {
+                    violations.push(format!(
+                        "{label}: MoNA at {mona_ms:.3} ms (pipelined target <= 15 ms)"
+                    ));
+                }
+            }
+        }
+        if violations.is_empty() {
+            println!();
+            println!("Shape check: OK ({} sizes verified)", sizes.len());
+        } else {
+            eprintln!();
+            eprintln!("Shape check FAILED:");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            std::process::exit(1);
+        }
     }
 }
 

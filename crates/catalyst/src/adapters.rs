@@ -72,6 +72,19 @@ impl VtkComm for MonaVtkComm {
     fn barrier(&self) -> Result<(), String> {
         self.comm.barrier().map_err(|e| e.to_string())
     }
+
+    fn allreduce(
+        &self,
+        data: &[u8],
+        op: &(dyn Fn(&mut [u8], &[u8]) + Sync),
+    ) -> Result<Vec<u8>, String> {
+        // Native single-collective allreduce: MoNA picks Rabenseifner or a
+        // pipelined tree by size, instead of the default reduce+bcast pair.
+        self.comm
+            .allreduce(data, &op)
+            .map(|b| b.to_vec())
+            .map_err(|e| e.to_string())
+    }
 }
 
 /// A `VtkComm` backed by a minimpi communicator (`vtkMPIController`).
@@ -140,6 +153,14 @@ impl VtkComm for MpiVtkComm {
 
     fn barrier(&self) -> Result<(), String> {
         self.comm.barrier().map_err(|e| e.to_string())
+    }
+
+    fn allreduce(
+        &self,
+        data: &[u8],
+        op: &(dyn Fn(&mut [u8], &[u8]) + Sync),
+    ) -> Result<Vec<u8>, String> {
+        self.comm.allreduce(data, &op).map_err(|e| e.to_string())
     }
 }
 

@@ -88,6 +88,14 @@ impl IceTComm for VtkAsIceT {
     fn recv(&self, src: usize, tag: u16) -> Result<Vec<u8>, String> {
         self.comm.recv(src, 0x4000 | tag)
     }
+
+    fn reduce_pixels(&self, data: &[u8], root: usize) -> Option<Result<Option<Vec<u8>>, String>> {
+        // Route IceT's tree compositing through the controller's native
+        // reduce: MoNA runs its pipelined binomial tree (chunked above the
+        // pipeline threshold), MPI its profile-selected algorithm —
+        // instead of serializing whole images over p2p edges.
+        Some(self.comm.reduce(data, &icet::pixels::fold_closest, root))
+    }
 }
 
 #[cfg(test)]

@@ -314,8 +314,7 @@ fn global_bounds(
             acc[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
         }
     };
-    let reduced = ctrl.comm().reduce(&payload, &fold, 0)?;
-    let out = ctrl.comm().bcast(reduced.as_deref(), 0)?;
+    let out = ctrl.comm().allreduce(&payload, &fold)?;
     let f = |i: usize| f32::from_le_bytes(out[i * 4..i * 4 + 4].try_into().unwrap());
     let (lo, hi) = (vec3(f(0), f(1), f(2)), vec3(f(3), f(4), f(5)));
     if lo.x > hi.x {
@@ -340,8 +339,7 @@ fn global_range(ctrl: &Controller, local: Option<(f32, f32)>) -> Result<(f32, f3
         acc[0..4].copy_from_slice(&alo.min(blo).to_le_bytes());
         acc[4..8].copy_from_slice(&ahi.max(bhi).to_le_bytes());
     };
-    let reduced = ctrl.comm().reduce(&payload, &fold, 0)?;
-    let out = ctrl.comm().bcast(reduced.as_deref(), 0)?;
+    let out = ctrl.comm().allreduce(&payload, &fold)?;
     let lo = f32::from_le_bytes(out[0..4].try_into().unwrap());
     let hi = f32::from_le_bytes(out[4..8].try_into().unwrap());
     if lo > hi {

@@ -35,6 +35,69 @@ pub trait IceTComm: Send + Sync {
     fn send(&self, data: &[u8], dst: usize, tag: u16) -> Result<(), String>;
     /// Tagged receive from a rank.
     fn recv(&self, src: usize, tag: u16) -> Result<Vec<u8>, String>;
+    /// Native closest-wins reduction of interleaved pixel records
+    /// ([`pixels::interleave`]) to `root`, for transports backed by a
+    /// collective engine (MoNA's pipelined reduce, MPI). Returns `None`
+    /// when unsupported — callers fall back to the explicit send/recv
+    /// tree — or `Some(Ok(Some(buf)))` at the root and `Some(Ok(None))`
+    /// elsewhere when the collective ran.
+    fn reduce_pixels(&self, _data: &[u8], _root: usize) -> Option<Result<Option<Vec<u8>>, String>> {
+        None
+    }
+}
+
+/// Interleaved pixel records for collective compositing.
+///
+/// A record is 8 bytes — `[f32 LE depth | 4 RGBA bytes]` — so a pixel's
+/// depth and color travel together and an elementwise closest-wins fold
+/// over records reproduces [`Image::composite_closest`] exactly. The
+/// record width divides MoNA's 64-byte collective alignment, so pipeline
+/// chunks and Rabenseifner blocks never split a record.
+pub mod pixels {
+    use vizkit::Image;
+
+    /// Bytes per interleaved pixel record.
+    pub const RECORD: usize = 8;
+
+    /// Packs an image into interleaved records, row-major.
+    pub fn interleave(img: &Image) -> Vec<u8> {
+        let n = img.width * img.height;
+        let mut out = Vec::with_capacity(n * RECORD);
+        for i in 0..n {
+            out.extend_from_slice(&img.depth[i].to_le_bytes());
+            out.extend_from_slice(&img.rgba[i * 4..i * 4 + 4]);
+        }
+        out
+    }
+
+    /// Unpacks [`interleave`] output back into an image.
+    pub fn deinterleave(data: &[u8], width: usize, height: usize) -> Image {
+        let n = width * height;
+        assert_eq!(data.len(), n * RECORD, "pixel record buffer length");
+        let mut img = Image::new(width, height);
+        for i in 0..n {
+            let rec = &data[i * RECORD..(i + 1) * RECORD];
+            img.depth[i] = f32::from_le_bytes(rec[0..4].try_into().unwrap());
+            img.rgba[i * 4..i * 4 + 4].copy_from_slice(&rec[4..8]);
+        }
+        img
+    }
+
+    /// Closest-wins fold over interleaved records: a strictly closer
+    /// `other` fragment replaces the accumulator's, ties keep the
+    /// accumulator — the exact tie-breaking of
+    /// [`Image::composite_closest`].
+    pub fn fold_closest(acc: &mut [u8], other: &[u8]) {
+        debug_assert_eq!(acc.len(), other.len());
+        debug_assert_eq!(acc.len() % RECORD, 0);
+        for (a, b) in acc.chunks_exact_mut(RECORD).zip(other.chunks_exact(RECORD)) {
+            let da = f32::from_le_bytes(a[0..4].try_into().unwrap());
+            let db = f32::from_le_bytes(b[0..4].try_into().unwrap());
+            if db < da {
+                a.copy_from_slice(b);
+            }
+        }
+    }
 }
 
 /// Pixel-combination rule.
@@ -127,6 +190,14 @@ fn direct(
 }
 
 fn tree(comm: &dyn IceTComm, local: Image, root: usize) -> Result<Option<Image>, String> {
+    // Fast path: transports with a collective engine reduce the
+    // interleaved depth+color records in one collective instead of
+    // serializing whole images through explicit tree edges.
+    let (width, height) = (local.width, local.height);
+    if let Some(result) = comm.reduce_pixels(&pixels::interleave(&local), root) {
+        let reduced = result?;
+        return Ok(reduced.map(|buf| pixels::deinterleave(&buf, width, height)));
+    }
     let n = comm.size();
     let me = comm.rank();
     let relative = (me + n - root) % n;
@@ -453,6 +524,104 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(out, img);
+    }
+
+    #[test]
+    fn pixel_records_roundtrip_and_fold_matches_compositing() {
+        let mut a = Image::new(5, 3);
+        let mut b = Image::new(5, 3);
+        for i in 0..15 {
+            a.set_if_closer(i % 5, i / 5, 0.1 + (i % 4) as f32 / 10.0, [i as u8, 1, 2, 255]);
+            b.set_if_closer(i % 5, i / 5, 0.1 + (i % 3) as f32 / 10.0, [99, i as u8, 3, 255]);
+        }
+        assert_eq!(pixels::deinterleave(&pixels::interleave(&a), 5, 3), a);
+
+        let mut acc = pixels::interleave(&a);
+        pixels::fold_closest(&mut acc, &pixels::interleave(&b));
+        let mut expect = a.clone();
+        expect.composite_closest(&b);
+        assert_eq!(pixels::deinterleave(&acc, 5, 3), expect);
+    }
+
+    /// A comm that offers a native pixel reduction (implemented here over
+    /// the same channels) must see `tree()` take the collective fast path
+    /// and produce the same image as the p2p tree.
+    #[test]
+    fn tree_uses_native_pixel_reduction() {
+        struct ReducingComm {
+            inner: ChanComm,
+        }
+        impl IceTComm for ReducingComm {
+            fn rank(&self) -> usize {
+                self.inner.rank()
+            }
+            fn size(&self) -> usize {
+                self.inner.size()
+            }
+            fn send(&self, _data: &[u8], _dst: usize, _tag: u16) -> Result<(), String> {
+                panic!("tree must not fall back to p2p when reduce_pixels is native");
+            }
+            fn recv(&self, _src: usize, _tag: u16) -> Result<Vec<u8>, String> {
+                panic!("tree must not fall back to p2p when reduce_pixels is native");
+            }
+            fn reduce_pixels(
+                &self,
+                data: &[u8],
+                root: usize,
+            ) -> Option<Result<Option<Vec<u8>>, String>> {
+                let run = || {
+                    if self.rank() != root {
+                        self.inner.send(data, root, 99)?;
+                        return Ok(None);
+                    }
+                    let mut acc = data.to_vec();
+                    for r in 0..self.size() {
+                        if r != root {
+                            pixels::fold_closest(&mut acc, &self.inner.recv(r, 99)?);
+                        }
+                    }
+                    Ok(Some(acc))
+                };
+                Some(run())
+            }
+        }
+
+        let n = 5;
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let mut handles = Vec::new();
+        for (rank, rx) in rxs.into_iter().enumerate() {
+            let comm = ReducingComm {
+                inner: ChanComm {
+                    rank,
+                    size: n,
+                    txs: txs.clone(),
+                    rx,
+                    stash: Mutex::new(Vec::new()),
+                },
+            };
+            handles.push(std::thread::spawn(move || {
+                let img = overlapping_image()(rank);
+                (rank, composite(&comm, img, CompositeOp::Closest, Strategy::Tree, None, 0).unwrap())
+            }));
+        }
+        let mut root_img = None;
+        for h in handles {
+            let (rank, out) = h.join().unwrap();
+            if rank == 0 {
+                root_img = out;
+            } else {
+                assert!(out.is_none());
+            }
+        }
+        let out = root_img.expect("root image");
+        let expect = run_composite(n, CompositeOp::Closest, Strategy::Direct, None, overlapping_image());
+        assert_eq!(out, expect);
     }
 
     #[test]

@@ -1,10 +1,19 @@
 //! Collective algorithms.
 //!
-//! The Vendor profile keeps MPICH-style binomial trees at every size. The
-//! Open profile switches `reduce` to a *linear* algorithm once payloads
-//! reach its rendezvous threshold — the structural fallback that, combined
-//! with the per-rendezvous synchronization penalty, reproduces Table II's
-//! OpenMPI collapse.
+//! The Vendor profile keeps MPICH-style binomial trees at every size and,
+//! above `pipeline_threshold`, segments payloads into eager-sized chunks so
+//! tree interior ranks forward chunk `k` while chunk `k+1` is still in
+//! flight (MPICH's segmented pipeline). The Open profile switches `reduce`
+//! to a *linear* algorithm once payloads reach its rendezvous threshold —
+//! the structural fallback that, combined with the per-rendezvous
+//! synchronization penalty, reproduces Table II's OpenMPI collapse.
+//!
+//! Wire framing: broadcast receivers cannot know the payload length ahead
+//! of time, so the first broadcast frame is `[u64 LE total_len | chunk 0]`
+//! and both sides derive the identical chunk plan from that length. Reduce
+//! lengths are known on both sides, so reduce chunks travel bare. Each
+//! chunk rides its own wire tag (the 12-bit `round` field), so mixed-size
+//! collectives never cross-talk.
 
 use bytes::Bytes;
 
@@ -20,6 +29,13 @@ mod opcode {
     pub const SCATTER: u16 = 6;
 }
 
+/// Byte range of chunk `k` in a `len`-byte payload cut into `chunk`-byte
+/// segments.
+fn chunk_range(k: usize, chunk: usize, len: usize) -> std::ops::Range<usize> {
+    let start = (k * chunk).min(len);
+    start..((k + 1) * chunk).min(len)
+}
+
 impl MpiComm {
     /// Dissemination barrier.
     pub fn barrier(&self) -> Result<()> {
@@ -30,9 +46,9 @@ impl MpiComm {
         let seq = self.next_seq();
         let me = self.rank();
         let mut step = 1usize;
-        let mut round: u16 = 0;
+        let mut round: u32 = 0;
         while step < n {
-            let tag = self.coll_tag(seq, opcode::BARRIER + (round << 4));
+            let tag = self.coll_tag(seq, opcode::BARRIER, round);
             self.raw_send((me + step) % n, tag, &[])?;
             self.raw_recv(Some((me + n - step) % n), tag)?;
             step <<= 1;
@@ -41,42 +57,86 @@ impl MpiComm {
         Ok(())
     }
 
-    /// Binomial-tree broadcast.
+    /// Binomial-tree broadcast, pipelined above the profile's threshold.
     pub fn bcast(&self, data: Option<&[u8]>, root: usize) -> Result<Bytes> {
         let n = self.size();
         let me = self.rank();
         let seq = self.next_seq();
-        let tag = self.coll_tag(seq, opcode::BCAST);
         let relative = (me + n - root) % n;
-        let mut buf: Option<Bytes> = data.map(Bytes::copy_from_slice);
         if me == root {
-            assert!(buf.is_some(), "root must supply the broadcast payload");
+            assert!(data.is_some(), "root must supply the broadcast payload");
         }
+
+        // Parent (if any) and the mask below which our children live.
+        let mut recv_mask = 0usize;
         let mut mask = 1usize;
         while mask < n {
             if relative & mask != 0 {
-                let src = (relative - mask + root) % n;
-                buf = Some(self.raw_recv(Some(src), tag)?.0);
+                recv_mask = mask;
                 break;
             }
             mask <<= 1;
         }
-        mask >>= 1;
-        let payload = buf.expect("payload present");
-        while mask > 0 {
-            if relative + mask < n {
-                self.raw_send((relative + mask + root) % n, tag, &payload)?;
+        let top_mask = if recv_mask != 0 { recv_mask >> 1 } else { mask >> 1 };
+
+        let send_chunk = |k: usize, frame: &[u8]| -> Result<()> {
+            let tag = self.coll_tag(seq, opcode::BCAST, k as u32);
+            let mut m = top_mask;
+            while m > 0 {
+                if relative + m < n {
+                    self.raw_send((relative + m + root) % n, tag, frame)?;
+                }
+                m >>= 1;
             }
-            mask >>= 1;
+            Ok(())
+        };
+
+        if me == root {
+            let payload = data.expect("payload present");
+            let (chunk, count) = self.params().coll_frames(payload.len());
+            for k in 0..count {
+                let body = &payload[chunk_range(k, chunk, payload.len())];
+                if k == 0 {
+                    let mut frame = Vec::with_capacity(8 + body.len());
+                    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                    frame.extend_from_slice(body);
+                    send_chunk(0, &frame)?;
+                } else {
+                    send_chunk(k, body)?;
+                }
+            }
+            return Ok(Bytes::copy_from_slice(payload));
         }
-        Ok(payload)
+
+        // Non-root: frame 0 carries the total length; derive the plan,
+        // forward each chunk to our subtree as soon as it arrives.
+        let src = (relative - recv_mask + root) % n;
+        let (frame0, _) = self.raw_recv(Some(src), self.coll_tag(seq, opcode::BCAST, 0))?;
+        assert!(frame0.len() >= 8, "bcast frame 0 must carry the length prefix");
+        let total = u64::from_le_bytes(frame0[..8].try_into().expect("8-byte prefix")) as usize;
+        let (_chunk, count) = self.params().coll_frames(total);
+        send_chunk(0, &frame0)?;
+        if count == 1 {
+            return Ok(frame0.slice(8..));
+        }
+        let mut buf = Vec::with_capacity(total);
+        buf.extend_from_slice(&frame0[8..]);
+        for k in 1..count {
+            let (got, _) = self.raw_recv(Some(src), self.coll_tag(seq, opcode::BCAST, k as u32))?;
+            send_chunk(k, &got)?;
+            buf.extend_from_slice(&got);
+        }
+        assert_eq!(buf.len(), total, "reassembled bcast payload length");
+        Ok(Bytes::from(buf))
     }
 
     /// Reduce with a commutative operator; result only at the root.
     ///
-    /// Algorithm selection follows the profile: binomial tree normally, or
-    /// linear (root sequentially receives from every rank) once the Open
-    /// profile's payloads reach rendezvous size.
+    /// Algorithm selection follows the profile: binomial tree normally
+    /// (chunk-pipelined above `pipeline_threshold`), or linear (root
+    /// sequentially receives from every rank) once the Open profile's
+    /// payloads reach rendezvous size. The linear check runs first — it is
+    /// the Table II cliff and must win over pipelining.
     pub fn reduce(&self, data: &[u8], op: &dyn ReduceOp, root: usize) -> Result<Option<Vec<u8>>> {
         let linear = self
             .params()
@@ -98,19 +158,31 @@ impl MpiComm {
         let n = self.size();
         let me = self.rank();
         let seq = self.next_seq();
-        let tag = self.coll_tag(seq, opcode::REDUCE);
         let relative = (me + n - root) % n;
+        let (chunk, count) = self.params().coll_frames(data.len());
         let mut acc = data.to_vec();
         let mut mask = 1usize;
         while mask < n {
             if relative & mask == 0 {
                 let child_rel = relative | mask;
                 if child_rel < n {
-                    let (got, _) = self.raw_recv(Some((child_rel + root) % n), tag)?;
-                    op.apply(&mut acc, &got);
+                    let child = (child_rel + root) % n;
+                    // Fold chunk-by-chunk: same element order as the
+                    // whole-payload fold, so results are bit-identical.
+                    for k in 0..count {
+                        let tag = self.coll_tag(seq, opcode::REDUCE, k as u32);
+                        let (got, _) = self.raw_recv(Some(child), tag)?;
+                        let range = chunk_range(k, chunk, acc.len());
+                        assert_eq!(got.len(), range.len(), "reduce chunk length");
+                        op.apply(&mut acc[range], &got);
+                    }
                 }
             } else {
-                self.raw_send((relative & !mask).wrapping_add(root) % n, tag, &acc)?;
+                let parent = (relative & !mask).wrapping_add(root) % n;
+                for k in 0..count {
+                    let tag = self.coll_tag(seq, opcode::REDUCE, k as u32);
+                    self.raw_send(parent, tag, &acc[chunk_range(k, chunk, acc.len())])?;
+                }
                 return Ok(None);
             }
             mask <<= 1;
@@ -122,7 +194,7 @@ impl MpiComm {
         let n = self.size();
         let me = self.rank();
         let seq = self.next_seq();
-        let tag = self.coll_tag(seq, opcode::REDUCE);
+        let tag = self.coll_tag(seq, opcode::REDUCE, 0);
         if me == root {
             let mut acc = data.to_vec();
             // Sequential receipt: every child's rendezvous handshake is
@@ -149,7 +221,7 @@ impl MpiComm {
         let n = self.size();
         let me = self.rank();
         let seq = self.next_seq();
-        let tag = self.coll_tag(seq, opcode::GATHER);
+        let tag = self.coll_tag(seq, opcode::GATHER, 0);
         if me == root {
             let mut parts: Vec<Option<Bytes>> = vec![None; n];
             parts[me] = Some(Bytes::copy_from_slice(data));
@@ -164,7 +236,9 @@ impl MpiComm {
         }
     }
 
-    /// Ring allgather.
+    /// Ring allgather. Each ring step gets its own 12-bit round tag, so
+    /// rings up to 4096 ranks never alias (the old 6-bit field cross-talked
+    /// past 64 ranks).
     pub fn allgather(&self, data: &[u8]) -> Result<Vec<Bytes>> {
         let n = self.size();
         let me = self.rank();
@@ -175,9 +249,9 @@ impl MpiComm {
         let left = (me + n - 1) % n;
         let mut carry = parts[me].clone().expect("own part");
         for step in 0..n.saturating_sub(1) {
-            let tag = self.coll_tag(seq, opcode::ALLGATHER + ((step as u16 & 0x3F) << 4));
+            let tag = self.coll_tag(seq, opcode::ALLGATHER, step as u32);
             let this = self.clone();
-            let payload = carry.to_vec();
+            let payload = carry.clone();
             let send = self.pool().spawn(move || this.raw_send(right, tag, &payload));
             let (got, _) = self.raw_recv(Some(left), tag)?;
             send.wait()?;
@@ -192,7 +266,7 @@ impl MpiComm {
         let n = self.size();
         let me = self.rank();
         let seq = self.next_seq();
-        let tag = self.coll_tag(seq, opcode::SCATTER);
+        let tag = self.coll_tag(seq, opcode::SCATTER, 0);
         if me == root {
             let parts = parts.expect("root must supply scatter parts");
             assert_eq!(parts.len(), n);

@@ -36,6 +36,28 @@ pub struct ProfileParams {
     /// Payload size at which `reduce` abandons the tree algorithm for a
     /// linear one (OpenMPI fallback); `None` keeps the tree at all sizes.
     pub linear_reduce_threshold: Option<usize>,
+    /// Collective payloads at or above this size are segmented into
+    /// pipeline chunks inside bcast/reduce trees (MPICH-style segmented
+    /// algorithms); `None` keeps whole-payload trees at all sizes.
+    pub pipeline_threshold: Option<usize>,
+    /// Pipeline segment size (sized to ride the eager path).
+    pub pipeline_chunk: usize,
+    /// Upper end of the pipelining window: at this size and above the
+    /// whole-payload RDMA tree wins again (zero-copy wire beats per-chunk
+    /// eager copies) and segmentation is turned back off.
+    pub pipeline_max: usize,
+}
+
+impl ProfileParams {
+    /// Number of wire frames for a `len`-byte collective payload.
+    pub(crate) fn coll_frames(&self, len: usize) -> (usize, usize) {
+        match self.pipeline_threshold {
+            Some(t) if len >= t && len < self.pipeline_max && self.pipeline_chunk > 0 => {
+                (self.pipeline_chunk, len.div_ceil(self.pipeline_chunk))
+            }
+            _ => (len.max(1), 1),
+        }
+    }
 }
 
 impl Profile {
@@ -48,6 +70,9 @@ impl Profile {
                 large_uses_rdma: true,
                 rndv_sync_ns: 0,
                 linear_reduce_threshold: None,
+                pipeline_threshold: Some(12 * 1024),
+                pipeline_chunk: 8 * 1024,
+                pipeline_max: 160 * 1024,
             },
             Profile::Open => ProfileParams {
                 sw_op_ns: 180,
@@ -55,6 +80,9 @@ impl Profile {
                 large_uses_rdma: false,
                 rndv_sync_ns: 27_000,
                 linear_reduce_threshold: Some(16 * 1024),
+                pipeline_threshold: None,
+                pipeline_chunk: 8 * 1024,
+                pipeline_max: 160 * 1024,
             },
         }
     }
@@ -64,7 +92,14 @@ const SUB_BITS: u64 = 26;
 const CID_MASK: u64 = (1 << 18) - 1;
 const ACK_BIT: u64 = 1 << 16;
 const COLL_BIT: u64 = 1 << 25;
-pub(crate) const COLL_ACK_BIT: u64 = 1 << 10;
+pub(crate) const COLL_ACK_BIT: u64 = 1 << 17;
+/// Collective wire-tag round field: bits 5..=16 (12 bits).
+pub(crate) const COLL_ROUND_SHIFT: u64 = 5;
+/// Collective wire-tag seq field: bits 18..=24 (7 bits, wraps safely
+/// because the mailbox is FIFO per (src, tag) and collectives issue
+/// in seq order).
+pub(crate) const COLL_SEQ_SHIFT: u64 = 18;
+pub(crate) const COLL_SEQ_MASK: u64 = 0x7F;
 
 const KIND_EAGER: u8 = 0;
 const KIND_RDMA: u8 = 1;
@@ -178,9 +213,15 @@ impl MpiComm {
         na::tags::MPI_BASE | (self.cid << SUB_BITS) | tag as u64
     }
 
-    pub(crate) fn coll_tag(&self, seq: u64, op: u16) -> u64 {
-        debug_assert!(op < 1024);
-        na::tags::MPI_BASE | (self.cid << SUB_BITS) | COLL_BIT | ((seq & 0x3FFF) << 11) | op as u64
+    pub(crate) fn coll_tag(&self, seq: u64, op: u16, round: u32) -> u64 {
+        debug_assert!(op < 32, "collective opcode must fit 5 bits");
+        debug_assert!(round < 4096, "collective round must fit 12 bits");
+        na::tags::MPI_BASE
+            | (self.cid << SUB_BITS)
+            | COLL_BIT
+            | ((seq & COLL_SEQ_MASK) << COLL_SEQ_SHIFT)
+            | ((round as u64) << COLL_ROUND_SHIFT)
+            | op as u64
     }
 
     fn charge_op(&self) {

@@ -83,3 +83,59 @@ proptest! {
         }
     }
 }
+
+/// Regression: the old collective tag packed the allgather ring step into a
+/// 6-bit field, so steps 64.. aliased step 0.. at >64 ranks and frames
+/// cross-talked. The widened 12-bit round field must keep 70 ranks clean.
+#[test]
+fn allgather_at_seventy_ranks_has_no_round_tag_crosstalk() {
+    let n = 70;
+    let out = MpiWorld::run(n, Profile::Vendor, move |comm| {
+        let data = vec![comm.rank() as u8; 24];
+        comm.allgather(&data)
+            .unwrap()
+            .iter()
+            .map(|p| p.to_vec())
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(out.len(), n);
+    for parts in out {
+        for (r, p) in parts.iter().enumerate() {
+            assert_eq!(p, &vec![r as u8; 24], "rank {r} part corrupted");
+        }
+    }
+}
+
+/// Large payloads cross the Vendor profile's pipeline threshold: bcast and
+/// reduce run chunked, and the results must be byte-identical to the
+/// sequential oracle (the chunked fold preserves element order exactly).
+#[test]
+fn pipelined_vendor_collectives_match_oracle() {
+    let n = 6;
+    let len = 40 * 1024; // > pipeline_threshold (12 KiB) -> 5 eager chunks
+    let params = Profile::Vendor.params();
+    let t = params.pipeline_threshold.expect("vendor pipelines");
+    assert!(len >= t && len > params.pipeline_chunk);
+
+    let out = MpiWorld::run(n, Profile::Vendor, move |comm| {
+        let data = vec![(comm.rank() as u8).wrapping_mul(31); len];
+        let red = comm.reduce(&data, &xor, 2).unwrap();
+        let b = (comm.rank() == 1).then(|| vec![0xA5u8; len]);
+        let got = comm.bcast(b.as_deref(), 1).unwrap().to_vec();
+        (red, got)
+    });
+    let mut expect = vec![0u8; len];
+    for r in 0..n {
+        for byte in expect.iter_mut() {
+            *byte ^= (r as u8).wrapping_mul(31);
+        }
+    }
+    for (rank, (red, got)) in out.into_iter().enumerate() {
+        assert_eq!(got, vec![0xA5u8; len], "bcast payload at rank {rank}");
+        if rank == 2 {
+            assert_eq!(red.unwrap(), expect, "pipelined reduce result");
+        } else {
+            assert!(red.is_none());
+        }
+    }
+}

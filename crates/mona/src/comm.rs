@@ -30,6 +30,8 @@ pub struct MonaConfig {
     /// registration and handle marshaling are costlier than a vendor
     /// MPI's pre-registered pools (calibrated from Table I's 16 KiB row).
     pub rdma_extra_ns: u64,
+    /// Algorithm-selection table for the collective engine (DESIGN.md §11).
+    pub coll: CollTuning,
 }
 
 impl Default for MonaConfig {
@@ -40,6 +42,7 @@ impl Default for MonaConfig {
             alloc_ns: 90,
             pooling: true,
             rdma_extra_ns: 3_800,
+            coll: CollTuning::default(),
         }
     }
 }
@@ -52,6 +55,163 @@ impl MonaConfig {
         Self {
             pooling: false,
             ..Default::default()
+        }
+    }
+
+    /// A configuration that pins every collective to the naive MPICH
+    /// "classic" algorithm (whole-payload binomial trees, reduce-then-bcast
+    /// allreduce). Used as the oracle/baseline by tests and `bench_coll`.
+    pub fn naive_collectives() -> Self {
+        Self {
+            coll: CollTuning::naive(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Every split the collective engine makes (pipeline chunks, Rabenseifner
+/// blocks) falls on a multiple of this, so any elementwise [`crate::ReduceOp`]
+/// whose record width divides 64 bytes can be applied to sub-ranges.
+pub const COLL_ALIGN: usize = 64;
+
+/// The widest round/chunk index a collective wire tag can carry (12 bits).
+pub(crate) const MAX_ROUNDS: usize = 1 << 12;
+
+/// The size-adaptive collective engine's selection table: which algorithm
+/// each collective uses as a function of message size and communicator
+/// size, mirroring MPICH's switchover design (the paper says MoNA follows
+/// it). See DESIGN.md §11 for the calibration.
+#[derive(Debug, Clone, Copy)]
+pub struct CollTuning {
+    /// Payloads of at least this many bytes are segmented into pipeline
+    /// chunks so intermediate tree ranks forward chunk *k* while chunk
+    /// *k+1* is still in flight. Chunks ride the non-blocking eager path,
+    /// which is what lets tree levels overlap.
+    pub pipeline_threshold: usize,
+    /// Pipeline segment size. Rounded up to [`COLL_ALIGN`]; grown when a
+    /// payload would otherwise need more than 4096 chunks (the round-field
+    /// width). 12 KiB keeps chunks under the RDMA threshold and the
+    /// per-chunk CPU cost below the RDMA per-byte wire cost.
+    pub pipeline_chunk: usize,
+    /// Upper end of the pipelining window: payloads of this many bytes or
+    /// more go back to whole-payload trees. Above here the eager chunks'
+    /// per-byte copy cost outweighs the tree-level overlap they buy, and
+    /// the single zero-copy RDMA transfer per edge wins (measured
+    /// crossover ≈ 170 KiB at 16 ranks, higher at 64 — see
+    /// `results/BENCH_coll.json`).
+    pub pipeline_max: usize,
+    /// `allreduce` switches to Rabenseifner (ring reduce-scatter + ring
+    /// allgather) once the per-rank block `len / n` reaches this size —
+    /// below it the 2(n−1) ring messages cost more than they save.
+    pub rabenseifner_block: usize,
+}
+
+impl Default for CollTuning {
+    fn default() -> Self {
+        Self {
+            pipeline_threshold: 12 * 1024,
+            pipeline_chunk: 12 * 1024,
+            pipeline_max: 160 * 1024,
+            rabenseifner_block: 4 * 1024,
+        }
+    }
+}
+
+/// How a payload is segmented on the wire: `count` frames of at most
+/// `chunk` bytes (the last one ragged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramePlan {
+    /// Frame payload size (multiple of [`COLL_ALIGN`]).
+    pub chunk: usize,
+    /// Number of frames (≥ 1; 1 means "not pipelined").
+    pub count: usize,
+}
+
+impl FramePlan {
+    /// Byte range of frame `k` within a `len`-byte payload.
+    pub fn range(&self, k: usize, len: usize) -> std::ops::Range<usize> {
+        let start = (k * self.chunk).min(len);
+        let end = ((k + 1) * self.chunk).min(len);
+        start..end
+    }
+}
+
+fn align_up(v: usize, to: usize) -> usize {
+    v.div_ceil(to) * to
+}
+
+impl CollTuning {
+    /// A tuning that never pipelines and never selects Rabenseifner —
+    /// i.e. the pre-engine naive algorithms.
+    pub fn naive() -> Self {
+        Self {
+            pipeline_threshold: usize::MAX,
+            pipeline_chunk: 12 * 1024,
+            pipeline_max: usize::MAX,
+            rabenseifner_block: usize::MAX,
+        }
+    }
+
+    /// The wire segmentation for a `len`-byte payload: a single frame
+    /// below `pipeline_threshold`, chunked above it. Both sides of an
+    /// edge compute this from `len` alone, so it is a deterministic
+    /// function of size — never of wall-clock state.
+    pub fn frames(&self, len: usize) -> FramePlan {
+        if len < self.pipeline_threshold || len >= self.pipeline_max || len == 0 {
+            return FramePlan {
+                chunk: len.max(1),
+                count: 1,
+            };
+        }
+        let mut chunk = align_up(self.pipeline_chunk.max(1), COLL_ALIGN);
+        let min_chunk = len.div_ceil(MAX_ROUNDS);
+        if chunk < min_chunk {
+            chunk = align_up(min_chunk, COLL_ALIGN);
+        }
+        FramePlan {
+            chunk,
+            count: len.div_ceil(chunk).max(1),
+        }
+    }
+
+    /// Whether `allreduce(len)` on an `n`-rank communicator uses
+    /// Rabenseifner. Division keeps the `usize::MAX` sentinel overflow-free.
+    pub fn use_rabenseifner(&self, len: usize, n: usize) -> bool {
+        n > 1 && len / n >= self.rabenseifner_block
+    }
+
+    /// The algorithm `bcast`/`reduce` will use (bench/test labeling).
+    pub fn tree_algorithm(&self, len: usize, n: usize) -> &'static str {
+        if n <= 1 {
+            "identity"
+        } else if self.frames(len).count > 1 {
+            "pipelined-binomial"
+        } else {
+            "binomial"
+        }
+    }
+
+    /// The algorithm `allreduce` will use (bench/test labeling).
+    pub fn allreduce_algorithm(&self, len: usize, n: usize) -> &'static str {
+        if n <= 1 {
+            "identity"
+        } else if self.use_rabenseifner(len, n) {
+            "rabenseifner"
+        } else if self.frames(len).count > 1 {
+            "pipelined-reduce+bcast"
+        } else {
+            "reduce+bcast"
+        }
+    }
+
+    /// The algorithm `allgather` will use for `len`-byte per-rank blocks.
+    pub fn allgather_algorithm(&self, len: usize, n: usize) -> &'static str {
+        if n <= 1 {
+            "identity"
+        } else if self.frames(len).count > 1 {
+            "ring-pipelined"
+        } else {
+            "ring"
         }
     }
 }
@@ -165,11 +325,41 @@ const CID_MASK: u64 = (1 << 18) - 1;
 const SUB_BITS: u64 = 26;
 const P2P_ACK_BIT: u64 = 1 << 16;
 const COLL_BIT: u64 = 1 << 25;
-const COLL_ACK_BIT: u64 = 1 << 10;
+// Collective wire-tag layout (below COLL_BIT): bits 0..=4 opcode,
+// bits 5..=16 round/chunk index, bit 17 ack, bits 18..=24 sequence
+// number mod 128. The 12-bit round field is what fixes the old
+// 6-bit allgather step mask that cross-talked past 64 ranks.
+const COLL_ACK_BIT: u64 = 1 << 17;
+const COLL_ROUND_SHIFT: u64 = 5;
+const COLL_SEQ_SHIFT: u64 = 18;
+const COLL_SEQ_MASK: u64 = 0x7F;
 
 /// Message kinds on the wire.
 const KIND_EAGER: u8 = 0;
 const KIND_RDMA: u8 = 1;
+
+/// A send payload that is either borrowed (copied into the wire frame) or
+/// owned (handed to the fabric without a copy where the path allows it).
+pub(crate) enum Payload<'a> {
+    Borrowed(&'a [u8]),
+    Owned(Bytes),
+}
+
+impl Payload<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Payload::Borrowed(s) => s.len(),
+            Payload::Owned(b) => b.len(),
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Payload::Borrowed(s) => s,
+            Payload::Owned(b) => b,
+        }
+    }
+}
 
 /// A MoNA communicator: a rank within an explicit member list.
 ///
@@ -224,12 +414,19 @@ impl Communicator {
         na::tags::MONA_BASE | (self.cid << SUB_BITS) | tag as u64
     }
 
-    pub(crate) fn coll_tag(&self, seq: u64, op: u16) -> u64 {
-        debug_assert!(op < 1024);
+    /// The wire tag for round `round` of opcode `op` within collective
+    /// number `seq`. Sequence numbers wrap at 128, which is safe because
+    /// collectives are issued in order on each communicator and the NA
+    /// mailbox is FIFO per (source, tag) — a tag cannot be reused while a
+    /// message wearing it is still queued.
+    pub(crate) fn coll_tag(&self, seq: u64, op: u16, round: u32) -> u64 {
+        debug_assert!(op < 32, "collective opcode field is 5 bits");
+        debug_assert!((round as usize) < MAX_ROUNDS, "round field is 12 bits");
         na::tags::MONA_BASE
             | (self.cid << SUB_BITS)
             | COLL_BIT
-            | ((seq & 0x3FFF) << 11)
+            | ((seq & COLL_SEQ_MASK) << COLL_SEQ_SHIFT)
+            | ((round as u64) << COLL_ROUND_SHIFT)
             | op as u64
     }
 
@@ -301,25 +498,62 @@ impl Communicator {
 
     /// Low-level tagged send used by both p2p and collectives.
     pub(crate) fn raw_send(&self, dst: usize, wire_tag: u64, data: &[u8]) -> Result<()> {
+        self.send_frame(dst, wire_tag, &[], Payload::Borrowed(data))
+    }
+
+    /// Like [`raw_send`], but takes ownership so the RDMA path can expose
+    /// the buffer directly instead of `copy_from_slice`-ing it — the
+    /// zero-copy hot path for payloads a collective already owns.
+    pub(crate) fn raw_send_owned(&self, dst: usize, wire_tag: u64, data: Bytes) -> Result<()> {
+        self.send_frame(dst, wire_tag, &[], Payload::Owned(data))
+    }
+
+    /// Sends `[prefix | data]` as one contiguous frame without the caller
+    /// materialising the concatenation. Collectives use an 8-byte length
+    /// prefix on frames whose receiver cannot otherwise know the total
+    /// payload size (bcast and allgather frame 0).
+    pub(crate) fn raw_send_prefixed(
+        &self,
+        dst: usize,
+        wire_tag: u64,
+        prefix: &[u8],
+        data: Payload<'_>,
+    ) -> Result<()> {
+        self.send_frame(dst, wire_tag, prefix, data)
+    }
+
+    fn send_frame(&self, dst: usize, wire_tag: u64, prefix: &[u8], data: Payload<'_>) -> Result<()> {
         let ep = &self.inst.endpoint;
         let dst_addr = self.members[dst];
-        let eager = data.len() < self.inst.config.rdma_threshold;
+        let len = prefix.len() + data.len();
+        let eager = len < self.inst.config.rdma_threshold;
         let mut sp = hpcsim::trace::span("mona", "mona.send");
         if sp.active() {
             sp.arg("kind", if eager { "eager" } else { "rdma" });
-            sp.arg("bytes", data.len());
+            sp.arg("bytes", len);
             sp.arg("dst", dst);
         }
         self.inst.charge_op();
         if eager {
-            let mut buf = BytesMut::with_capacity(data.len() + 1);
+            let mut buf = BytesMut::with_capacity(len + 1);
             buf.put_u8(KIND_EAGER);
-            buf.put_slice(data);
+            buf.put_slice(prefix);
+            buf.put_slice(data.as_slice());
             ep.send(dst_addr, wire_tag, buf.freeze())
         } else {
-            // RDMA path: expose, notify, wait for the receiver's ack.
+            // RDMA path: expose, notify, wait for the receiver's ack. An
+            // owned unprefixed payload is exposed as-is (no copy).
             ep.ctx().advance(self.inst.config.rdma_extra_ns);
-            let handle = ep.expose(Bytes::copy_from_slice(data));
+            let exposed = match data {
+                Payload::Owned(b) if prefix.is_empty() => b,
+                other => {
+                    let mut buf = BytesMut::with_capacity(len);
+                    buf.put_slice(prefix);
+                    buf.put_slice(other.as_slice());
+                    buf.freeze()
+                }
+            };
+            let handle = ep.expose(exposed);
             let mut notice = BytesMut::with_capacity(25);
             notice.put_u8(KIND_RDMA);
             notice.put_u64_le(handle.owner.0);

@@ -34,7 +34,8 @@ pub mod pool;
 mod request;
 pub mod testing;
 
-pub use comm::{Communicator, MonaConfig, MonaInstance};
+pub use coll::reduce_scatter_range;
+pub use comm::{CollTuning, Communicator, FramePlan, MonaConfig, MonaInstance, COLL_ALIGN};
 pub use request::{wait_all, Request};
 
 /// Errors surfaced by MoNA (today these are NA transport errors).
@@ -49,6 +50,13 @@ pub type Result<T> = std::result::Result<T, MonaError>;
 /// closure; the [`ops`] module provides the usual typed operators,
 /// including the binary-xor used by the paper's Table II and image
 /// compositing operators used by IceT.
+///
+/// **Sub-range contract:** the collective engine may fold *aligned
+/// sub-ranges* of the payload (pipeline chunks and Rabenseifner blocks,
+/// both cut on [`COLL_ALIGN`]-byte boundaries). An operator must therefore
+/// be elementwise with a record width that divides [`COLL_ALIGN`] (64
+/// bytes) — true of every operator in [`ops`] — so that any aligned
+/// sub-slice is itself a whole number of records.
 pub trait ReduceOp: Sync {
     /// Folds `other` into `acc`.
     fn apply(&self, acc: &mut [u8], other: &[u8]);

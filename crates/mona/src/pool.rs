@@ -48,6 +48,14 @@ impl BufferPool {
         }
     }
 
+    /// Takes a pooled buffer pre-filled with a copy of `data` — the common
+    /// "accumulator starts as my contribution" pattern in collectives.
+    pub fn take_copy(&self, data: &[u8]) -> Vec<u8> {
+        let mut buf = self.take(data.len());
+        buf.extend_from_slice(data);
+        buf
+    }
+
     /// Returns a buffer to the pool for reuse.
     pub fn put(&self, buf: Vec<u8>) {
         if buf.capacity() == 0 {

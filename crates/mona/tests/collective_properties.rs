@@ -166,11 +166,12 @@ proptest! {
         let rounds = ceil_log2(n);
         let edges = n - 1; // edges of one binomial tree / linear fan
 
-        // One collective span per rank per call; allreduce opens its own
-        // span around an inner reduce + bcast; barrier skips n == 1.
+        // One collective span per rank per call — exactly one span (and
+        // one sequence number) per public collective; allreduce's internal
+        // reduce + bcast phases share its span. Barrier skips n == 1.
         prop_assert_eq!(count("mona.coll:barrier"), if n > 1 { n } else { 0 });
-        prop_assert_eq!(count("mona.coll:bcast"), 2 * n);
-        prop_assert_eq!(count("mona.coll:reduce"), 2 * n);
+        prop_assert_eq!(count("mona.coll:bcast"), n);
+        prop_assert_eq!(count("mona.coll:reduce"), n);
         prop_assert_eq!(count("mona.coll:allreduce"), n);
         prop_assert_eq!(count("mona.coll:gather"), n);
         prop_assert_eq!(count("mona.coll:scatter"), n);
@@ -236,4 +237,171 @@ fn virtual_time_of_reduce_grows_logarithmically() {
         t16 < t4 * 6,
         "tree collectives must scale sublinearly: {t4} vs {t16}"
     );
+}
+
+/// Predicted number of wire frames for a `len`-byte payload under `t`.
+fn frames_of(t: &mona::CollTuning, len: usize) -> usize {
+    t.frames(len).count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Chunked-schedule observability: for payloads above the pipeline
+    /// threshold the trace must show the exact chunk counts the frame plan
+    /// predicts — per-chunk round spans in the trees, per-frame sends in
+    /// the rings — with predictions computed from the public tuning API.
+    #[test]
+    fn trace_spans_match_predicted_chunked_schedules(n in 2usize..=10) {
+        let cfg = MonaConfig::default();
+        let tuning = cfg.coll;
+        let tree_len = 40 * 1024; // 4 chunks of 12 KiB
+        let ag_len = 24 * 1024; // 2 chunks
+        let cluster = hpcsim::Cluster::default();
+        cluster.shared().tracer().set_enabled(true);
+        mona::testing::run_ranks(&cluster, n, 8, cfg, move |comm| {
+            let data = (comm.rank() == 0).then(|| vec![3u8; tree_len]);
+            comm.bcast(data.as_deref(), 0).unwrap();
+            comm.reduce(&vec![comm.rank() as u8; tree_len], &ops::bxor_u8, 0).unwrap();
+            comm.allreduce(&vec![comm.rank() as u8; tree_len], &ops::bxor_u8).unwrap();
+            comm.allgather(&vec![comm.rank() as u8; ag_len]).unwrap();
+        });
+        let snap = cluster.shared().trace_snapshot();
+        let count = |name: &str| snap.spans_named(name).count();
+
+        let c_tree = frames_of(&tuning, tree_len);
+        prop_assert_eq!(c_tree, 4);
+        let edges = n - 1;
+
+        // Rabenseifner must be selected for this size at every n here.
+        prop_assert!(tuning.use_rabenseifner(tree_len, n));
+
+        // Sends: trees move one frame per chunk per edge; the Rabenseifner
+        // rings move the per-block frame plans of each step; the allgather
+        // ring moves frames(ag_len) per step per rank.
+        let mut rab_sends = 0usize;
+        for me in 0..n {
+            for s in 1..n {
+                let b = mona::reduce_scatter_range(tree_len, n, (me + n - s) % n);
+                rab_sends += frames_of(&tuning, b.len()); // reduce-scatter
+            }
+            for s in 0..n - 1 {
+                let b = mona::reduce_scatter_range(tree_len, n, (me + n - s) % n);
+                rab_sends += frames_of(&tuning, b.len()); // ring allgather
+            }
+        }
+        let ag_sends = n * (n - 1) * frames_of(&tuning, ag_len);
+        let p2p = 2 * edges * c_tree + rab_sends + ag_sends;
+        prop_assert_eq!(count("mona.send"), p2p);
+        prop_assert_eq!(count("mona.recv"), p2p);
+
+        // Round spans: n·C per pipelined tree (bcast, reduce), one per
+        // ring step per rank for both Rabenseifner phases and allgather.
+        let rounds = 2 * n * c_tree + 2 * n * (n - 1) + n * (n - 1);
+        prop_assert_eq!(count("mona.coll.round"), rounds);
+
+        // Still exactly one collective span per public call per rank.
+        prop_assert_eq!(count("mona.coll:bcast"), n);
+        prop_assert_eq!(count("mona.coll:reduce"), n);
+        prop_assert_eq!(count("mona.coll:allreduce"), n);
+        prop_assert_eq!(count("mona.coll:allgather"), n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The size-adaptive algorithms must agree with the naive classic
+    /// algorithms (pinned via `MonaConfig::naive_collectives`) for sizes
+    /// straddling every switchover point, on non-power-of-two communicators
+    /// up to 70 ranks, for exact operators (xor, wrapping u64 sum, u64
+    /// min). Floating-point sums are compared only on the tree paths
+    /// (reduce/bcast), where the pipelined fold order is bit-identical;
+    /// Rabenseifner reassociates float sums by design.
+    #[test]
+    fn adaptive_algorithms_match_naive_oracle(
+        n in prop_oneof![1usize..=9, 63usize..=70],
+        len_sel in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let t = mona::CollTuning::default();
+        // Both sides of the pipeline switchover and the Rabenseifner
+        // switchover (which depends on n), all multiples of 8.
+        let sizes = [
+            512,
+            t.pipeline_threshold - 64,
+            t.pipeline_threshold,
+            40 * 1024,
+            (n * t.rabenseifner_block).saturating_sub(64).max(8),
+            n * t.rabenseifner_block + 4096,
+        ];
+        let len = sizes[len_sel];
+        let payload = move |rank: usize| -> Vec<u8> {
+            (0..len)
+                .map(|i| (seed ^ (rank as u64 + 1).wrapping_mul(i as u64 + 0x9E37)) as u8)
+                .collect()
+        };
+        let root = seed as usize % n;
+        let run = move |cfg: MonaConfig| {
+            with_comm(n, cfg, move |comm| {
+                let me = comm.rank();
+                let data = payload(me);
+                let ar_x = comm.allreduce(&data, &ops::bxor_u8).unwrap().to_vec();
+                let ar_s = comm.allreduce(&data, &ops::sum_u64).unwrap().to_vec();
+                let ar_m = comm.allreduce(&data, &ops::min_u64).unwrap().to_vec();
+                let rd = comm.reduce(&data, &ops::sum_f64, root).unwrap();
+                let bc = comm
+                    .bcast((me == root).then(|| data.clone()).as_deref(), root)
+                    .unwrap()
+                    .to_vec();
+                let ag = comm
+                    .allgather(&data[..len.min(me * 8 + 8)])
+                    .unwrap()
+                    .iter()
+                    .map(|p| p.to_vec())
+                    .collect::<Vec<_>>();
+                (ar_x, ar_s, ar_m, rd, bc, ag)
+            })
+        };
+        let adaptive = run(MonaConfig::default());
+        let naive = run(MonaConfig::naive_collectives());
+        prop_assert_eq!(adaptive, naive);
+    }
+}
+
+#[test]
+fn seq_numbering_is_stable_across_algorithm_switch() {
+    // The per-rank (operation, seq) history must be identical whether the
+    // engine picks naive or adaptive algorithms — composite collectives
+    // draw exactly one sequence number either way.
+    let history = |cfg: MonaConfig| {
+        let cluster = hpcsim::Cluster::default();
+        cluster.shared().tracer().set_enabled(true);
+        mona::testing::run_ranks(&cluster, 4, 8, cfg, |comm| {
+            comm.barrier().unwrap();
+            comm.allreduce(&vec![1u8; 32 * 1024], &ops::bxor_u8).unwrap();
+            let data = (comm.rank() == 0).then(|| vec![2u8; 20 * 1024]);
+            comm.bcast(data.as_deref(), 0).unwrap();
+            comm.reduce(&vec![3u8; 16 * 1024], &ops::bxor_u8, 1).unwrap();
+            comm.allgather(&[4u8; 64]).unwrap();
+            comm.allreduce(&[5u8; 8], &ops::bxor_u8).unwrap();
+        });
+        let snap = cluster.shared().trace_snapshot();
+        let mut colls: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("mona.coll:"))
+            .collect();
+        colls.sort_by_key(|s| (s.pid, s.start_ns, s.depth));
+        colls
+            .iter()
+            .map(|s| (s.pid, s.name.clone(), span_arg(s, "seq")))
+            .collect::<Vec<_>>()
+    };
+    let adaptive = history(MonaConfig::default());
+    let naive = history(MonaConfig::naive_collectives());
+    assert_eq!(adaptive, naive);
+    // Six collectives per rank, seqs 0..=5 in issue order.
+    let rank0: Vec<usize> = adaptive.iter().filter(|(p, _, _)| *p == adaptive[0].0).map(|(_, _, q)| *q).collect();
+    assert_eq!(rank0, vec![0, 1, 2, 3, 4, 5]);
 }

@@ -45,6 +45,18 @@ pub trait VtkComm: Send + Sync {
     fn gather(&self, data: &[u8], root: usize) -> Result<Option<Vec<Vec<u8>>>, String>;
     /// Barrier.
     fn barrier(&self) -> Result<(), String>;
+    /// Reduce with a caller-supplied elementwise fold; every rank returns
+    /// the result. The default composes `reduce` + `bcast`; transports with
+    /// a native allreduce (e.g. MoNA's Rabenseifner engine) override this
+    /// with a single collective.
+    fn allreduce(
+        &self,
+        data: &[u8],
+        op: &(dyn Fn(&mut [u8], &[u8]) + Sync),
+    ) -> Result<Vec<u8>, String> {
+        let reduced = self.reduce(data, op, 0)?;
+        self.bcast(reduced.as_deref(), 0)
+    }
 }
 
 /// The controller (`vtkMultiProcessController`): owns a communicator and
@@ -139,6 +151,13 @@ impl VtkComm for DummyComm {
     fn barrier(&self) -> Result<(), String> {
         Ok(())
     }
+    fn allreduce(
+        &self,
+        data: &[u8],
+        _op: &(dyn Fn(&mut [u8], &[u8]) + Sync),
+    ) -> Result<Vec<u8>, String> {
+        Ok(data.to_vec())
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +175,7 @@ mod tests {
             b"y"
         );
         assert_eq!(c.comm().gather(b"z", 0).unwrap().unwrap(), vec![b"z".to_vec()]);
+        assert_eq!(c.comm().allreduce(b"w", &|_, _| {}).unwrap(), b"w");
         c.comm().barrier().unwrap();
         assert!(c.comm().send(b"", 0, 0).is_err());
     }

@@ -6,7 +6,8 @@ sh "$(dirname "$0")/scripts/check.sh" || exit 1
 set -x
 B=./target/release
 $B/table1_p2p --ops 1000 --trace results/BENCH_trace.json > results/table1.txt 2>&1
-$B/table2_reduce --procs 64 --ops 200 --trace results/BENCH_trace_reduce.json > results/table2.txt 2>&1
+$B/table2_reduce --procs 64 --ops 200 --check-shape --trace results/BENCH_trace_reduce.json > results/table2.txt 2>&1
+$B/bench_coll --assert --out results/BENCH_coll.json > results/bench_coll.txt 2>&1
 $B/fig1_dwi_growth --render              > results/fig1.txt   2>&1
 $B/fig3_renders                          > results/fig3.txt   2>&1
 $B/fig4_resize                           > results/fig4.txt   2>&1

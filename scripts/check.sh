@@ -21,6 +21,14 @@ cargo test -q --offline --test chaos_e2e crashed_primary_recovers_from_replicas_
 cargo test -q --offline --test chaos_e2e request_leave_during_staging_loses_no_block
 cargo test -q --offline --test observability_e2e
 
+# Collective engine smoke: the size-adaptive algorithms must beat the
+# naive whole-payload ones above the pipeline switchover, and Table II
+# must keep the paper's shape (Cray fastest, OpenMPI collapse, MoNA
+# within a small factor of Cray).
+cargo run -q --release --offline -p colza-bench --bin bench_coll -- \
+    --smoke --assert --out /tmp/colza_bench_coll_smoke.json
+cargo run -q --release --offline -p colza-bench --bin table2_reduce -- --check-shape > /dev/null
+
 # The trace feature must compile away cleanly: every instrumented crate
 # has to build with instrumentation disabled.
 for crate in hpcsim na mona minimpi margo ssg store colza colza-bench; do
