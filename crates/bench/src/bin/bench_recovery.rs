@@ -1,0 +1,276 @@
+//! **Recovery bench** — crash-to-recovered-iteration latency for the
+//! fault-tolerant collective path (DESIGN.md §12).
+//!
+//! A staging server is killed *inside a MoNA collective round* of
+//! `execute` via a send-count crash rule: its Nth MoNA-plane send is the
+//! last thing it ever produces, and everything outbound afterwards is
+//! silently dropped. Survivors revoke the communicator instead of
+//! hanging, their execute handlers abort the iteration retryably, and the
+//! client's `execute_with_recovery` re-runs the activate 2PC on the
+//! shrunk view and re-executes from store replicas.
+//!
+//! Reported per run: the virtual time and wall time from the crash trip
+//! to the recovered iteration's completion, the SWIM rounds it took the
+//! survivors to declare the death, and the abort/revoke/promotion
+//! counters behind the recovery.
+//!
+//! Run: `cargo run --release -p colza-bench --bin bench_recovery
+//!       [--runs 3] [--blocks 4] [--out results/BENCH_recovery.json]`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use colza::{AdminClient, BlockMeta, ColzaClient, ColzaDaemon, DaemonConfig};
+use colza_bench::{table, Args};
+use margo::{MargoInstance, RetryConfig};
+use na::{Address, Fabric};
+use store::{BlockKey, HashRing, RingConfig};
+
+#[derive(serde::Serialize)]
+struct Row {
+    run: usize,
+    blocks: u64,
+    /// Serialized SWIM rounds until every survivor declared the death.
+    detect_rounds: u64,
+    /// Virtual ns from the crash trip to the recovered `execute` return.
+    crash_to_recover_virtual_ns: u64,
+    /// Wall-clock ms for the same interval (host-dependent).
+    crash_to_recover_wall_ms: f64,
+    aborted: u64,
+    recoveries: u64,
+    revoke_sent: u64,
+    promoted: u64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    bench: &'static str,
+    servers: usize,
+    runs: usize,
+    blocks: u64,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let runs: usize = args.get("runs", 3);
+    let blocks: u64 = args.get("blocks", 4);
+    let out = args.get_str("out", "results/BENCH_recovery.json");
+    table::banner(
+        "Recovery bench: mid-collective crash to recovered iteration",
+        &format!("(3 servers, {blocks} blocks, replication 2; {runs} runs)"),
+    );
+    println!(
+        "{:>4} {:>8} {:>14} {:>12} {:>8} {:>10} {:>8} {:>9}",
+        "run", "detect", "recover ms(v)", "wall ms", "aborted", "recovered", "revokes", "promoted"
+    );
+
+    let mut rows = Vec::new();
+    for run in 0..runs {
+        let row = run_once(run, blocks);
+        println!(
+            "{:>4} {:>8} {:>14.2} {:>12.2} {:>8} {:>10} {:>8} {:>9}",
+            row.run,
+            row.detect_rounds,
+            row.crash_to_recover_virtual_ns as f64 / 1e6,
+            row.crash_to_recover_wall_ms,
+            row.aborted,
+            row.recoveries,
+            row.revoke_sent,
+            row.promoted,
+        );
+        rows.push(row);
+    }
+
+    let report = Report {
+        bench: "crash_recovery",
+        servers: 3,
+        runs,
+        blocks,
+        rows,
+    };
+    if let Some(dir) = std::path::Path::new(out.as_str()).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    match std::fs::write(&out, serde_json::to_string(&report).unwrap()) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\nfailed to write {out}: {e}"),
+    }
+    println!("Shape: virtual recovery time is dominated by the failure");
+    println!("detector (SWIM rounds at one period each); the abort, the");
+    println!("re-activate 2PC, and the replayed collective round are cheap");
+    println!("next to declaring the death.");
+}
+
+/// One crash-and-recover cycle; returns the latency and the counters.
+fn run_once(run: usize, blocks: u64) -> Row {
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    cluster.shared().tracer().set_enabled(true);
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let conn = std::env::temp_dir().join(format!(
+        "bench-recovery-{}-{run}.addrs",
+        std::process::id()
+    ));
+    std::fs::remove_file(&conn).ok();
+    let mut cfg = DaemonConfig::new(&conn);
+    cfg.tick_interval = Duration::from_secs(3600); // harness-driven SWIM
+    cfg.auto_repair = false; // all migration at the 2PC boundary
+    // Generous deadline backstop: SWIM detects the death first; the
+    // deadline only guards against a detector that never fires.
+    cfg.mona.fault.recv_deadline = Some(Duration::from_secs(5));
+    let mut daemons: Vec<ColzaDaemon> = (0..3)
+        .map(|i| ColzaDaemon::spawn(&cluster, &fabric, i, cfg.clone()))
+        .collect();
+    for _ in 0..60 {
+        for d in &daemons {
+            d.tick_sync();
+        }
+    }
+    assert!(
+        daemons.iter().all(|d| d.view().len() == 3),
+        "serialized gossip failed to converge"
+    );
+    let contact = daemons[0].address();
+
+    // The victim is block 0's primary under the shared ring, so the
+    // crash provably forces replica promotion during recovery.
+    let members: Vec<Address> = {
+        let mut m: Vec<Address> = daemons.iter().map(|d| d.address()).collect();
+        m.sort_unstable();
+        m
+    };
+    let ring_cfg = RingConfig {
+        replication: 2,
+        ..RingConfig::default()
+    };
+    let shared = Arc::clone(cluster.shared());
+    let ring = HashRing::build(&members, |a| shared.node_of(a.pid()), ring_cfg);
+    let victim_addr = ring.primary(&BlockKey::new("m", 0)).unwrap();
+    let victim_idx = daemons
+        .iter()
+        .position(|d| d.address() == victim_addr)
+        .unwrap();
+    let victim_node = shared.node_of(victim_addr.pid()).unwrap();
+    // Kill switch: the victim's 3rd MoNA-plane send (inside the execute
+    // collectives) is its moment of death.
+    cluster.shared().faults().crash_after_sends_now(
+        victim_node,
+        na::tags::MONA_BASE,
+        na::tags::MPI_BASE - 1,
+        2,
+    );
+
+    let script = catalyst::PipelineScript::mandelbulb(48, 48).to_json();
+    let f2 = fabric.clone();
+    let (staged_tx, staged_rx) = crossbeam::channel::bounded::<()>(1);
+    let (executed_tx, executed_rx) = crossbeam::channel::bounded::<()>(1);
+    let (done_tx, done_rx) = crossbeam::channel::bounded::<()>(1);
+    let sim = cluster.spawn("sim", 8, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+        let view = client.view_from(contact).unwrap();
+        admin
+            .create_pipeline_on_all(&view, "catalyst", "m", &script)
+            .unwrap();
+        let mut handle = client.distributed_handle(contact, "m").unwrap();
+        handle.set_replication(2);
+        // Short per-try: the victim's reply is swallowed, so the call to
+        // it must be re-probed without a ten-second stall.
+        handle.set_heavy_retry(RetryConfig {
+            max_attempts: 0,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+            per_try_timeout: Duration::from_secs(2),
+            deadline: Some(Duration::from_secs(120)),
+            ..Default::default()
+        });
+        let bulb = sims::mandelbulb::Mandelbulb {
+            dims: [12, 12, 12],
+            ..Default::default()
+        };
+        handle.activate(0).unwrap();
+        for b in 0..blocks {
+            let payload = colza::codec::dataset_to_bytes(
+                &bulb.generate_block(b as usize, blocks as usize),
+            );
+            handle
+                .stage(
+                    BlockMeta {
+                        name: "m".into(),
+                        block_id: b,
+                        iteration: 0,
+                        size: payload.len(),
+                    },
+                    &payload,
+                )
+                .unwrap();
+        }
+        staged_tx.send(()).unwrap();
+        handle
+            .execute_with_recovery(0)
+            .expect("iteration must recover from the mid-collective crash");
+        executed_tx.send(()).unwrap();
+        done_rx.recv().unwrap();
+        handle.deactivate(0).unwrap();
+        margo.finalize();
+    });
+
+    staged_rx.recv().unwrap();
+    let mut tripped = false;
+    for _ in 0..30_000 {
+        if cluster.shared().faults().crash_tripped(victim_node) {
+            tripped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(tripped, "the victim never hit its send-count crash budget");
+    // The crash instant: start both clocks, then make it a real crash by
+    // closing the victim's endpoint so probes fail fast.
+    let shared = cluster.shared();
+    let t0_virtual = shared.max_clock_ns();
+    let t0_wall = Instant::now();
+    daemons.remove(victim_idx).kill();
+    let mut detect_rounds = 0u64;
+    while daemons.iter().any(|d| d.view().contains(&victim_addr)) {
+        for d in &daemons {
+            d.tick_sync();
+        }
+        detect_rounds += 1;
+        assert!(
+            detect_rounds < 500,
+            "survivors never declared the victim dead"
+        );
+    }
+    for _ in 0..10 {
+        for d in &daemons {
+            d.tick_sync();
+        }
+    }
+
+    executed_rx.recv().unwrap();
+    let t1_virtual = shared.max_clock_ns();
+    let wall = t0_wall.elapsed();
+    done_tx.send(()).unwrap();
+    sim.join();
+
+    let snap = shared.trace_snapshot();
+    let row = Row {
+        run,
+        blocks,
+        detect_rounds,
+        crash_to_recover_virtual_ns: t1_virtual.saturating_sub(t0_virtual),
+        crash_to_recover_wall_ms: wall.as_secs_f64() * 1e3,
+        aborted: snap.counter_total("colza.exec.aborted"),
+        recoveries: snap.counter_total("colza.exec.recoveries"),
+        revoke_sent: snap.counter_total("mona.revoke.sent"),
+        promoted: snap.counter_total("colza.store.promoted.blocks")
+            + snap.counter_total("colza.store.exec.promoted"),
+    };
+    for d in daemons {
+        d.stop();
+    }
+    std::fs::remove_file(&conn).ok();
+    row
+}

@@ -79,6 +79,7 @@ impl ColzaClient {
             members: Mutex::new(members),
             ring_cfg: RingConfig::default(),
             placement: Mutex::new(None),
+            heavy: heavy_retry(),
         })
     }
 }
@@ -182,6 +183,8 @@ pub struct DistributedPipelineHandle {
     ring_cfg: RingConfig,
     /// Ring cache: rebuilt only when the member list changes.
     placement: Mutex<Option<(Vec<Address>, Arc<HashRing>)>>,
+    /// Retry policy for the heavy RPCs (execute, result fetch).
+    heavy: RetryConfig,
 }
 
 impl DistributedPipelineHandle {
@@ -199,6 +202,16 @@ impl DistributedPipelineHandle {
         assert!(replication >= 1, "replication factor must be at least 1");
         self.ring_cfg.replication = replication;
         self.placement.lock().take();
+    }
+
+    /// Replaces the retry policy for heavy RPCs (execute and result
+    /// fetch). The default generous 10 s per-try assumes a dead target
+    /// fails fast with `Unreachable`; a harness that crash-injects
+    /// fail-silent servers (open endpoint, swallowed replies) lowers the
+    /// per-try so a lost reply is re-probed — and turned into
+    /// `Unreachable` once the endpoint closes — sooner.
+    pub fn set_heavy_retry(&mut self, cfg: RetryConfig) {
+        self.heavy = cfg;
     }
 
     /// Replaces the full ring configuration (vnodes and replication).
@@ -419,11 +432,62 @@ impl DistributedPipelineHandle {
         };
         // Servers run a collective inside the handler, so every execute
         // RPC must be in flight simultaneously.
-        let results = self.broadcast::<_, ()>(&members, "colza.execute", &args, &heavy_retry());
+        let results = self.broadcast::<_, ()>(&members, "colza.execute", &args, &self.heavy);
         for r in results {
             r?;
         }
         Ok(())
+    }
+
+    /// [`DistributedPipelineHandle::execute`], with abort-and-recover:
+    /// when a server dies inside the iteration's collective, survivors
+    /// reply with [`ColzaError::IterationAborted`] (their MoNA
+    /// communicator was revoked) and this method re-runs the activate
+    /// 2PC against the refreshed — shrunk — view and re-issues the
+    /// execute. Staged inputs survive the abort on the servers (they
+    /// are only released at deactivate), so the re-executed iteration
+    /// re-feeds from store replicas without re-staging.
+    ///
+    /// Plain [`DistributedPipelineHandle::execute`] keeps its
+    /// fail-fast semantics; call this variant when the simulation
+    /// wants the iteration to ride through crashes.
+    pub fn execute_with_recovery(&self, iteration: u64) -> Result<()> {
+        const MAX_ABORTS: usize = 4;
+        const REACTIVATE_TRIES: usize = 600;
+        let mut aborts = 0;
+        loop {
+            let err = match self.execute(iteration) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() && aborts < MAX_ABORTS => e,
+                Err(e) => return Err(e),
+            };
+            aborts += 1;
+            hpcsim::trace::counter_add("colza.exec.recoveries", 1);
+            let mut sp = hpcsim::trace::span("colza", "colza.execute.recover");
+            if sp.active() {
+                sp.arg("iteration", iteration);
+                sp.arg("aborts", aborts as u64);
+            }
+            // The dead member can linger in the survivors' SWIM views for
+            // a few protocol rounds after the abort: keep refreshing and
+            // re-freezing until the 2PC commits on a stable shrunk view.
+            let mut reactivated = false;
+            for _ in 0..REACTIVATE_TRIES {
+                match self.refresh_view().and_then(|_| self.activate(iteration)) {
+                    Ok(()) => {
+                        reactivated = true;
+                        break;
+                    }
+                    Err(e) if e.is_retryable() => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if !reactivated {
+                return Err(err);
+            }
+        }
     }
 
     /// Non-blocking [`DistributedPipelineHandle::execute`] — what a real
@@ -469,7 +533,7 @@ impl DistributedPipelineHandle {
             &FetchResultArgs {
                 pipeline: self.pipeline.clone(),
             },
-            &heavy_retry(),
+            &self.heavy,
         )?)
     }
 

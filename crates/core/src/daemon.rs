@@ -44,6 +44,11 @@ pub struct DaemonConfig {
     /// for the next commit). Deterministic harnesses that pin all
     /// migration traffic to the 2PC boundary turn this off.
     pub auto_repair: bool,
+    /// MoNA configuration for the daemon's collective plane — in
+    /// particular `mona.fault.recv_deadline`, the backstop that lets a
+    /// collective blocked on a silent dead peer revoke itself before
+    /// SWIM declares the death.
+    pub mona: MonaConfig,
 }
 
 impl DaemonConfig {
@@ -57,6 +62,7 @@ impl DaemonConfig {
             tick_interval: Duration::from_millis(2),
             rpc_timeout: Duration::from_millis(500),
             auto_repair: true,
+            mona: MonaConfig::default(),
         }
     }
 }
@@ -102,7 +108,7 @@ impl ColzaDaemon {
             let endpoint = Arc::new(fabric.open());
             let margo = MargoInstance::from_endpoint(Arc::clone(&endpoint));
             margo.set_default_timeout(Some(cfg.rpc_timeout));
-            let mona = MonaInstance::from_endpoint(Arc::clone(&endpoint), MonaConfig::default());
+            let mona = MonaInstance::from_endpoint(Arc::clone(&endpoint), cfg.mona);
             let me = margo.address();
 
             // Bootstrap membership from the connection file. Each contact

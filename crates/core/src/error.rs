@@ -16,6 +16,12 @@ pub enum ColzaError {
         /// Attempts performed before giving up.
         attempts: usize,
     },
+    /// A server aborted the iteration mid-execute because its MoNA
+    /// communicator was revoked (a member crashed inside a collective).
+    /// The iteration's staged inputs are intact on the survivors;
+    /// re-activating against the refreshed view and re-issuing the
+    /// execute recovers ([`crate::client::DistributedPipelineHandle::execute_with_recovery`]).
+    IterationAborted(String),
     /// No pipeline with this name exists on the target server.
     NoSuchPipeline(String),
     /// No backend factory registered under this `lib:name`.
@@ -39,6 +45,7 @@ impl fmt::Display for ColzaError {
             ColzaError::NoSuchPipeline(n) => write!(f, "no pipeline named {n:?}"),
             ColzaError::NoSuchLibrary(n) => write!(f, "no backend library {n:?} registered"),
             ColzaError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            ColzaError::IterationAborted(m) => write!(f, "iteration aborted: {m}"),
             ColzaError::EmptyGroup => write!(f, "staging area is empty"),
             ColzaError::Codec(m) => write!(f, "codec error: {m}"),
         }
@@ -52,7 +59,9 @@ impl ColzaError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            ColzaError::Unavailable(_) | ColzaError::ActivateConflict { .. }
+            ColzaError::Unavailable(_)
+                | ColzaError::ActivateConflict { .. }
+                | ColzaError::IterationAborted(_)
         )
     }
 }
@@ -66,6 +75,11 @@ impl From<margo::RpcError> for ColzaError {
             // re-routes them through the surviving view.
             margo::RpcError::Handler(m) if m.starts_with(crate::provider::DRAINING) => {
                 ColzaError::Unavailable(m.clone())
+            }
+            // An execute handler whose collective was revoked replies with
+            // the ABORTED marker: typed as retryable-after-reactivate.
+            margo::RpcError::Handler(m) if m.starts_with(crate::provider::ABORTED) => {
+                ColzaError::IterationAborted(m.clone())
             }
             _ if e.is_retryable() => ColzaError::Unavailable(e.to_string()),
             _ => ColzaError::Rpc(e.to_string()),

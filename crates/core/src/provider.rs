@@ -100,17 +100,23 @@ impl ColzaProvider {
 
         // Membership-change hook: a death or departure leaves blocks
         // under-replicated; flag it so the daemon loop runs a repair
-        // pass (when enabled) without waiting for the next commit.
+        // pass (when enabled) without waiting for the next commit. The
+        // same verdict feeds MoNA's dead-set so a collective blocked on
+        // the departed member aborts with `Revoked` instead of hanging
+        // (DESIGN.md §12) — this observer is the crash detector the
+        // fault-tolerance layer is armed with.
         {
             let weak = Arc::downgrade(&provider);
             group.observe(move |ev| {
                 if ev.is_departure() {
                     if let Some(p) = weak.upgrade() {
                         p.repair_needed.store(true, Ordering::Release);
+                        p.mona.mark_dead(ev.addr());
                     }
                 }
             });
         }
+        provider.mona.arm_fault_detection();
 
         // --- control-plane handlers -------------------------------------
         {
@@ -225,7 +231,26 @@ impl ColzaProvider {
                     sp.arg("iteration", args.iteration);
                     sp.arg("servers", members.len());
                 }
-                entry.execute(args.iteration, &ctrl)
+                match entry.execute(args.iteration, &ctrl) {
+                    // A member died inside the iteration's collective: the
+                    // communicator was revoked. Roll back by leaving the
+                    // iteration's staged inputs exactly where they are —
+                    // the store keeps every copy until deactivate, and the
+                    // next execute's reconcile_fed re-promotes/re-feeds
+                    // them against the re-frozen (shrunk) view — and reply
+                    // with the typed retryable abort marker.
+                    Err(e) if e.contains(mona::REVOKED_MARKER) => {
+                        hpcsim::trace::counter_add("colza.exec.aborted", 1);
+                        if sp.active() {
+                            sp.arg("aborted", true);
+                        }
+                        Err(format!(
+                            "{ABORTED}: iteration {} collective revoked: {e}",
+                            args.iteration
+                        ))
+                    }
+                    other => other,
+                }
             });
         }
         {
@@ -797,6 +822,12 @@ impl ColzaProvider {
 /// `ColzaError::from(RpcError)` so clients treat it as retryable and
 /// re-route the block through the surviving view.
 pub(crate) const DRAINING: &str = "server draining";
+
+/// Marker prefix of the mid-iteration abort reply, recognized by
+/// `ColzaError::from(RpcError)` as [`crate::ColzaError::IterationAborted`]
+/// so clients re-activate against the shrunk view and re-issue the
+/// iteration instead of giving up.
+pub(crate) const ABORTED: &str = "iteration aborted by revoked collective";
 
 fn block_meta(b: &StoredBlock) -> BlockMeta {
     BlockMeta {

@@ -101,6 +101,28 @@ impl Partition {
     }
 }
 
+/// A crash triggered by the node's own send activity rather than a
+/// virtual time: after the node has delivered `after` messages whose tags
+/// fall in `[tag_lo, tag_hi]`, the next matching send trips the crash —
+/// that send and *all* subsequent outbound traffic from the node are
+/// dropped (fail-silent), while inbound delivery continues (a crashed
+/// mailbox simply never answers). Because the trigger counts only the
+/// node's own sends — a single deterministic stream for the sequential
+/// protocols the harnesses drive — the crash lands at the exact same
+/// protocol step every run, letting chaos tests kill a server *inside a
+/// specific MoNA collective round* reproducibly.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashAfterSends {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// Inclusive lower bound of counted tags.
+    pub tag_lo: u64,
+    /// Inclusive upper bound of counted tags.
+    pub tag_hi: u64,
+    /// How many matching sends are delivered before the crash.
+    pub after: u64,
+}
+
 /// The full fault schedule for a cluster. `Default` injects nothing.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -115,6 +137,9 @@ pub struct FaultPlan {
     /// Nodes that crash at a virtual time: traffic to/from them is dropped
     /// from that point on (detection is the failure detector's job).
     pub crashes: Vec<(NodeId, u64)>,
+    /// Nodes that crash after sending N messages in a tag range (first
+    /// rule per node wins).
+    pub crash_after: Vec<CrashAfterSends>,
     /// Inclusive tag ranges randomized faults apply to (empty = all tags).
     pub tag_ranges: Vec<(u64, u64)>,
 }
@@ -187,6 +212,24 @@ impl FaultPlan {
     /// Schedules a node crash at a virtual time.
     pub fn with_crash(mut self, node: NodeId, at_ns: u64) -> Self {
         self.crashes.push((node, at_ns));
+        self
+    }
+
+    /// Schedules a crash after `node` has delivered `after` sends with
+    /// tags in `[tag_lo, tag_hi]` (see [`CrashAfterSends`]).
+    pub fn with_crash_after_sends(
+        mut self,
+        node: NodeId,
+        tag_lo: u64,
+        tag_hi: u64,
+        after: u64,
+    ) -> Self {
+        self.crash_after.push(CrashAfterSends {
+            node,
+            tag_lo,
+            tag_hi,
+            after,
+        });
         self
     }
 
@@ -271,6 +314,13 @@ pub struct FaultInjector {
     scheduled: AtomicBool,
     dynamic_active: AtomicBool,
     counters: Mutex<HashMap<(u64, u64), u64>>,
+    /// Per-node (matching sends delivered, tripped) for `crash_after`.
+    crash_state: Mutex<HashMap<NodeId, (u64, bool)>>,
+    /// Whether any send-count crash rule exists (plan or runtime).
+    has_crash_after: AtomicBool,
+    /// Send-count crash rules installed after construction (harnesses
+    /// that pick the victim only once placement is known).
+    dynamic_crash_after: Mutex<Vec<CrashAfterSends>>,
     dynamic_partitions: Mutex<Vec<Partition>>,
     trace: Mutex<Vec<FaultRecord>>,
 }
@@ -279,15 +329,21 @@ impl FaultInjector {
     /// Builds the runtime injector for a plan.
     pub fn new(plan: FaultPlan) -> Self {
         let randomized = plan.any_randomized();
-        let scheduled = !plan.partitions.is_empty() || !plan.crashes.is_empty();
+        let scheduled = !plan.partitions.is_empty()
+            || !plan.crashes.is_empty()
+            || !plan.crash_after.is_empty();
+        let has_crash_after = !plan.crash_after.is_empty();
         Self {
             randomized,
             scheduled: AtomicBool::new(scheduled),
             dynamic_active: AtomicBool::new(false),
-            plan,
             counters: Mutex::new(HashMap::new()),
+            crash_state: Mutex::new(HashMap::new()),
+            has_crash_after: AtomicBool::new(has_crash_after),
+            dynamic_crash_after: Mutex::new(Vec::new()),
             dynamic_partitions: Mutex::new(Vec::new()),
             trace: Mutex::new(Vec::new()),
+            plan,
         }
     }
 
@@ -329,6 +385,65 @@ impl FaultInjector {
             .any(|&(n, at)| n == node && now_ns >= at)
     }
 
+    /// Whether a [`CrashAfterSends`] rule for `node` has already tripped.
+    /// Harnesses poll this to learn the victim is down before driving the
+    /// failure detector.
+    pub fn crash_tripped(&self, node: NodeId) -> bool {
+        self.crash_state.lock().get(&node).is_some_and(|&(_, t)| t)
+    }
+
+    /// Installs a send-count crash rule at runtime. The counterpart of
+    /// [`FaultPlan::with_crash_after_sends`] for harnesses that can only
+    /// pick the victim after launch — e.g. "the primary of block 0",
+    /// known once the placement ring over the live view exists.
+    pub fn crash_after_sends_now(&self, node: NodeId, tag_lo: u64, tag_hi: u64, after: u64) {
+        self.dynamic_crash_after.lock().push(CrashAfterSends {
+            node,
+            tag_lo,
+            tag_hi,
+            after,
+        });
+        self.has_crash_after.store(true, Ordering::Release);
+        self.scheduled.store(true, Ordering::Release);
+    }
+
+    /// Send-count crash bookkeeping: returns `true` when this outbound
+    /// message from `src_node` must be dropped — either the node already
+    /// tripped, or this very send is the one past the rule's budget (the
+    /// trigger send itself is lost; the node died producing it).
+    fn crashed_by_sends(&self, src_node: NodeId, tag: u64) -> bool {
+        if !self.has_crash_after.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut st = self.crash_state.lock();
+        let entry = st.entry(src_node).or_insert((0, false));
+        if entry.1 {
+            return true;
+        }
+        let dynamic = self.dynamic_crash_after.lock();
+        let Some(rule) = self
+            .plan
+            .crash_after
+            .iter()
+            .chain(dynamic.iter())
+            .find(|r| r.node == src_node)
+        else {
+            return false;
+        };
+        let rule = *rule;
+        drop(dynamic);
+        if !(rule.tag_lo..=rule.tag_hi).contains(&tag) {
+            return false;
+        }
+        if entry.0 >= rule.after {
+            entry.1 = true;
+            true
+        } else {
+            entry.0 += 1;
+            false
+        }
+    }
+
     /// Whether traffic between two nodes is currently cut by a partition.
     pub fn partitioned(&self, a: NodeId, b: NodeId, now_ns: u64) -> bool {
         self.plan.partitions.iter().any(|p| p.cuts(a, b, now_ns))
@@ -349,6 +464,17 @@ impl FaultInjector {
     ) -> SendFault {
         // Network-level faults first: they ignore the tag scope.
         if self.is_crashed(src_node, now_ns) || self.is_crashed(dst_node, now_ns) {
+            self.record(src, dst, 0, FaultKind::Crash, 0);
+            return SendFault {
+                deliver: false,
+                ..SendFault::CLEAN
+            };
+        }
+        // Send-count crashes cut only the victim's *outbound* traffic; its
+        // mailbox keeps accepting (and ignoring) deliveries, so survivors'
+        // send streams — and with them the per-link fault seqs — are
+        // unperturbed by when exactly the victim died.
+        if self.crashed_by_sends(src_node, tag) {
             self.record(src, dst, 0, FaultKind::Crash, 0);
             return SendFault {
                 deliver: false,
@@ -582,6 +708,51 @@ mod tests {
         assert!(!inj.on_send(p(1), p(0), 1, 0, 7, 1000).deliver, "from crashed");
         assert!(inj.is_crashed(1, 1000));
         assert!(!inj.is_crashed(0, 1000));
+    }
+
+    #[test]
+    fn crash_after_sends_trips_on_the_matching_send_budget() {
+        let inj = FaultInjector::new(FaultPlan::seeded(7).with_crash_after_sends(0, 100, 200, 2));
+        assert!(inj.is_active());
+        // Out-of-range tags do not count toward the budget.
+        assert!(inj.on_send(p(0), p(1), 0, 1, 50, 0).deliver);
+        assert!(!inj.crash_tripped(0));
+        // Two matching sends are delivered...
+        assert!(inj.on_send(p(0), p(1), 0, 1, 150, 0).deliver);
+        assert!(inj.on_send(p(0), p(2), 0, 2, 199, 0).deliver);
+        assert!(!inj.crash_tripped(0));
+        // ...the third matching send trips the crash and is itself lost.
+        assert!(!inj.on_send(p(0), p(1), 0, 1, 150, 0).deliver);
+        assert!(inj.crash_tripped(0));
+        // After the trip, ALL outbound from the node is dropped — even
+        // tags outside the counted range (SSG ping replies die too).
+        assert!(!inj.on_send(p(0), p(1), 0, 1, 50, 0).deliver);
+        // Inbound to the zombie keeps flowing: survivors' send streams
+        // are not perturbed.
+        assert!(inj.on_send(p(1), p(0), 1, 0, 150, 0).deliver);
+        // Every drop is a Crash record with seq 0.
+        assert!(inj
+            .trace()
+            .iter()
+            .all(|r| r.kind == FaultKind::Crash && r.seq == 0));
+        assert_eq!(inj.fault_count(), 2);
+    }
+
+    #[test]
+    fn crash_after_sends_does_not_consume_randomized_seqs() {
+        // The victim's counted sends must not advance the per-link fault
+        // seq stream other links' decisions hash on.
+        let base = FaultInjector::new(FaultPlan::seeded(11).with_loss(0.5));
+        let with_crash = FaultInjector::new(
+            FaultPlan::seeded(11)
+                .with_loss(0.5)
+                .with_crash_after_sends(9, 0, u64::MAX, 0),
+        );
+        for _ in 0..50 {
+            let a = base.on_send(p(0), p(1), 0, 1, 7, 0);
+            let b = with_crash.on_send(p(0), p(1), 0, 1, 7, 0);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -43,10 +43,10 @@ use bytes::Bytes;
 use na::NaError;
 
 use crate::comm::{Communicator, Payload, COLL_ALIGN};
-use crate::{ReduceOp, Request, Result};
+use crate::{MonaError, ReduceOp, Request, Result};
 
 /// Opcode constants embedded in collective wire tags (5-bit field).
-mod opcode {
+pub(crate) mod opcode {
     pub const BARRIER: u16 = 1;
     pub const BCAST: u16 = 2;
     pub const REDUCE: u16 = 3;
@@ -54,6 +54,9 @@ mod opcode {
     pub const ALLGATHER: u16 = 5;
     pub const SCATTER: u16 = 6;
     pub const REDUCE_SCATTER: u16 = 7;
+    /// Revoke notices: the control channel the fault-tolerance layer uses
+    /// to propagate an abort across a communicator (DESIGN.md §12).
+    pub const REVOKE: u16 = 8;
 }
 
 /// The contiguous byte range rank `rank` owns after a reduce-scatter over a
@@ -71,6 +74,28 @@ pub fn reduce_scatter_range(len: usize, n: usize, rank: usize) -> Range<usize> {
     start..end
 }
 
+/// Checks a received chunk against the length the frame plan promised —
+/// an injected fault (truncation, cross-talk) must surface as a typed
+/// protocol error before the chunk reaches `ReduceOp::apply` or a
+/// `copy_from_slice`, both of which panic on length mismatch.
+fn check_chunk_len(got: usize, want: usize) -> Result<()> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(MonaError::Protocol("collective chunk length mismatch"))
+    }
+}
+
+/// Unwraps a gathered/ring part list, surfacing a typed protocol error
+/// (instead of the old `expect` panic) if any slot is unfilled — which can
+/// only happen when injected faults deliver a duplicate source.
+fn collect_parts(parts: Vec<Option<Bytes>>, msg: &'static str) -> Result<Vec<Bytes>> {
+    parts
+        .into_iter()
+        .map(|p| p.ok_or(MonaError::Protocol(msg)))
+        .collect()
+}
+
 /// Reads the u64 little-endian total-length prefix off a framed payload.
 fn frame_len_prefix(frame: &Bytes) -> Result<usize> {
     match frame.get(..8) {
@@ -78,7 +103,8 @@ fn frame_len_prefix(frame: &Bytes) -> Result<usize> {
         None => Err(NaError::ShortFrame {
             need: 8,
             have: frame.len(),
-        }),
+        }
+        .into()),
     }
 }
 
@@ -248,6 +274,7 @@ impl Communicator {
                     }
                     out.extend_from_slice(&chunk);
                 }
+                check_chunk_len(out.len(), len)?;
                 Ok(Bytes::from(out))
             }
         }
@@ -319,6 +346,7 @@ impl Communicator {
             let r = plan.range(k, len);
             for &child in &children {
                 let (got, _) = self.raw_recv(Some(child), tag)?;
+                check_chunk_len(got.len(), r.len())?;
                 op.apply(&mut acc[r.clone()], &got);
             }
             if let Some(p) = parent {
@@ -400,6 +428,7 @@ impl Communicator {
             for j in 0..rplan.count {
                 let (chunk, _) = self.raw_recv(Some(left), tag)?;
                 let sub = rplan.range(j, rr.len());
+                check_chunk_len(chunk.len(), sub.len())?;
                 op.apply(&mut acc[rr.start + sub.start..rr.start + sub.end], &chunk);
             }
             if let Some(req) = req {
@@ -442,6 +471,7 @@ impl Communicator {
             for j in 0..rplan.count {
                 let (chunk, _) = self.raw_recv(Some(left), tag)?;
                 let sub = rplan.range(j, rr.len());
+                check_chunk_len(chunk.len(), sub.len())?;
                 out[rr.start + sub.start..rr.start + sub.end].copy_from_slice(&chunk);
             }
             if let Some(req) = req {
@@ -467,7 +497,7 @@ impl Communicator {
                 let (got, src) = self.raw_recv(None, tag)?;
                 parts[src] = Some(got);
             }
-            Ok(Some(parts.into_iter().map(|p| p.expect("all ranks sent")).collect()))
+            collect_parts(parts, "gather: duplicate sender left a rank unfilled").map(Some)
         } else {
             self.raw_send(root, tag, data)?;
             Ok(None)
@@ -489,7 +519,7 @@ impl Communicator {
                 let (got, src) = self.raw_recv(None, tag)?;
                 parts[src] = Some(got);
             }
-            Ok(Some(parts.into_iter().map(|p| p.expect("all ranks sent")).collect()))
+            collect_parts(parts, "gather: duplicate sender left a rank unfilled").map(Some)
         } else {
             self.raw_send_owned(root, tag, data)?;
             Ok(None)
@@ -506,10 +536,11 @@ impl Communicator {
         let seq = self.next_seq();
         let _sp = self.coll_span("allgather", seq);
         let mut parts: Vec<Option<Bytes>> = vec![None; n];
-        parts[me] = Some(Bytes::copy_from_slice(data));
+        let own = Bytes::copy_from_slice(data);
+        parts[me] = Some(own.clone());
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
-        let mut carry: Bytes = parts[me].clone().expect("own part set");
+        let mut carry: Bytes = own;
         for step in 0..n.saturating_sub(1) {
             let tag = self.coll_tag(seq, opcode::ALLGATHER, step as u32);
             let mut rsp = hpcsim::trace::span("mona", "mona.coll.round");
@@ -527,7 +558,7 @@ impl Communicator {
             carry = got;
             parts[origin] = Some(carry.clone());
         }
-        Ok(parts.into_iter().map(|p| p.expect("ring complete")).collect())
+        collect_parts(parts, "allgather: ring left a rank unfilled")
     }
 
     /// Linear scatter from the root: rank `i` receives `parts[i]`.
@@ -693,7 +724,7 @@ impl Communicator {
         let chunk0 = frame0.slice(8..);
         let plan = self.instance().config().coll.frames(len);
         if plan.count == 1 {
-            debug_assert_eq!(chunk0.len(), len, "single-frame payload length");
+            check_chunk_len(chunk0.len(), len)?;
             return Ok(chunk0);
         }
         let mut out = self.inst.buffers.take(len);
@@ -702,6 +733,7 @@ impl Communicator {
             let (chunk, _) = self.raw_recv(Some(src), tag)?;
             out.extend_from_slice(&chunk);
         }
+        check_chunk_len(out.len(), len)?;
         Ok(Bytes::from(out))
     }
 }

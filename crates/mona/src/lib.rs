@@ -35,11 +35,66 @@ mod request;
 pub mod testing;
 
 pub use coll::reduce_scatter_range;
-pub use comm::{CollTuning, Communicator, FramePlan, MonaConfig, MonaInstance, COLL_ALIGN};
+pub use comm::{
+    CollTuning, Communicator, FaultConfig, FramePlan, MonaConfig, MonaInstance, COLL_ALIGN,
+};
 pub use request::{wait_all, Request};
 
-/// Errors surfaced by MoNA (today these are NA transport errors).
-pub type MonaError = na::NaError;
+/// Leading marker of [`MonaError::Revoked`]'s `Display` output. Layers
+/// that stringify errors on their way up (the VTK comm adapters, pipeline
+/// backends) cannot pattern-match the enum, so they detect a revoked
+/// communicator by this prefix instead — the same convention the provider
+/// uses for its `"server draining"` refusals.
+pub const REVOKED_MARKER: &str = "mona: communicator revoked";
+
+/// Errors surfaced by MoNA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonaError {
+    /// A transport-level NA failure (unreachable peer, truncated frame,
+    /// closed endpoint, ...).
+    Na(na::NaError),
+    /// The communicator was revoked: the listed members are known (or
+    /// suspected) dead, so the collective cannot complete on this
+    /// membership. Recover by building a survivor communicator with
+    /// [`Communicator::shrink`] and re-running the operation.
+    Revoked {
+        /// The revoked communicator's epoch (shrink generation).
+        epoch: u64,
+        /// Members known dead when the operation aborted.
+        dead: Vec<na::Address>,
+    },
+    /// Received traffic violated a protocol invariant (e.g. an incomplete
+    /// gather under injected faults). Not retryable on this communicator.
+    Protocol(&'static str),
+}
+
+impl From<na::NaError> for MonaError {
+    fn from(e: na::NaError) -> Self {
+        MonaError::Na(e)
+    }
+}
+
+impl std::fmt::Display for MonaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonaError::Na(e) => write!(f, "{e}"),
+            MonaError::Revoked { epoch, dead } => {
+                write!(f, "{REVOKED_MARKER} (epoch {epoch}; dead: {dead:?})")
+            }
+            MonaError::Protocol(m) => write!(f, "mona protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MonaError {}
+
+impl MonaError {
+    /// Whether this is a revocation (recoverable by shrink + retry).
+    pub fn is_revoked(&self) -> bool {
+        matches!(self, MonaError::Revoked { .. })
+    }
+}
+
 /// Result alias.
 pub type Result<T> = std::result::Result<T, MonaError>;
 

@@ -86,7 +86,7 @@ mod tests {
     fn wait_all_propagates_errors() {
         let out = wait_all([
             Request::ready(Ok(None)),
-            Request::ready(Err(na::NaError::Closed)),
+            Request::ready(Err(na::NaError::Closed.into())),
         ]);
         assert!(out.is_err());
     }

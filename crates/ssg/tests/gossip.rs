@@ -235,6 +235,87 @@ fn injected_suspicion_about_self_is_refuted() {
 }
 
 #[test]
+fn observer_events_for_one_member_arrive_in_incarnation_order() {
+    let cluster = hpcsim::Cluster::default();
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let boot = spawn_daemon(&cluster, &fabric, 0, None);
+    let events = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let ev2 = Arc::clone(&events);
+    boot.group.observe(move |e| ev2.lock().push(e));
+
+    // Gossip about one member, delivered in protocol order: join,
+    // suspicion, refutation at a higher incarnation, then death.
+    let x = Address(0xdead_0001);
+    boot.group.inject_update(x, 0, Status::Alive);
+    boot.group.inject_update(x, 0, Status::Suspect);
+    boot.group.inject_update(x, 1, Status::Alive);
+    // Stale suspicion from the old incarnation: superseded, no event.
+    boot.group.inject_update(x, 0, Status::Suspect);
+    boot.group.inject_update(x, 1, Status::Dead);
+    // Death is terminal: a later Alive must not resurrect the member.
+    boot.group.inject_update(x, 2, Status::Alive);
+
+    let got: Vec<Event> = events
+        .lock()
+        .iter()
+        .copied()
+        .filter(|e| e.addr() == x)
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            Event::Joined(x),
+            Event::Suspected(x),
+            Event::Refuted(x),
+            Event::Died(x),
+        ],
+        "stale and post-mortem updates must not surface as events"
+    );
+    assert!(!boot.group.view().contains(&x));
+    boot.stop();
+}
+
+#[test]
+fn concurrent_death_reports_deliver_exactly_one_died_event() {
+    // A crash is routinely detected twice at once: the direct ping path
+    // and a ping-req helper both gossip `Dead` for the same incarnation.
+    // Observer delivery must collapse the duplicates to one event.
+    let cluster = hpcsim::Cluster::default();
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+    let boot = spawn_daemon(&cluster, &fabric, 0, None);
+    let events = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let ev2 = Arc::clone(&events);
+    boot.group.observe(move |e| ev2.lock().push(e));
+
+    let x = Address(0xdead_0002);
+    boot.group.inject_update(x, 3, Status::Alive);
+
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let reporters: Vec<_> = (0..2)
+        .map(|_| {
+            let group = Arc::clone(&boot.group);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                group.inject_update(x, 3, Status::Dead);
+            })
+        })
+        .collect();
+    for r in reporters {
+        r.join().unwrap();
+    }
+
+    let died = events
+        .lock()
+        .iter()
+        .filter(|e| matches!(e, Event::Died(a) if *a == x))
+        .count();
+    assert_eq!(died, 1, "duplicate death reports must deliver exactly once");
+    assert!(!boot.group.view().contains(&x));
+    boot.stop();
+}
+
+#[test]
 fn ticks_advance_virtual_time_by_periods() {
     let cluster = hpcsim::Cluster::default();
     let fabric = Fabric::new(Arc::clone(cluster.shared()));

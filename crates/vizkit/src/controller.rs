@@ -135,7 +135,8 @@ impl VtkComm for DummyComm {
         Err("dummy controller has no peers".to_string())
     }
     fn bcast(&self, data: Option<&[u8]>, _root: usize) -> Result<Vec<u8>, String> {
-        Ok(data.expect("root payload").to_vec())
+        data.map(|d| d.to_vec())
+            .ok_or_else(|| "dummy bcast called without the root payload".to_string())
     }
     fn reduce(
         &self,

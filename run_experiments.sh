@@ -19,4 +19,5 @@ $B/fig9_elastic_mandelbulb               > results/fig9.txt   2>&1
 $B/fig10_elastic_dwi                     > results/fig10.txt  2>&1
 $B/ablation_2pc                          > results/ablation_2pc.txt 2>&1
 $B/bench_store --out results/BENCH_store.json > results/bench_store.txt 2>&1
+$B/bench_recovery --out results/BENCH_recovery.json > results/bench_recovery.txt 2>&1
 echo ALL_DONE

@@ -1,9 +1,15 @@
 #!/bin/sh
 # Offline preflight: release build, the full test suite, then the chaos
-# suite under the pinned fault-injection seed, the observability suite,
-# and a build with instrumentation compiled out. Everything runs with
-# --offline (the workspace vendors its dependencies as in-tree shims), so
-# this works with no network at all.
+# suite under the pinned fault-injection seed, a seed matrix over the
+# determinism scenario, the observability suite, and a build with
+# instrumentation compiled out. Everything runs with --offline (the
+# workspace vendors its dependencies as in-tree shims), so this works
+# with no network at all.
+#
+# Tiers:
+#   sh scripts/check.sh          full preflight (default)
+#   sh scripts/check.sh --quick  tier-1 build+test plus one chaos smoke
+#                                and one revoke-recovery smoke
 #
 # Override the chaos seed to reproduce a specific run:
 #   COLZA_CHAOS_SEED=7 sh scripts/check.sh
@@ -15,11 +21,28 @@ export COLZA_CHAOS_SEED
 
 cargo build --release --offline --workspace
 cargo test -q --offline
+
+if [ "$1" = "--quick" ]; then
+    # Chaos smoke: one lossy staging flow, and one mid-collective crash
+    # exercising revoke/shrink plus client abort-and-recover.
+    cargo test -q --offline --test chaos_e2e stage_and_execute_complete_through_message_loss
+    cargo test -q --offline --test chaos_e2e mid_collective_crash_aborts_and_recovers_deterministically
+    echo "CHECK_OK quick (chaos seed $COLZA_CHAOS_SEED)"
+    exit 0
+fi
+
 cargo test -q --offline -p store
 cargo test -q --offline --test chaos_e2e
 cargo test -q --offline --test chaos_e2e crashed_primary_recovers_from_replicas_deterministically
 cargo test -q --offline --test chaos_e2e request_leave_during_staging_loses_no_block
 cargo test -q --offline --test observability_e2e
+
+# Determinism must hold for more than the pinned seed: replay the
+# virtual-time-trace scenario across a small seed matrix.
+for seed in 42 7 1337; do
+    COLZA_CHAOS_SEED="$seed" cargo test -q --offline --test chaos_e2e \
+        same_seed_reproduces_the_exact_virtual_time_trace
+done
 
 # Collective engine smoke: the size-adaptive algorithms must beat the
 # naive whole-payload ones above the pipeline switchover, and Table II

@@ -591,6 +591,248 @@ fn crashed_primary_recovers_from_replicas_deterministically() {
     assert_eq!(a, b, "recovery outcomes diverged for one seed");
 }
 
+/// Everything one run of the mid-collective crash scenario produced that
+/// must be identical across runs with the same seed.
+#[derive(Debug, PartialEq)]
+struct CollectiveCrashOutcome {
+    /// Canonical (sorted, line-per-record) export of the fault trace —
+    /// here exclusively `Crash` records for the victim's swallowed
+    /// outbound sends.
+    trace_export: String,
+    /// The final rendered image, byte for byte.
+    image: Vec<u8>,
+    /// `colza.exec.aborted`: execute handlers that aborted on a revoked
+    /// communicator (one per survivor).
+    aborted: u64,
+    /// `colza.exec.recoveries`: client-side abort-and-recover cycles.
+    recoveries: u64,
+    /// `mona.revoke.sent`: revoke notices delivered to survivors.
+    revoke_sent: u64,
+    /// Replica promotions at either promotion point.
+    promoted: u64,
+}
+
+/// One deterministic run of the ISSUE acceptance scenario: a staging
+/// server is killed *inside a MoNA collective round* of `execute`. The
+/// kill switch is a send-count crash rule — the victim's Nth MoNA-plane
+/// send is its moment of death, and everything outbound from the node is
+/// silently dropped from then on — so death lands at the same protocol
+/// step every run. Survivors revoke the communicator instead of hanging,
+/// their execute handlers reply `IterationAborted`, and the client's
+/// `execute_with_recovery` re-runs the activate 2PC on the shrunk view
+/// and re-executes the iteration from store replicas.
+///
+/// The randomized planes stay clean (no loss): the client's recovery
+/// spinning is wall-clock-paced, and seq-consuming randomization would
+/// couple the fault stream to host timing. The chaos here is the crash.
+fn collective_crash_run(seed: u64, tag: &str) -> CollectiveCrashOutcome {
+    const BLOCKS: u64 = 4;
+    let plan = rpc_scoped(FaultPlan::seeded(seed));
+    let (cluster, fabric, mut cfg) = env(&format!("collcrash-{tag}"), plan);
+    cluster.shared().tracer().set_enabled(true);
+    cfg.tick_interval = Duration::from_secs(3600); // harness-driven only
+    cfg.auto_repair = false; // all migration at the 2PC boundary
+    // The per-operation deadline backstop is armed but generous: SWIM
+    // (harness-driven, fast) detects the death first; the deadline only
+    // protects against a failure detector that never fires.
+    cfg.mona.fault.recv_deadline = Some(Duration::from_secs(5));
+    let mut daemons: Vec<ColzaDaemon> = (0..3)
+        .map(|i| ColzaDaemon::spawn(&cluster, &fabric, i, cfg.clone()))
+        .collect();
+    for _ in 0..60 {
+        for d in &daemons {
+            d.tick_sync();
+        }
+    }
+    assert!(
+        daemons.iter().all(|d| d.view().len() == 3),
+        "serialized gossip failed to converge"
+    );
+    let contact = daemons[0].address();
+
+    // The victim is block 0's primary under the ring the client and the
+    // servers share, so its crash provably forces replica promotion.
+    let members: Vec<Address> = {
+        let mut m: Vec<Address> = daemons.iter().map(|d| d.address()).collect();
+        m.sort_unstable();
+        m
+    };
+    let ring_cfg = RingConfig {
+        replication: 2,
+        ..RingConfig::default()
+    };
+    let shared = Arc::clone(cluster.shared());
+    let ring = HashRing::build(&members, |a| shared.node_of(a.pid()), ring_cfg);
+    let victim_addr = ring.primary(&BlockKey::new("m", 0)).unwrap();
+    let victim_idx = daemons
+        .iter()
+        .position(|d| d.address() == victim_addr)
+        .unwrap();
+    let victim_node = shared.node_of(victim_addr.pid()).unwrap();
+    // Arm the kill switch: the victim's 3rd MoNA-plane send — inside the
+    // execute collectives (a 3-rank collective is send-light, so the
+    // budget must be small to land mid-stream) — is the last thing it
+    // ever produces.
+    cluster.shared().faults().crash_after_sends_now(
+        victim_node,
+        na::tags::MONA_BASE,
+        na::tags::MPI_BASE - 1,
+        2,
+    );
+
+    let script = catalyst::PipelineScript::mandelbulb(48, 48).to_json();
+    let f2 = fabric.clone();
+    let (staged_tx, staged_rx) = crossbeam::channel::bounded::<()>(1);
+    let (executed_tx, executed_rx) = crossbeam::channel::bounded::<()>(1);
+    let (done_tx, done_rx) = crossbeam::channel::bounded::<()>(1);
+    let sim = cluster.spawn("sim", 8, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+        let view = client.view_from(contact).unwrap();
+        admin
+            .create_pipeline_on_all(&view, "catalyst", "m", &script)
+            .unwrap();
+        let mut handle = client.distributed_handle(contact, "m").unwrap();
+        handle.set_replication(2);
+        // Short per-try: the victim's reply is swallowed, so the call to
+        // it must be re-probed (and fail `Unreachable` once the harness
+        // closes the endpoint) without a ten-second stall.
+        handle.set_heavy_retry(RetryConfig {
+            max_attempts: 0,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+            per_try_timeout: Duration::from_secs(2),
+            deadline: Some(Duration::from_secs(120)),
+            ..Default::default()
+        });
+        let bulb = sims::mandelbulb::Mandelbulb {
+            dims: [12, 12, 12],
+            ..Default::default()
+        };
+        handle.activate(0).unwrap();
+        for b in 0..BLOCKS {
+            let payload =
+                colza::codec::dataset_to_bytes(&bulb.generate_block(b as usize, BLOCKS as usize));
+            handle
+                .stage(
+                    BlockMeta {
+                        name: "m".into(),
+                        block_id: b,
+                        iteration: 0,
+                        size: payload.len(),
+                    },
+                    &payload,
+                )
+                .unwrap();
+        }
+        staged_tx.send(()).unwrap();
+        // The crash lands inside this call's collective; survivors abort
+        // retryably and recovery (refresh + re-activate + re-execute on
+        // the shrunk view) is automatic.
+        handle
+            .execute_with_recovery(0)
+            .expect("iteration must recover from the mid-collective crash");
+        let img = handle.fetch_result().unwrap().expect("image");
+        executed_tx.send(()).unwrap();
+        done_rx.recv().unwrap();
+        handle.deactivate(0).unwrap();
+        margo.finalize();
+        img
+    });
+
+    staged_rx.recv().unwrap();
+    // Wait for the victim's send budget to trip mid-collective.
+    let mut tripped = false;
+    for _ in 0..30_000 {
+        if cluster.shared().faults().crash_tripped(victim_node) {
+            tripped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(tripped, "the victim never hit its send-count crash budget");
+    // A real crash leaves no open mailbox: close the victim's endpoint so
+    // survivors' sends to it fail fast with `Unreachable` and the
+    // client's re-probe does too.
+    daemons.remove(victim_idx).kill();
+    // Serialized SWIM rounds until both survivors declare the death.
+    let mut rounds = 0;
+    while daemons.iter().any(|d| d.view().contains(&victim_addr)) {
+        for d in &daemons {
+            d.tick_sync();
+        }
+        rounds += 1;
+        assert!(rounds < 500, "survivors never declared the victim dead");
+    }
+    for _ in 0..10 {
+        for d in &daemons {
+            d.tick_sync();
+        }
+    }
+
+    executed_rx.recv().unwrap();
+    // Post-recovery, pre-deactivate: every block is fed exactly once
+    // across the surviving group.
+    for b in 0..BLOCKS {
+        let fed: usize = daemons
+            .iter()
+            .flat_map(|d| d.provider().store().snapshot())
+            .filter(|x| x.key.block_id == b && x.fed)
+            .count();
+        assert_eq!(fed, 1, "block {b} must feed exactly one backend");
+    }
+    done_tx.send(()).unwrap();
+    let img = sim.join();
+
+    let snap = cluster.shared().trace_snapshot();
+    let mut trace = cluster.shared().faults().trace();
+    trace.sort_unstable();
+    let trace_export = trace
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let out = CollectiveCrashOutcome {
+        trace_export,
+        image: img,
+        aborted: snap.counter_total("colza.exec.aborted"),
+        recoveries: snap.counter_total("colza.exec.recoveries"),
+        revoke_sent: snap.counter_total("mona.revoke.sent"),
+        promoted: snap.counter_total("colza.store.promoted.blocks")
+            + snap.counter_total("colza.store.exec.promoted"),
+    };
+    for d in daemons {
+        d.stop();
+    }
+    out
+}
+
+/// ISSUE acceptance: a server killed mid-execute — inside a MoNA
+/// collective round, via the send-count crash rule — causes no hang.
+/// Survivors get `Revoked` and abort, the client re-activates on the
+/// shrunk view and re-executes from store replicas, and two same-seed
+/// runs produce byte-identical output and fault traces.
+#[test]
+fn mid_collective_crash_aborts_and_recovers_deterministically() {
+    let seed = chaos_seed();
+    let a = collective_crash_run(seed, "a");
+    assert_eq!(a.aborted, 2, "both survivors must abort the iteration");
+    assert!(a.recoveries >= 1, "the client must run abort-and-recover");
+    assert!(a.revoke_sent >= 1, "survivors must exchange revoke notices");
+    assert!(a.promoted >= 1, "the victim's primaries must be promoted");
+    assert!(
+        !a.trace_export.is_empty(),
+        "the crash rule must have swallowed the victim's sends"
+    );
+    assert!(
+        vizkit::Image::from_bytes(&a.image).coverage() > 0.0,
+        "recovered iteration rendered an empty image"
+    );
+    let b = collective_crash_run(seed, "b");
+    assert_eq!(a, b, "crash-recovery outcomes diverged for one seed");
+}
+
 /// Satellite: an admin `request_leave` lands while the client is mid-
 /// iteration, still staging. The leaver drains its blocks to the
 /// surviving owners (refusing any stage that races past the drain
