@@ -196,12 +196,7 @@ fn run_once(run: usize, blocks: u64) -> Row {
             );
             handle
                 .stage(
-                    BlockMeta {
-                        name: "m".into(),
-                        block_id: b,
-                        iteration: 0,
-                        size: payload.len(),
-                    },
+                    BlockMeta::new("m", b, 0, payload.len()),
                     &payload,
                 )
                 .unwrap();

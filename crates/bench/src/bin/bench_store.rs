@@ -143,12 +143,7 @@ fn run_event(replication: usize, event: Event, servers: usize, blocks: u64) -> R
             staged += payload.len() as u64;
             handle
                 .stage(
-                    BlockMeta {
-                        name: "bench".into(),
-                        block_id: b,
-                        iteration: 0,
-                        size: payload.len(),
-                    },
+                    BlockMeta::new("bench", b, 0, payload.len()),
                     &payload,
                 )
                 .unwrap();

@@ -317,12 +317,7 @@ pub fn stage_blocks(
     for (block_id, ds) in blocks {
         let payload: Bytes = colza::codec::dataset_to_bytes(ds);
         handle.stage(
-            BlockMeta {
-                name: "block".to_string(),
-                block_id: *block_id,
-                iteration,
-                size: payload.len(),
-            },
+            BlockMeta::new("block".to_string(), *block_id, iteration, payload.len()),
             &payload,
         )?;
     }

@@ -271,12 +271,7 @@ mod tests {
         let b = NullBackend::default();
         b.activate(1).unwrap();
         b.stage(StagedBlock {
-            meta: BlockMeta {
-                name: "x".to_string(),
-                block_id: 0,
-                iteration: 1,
-                size: 3,
-            },
+            meta: BlockMeta::new("x".to_string(), 0, 1, 3),
             data: Bytes::from_static(&[1, 2, 3]),
         })
         .unwrap();
@@ -310,12 +305,7 @@ mod tests {
             .set("iterations", vizkit::DataArray::F32(vals));
         let payload = crate::codec::dataset_to_bytes(&vizkit::DataSet::Image(img));
         b.stage(StagedBlock {
-            meta: BlockMeta {
-                name: "mandelbulb".to_string(),
-                block_id: 0,
-                iteration: 0,
-                size: payload.len(),
-            },
+            meta: BlockMeta::new("mandelbulb".to_string(), 0, 0, payload.len()),
             data: payload,
         })
         .unwrap();

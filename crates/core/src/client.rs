@@ -8,6 +8,7 @@
 //! gone — determinism between client and servers is what lets crash
 //! repair promote replicas without any coordination.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,6 +19,7 @@ use margo::{MargoInstance, RetryConfig};
 use na::Address;
 use store::{BlockKey, HashRing, RingConfig, Role};
 
+use crate::codec::{CodecConfig, CodecSpec};
 use crate::error::{ColzaError, Result};
 use crate::protocol::*;
 
@@ -80,6 +82,8 @@ impl ColzaClient {
             ring_cfg: RingConfig::default(),
             placement: Mutex::new(None),
             heavy: heavy_retry(),
+            codec_cfg: CodecConfig::default(),
+            chain: Mutex::new(HashMap::new()),
         })
     }
 }
@@ -185,6 +189,20 @@ pub struct DistributedPipelineHandle {
     placement: Mutex<Option<(Vec<Address>, Arc<HashRing>)>>,
     /// Retry policy for the heavy RPCs (execute, result fetch).
     heavy: RetryConfig,
+    /// Per-dataset codec selection for staged blocks.
+    codec_cfg: CodecConfig,
+    /// Delta-chain state per `(dataset name, block_id)`: the last
+    /// successfully staged plain payload, the iteration it belonged to
+    /// and the member view it was staged under. A chain only continues
+    /// while the view is unchanged (the epoch-anchor rule).
+    chain: Mutex<HashMap<(String, u64), ChainBase>>,
+}
+
+/// The client-side base of one delta chain.
+struct ChainBase {
+    iteration: u64,
+    members: Vec<Address>,
+    plain: Bytes,
 }
 
 impl DistributedPipelineHandle {
@@ -212,6 +230,33 @@ impl DistributedPipelineHandle {
     /// `Unreachable` once the endpoint closes — sooner.
     pub fn set_heavy_retry(&mut self, cfg: RetryConfig) {
         self.heavy = cfg;
+    }
+
+    /// Replaces the codec configuration: how each dataset is encoded by
+    /// [`DistributedPipelineHandle::stage`] before the owners pull it.
+    /// Resets any in-progress delta chains (the next delta-coded stage
+    /// anchors). The default is raw staging.
+    pub fn set_codec(&mut self, cfg: CodecConfig) {
+        self.codec_cfg = cfg;
+        self.chain.lock().clear();
+    }
+
+    /// The codec configuration staged blocks are encoded with.
+    pub fn codec_config(&self) -> &CodecConfig {
+        &self.codec_cfg
+    }
+
+    /// Adopts the staging area's advertised codec configuration (the
+    /// `codec` section of the daemons' [`crate::DaemonConfig`]), so
+    /// client and deployment agree without out-of-band configuration.
+    /// Explicit opt-in — plain handles never issue this extra RPC.
+    pub fn adopt_server_codec(&mut self, contact: Address) -> Result<()> {
+        let cfg: CodecConfig =
+            self.client
+                .margo
+                .forward_retry(contact, "colza.get_codec_config", &(), &control_retry())?;
+        self.set_codec(cfg);
+        Ok(())
     }
 
     /// Replaces the full ring configuration (vnodes and replication).
@@ -378,19 +423,81 @@ impl DistributedPipelineHandle {
     /// before the failure); servers settle that at `execute` time by
     /// reconciling fed state against the frozen placement, so the block
     /// still renders exactly once.
+    ///
+    /// With a non-raw codec configured for the dataset, the payload is
+    /// encoded here — exactly once — and the *frame* is what every owner
+    /// pulls; `meta.codec`/`meta.encoded_size` are filled in from the
+    /// encoding, so callers never set them. A delta-coded dataset diffs
+    /// against the previous successfully staged payload only while the
+    /// member view is unchanged; any view change, size change or
+    /// re-route anchors the chain with a full frame (the successor
+    /// owner may not hold the base).
     pub fn stage(&self, meta: BlockMeta, payload: &Bytes) -> Result<()> {
         const MAX_REROUTES: usize = 4;
+        let spec = self.codec_cfg.spec_for(&meta.name);
         let mut last: Option<ColzaError> = None;
+        // Stateless codecs (raw, shuffle+LZ, lossy) encode exactly once,
+        // outside the re-route loop; only delta chains re-examine their
+        // base per attempt (a re-route must anchor).
+        let stateless = if spec == CodecSpec::Delta {
+            None
+        } else {
+            Some(crate::codec::encode_block(spec, payload, None)?)
+        };
+        // Set after a re-route: the remainder of this stage call must
+        // anchor rather than diff.
+        let mut anchored = false;
         for attempt in 0..MAX_REROUTES {
-            if self.members.lock().is_empty() {
+            let members = self.members.lock().clone();
+            if members.is_empty() {
                 return Err(ColzaError::EmptyGroup);
             }
+            let enc = match &stateless {
+                Some(e) => e.clone(),
+                None => {
+                    let base_owned: Option<(Bytes, u64)> = if anchored {
+                        None
+                    } else {
+                        let chain = self.chain.lock();
+                        chain
+                            .get(&(meta.name.clone(), meta.block_id))
+                            .filter(|cb| {
+                                cb.members == members
+                                    && cb.plain.len() == payload.len()
+                                    && cb.iteration < meta.iteration
+                            })
+                            .map(|cb| (cb.plain.clone(), cb.iteration))
+                    };
+                    crate::codec::encode_block(
+                        spec,
+                        payload,
+                        base_owned.as_ref().map(|(b, it)| (b, *it)),
+                    )?
+                }
+            };
+            let mut wire_meta = meta.clone();
+            wire_meta.codec = enc.codec;
+            wire_meta.encoded_size = enc.frame.len();
             let ring = self.ring();
-            match stage_via_ring(&self.client.margo, &ring, &self.pipeline, &meta, payload) {
-                Ok(()) => return Ok(()),
+            match stage_via_ring(&self.client.margo, &ring, &self.pipeline, &wire_meta, &enc.frame)
+            {
+                Ok(()) => {
+                    if spec == CodecSpec::Delta {
+                        self.chain.lock().insert(
+                            (meta.name.clone(), meta.block_id),
+                            ChainBase {
+                                iteration: meta.iteration,
+                                members,
+                                plain: payload.clone(),
+                            },
+                        );
+                    }
+                    return Ok(());
+                }
                 Err(e) if e.is_retryable() && attempt + 1 < MAX_REROUTES => {
                     hpcsim::trace::counter_add("colza.stage.reroutes", 1);
                     last = Some(e);
+                    anchored = true;
                     let _ = self.refresh_view();
                 }
                 Err(e) => return Err(e),
@@ -673,7 +780,9 @@ fn stage_via_ring(
     meta: &BlockMeta,
     payload: &Bytes,
 ) -> Result<()> {
-    debug_assert_eq!(meta.size, payload.len());
+    // `payload` is the wire form: the encoded frame for codec-staged
+    // blocks, the serialized dataset itself for raw ones.
+    debug_assert_eq!(meta.encoded_size, payload.len());
     let targets = ring.owners(&BlockKey::new(pipeline, meta.block_id));
     if targets.is_empty() {
         return Err(ColzaError::EmptyGroup);
@@ -684,6 +793,10 @@ fn stage_via_ring(
         sp.arg("iteration", meta.iteration);
         sp.arg("bytes", meta.size);
         sp.arg("copies", targets.len());
+        if meta.codec != crate::codec::CodecId::Raw {
+            sp.arg("codec", meta.codec.name());
+            sp.arg("wire_bytes", meta.encoded_size);
+        }
     }
     let endpoint = margo.endpoint();
     let bulk = endpoint.expose(payload.clone());

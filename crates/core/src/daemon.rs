@@ -49,6 +49,11 @@ pub struct DaemonConfig {
     /// collective blocked on a silent dead peer revoke itself before
     /// SWIM declares the death.
     pub mona: MonaConfig,
+    /// Codec configuration for the staging data plane (DESIGN.md §13),
+    /// advertised to clients via `colza.get_codec_config`
+    /// ([`crate::DistributedPipelineHandle::adopt_server_codec`]). The
+    /// default stages everything raw.
+    pub codec: crate::codec::CodecConfig,
 }
 
 impl DaemonConfig {
@@ -63,6 +68,7 @@ impl DaemonConfig {
             rpc_timeout: Duration::from_millis(500),
             auto_repair: true,
             mona: MonaConfig::default(),
+            codec: crate::codec::CodecConfig::default(),
         }
     }
 }
@@ -148,6 +154,7 @@ impl ColzaDaemon {
                 Arc::clone(&group),
                 comm,
             );
+            provider.set_codec_config(cfg.codec.clone());
             ready_tx
                 .send((me, Arc::clone(&group), Arc::clone(&provider)))
                 .expect("daemon handshake");

@@ -31,7 +31,7 @@ pub enum ColzaError {
     /// The staging area has no members.
     EmptyGroup,
     /// Encoding or decoding of staged data failed.
-    Codec(String),
+    Codec(crate::codec::CodecError),
 }
 
 impl fmt::Display for ColzaError {

@@ -45,6 +45,7 @@ pub use admin::AdminClient;
 pub use autoscale::{drain_aware_victims, select_victims, AutoScaleConfig, AutoScaler, ScaleDecision};
 pub use backend::{Backend, BackendCtx, StagedBlock};
 pub use client::{ColzaClient, DistributedPipelineHandle, PipelineHandle};
+pub use codec::{CodecConfig, CodecError, CodecId, CodecSpec};
 pub use daemon::{ColzaDaemon, CommMode, DaemonConfig};
 pub use error::ColzaError;
 pub use protocol::{BlockMeta, MetricsReport};

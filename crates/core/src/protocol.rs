@@ -5,8 +5,16 @@ use serde::{Deserialize, Serialize};
 use na::{Address, BulkHandle};
 use store::{RingConfig, Role};
 
+use crate::codec::CodecId;
+
 /// Metadata accompanying a staged block (field name, dimensions, type —
 /// what the paper's `stage` RPC carries besides the memory handle).
+///
+/// With the codec layer (DESIGN.md §13) the metadata also names how the
+/// exposed bytes are encoded: `size` stays the *decoded* payload length
+/// (what backends receive and `byte_size()`-style accounting uses) while
+/// `encoded_size` is what actually crosses the wire and sits in the
+/// staging store. For raw staging the two are equal.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
 pub struct BlockMeta {
     /// Name of the dataset/field (for diagnostics and policies).
@@ -15,8 +23,28 @@ pub struct BlockMeta {
     pub block_id: u64,
     /// Iteration this block belongs to.
     pub iteration: u64,
-    /// Serialized payload size in bytes.
+    /// Serialized (decoded) payload size in bytes.
     pub size: usize,
+    /// Codec the exposed bytes are encoded with.
+    pub codec: CodecId,
+    /// Encoded frame size in bytes — the RDMA transfer length.
+    pub encoded_size: usize,
+}
+
+impl BlockMeta {
+    /// Metadata for a raw (unencoded) block: `encoded_size == size`.
+    /// [`crate::DistributedPipelineHandle::stage`] overwrites the codec
+    /// fields after encoding, so callers never fill them by hand.
+    pub fn new(name: impl Into<String>, block_id: u64, iteration: u64, size: usize) -> Self {
+        BlockMeta {
+            name: name.into(),
+            block_id,
+            iteration,
+            size,
+            codec: CodecId::Raw,
+            encoded_size: size,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -69,6 +97,13 @@ pub(crate) struct PushBlockArgs {
     /// Role the copy will hold at the destination.
     pub role: Role,
     pub bulk: BulkHandle,
+    /// For delta-diff blocks only: a second exposed region holding the
+    /// sender's reconstructed plain payload, so a fresh owner (repair,
+    /// rebalance) can seed its chain state without the base frame the
+    /// survivor set may have released. `None` for self-decodable codecs.
+    pub plain: Option<BulkHandle>,
+    /// Size of the `plain` region (0 when absent).
+    pub plain_size: usize,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -116,8 +151,13 @@ pub struct MetricsReport {
     pub enabled: bool,
     /// Payload bytes currently held in the server's staging store —
     /// the drain-aware shrink signal. Reported regardless of whether
-    /// tracing is enabled.
+    /// tracing is enabled. With codecs enabled these are *encoded*
+    /// (on-store) bytes.
     pub staged_bytes: u64,
+    /// Decoded size of the held blocks (sum of `BlockMeta::size`), the
+    /// codec-independent view of the same holdings. Equal to
+    /// `staged_bytes` under raw staging.
+    pub decoded_bytes: u64,
     /// Counter name → cumulative value, in sorted name order.
     pub counters: Vec<(String, u64)>,
 }

@@ -23,7 +23,10 @@ use ssg::SsgGroup;
 use store::{BlockKey, HashRing, RingConfig, Role, StagingStore, StoredBlock};
 use vizkit::Controller;
 
+use bytes::Bytes;
+
 use crate::backend::{self, Backend, BackendCtx, StagedBlock};
+use crate::codec::{self, CodecConfig, CodecError, CodecId};
 use crate::protocol::*;
 
 /// Which communication layer pipelines execute over.
@@ -74,6 +77,15 @@ pub struct ColzaProvider {
     draining: AtomicBool,
     /// Set by the admin `leave` RPC; the daemon loop acts on it.
     pub(crate) leave_requested: AtomicBool,
+    /// The deployment's codec configuration, advertised to clients via
+    /// `colza.get_codec_config` (filled in from [`crate::DaemonConfig`]).
+    codec_cfg: Mutex<CodecConfig>,
+    /// Delta-chain state per `(pipeline, block_id, dataset name)`: the
+    /// iteration and reconstructed plain payload of the newest chain
+    /// frame this server admitted. Unlike the staged blocks themselves
+    /// this survives `release_iteration` — the next iteration's diff
+    /// decodes against it — and is pruned with its pipeline.
+    codec_bases: Mutex<HashMap<(String, u64, String), (u64, Bytes)>>,
 }
 
 impl ColzaProvider {
@@ -96,6 +108,8 @@ impl ColzaProvider {
             repair_needed: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             leave_requested: AtomicBool::new(false),
+            codec_cfg: Mutex::new(CodecConfig::default()),
+            codec_bases: Mutex::new(HashMap::new()),
         });
 
         // Membership-change hook: a death or departure leaves blocks
@@ -122,6 +136,12 @@ impl ColzaProvider {
         {
             let p = Arc::clone(&provider);
             margo.register("colza.get_view", move |_: (), _ctx| Ok(p.group.view()));
+        }
+        {
+            let p = Arc::clone(&provider);
+            margo.register("colza.get_codec_config", move |_: (), _ctx| {
+                Ok(p.codec_cfg.lock().clone())
+            });
         }
         {
             let p = Arc::clone(&provider);
@@ -182,13 +202,17 @@ impl ColzaProvider {
                 if sp.active() {
                     sp.arg("block", args.meta.block_id);
                     sp.arg("bytes", args.meta.size);
+                    if args.meta.codec != CodecId::Raw {
+                        sp.arg("codec", args.meta.codec.name());
+                        sp.arg("wire_bytes", args.meta.encoded_size);
+                    }
                 }
-                // Pull the payload from the simulation's memory.
+                // Pull the (encoded) payload from the simulation's memory.
                 let data = ctx
                     .endpoint
-                    .rdma_get(args.bulk, 0, args.meta.size)
+                    .rdma_get(args.bulk, 0, args.meta.encoded_size)
                     .map_err(|e| e.to_string())?;
-                p.admit(&args.pipeline, &entry, args.meta, args.role, data)
+                p.admit(&args.pipeline, &entry, args.meta, args.role, data, None)
             });
         }
         {
@@ -203,11 +227,31 @@ impl ColzaProvider {
                     let entry = p.pipeline(&args.pipeline)?;
                     let data = ctx
                         .endpoint
-                        .rdma_get(args.bulk, 0, args.meta.size)
+                        .rdma_get(args.bulk, 0, args.meta.encoded_size)
                         .map_err(|e| e.to_string())?;
+                    // A delta-diff push also carries the sender's
+                    // reconstructed plain, so this (possibly fresh) owner
+                    // can seed its chain state without the base frame.
+                    let plain = match args.plain {
+                        Some(bulk) => Some(
+                            ctx.endpoint
+                                .rdma_get(bulk, 0, args.plain_size)
+                                .map_err(|e| e.to_string())?,
+                        ),
+                        None => None,
+                    };
                     hpcsim::trace::counter_add("colza.store.recv.blocks", 1);
-                    hpcsim::trace::counter_add("colza.store.recv.bytes", args.meta.size as u64);
-                    p.admit(&args.pipeline, &entry, args.meta, args.role, data)
+                    hpcsim::trace::counter_add(
+                        "colza.store.recv.bytes",
+                        args.meta.encoded_size as u64,
+                    );
+                    if let Some(pl) = &plain {
+                        hpcsim::trace::counter_add(
+                            "colza.store.recv.plain_bytes",
+                            pl.len() as u64,
+                        );
+                    }
+                    p.admit(&args.pipeline, &entry, args.meta, args.role, data, plain)
                 },
             );
         }
@@ -299,7 +343,10 @@ impl ColzaProvider {
                 "colza.admin.destroy_pipeline",
                 move |args: DestroyPipelineArgs, _ctx| {
                     match p.pipelines.write().remove(&args.name) {
-                        Some(_) => Ok(()),
+                        Some(_) => {
+                            p.codec_bases.lock().retain(|(pl, _, _), _| *pl != args.name);
+                            Ok(())
+                        }
                         None => Err(format!("no pipeline named {:?}", args.name)),
                     }
                 },
@@ -333,6 +380,7 @@ impl ColzaProvider {
                     pid,
                     enabled: tracer.is_enabled(),
                     staged_bytes: p.store.staged_bytes(),
+                    decoded_bytes: p.store.decoded_bytes(),
                     counters: tracer.counters_for(pid),
                 })
             });
@@ -352,6 +400,15 @@ impl ColzaProvider {
     /// Whether an admin asked this server to leave.
     pub fn leave_requested(&self) -> bool {
         self.leave_requested.load(Ordering::Acquire)
+    }
+
+    /// Installs the codec configuration this deployment advertises via
+    /// `colza.get_codec_config` (the daemon forwards its
+    /// [`crate::DaemonConfig::codec`] here after registration). The
+    /// provider itself decodes from `BlockMeta::codec` — this is purely
+    /// what clients adopt.
+    pub fn set_codec_config(&self, cfg: CodecConfig) {
+        *self.codec_cfg.lock() = cfg;
     }
 
     /// The membership group.
@@ -498,10 +555,22 @@ impl ColzaProvider {
         meta: BlockMeta,
         role: Role,
         data: bytes::Bytes,
+        plain_hint: Option<bytes::Bytes>,
     ) -> std::result::Result<(), String> {
         if self.draining.load(Ordering::SeqCst) {
             return Err(DRAINING.to_string());
         }
+        // Chain frames (iteration deltas) are reconstructed eagerly on
+        // *every* holder — primary and replicas alike — before the copy
+        // is recorded: the reconstructed plain is what lets this holder
+        // serve as the next diff's base, feed the backend after a
+        // promotion, and seed fresh owners during repair, all after the
+        // base frame itself was released at deactivate.
+        let plain = if meta.codec.is_chain() {
+            Some(self.chain_plain(pipeline, &meta, &data, plain_hint)?)
+        } else {
+            None
+        };
         let fresh = self.store.insert(StoredBlock {
             key: BlockKey::new(pipeline, meta.block_id),
             name: meta.name.clone(),
@@ -509,6 +578,9 @@ impl ColzaProvider {
             role,
             fed: false,
             data: data.clone(),
+            codec: meta.codec.as_u8(),
+            decoded_len: meta.size,
+            plain: plain.clone(),
         });
         // Re-check after the insert: if a drain set the flag in between,
         // its snapshot may have missed this block. Undo and refuse — the
@@ -526,13 +598,110 @@ impl ColzaProvider {
                 .store
                 .promote(pipeline, meta.iteration, meta.block_id, &meta.name)
         {
-            if let Err(e) = entry.stage(StagedBlock { meta: meta.clone(), data }) {
+            // The backend always receives the decoded payload: chain
+            // frames were reconstructed above; stateless frames decode
+            // here, at feed time (raw passes through by refcount).
+            let feed = match plain {
+                Some(p) => Ok(p),
+                None => codec::decode_block(meta.codec, &data, None).map_err(|e| e.to_string()),
+            };
+            let feed = match feed {
+                Ok(d) => d,
+                Err(e) => {
+                    self.store
+                        .unmark_fed(pipeline, meta.iteration, meta.block_id, &meta.name);
+                    return Err(e);
+                }
+            };
+            if let Err(e) = entry.stage(StagedBlock {
+                meta: meta.clone(),
+                data: feed,
+            }) {
                 self.store
                     .unmark_fed(pipeline, meta.iteration, meta.block_id, &meta.name);
                 return Err(e);
             }
         }
         Ok(())
+    }
+
+    /// Reconstructs the plain payload of a chain frame and advances this
+    /// server's chain state for `(pipeline, block_id, name)`. Anchors
+    /// (`DeltaFull`) decode standalone; diffs decode against the cached
+    /// base — or arrive with the sender's reconstructed plain (repair
+    /// and rebalance pushes), which seeds a fresh owner directly. Admits
+    /// are idempotent: re-admitting the newest frame reuses the cache.
+    fn chain_plain(
+        &self,
+        pipeline: &str,
+        meta: &BlockMeta,
+        data: &Bytes,
+        hint: Option<Bytes>,
+    ) -> std::result::Result<Bytes, String> {
+        let key = (pipeline.to_string(), meta.block_id, meta.name.clone());
+        let mut bases = self.codec_bases.lock();
+        let plain = match meta.codec {
+            CodecId::DeltaFull => {
+                codec::decode_block(CodecId::DeltaFull, data, None).map_err(|e| e.to_string())?
+            }
+            CodecId::DeltaDiff => {
+                if let Some(h) = hint {
+                    h
+                } else {
+                    let info = codec::frame_info(data).map_err(|e| e.to_string())?;
+                    let base_iteration = info.base_iteration.unwrap_or(0);
+                    match bases.get(&key) {
+                        Some((it, base)) if *it == base_iteration => {
+                            codec::decode_block(CodecId::DeltaDiff, data, Some(base))
+                                .map_err(|e| e.to_string())?
+                        }
+                        // Idempotent re-admit of the frame we already
+                        // advanced past (stage retries, repair races).
+                        Some((it, plain)) if *it == meta.iteration => plain.clone(),
+                        _ => {
+                            return Err(CodecError::MissingDeltaBase { base_iteration }.to_string())
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("chain_plain called for a non-chain codec"),
+        };
+        // Never regress the chain: a stale re-admit (an old frame pushed
+        // by a lagging peer) must not clobber a newer base.
+        match bases.get(&key) {
+            Some((it, _)) if *it > meta.iteration => {}
+            _ => {
+                bases.insert(key, (meta.iteration, plain.clone()));
+            }
+        }
+        Ok(plain)
+    }
+
+    /// The decoded (backend-facing) payload of a held copy.
+    fn decoded_of(&self, b: &StoredBlock) -> std::result::Result<Bytes, String> {
+        let codec = CodecId::from_u8(b.codec).map_err(|e| e.to_string())?;
+        if codec.is_chain() {
+            b.plain
+                .clone()
+                .ok_or_else(|| "chain-coded copy holds no reconstructed payload".to_string())
+        } else {
+            codec::decode_block(codec, &b.data, None).map_err(|e| e.to_string())
+        }
+    }
+
+    /// Feeds one held copy to its pipeline backend, decoding as needed
+    /// (the single feed path for promotions during sync and execute
+    /// reconciliation).
+    fn feed_block(
+        &self,
+        entry: &Arc<dyn Backend>,
+        b: &StoredBlock,
+    ) -> std::result::Result<(), String> {
+        let data = self.decoded_of(b)?;
+        entry.stage(StagedBlock {
+            meta: block_meta(b),
+            data,
+        })
     }
 
     /// Reconciles this server's holdings against a new placement: the
@@ -608,13 +777,7 @@ impl ColzaProvider {
                         promoted += 1;
                         match self.pipeline(&b.key.pipeline) {
                             Ok(entry) => {
-                                if entry
-                                    .stage(StagedBlock {
-                                        meta: meta.clone(),
-                                        data: b.data.clone(),
-                                    })
-                                    .is_err()
-                                {
+                                if self.feed_block(&entry, &b).is_err() {
                                     self.store.unmark_fed(
                                         &b.key.pipeline,
                                         b.iteration,
@@ -724,13 +887,7 @@ impl ColzaProvider {
                     .promote(pipeline, iteration, b.key.block_id, &b.name)
                 {
                     hpcsim::trace::counter_add("colza.store.exec.promoted", 1);
-                    if entry
-                        .stage(StagedBlock {
-                            meta: block_meta(&b),
-                            data: b.data.clone(),
-                        })
-                        .is_err()
-                    {
+                    if self.feed_block(entry, &b).is_err() {
                         self.store
                             .unmark_fed(pipeline, iteration, b.key.block_id, &b.name);
                     }
@@ -760,12 +917,29 @@ impl ColzaProvider {
             sp.arg("to", target.0);
         }
         let endpoint = self.margo.endpoint();
+        // The *encoded* frame moves, by refcount — never re-encoded. A
+        // delta-diff copy additionally exposes its reconstructed plain:
+        // the receiver may be a fresh owner (repair, rebalance) whose
+        // chain state never saw the base this frame diffs against.
         let bulk = endpoint.expose(b.data.clone());
+        let plain_payload = match CodecId::from_u8(b.codec) {
+            Ok(CodecId::DeltaDiff) => b.plain.clone(),
+            _ => None,
+        };
+        let (plain, plain_size) = match &plain_payload {
+            Some(p) => (Some(endpoint.expose(p.clone())), p.len()),
+            None => (None, 0),
+        };
+        if plain_size > 0 {
+            hpcsim::trace::counter_add("colza.codec.push.plain_bytes", plain_size as u64);
+        }
         let args = PushBlockArgs {
             pipeline: b.key.pipeline.clone(),
             meta: block_meta(b),
             role,
             bulk,
+            plain,
+            plain_size,
         };
         // Fast per-try timeout: a dropped push must not stall the caller
         // (the commit/drain path holds a server pool slot while pushing,
@@ -782,6 +956,9 @@ impl ColzaProvider {
             .margo
             .forward_retry(target, "colza.store.push", &args, &cfg);
         endpoint.unexpose(bulk).ok();
+        if let Some(pb) = args.plain {
+            endpoint.unexpose(pb).ok();
+        }
         out
     }
 
@@ -834,6 +1011,8 @@ fn block_meta(b: &StoredBlock) -> BlockMeta {
         name: b.name.clone(),
         block_id: b.key.block_id,
         iteration: b.iteration,
-        size: b.data.len(),
+        size: b.decoded_len,
+        codec: CodecId::from_u8(b.codec).unwrap_or(CodecId::Raw),
+        encoded_size: b.data.len(),
     }
 }

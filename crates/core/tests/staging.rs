@@ -66,12 +66,7 @@ fn full_iteration_with_null_backend() {
                     let payload = Bytes::from(vec![block as u8; 100]);
                     handle
                         .stage(
-                            BlockMeta {
-                                name: "x".to_string(),
-                                block_id: block,
-                                iteration: iter,
-                                size: payload.len(),
-                            },
+                            BlockMeta::new("x".to_string(), block, iter, payload.len()),
                             &payload,
                         )
                         .unwrap();
@@ -113,12 +108,7 @@ fn catalyst_pipeline_renders_across_servers() {
                 let payload = image_block(8, block as f32 * 9.0, "iterations");
                 handle
                     .stage(
-                        BlockMeta {
-                            name: "mandelbulb".to_string(),
-                            block_id: block,
-                            iteration: 0,
-                            size: payload.len(),
-                        },
+                        BlockMeta::new("mandelbulb".to_string(), block, 0, payload.len()),
                         &payload,
                     )
                     .unwrap();
@@ -164,12 +154,7 @@ fn scaling_up_mid_run_is_visible_to_the_client() {
         let payload = image_block(8, 0.0, "iterations");
         handle
             .stage(
-                BlockMeta {
-                    name: "m".to_string(),
-                    block_id: 0,
-                    iteration: 0,
-                    size: payload.len(),
-                },
+                BlockMeta::new("m".to_string(), 0, 0, payload.len()),
                 &payload,
             )
             .unwrap();
@@ -359,12 +344,7 @@ fn static_mpi_mode_runs_the_same_pipeline() {
             let payload = image_block(8, 0.0, "iterations");
             handle
                 .stage(
-                    BlockMeta {
-                        name: "m".to_string(),
-                        block_id: 0,
-                        iteration: 0,
-                        size: payload.len(),
-                    },
+                    BlockMeta::new("m".to_string(), 0, 0, payload.len()),
                     &payload,
                 )
                 .unwrap();
@@ -403,12 +383,7 @@ fn nonblocking_stage_and_execute() {
                 .map(|b| {
                     let payload = Bytes::from(vec![b as u8; 64]);
                     handle.istage(
-                        BlockMeta {
-                            name: "x".to_string(),
-                            block_id: b,
-                            iteration: 0,
-                            size: payload.len(),
-                        },
+                        BlockMeta::new("x".to_string(), b, 0, payload.len()),
                         payload,
                     )
                 })
@@ -446,12 +421,7 @@ fn single_server_pipeline_handle_full_protocol() {
             let payload = Bytes::from(vec![7u8; 256]);
             handle
                 .stage(
-                    BlockMeta {
-                        name: "x".into(),
-                        block_id: 0,
-                        iteration: 0,
-                        size: payload.len(),
-                    },
+                    BlockMeta::new("x", 0, 0, payload.len()),
                     &payload,
                 )
                 .unwrap();

@@ -44,8 +44,19 @@ pub struct StoredBlock {
     pub role: Role,
     /// Whether this copy has been fed to the backend.
     pub fed: bool,
-    /// The payload.
+    /// The payload, in its *encoded* (wire/store) form. Replication,
+    /// repair and rebalance all move this same `Bytes` refcount — a
+    /// block is never re-encoded once staged.
     pub data: Bytes,
+    /// Numeric codec id of `data` (the store is below the codec layer
+    /// and treats it as opaque; `0` is raw).
+    pub codec: u8,
+    /// Decoded payload length (`== data.len()` for raw blocks).
+    pub decoded_len: usize,
+    /// For chain codecs (iteration deltas): the reconstructed plain
+    /// payload, kept so this holder can serve as a delta base and seed
+    /// fresh owners during repair without the released base frame.
+    pub plain: Option<Bytes>,
 }
 
 type Key = (String, u64, u64, String); // (pipeline, iteration, block_id, name)
@@ -66,6 +77,7 @@ fn key_of(b: &StoredBlock) -> Key {
 pub struct StagingStore {
     blocks: Mutex<BTreeMap<Key, StoredBlock>>,
     bytes: AtomicU64,
+    decoded: AtomicU64,
 }
 
 impl StagingStore {
@@ -86,10 +98,17 @@ impl StagingStore {
                 if block.role == Role::Primary {
                     existing.role = Role::Primary;
                 }
+                // A re-push may carry the reconstructed plain this holder
+                // lacked (delta repair); adopt it, never drop it.
+                if existing.plain.is_none() {
+                    existing.plain = block.plain;
+                }
                 false
             }
             None => {
                 self.bytes.fetch_add(block.data.len() as u64, Ordering::Relaxed);
+                self.decoded
+                    .fetch_add(block.decoded_len as u64, Ordering::Relaxed);
                 blocks.insert(k, block);
                 true
             }
@@ -154,6 +173,8 @@ impl StagingStore {
             .remove(&(pipeline.to_string(), iteration, block_id, name.to_string()));
         if let Some(b) = &removed {
             self.bytes.fetch_sub(b.data.len() as u64, Ordering::Relaxed);
+            self.decoded
+                .fetch_sub(b.decoded_len as u64, Ordering::Relaxed);
         }
         removed
     }
@@ -166,6 +187,8 @@ impl StagingStore {
         blocks.retain(|k, b| {
             if k.0 == pipeline && k.1 == iteration {
                 self.bytes.fetch_sub(b.data.len() as u64, Ordering::Relaxed);
+                self.decoded
+                    .fetch_sub(b.decoded_len as u64, Ordering::Relaxed);
                 dropped += 1;
                 false
             } else {
@@ -180,10 +203,18 @@ impl StagingStore {
         self.blocks.lock().values().cloned().collect()
     }
 
-    /// Total payload bytes currently held (the drain-aware shrink
-    /// signal exported through `colza.admin.metrics`).
+    /// Total payload bytes currently held, in their stored (encoded)
+    /// form — the drain-aware shrink signal exported through
+    /// `colza.admin.metrics`, and what migration actually moves.
     pub fn staged_bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total *decoded* size of the held copies (sum of the blocks'
+    /// `decoded_len`) — the codec-independent accounting view. Equal to
+    /// [`StagingStore::staged_bytes`] when everything is raw.
+    pub fn decoded_bytes(&self) -> u64 {
+        self.decoded.load(Ordering::Relaxed)
     }
 
     /// Number of copies held.
@@ -209,6 +240,9 @@ mod tests {
             role,
             fed: false,
             data: Bytes::from(vec![0u8; bytes]),
+            codec: 0,
+            decoded_len: bytes,
+            plain: None,
         }
     }
 
@@ -274,6 +308,35 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(s.staged_bytes(), 8);
         assert_eq!(s.release_iteration("other", 1), 0);
+    }
+
+    #[test]
+    fn encoded_and_decoded_bytes_are_tracked_separately() {
+        let s = StagingStore::new();
+        let mut b = block(1, Role::Primary, 10);
+        b.codec = 1;
+        b.decoded_len = 40; // a 4x-compressed block
+        s.insert(b);
+        assert_eq!(s.staged_bytes(), 10, "store holds encoded bytes");
+        assert_eq!(s.decoded_bytes(), 40, "accounting sees decoded size");
+        s.insert(block(2, Role::Replica, 8)); // raw: both views equal
+        assert_eq!(s.staged_bytes(), 18);
+        assert_eq!(s.decoded_bytes(), 48);
+        s.remove("p", 0, 1, "field");
+        assert_eq!(s.staged_bytes(), 8);
+        assert_eq!(s.decoded_bytes(), 8);
+        assert_eq!(s.release_iteration("p", 0), 1);
+        assert_eq!(s.decoded_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_adopts_missing_plain_payload() {
+        let s = StagingStore::new();
+        s.insert(block(1, Role::Replica, 4));
+        let mut with_plain = block(1, Role::Replica, 4);
+        with_plain.plain = Some(Bytes::from(vec![9u8; 4]));
+        assert!(!s.insert(with_plain), "still a duplicate");
+        assert!(s.snapshot()[0].plain.is_some(), "plain was adopted");
     }
 
     #[test]

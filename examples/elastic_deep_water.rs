@@ -64,12 +64,7 @@ fn main() {
                 let _ = cells;
                 handle
                     .stage(
-                        BlockMeta {
-                            name: "dwi".into(),
-                            block_id: b as u64,
-                            iteration,
-                            size: payload.len(),
-                        },
+                        BlockMeta::new("dwi", b as u64, iteration, payload.len()),
                         &payload,
                     )
                     .expect("stage");

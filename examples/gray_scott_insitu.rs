@@ -75,12 +75,7 @@ fn main() {
                 let payload = colza::codec::dataset_to_bytes(&sim.to_dataset());
                 handle
                     .stage(
-                        BlockMeta {
-                            name: "gray-scott".into(),
-                            block_id: rank as u64,
-                            iteration,
-                            size: payload.len(),
-                        },
+                        BlockMeta::new("gray-scott", rank as u64, iteration, payload.len()),
                         &payload,
                     )
                     .expect("stage");

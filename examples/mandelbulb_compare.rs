@@ -71,12 +71,7 @@ fn run_once(mode: CommMode, servers: usize, blocks: usize, iterations: u64) -> V
                         colza::codec::dataset_to_bytes(&bulb.generate_block(b, blocks));
                     handle
                         .stage(
-                            BlockMeta {
-                                name: "bulb".into(),
-                                block_id: b as u64,
-                                iteration,
-                                size: payload.len(),
-                            },
+                            BlockMeta::new("bulb", b as u64, iteration, payload.len()),
                             &payload,
                         )
                         .expect("stage");

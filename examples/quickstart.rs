@@ -69,12 +69,7 @@ fn main() {
                 let payload = colza::codec::dataset_to_bytes(&ds);
                 handle
                     .stage(
-                        BlockMeta {
-                            name: "mandelbulb".into(),
-                            block_id: block,
-                            iteration,
-                            size: payload.len(),
-                        },
+                        BlockMeta::new("mandelbulb", block, iteration, payload.len()),
                         &payload,
                     )
                     .expect("stage");

@@ -27,6 +27,8 @@ if [ "$1" = "--quick" ]; then
     # exercising revoke/shrink plus client abort-and-recover.
     cargo test -q --offline --test chaos_e2e stage_and_execute_complete_through_message_loss
     cargo test -q --offline --test chaos_e2e mid_collective_crash_aborts_and_recovers_deterministically
+    # Codec property suite: every codec roundtrips random datasets.
+    cargo test -q --offline --test codec_properties
     echo "CHECK_OK quick (chaos seed $COLZA_CHAOS_SEED)"
     exit 0
 fi
@@ -51,6 +53,11 @@ done
 cargo run -q --release --offline -p colza-bench --bin bench_coll -- \
     --smoke --assert --out /tmp/colza_bench_coll_smoke.json
 cargo run -q --release --offline -p colza-bench --bin table2_reduce -- --check-shape > /dev/null
+
+# Codec smoke: the delta codec must cut Gray–Scott wire bytes by >= 1.5x
+# (lossless roundtrips and the lossy bound are asserted inside the bench).
+cargo run -q --release --offline -p colza-bench --bin bench_codec -- \
+    --smoke --assert --out /tmp/colza_bench_codec_smoke.json
 
 # The trace feature must compile away cleanly: every instrumented crate
 # has to build with instrumentation disabled.

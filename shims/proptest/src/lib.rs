@@ -114,6 +114,15 @@ pub mod strategy {
             Map { strategy: self, f }
         }
 
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { strategy: self, f }
+        }
+
         fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
         where
             Self: Sized,
@@ -163,6 +172,18 @@ pub mod strategy {
         type Value = O;
         fn generate(&self, rng: &mut TestRng) -> O {
             (self.f)(self.strategy.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        pub(crate) strategy: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.strategy.generate(rng)).generate(rng)
         }
     }
 

@@ -61,12 +61,7 @@ fn autoscaler_grows_the_staging_area_under_load() {
                 let payload = colza::codec::dataset_to_bytes(&ds);
                 handle
                     .stage(
-                        BlockMeta {
-                            name: "dwi".into(),
-                            block_id: b as u64,
-                            iteration,
-                            size: payload.len(),
-                        },
+                        BlockMeta::new("dwi", b as u64, iteration, payload.len()),
                         &payload,
                     )
                     .unwrap();
@@ -155,12 +150,7 @@ fn shrink_victims_are_chosen_by_staged_load() {
             let payload = bytes::Bytes::from(vec![1u8; 128 * (b as usize + 1)]);
             handle
                 .stage(
-                    BlockMeta {
-                        name: "x".into(),
-                        block_id: b,
-                        iteration: 0,
-                        size: payload.len(),
-                    },
+                    BlockMeta::new("x", b, 0, payload.len()),
                     &payload,
                 )
                 .unwrap();

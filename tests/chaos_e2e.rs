@@ -161,12 +161,7 @@ fn stage_and_execute_complete_through_message_loss() {
                         colza::codec::dataset_to_bytes(&bulb.generate_block(b as usize, 2));
                     handle
                         .stage(
-                            BlockMeta {
-                                name: "m".into(),
-                                block_id: b,
-                                iteration,
-                                size: payload.len(),
-                            },
+                            BlockMeta::new("m", b, iteration, payload.len()),
                             &payload,
                         )
                         .unwrap();
@@ -465,12 +460,7 @@ fn replica_recovery_run(seed: u64, tag: &str) -> RecoveryOutcome {
             let payload = Bytes::from(vec![b as u8 + 1; 256 * (b as usize + 1)]);
             handle
                 .stage(
-                    BlockMeta {
-                        name: "x".into(),
-                        block_id: b,
-                        iteration: 0,
-                        size: payload.len(),
-                    },
+                    BlockMeta::new("x", b, 0, payload.len()),
                     &payload,
                 )
                 .unwrap();
@@ -716,12 +706,7 @@ fn collective_crash_run(seed: u64, tag: &str) -> CollectiveCrashOutcome {
                 colza::codec::dataset_to_bytes(&bulb.generate_block(b as usize, BLOCKS as usize));
             handle
                 .stage(
-                    BlockMeta {
-                        name: "m".into(),
-                        block_id: b,
-                        iteration: 0,
-                        size: payload.len(),
-                    },
+                    BlockMeta::new("m", b, 0, payload.len()),
                     &payload,
                 )
                 .unwrap();
@@ -833,6 +818,246 @@ fn mid_collective_crash_aborts_and_recovers_deterministically() {
     assert_eq!(a, b, "crash-recovery outcomes diverged for one seed");
 }
 
+/// Everything one run of the codec crash-repair scenario produced that
+/// must be identical across runs with the same seed.
+#[derive(Debug, PartialEq)]
+struct CodecCrashOutcome {
+    /// Canonical (sorted, line-per-record) export of the fault trace.
+    trace_export: String,
+    /// The recovered iteration's rendered image, byte for byte.
+    image: Vec<u8>,
+    /// Replica promotions at either promotion point.
+    promoted: u64,
+    /// `colza.store.recv.blocks`: blocks received over server pushes.
+    pushed: u64,
+    /// `colza.codec.enc.delta_diff.frames`: delta frames the client cut.
+    delta_frames: u64,
+    /// Per-survivor `(address, blocks held, staged encoded bytes)`, sorted.
+    survivors: Vec<(u64, usize, u64)>,
+}
+
+/// A smooth "v" field block for the Gray–Scott render script: spans the
+/// contour isovalues, drifts slightly per iteration (so iteration 1 is a
+/// genuine small delta over iteration 0, same byte length).
+fn codec_block_payload(dim: usize, block: u64, iteration: u64) -> Bytes {
+    use vizkit::data::{DataArray, ImageData};
+    let mut g = ImageData::new([dim, dim, dim]);
+    g.origin = [0.0, 0.0, (block as usize * dim) as f32];
+    let v: Vec<f32> = (0..dim * dim * dim)
+        .map(|j| {
+            let phase = j as f32 * 0.05 + block as f32;
+            0.3 + 0.25 * phase.sin() + 0.002 * iteration as f32
+        })
+        .collect();
+    g.point_data.set("v", DataArray::F32(v));
+    colza::codec::dataset_to_bytes(&vizkit::DataSet::Image(g))
+}
+
+/// One deterministic run of the codec crash-repair scenario (DESIGN.md
+/// §13): the client stages with the delta codec, so iteration 0 anchors
+/// full frames and iteration 1 cuts delta-diff frames against them. Block
+/// 0's primary — holding compressed, delta-encoded blocks — is killed
+/// after the iteration-1 stage and before its execute. Recovery promotes
+/// the dead server's replicas (decoding from their eagerly reconstructed
+/// plains) and re-replicates over server pushes that carry the diff frame
+/// plus the reconstructed plain, so the fresh owner never needs a base
+/// the survivor set lost. The recovered execute then renders the image.
+fn codec_crash_run(seed: u64, tag: &str) -> CodecCrashOutcome {
+    const BLOCKS: u64 = 4;
+    const DIM: usize = 12;
+
+    let plan = rpc_scoped(FaultPlan::seeded(seed).with_loss(0.01));
+    let (cluster, fabric, mut cfg) = env(&format!("codec-crash-{tag}"), plan);
+    cluster.shared().tracer().set_enabled(true);
+    cfg.tick_interval = Duration::from_secs(3600); // harness-driven only
+    cfg.auto_repair = false; // all migration at the 2PC boundary
+    let mut daemons: Vec<ColzaDaemon> = (0..3)
+        .map(|i| ColzaDaemon::spawn(&cluster, &fabric, i, cfg.clone()))
+        .collect();
+    for _ in 0..60 {
+        for d in &daemons {
+            d.tick_sync();
+        }
+    }
+    assert!(
+        daemons.iter().all(|d| d.view().len() == 3),
+        "serialized gossip failed to converge"
+    );
+    let contact = daemons[0].address();
+
+    // The victim is block 0's primary under the shared ring.
+    let members: Vec<Address> = {
+        let mut m: Vec<Address> = daemons.iter().map(|d| d.address()).collect();
+        m.sort_unstable();
+        m
+    };
+    let ring_cfg = RingConfig {
+        replication: 2,
+        ..RingConfig::default()
+    };
+    let shared = Arc::clone(cluster.shared());
+    let ring = HashRing::build(&members, |a| shared.node_of(a.pid()), ring_cfg);
+    let victim_addr = ring.primary(&BlockKey::new("g", 0)).unwrap();
+    let victim_idx = daemons
+        .iter()
+        .position(|d| d.address() == victim_addr)
+        .unwrap();
+
+    let script = catalyst::PipelineScript::gray_scott(48, 48).to_json();
+    let f2 = fabric.clone();
+    let (staged_tx, staged_rx) = crossbeam::channel::bounded::<()>(1);
+    let (killed_tx, killed_rx) = crossbeam::channel::bounded::<()>(1);
+    let (executed_tx, executed_rx) = crossbeam::channel::bounded::<()>(1);
+    let (done_tx, done_rx) = crossbeam::channel::bounded::<()>(1);
+    let sim = cluster.spawn("sim", 8, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+        let view = client.view_from(contact).unwrap();
+        admin
+            .create_pipeline_on_all(&view, "catalyst", "g", &script)
+            .unwrap();
+        let mut handle = client.distributed_handle(contact, "g").unwrap();
+        handle.set_replication(2);
+        handle.set_codec(colza::CodecConfig::uniform(colza::CodecSpec::Delta));
+
+        // Iteration 0: every block anchors a self-contained full frame.
+        handle.activate(0).unwrap();
+        for b in 0..BLOCKS {
+            let payload = codec_block_payload(DIM, b, 0);
+            handle
+                .stage(BlockMeta::new("g", b, 0, payload.len()), &payload)
+                .unwrap();
+        }
+        handle.execute(0).unwrap();
+        handle.deactivate(0).unwrap();
+
+        // Iteration 1: same-shaped blocks ride as delta-diff frames.
+        handle.activate(1).unwrap();
+        for b in 0..BLOCKS {
+            let payload = codec_block_payload(DIM, b, 1);
+            handle
+                .stage(BlockMeta::new("g", b, 1, payload.len()), &payload)
+                .unwrap();
+        }
+        staged_tx.send(()).unwrap();
+        killed_rx.recv().unwrap();
+
+        // The frozen member list still names the dead primary.
+        let r = handle.execute(1);
+        assert!(
+            matches!(&r, Err(e) if e.is_retryable()),
+            "execute against the crashed member must fail retryably: {r:?}"
+        );
+        handle.refresh_view().unwrap();
+        assert_eq!(handle.members().len(), 2);
+        handle.activate(1).unwrap();
+        handle.execute(1).unwrap();
+        let img = handle.fetch_result().unwrap().expect("image");
+        executed_tx.send(()).unwrap();
+        done_rx.recv().unwrap();
+        handle.deactivate(1).unwrap();
+        margo.finalize();
+        img
+    });
+
+    staged_rx.recv().unwrap();
+    // Quiesced crash point: client is blocked, daemons are idle.
+    daemons.remove(victim_idx).kill();
+    let mut rounds = 0;
+    while daemons.iter().any(|d| d.view().contains(&victim_addr)) {
+        for d in &daemons {
+            d.tick_sync();
+        }
+        rounds += 1;
+        assert!(rounds < 500, "survivors never declared the victim dead");
+    }
+    for _ in 0..10 {
+        for d in &daemons {
+            d.tick_sync();
+        }
+    }
+    killed_tx.send(()).unwrap();
+
+    executed_rx.recv().unwrap();
+    // Post-recovery, pre-deactivate: both survivors hold every iteration-1
+    // block and each block fed exactly one backend.
+    for d in &daemons {
+        assert_eq!(d.provider().store().len(), BLOCKS as usize);
+    }
+    for b in 0..BLOCKS {
+        let fed: usize = daemons
+            .iter()
+            .flat_map(|d| d.provider().store().snapshot())
+            .filter(|x| x.key.block_id == b && x.fed)
+            .count();
+        assert_eq!(fed, 1, "block {b} must feed exactly one backend");
+    }
+    done_tx.send(()).unwrap();
+    let img = sim.join();
+
+    let snap = cluster.shared().trace_snapshot();
+    // Every reconstructed plain a push carried was received in full.
+    assert_eq!(
+        snap.counter_total("colza.codec.push.plain_bytes"),
+        snap.counter_total("colza.store.recv.plain_bytes"),
+        "pushed and received plain-payload bytes disagree"
+    );
+    let mut survivors: Vec<(u64, usize, u64)> = daemons
+        .iter()
+        .map(|d| {
+            let s = d.provider().store();
+            (d.address().0, s.len(), s.staged_bytes())
+        })
+        .collect();
+    survivors.sort_unstable();
+    let mut trace = cluster.shared().faults().trace();
+    trace.sort_unstable();
+    let trace_export = trace
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let out = CodecCrashOutcome {
+        trace_export,
+        image: img,
+        promoted: snap.counter_total("colza.store.promoted.blocks")
+            + snap.counter_total("colza.store.exec.promoted"),
+        pushed: snap.counter_total("colza.store.recv.blocks"),
+        delta_frames: snap.counter_total("colza.codec.enc.delta_diff.frames"),
+        survivors,
+    };
+    for d in daemons {
+        d.stop();
+    }
+    out
+}
+
+/// ISSUE acceptance: a crashed primary holding compressed, delta-encoded
+/// blocks is repaired from replicas, the next execute renders, and two
+/// same-seed runs produce byte-identical images and fault traces.
+#[test]
+fn crashed_primary_with_delta_blocks_repairs_and_renders_deterministically() {
+    let seed = chaos_seed();
+    let a = codec_crash_run(seed, "a");
+    assert!(
+        a.delta_frames >= 1,
+        "iteration 1 must have staged delta-diff frames"
+    );
+    assert!(a.promoted >= 1, "the victim's blocks must be promoted");
+    assert!(a.pushed >= 1, "re-replication must push blocks");
+    assert!(
+        vizkit::Image::from_bytes(&a.image).coverage() > 0.0,
+        "recovered iteration rendered an empty image"
+    );
+    let b = codec_crash_run(seed, "b");
+    assert_eq!(
+        a.trace_export, b.trace_export,
+        "fault-trace exports diverged for one seed"
+    );
+    assert_eq!(a, b, "codec crash-repair outcomes diverged for one seed");
+}
+
 /// Satellite: an admin `request_leave` lands while the client is mid-
 /// iteration, still staging. The leaver drains its blocks to the
 /// surviving owners (refusing any stage that races past the drain
@@ -876,12 +1101,7 @@ fn request_leave_during_staging_loses_no_block() {
                 admin.request_leave(victim_addr).unwrap();
             }
             let payload = Bytes::from(vec![b as u8 + 1; 256 * (b as usize + 1)]);
-            let meta = BlockMeta {
-                name: "x".into(),
-                block_id: b,
-                iteration: 0,
-                size: payload.len(),
-            };
+            let meta = BlockMeta::new("x", b, 0, payload.len());
             let mut ok = false;
             for _ in 0..600 {
                 match handle.stage(meta.clone(), &payload) {

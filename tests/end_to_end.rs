@@ -56,12 +56,7 @@ fn gray_scott_through_colza_produces_an_image() {
             let payload = colza::codec::dataset_to_bytes(&sim.to_dataset());
             handle
                 .stage(
-                    BlockMeta {
-                        name: "gs".into(),
-                        block_id: comm.rank() as u64,
-                        iteration: 0,
-                        size: payload.len(),
-                    },
+                    BlockMeta::new("gs", comm.rank() as u64, 0, payload.len()),
                     &payload,
                 )
                 .unwrap();
@@ -139,12 +134,7 @@ fn elastic_grow_and_admin_shrink_under_load() {
                     colza::codec::dataset_to_bytes(&bulb.generate_block(b as usize, 4));
                 handle
                     .stage(
-                        BlockMeta {
-                            name: "m".into(),
-                            block_id: b,
-                            iteration,
-                            size: payload.len(),
-                        },
+                        BlockMeta::new("m", b, iteration, payload.len()),
                         &payload,
                     )
                     .unwrap();
@@ -231,12 +221,7 @@ fn all_three_pipelines_render_through_the_catalyst_backend() {
                     let payload = colza::codec::dataset_to_bytes(ds);
                     handle
                         .stage(
-                            BlockMeta {
-                                name: name.into(),
-                                block_id: b as u64,
-                                iteration: 0,
-                                size: payload.len(),
-                            },
+                            BlockMeta::new(name, b as u64, 0, payload.len()),
                             &payload,
                         )
                         .unwrap();

@@ -39,6 +39,17 @@ struct RunOutput {
 /// One deterministic client/server staging session. `trace` controls
 /// whether the cluster tracer is enabled for the run.
 fn run_scenario(seed: u64, trace: bool) -> RunOutput {
+    run_scenario_with_codec(seed, trace, None)
+}
+
+/// Same scenario with an optional client-side codec config (DESIGN.md
+/// §13); `None` stages raw, which must stay byte-identical to the
+/// pre-codec traces.
+fn run_scenario_with_codec(
+    seed: u64,
+    trace: bool,
+    codec: Option<colza::CodecConfig>,
+) -> RunOutput {
     let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig {
         seed,
         compute_scale: 0.0,
@@ -78,19 +89,17 @@ fn run_scenario(seed: u64, trace: bool) -> RunOutput {
             let view = client.view_from(contact).unwrap();
             assert_eq!(view, vec![contact]);
             admin.create_pipeline(contact, "null", "p", "").unwrap();
-            let handle = client.distributed_handle(contact, "p").unwrap();
+            let mut handle = client.distributed_handle(contact, "p").unwrap();
+            if let Some(cfg) = codec {
+                handle.set_codec(cfg);
+            }
             for iteration in 0..ITERATIONS {
                 handle.activate(iteration).unwrap();
                 for block in 0..BLOCKS {
                     let payload = Bytes::from(vec![block as u8; block_len(iteration, block)]);
                     handle
                         .stage(
-                            BlockMeta {
-                                name: "p".into(),
-                                block_id: block,
-                                iteration,
-                                size: payload.len(),
-                            },
+                            BlockMeta::new("p", block, iteration, payload.len()),
                             &payload,
                         )
                         .unwrap();
@@ -308,6 +317,73 @@ fn metrics_rpc_scrapes_server_counters() {
             "scraped {name}={value} exceeds final value {end}"
         );
     }
+}
+
+/// With compression enabled, byte accounting still reconciles — but now
+/// across the codec boundary: what the client's encoder emitted is
+/// exactly what crossed the wire via RDMA, and what the server decoded
+/// back is exactly the raw staged volume.
+#[test]
+fn codec_bytes_reconcile_on_the_wire() {
+    let cfg = colza::CodecConfig::uniform(colza::CodecSpec::ShuffleLz);
+    let out = run_scenario_with_codec(3, true, Some(cfg));
+    let snap = &out.snapshot;
+
+    let staged: u64 = (0..ITERATIONS)
+        .flat_map(|i| (0..BLOCKS).map(move |b| block_len(i, b) as u64))
+        .sum();
+    let enc_in = snap.counter_total("colza.codec.encode.bytes_in");
+    let enc_out = snap.counter_total("colza.codec.encode.bytes_out");
+    let dec_in = snap.counter_total("colza.codec.decode.bytes_in");
+    let dec_out = snap.counter_total("colza.codec.decode.bytes_out");
+
+    // The encoder saw every staged byte exactly once (compress once).
+    assert_eq!(enc_in, staged);
+    // Wire truth: the RDMA plane moved exactly the encoded frames.
+    assert_eq!(
+        snap.counter_total("na.rdma.bytes"),
+        enc_out,
+        "bytes-on-wire != sum of encoded block sizes"
+    );
+    // The constant-byte payloads are highly compressible; the codec must
+    // have actually shrunk the wire volume.
+    assert!(
+        enc_out < staged,
+        "shuffle+lz did not compress ({enc_out} >= {staged})"
+    );
+    // The server decoded each frame once (to feed the backend) and got
+    // the staged bytes back exactly.
+    assert_eq!(dec_in, enc_out);
+    assert_eq!(dec_out, staged, "decoded-size accounting != byte_size sum");
+
+    // Frame counters name the codec that ran.
+    assert_eq!(
+        snap.counter_total("colza.codec.enc.shuffle_lz.frames"),
+        ITERATIONS * BLOCKS
+    );
+
+    // Still a clean wire underneath.
+    assert_eq!(snap.counter_total("na.dropped.msgs"), 0);
+    assert_eq!(snap.counter_total("rpc.retries"), 0);
+}
+
+/// Codec-enabled runs are exactly as deterministic as raw runs: the
+/// encode path charges modeled virtual time, so two same-seed runs export
+/// byte-identical traces.
+#[test]
+fn codec_runs_export_byte_identical_traces() {
+    let cfg = || colza::CodecConfig::uniform(colza::CodecSpec::ShuffleLz);
+    let a = run_scenario_with_codec(42, true, Some(cfg()));
+    let b = run_scenario_with_codec(42, true, Some(cfg()));
+    assert_eq!(a.client_end_ns, b.client_end_ns, "virtual end times diverged");
+    assert_eq!(a.chrome, b.chrome, "Chrome trace exports diverged");
+    assert_eq!(a.jsonl, b.jsonl, "metrics JSONL exports diverged");
+    // And enabling a codec genuinely changed the wire relative to raw.
+    let raw = run_scenario(42, true);
+    assert!(
+        raw.snapshot.counter_total("na.rdma.bytes")
+            > a.snapshot.counter_total("na.rdma.bytes")
+    );
 }
 
 /// With the tracer disabled the run records nothing — and the virtual
