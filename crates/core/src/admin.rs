@@ -8,7 +8,8 @@ use margo::MargoInstance;
 use na::Address;
 
 use crate::error::Result;
-use crate::protocol::{CreatePipelineArgs, DestroyPipelineArgs, MetricsReport};
+use crate::protocol::{CreatePipelineArgs, DestroyPipelineArgs, MetricsReport, TenancyConfig};
+use store::TenantUsage;
 
 /// Administrative client for a Colza deployment.
 pub struct AdminClient {
@@ -86,5 +87,27 @@ impl AdminClient {
     /// report comes back with `enabled: false` and no counters.
     pub fn metrics(&self, server: Address) -> Result<MetricsReport> {
         Ok(self.margo.forward(server, "colza.admin.metrics", &())?)
+    }
+
+    /// Installs a tenancy policy (quotas, priority classes, the execute
+    /// gate — DESIGN.md §14) on one server.
+    pub fn set_tenancy(&self, server: Address, cfg: &TenancyConfig) -> Result<()> {
+        Ok(self.margo.forward(server, "colza.admin.set_tenancy", cfg)?)
+    }
+
+    /// Installs a tenancy policy on every listed server. Policy must be
+    /// uniform across the pool: quota decisions are per server, and a
+    /// split policy would admit on some owners and refuse on others.
+    pub fn set_tenancy_on_all(&self, servers: &[Address], cfg: &TenancyConfig) -> Result<()> {
+        for &s in servers {
+            self.set_tenancy(s, cfg)?;
+        }
+        Ok(())
+    }
+
+    /// One server's per-tenant staged load (the `tenants` section of the
+    /// metrics scrape).
+    pub fn tenant_usage(&self, server: Address) -> Result<Vec<TenantUsage>> {
+        Ok(self.metrics(server)?.tenants)
     }
 }

@@ -21,6 +21,7 @@
 use na::Address;
 
 use crate::admin::AdminClient;
+use crate::protocol::{MetricsReport, TenancyConfig, TenantId};
 
 /// Configuration of the feedback controller.
 #[derive(Debug, Clone, Copy)]
@@ -140,6 +141,23 @@ impl AutoScaler {
         ScaleDecision::Hold
     }
 
+    /// Feeds one multi-tenant round: per-tenant `execute` durations are
+    /// summed into the aggregate-demand signal the controller scales on.
+    /// A tenant mix where one pipeline lags and another idles thus grows
+    /// the pool exactly when their *total* demand outruns the target —
+    /// the shared-pool reading of the paper's Fig. 10 argument.
+    pub fn observe_aggregate(
+        &mut self,
+        per_tenant_ns: &[u64],
+        servers: usize,
+        had_join: bool,
+    ) -> ScaleDecision {
+        let total: u64 = per_tenant_ns
+            .iter()
+            .fold(0u64, |acc, &ns| acc.saturating_add(ns));
+        self.observe(total, servers, had_join)
+    }
+
     /// Feeds a *failed* iteration (no duration to learn from).
     ///
     /// A retryable failure ([`crate::error::ColzaError::is_retryable`])
@@ -193,6 +211,58 @@ pub fn drain_aware_victims(admin: &AdminClient, members: &[Address], n: usize) -
         if let Some(&(_, bytes)) = loads.iter().find(|(m, _)| *m == v) {
             if bytes != u64::MAX {
                 hpcsim::trace::counter_add("autoscale.victim.bytes", bytes);
+            }
+        }
+    }
+    victims
+}
+
+/// A server's drain cost weighted by *who* holds its bytes: each
+/// tenant's staged bytes are multiplied by its priority-class weight, so
+/// retiring a server full of Gold-tenant data costs more than one full
+/// of Bronze. Falls back to raw `staged_bytes` when the report carries
+/// no per-tenant section (a pre-tenancy peer).
+pub fn tenant_weighted_load(report: &MetricsReport, tenancy: &TenancyConfig) -> u64 {
+    if report.tenants.is_empty() {
+        return report.staged_bytes;
+    }
+    report.tenants.iter().fold(0u64, |acc, t| {
+        let weight = tenancy
+            .config_for(&TenantId::new(t.tenant.clone()))
+            .priority
+            .weight();
+        acc.saturating_add(t.staged_bytes.saturating_mul(weight))
+    })
+}
+
+/// [`drain_aware_victims`], weighted by per-tenant staged bytes: the
+/// shrink victims are the servers whose departure displaces the least
+/// *priority-weighted* data, so high-class tenants' blocks move last.
+/// Same determinism and unreachable-server rules as the drain-aware
+/// variant; each nomination bumps `autoscale.victim.tenant_aware`.
+pub fn tenant_aware_victims(
+    admin: &AdminClient,
+    members: &[Address],
+    n: usize,
+    tenancy: &TenancyConfig,
+) -> Vec<Address> {
+    let loads: Vec<(Address, u64)> = members
+        .iter()
+        .map(|&m| {
+            (
+                m,
+                admin
+                    .metrics(m)
+                    .map_or(u64::MAX, |r| tenant_weighted_load(&r, tenancy)),
+            )
+        })
+        .collect();
+    let victims = select_victims(&loads, n);
+    for &v in &victims {
+        hpcsim::trace::counter_add("autoscale.victim.tenant_aware", 1);
+        if let Some(&(_, cost)) = loads.iter().find(|(m, _)| *m == v) {
+            if cost != u64::MAX {
+                hpcsim::trace::counter_add("autoscale.victim.weighted_bytes", cost);
             }
         }
     }
@@ -324,6 +394,60 @@ mod tests {
             s2.observe(100_000, 2, false);
         }
         assert_eq!(s2.observe(100_000, 2, false), ScaleDecision::Hold, "at min");
+    }
+
+    #[test]
+    fn aggregate_demand_drives_growth() {
+        let mut s = scaler(10);
+        // Two tenants each under target alone, together well over it.
+        s.observe_aggregate(&[8_000_000, 8_000_000, 9_000_000], 2, false);
+        match s.observe_aggregate(&[8_000_000, 8_000_000, 9_000_000], 2, false) {
+            ScaleDecision::Grow(n) => assert!(n >= 1),
+            d => panic!("expected growth on aggregate demand, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn tenant_weighted_load_prices_by_class() {
+        use crate::protocol::{PriorityClass, TenantConfig};
+        use store::TenantUsage;
+        let usage = |tenant: &str, bytes: u64| TenantUsage {
+            tenant: tenant.to_string(),
+            staged_bytes: bytes,
+            decoded_bytes: bytes,
+            blocks: 1,
+        };
+        let report = MetricsReport {
+            pid: 0,
+            enabled: false,
+            staged_bytes: 300,
+            decoded_bytes: 300,
+            tenants: vec![usage("batch", 200), usage("prod", 100)],
+            counters: Vec::new(),
+        };
+        let tenancy = TenancyConfig::enforcing()
+            .with_tenant(
+                "prod",
+                TenantConfig {
+                    priority: PriorityClass::Gold,
+                    ..TenantConfig::default()
+                },
+            )
+            .with_tenant(
+                "batch",
+                TenantConfig {
+                    priority: PriorityClass::Bronze,
+                    ..TenantConfig::default()
+                },
+            );
+        // 200 Bronze bytes (×1) + 100 Gold bytes (×4) = 600.
+        assert_eq!(tenant_weighted_load(&report, &tenancy), 600);
+        // No per-tenant section: fall back to raw staged bytes.
+        let bare = MetricsReport {
+            tenants: Vec::new(),
+            ..report
+        };
+        assert_eq!(tenant_weighted_load(&bare, &tenancy), 300);
     }
 
     #[test]

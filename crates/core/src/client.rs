@@ -78,6 +78,7 @@ impl ColzaClient {
         Ok(DistributedPipelineHandle {
             client: Arc::clone(self),
             pipeline: pipeline.to_string(),
+            tenant: TenantId::default(),
             members: Mutex::new(members),
             ring_cfg: RingConfig::default(),
             placement: Mutex::new(None),
@@ -148,6 +149,7 @@ impl PipelineHandle {
             &ExecuteArgs {
                 pipeline: self.pipeline.clone(),
                 iteration,
+                tenant: TenantId::default(),
             },
             &heavy_retry(),
         )?)
@@ -161,6 +163,7 @@ impl PipelineHandle {
             &DeactivateArgs {
                 pipeline: self.pipeline.clone(),
                 iteration,
+                tenant: TenantId::default(),
             },
             &control_retry(),
         )?)
@@ -183,6 +186,9 @@ impl PipelineHandle {
 pub struct DistributedPipelineHandle {
     client: Arc<ColzaClient>,
     pipeline: String,
+    /// The tenant this handle acts as: stamped into every staged block
+    /// and execute/deactivate request. Defaults to the implicit tenant.
+    tenant: TenantId,
     members: Mutex<Vec<Address>>,
     ring_cfg: RingConfig,
     /// Ring cache: rebuilt only when the member list changes.
@@ -230,6 +236,19 @@ impl DistributedPipelineHandle {
     /// `Unreachable` once the endpoint closes — sooner.
     pub fn set_heavy_retry(&mut self, cfg: RetryConfig) {
         self.heavy = cfg;
+    }
+
+    /// Sets the tenant this handle operates as (DESIGN.md §14). Every
+    /// subsequent `stage` carries it for quota accounting, and every
+    /// `execute` for fair-share scheduling. A handle that never calls
+    /// this runs as the implicit `"default"` tenant.
+    pub fn set_tenant(&mut self, tenant: impl Into<String>) {
+        self.tenant = TenantId::new(tenant);
+    }
+
+    /// The tenant this handle operates as.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
     }
 
     /// Replaces the codec configuration: how each dataset is encoded by
@@ -478,6 +497,7 @@ impl DistributedPipelineHandle {
             let mut wire_meta = meta.clone();
             wire_meta.codec = enc.codec;
             wire_meta.encoded_size = enc.frame.len();
+            wire_meta.tenant = self.tenant.clone();
             let ring = self.ring();
             match stage_via_ring(&self.client.margo, &ring, &self.pipeline, &wire_meta, &enc.frame)
             {
@@ -494,6 +514,12 @@ impl DistributedPipelineHandle {
                     }
                     return Ok(());
                 }
+                // Quota backpressure is *not* a placement failure: the
+                // block's owners are fine, this tenant just holds too
+                // much. Re-routing would anchor delta chains and shuffle
+                // copies for nothing — surface it to the caller, whose
+                // back-off (or `stage_with_backpressure`) is the fix.
+                Err(e @ ColzaError::QuotaExceeded(_)) => return Err(e),
                 Err(e) if e.is_retryable() && attempt + 1 < MAX_REROUTES => {
                     hpcsim::trace::counter_add("colza.stage.reroutes", 1);
                     last = Some(e);
@@ -504,6 +530,39 @@ impl DistributedPipelineHandle {
             }
         }
         Err(last.unwrap_or(ColzaError::EmptyGroup))
+    }
+
+    /// [`DistributedPipelineHandle::stage`], riding through quota
+    /// backpressure: on [`ColzaError::QuotaExceeded`] the client backs
+    /// off (exponentially, from 1 ms virtual) and retries until the
+    /// tenant's earlier iterations release enough quota or `budget`
+    /// runs out. Every other error keeps `stage`'s semantics.
+    pub fn stage_with_backpressure(
+        &self,
+        meta: BlockMeta,
+        payload: &Bytes,
+        budget: Duration,
+    ) -> Result<()> {
+        let ctx = hpcsim::process::current();
+        let deadline = ctx.now() + budget.as_nanos() as u64;
+        let mut delay = Duration::from_millis(1);
+        loop {
+            match self.stage(meta.clone(), payload) {
+                Err(ColzaError::QuotaExceeded(m)) => {
+                    hpcsim::trace::counter_add("colza.stage.backpressure", 1);
+                    if ctx.now() >= deadline {
+                        return Err(ColzaError::QuotaExceeded(m));
+                    }
+                    // The backoff costs virtual time (the simulated
+                    // client really waits) *and* yields wall-clock so a
+                    // concurrent deactivate can land and free quota.
+                    std::thread::sleep(delay);
+                    ctx.advance(delay.as_nanos() as u64);
+                    delay = (delay * 2).min(Duration::from_millis(64));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Non-blocking [`DistributedPipelineHandle::stage`].
@@ -536,6 +595,7 @@ impl DistributedPipelineHandle {
         let args = ExecuteArgs {
             pipeline: self.pipeline.clone(),
             iteration,
+            tenant: self.tenant.clone(),
         };
         // Servers run a collective inside the handler, so every execute
         // RPC must be in flight simultaneously.
@@ -621,6 +681,7 @@ impl DistributedPipelineHandle {
         let args = DeactivateArgs {
             pipeline: self.pipeline.clone(),
             iteration,
+            tenant: self.tenant.clone(),
         };
         let results = self.broadcast::<_, ()>(&members, "colza.deactivate", &args, &control_retry());
         for r in results {

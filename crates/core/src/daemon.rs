@@ -54,6 +54,11 @@ pub struct DaemonConfig {
     /// ([`crate::DistributedPipelineHandle::adopt_server_codec`]). The
     /// default stages everything raw.
     pub codec: crate::codec::CodecConfig,
+    /// Multi-tenant QoS policy (DESIGN.md §14): staged-byte quotas,
+    /// execute-time windows, priority classes and the fair-share execute
+    /// gate. Disabled by default — accounting still runs, enforcement
+    /// does not.
+    pub tenancy: crate::protocol::TenancyConfig,
 }
 
 impl DaemonConfig {
@@ -69,6 +74,7 @@ impl DaemonConfig {
             auto_repair: true,
             mona: MonaConfig::default(),
             codec: crate::codec::CodecConfig::default(),
+            tenancy: crate::protocol::TenancyConfig::default(),
         }
     }
 }
@@ -155,6 +161,7 @@ impl ColzaDaemon {
                 comm,
             );
             provider.set_codec_config(cfg.codec.clone());
+            provider.set_tenancy_config(cfg.tenancy.clone());
             ready_tx
                 .send((me, Arc::clone(&group), Arc::clone(&provider)))
                 .expect("daemon handshake");

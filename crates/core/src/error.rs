@@ -22,6 +22,12 @@ pub enum ColzaError {
     /// re-activating against the refreshed view and re-issuing the
     /// execute recovers ([`crate::client::DistributedPipelineHandle::execute_with_recovery`]).
     IterationAborted(String),
+    /// A stage/push was refused because the tenant is over its
+    /// staged-byte quota. Retryable backpressure: quota frees as the
+    /// tenant's earlier iterations deactivate, so backing off and
+    /// retrying (e.g. [`crate::client::DistributedPipelineHandle::stage_with_backpressure`])
+    /// eventually succeeds.
+    QuotaExceeded(String),
     /// No pipeline with this name exists on the target server.
     NoSuchPipeline(String),
     /// No backend factory registered under this `lib:name`.
@@ -42,6 +48,7 @@ impl fmt::Display for ColzaError {
             ColzaError::ActivateConflict { attempts } => {
                 write!(f, "activate 2PC failed after {attempts} attempts")
             }
+            ColzaError::QuotaExceeded(m) => write!(f, "staged-byte quota exceeded: {m}"),
             ColzaError::NoSuchPipeline(n) => write!(f, "no pipeline named {n:?}"),
             ColzaError::NoSuchLibrary(n) => write!(f, "no backend library {n:?} registered"),
             ColzaError::Pipeline(m) => write!(f, "pipeline error: {m}"),
@@ -62,6 +69,7 @@ impl ColzaError {
             ColzaError::Unavailable(_)
                 | ColzaError::ActivateConflict { .. }
                 | ColzaError::IterationAborted(_)
+                | ColzaError::QuotaExceeded(_)
         )
     }
 }
@@ -80,6 +88,11 @@ impl From<margo::RpcError> for ColzaError {
             // the ABORTED marker: typed as retryable-after-reactivate.
             margo::RpcError::Handler(m) if m.starts_with(crate::provider::ABORTED) => {
                 ColzaError::IterationAborted(m.clone())
+            }
+            // Admission control refused the block: the tenant is over its
+            // staged-byte quota. Back off and retry, don't re-route.
+            margo::RpcError::Handler(m) if m.starts_with(crate::provider::QUOTA) => {
+                ColzaError::QuotaExceeded(m.clone())
             }
             _ if e.is_retryable() => ColzaError::Unavailable(e.to_string()),
             _ => ColzaError::Rpc(e.to_string()),

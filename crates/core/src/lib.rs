@@ -40,12 +40,20 @@ pub mod daemon;
 pub mod error;
 pub mod protocol;
 pub mod provider;
+pub mod qos;
 
 pub use admin::AdminClient;
-pub use autoscale::{drain_aware_victims, select_victims, AutoScaleConfig, AutoScaler, ScaleDecision};
+pub use autoscale::{
+    drain_aware_victims, select_victims, tenant_aware_victims, tenant_weighted_load,
+    AutoScaleConfig, AutoScaler, ScaleDecision,
+};
 pub use backend::{Backend, BackendCtx, StagedBlock};
 pub use client::{ColzaClient, DistributedPipelineHandle, PipelineHandle};
 pub use codec::{CodecConfig, CodecError, CodecId, CodecSpec};
 pub use daemon::{ColzaDaemon, CommMode, DaemonConfig};
 pub use error::ColzaError;
-pub use protocol::{BlockMeta, MetricsReport};
+pub use protocol::{
+    BlockMeta, MetricsReport, PriorityClass, TenancyConfig, TenantConfig, TenantId,
+};
+pub use qos::{DrrScheduler, ExecGate};
+pub use store::TenantUsage;

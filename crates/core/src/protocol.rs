@@ -1,11 +1,167 @@
 //! RPC argument and reply types shared between client, admin and provider.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use na::{Address, BulkHandle};
-use store::{RingConfig, Role};
+use store::{RingConfig, Role, TenantUsage};
 
 use crate::codec::CodecId;
+
+/// Identity of a staging tenant (DESIGN.md §14). Every staged block and
+/// every execute request carries one; servers account resource usage,
+/// enforce quotas and schedule execute work per tenant. A deployment
+/// that never configures tenancy runs everything under the default
+/// tenant and behaves exactly as before.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TenantId(pub String);
+
+impl TenantId {
+    /// A tenant id from any string-ish name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantId(name.into())
+    }
+
+    /// The tenant's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for TenantId {
+    /// The implicit tenant of untenanted deployments.
+    fn default() -> Self {
+        TenantId("default".to_string())
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Coarse service classes for the fair-share execute scheduler. The
+/// class fixes the tenant's deficit-round-robin weight: a Gold tenant
+/// earns four times the execute service of a Bronze one under
+/// contention. Classes never affect an uncontended pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PriorityClass {
+    /// Weight 4: latency-sensitive production pipelines.
+    Gold,
+    /// Weight 2: the default class.
+    Silver,
+    /// Weight 1: batch/best-effort work.
+    Bronze,
+}
+
+impl PriorityClass {
+    /// The DRR weight of this class.
+    pub fn weight(self) -> u64 {
+        match self {
+            PriorityClass::Gold => 4,
+            PriorityClass::Silver => 2,
+            PriorityClass::Bronze => 1,
+        }
+    }
+}
+
+/// Per-tenant resource limits and service class (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantConfig {
+    /// Maximum staged (encoded) bytes this tenant may hold *per server*.
+    /// Admission control refuses `stage`/`colza.store.push` over this
+    /// with the typed, retryable [`crate::ColzaError::QuotaExceeded`];
+    /// quota is freed when copies leave the store (deactivate release,
+    /// drain, repair drops). `u64::MAX` means unlimited; `0` admits
+    /// nothing with a payload.
+    pub staged_byte_quota: u64,
+    /// Execute-time budget per iteration window, in virtual nanoseconds.
+    /// A tenant whose executes consume more than this between two
+    /// `deactivate`s is *throttled* — its scheduler weight drops to the
+    /// minimum until the window resets — but never starved or refused.
+    /// `u64::MAX` means unlimited.
+    pub execute_quota_ns: u64,
+    /// Fair-share class for execute scheduling.
+    pub priority: PriorityClass,
+}
+
+impl Default for TenantConfig {
+    /// Unlimited quotas in the default (Silver) class.
+    fn default() -> Self {
+        TenantConfig {
+            staged_byte_quota: u64::MAX,
+            execute_quota_ns: u64::MAX,
+            priority: PriorityClass::Silver,
+        }
+    }
+}
+
+/// Deployment-wide tenancy policy, part of [`crate::DaemonConfig`] and
+/// installable at runtime via `colza.admin.set_tenancy`
+/// ([`crate::AdminClient::set_tenancy`]). Disabled by default: per-tenant
+/// *accounting* always runs (it is what `colza.admin.metrics` reports),
+/// but quotas and the fair-share execute gate only act when `enabled`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenancyConfig {
+    /// Whether quotas and execute scheduling are enforced.
+    pub enabled: bool,
+    /// Limits for tenants not listed in `tenants`.
+    pub default: TenantConfig,
+    /// Per-tenant overrides, in deterministic (sorted) order.
+    pub tenants: Vec<(TenantId, TenantConfig)>,
+    /// Concurrent execute handlers admitted per server when enforcement
+    /// is on. `1` fully serializes execute work through the scheduler;
+    /// deployments running concurrent *multi-server* collective
+    /// pipelines should keep this at or above the number of tenants
+    /// executing concurrently (DESIGN.md §14 discusses why).
+    pub exec_slots: usize,
+    /// Base quantum of the deficit-round-robin scheduler, in virtual
+    /// nanoseconds of execute service per visit and per unit weight.
+    pub quantum_ns: u64,
+}
+
+impl Default for TenancyConfig {
+    fn default() -> Self {
+        TenancyConfig {
+            enabled: false,
+            default: TenantConfig::default(),
+            tenants: Vec::new(),
+            exec_slots: 1,
+            quantum_ns: 2_000_000, // 2 ms of execute service per visit
+        }
+    }
+}
+
+impl TenancyConfig {
+    /// An enforcing configuration with default limits.
+    pub fn enforcing() -> Self {
+        TenancyConfig {
+            enabled: true,
+            ..TenancyConfig::default()
+        }
+    }
+
+    /// Adds (or replaces) one tenant's limits, keeping the list sorted
+    /// so scheduler state is a pure function of the configuration.
+    pub fn with_tenant(mut self, id: impl Into<String>, cfg: TenantConfig) -> Self {
+        let id = TenantId::new(id);
+        self.tenants.retain(|(t, _)| *t != id);
+        self.tenants.push((id, cfg));
+        self.tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        self
+    }
+
+    /// The limits applying to `tenant` (listed override or default).
+    pub fn config_for(&self, tenant: &TenantId) -> TenantConfig {
+        self.tenants
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map(|&(_, c)| c)
+            .unwrap_or(self.default)
+    }
+}
 
 /// Metadata accompanying a staged block (field name, dimensions, type —
 /// what the paper's `stage` RPC carries besides the memory handle).
@@ -29,6 +185,10 @@ pub struct BlockMeta {
     pub codec: CodecId,
     /// Encoded frame size in bytes — the RDMA transfer length.
     pub encoded_size: usize,
+    /// Tenant this block belongs to; drives quota accounting and the
+    /// per-tenant metrics scrape. [`crate::DistributedPipelineHandle::stage`]
+    /// stamps it from the handle's tenant, so callers never fill it.
+    pub tenant: TenantId,
 }
 
 impl BlockMeta {
@@ -43,6 +203,7 @@ impl BlockMeta {
             size,
             codec: CodecId::Raw,
             encoded_size: size,
+            tenant: TenantId::default(),
         }
     }
 }
@@ -110,12 +271,17 @@ pub(crate) struct PushBlockArgs {
 pub(crate) struct ExecuteArgs {
     pub pipeline: String,
     pub iteration: u64,
+    /// Tenant on whose behalf the pipeline executes — the fair-share
+    /// scheduler's accounting and ordering key.
+    pub tenant: TenantId,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct DeactivateArgs {
     pub pipeline: String,
     pub iteration: u64,
+    /// Tenant ending the iteration; resets its execute-quota window.
+    pub tenant: TenantId,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -158,6 +324,12 @@ pub struct MetricsReport {
     /// codec-independent view of the same holdings. Equal to
     /// `staged_bytes` under raw staging.
     pub decoded_bytes: u64,
+    /// Per-tenant breakdown of the held load, in sorted tenant order —
+    /// what tenant-aware shrink victim selection and per-tenant scrapes
+    /// read. The per-tenant `staged_bytes`/`decoded_bytes` always sum to
+    /// the aggregate fields above; a single-tenant deployment reports
+    /// one entry (the default tenant) equal to the totals.
+    pub tenants: Vec<TenantUsage>,
     /// Counter name → cumulative value, in sorted name order.
     pub counters: Vec<(String, u64)>,
 }

@@ -28,6 +28,7 @@ use bytes::Bytes;
 use crate::backend::{self, Backend, BackendCtx, StagedBlock};
 use crate::codec::{self, CodecConfig, CodecError, CodecId};
 use crate::protocol::*;
+use crate::qos::ExecGate;
 
 /// Which communication layer pipelines execute over.
 pub enum ProviderComm {
@@ -80,6 +81,11 @@ pub struct ColzaProvider {
     /// The deployment's codec configuration, advertised to clients via
     /// `colza.get_codec_config` (filled in from [`crate::DaemonConfig`]).
     codec_cfg: Mutex<CodecConfig>,
+    /// The multi-tenant QoS gate: staged-byte quota policy for `admit`
+    /// and the fair-share scheduler `colza.execute` runs under
+    /// (DESIGN.md §14). Accounting always runs; enforcement only when
+    /// the installed [`TenancyConfig`] enables it.
+    qos: ExecGate,
     /// Delta-chain state per `(pipeline, block_id, dataset name)`: the
     /// iteration and reconstructed plain payload of the newest chain
     /// frame this server admitted. Unlike the staged blocks themselves
@@ -109,6 +115,7 @@ impl ColzaProvider {
             draining: AtomicBool::new(false),
             leave_requested: AtomicBool::new(false),
             codec_cfg: Mutex::new(CodecConfig::default()),
+            qos: ExecGate::default(),
             codec_bases: Mutex::new(HashMap::new()),
         });
 
@@ -169,11 +176,15 @@ impl ColzaProvider {
                     // *before* acknowledging: when the commit returns,
                     // every survivor-owned block is already in place and
                     // fed, so `execute` can proceed from replicas. A
-                    // commit whose pushes did not all land must fail —
+                    // commit whose pushes transiently failed must fail —
                     // the client aborts and retries the 2PC, and the
                     // dirty flag makes the next pass re-push what is
-                    // still missing.
-                    let failed = p.sync_to(&args.members, args.ring, "commit");
+                    // still missing. Quota *refusals* are tolerated: they
+                    // would refuse identically on every retry, so failing
+                    // here would livelock every tenant's activation on
+                    // one tenant's overrun; the over-quota tenant instead
+                    // runs with degraded redundancy.
+                    let (failed, _refused) = p.sync_to(&args.members, args.ring, "commit");
                     if failed > 0 {
                         return Err(format!("store sync incomplete: {failed} push(es) failed"));
                     }
@@ -274,8 +285,20 @@ impl ColzaProvider {
                 if sp.active() {
                     sp.arg("iteration", args.iteration);
                     sp.arg("servers", members.len());
+                    sp.arg("tenant", args.tenant.as_str());
                 }
-                match entry.execute(args.iteration, &ctrl) {
+                // DRR cost hint: the tenant's decoded bytes on this
+                // server at ~1 B/ns nominal service rate — a stable,
+                // deterministic proxy for the iteration's render work.
+                let cost_hint = p.store.tenant_staged_bytes(args.tenant.as_str()).max(1);
+                let out = p.qos.run(&args.tenant, cost_hint, || {
+                    entry.execute(args.iteration, &ctrl)
+                });
+                hpcsim::trace::counter_add(
+                    &format!("colza.tenant.{}.exec.count", args.tenant.as_str()),
+                    1,
+                );
+                match out {
                     // A member died inside the iteration's collective: the
                     // communicator was revoked. Roll back by leaving the
                     // iteration's staged inputs exactly where they are —
@@ -303,6 +326,10 @@ impl ColzaProvider {
                 let entry = p.pipeline(&args.pipeline)?;
                 entry.deactivate(args.iteration)?;
                 p.store.release_iteration(&args.pipeline, args.iteration);
+                // The iteration window closes: the tenant's execute-time
+                // budget refills and a throttled tenant recovers its
+                // class weight.
+                p.qos.window_reset(&args.tenant);
                 p.frozen
                     .lock()
                     .remove(&(args.pipeline.clone(), args.iteration));
@@ -381,9 +408,22 @@ impl ColzaProvider {
                     enabled: tracer.is_enabled(),
                     staged_bytes: p.store.staged_bytes(),
                     decoded_bytes: p.store.decoded_bytes(),
+                    tenants: p.store.tenant_usage(),
                     counters: tracer.counters_for(pid),
                 })
             });
+        }
+        {
+            // Installs (or replaces) the tenancy policy at runtime: the
+            // autoscaler reconfigures quotas on a live pool this way.
+            let p = Arc::clone(&provider);
+            margo.register(
+                "colza.admin.set_tenancy",
+                move |cfg: TenancyConfig, _ctx| {
+                    p.qos.set_config(cfg);
+                    Ok(())
+                },
+            );
         }
 
         provider
@@ -409,6 +449,18 @@ impl ColzaProvider {
     /// what clients adopt.
     pub fn set_codec_config(&self, cfg: CodecConfig) {
         *self.codec_cfg.lock() = cfg;
+    }
+
+    /// Installs the tenancy policy ([`crate::DaemonConfig::tenancy`], or
+    /// the `colza.admin.set_tenancy` RPC at runtime). Accounting always
+    /// runs; quotas and the execute gate enforce only when enabled.
+    pub fn set_tenancy_config(&self, cfg: TenancyConfig) {
+        self.qos.set_config(cfg);
+    }
+
+    /// The QoS gate (test/diagnostic access).
+    pub fn qos(&self) -> &ExecGate {
+        &self.qos
     }
 
     /// The membership group.
@@ -452,8 +504,11 @@ impl ColzaProvider {
             .as_ref()
             .map(|p| p.cfg)
             .unwrap_or_default();
-        if self.sync_to(&view, cfg, "repair") > 0 {
+        let (failed, refused) = self.sync_to(&view, cfg, "repair");
+        if failed + refused > 0 {
             // Incomplete pass: re-arm so the next daemon tick retries.
+            // Refused (over-quota) copies re-arm too — the owed copy is
+            // re-offered once the tenant's earlier iterations release.
             self.repair_needed.store(true, Ordering::Release);
         }
     }
@@ -571,17 +626,64 @@ impl ColzaProvider {
         } else {
             None
         };
-        let fresh = self.store.insert(StoredBlock {
-            key: BlockKey::new(pipeline, meta.block_id),
-            name: meta.name.clone(),
-            iteration: meta.iteration,
-            role,
-            fed: false,
-            data: data.clone(),
-            codec: meta.codec.as_u8(),
-            decoded_len: meta.size,
-            plain: plain.clone(),
-        });
+        // Admission control: the tenant's staged-byte quota is checked
+        // atomically with the insert. Quotas only bite when tenancy
+        // enforcement is on; duplicates (stage retries, repair races)
+        // are never refused. The refusal is the typed, retryable
+        // backpressure signal — the client backs off and retries as the
+        // tenant's earlier iterations release.
+        let quota = {
+            let cfg = self.qos.config();
+            if cfg.enabled {
+                cfg.config_for(&meta.tenant).staged_byte_quota
+            } else {
+                u64::MAX
+            }
+        };
+        let admitted = self.store.admit(
+            StoredBlock {
+                key: BlockKey::new(pipeline, meta.block_id),
+                name: meta.name.clone(),
+                tenant: meta.tenant.as_str().to_string(),
+                iteration: meta.iteration,
+                role,
+                fed: false,
+                data: data.clone(),
+                codec: meta.codec.as_u8(),
+                decoded_len: meta.size,
+                plain: plain.clone(),
+            },
+            quota,
+        );
+        let fresh = match admitted {
+            store::Admit::Fresh => {
+                hpcsim::trace::counter_add(
+                    &format!("colza.tenant.{}.stage.blocks", meta.tenant.as_str()),
+                    1,
+                );
+                hpcsim::trace::counter_add(
+                    &format!("colza.tenant.{}.stage.bytes", meta.tenant.as_str()),
+                    data.len() as u64,
+                );
+                hpcsim::trace::counter_add(
+                    &format!("colza.tenant.{}.stage.decoded_bytes", meta.tenant.as_str()),
+                    meta.size as u64,
+                );
+                true
+            }
+            store::Admit::Duplicate => false,
+            store::Admit::OverQuota { used } => {
+                hpcsim::trace::counter_add("colza.qos.quota.refused", 1);
+                hpcsim::trace::counter_add(
+                    &format!("colza.tenant.{}.quota.refused", meta.tenant.as_str()),
+                    1,
+                );
+                return Err(format!(
+                    "{QUOTA}: tenant {:?} holds {used} staged bytes, quota {quota}",
+                    meta.tenant.as_str()
+                ));
+            }
+        };
         // Re-check after the insert: if a drain set the flag in between,
         // its snapshot may have missed this block. Undo and refuse — the
         // store mutex (insert vs. snapshot) makes the flag visible here
@@ -709,22 +811,30 @@ impl ColzaProvider {
     /// pushes copies to new owners, promotes/demotes its own copies, and
     /// drops what no longer belongs here. No-op when placement is
     /// unchanged, so it is cheap to run on every commit. Returns the
-    /// number of pushes that failed; when nonzero the recorded placement
-    /// is reverted to the old view, so the next sync re-diffs and
-    /// re-pushes what is still owed (pushes are idempotent on the
-    /// receiver, so re-sending an already-landed copy is harmless).
-    fn sync_to(&self, members: &[Address], cfg: RingConfig, reason: &'static str) -> u64 {
+    /// pushes that did not land, split into `(failed, refused)`:
+    /// transient failures (timeouts, dead targets) versus deterministic
+    /// staged-byte quota refusals by the receiver. When either is
+    /// nonzero the recorded placement is reverted to the old view, so
+    /// the next sync re-diffs and re-pushes what is still owed (pushes
+    /// are idempotent on the receiver, so re-sending an already-landed
+    /// copy is harmless). Callers treat the two differently: a commit
+    /// aborts only on transient failures — a quota refusal would refuse
+    /// identically on every retry, and livelocking *every* tenant's
+    /// activation on one tenant's overrun is exactly what the quota is
+    /// meant to prevent. The refused copy's tenant runs with degraded
+    /// redundancy until its quota frees.
+    fn sync_to(&self, members: &[Address], cfg: RingConfig, reason: &'static str) -> (u64, u64) {
         let me = self.margo.address();
         let mut placement = self.placement.lock();
         let old = match placement.as_ref() {
-            Some(p) if p.members == members && p.cfg == cfg => return 0,
+            Some(p) if p.members == members && p.cfg == cfg => return (0, 0),
             Some(p) => p.clone(),
             None => {
                 *placement = Some(Placement {
                     members: members.to_vec(),
                     cfg,
                 });
-                return 0;
+                return (0, 0);
             }
         };
         let blocks = self.store.snapshot();
@@ -733,7 +843,7 @@ impl ColzaProvider {
             cfg,
         });
         if blocks.is_empty() {
-            return 0;
+            return (0, 0);
         }
         let mut sp = hpcsim::trace::span("colza", "colza.store.sync");
         if sp.active() {
@@ -745,7 +855,7 @@ impl ColzaProvider {
         let new_ring = HashRing::build_in_sim(members, cfg);
         let (mut moved_blocks, mut moved_bytes) = (0u64, 0u64);
         let (mut promoted, mut demoted, mut dropped) = (0u64, 0u64, 0u64);
-        let mut failed = 0u64;
+        let (mut failed, mut refused) = (0u64, 0u64);
         for b in blocks {
             let sync = store::sync_block(
                 me,
@@ -759,6 +869,15 @@ impl ColzaProvider {
                     Ok(()) => {
                         moved_blocks += 1;
                         moved_bytes += b.data.len() as u64;
+                    }
+                    Err(margo::RpcError::Handler(m)) if m.starts_with(QUOTA) => {
+                        refused += 1;
+                        all_landed = false;
+                        hpcsim::trace::counter_add("colza.store.push_refused", 1);
+                        hpcsim::trace::counter_add(
+                            &format!("colza.tenant.{}.push_refused", b.tenant),
+                            1,
+                        );
                     }
                     Err(_) => {
                         failed += 1;
@@ -834,13 +953,16 @@ impl ColzaProvider {
         hpcsim::trace::counter_add("colza.store.promoted.blocks", promoted);
         hpcsim::trace::counter_add("colza.store.demoted.blocks", demoted);
         hpcsim::trace::counter_add("colza.store.dropped.blocks", dropped);
-        if failed > 0 {
+        if failed + refused > 0 {
             // The new placement was not fully realized: fall back to the
             // old one so the next pass (commit retry or repair tick)
             // re-diffs against it and re-pushes the copies still owed.
+            // Quota-refused copies revert too — the holder keeps its
+            // copy (never dropped under `all_landed == false`), and a
+            // later pass re-offers it once the tenant's quota frees.
             *placement = Some(old);
         }
-        failed
+        (failed, refused)
     }
 
     /// Settles, at `execute` time, which copies of an iteration's blocks
@@ -1006,6 +1128,12 @@ pub(crate) const DRAINING: &str = "server draining";
 /// iteration instead of giving up.
 pub(crate) const ABORTED: &str = "iteration aborted by revoked collective";
 
+/// Marker prefix of the staged-byte-quota refusal, recognized by
+/// `ColzaError::from(RpcError)` as [`crate::ColzaError::QuotaExceeded`]:
+/// typed, retryable backpressure — the client backs off and retries
+/// instead of re-routing.
+pub(crate) const QUOTA: &str = "staged-byte quota exceeded";
+
 fn block_meta(b: &StoredBlock) -> BlockMeta {
     BlockMeta {
         name: b.name.clone(),
@@ -1014,5 +1142,6 @@ fn block_meta(b: &StoredBlock) -> BlockMeta {
         size: b.decoded_len,
         codec: CodecId::from_u8(b.codec).unwrap_or(CodecId::Raw),
         encoded_size: b.data.len(),
+        tenant: TenantId::new(b.tenant.clone()),
     }
 }

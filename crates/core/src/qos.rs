@@ -1,0 +1,495 @@
+//! Fair-share execute scheduling and QoS enforcement (DESIGN.md §14).
+//!
+//! Two pieces, kept separable so the scheduling decisions are pure and
+//! property-testable:
+//!
+//! 1. [`DrrScheduler`] — a deficit-round-robin scheduler over tenants.
+//!    Entirely synchronous data structure: given the same sequence of
+//!    `arrive`/`dispatch` calls it produces the same dispatch order, so
+//!    same-seed simulation traces stay byte-identical. Weights come from
+//!    [`PriorityClass`](crate::protocol::PriorityClass); a throttled
+//!    tenant (over its execute-time window quota) is scheduled at the
+//!    minimum weight but *never* starved — classic DRR guarantees every
+//!    non-empty lane is eventually served.
+//! 2. [`ExecGate`] — the provider-side admission gate wrapping the
+//!    `colza.execute` handler. When tenancy enforcement is off it is a
+//!    pass-through with zero bookkeeping. When on, it limits concurrent
+//!    executes to `exec_slots`, orders admission by the scheduler, and
+//!    models queueing delay in *virtual* time: a request dispatched while
+//!    the pool was busy has its clock merged forward to the moment the
+//!    pool freed up, so per-tenant latencies in traces reflect the
+//!    contention the scheduler resolved.
+//!
+//! ## The distributed-gate hazard
+//!
+//! `execute` is a *collective*: one client broadcast, one handler per
+//! server, all rendezvousing in MoNA collectives. If two multi-server
+//! iterations from different tenants were gated concurrently with
+//! `exec_slots = 1` and the per-server DRR orders diverged (they cannot
+//! diverge from the same call sequence, but arrival *order* can differ
+//! per server), server A could admit tenant X while server B admits
+//! tenant Y — each waiting inside a collective for the other: deadlock.
+//! Deployments running concurrent multi-server collective pipelines must
+//! size `exec_slots` to the number of concurrently executing tenants;
+//! the paper-shaped workloads here (one execute in flight per client,
+//! sequential iterations) are safe at the default of 1.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::protocol::{TenancyConfig, TenantConfig, TenantId};
+
+/// One tenant's scheduling lane.
+#[derive(Debug, Default, Clone)]
+struct Lane {
+    /// Current DRR weight (class weight, or 1 while throttled).
+    weight: u64,
+    /// Accumulated service credit in virtual ns.
+    deficit: u64,
+    /// Pending requests: `(ticket, cost)` in arrival order.
+    queue: VecDeque<(u64, u64)>,
+    /// Cumulative cost dispatched from this lane (fairness accounting).
+    served: u64,
+}
+
+/// Deterministic deficit-round-robin scheduler over tenants.
+///
+/// Lanes live in a `BTreeMap`, so the cyclic visit order is the sorted
+/// tenant order — a pure function of the admitted tenant set, never of
+/// insertion timing. Each visit to a non-empty lane tops its deficit up
+/// by `quantum × weight`; the lane's head dispatches once the deficit
+/// covers its cost, and the leftover credit is capped at one quantum
+/// when the lane empties (so an idle tenant cannot bank unbounded
+/// credit).
+#[derive(Debug)]
+pub struct DrrScheduler {
+    quantum: u64,
+    lanes: BTreeMap<TenantId, Lane>,
+    /// The lane currently being visited; the next dispatch resumes here.
+    cursor: Option<TenantId>,
+    /// Whether the cursor lane already received this visit's top-up. A
+    /// lane keeps serving from its deficit while it can (that is what
+    /// makes the quantum × weight credit a service *share*); the flag
+    /// clears when the scan leaves the lane, so the next visit tops up
+    /// again.
+    topped: bool,
+    pending: usize,
+}
+
+impl DrrScheduler {
+    /// A scheduler with the given quantum (virtual ns of service per
+    /// visit per unit weight; clamped to at least 1).
+    pub fn new(quantum_ns: u64) -> Self {
+        DrrScheduler {
+            quantum: quantum_ns.max(1),
+            lanes: BTreeMap::new(),
+            cursor: None,
+            topped: false,
+            pending: 0,
+        }
+    }
+
+    /// Enqueues one request. `weight` is the tenant's *current* weight
+    /// (its class weight, or 1 while throttled) and re-arms the lane —
+    /// throttling a tenant affects its next arrival, not requests
+    /// already queued behind an earlier weight.
+    pub fn arrive(&mut self, tenant: &TenantId, weight: u64, ticket: u64, cost: u64) {
+        let lane = self.lanes.entry(tenant.clone()).or_default();
+        lane.weight = weight.max(1);
+        lane.queue.push_back((ticket, cost));
+        self.pending += 1;
+    }
+
+    /// Number of queued requests.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Cumulative dispatched cost per tenant, in sorted tenant order.
+    pub fn served(&self) -> Vec<(TenantId, u64)> {
+        self.lanes
+            .iter()
+            .map(|(t, l)| (t.clone(), l.served))
+            .collect()
+    }
+
+    /// Current deficit of one tenant's lane (test/diagnostic access).
+    pub fn deficit(&self, tenant: &TenantId) -> u64 {
+        self.lanes.get(tenant).map_or(0, |l| l.deficit)
+    }
+
+    /// Picks the next request to run: `(tenant, ticket)`. Returns `None`
+    /// only when nothing is queued.
+    ///
+    /// Classic DRR, unrolled to one pop per call: the scan resumes at
+    /// the cursor lane, which serves from its standing deficit for as
+    /// long as it can afford its head (so a `quantum × weight` credit
+    /// buys `weight`× the service of the base quantum); when it cannot
+    /// — or empties — the scan moves on in cyclic sorted order, topping
+    /// each newly visited non-empty lane up exactly once. An
+    /// unaffordable head keeps its lane's accumulated deficit, which
+    /// grows every cycle, so no lane waits forever (after at most
+    /// `⌈max_cost / quantum⌉` cycles its head is affordable).
+    pub fn dispatch(&mut self) -> Option<(TenantId, u64)> {
+        if self.pending == 0 {
+            return None;
+        }
+        loop {
+            // Non-empty lanes in cyclic order. While the cursor lane's
+            // visit is still open (`topped`), the scan resumes *at* it so
+            // it can keep spending its credit; once its visit has closed,
+            // the scan resumes strictly *after* it — restarting at a lane
+            // whose visit just ended would hand it a second consecutive
+            // top-up at every pass boundary, collapsing weighted sharing
+            // toward round-robin whenever costs exceed the quantum.
+            let order: Vec<TenantId> = {
+                let inclusive = self.topped;
+                let from: Vec<_> = self
+                    .lanes
+                    .iter()
+                    .filter(|(t, l)| {
+                        !l.queue.is_empty()
+                            && self
+                                .cursor
+                                .as_ref()
+                                .is_none_or(|c| if inclusive { *t >= c } else { *t > c })
+                    })
+                    .map(|(t, _)| t.clone())
+                    .collect();
+                let before: Vec<_> = self
+                    .lanes
+                    .iter()
+                    .filter(|(t, l)| {
+                        !l.queue.is_empty()
+                            && self
+                                .cursor
+                                .as_ref()
+                                .is_some_and(|c| if inclusive { *t < c } else { *t <= c })
+                    })
+                    .map(|(t, _)| t.clone())
+                    .collect();
+                from.into_iter().chain(before).collect()
+            };
+            for t in order {
+                let resumed = self.cursor.as_ref() == Some(&t) && self.topped;
+                let quantum = self.quantum;
+                let lane = self.lanes.get_mut(&t).expect("lane exists");
+                if !resumed {
+                    lane.deficit = lane.deficit.saturating_add(quantum * lane.weight);
+                }
+                self.cursor = Some(t.clone());
+                self.topped = true;
+                let &(ticket, cost) = lane.queue.front().expect("non-empty");
+                if lane.deficit >= cost {
+                    lane.deficit -= cost;
+                    lane.served = lane.served.saturating_add(cost);
+                    lane.queue.pop_front();
+                    self.pending -= 1;
+                    if lane.queue.is_empty() {
+                        // An emptied lane may keep at most one quantum of
+                        // credit: enough not to penalize a tenant that
+                        // drained exactly on a boundary, not enough to
+                        // bank service while idle. Its visit also ends.
+                        lane.deficit = lane.deficit.min(quantum * lane.weight);
+                        self.topped = false;
+                    }
+                    return Some((t, ticket));
+                }
+                // Head unaffordable: the visit ends, the deficit stands.
+                self.topped = false;
+            }
+        }
+    }
+}
+
+/// Per-gate state behind the mutex.
+struct GateInner {
+    cfg: TenancyConfig,
+    sched: DrrScheduler,
+    /// Executes currently running.
+    inflight: usize,
+    /// Tickets the scheduler has dispatched whose threads have not yet
+    /// woken to claim them; they hold a slot.
+    granted: BTreeSet<u64>,
+    next_ticket: u64,
+    /// The virtual instant the serialized pool frees up — what a queued
+    /// request's clock merges to, modelling its wait.
+    busy_until: u64,
+    /// Actual execute service per tenant in the current quota window
+    /// (since the tenant's last deactivate).
+    window_served: BTreeMap<TenantId, u64>,
+}
+
+/// The provider's execute admission gate. See the module docs.
+pub struct ExecGate {
+    inner: Mutex<GateInner>,
+    cv: Condvar,
+}
+
+impl Default for ExecGate {
+    fn default() -> Self {
+        Self::new(TenancyConfig::default())
+    }
+}
+
+impl ExecGate {
+    /// A gate under the given policy.
+    pub fn new(cfg: TenancyConfig) -> Self {
+        let quantum = cfg.quantum_ns;
+        ExecGate {
+            inner: Mutex::new(GateInner {
+                cfg,
+                sched: DrrScheduler::new(quantum),
+                inflight: 0,
+                granted: BTreeSet::new(),
+                next_ticket: 0,
+                busy_until: 0,
+                window_served: BTreeMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Swaps in a new policy (the `colza.admin.set_tenancy` path).
+    pub fn set_config(&self, cfg: TenancyConfig) {
+        let mut inner = self.inner.lock();
+        inner.sched = DrrScheduler::new(cfg.quantum_ns);
+        inner.cfg = cfg;
+        self.cv.notify_all();
+    }
+
+    /// The current policy.
+    pub fn config(&self) -> TenancyConfig {
+        self.inner.lock().cfg.clone()
+    }
+
+    /// The limits applying to one tenant under the current policy.
+    pub fn config_for(&self, tenant: &TenantId) -> TenantConfig {
+        self.inner.lock().cfg.config_for(tenant)
+    }
+
+    /// Whether `tenant` is currently throttled (over its execute window).
+    pub fn is_throttled(&self, tenant: &TenantId) -> bool {
+        let inner = self.inner.lock();
+        inner.throttled(tenant)
+    }
+
+    /// Virtual ns of execute service `tenant` consumed in its current
+    /// quota window.
+    pub fn window_served(&self, tenant: &TenantId) -> u64 {
+        self.inner
+            .lock()
+            .window_served
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Resets `tenant`'s execute-quota window — called at `deactivate`,
+    /// so the budget is per iteration window, and a throttled tenant
+    /// recovers its class weight on its next iteration.
+    pub fn window_reset(&self, tenant: &TenantId) {
+        self.inner.lock().window_served.remove(tenant);
+    }
+
+    /// Runs `f` under the gate on `tenant`'s behalf. `cost_hint` is the
+    /// request's expected service in virtual ns (the scheduler's DRR
+    /// cost; also the floor charged against the tenant's window when the
+    /// measured virtual service is smaller — e.g. under
+    /// `compute_scale = 0` simulations where handlers are free).
+    pub fn run<T>(
+        &self,
+        tenant: &TenantId,
+        cost_hint: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        {
+            let inner = self.inner.lock();
+            if !inner.cfg.enabled {
+                drop(inner);
+                return f();
+            }
+        }
+        let ctx = hpcsim::process::current();
+        let queued_at = ctx.now();
+        let cost = cost_hint.max(1);
+        // Enqueue and wait for the scheduler to pick our ticket.
+        let ticket = {
+            let mut inner = self.inner.lock();
+            let ticket = inner.next_ticket;
+            inner.next_ticket += 1;
+            let weight = inner.effective_weight(tenant);
+            inner.sched.arrive(tenant, weight, ticket, cost);
+            hpcsim::trace::counter_add("colza.qos.exec.queued", 1);
+            loop {
+                inner.pump();
+                if inner.granted.remove(&ticket) {
+                    break;
+                }
+                self.cv.wait(&mut inner);
+            }
+            // Claimed: the grant's slot becomes our inflight slot, and
+            // our clock jumps to when the pool actually freed up — the
+            // virtual queueing delay the scheduler imposed on us.
+            inner.inflight += 1;
+            let start = queued_at.max(inner.busy_until);
+            ctx.clock().merge(start);
+            ticket
+        };
+        let _ = ticket;
+        let t0 = ctx.now();
+        let out = f();
+        let t1 = ctx.now();
+        let mut inner = self.inner.lock();
+        // Charge the measured virtual service, floored at the hint, and
+        // extend the pool's busy horizon past our service.
+        let served = (t1.saturating_sub(t0)).max(cost);
+        inner.busy_until = inner.busy_until.max(t0).saturating_add(served);
+        let total = inner
+            .window_served
+            .entry(tenant.clone())
+            .and_modify(|s| *s = s.saturating_add(served))
+            .or_insert(served);
+        let total = *total;
+        let quota = inner.cfg.config_for(tenant).execute_quota_ns;
+        if total > quota {
+            hpcsim::trace::counter_add("colza.qos.exec.throttled", 1);
+        }
+        hpcsim::trace::counter_add("colza.qos.exec.served_ns", served);
+        inner.inflight -= 1;
+        inner.pump();
+        drop(inner);
+        self.cv.notify_all();
+        out
+    }
+}
+
+impl GateInner {
+    fn throttled(&self, tenant: &TenantId) -> bool {
+        let quota = self.cfg.config_for(tenant).execute_quota_ns;
+        self.window_served.get(tenant).copied().unwrap_or(0) > quota
+    }
+
+    /// A tenant over its execute window runs at the minimum weight until
+    /// the window resets; otherwise at its class weight.
+    fn effective_weight(&self, tenant: &TenantId) -> u64 {
+        if self.throttled(tenant) {
+            1
+        } else {
+            self.cfg.config_for(tenant).priority.weight()
+        }
+    }
+
+    /// Dispatches queued tickets into free slots.
+    fn pump(&mut self) {
+        while self.inflight + self.granted.len() < self.cfg.exec_slots.max(1) {
+            match self.sched.dispatch() {
+                Some((_tenant, ticket)) => {
+                    self.granted.insert(ticket);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(name: &str) -> TenantId {
+        TenantId::new(name)
+    }
+
+    #[test]
+    fn drr_respects_weights_under_contention() {
+        let mut s = DrrScheduler::new(100);
+        // Equal-cost work, weights 4 vs 1: gold should get ~4x service.
+        for i in 0..40 {
+            s.arrive(&t("gold"), 4, i, 100);
+            s.arrive(&t("bronze"), 1, 100 + i, 100);
+        }
+        let mut gold = 0;
+        let mut bronze = 0;
+        for _ in 0..25 {
+            match s.dispatch() {
+                Some((id, _)) if id == t("gold") => gold += 1,
+                Some(_) => bronze += 1,
+                None => break,
+            }
+        }
+        assert!(
+            gold >= 3 * bronze,
+            "gold {gold} vs bronze {bronze}: weight 4 lane must dominate"
+        );
+        assert!(bronze > 0, "bronze must not starve");
+    }
+
+    #[test]
+    fn drr_dispatch_order_is_deterministic() {
+        let run = || {
+            let mut s = DrrScheduler::new(64);
+            let mut order = Vec::new();
+            for i in 0..10 {
+                s.arrive(&t("a"), 2, i, 50 + i);
+                s.arrive(&t("b"), 1, 100 + i, 80);
+            }
+            while let Some(pick) = s.dispatch() {
+                order.push(pick);
+            }
+            order
+        };
+        assert_eq!(run(), run(), "same calls, same order");
+    }
+
+    #[test]
+    fn drr_serves_fifo_within_a_lane() {
+        let mut s = DrrScheduler::new(1000);
+        s.arrive(&t("a"), 1, 7, 10);
+        s.arrive(&t("a"), 1, 8, 10);
+        s.arrive(&t("a"), 1, 9, 10);
+        assert_eq!(s.dispatch(), Some((t("a"), 7)));
+        assert_eq!(s.dispatch(), Some((t("a"), 8)));
+        assert_eq!(s.dispatch(), Some((t("a"), 9)));
+        assert_eq!(s.dispatch(), None);
+    }
+
+    #[test]
+    fn gate_disabled_is_a_pass_through() {
+        let gate = ExecGate::new(TenancyConfig::default());
+        assert_eq!(gate.run(&TenantId::default(), 1_000, || 42), 42);
+    }
+
+    #[test]
+    fn throttle_state_follows_window_and_reset() {
+        let mut cfg = TenancyConfig::enforcing();
+        cfg = cfg.with_tenant(
+            "noisy",
+            TenantConfig {
+                execute_quota_ns: 1_000,
+                ..TenantConfig::default()
+            },
+        );
+        let gate = std::sync::Arc::new(ExecGate::new(cfg));
+        let noisy = t("noisy");
+        assert!(!gate.is_throttled(&noisy));
+        let cluster = hpcsim::Cluster::default();
+        cluster
+            .spawn("gate", 0, {
+                let gate = std::sync::Arc::clone(&gate);
+                let noisy = noisy.clone();
+                move || {
+                    // Two executes of 600 hinted ns: the second crosses
+                    // the 1000 ns window quota.
+                    gate.run(&noisy, 600, || ());
+                    gate.run(&noisy, 600, || ());
+                }
+            })
+            .join();
+        assert!(gate.is_throttled(&noisy), "window 1200 > quota 1000");
+        assert_eq!(gate.window_served(&noisy), 1200);
+        gate.window_reset(&noisy);
+        assert!(!gate.is_throttled(&noisy), "deactivate resets the window");
+    }
+}

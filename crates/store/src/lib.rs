@@ -33,4 +33,4 @@ pub mod store;
 
 pub use plan::{rebalance_plan, sync_block, BlockSync, Transfer};
 pub use ring::{key_hash, BlockKey, HashRing, RingConfig};
-pub use store::{Role, StagingStore, StoredBlock};
+pub use store::{Admit, Role, StagingStore, StoredBlock, TenantUsage};

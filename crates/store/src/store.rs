@@ -31,6 +31,36 @@ pub enum Role {
     Replica,
 }
 
+/// Live resource usage of one tenant on one server — the per-tenant
+/// section of the `colza.admin.metrics` scrape, and the input to
+/// tenant-aware shrink victim selection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantUsage {
+    /// The tenant's name.
+    pub tenant: String,
+    /// Encoded (on-store) bytes currently held for the tenant — what
+    /// staged-byte quotas meter.
+    pub staged_bytes: u64,
+    /// Decoded size of the same holdings.
+    pub decoded_bytes: u64,
+    /// Number of copies held.
+    pub blocks: u64,
+}
+
+/// Outcome of a quota-checked [`StagingStore::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// The copy was recorded; quota was charged.
+    Fresh,
+    /// The copy was already held (idempotent re-insert); no charge.
+    Duplicate,
+    /// Admitting would push the tenant's staged bytes past its quota.
+    OverQuota {
+        /// The tenant's staged bytes at refusal time.
+        used: u64,
+    },
+}
+
 /// One copy of a block held by a server.
 #[derive(Debug, Clone)]
 pub struct StoredBlock {
@@ -38,6 +68,8 @@ pub struct StoredBlock {
     pub key: BlockKey,
     /// Dataset/field name from the block's metadata.
     pub name: String,
+    /// Tenant the block belongs to (quota and accounting key).
+    pub tenant: String,
     /// Iteration the block belongs to.
     pub iteration: u64,
     /// This copy's role.
@@ -70,14 +102,52 @@ fn key_of(b: &StoredBlock) -> Key {
     )
 }
 
+/// Per-tenant running totals, updated on every insert/remove.
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantLoad {
+    bytes: u64,
+    decoded: u64,
+    blocks: u64,
+}
+
 /// The block table. Iteration order (and therefore sync/drain push
 /// order) is the sorted `(pipeline, iteration, block_id, name)` order,
 /// which keeps migration traffic deterministic for a deterministic store.
+///
+/// The table also keeps per-tenant running totals: quota checks in
+/// [`StagingStore::admit`] read them under the same lock as the insert,
+/// so two concurrent admissions can never both squeeze under a quota.
 #[derive(Debug, Default)]
 pub struct StagingStore {
-    blocks: Mutex<BTreeMap<Key, StoredBlock>>,
+    inner: Mutex<Inner>,
     bytes: AtomicU64,
     decoded: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    blocks: BTreeMap<Key, StoredBlock>,
+    tenants: BTreeMap<String, TenantLoad>,
+}
+
+impl Inner {
+    fn charge(&mut self, block: &StoredBlock) {
+        let t = self.tenants.entry(block.tenant.clone()).or_default();
+        t.bytes += block.data.len() as u64;
+        t.decoded += block.decoded_len as u64;
+        t.blocks += 1;
+    }
+
+    fn refund(&mut self, block: &StoredBlock) {
+        if let Some(t) = self.tenants.get_mut(&block.tenant) {
+            t.bytes = t.bytes.saturating_sub(block.data.len() as u64);
+            t.decoded = t.decoded.saturating_sub(block.decoded_len as u64);
+            t.blocks = t.blocks.saturating_sub(1);
+            if t.blocks == 0 {
+                self.tenants.remove(&block.tenant);
+            }
+        }
+    }
 }
 
 impl StagingStore {
@@ -91,36 +161,53 @@ impl StagingStore {
     /// to `Primary` if the incoming copy claims it. Returns `true` when
     /// the block was not held before.
     pub fn insert(&self, block: StoredBlock) -> bool {
+        self.admit(block, u64::MAX) == Admit::Fresh
+    }
+
+    /// Quota-checked insert: refuses the copy when the tenant's staged
+    /// bytes plus this payload would exceed `quota`. Duplicate re-inserts
+    /// (stage retries, repair races) are *always* accepted — they charge
+    /// nothing — so a retried RPC can never bounce off a quota its first
+    /// delivery already consumed. A `quota` of `u64::MAX` is unlimited;
+    /// `0` admits only empty payloads.
+    pub fn admit(&self, block: StoredBlock, quota: u64) -> Admit {
         let k = key_of(&block);
-        let mut blocks = self.blocks.lock();
-        match blocks.get_mut(&k) {
-            Some(existing) => {
-                if block.role == Role::Primary {
-                    existing.role = Role::Primary;
-                }
-                // A re-push may carry the reconstructed plain this holder
-                // lacked (delta repair); adopt it, never drop it.
-                if existing.plain.is_none() {
-                    existing.plain = block.plain;
-                }
-                false
+        let mut inner = self.inner.lock();
+        if let Some(existing) = inner.blocks.get_mut(&k) {
+            if block.role == Role::Primary {
+                existing.role = Role::Primary;
             }
-            None => {
-                self.bytes.fetch_add(block.data.len() as u64, Ordering::Relaxed);
-                self.decoded
-                    .fetch_add(block.decoded_len as u64, Ordering::Relaxed);
-                blocks.insert(k, block);
-                true
+            // A re-push may carry the reconstructed plain this holder
+            // lacked (delta repair); adopt it, never drop it.
+            if existing.plain.is_none() {
+                existing.plain = block.plain;
             }
+            return Admit::Duplicate;
         }
+        let used = inner
+            .tenants
+            .get(&block.tenant)
+            .map_or(0, |t| t.bytes);
+        if quota != u64::MAX && used.saturating_add(block.data.len() as u64) > quota {
+            return Admit::OverQuota { used };
+        }
+        self.bytes.fetch_add(block.data.len() as u64, Ordering::Relaxed);
+        self.decoded
+            .fetch_add(block.decoded_len as u64, Ordering::Relaxed);
+        inner.charge(&block);
+        inner.blocks.insert(k, block);
+        Admit::Fresh
     }
 
     /// Makes a held copy the primary. Returns `true` when the copy still
     /// needs to be fed to the backend (and marks it fed — the caller must
     /// feed it or call [`StagingStore::unmark_fed`] on failure).
     pub fn promote(&self, pipeline: &str, iteration: u64, block_id: u64, name: &str) -> bool {
-        let mut blocks = self.blocks.lock();
-        match blocks.get_mut(&(pipeline.to_string(), iteration, block_id, name.to_string())) {
+        let mut inner = self.inner.lock();
+        match inner
+            .blocks
+            .get_mut(&(pipeline.to_string(), iteration, block_id, name.to_string()))
+        {
             Some(b) => {
                 b.role = Role::Primary;
                 if b.fed {
@@ -137,8 +224,11 @@ impl StagingStore {
     /// Demotes a held copy to replica. Returns `true` when the copy had
     /// been fed (the caller must unstage it from the backend).
     pub fn demote(&self, pipeline: &str, iteration: u64, block_id: u64, name: &str) -> bool {
-        let mut blocks = self.blocks.lock();
-        match blocks.get_mut(&(pipeline.to_string(), iteration, block_id, name.to_string())) {
+        let mut inner = self.inner.lock();
+        match inner
+            .blocks
+            .get_mut(&(pipeline.to_string(), iteration, block_id, name.to_string()))
+        {
             Some(b) => {
                 b.role = Role::Replica;
                 std::mem::take(&mut b.fed)
@@ -151,8 +241,9 @@ impl StagingStore {
     /// rejected the block.
     pub fn unmark_fed(&self, pipeline: &str, iteration: u64, block_id: u64, name: &str) {
         if let Some(b) = self
-            .blocks
+            .inner
             .lock()
+            .blocks
             .get_mut(&(pipeline.to_string(), iteration, block_id, name.to_string()))
         {
             b.fed = false;
@@ -167,14 +258,15 @@ impl StagingStore {
         block_id: u64,
         name: &str,
     ) -> Option<StoredBlock> {
-        let removed = self
+        let mut inner = self.inner.lock();
+        let removed = inner
             .blocks
-            .lock()
             .remove(&(pipeline.to_string(), iteration, block_id, name.to_string()));
         if let Some(b) = &removed {
             self.bytes.fetch_sub(b.data.len() as u64, Ordering::Relaxed);
             self.decoded
                 .fetch_sub(b.decoded_len as u64, Ordering::Relaxed);
+            inner.refund(b);
         }
         removed
     }
@@ -182,25 +274,55 @@ impl StagingStore {
     /// Drops every copy belonging to `(pipeline, iteration)` — the
     /// `deactivate` release path. Returns how many were dropped.
     pub fn release_iteration(&self, pipeline: &str, iteration: u64) -> usize {
-        let mut blocks = self.blocks.lock();
-        let mut dropped = 0;
-        blocks.retain(|k, b| {
+        let mut inner = self.inner.lock();
+        let mut released = Vec::new();
+        inner.blocks.retain(|k, b| {
             if k.0 == pipeline && k.1 == iteration {
                 self.bytes.fetch_sub(b.data.len() as u64, Ordering::Relaxed);
                 self.decoded
                     .fetch_sub(b.decoded_len as u64, Ordering::Relaxed);
-                dropped += 1;
+                released.push(b.clone());
                 false
             } else {
                 true
             }
         });
-        dropped
+        for b in &released {
+            inner.refund(b);
+        }
+        released.len()
     }
 
     /// A sorted snapshot of every held copy (sync and drain walk this).
     pub fn snapshot(&self) -> Vec<StoredBlock> {
-        self.blocks.lock().values().cloned().collect()
+        self.inner.lock().blocks.values().cloned().collect()
+    }
+
+    /// Per-tenant usage, sorted by tenant name. Tenants that hold no
+    /// copies are absent — a tenant's entry disappears the moment its
+    /// last block is released.
+    pub fn tenant_usage(&self) -> Vec<TenantUsage> {
+        self.inner
+            .lock()
+            .tenants
+            .iter()
+            .map(|(name, t)| TenantUsage {
+                tenant: name.clone(),
+                staged_bytes: t.bytes,
+                decoded_bytes: t.decoded,
+                blocks: t.blocks,
+            })
+            .collect()
+    }
+
+    /// Encoded bytes currently held for one tenant (what its quota
+    /// meters); `0` for an unknown tenant.
+    pub fn tenant_staged_bytes(&self, tenant: &str) -> u64 {
+        self.inner
+            .lock()
+            .tenants
+            .get(tenant)
+            .map_or(0, |t| t.bytes)
     }
 
     /// Total payload bytes currently held, in their stored (encoded)
@@ -219,12 +341,12 @@ impl StagingStore {
 
     /// Number of copies held.
     pub fn len(&self) -> usize {
-        self.blocks.lock().len()
+        self.inner.lock().blocks.len()
     }
 
     /// Whether the store holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.blocks.lock().is_empty()
+        self.inner.lock().blocks.is_empty()
     }
 }
 
@@ -236,6 +358,7 @@ mod tests {
         StoredBlock {
             key: BlockKey::new("p", id),
             name: "field".to_string(),
+            tenant: "default".to_string(),
             iteration: 0,
             role,
             fed: false,
@@ -244,6 +367,12 @@ mod tests {
             decoded_len: bytes,
             plain: None,
         }
+    }
+
+    fn tenant_block(tenant: &str, id: u64, bytes: usize) -> StoredBlock {
+        let mut b = block(id, Role::Primary, bytes);
+        b.tenant = tenant.to_string();
+        b
     }
 
     #[test]
@@ -337,6 +466,95 @@ mod tests {
         with_plain.plain = Some(Bytes::from(vec![9u8; 4]));
         assert!(!s.insert(with_plain), "still a duplicate");
         assert!(s.snapshot()[0].plain.is_some(), "plain was adopted");
+    }
+
+    #[test]
+    fn admit_enforces_quota_at_the_exact_boundary() {
+        let s = StagingStore::new();
+        // Exactly at quota: admitted.
+        assert_eq!(s.admit(tenant_block("a", 1, 64), 64), Admit::Fresh);
+        // One byte over: refused with the usage at refusal time.
+        assert_eq!(
+            s.admit(tenant_block("a", 2, 1), 64),
+            Admit::OverQuota { used: 64 }
+        );
+        // The refused copy was not recorded and charged nothing.
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.tenant_staged_bytes("a"), 64);
+        // Another tenant's quota is its own.
+        assert_eq!(s.admit(tenant_block("b", 2, 64), 64), Admit::Fresh);
+    }
+
+    #[test]
+    fn admit_quota_freed_on_release_and_remove() {
+        let s = StagingStore::new();
+        assert_eq!(s.admit(tenant_block("a", 1, 64), 64), Admit::Fresh);
+        assert!(matches!(
+            s.admit(tenant_block("a", 2, 64), 64),
+            Admit::OverQuota { .. }
+        ));
+        // deactivate path frees the quota...
+        assert_eq!(s.release_iteration("p", 0), 1);
+        assert_eq!(s.tenant_staged_bytes("a"), 0);
+        assert_eq!(s.admit(tenant_block("a", 2, 64), 64), Admit::Fresh);
+        // ...and so does a plain remove (repair drop path).
+        s.remove("p", 0, 2, "field").expect("held");
+        assert_eq!(s.tenant_staged_bytes("a"), 0);
+        assert!(s.tenant_usage().is_empty(), "empty tenants drop out");
+    }
+
+    #[test]
+    fn admit_duplicates_never_charge_or_bounce() {
+        let s = StagingStore::new();
+        assert_eq!(s.admit(tenant_block("a", 1, 64), 64), Admit::Fresh);
+        // A stage retry of the same copy must succeed even though the
+        // tenant is fully at quota, and must not double-charge.
+        assert_eq!(s.admit(tenant_block("a", 1, 64), 64), Admit::Duplicate);
+        assert_eq!(s.tenant_staged_bytes("a"), 64);
+        assert_eq!(s.staged_bytes(), 64);
+    }
+
+    #[test]
+    fn admit_degenerate_quotas() {
+        let s = StagingStore::new();
+        // Zero quota: any non-empty payload is refused...
+        assert_eq!(
+            s.admit(tenant_block("a", 1, 1), 0),
+            Admit::OverQuota { used: 0 }
+        );
+        // ...but an empty payload still fits.
+        assert_eq!(s.admit(tenant_block("a", 1, 0), 0), Admit::Fresh);
+        // Unlimited quota admits anything.
+        assert_eq!(
+            s.admit(tenant_block("b", 2, 1 << 20), u64::MAX),
+            Admit::Fresh
+        );
+    }
+
+    #[test]
+    fn tenant_usage_tracks_per_tenant_totals() {
+        let s = StagingStore::new();
+        s.insert(tenant_block("a", 1, 8));
+        s.insert(tenant_block("a", 2, 8));
+        let mut compressed = tenant_block("b", 3, 4);
+        compressed.codec = 1;
+        compressed.decoded_len = 16;
+        s.insert(compressed);
+        let usage = s.tenant_usage();
+        assert_eq!(usage.len(), 2);
+        assert_eq!(usage[0].tenant, "a");
+        assert_eq!(usage[0].staged_bytes, 16);
+        assert_eq!(usage[0].decoded_bytes, 16);
+        assert_eq!(usage[0].blocks, 2);
+        assert_eq!(usage[1].tenant, "b");
+        assert_eq!(usage[1].staged_bytes, 4);
+        assert_eq!(usage[1].decoded_bytes, 16);
+        // Per-tenant totals always reconcile with the aggregates.
+        let (sb, db): (u64, u64) = usage
+            .iter()
+            .fold((0, 0), |(s0, d0), t| (s0 + t.staged_bytes, d0 + t.decoded_bytes));
+        assert_eq!(sb, s.staged_bytes());
+        assert_eq!(db, s.decoded_bytes());
     }
 
     #[test]

@@ -21,4 +21,5 @@ $B/ablation_2pc                          > results/ablation_2pc.txt 2>&1
 $B/bench_store --out results/BENCH_store.json > results/bench_store.txt 2>&1
 $B/bench_recovery --out results/BENCH_recovery.json > results/bench_recovery.txt 2>&1
 $B/bench_codec --assert --out results/BENCH_codec.json > results/bench_codec.txt 2>&1
+$B/bench_tenant --assert --out results/BENCH_tenant.json > results/bench_tenant.txt 2>&1
 echo ALL_DONE

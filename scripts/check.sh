@@ -29,6 +29,11 @@ if [ "$1" = "--quick" ]; then
     cargo test -q --offline --test chaos_e2e mid_collective_crash_aborts_and_recovers_deterministically
     # Codec property suite: every codec roundtrips random datasets.
     cargo test -q --offline --test codec_properties
+    # Tenant-isolation smoke: the noisy neighbor is throttled while the
+    # well-behaved tenant meets its latency bound, deterministically.
+    cargo test -q --offline --test tenant_e2e
+    cargo run -q --release --offline -p colza-bench --bin bench_tenant -- \
+        --smoke --assert --out /tmp/colza_bench_tenant_smoke.json
     echo "CHECK_OK quick (chaos seed $COLZA_CHAOS_SEED)"
     exit 0
 fi
@@ -38,6 +43,14 @@ cargo test -q --offline --test chaos_e2e
 cargo test -q --offline --test chaos_e2e crashed_primary_recovers_from_replicas_deterministically
 cargo test -q --offline --test chaos_e2e request_leave_during_staging_loses_no_block
 cargo test -q --offline --test observability_e2e
+
+# Multi-tenant QoS: the deterministic noisy-neighbor suite, the
+# fair-share scheduler property suite, and the crash-under-quota chaos
+# scenario (repair must tolerate quota refusals instead of livelocking
+# every tenant's re-activation).
+cargo test -q --offline --test tenant_e2e
+cargo test -q --offline -p colza --test qos_properties
+cargo test -q --offline --test chaos_e2e noisy_tenant_crash_repairs_without_losing_the_well_behaved_tenant
 
 # Determinism must hold for more than the pinned seed: replay the
 # virtual-time-trace scenario across a small seed matrix.
@@ -58,6 +71,12 @@ cargo run -q --release --offline -p colza-bench --bin table2_reduce -- --check-s
 # (lossless roundtrips and the lossy bound are asserted inside the bench).
 cargo run -q --release --offline -p colza-bench --bin bench_codec -- \
     --smoke --assert --out /tmp/colza_bench_codec_smoke.json
+
+# Tenant QoS smoke: with enforcement on, noisy tenants must be refused
+# at their staged-byte quotas and throttled at the execute gate while
+# the well-behaved tenant's worst iteration stays within the bound.
+cargo run -q --release --offline -p colza-bench --bin bench_tenant -- \
+    --smoke --assert --out /tmp/colza_bench_tenant_smoke.json
 
 # The trace feature must compile away cleanly: every instrumented crate
 # has to build with instrumentation disabled.

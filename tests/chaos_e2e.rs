@@ -16,7 +16,10 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use colza::daemon::{launch_group, settle_views};
-use colza::{AdminClient, BlockMeta, ColzaClient, ColzaDaemon, DaemonConfig};
+use colza::{
+    AdminClient, BlockMeta, ColzaClient, ColzaDaemon, ColzaError, DaemonConfig, PriorityClass,
+    TenancyConfig, TenantConfig,
+};
 use hpcsim::FaultPlan;
 use margo::{MargoInstance, RetryConfig};
 use na::{Address, Fabric};
@@ -1263,4 +1266,290 @@ fn killed_server_is_detected_under_one_percent_loss() {
     for d in daemons {
         d.stop();
     }
+}
+
+/// Everything one run of the noisy-tenant crash scenario produced that
+/// must be identical across runs with the same seed.
+#[derive(Debug, PartialEq)]
+struct TenantCrashOutcome {
+    /// Canonical (sorted, line-per-record) export of the fault trace.
+    trace_export: String,
+    /// Quota refusals the noisy tenant's flood collected client-side.
+    client_refusals: u64,
+    /// `colza.qos.quota.refused`: server-side refusals (the flood plus
+    /// any over-quota repair pushes after the crash).
+    refused: u64,
+    /// Replica promotions at either promotion point.
+    promoted: u64,
+    /// `colza.store.recv.blocks`: blocks received over server pushes.
+    pushed: u64,
+    /// Per-survivor `(address, wb staged bytes, noisy staged bytes)` at
+    /// the post-recovery, pre-deactivate quiesce point, sorted.
+    survivors: Vec<(u64, u64, u64)>,
+}
+
+/// The tenancy policy for the crash scenario: the noisy tenant gets a
+/// 2.5-block per-server quota, the well-behaved tenant is unlimited.
+fn tenant_crash_policy(block: usize) -> TenancyConfig {
+    TenancyConfig::enforcing()
+        .with_tenant(
+            "noisy",
+            TenantConfig {
+                staged_byte_quota: 2 * block as u64 + block as u64 / 2,
+                priority: PriorityClass::Bronze,
+                ..TenantConfig::default()
+            },
+        )
+        .with_tenant(
+            "wb",
+            TenantConfig {
+                priority: PriorityClass::Gold,
+                ..TenantConfig::default()
+            },
+        )
+}
+
+/// One deterministic run of the noisy-tenant crash scenario: two tenants
+/// share a three-daemon staging area (replication 2, quotas enforced).
+/// The well-behaved tenant stages four blocks; the noisy tenant floods
+/// until its per-server quota bounces it. Then the noisy pipeline's
+/// block-0 primary is killed at a quiesced point mid-iteration. Recovery
+/// (view refresh, re-activate, commit-boundary sync) promotes replicas
+/// and re-replicates — with repair pushes of *noisy* blocks themselves
+/// subject to the quota on the receiving server — and the well-behaved
+/// tenant's data comes through fully replicated. After release, the
+/// noisy tenant's backed-off stage goes through: crash repair and quota
+/// backpressure compose.
+fn tenant_crash_run(seed: u64, tag: &str) -> TenantCrashOutcome {
+    const WB_BLOCKS: u64 = 4;
+    const NOISY_BLOCK: usize = 1024;
+    /// Flood size: 6 blocks × 2 copies over 3 servers lands ≥ 4 KiB on
+    /// some server — past the 2.5 KiB quota, so refusal is guaranteed.
+    const NOISY_FLOOD: u64 = 6;
+    let wb_total: u64 = (0..WB_BLOCKS).map(|b| 256 * (b + 1)).sum();
+
+    let plan = rpc_scoped(FaultPlan::seeded(seed).with_loss(0.01));
+    let (cluster, fabric, mut cfg) = env(&format!("tenant-crash-{tag}"), plan);
+    cluster.shared().tracer().set_enabled(true);
+    cfg.tick_interval = Duration::from_secs(3600); // harness-driven only
+    cfg.auto_repair = false; // all migration at the 2PC boundary
+    cfg.tenancy = tenant_crash_policy(NOISY_BLOCK);
+    let mut daemons: Vec<ColzaDaemon> = (0..3)
+        .map(|i| ColzaDaemon::spawn(&cluster, &fabric, i, cfg.clone()))
+        .collect();
+    for _ in 0..60 {
+        for d in &daemons {
+            d.tick_sync();
+        }
+    }
+    assert!(
+        daemons.iter().all(|d| d.view().len() == 3),
+        "serialized gossip failed to converge"
+    );
+    let contact = daemons[0].address();
+
+    // The victim is the noisy pipeline's block-0 primary under the ring
+    // the client and the servers share.
+    let members: Vec<Address> = {
+        let mut m: Vec<Address> = daemons.iter().map(|d| d.address()).collect();
+        m.sort_unstable();
+        m
+    };
+    let ring_cfg = RingConfig {
+        replication: 2,
+        ..RingConfig::default()
+    };
+    let shared = Arc::clone(cluster.shared());
+    let ring = HashRing::build(&members, |a| shared.node_of(a.pid()), ring_cfg);
+    let victim_addr = ring.primary(&BlockKey::new("noisy", 0)).unwrap();
+    let victim_idx = daemons
+        .iter()
+        .position(|d| d.address() == victim_addr)
+        .unwrap();
+
+    let f2 = fabric.clone();
+    let (staged_tx, staged_rx) = crossbeam::channel::bounded::<()>(1);
+    let (killed_tx, killed_rx) = crossbeam::channel::bounded::<()>(1);
+    let (recovered_tx, recovered_rx) = crossbeam::channel::bounded::<()>(1);
+    let (done_tx, done_rx) = crossbeam::channel::bounded::<()>(1);
+    let sim = cluster.spawn("sim", 8, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+        let view = client.view_from(contact).unwrap();
+        admin.create_pipeline_on_all(&view, "null", "wb", "").unwrap();
+        admin
+            .create_pipeline_on_all(&view, "null", "noisy", "")
+            .unwrap();
+        let mut wb = client.distributed_handle(contact, "wb").unwrap();
+        wb.set_replication(2);
+        wb.set_tenant("wb");
+        let mut noisy = client.distributed_handle(contact, "noisy").unwrap();
+        noisy.set_replication(2);
+        noisy.set_tenant("noisy");
+
+        // The well-behaved tenant stages its iteration.
+        wb.activate(0).unwrap();
+        for b in 0..WB_BLOCKS {
+            let payload = Bytes::from(vec![b as u8 + 1; 256 * (b as usize + 1)]);
+            wb.stage(BlockMeta::new("w", b, 0, payload.len()), &payload)
+                .unwrap();
+        }
+        // The noisy tenant floods until the per-server quota bounces it.
+        noisy.activate(0).unwrap();
+        let noisy_payload = Bytes::from(vec![0xAAu8; NOISY_BLOCK]);
+        let mut refusals = 0u64;
+        for b in 0..NOISY_FLOOD {
+            match noisy.stage(BlockMeta::new("f", b, 0, NOISY_BLOCK), &noisy_payload) {
+                Ok(()) => {}
+                Err(ColzaError::QuotaExceeded(_)) => refusals += 1,
+                Err(e) => panic!("flood hit a non-quota error: {e}"),
+            }
+        }
+        assert!(refusals >= 1, "the flood never hit the quota");
+        staged_tx.send(()).unwrap();
+        killed_rx.recv().unwrap();
+
+        // The frozen views still name the dead member: executes fail
+        // fast and retryably; recovery is refresh + re-activate (the
+        // commit sync promotes replicas and re-replicates) + execute.
+        for handle in [&wb, &noisy] {
+            let r = handle.execute(0);
+            assert!(
+                matches!(&r, Err(e) if e.is_retryable()),
+                "execute against the crashed member must fail retryably: {r:?}"
+            );
+            handle.refresh_view().unwrap();
+            assert_eq!(handle.members().len(), 2);
+            handle.activate(0).unwrap();
+            handle.execute(0).unwrap();
+        }
+        recovered_tx.send(()).unwrap();
+        done_rx.recv().unwrap();
+        wb.deactivate(0).unwrap();
+        noisy.deactivate(0).unwrap();
+
+        // The release freed the noisy tenant's quota: a backed-off stage
+        // for the next iteration goes straight through on the shrunk,
+        // repaired staging area.
+        noisy.activate(1).unwrap();
+        noisy
+            .stage_with_backpressure(
+                BlockMeta::new("f", 0, 1, NOISY_BLOCK),
+                &noisy_payload,
+                Duration::from_secs(2),
+            )
+            .expect("post-release stage must ride through");
+        noisy.execute(1).unwrap();
+        noisy.deactivate(1).unwrap();
+        margo.finalize();
+        refusals
+    });
+
+    staged_rx.recv().unwrap();
+    // Quiesced crash point: client is blocked, daemons are idle.
+    daemons.remove(victim_idx).kill();
+    // Serialized SWIM rounds until both survivors declare the death.
+    let mut rounds = 0;
+    while daemons.iter().any(|d| d.view().contains(&victim_addr)) {
+        for d in &daemons {
+            d.tick_sync();
+        }
+        rounds += 1;
+        assert!(rounds < 500, "survivors never declared the victim dead");
+    }
+    for _ in 0..10 {
+        for d in &daemons {
+            d.tick_sync();
+        }
+    }
+    killed_tx.send(()).unwrap();
+
+    recovered_rx.recv().unwrap();
+    // Post-recovery, pre-deactivate: with k = 2 over 2 survivors, the
+    // well-behaved tenant's blocks are fully replicated — every survivor
+    // holds all of them — regardless of what the noisy flood did.
+    let survivors: Vec<(u64, u64, u64)> = {
+        let mut v: Vec<(u64, u64, u64)> = daemons
+            .iter()
+            .map(|d| {
+                let s = d.provider().store();
+                (
+                    d.address().0,
+                    s.tenant_staged_bytes("wb"),
+                    s.tenant_staged_bytes("noisy"),
+                )
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    for &(addr, wb_bytes, _) in &survivors {
+        assert_eq!(
+            wb_bytes, wb_total,
+            "survivor {addr} lost well-behaved blocks to the noisy crash"
+        );
+    }
+    // The quota still binds on the survivors: neither exceeds it even
+    // after crash repair re-replicated the noisy tenant's blocks.
+    let quota = tenant_crash_policy(NOISY_BLOCK)
+        .config_for(&colza::TenantId::new("noisy"))
+        .staged_byte_quota;
+    for &(addr, _, noisy_bytes) in &survivors {
+        assert!(
+            noisy_bytes <= quota,
+            "survivor {addr} holds {noisy_bytes} noisy bytes over quota {quota}"
+        );
+    }
+    done_tx.send(()).unwrap();
+    let client_refusals = sim.join();
+
+    let snap = cluster.shared().trace_snapshot();
+    let mut trace = cluster.shared().faults().trace();
+    trace.sort_unstable();
+    let trace_export = trace
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let out = TenantCrashOutcome {
+        trace_export,
+        client_refusals,
+        refused: snap.counter_total("colza.qos.quota.refused"),
+        promoted: snap.counter_total("colza.store.promoted.blocks")
+            + snap.counter_total("colza.store.exec.promoted"),
+        pushed: snap.counter_total("colza.store.recv.blocks"),
+        survivors,
+    };
+    for d in daemons {
+        d.stop();
+    }
+    out
+}
+
+/// ISSUE acceptance (multi-tenant chaos): the noisy tenant's primary
+/// crashes mid-flood; crash repair and quota backpressure interact on
+/// the survivors; the well-behaved tenant's blocks come through fully
+/// replicated; and the same seed yields a byte-identical fault trace and
+/// outcome.
+#[test]
+fn noisy_tenant_crash_repairs_without_losing_the_well_behaved_tenant() {
+    let seed = chaos_seed();
+    let a = tenant_crash_run(seed, "a");
+    assert!(a.client_refusals >= 1, "the flood never bounced off quota");
+    assert!(
+        a.refused >= a.client_refusals,
+        "server-side refusals ({}) below the client's ({})",
+        a.refused,
+        a.client_refusals
+    );
+    assert!(a.promoted >= 1, "the victim's primaries must be promoted");
+    assert!(a.pushed >= 1, "re-replication must push blocks");
+    assert!(!a.trace_export.is_empty(), "1% loss injected nothing");
+    let b = tenant_crash_run(seed, "b");
+    assert_eq!(
+        a.trace_export, b.trace_export,
+        "fault-trace exports diverged for one seed"
+    );
+    assert_eq!(a, b, "tenant-crash outcomes diverged for one seed");
 }

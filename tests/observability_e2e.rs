@@ -403,3 +403,140 @@ fn disabled_tracer_is_zero_cost_in_virtual_time() {
     assert!(!dark.report.enabled);
     assert!(dark.report.counters.is_empty());
 }
+
+/// Per-tenant accounting reconciles across layers (DESIGN.md §14): a
+/// mid-iteration scrape's `tenants` section agrees with the aggregate
+/// staged/decoded gauges, with the per-tenant stage counters, and with
+/// the codec layer's wire truth. A single-tenant run reports exactly one
+/// implicit `"default"` entry equal to the totals — multi-tenancy
+/// changes nothing about what a plain deployment observes.
+#[test]
+fn per_tenant_usage_reconciles_with_codec_and_store_counters() {
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig {
+        seed: 17,
+        compute_scale: 0.0,
+        ..hpcsim::ClusterConfig::aries()
+    });
+    cluster.shared().tracer().set_enabled(true);
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+
+    let (addr_tx, addr_rx) = crossbeam::channel::bounded(1);
+    let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+    let f2 = fabric.clone();
+    let server = cluster.spawn("server", 0, move || {
+        let endpoint = Arc::new(f2.open());
+        let margo = MargoInstance::from_endpoint(Arc::clone(&endpoint));
+        let mona = MonaInstance::from_endpoint(Arc::clone(&endpoint), MonaConfig::default());
+        let group = SsgGroup::create(Arc::clone(&margo), "colza", SsgConfig::default());
+        let _provider = ColzaProvider::register(
+            Arc::clone(&margo),
+            mona,
+            Arc::clone(&group),
+            ProviderComm::Mona,
+        );
+        addr_tx.send(margo.address()).unwrap();
+        stop_rx.recv().ok();
+        margo.finalize();
+    });
+    let contact = addr_rx.recv().unwrap();
+
+    let f3 = fabric.clone();
+    let mid_report = cluster
+        .spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f3);
+            let client = ColzaClient::new(Arc::clone(&margo));
+            let admin = AdminClient::new(Arc::clone(&margo));
+            client.view_from(contact).unwrap();
+            admin.create_pipeline(contact, "null", "p", "").unwrap();
+            let mut handle = client.distributed_handle(contact, "p").unwrap();
+            // Compressed staging: on-store bytes differ from plain bytes,
+            // so the staged/decoded split in the usage report is real.
+            handle.set_codec(colza::CodecConfig::uniform(colza::CodecSpec::ShuffleLz));
+            handle.activate(0).unwrap();
+            for block in 0..BLOCKS {
+                let payload = Bytes::from(vec![block as u8; block_len(0, block)]);
+                handle
+                    .stage(BlockMeta::new("p", block, 0, payload.len()), &payload)
+                    .unwrap();
+            }
+            // Scrape while the blocks are held (post-stage, pre-release).
+            let report = admin.metrics(contact).unwrap();
+            handle.execute(0).unwrap();
+            handle.deactivate(0).unwrap();
+            margo.finalize();
+            report
+        })
+        .join();
+    stop_tx.send(()).unwrap();
+    server.join();
+    let snap = cluster.shared().trace_snapshot();
+
+    // Exactly one tenant — the implicit default — holding every block.
+    assert_eq!(mid_report.tenants.len(), 1, "{:?}", mid_report.tenants);
+    let usage = &mid_report.tenants[0];
+    assert_eq!(usage.tenant, "default");
+    assert_eq!(usage.blocks, BLOCKS);
+
+    // The per-tenant rows partition the aggregate staged-bytes gauge.
+    let tenant_staged: u64 = mid_report.tenants.iter().map(|t| t.staged_bytes).sum();
+    assert_eq!(
+        tenant_staged, mid_report.staged_bytes,
+        "per-tenant staged bytes must sum to the aggregate gauge"
+    );
+
+    // Decoded (plain) bytes are the raw staged volume; staged (encoded)
+    // bytes are what actually crossed the wire and sit in the store.
+    let plain: u64 = (0..BLOCKS).map(|b| block_len(0, b) as u64).sum();
+    assert_eq!(usage.decoded_bytes, plain);
+    assert!(
+        usage.staged_bytes < plain,
+        "shuffle+lz stored {} >= plain {plain}",
+        usage.staged_bytes
+    );
+
+    // Wire truth: the encoded holdings are exactly the RDMA-pulled bytes
+    // and exactly what the codec decoded on the server.
+    assert_eq!(usage.staged_bytes, snap.counter_total("na.rdma.bytes"));
+    assert_eq!(
+        usage.staged_bytes,
+        snap.counter_total("colza.codec.decode.bytes_in")
+    );
+    assert_eq!(
+        usage.decoded_bytes,
+        snap.counter_total("colza.codec.decode.bytes_out")
+    );
+
+    // The per-tenant stage counters saw every admission once. One
+    // iteration, nothing released before the scrape: cumulative counters
+    // equal the held usage exactly.
+    assert_eq!(
+        snap.counter_total("colza.tenant.default.stage.blocks"),
+        usage.blocks
+    );
+    assert_eq!(
+        snap.counter_total("colza.tenant.default.stage.bytes"),
+        usage.staged_bytes
+    );
+    assert_eq!(
+        snap.counter_total("colza.tenant.default.stage.decoded_bytes"),
+        usage.decoded_bytes
+    );
+    // No tenancy policy installed: nothing was ever refused or queued.
+    assert_eq!(snap.counter_total("colza.qos.quota.refused"), 0);
+    assert_eq!(snap.counter_total("colza.qos.exec.queued"), 0);
+}
+
+/// After the iteration releases, the per-tenant section empties again —
+/// usage is a live gauge of held bytes, not a history — so an end-of-run
+/// scrape from a plain single-tenant deployment reports exactly what it
+/// did before multi-tenancy existed.
+#[test]
+fn released_iterations_leave_no_tenant_residue() {
+    let out = run_scenario(11, true);
+    assert!(
+        out.report.tenants.is_empty(),
+        "post-release scrape must report no held tenant bytes: {:?}",
+        out.report.tenants
+    );
+    assert_eq!(out.report.staged_bytes, 0);
+}
