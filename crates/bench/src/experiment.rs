@@ -33,6 +33,8 @@ pub struct PipelineExperiment {
     pub iterations: u64,
     /// Servers to add *before* given iterations: `(iteration, how_many)`.
     pub grow_at: Vec<(u64, usize)>,
+    /// Virtual-cluster seed (defaults to the hpcsim default).
+    pub seed: u64,
 }
 
 impl PipelineExperiment {
@@ -53,6 +55,7 @@ impl PipelineExperiment {
             script,
             iterations,
             grow_at: Vec::new(),
+            seed: hpcsim::ClusterConfig::aries().seed,
         }
     }
 }
@@ -72,6 +75,9 @@ pub struct IterationTimes {
     pub execute_ns: u64,
     /// `deactivate` span.
     pub deactivate_ns: u64,
+    /// Whether the pipeline's trigger gate skipped this iteration
+    /// (DESIGN.md §15) — `execute` returned `ExecOutcome::Skipped`.
+    pub skipped: bool,
 }
 
 enum HarnessReq {
@@ -90,7 +96,10 @@ pub fn run_pipeline_experiment(
         exp.grow_at.is_empty() || matches!(exp.comm, CommMode::Mona),
         "a static MPI staging area cannot be resized"
     );
-    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig::aries());
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig {
+        seed: exp.seed,
+        ..hpcsim::ClusterConfig::aries()
+    });
     let fabric = Fabric::new(Arc::clone(cluster.shared()));
     let conn_file = std::env::temp_dir().join(format!(
         "colza-exp-{}-{}.addrs",
@@ -272,6 +281,7 @@ fn client_body(
             stage_ns: 0,
             execute_ns: 0,
             deactivate_ns: 0,
+            skipped: false,
         };
         if rank == 0 {
             let before = ctx.now();
@@ -290,8 +300,9 @@ fn client_body(
 
         if rank == 0 {
             let before = ctx.now();
-            handle.execute(iter).expect("execute");
+            let outcome = handle.execute(iter).expect("execute");
             t.execute_ns = ctx.now() - before;
+            t.skipped = outcome.is_skipped();
             let before = ctx.now();
             handle.deactivate(iter).expect("deactivate");
             t.deactivate_ns = ctx.now() - before;

@@ -21,12 +21,17 @@
 //!   controller, and models Catalyst's expensive first-iteration
 //!   initialization (library loading + interpreter start), the overhead
 //!   visible at every node join in the paper's Figs. 9 and 10.
+//! * [`trigger`] — the reactive trigger language (DIVA): declarative
+//!   data-driven predicates embedded in the script that gate and
+//!   re-parameterize execution from one fused global-stats allreduce.
 
 pub mod adapters;
 pub mod icet_context;
 pub mod pipeline;
 pub mod script;
+pub mod trigger;
 
 pub use adapters::{MonaVtkComm, MpiVtkComm};
-pub use pipeline::{CatalystConfig, CatalystPipeline};
+pub use pipeline::{CatalystConfig, CatalystPipeline, PipelineOutcome};
 pub use script::{CameraSpec, FilterSpec, PipelineScript, RenderMode, RenderSpec};
+pub use trigger::{Decision, TriggerProgram, TriggerSpec, TriggerState};

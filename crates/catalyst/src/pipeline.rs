@@ -1,8 +1,10 @@
 //! Pipeline execution.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use vizkit::data::{DataSet, PolyData, UnstructuredGrid};
+use parking_lot::Mutex;
+use vizkit::data::{ArrayStats, DataSet, PolyData, UnstructuredGrid};
 use vizkit::filters;
 use vizkit::math::{vec3, Vec3};
 use vizkit::render::{render_surface, render_volume, Camera, ColorMap, Image, TransferFunction};
@@ -10,6 +12,7 @@ use vizkit::Controller;
 
 use crate::icet_context;
 use crate::script::{CameraSpec, FilterSpec, PipelineScript, RenderMode};
+use crate::trigger::{Reparam, TriggerProgram, TriggerState};
 
 /// Catalyst runtime configuration.
 #[derive(Debug, Clone, Copy)]
@@ -29,32 +32,63 @@ impl Default for CatalystConfig {
     }
 }
 
+/// What one reactive execution produced. `skipped` means the trigger
+/// program decided against running this iteration — a normal outcome,
+/// distinct from any error: no filters ran, no image was composited, and
+/// (aside from the one stats allreduce) no virtual time was charged.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// The composited image on the root rank of iterations that ran.
+    pub image: Option<Image>,
+    /// Whether the trigger program skipped this iteration.
+    pub skipped: bool,
+}
+
 /// An instantiated pipeline: a parsed script plus per-process state.
 pub struct CatalystPipeline {
     script: PipelineScript,
     config: CatalystConfig,
     initialized: AtomicBool,
+    triggers: TriggerProgram,
+    trigger_state: Mutex<TriggerState>,
 }
 
 impl CatalystPipeline {
     /// Builds a pipeline from a parsed script.
+    ///
+    /// Panics when the script's trigger section does not compile; scripts
+    /// from untrusted input go through [`Self::from_json`], which
+    /// validates triggers and returns a typed error instead.
     pub fn new(script: PipelineScript, config: CatalystConfig) -> Self {
-        Self {
+        Self::try_new(script, config).expect("pipeline script triggers must compile")
+    }
+
+    /// Builds a pipeline, compiling the trigger section fallibly.
+    pub fn try_new(script: PipelineScript, config: CatalystConfig) -> Result<Self, String> {
+        let triggers = script.compile_triggers().map_err(|e| e.to_string())?;
+        Ok(Self {
             script,
             config,
             initialized: AtomicBool::new(false),
-        }
+            triggers,
+            trigger_state: Mutex::new(TriggerState::new()),
+        })
     }
 
     /// Builds a pipeline from a JSON configuration string (the payload of
     /// Colza's `create_pipeline`).
     pub fn from_json(json: &str, config: CatalystConfig) -> Result<Self, String> {
-        Ok(Self::new(PipelineScript::from_json(json)?, config))
+        Self::try_new(PipelineScript::from_json(json)?, config)
     }
 
     /// The script.
     pub fn script(&self) -> &PipelineScript {
         &self.script
+    }
+
+    /// The compiled trigger program.
+    pub fn triggers(&self) -> &TriggerProgram {
+        &self.triggers
     }
 
     /// Whether the first-execute initialization has already been paid.
@@ -64,9 +98,80 @@ impl CatalystPipeline {
 
     /// Executes the pipeline over this rank's staged blocks. All ranks of
     /// `ctrl` must call collectively; the compositing root (rank 0)
-    /// receives `Some(image)`.
+    /// receives `Some(image)`. Compatibility entry point for untriggered
+    /// pipelines — triggered ones should call [`Self::execute_reactive`]
+    /// with the real iteration number.
     pub fn execute(&self, blocks: &[DataSet], ctrl: &Controller) -> Result<Option<Image>, String> {
+        self.execute_reactive(blocks, ctrl, 0).map(|o| o.image)
+    }
+
+    /// Reactive execution (DESIGN.md §15): evaluates the script's trigger
+    /// program against fused global statistics of the staged data, then
+    /// either runs the pipeline (possibly re-parameterized by fired
+    /// triggers) or skips it. Deterministic across ranks: the predicate
+    /// inputs come from one allreduce, so every rank reaches the same
+    /// decision independently.
+    pub fn execute_reactive(
+        &self,
+        blocks: &[DataSet],
+        ctrl: &Controller,
+        iteration: u64,
+    ) -> Result<PipelineOutcome, String> {
+        let spec = &self.script.render;
+        let mut plan = RenderPlan::default();
+        let mut precomputed = None;
+
+        if !self.triggers.is_empty() {
+            let _sp = hpcsim::trace::span("catalyst", "catalyst.trigger.eval");
+            // The agreed field layout: every field a trigger term reads,
+            // plus the render field when the script needs a computed
+            // color range — so the render reuses this same collective.
+            let mut local: BTreeMap<String, ArrayStats> = BTreeMap::new();
+            for f in self.triggers.fields() {
+                local.insert(f.clone(), ArrayStats::empty());
+            }
+            if spec.range.is_none() {
+                if let Some(f) = spec.field.as_deref() {
+                    local.entry(f.to_string()).or_insert_with(ArrayStats::empty);
+                }
+            }
+            for (name, acc) in local.iter_mut() {
+                for b in blocks {
+                    acc.merge(&b.field_stats(name));
+                }
+            }
+            let stats = global_stats(ctrl, local_blocks_bounds(blocks), &local)?;
+            let decision = {
+                let mut st = self.trigger_state.lock();
+                self.triggers
+                    .evaluate(iteration, &stats.fields, &mut st)
+                    .map_err(|e| format!("trigger evaluation failed: {e}"))?
+            };
+            hpcsim::trace::counter_add("colza.trigger.evaluated", 1);
+            hpcsim::trace::counter_add("colza.trigger.fired", decision.fired);
+            if !decision.run {
+                hpcsim::trace::counter_add("colza.trigger.skipped", 1);
+                return Ok(PipelineOutcome {
+                    image: None,
+                    skipped: true,
+                });
+            }
+            hpcsim::trace::counter_add("colza.trigger.reparam", decision.reparams.len() as u64);
+            for r in decision.reparams {
+                match r {
+                    Reparam::Contour { field, value } => {
+                        plan.contours.insert(field, vec![value]);
+                    }
+                    Reparam::Range { lo, hi } => plan.range = Some((lo, hi)),
+                    Reparam::CameraZoom(z) => plan.zoom = z,
+                }
+            }
+            precomputed = Some(stats);
+        }
+
         let ctx = hpcsim::process::try_current();
+        // Catalyst initialization is paid on the first iteration that
+        // actually runs — skipped iterations never load the libraries.
         if !self.initialized.swap(true, Ordering::AcqRel) {
             if let Some(ctx) = &ctx {
                 ctx.advance(self.config.init_cost_ns);
@@ -77,11 +182,14 @@ impl CatalystPipeline {
             None => f(),
         };
 
-        let spec = &self.script.render;
         let mut produce = || -> Result<LocalRender, String> {
             match spec.mode {
-                RenderMode::Surface => self.render_surface_local(blocks, ctrl),
-                RenderMode::Volume => self.render_volume_local(blocks, ctrl),
+                RenderMode::Surface => {
+                    self.render_surface_local(blocks, ctrl, &plan, precomputed.as_ref())
+                }
+                RenderMode::Volume => {
+                    self.render_volume_local(blocks, ctrl, &plan, precomputed.as_ref())
+                }
             }
         };
         let local = charge(&mut produce)?;
@@ -108,47 +216,63 @@ impl CatalystPipeline {
                 (icet::CompositeOp::Blend, icet::Strategy::Direct, order)
             }
         };
-        icet::composite(
+        let image = icet::composite(
             icet_comm.as_ref(),
             local.image,
             op,
             strategy,
             order.as_deref(),
             0,
-        )
+        )?;
+        Ok(PipelineOutcome {
+            image,
+            skipped: false,
+        })
     }
 
     fn render_surface_local(
         &self,
         blocks: &[DataSet],
         ctrl: &Controller,
+        plan: &RenderPlan,
+        precomputed: Option<&GlobalStats>,
     ) -> Result<LocalRender, String> {
         let spec = &self.script.render;
         // Run the filter chain on each block and merge the surfaces.
         let mut merged = PolyData::new();
         for block in blocks {
-            let poly = self.apply_filters(block)?;
+            let poly = self.apply_filters(block, plan)?;
             if merged.points.is_empty() {
                 merged = poly;
             } else {
                 merged.append(&poly);
             }
         }
-        // Collective consensus on camera framing and color range.
-        let bounds = global_bounds(ctrl, merged.bounds())?;
-        let camera = self.camera(bounds);
-        let range = match spec.range {
-            Some(r) => r,
+        // Collective consensus on camera framing and color range — one
+        // fused allreduce carrying bounds and any needed field stats
+        // (reused from the trigger evaluation when it already ran one).
+        let stats = match precomputed {
+            Some(s) => s.clone(),
             None => {
-                let local = spec
-                    .field
-                    .as_deref()
-                    .and_then(|f| merged.point_data.get(f))
-                    .and_then(|a| a.range())
-                    .map(|(lo, hi)| (lo as f32, hi as f32));
-                global_range(ctrl, local)?
+                let mut local = BTreeMap::new();
+                if spec.range.is_none() && plan.range.is_none() {
+                    if let Some(f) = spec.field.as_deref() {
+                        let s = merged
+                            .point_data
+                            .get(f)
+                            .map(|a| a.stats())
+                            .unwrap_or_else(ArrayStats::empty);
+                        local.insert(f.to_string(), s);
+                    }
+                }
+                global_stats(ctrl, merged.bounds(), &local)?
             }
         };
+        let camera = self.camera(stats.bounds, plan.zoom);
+        let range = plan
+            .range
+            .or(spec.range)
+            .unwrap_or_else(|| stats.field_range(spec.field.as_deref()));
         let colors = ColorMap::by_name(&spec.colormap, range);
         let image = render_surface(
             &merged,
@@ -172,6 +296,8 @@ impl CatalystPipeline {
         &self,
         blocks: &[DataSet],
         ctrl: &Controller,
+        plan: &RenderPlan,
+        precomputed: Option<&GlobalStats>,
     ) -> Result<LocalRender, String> {
         let spec = &self.script.render;
         let field = spec
@@ -193,25 +319,32 @@ impl CatalystPipeline {
         };
         let vol = filters::resample_to_image(&merged, field, dims, f32::NEG_INFINITY);
 
-        let bounds = global_bounds(ctrl, merged.bounds())?;
-        let camera = self.camera(bounds);
-        let range = match spec.range {
-            Some(r) => r,
+        let stats = match precomputed {
+            Some(s) => s.clone(),
             None => {
-                let local = merged
-                    .cell_data
-                    .get(field)
-                    .and_then(|a| a.range())
-                    .map(|(lo, hi)| (lo as f32, hi as f32));
-                global_range(ctrl, local)?
+                let mut local = BTreeMap::new();
+                if spec.range.is_none() && plan.range.is_none() {
+                    let s = merged
+                        .cell_data
+                        .get(field)
+                        .map(|a| a.stats())
+                        .unwrap_or_else(ArrayStats::empty);
+                    local.insert(field.to_string(), s);
+                }
+                global_stats(ctrl, merged.bounds(), &local)?
             }
         };
+        let camera = self.camera(stats.bounds, plan.zoom);
+        let range = plan
+            .range
+            .or(spec.range)
+            .unwrap_or_else(|| stats.field_range(Some(field)));
         let tf = TransferFunction::with_opacity(
             ColorMap::by_name(&spec.colormap, range),
             vec![(0.0, 0.0), (0.35, spec.max_opacity * 0.3), (1.0, spec.max_opacity)],
         );
         let step = {
-            let (lo, hi) = bounds;
+            let (lo, hi) = stats.bounds;
             ((hi - lo).length() / dims[0].max(16) as f32).max(1e-3)
         };
         let image = if merged.num_cells() == 0 {
@@ -229,8 +362,9 @@ impl CatalystPipeline {
         })
     }
 
-    /// Runs the filter chain on one block, ending in a surface.
-    fn apply_filters(&self, block: &DataSet) -> Result<PolyData, String> {
+    /// Runs the filter chain on one block, ending in a surface. Contour
+    /// isovalues may be re-parameterized by a fired trigger.
+    fn apply_filters(&self, block: &DataSet, plan: &RenderPlan) -> Result<PolyData, String> {
         enum Working {
             Img(vizkit::ImageData),
             UG(UnstructuredGrid),
@@ -244,7 +378,8 @@ impl CatalystPipeline {
         for f in &self.script.filters {
             cur = match (f, cur) {
                 (FilterSpec::Contour { field, isovalues }, Working::Img(img)) => {
-                    Working::Poly(filters::contour(&img, field, isovalues))
+                    let values = plan.contours.get(field).unwrap_or(isovalues);
+                    Working::Poly(filters::contour(&img, field, values))
                 }
                 (FilterSpec::Clip { origin, normal }, Working::Poly(p)) => {
                     let plane = filters::Plane::through(
@@ -269,8 +404,8 @@ impl CatalystPipeline {
         }
     }
 
-    fn camera(&self, bounds: (Vec3, Vec3)) -> Camera {
-        match self.script.render.camera {
+    fn camera(&self, bounds: (Vec3, Vec3), zoom: f64) -> Camera {
+        let mut cam = match self.script.render.camera {
             Some(CameraSpec {
                 position,
                 focal_point,
@@ -284,6 +419,34 @@ impl CatalystPipeline {
                 ..Camera::default()
             },
             None => Camera::fit_bounds(bounds.0, bounds.1),
+        };
+        // A camera(zoom) trigger scales the eye's distance to the feature
+        // bounds by 1/zoom (zoom > 1 moves in).
+        if zoom.is_finite() && zoom > 0.0 && zoom != 1.0 {
+            let dir = cam.position - cam.focal_point;
+            cam.position = cam.focal_point + dir * (1.0 / zoom as f32);
+        }
+        cam
+    }
+}
+
+/// Per-execution render adjustments from fired triggers.
+#[derive(Debug, Clone)]
+struct RenderPlan {
+    /// Contour isovalue overrides by filter field.
+    contours: BTreeMap<String, Vec<f64>>,
+    /// Color-range override.
+    range: Option<(f32, f32)>,
+    /// Camera zoom factor (1.0 = as scripted).
+    zoom: f64,
+}
+
+impl Default for RenderPlan {
+    fn default() -> Self {
+        RenderPlan {
+            contours: BTreeMap::new(),
+            range: None,
+            zoom: 1.0,
         }
     }
 }
@@ -293,60 +456,126 @@ struct LocalRender {
     view_depth: f32,
 }
 
-/// Collective min/max of axis-aligned bounds across ranks.
-fn global_bounds(
+/// Fused global reduction result: spatial bounds plus per-field summary
+/// statistics, all carried by one allreduce.
+#[derive(Debug, Clone)]
+pub struct GlobalStats {
+    /// Global axis-aligned bounds (a unit box when every rank is empty,
+    /// so cameras stay finite).
+    pub bounds: (Vec3, Vec3),
+    /// Global per-field statistics, keyed by field name.
+    pub fields: BTreeMap<String, ArrayStats>,
+}
+
+impl GlobalStats {
+    /// The color range for `field`: its global `(min, max)` as `f32`, or
+    /// `(0, 1)` when the field is absent/empty everywhere (the historic
+    /// `global_range` fallback).
+    pub fn field_range(&self, field: Option<&str>) -> (f32, f32) {
+        field
+            .and_then(|f| self.fields.get(f))
+            .filter(|s| !s.is_empty())
+            .map(|s| (s.min as f32, s.max as f32))
+            .unwrap_or((0.0, 1.0))
+    }
+}
+
+/// Combined bounds of this rank's staged blocks.
+fn local_blocks_bounds(blocks: &[DataSet]) -> Option<(Vec3, Vec3)> {
+    let mut acc: Option<(Vec3, Vec3)> = None;
+    for b in blocks {
+        let bb = match b {
+            DataSet::Image(i) => Some(i.bounds()),
+            DataSet::UGrid(g) => g.bounds(),
+            DataSet::Poly(p) => p.bounds(),
+        };
+        if let Some((lo, hi)) = bb {
+            acc = Some(match acc {
+                None => (lo, hi),
+                Some((alo, ahi)) => (
+                    vec3(alo.x.min(lo.x), alo.y.min(lo.y), alo.z.min(lo.z)),
+                    vec3(ahi.x.max(hi.x), ahi.y.max(hi.y), ahi.z.max(hi.z)),
+                ),
+            });
+        }
+    }
+    acc
+}
+
+/// The fused statistics collective: ONE allreduce carrying the spatial
+/// bounds (6 × f32) plus, for every agreed field, the `ArrayStats`
+/// monoid (min/max/sum as f64, count as u64 — 32 bytes each). All ranks
+/// must pass the same field set, which callers derive from the script
+/// alone, never from the data. `min`, `max`, `range` and `mean` of every
+/// field all fall out of this single collective.
+fn global_stats(
     ctrl: &Controller,
-    local: Option<(Vec3, Vec3)>,
-) -> Result<(Vec3, Vec3), String> {
-    let (lo, hi) = local.unwrap_or((
+    local_bounds: Option<(Vec3, Vec3)>,
+    local_fields: &BTreeMap<String, ArrayStats>,
+) -> Result<GlobalStats, String> {
+    hpcsim::trace::counter_add("colza.trigger.stats.collectives", 1);
+    let (lo, hi) = local_bounds.unwrap_or((
         vec3(f32::INFINITY, f32::INFINITY, f32::INFINITY),
         vec3(f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY),
     ));
-    let mut payload = Vec::with_capacity(24);
+    let mut payload = Vec::with_capacity(24 + 32 * local_fields.len());
     for v in [lo.x, lo.y, lo.z, hi.x, hi.y, hi.z] {
         payload.extend_from_slice(&v.to_le_bytes());
     }
-    let fold = |acc: &mut [u8], other: &[u8]| {
+    for s in local_fields.values() {
+        payload.extend_from_slice(&s.min.to_le_bytes());
+        payload.extend_from_slice(&s.max.to_le_bytes());
+        payload.extend_from_slice(&s.sum.to_le_bytes());
+        payload.extend_from_slice(&s.count.to_le_bytes());
+    }
+    let nfields = local_fields.len();
+    let fold = move |acc: &mut [u8], other: &[u8]| {
         for i in 0..6 {
             let a = f32::from_le_bytes(acc[i * 4..i * 4 + 4].try_into().unwrap());
             let b = f32::from_le_bytes(other[i * 4..i * 4 + 4].try_into().unwrap());
             let v = if i < 3 { a.min(b) } else { a.max(b) };
             acc[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
         }
+        for i in 0..nfields {
+            let at = 24 + i * 32;
+            let f = |buf: &[u8], off: usize| {
+                f64::from_le_bytes(buf[at + off..at + off + 8].try_into().unwrap())
+            };
+            let min = f(acc, 0).min(f(other, 0));
+            let max = f(acc, 8).max(f(other, 8));
+            let sum = f(acc, 16) + f(other, 16);
+            let count = u64::from_le_bytes(acc[at + 24..at + 32].try_into().unwrap())
+                + u64::from_le_bytes(other[at + 24..at + 32].try_into().unwrap());
+            acc[at..at + 8].copy_from_slice(&min.to_le_bytes());
+            acc[at + 8..at + 16].copy_from_slice(&max.to_le_bytes());
+            acc[at + 16..at + 24].copy_from_slice(&sum.to_le_bytes());
+            acc[at + 24..at + 32].copy_from_slice(&count.to_le_bytes());
+        }
     };
     let out = ctrl.comm().allreduce(&payload, &fold)?;
     let f = |i: usize| f32::from_le_bytes(out[i * 4..i * 4 + 4].try_into().unwrap());
     let (lo, hi) = (vec3(f(0), f(1), f(2)), vec3(f(3), f(4), f(5)));
-    if lo.x > hi.x {
+    let bounds = if lo.x > hi.x {
         // Every rank was empty: use a unit box so cameras stay finite.
-        Ok((vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0)))
+        (vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0))
     } else {
-        Ok((lo, hi))
-    }
-}
-
-/// Collective scalar-range consensus.
-fn global_range(ctrl: &Controller, local: Option<(f32, f32)>) -> Result<(f32, f32), String> {
-    let (lo, hi) = local.unwrap_or((f32::INFINITY, f32::NEG_INFINITY));
-    let mut payload = Vec::with_capacity(8);
-    payload.extend_from_slice(&lo.to_le_bytes());
-    payload.extend_from_slice(&hi.to_le_bytes());
-    let fold = |acc: &mut [u8], other: &[u8]| {
-        let alo = f32::from_le_bytes(acc[0..4].try_into().unwrap());
-        let ahi = f32::from_le_bytes(acc[4..8].try_into().unwrap());
-        let blo = f32::from_le_bytes(other[0..4].try_into().unwrap());
-        let bhi = f32::from_le_bytes(other[4..8].try_into().unwrap());
-        acc[0..4].copy_from_slice(&alo.min(blo).to_le_bytes());
-        acc[4..8].copy_from_slice(&ahi.max(bhi).to_le_bytes());
+        (lo, hi)
     };
-    let out = ctrl.comm().allreduce(&payload, &fold)?;
-    let lo = f32::from_le_bytes(out[0..4].try_into().unwrap());
-    let hi = f32::from_le_bytes(out[4..8].try_into().unwrap());
-    if lo > hi {
-        Ok((0.0, 1.0))
-    } else {
-        Ok((lo, hi))
+    let mut fields = BTreeMap::new();
+    for (i, name) in local_fields.keys().enumerate() {
+        let at = 24 + i * 32;
+        let g = |off: usize| f64::from_le_bytes(out[at + off..at + off + 8].try_into().unwrap());
+        fields.insert(
+            name.clone(),
+            ArrayStats {
+                min: g(0),
+                max: g(8),
+                sum: g(16),
+                count: u64::from_le_bytes(out[at + 24..at + 32].try_into().unwrap()),
+            },
+        );
     }
+    Ok(GlobalStats { bounds, fields })
 }
 
 #[cfg(test)]
@@ -410,6 +639,7 @@ mod tests {
                 strategy: Default::default(),
                 camera: None,
             },
+            triggers: Vec::new(),
         }
     }
 
@@ -471,6 +701,7 @@ mod tests {
                 }),
                 ..surface_script().render
             },
+            triggers: Vec::new(),
         };
         let out = mona::testing::with_comm(2, mona::MonaConfig::default(), move |comm| {
             let vtk = crate::adapters::MonaVtkComm::new(comm);
@@ -508,5 +739,106 @@ mod tests {
             first > second + 2 * hpcsim::SEC,
             "init cost missing: {first} vs {second}"
         );
+    }
+
+    #[test]
+    fn fused_stats_single_payload_roundtrip() {
+        // Serial allreduce: globals equal the locals, bounds included.
+        let mut local = BTreeMap::new();
+        local.insert(
+            "a".to_string(),
+            ArrayStats {
+                min: -1.0,
+                max: 4.0,
+                sum: 6.0,
+                count: 3,
+            },
+        );
+        local.insert("b".to_string(), ArrayStats::empty());
+        let ctrl = serial_ctrl();
+        let g = global_stats(
+            &ctrl,
+            Some((vec3(0.0, -1.0, 2.0), vec3(3.0, 4.0, 5.0))),
+            &local,
+        )
+        .unwrap();
+        assert_eq!(g.bounds, (vec3(0.0, -1.0, 2.0), vec3(3.0, 4.0, 5.0)));
+        assert_eq!(g.fields["a"], local["a"]);
+        assert!(g.fields["b"].is_empty());
+        assert_eq!(g.field_range(Some("a")), (-1.0, 4.0));
+        // Absent/empty fields fall back to the historic (0, 1).
+        assert_eq!(g.field_range(Some("b")), (0.0, 1.0));
+        assert_eq!(g.field_range(None), (0.0, 1.0));
+        // All-empty bounds fall back to the unit box.
+        let g = global_stats(&ctrl, None, &BTreeMap::new()).unwrap();
+        assert_eq!(g.bounds, (vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn triggered_skip_returns_outcome_without_init_cost() {
+        let cluster = hpcsim::Cluster::default();
+        let (skip_ns, first_run_ns) = cluster
+            .spawn("cat", 0, || {
+                let pipe = CatalystPipeline::new(
+                    PipelineScript::deep_water_impact_triggered(24, 24),
+                    CatalystConfig::default(),
+                );
+                // Iteration 0, quiescent data: jet threshold not met and
+                // iter % 4 != 1 — the run gate defaults to skip.
+                let before = hpcsim::current().now();
+                let out = pipe
+                    .execute_reactive(&[voxel_block(0.5)], &serial_ctrl(), 0)
+                    .unwrap();
+                assert!(out.skipped && out.image.is_none());
+                assert!(!pipe.is_initialized(), "skip must not pay catalyst init");
+                let skip_ns = hpcsim::current().now() - before;
+                // Iteration 1 matches the keyframe cadence: runs, pays init.
+                let before = hpcsim::current().now();
+                let out = pipe
+                    .execute_reactive(&[voxel_block(0.5)], &serial_ctrl(), 1)
+                    .unwrap();
+                assert!(!out.skipped && out.image.is_some());
+                (skip_ns, hpcsim::current().now() - before)
+            })
+            .join();
+        assert!(
+            first_run_ns > skip_ns + 2 * hpcsim::SEC,
+            "skip {skip_ns} vs run {first_run_ns}"
+        );
+    }
+
+    #[test]
+    fn triggered_run_fires_on_jet_velocity() {
+        let pipe = CatalystPipeline::new(
+            PipelineScript::deep_water_impact_triggered(24, 24),
+            CatalystConfig::default(),
+        );
+        // Iteration 2 misses the cadence, but the jet velocity exceeds
+        // the threshold, so the run gate and the range reparam both fire.
+        let out = pipe
+            .execute_reactive(&[voxel_block(5.0)], &serial_ctrl(), 2)
+            .unwrap();
+        assert!(!out.skipped && out.image.is_some());
+    }
+
+    #[test]
+    fn contour_reparam_retargets_isovalue() {
+        // The scripted isovalue (way above the data) extracts nothing;
+        // the trigger retargets it to the live mean, which does.
+        let mut script = surface_script();
+        script.filters = vec![FilterSpec::Contour {
+            field: "v".to_string(),
+            isovalues: vec![1e9],
+        }];
+        script.triggers = vec![crate::trigger::TriggerSpec::new(
+            "max(v) > 0",
+            "contour(v, mean(v))",
+        )];
+        let pipe = CatalystPipeline::new(script, CatalystConfig::default());
+        let out = pipe
+            .execute_reactive(&[sphere_block(12, [0.0; 3])], &serial_ctrl(), 0)
+            .unwrap();
+        let cov = out.image.unwrap().coverage();
+        assert!(cov > 0.02, "reparam contour coverage {cov}");
     }
 }

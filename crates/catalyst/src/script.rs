@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::trigger::{ParseError, TriggerProgram, TriggerSpec};
+
 /// One filter stage.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 #[serde(tag = "type", rename_all = "snake_case")]
@@ -130,7 +132,8 @@ fn default_resample() -> [usize; 3] {
     [64, 64, 64]
 }
 
-/// A complete pipeline: filters then render.
+/// A complete pipeline: filters then render, optionally gated and
+/// re-parameterized by reactive triggers.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct PipelineScript {
     /// Filter chain applied to each staged block.
@@ -138,12 +141,26 @@ pub struct PipelineScript {
     pub filters: Vec<FilterSpec>,
     /// Final render stage.
     pub render: RenderSpec,
+    /// Reactive triggers evaluated before each execute (DESIGN.md §15).
+    /// Empty means always-on.
+    #[serde(default)]
+    pub triggers: Vec<TriggerSpec>,
 }
 
 impl PipelineScript {
-    /// Parses a script from its JSON form.
+    /// Parses a script from its JSON form. Trigger expressions are
+    /// compiled here too, so a malformed trigger is rejected at
+    /// `create_pipeline` time with a typed error, not at execute time.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| format!("bad pipeline script: {e}"))
+        let s: Self =
+            serde_json::from_str(json).map_err(|e| format!("bad pipeline script: {e}"))?;
+        s.compile_triggers().map_err(|e| e.to_string())?;
+        Ok(s)
+    }
+
+    /// Compiles the trigger section (validation + the executable form).
+    pub fn compile_triggers(&self) -> Result<TriggerProgram, ParseError> {
+        TriggerProgram::compile(&self.triggers)
     }
 
     /// Serializes to JSON.
@@ -178,6 +195,7 @@ impl PipelineScript {
                 strategy: StrategySpec::BinarySwap,
                 camera: None,
             },
+            triggers: Vec::new(),
         }
     }
 
@@ -201,6 +219,7 @@ impl PipelineScript {
                 strategy: StrategySpec::BinarySwap,
                 camera: None,
             },
+            triggers: Vec::new(),
         }
     }
 
@@ -222,7 +241,22 @@ impl PipelineScript {
                 strategy: StrategySpec::Direct,
                 camera: None,
             },
+            triggers: Vec::new(),
         }
+    }
+
+    /// The reactive Deep Water Impact pipeline (DESIGN.md §15): render
+    /// only while the asteroid's water jet is visible (`max(v02)` above
+    /// the crown-splash velocity) or on a coarse keyframe cadence, skip
+    /// quiescent iterations, and re-fit the color range to the live
+    /// min/max whenever the jet fires.
+    pub fn deep_water_impact_triggered(width: usize, height: usize) -> Self {
+        let mut s = Self::deep_water_impact(width, height);
+        s.triggers = vec![
+            TriggerSpec::new("max(v02) > 3.2 || iter % 4 == 1", "run"),
+            TriggerSpec::new("max(v02) > 3.2", "range(min(v02), max(v02))"),
+        ];
+        s
     }
 }
 
@@ -259,6 +293,33 @@ mod tests {
     fn bad_json_is_reported() {
         assert!(PipelineScript::from_json("not json").is_err());
         assert!(PipelineScript::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn triggered_script_roundtrips_and_compiles() {
+        let s = PipelineScript::deep_water_impact_triggered(64, 64);
+        let back = PipelineScript::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        let prog = back.compile_triggers().unwrap();
+        assert_eq!(prog.fields(), &["v02".to_string()]);
+    }
+
+    #[test]
+    fn malformed_trigger_rejected_at_parse() {
+        let json = r#"{
+            "render": {"mode": "surface", "width": 10, "height": 10, "field": null,
+                        "range": null, "camera": null},
+            "triggers": [{"when": "max(u >", "action": "run"}]
+        }"#;
+        let err = PipelineScript::from_json(json).unwrap_err();
+        assert!(err.contains("trigger 0"), "{err}");
+
+        let json = r#"{
+            "render": {"mode": "surface", "width": 10, "height": 10, "field": null,
+                        "range": null, "camera": null},
+            "triggers": [{"when": "max(u) > 1", "action": "launch"}]
+        }"#;
+        assert!(PipelineScript::from_json(json).is_err());
     }
 
     #[test]

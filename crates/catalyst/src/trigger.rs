@@ -1,0 +1,1318 @@
+//! Reactive triggers: a small declarative expression language that gates
+//! and re-parameterizes pipeline execution from live data statistics
+//! (the DIVA model — DESIGN.md §15).
+//!
+//! A pipeline script may carry `triggers`, each a `when` predicate and an
+//! `action`:
+//!
+//! ```json
+//! {"triggers": [
+//!     {"when": "max(v02) > 3.2 || iter % 4 == 0", "action": "run"},
+//!     {"when": "delta(max(v02)) < 0.01",          "action": "skip"},
+//!     {"when": "max(v02) > 3.2", "action": "range(min(v02), max(v02))"}
+//! ]}
+//! ```
+//!
+//! Predicates combine comparisons with `&&`/`||`/`!` over arithmetic on
+//! `iter` (the iteration number), numeric literals, the data terms
+//! `min(field)`, `max(field)`, `range(field)`, `mean(field)`, and
+//! `delta(expr)` — the absolute change of `expr` since the last evaluated
+//! iteration. The data terms come from **one fused stats allreduce**, so
+//! every rank evaluates the same inputs and reaches the same decision;
+//! the whole language is a pure function of `(script, staged data, iter)`
+//! and same-seed traces stay byte-identical.
+//!
+//! Actions: `run` and `skip` gate the pipeline (last fired gate wins; the
+//! default is *skip* when any `run` trigger exists, *run* otherwise), and
+//! the re-parameterization actions `contour(field, expr)`,
+//! `range(lo, hi)` and `camera(zoom)` adapt the stages of the iterations
+//! that do run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use vizkit::data::ArrayStats as FieldStats;
+
+/// One trigger as it appears in the pipeline script JSON.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TriggerSpec {
+    /// Boolean predicate source text.
+    pub when: String,
+    /// Action source text: `run`, `skip`, `contour(field, expr)`,
+    /// `range(lo, hi)` or `camera(zoom)`.
+    pub action: String,
+}
+
+impl TriggerSpec {
+    /// Convenience constructor.
+    pub fn new(when: impl Into<String>, action: impl Into<String>) -> Self {
+        TriggerSpec {
+            when: when.into(),
+            action: action.into(),
+        }
+    }
+}
+
+/// A typed parse/compile failure: where in the source text, and why.
+/// Malformed trigger scripts always surface as this — never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset into the offending source string.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trigger parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A typed evaluation failure. Inputs are global (the fused reduction),
+/// so when one rank fails this way, all ranks fail identically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A data term referenced a field no staged block carries (global
+    /// count is zero).
+    FieldUnavailable(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::FieldUnavailable(n) => {
+                write!(f, "trigger field {n:?} is absent from the staged data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The statistic a data term extracts from a field's fused summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatFn {
+    /// Global minimum.
+    Min,
+    /// Global maximum.
+    Max,
+    /// `max - min`.
+    Range,
+    /// Global arithmetic mean (from the fused sum + count).
+    Mean,
+}
+
+impl StatFn {
+    fn name(self) -> &'static str {
+        match self {
+            StatFn::Min => "min",
+            StatFn::Max => "max",
+            StatFn::Range => "range",
+            StatFn::Mean => "mean",
+        }
+    }
+}
+
+/// Binary operators, loosest-binding first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical or.
+    Or,
+    /// Logical and.
+    And,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// A parsed trigger expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// The iteration number.
+    Iter,
+    /// A data term: `min(f)`, `max(f)`, `range(f)`, `mean(f)`.
+    Stat(StatFn, String),
+    /// Absolute change of the inner expression since the last evaluated
+    /// iteration (`+inf` on the first evaluation, so a `delta`-skip rule
+    /// can never suppress the very first iteration).
+    Delta(Box<Expr>),
+    /// Unary operator application.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl fmt::Display for Expr {
+    /// Canonical, fully parenthesized form — also the `delta` memory key,
+    /// so structurally identical sub-expressions share one slot.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => write!(f, "{n}"),
+            Expr::Iter => write!(f, "iter"),
+            Expr::Stat(s, field) => write!(f, "{}({field})", s.name()),
+            Expr::Delta(e) => write!(f, "delta({e})"),
+            Expr::Unary(UnOp::Neg, e) => write!(f, "(-{e})"),
+            Expr::Unary(UnOp::Not, e) => write!(f, "(!{e})"),
+            Expr::Binary(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+        }
+    }
+}
+
+/// Static type of an expression: trigger predicates must be `Bool`,
+/// re-parameterization arguments must be `Num`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// A number.
+    Num,
+    /// A truth value.
+    Bool,
+}
+
+impl Expr {
+    /// Type-checks the expression; `Err` carries the offending
+    /// sub-expression in canonical form.
+    pub fn type_of(&self) -> Result<Ty, String> {
+        match self {
+            Expr::Num(_) | Expr::Iter | Expr::Stat(..) => Ok(Ty::Num),
+            Expr::Delta(e) => match e.type_of()? {
+                Ty::Num => Ok(Ty::Num),
+                Ty::Bool => Err(format!("delta needs a numeric argument in {self}")),
+            },
+            Expr::Unary(UnOp::Neg, e) => match e.type_of()? {
+                Ty::Num => Ok(Ty::Num),
+                Ty::Bool => Err(format!("unary '-' needs a number in {self}")),
+            },
+            Expr::Unary(UnOp::Not, e) => match e.type_of()? {
+                Ty::Bool => Ok(Ty::Bool),
+                Ty::Num => Err(format!("'!' needs a boolean in {self}")),
+            },
+            Expr::Binary(op, a, b) => {
+                let (ta, tb) = (a.type_of()?, b.type_of()?);
+                match op {
+                    BinOp::Or | BinOp::And => {
+                        if ta == Ty::Bool && tb == Ty::Bool {
+                            Ok(Ty::Bool)
+                        } else {
+                            Err(format!("'{}' needs boolean operands in {self}", op.symbol()))
+                        }
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                        if ta == Ty::Num && tb == Ty::Num {
+                            Ok(Ty::Bool)
+                        } else {
+                            Err(format!("'{}' compares numbers in {self}", op.symbol()))
+                        }
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        if ta == Ty::Num && tb == Ty::Num {
+                            Ok(Ty::Num)
+                        } else {
+                            Err(format!(
+                                "'{}' needs numeric operands in {self}",
+                                op.symbol()
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects every field name referenced by a data term, in sorted
+    /// order — the agreed layout of the fused stats allreduce.
+    pub fn collect_fields(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Expr::Num(_) | Expr::Iter => {}
+            Expr::Stat(_, f) => {
+                out.insert(f.clone());
+            }
+            Expr::Delta(e) | Expr::Unary(_, e) => e.collect_fields(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_fields(out);
+                b.collect_fields(out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Op(&'static str),
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            '+' | '-' | '*' | '/' | '%' => {
+                toks.push((i, Tok::Op(match c {
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    _ => "%",
+                })));
+                i += 1;
+            }
+            '|' | '&' => {
+                if i + 1 < b.len() && b[i + 1] == b[i] {
+                    toks.push((i, Tok::Op(if c == '|' { "||" } else { "&&" })));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        pos: i,
+                        msg: format!("expected '{c}{c}'"),
+                    });
+                }
+            }
+            '<' | '>' | '=' | '!' => {
+                let two = i + 1 < b.len() && b[i + 1] == b'=';
+                let sym = match (c, two) {
+                    ('<', true) => "<=",
+                    ('<', false) => "<",
+                    ('>', true) => ">=",
+                    ('>', false) => ">",
+                    ('=', true) => "==",
+                    ('!', true) => "!=",
+                    ('!', false) => "!",
+                    ('=', false) => {
+                        return Err(ParseError {
+                            pos: i,
+                            msg: "'=' is not an operator; use '=='".to_string(),
+                        })
+                    }
+                    _ => unreachable!(),
+                };
+                toks.push((i, Tok::Op(sym)));
+                i += if two { 2 } else { 1 };
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                // Optional exponent.
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j].is_ascii_digit() {
+                        i = j;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let n: f64 = text.parse().map_err(|_| ParseError {
+                    pos: start,
+                    msg: format!("malformed number {text:?}"),
+                })?;
+                if !n.is_finite() {
+                    return Err(ParseError {
+                        pos: start,
+                        msg: format!("non-finite literal {text:?}"),
+                    });
+                }
+                toks.push((start, Tok::Num(n)));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(src[start..i].to_string())));
+            }
+            _ => {
+                return Err(ParseError {
+                    pos: i,
+                    msg: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent; precedence: || < && < cmp < +- < */% < unary)
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    toks: &'a [(usize, Tok)],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|&(p, _)| p)
+            .unwrap_or(self.end)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_op(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Op(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError {
+                pos: self.here(),
+                msg: format!("expected {what}"),
+            })
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.here(),
+            msg: msg.into(),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_op("||") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.eat_op("&&") {
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Op("<")) => Some(BinOp::Lt),
+            Some(Tok::Op("<=")) => Some(BinOp::Le),
+            Some(Tok::Op(">")) => Some(BinOp::Gt),
+            Some(Tok::Op(">=")) => Some(BinOp::Ge),
+            Some(Tok::Op("==")) => Some(BinOp::Eq),
+            Some(Tok::Op("!=")) => Some(BinOp::Ne),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let rhs = self.parse_add()?;
+                // Comparisons do not chain: `a < b < c` is a type error
+                // caught by the checker, not silently associated.
+                Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Op("+")) => BinOp::Add,
+                Some(Tok::Op("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Op("*")) => BinOp::Mul,
+                Some(Tok::Op("/")) => BinOp::Div,
+                Some(Tok::Op("%")) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_op("-") {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(e)));
+        }
+        if self.eat_op("!") {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(e)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "iter" => Ok(Expr::Iter),
+                "delta" => {
+                    self.expect(&Tok::LParen, "'(' after delta")?;
+                    let e = self.parse_expr()?;
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Expr::Delta(Box::new(e)))
+                }
+                "min" | "max" | "range" | "mean" => {
+                    let stat = match name.as_str() {
+                        "min" => StatFn::Min,
+                        "max" => StatFn::Max,
+                        "range" => StatFn::Range,
+                        _ => StatFn::Mean,
+                    };
+                    self.expect(&Tok::LParen, &format!("'(' after {name}"))?;
+                    let field = match self.bump() {
+                        Some(Tok::Ident(f)) => f,
+                        _ => {
+                            self.pos -= 1;
+                            return Err(self.err(format!("{name}(...) needs a field name")));
+                        }
+                    };
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Expr::Stat(stat, field))
+                }
+                other => {
+                    self.pos -= 1;
+                    Err(self.err(format!(
+                        "unknown identifier {other:?} (fields only appear inside \
+                         min/max/range/mean)"
+                    )))
+                }
+            },
+            Some(tok) => {
+                self.pos -= 1;
+                Err(self.err(format!("unexpected token {tok:?}")))
+            }
+            None => Err(self.err("unexpected end of expression")),
+        }
+    }
+}
+
+/// Parses one expression, requiring all input consumed.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+        end: src.len(),
+    };
+    let e = p.parse_expr()?;
+    if p.pos != toks.len() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+/// Parses and type-checks a `when` predicate (must be boolean).
+pub fn parse_predicate(src: &str) -> Result<Expr, ParseError> {
+    let e = parse_expr(src)?;
+    match e.type_of().map_err(|msg| ParseError { pos: 0, msg })? {
+        Ty::Bool => Ok(e),
+        Ty::Num => Err(ParseError {
+            pos: 0,
+            msg: format!("'when' must be a boolean predicate, got a number: {e}"),
+        }),
+    }
+}
+
+fn parse_numeric_arg(src: &str) -> Result<Expr, ParseError> {
+    let e = parse_expr(src)?;
+    match e.type_of().map_err(|msg| ParseError { pos: 0, msg })? {
+        Ty::Num => Ok(e),
+        Ty::Bool => Err(ParseError {
+            pos: 0,
+            msg: format!("action argument must be numeric, got a boolean: {e}"),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Actions
+// ---------------------------------------------------------------------------
+
+/// A compiled trigger action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Gate: execute the pipeline this iteration.
+    Run,
+    /// Gate: skip the pipeline this iteration.
+    Skip,
+    /// Re-parameterize: replace the isovalues of the contour filter on
+    /// `field` with the value of `expr` (e.g. track the live mean).
+    Contour {
+        /// Contour filter field to retarget.
+        field: String,
+        /// New isovalue.
+        value: Expr,
+    },
+    /// Re-parameterize: override the render color range with `[lo, hi]`
+    /// (e.g. the live `min`/`max` of the colored field).
+    Range {
+        /// Lower bound.
+        lo: Expr,
+        /// Upper bound.
+        hi: Expr,
+    },
+    /// Re-parameterize: scale the bounds-fitted camera distance by
+    /// `1/zoom` (zoom > 1 moves the eye closer to the feature bounds).
+    Camera {
+        /// Zoom factor.
+        zoom: Expr,
+    },
+}
+
+/// Parses an action string.
+pub fn parse_action(src: &str) -> Result<Action, ParseError> {
+    let t = src.trim();
+    if t == "run" {
+        return Ok(Action::Run);
+    }
+    if t == "skip" {
+        return Ok(Action::Skip);
+    }
+    let (head, rest) = match t.find('(') {
+        Some(i) if t.ends_with(')') => (&t[..i], &t[i + 1..t.len() - 1]),
+        _ => {
+            return Err(ParseError {
+                pos: 0,
+                msg: format!(
+                    "unknown action {t:?} (expected run, skip, contour(field, expr), \
+                     range(lo, hi) or camera(zoom))"
+                ),
+            })
+        }
+    };
+    // Split top-level commas (argument expressions may contain their own
+    // commas only inside parens).
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth = depth.checked_sub(1).ok_or(ParseError {
+                    pos: i,
+                    msg: "unbalanced ')' in action arguments".to_string(),
+                })?
+            }
+            ',' if depth == 0 => {
+                args.push(&rest[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    args.push(&rest[start..]);
+    match head.trim() {
+        "contour" => {
+            if args.len() != 2 {
+                return Err(ParseError {
+                    pos: 0,
+                    msg: "contour takes (field, expr)".to_string(),
+                });
+            }
+            let field = args[0].trim();
+            if field.is_empty()
+                || !field
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                return Err(ParseError {
+                    pos: 0,
+                    msg: format!("bad contour field name {:?}", args[0].trim()),
+                });
+            }
+            Ok(Action::Contour {
+                field: field.to_string(),
+                value: parse_numeric_arg(args[1])?,
+            })
+        }
+        "range" => {
+            if args.len() != 2 {
+                return Err(ParseError {
+                    pos: 0,
+                    msg: "range takes (lo, hi)".to_string(),
+                });
+            }
+            Ok(Action::Range {
+                lo: parse_numeric_arg(args[0])?,
+                hi: parse_numeric_arg(args[1])?,
+            })
+        }
+        "camera" => {
+            if args.len() != 1 {
+                return Err(ParseError {
+                    pos: 0,
+                    msg: "camera takes (zoom)".to_string(),
+                });
+            }
+            Ok(Action::Camera {
+                zoom: parse_numeric_arg(args[0])?,
+            })
+        }
+        other => Err(ParseError {
+            pos: 0,
+            msg: format!("unknown action {other:?}"),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+/// One `delta` memory slot. Keeping both the previous and the current
+/// value (with the iteration that wrote it) makes re-evaluation of the
+/// *same* iteration idempotent: an execute retried after a mid-iteration
+/// abort recomputes the delta against the same base and reaches the same
+/// decision — on every survivor, whether or not its first attempt got as
+/// far as evaluating (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct DeltaSlot {
+    prev: Option<f64>,
+    cur: f64,
+    iter: u64,
+}
+
+/// Per-pipeline `delta` history, keyed by the canonical form of the
+/// inner expression. Deterministic: it only ever holds values computed
+/// from fused global statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriggerState {
+    memory: BTreeMap<String, DeltaSlot>,
+}
+
+impl TriggerState {
+    /// Fresh, empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct EvalCtx<'a> {
+    iter: u64,
+    fields: &'a BTreeMap<String, FieldStats>,
+    state: &'a mut TriggerState,
+}
+
+fn eval_num(e: &Expr, cx: &mut EvalCtx<'_>) -> Result<f64, EvalError> {
+    Ok(match e {
+        Expr::Num(n) => *n,
+        Expr::Iter => cx.iter as f64,
+        Expr::Stat(stat, field) => {
+            let s = cx
+                .fields
+                .get(field)
+                .copied()
+                .unwrap_or_else(FieldStats::empty);
+            if s.is_empty() {
+                return Err(EvalError::FieldUnavailable(field.clone()));
+            }
+            match stat {
+                StatFn::Min => s.min,
+                StatFn::Max => s.max,
+                StatFn::Range => s.range(),
+                StatFn::Mean => s.mean(),
+            }
+        }
+        Expr::Delta(inner) => {
+            let cur = eval_num(inner, cx)?;
+            let key = inner.to_string();
+            let slot = cx.state.memory.get(&key).copied();
+            let (base, prev) = match slot {
+                // Re-evaluating the iteration that last wrote the slot:
+                // diff against the value before it.
+                Some(s) if s.iter == cx.iter => (s.prev, s.prev),
+                Some(s) => (Some(s.cur), Some(s.cur)),
+                None => (None, None),
+            };
+            cx.state.memory.insert(
+                key,
+                DeltaSlot {
+                    prev,
+                    cur,
+                    iter: cx.iter,
+                },
+            );
+            match base {
+                Some(b) => (cur - b).abs(),
+                None => f64::INFINITY,
+            }
+        }
+        Expr::Unary(UnOp::Neg, inner) => -eval_num(inner, cx)?,
+        Expr::Unary(UnOp::Not, _) => unreachable!("type checker rejects"),
+        Expr::Binary(op, a, b) => {
+            let (x, y) = (eval_num(a, cx)?, eval_num(b, cx)?);
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Mod => x % y,
+                _ => unreachable!("type checker rejects"),
+            }
+        }
+    })
+}
+
+fn eval_bool(e: &Expr, cx: &mut EvalCtx<'_>) -> Result<bool, EvalError> {
+    Ok(match e {
+        Expr::Unary(UnOp::Not, inner) => !eval_bool(inner, cx)?,
+        Expr::Binary(BinOp::And, a, b) => {
+            // No short-circuit: both sides always evaluate so `delta`
+            // memories advance identically regardless of outcome.
+            let (x, y) = (eval_bool(a, cx)?, eval_bool(b, cx)?);
+            x && y
+        }
+        Expr::Binary(BinOp::Or, a, b) => {
+            let (x, y) = (eval_bool(a, cx)?, eval_bool(b, cx)?);
+            x || y
+        }
+        Expr::Binary(op, a, b) => {
+            let (x, y) = (eval_num(a, cx)?, eval_num(b, cx)?);
+            match op {
+                BinOp::Lt => x < y,
+                BinOp::Le => x <= y,
+                BinOp::Gt => x > y,
+                BinOp::Ge => x >= y,
+                BinOp::Eq => x == y,
+                BinOp::Ne => x != y,
+                _ => unreachable!("type checker rejects"),
+            }
+        }
+        _ => unreachable!("type checker rejects"),
+    })
+}
+
+/// Evaluates a type-checked expression. Public so oracle tests can drive
+/// single expressions; pipelines go through [`TriggerProgram::evaluate`].
+pub fn evaluate(
+    e: &Expr,
+    iter: u64,
+    fields: &BTreeMap<String, FieldStats>,
+    state: &mut TriggerState,
+) -> Result<Value, EvalError> {
+    let mut cx = EvalCtx {
+        iter,
+        fields,
+        state,
+    };
+    match e.type_of() {
+        Ok(Ty::Bool) => eval_bool(e, &mut cx).map(Value::Bool),
+        _ => eval_num(e, &mut cx).map(Value::Num),
+    }
+}
+
+/// An evaluated expression value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A number.
+    Num(f64),
+    /// A truth value.
+    Bool(bool),
+}
+
+// ---------------------------------------------------------------------------
+// Programs
+// ---------------------------------------------------------------------------
+
+/// One compiled trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trigger {
+    /// Compiled predicate.
+    pub when: Expr,
+    /// Compiled action.
+    pub action: Action,
+}
+
+/// A resolved re-parameterization, produced by a fired trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reparam {
+    /// Replace the contour isovalue on `field`.
+    Contour {
+        /// Filter field.
+        field: String,
+        /// Resolved isovalue.
+        value: f64,
+    },
+    /// Override the render color range.
+    Range {
+        /// Resolved bounds.
+        lo: f32,
+        /// Resolved upper bound.
+        hi: f32,
+    },
+    /// Scale the fitted camera distance by `1/zoom`.
+    CameraZoom(f64),
+}
+
+/// The decision one evaluation reaches — identical on every rank because
+/// the inputs are one global reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Whether the pipeline executes this iteration.
+    pub run: bool,
+    /// How many triggers fired (their `when` held).
+    pub fired: u64,
+    /// Re-parameterizations from fired triggers, in trigger order;
+    /// applied only when `run`.
+    pub reparams: Vec<Reparam>,
+}
+
+/// A compiled trigger program: what a [`crate::PipelineScript`]'s
+/// `triggers` section becomes at `create_pipeline` time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TriggerProgram {
+    triggers: Vec<Trigger>,
+    fields: Vec<String>,
+    has_run_gate: bool,
+}
+
+impl TriggerProgram {
+    /// Compiles trigger specs. Any parse or type error is reported with
+    /// the index of the offending trigger — typed, never a panic.
+    pub fn compile(specs: &[TriggerSpec]) -> Result<Self, ParseError> {
+        let mut triggers = Vec::with_capacity(specs.len());
+        let mut fields = std::collections::BTreeSet::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let when = parse_predicate(&spec.when).map_err(|e| ParseError {
+                pos: e.pos,
+                msg: format!("trigger {i} 'when' {:?}: {}", spec.when, e.msg),
+            })?;
+            let action = parse_action(&spec.action).map_err(|e| ParseError {
+                pos: e.pos,
+                msg: format!("trigger {i} 'action' {:?}: {}", spec.action, e.msg),
+            })?;
+            when.collect_fields(&mut fields);
+            match &action {
+                Action::Contour { value, .. } => value.collect_fields(&mut fields),
+                Action::Range { lo, hi } => {
+                    lo.collect_fields(&mut fields);
+                    hi.collect_fields(&mut fields);
+                }
+                Action::Camera { zoom } => zoom.collect_fields(&mut fields),
+                Action::Run | Action::Skip => {}
+            }
+            triggers.push(Trigger { when, action });
+        }
+        let has_run_gate = triggers.iter().any(|t| t.action == Action::Run);
+        Ok(TriggerProgram {
+            triggers,
+            fields: fields.into_iter().collect(),
+            has_run_gate,
+        })
+    }
+
+    /// Whether the program has no triggers at all.
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// Every field referenced by any trigger, sorted — the field layout
+    /// the fused stats allreduce must carry.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// The compiled triggers.
+    pub fn triggers(&self) -> &[Trigger] {
+        &self.triggers
+    }
+
+    /// Evaluates every trigger in order against the fused global
+    /// statistics. Gate semantics: the default is *skip* when any `run`
+    /// trigger exists (opt-in execution) and *run* otherwise; each fired
+    /// `run`/`skip` overrides the current decision, so the last fired
+    /// gate wins. Every predicate always evaluates (no short-circuiting
+    /// across triggers), so `delta` histories advance identically on
+    /// every rank and every iteration; re-parameterization arguments are
+    /// resolved only for fired triggers.
+    pub fn evaluate(
+        &self,
+        iter: u64,
+        fields: &BTreeMap<String, FieldStats>,
+        state: &mut TriggerState,
+    ) -> Result<Decision, EvalError> {
+        let mut run = !self.has_run_gate;
+        let mut fired = 0u64;
+        let mut reparams = Vec::new();
+        for t in &self.triggers {
+            let mut cx = EvalCtx {
+                iter,
+                fields,
+                state,
+            };
+            let hit = eval_bool(&t.when, &mut cx)?;
+            if !hit {
+                continue;
+            }
+            fired += 1;
+            match &t.action {
+                Action::Run => run = true,
+                Action::Skip => run = false,
+                Action::Contour { field, value } => {
+                    let mut cx = EvalCtx {
+                        iter,
+                        fields,
+                        state,
+                    };
+                    let v = eval_num(value, &mut cx)?;
+                    reparams.push(Reparam::Contour {
+                        field: field.clone(),
+                        value: v,
+                    });
+                }
+                Action::Range { lo, hi } => {
+                    let mut cx = EvalCtx {
+                        iter,
+                        fields,
+                        state,
+                    };
+                    let l = eval_num(lo, &mut cx)?;
+                    let h = eval_num(hi, &mut cx)?;
+                    reparams.push(Reparam::Range {
+                        lo: l as f32,
+                        hi: h as f32,
+                    });
+                }
+                Action::Camera { zoom } => {
+                    let mut cx = EvalCtx {
+                        iter,
+                        fields,
+                        state,
+                    };
+                    let z = eval_num(zoom, &mut cx)?;
+                    reparams.push(Reparam::CameraZoom(z));
+                }
+            }
+        }
+        Ok(Decision {
+            run,
+            fired,
+            reparams,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(entries: &[(&str, f64, f64, f64, u64)]) -> BTreeMap<String, FieldStats> {
+        entries
+            .iter()
+            .map(|&(n, min, max, sum, count)| {
+                (
+                    n.to_string(),
+                    FieldStats {
+                        min,
+                        max,
+                        sum,
+                        count,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn eval_bool_str(src: &str, iter: u64, f: &BTreeMap<String, FieldStats>) -> bool {
+        let e = parse_predicate(src).unwrap();
+        let mut st = TriggerState::new();
+        match evaluate(&e, iter, f, &mut st).unwrap() {
+            Value::Bool(b) => b,
+            v => panic!("expected bool, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_matches_convention() {
+        let f = stats(&[("u", 0.0, 1.0, 5.0, 10)]);
+        // * binds tighter than +, + tighter than <, < tighter than &&,
+        // && tighter than ||.
+        assert!(eval_bool_str("1 + 2 * 3 == 7", 0, &f));
+        assert!(eval_bool_str("2 * 3 + 1 == 7", 0, &f));
+        assert!(eval_bool_str("1 < 2 && 3 < 4 || 5 < 4", 0, &f));
+        assert!(eval_bool_str("5 < 4 || 1 < 2 && 3 < 4", 0, &f));
+        assert!(!eval_bool_str("5 < 4 && 1 < 2 || 4 < 3", 0, &f));
+        assert!(eval_bool_str("-2 * -3 == 6", 0, &f));
+        assert!(eval_bool_str("10 % 4 == 2", 0, &f));
+        assert!(eval_bool_str("!(1 > 2)", 0, &f));
+    }
+
+    #[test]
+    fn stat_terms_read_fused_stats() {
+        let f = stats(&[("u", -1.0, 3.0, 10.0, 8)]);
+        assert!(eval_bool_str("min(u) == -1", 0, &f));
+        assert!(eval_bool_str("max(u) == 3", 0, &f));
+        assert!(eval_bool_str("range(u) == 4", 0, &f));
+        assert!(eval_bool_str("mean(u) == 1.25", 0, &f));
+        assert!(eval_bool_str("iter % 4 == 1", 5, &f));
+    }
+
+    #[test]
+    fn missing_field_is_a_typed_eval_error() {
+        let e = parse_predicate("max(nope) > 0").unwrap();
+        let mut st = TriggerState::new();
+        let err = evaluate(&e, 0, &stats(&[]), &mut st).unwrap_err();
+        assert_eq!(err, EvalError::FieldUnavailable("nope".to_string()));
+    }
+
+    #[test]
+    fn delta_chain_semantics() {
+        let e = parse_expr("delta(max(u))").unwrap();
+        let mut st = TriggerState::new();
+        let at = |v: f64| stats(&[("u", 0.0, v, v, 1)]);
+        // First evaluation: no history -> infinite change.
+        match evaluate(&e, 1, &at(2.0), &mut st).unwrap() {
+            Value::Num(d) => assert_eq!(d, f64::INFINITY),
+            v => panic!("{v:?}"),
+        }
+        // Subsequent evaluations diff against the last evaluated iter.
+        match evaluate(&e, 2, &at(2.5), &mut st).unwrap() {
+            Value::Num(d) => assert!((d - 0.5).abs() < 1e-12),
+            v => panic!("{v:?}"),
+        }
+        // Skipping iterations of the *simulation* does not matter; the
+        // base is the last evaluation, not iter-1.
+        match evaluate(&e, 10, &at(4.5), &mut st).unwrap() {
+            Value::Num(d) => assert!((d - 2.0).abs() < 1e-12),
+            v => panic!("{v:?}"),
+        }
+        // Re-evaluating the same iteration (abort-and-recover) is
+        // idempotent: same base, same delta.
+        match evaluate(&e, 10, &at(4.5), &mut st).unwrap() {
+            Value::Num(d) => assert!((d - 2.0).abs() < 1e-12),
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_sources_return_typed_errors() {
+        for src in [
+            "", "1 +", "max(", "max()", "max(u", "(1", "1 = 2", "&& 1", "foo",
+            "min(u) +", "1 < 2 < 3", "delta(1 > 2)", "!3", "1 && 2", "iter ^ 2",
+            "max(u) @", "min(u,v)", "2..5 > 1", "1e > 0",
+        ] {
+            assert!(parse_predicate(src).is_err(), "{src:?} should fail");
+        }
+        // Numeric expressions are not predicates.
+        assert!(parse_predicate("1 + 2").is_err());
+        assert!(parse_numeric_arg("1 > 2").is_err());
+    }
+
+    #[test]
+    fn action_grammar() {
+        assert_eq!(parse_action("run").unwrap(), Action::Run);
+        assert_eq!(parse_action(" skip ").unwrap(), Action::Skip);
+        assert!(matches!(
+            parse_action("contour(v, mean(v))").unwrap(),
+            Action::Contour { .. }
+        ));
+        assert!(matches!(
+            parse_action("range(min(v02), max(v02))").unwrap(),
+            Action::Range { .. }
+        ));
+        assert!(matches!(
+            parse_action("camera(1.5)").unwrap(),
+            Action::Camera { .. }
+        ));
+        for bad in [
+            "walk", "contour(v)", "contour(1+1, 2)", "range(1)", "camera()",
+            "range(1 > 2, 3)", "camera(iter, 2)", "run()", "contour(v, max(v) >)",
+        ] {
+            assert!(parse_action(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn program_gate_semantics() {
+        let f = stats(&[("u", 0.0, 1.0, 5.0, 10)]);
+        let mut st = TriggerState::new();
+        // With a run gate present the default is skip.
+        let p = TriggerProgram::compile(&[TriggerSpec::new("iter % 2 == 0", "run")]).unwrap();
+        assert!(p.evaluate(0, &f, &mut st).unwrap().run);
+        assert!(!p.evaluate(1, &f, &mut st).unwrap().run);
+        // Without one, the default is run and skip rules opt out.
+        let p = TriggerProgram::compile(&[TriggerSpec::new("iter % 2 == 1", "skip")]).unwrap();
+        assert!(p.evaluate(0, &f, &mut st).unwrap().run);
+        assert!(!p.evaluate(1, &f, &mut st).unwrap().run);
+        // Last fired gate wins.
+        let p = TriggerProgram::compile(&[
+            TriggerSpec::new("iter >= 0", "run"),
+            TriggerSpec::new("iter == 1", "skip"),
+        ])
+        .unwrap();
+        assert!(p.evaluate(0, &f, &mut st).unwrap().run);
+        assert!(!p.evaluate(1, &f, &mut st).unwrap().run);
+    }
+
+    #[test]
+    fn program_reparams_resolve_from_stats() {
+        let f = stats(&[("v", 1.0, 3.0, 8.0, 4)]);
+        let mut st = TriggerState::new();
+        let p = TriggerProgram::compile(&[
+            TriggerSpec::new("max(v) > 2", "contour(v, mean(v))"),
+            TriggerSpec::new("max(v) > 2", "range(min(v), max(v))"),
+            TriggerSpec::new("max(v) > 100", "camera(2)"),
+        ])
+        .unwrap();
+        assert_eq!(p.fields(), &["v".to_string()]);
+        let d = p.evaluate(3, &f, &mut st).unwrap();
+        assert!(d.run);
+        assert_eq!(d.fired, 2);
+        assert_eq!(
+            d.reparams,
+            vec![
+                Reparam::Contour {
+                    field: "v".to_string(),
+                    value: 2.0
+                },
+                Reparam::Range { lo: 1.0, hi: 3.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn compile_reports_trigger_index() {
+        let err = TriggerProgram::compile(&[
+            TriggerSpec::new("iter > 0", "run"),
+            TriggerSpec::new("max(", "run"),
+        ])
+        .unwrap_err();
+        assert!(err.msg.contains("trigger 1"), "{err}");
+    }
+
+    #[test]
+    fn canonical_display_roundtrips() {
+        for src in [
+            "max(u) > 0.35 && iter % 4 == 0",
+            "delta(mean(v02)) < 0.01 || !(min(u) >= -2.5)",
+            "-iter * 3 + 1 <= range(f_1) / 2",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let back = parse_expr(&e.to_string()).unwrap();
+            assert_eq!(e, back, "{src}");
+        }
+    }
+}

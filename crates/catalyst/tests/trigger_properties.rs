@@ -1,0 +1,375 @@
+//! Property tests for the reactive trigger language (DESIGN.md §15):
+//! canonical-form parse→eval roundtrips on generated ASTs, a precedence
+//! oracle against an independent naive evaluator, `delta` chain
+//! semantics, and the no-panic guarantee on malformed scripts.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use catalyst::trigger::{
+    evaluate, parse_action, parse_expr, parse_predicate, BinOp, Expr, FieldStats, StatFn,
+    TriggerProgram, TriggerSpec, TriggerState, UnOp, Value,
+};
+
+const FIELDS: [&str; 3] = ["u", "v", "v02"];
+
+fn test_stats() -> BTreeMap<String, FieldStats> {
+    let mut m = BTreeMap::new();
+    m.insert(
+        "u".to_string(),
+        FieldStats {
+            min: -1.5,
+            max: 2.25,
+            sum: 3.0,
+            count: 4,
+        },
+    );
+    m.insert(
+        "v".to_string(),
+        FieldStats {
+            min: 0.125,
+            max: 0.5,
+            sum: 1.25,
+            count: 5,
+        },
+    );
+    m.insert(
+        "v02".to_string(),
+        FieldStats {
+            min: 0.0,
+            max: 5.5,
+            sum: 11.0,
+            count: 8,
+        },
+    );
+    m
+}
+
+/// Deterministically decodes a byte stream into a numeric expression.
+/// Every byte sequence yields a valid AST, so proptest explores the
+/// grammar without a recursive strategy combinator.
+fn build_num(bytes: &mut std::vec::IntoIter<u8>, depth: u32) -> Expr {
+    let b = bytes.next().unwrap_or(0);
+    if depth == 0 {
+        return match b % 3 {
+            0 => Expr::Num((b / 3) as f64 * 0.25),
+            1 => Expr::Iter,
+            _ => leaf_stat(b),
+        };
+    }
+    match b % 10 {
+        0 => Expr::Num((b / 10) as f64 * 0.5),
+        1 => Expr::Iter,
+        2 => leaf_stat(b),
+        3 => Expr::Unary(UnOp::Neg, Box::new(build_num(bytes, depth - 1))),
+        4 => Expr::Delta(Box::new(build_num(bytes, depth - 1))),
+        n => {
+            let op = match n {
+                5 => BinOp::Add,
+                6 => BinOp::Sub,
+                7 => BinOp::Mul,
+                8 => BinOp::Div,
+                _ => BinOp::Mod,
+            };
+            Expr::Binary(
+                op,
+                Box::new(build_num(bytes, depth - 1)),
+                Box::new(build_num(bytes, depth - 1)),
+            )
+        }
+    }
+}
+
+fn leaf_stat(b: u8) -> Expr {
+    let stat = match b % 4 {
+        0 => StatFn::Min,
+        1 => StatFn::Max,
+        2 => StatFn::Range,
+        _ => StatFn::Mean,
+    };
+    Expr::Stat(stat, FIELDS[(b / 4) as usize % FIELDS.len()].to_string())
+}
+
+/// Decodes a byte stream into a boolean expression (a predicate).
+fn build_bool(bytes: &mut std::vec::IntoIter<u8>, depth: u32) -> Expr {
+    let b = bytes.next().unwrap_or(0);
+    if depth == 0 || b % 8 < 4 {
+        let op = match b % 6 {
+            0 => BinOp::Lt,
+            1 => BinOp::Le,
+            2 => BinOp::Gt,
+            3 => BinOp::Ge,
+            4 => BinOp::Eq,
+            _ => BinOp::Ne,
+        };
+        let d = depth.saturating_sub(1);
+        return Expr::Binary(
+            op,
+            Box::new(build_num(bytes, d)),
+            Box::new(build_num(bytes, d)),
+        );
+    }
+    match b % 8 {
+        4 => Expr::Unary(UnOp::Not, Box::new(build_bool(bytes, depth - 1))),
+        5 => Expr::Binary(
+            BinOp::And,
+            Box::new(build_bool(bytes, depth - 1)),
+            Box::new(build_bool(bytes, depth - 1)),
+        ),
+        _ => Expr::Binary(
+            BinOp::Or,
+            Box::new(build_bool(bytes, depth - 1)),
+            Box::new(build_bool(bytes, depth - 1)),
+        ),
+    }
+}
+
+/// An independent naive recursive evaluator over delta-free ASTs — the
+/// oracle the module evaluator is checked against. Shares nothing with
+/// the implementation but the AST type.
+fn naive(e: &Expr, iter: u64, f: &BTreeMap<String, FieldStats>) -> f64 {
+    match e {
+        Expr::Num(n) => *n,
+        Expr::Iter => iter as f64,
+        Expr::Stat(stat, field) => {
+            let s = &f[field.as_str()];
+            match stat {
+                StatFn::Min => s.min,
+                StatFn::Max => s.max,
+                StatFn::Range => s.max - s.min,
+                StatFn::Mean => s.sum / s.count as f64,
+            }
+        }
+        Expr::Delta(_) => unreachable!("oracle ASTs are delta-free"),
+        Expr::Unary(UnOp::Neg, e) => -naive(e, iter, f),
+        Expr::Unary(UnOp::Not, e) => bool_to_f(naive(e, iter, f) == 0.0),
+        Expr::Binary(op, a, b) => {
+            let (x, y) = (naive(a, iter, f), naive(b, iter, f));
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Mod => x % y,
+                BinOp::Lt => bool_to_f(x < y),
+                BinOp::Le => bool_to_f(x <= y),
+                BinOp::Gt => bool_to_f(x > y),
+                BinOp::Ge => bool_to_f(x >= y),
+                BinOp::Eq => bool_to_f(x == y),
+                BinOp::Ne => bool_to_f(x != y),
+                BinOp::And => bool_to_f(x != 0.0 && y != 0.0),
+                BinOp::Or => bool_to_f(x != 0.0 || y != 0.0),
+            }
+        }
+    }
+}
+
+fn bool_to_f(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn strip_delta(e: &Expr) -> Expr {
+    match e {
+        Expr::Num(_) | Expr::Iter | Expr::Stat(..) => e.clone(),
+        // Replace delta with its argument: keeps the rest of the shape.
+        Expr::Delta(inner) => strip_delta(inner),
+        Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(strip_delta(inner))),
+        Expr::Binary(op, a, b) => {
+            Expr::Binary(*op, Box::new(strip_delta(a)), Box::new(strip_delta(b)))
+        }
+    }
+}
+
+fn same_num(a: f64, b: f64) -> bool {
+    a == b || (a.is_nan() && b.is_nan())
+}
+
+proptest! {
+    /// Canonical display of a generated AST parses back to the same AST
+    /// (the fully parenthesized form is unambiguous), and evaluating the
+    /// reparse matches evaluating the original.
+    #[test]
+    fn parse_eval_roundtrip_on_generated_asts(bytes in proptest::collection::vec(0u8..255, 0..48)) {
+        let e = build_bool(&mut bytes.clone().into_iter(), 3);
+        let printed = e.to_string();
+        let back = parse_expr(&printed).expect("canonical form parses");
+        prop_assert_eq!(&back, &e, "roundtrip of {}", printed);
+
+        let stats = test_stats();
+        let mut s1 = TriggerState::new();
+        let mut s2 = TriggerState::new();
+        let v1 = evaluate(&e, 7, &stats, &mut s1).unwrap();
+        let v2 = evaluate(&back, 7, &stats, &mut s2).unwrap();
+        match (v1, v2) {
+            (Value::Bool(a), Value::Bool(b)) => prop_assert_eq!(a, b),
+            (Value::Num(a), Value::Num(b)) => prop_assert!(same_num(a, b)),
+            other => prop_assert!(false, "type mismatch {:?}", other),
+        }
+    }
+
+    /// The module evaluator agrees with an independent naive recursive
+    /// evaluator on delta-free ASTs — precedence and semantics oracle.
+    #[test]
+    fn evaluator_matches_naive_oracle(bytes in proptest::collection::vec(0u8..255, 0..48), iter in 0u64..100) {
+        let e = strip_delta(&build_bool(&mut bytes.clone().into_iter(), 3));
+        let stats = test_stats();
+        let expected = naive(&e, iter, &stats) != 0.0;
+        let mut st = TriggerState::new();
+        match evaluate(&e, iter, &stats, &mut st).unwrap() {
+            Value::Bool(got) => prop_assert_eq!(got, expected, "{}", e),
+            v => prop_assert!(false, "predicate evaluated to {:?}", v),
+        }
+    }
+
+    /// Paren-free arithmetic strings honor conventional precedence: the
+    /// parser's result matches a split-at-loosest-operator oracle that
+    /// never builds an AST.
+    #[test]
+    fn precedence_against_string_oracle(
+        nums in proptest::collection::vec(1u8..9, 2..8),
+        ops in proptest::collection::vec(0u8..5, 7),
+    ) {
+        let symbols = ["+", "-", "*", "/", "%"];
+        let mut src = String::new();
+        for (i, n) in nums.iter().enumerate() {
+            if i > 0 {
+                src.push_str(symbols[ops[i - 1] as usize % 5]);
+            }
+            src.push_str(&n.to_string());
+        }
+        // Oracle: split at the rightmost loosest-precedence operator.
+        fn oracle(toks: &[(f64, Option<char>)]) -> f64 {
+            for tier in [&['+', '-'][..], &['*', '/', '%'][..]] {
+                if let Some(i) = (0..toks.len())
+                    .rev()
+                    .find(|&i| toks[i].1.map(|c| tier.contains(&c)).unwrap_or(false))
+                {
+                    let mut left = toks[..=i].to_vec();
+                    left[i].1 = None;
+                    let l = oracle(&left);
+                    let r = oracle(&toks[i + 1..]);
+                    return match toks[i].1.unwrap() {
+                        '+' => l + r,
+                        '-' => l - r,
+                        '*' => l * r,
+                        '/' => l / r,
+                        _ => l % r,
+                    };
+                }
+            }
+            toks[0].0
+        }
+        let toks: Vec<(f64, Option<char>)> = nums
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let op = (i + 1 < nums.len())
+                    .then(|| symbols[ops[i] as usize % 5].chars().next().unwrap());
+                (n as f64, op)
+            })
+            .collect();
+        let expected = oracle(&toks);
+        let e = parse_expr(&src).unwrap();
+        let mut st = TriggerState::new();
+        match evaluate(&e, 0, &test_stats(), &mut st).unwrap() {
+            Value::Num(got) => prop_assert!(same_num(got, expected), "{} -> {} vs {}", src, got, expected),
+            v => prop_assert!(false, "arithmetic evaluated to {:?}", v),
+        }
+    }
+
+    /// `delta(x)` over any value sequence is +inf first, then the
+    /// absolute difference against the previous *evaluated* iteration —
+    /// and re-evaluating an iteration never changes the answer.
+    #[test]
+    fn delta_chain_over_random_sequences(vals in proptest::collection::vec(-100.0f64..100.0, 1..20)) {
+        let e = parse_expr("delta(max(u))").unwrap();
+        let mut st = TriggerState::new();
+        let mut prev: Option<f64> = None;
+        for (i, &v) in vals.iter().enumerate() {
+            let mut stats = BTreeMap::new();
+            stats.insert("u".to_string(), FieldStats { min: v, max: v, sum: v, count: 1 });
+            // Sparse iteration numbers: the base is the last evaluation,
+            // not iter-1.
+            let iter = (i as u64) * 3 + 1;
+            let expected = match prev {
+                None => f64::INFINITY,
+                Some(p) => (v - p).abs(),
+            };
+            for _attempt in 0..2 {
+                // Second pass re-evaluates the same iteration (the
+                // abort-and-recover path): must be idempotent.
+                match evaluate(&e, iter, &stats, &mut st).unwrap() {
+                    Value::Num(d) => prop_assert!(same_num(d, expected), "step {} got {} want {}", i, d, expected),
+                    v => prop_assert!(false, "delta evaluated to {:?}", v),
+                }
+            }
+            prev = Some(v);
+        }
+    }
+
+    /// Arbitrary input never panics the parser: it returns Ok or a typed
+    /// ParseError with a position inside the source.
+    #[test]
+    fn malformed_sources_never_panic(src in "[a-z0-9()<>=!&|%+*/,. -]{0,40}") {
+        match parse_predicate(&src) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.pos <= src.len(), "pos {} out of {:?}", e.pos, src),
+        }
+        let _ = parse_action(&src);
+        // Same through the whole program compiler.
+        let _ = TriggerProgram::compile(&[TriggerSpec::new(src.clone(), "run")]);
+        let _ = TriggerProgram::compile(&[TriggerSpec::new("iter > 0", src)]);
+    }
+
+    /// Truncating a valid predicate anywhere never panics, and canonical
+    /// forms stay parseable after whitespace injection.
+    #[test]
+    fn truncation_and_whitespace_never_panic(bytes in proptest::collection::vec(0u8..255, 0..32), cut in 0usize..200) {
+        let printed = build_bool(&mut bytes.clone().into_iter(), 2).to_string();
+        let cut = cut.min(printed.len());
+        if printed.is_char_boundary(cut) {
+            let _ = parse_predicate(&printed[..cut]);
+        }
+        // Whitespace is insignificant between tokens: pad the ends and
+        // widen existing separators.
+        let spaced = format!("  {}\t", printed.replace(' ', "   "));
+        prop_assert!(parse_predicate(&spaced).is_ok(), "{:?}", spaced);
+    }
+}
+
+#[test]
+fn program_decisions_are_pure_functions_of_inputs() {
+    // Two independently compiled programs fed the same (iter, stats)
+    // sequence reach identical decisions — the cross-rank determinism
+    // argument in miniature.
+    let specs = [
+        TriggerSpec::new("max(v02) > 3.2 || iter % 4 == 1", "run"),
+        TriggerSpec::new("delta(max(v02)) < 0.01", "skip"),
+        TriggerSpec::new("max(v02) > 3.2", "range(min(v02), max(v02))"),
+    ];
+    let p1 = TriggerProgram::compile(&specs).unwrap();
+    let p2 = TriggerProgram::compile(&specs).unwrap();
+    let mut s1 = TriggerState::new();
+    let mut s2 = TriggerState::new();
+    for iter in 0..40u64 {
+        let v = (iter as f64 * 0.37).sin().abs() * 6.0;
+        let mut stats = BTreeMap::new();
+        stats.insert(
+            "v02".to_string(),
+            FieldStats {
+                min: 0.0,
+                max: v,
+                sum: v * 3.0,
+                count: 6,
+            },
+        );
+        let d1 = p1.evaluate(iter, &stats, &mut s1).unwrap();
+        let d2 = p2.evaluate(iter, &stats, &mut s2).unwrap();
+        assert_eq!(d1, d2, "iteration {iter}");
+    }
+}

@@ -17,7 +17,7 @@ use parking_lot::{Mutex, RwLock};
 use vizkit::Controller;
 
 use crate::error::{ColzaError, Result};
-use crate::protocol::BlockMeta;
+use crate::protocol::{BlockMeta, ExecOutcome};
 
 /// A block staged on a server: metadata plus the pulled payload.
 #[derive(Debug, Clone)]
@@ -53,8 +53,14 @@ pub trait Backend: Send + Sync {
     fn unstage(&self, _meta: &BlockMeta) -> std::result::Result<(), String> {
         Ok(())
     }
-    /// Run the analysis collectively over the staged data.
-    fn execute(&self, iteration: u64, ctrl: &Controller) -> std::result::Result<(), String>;
+    /// Run the analysis collectively over the staged data. Reactive
+    /// backends may report [`ExecOutcome::Skipped`] when a trigger
+    /// decided against running this iteration (DESIGN.md §15).
+    fn execute(
+        &self,
+        iteration: u64,
+        ctrl: &Controller,
+    ) -> std::result::Result<ExecOutcome, String>;
     /// The iteration is complete; staged data may be released.
     fn deactivate(&self, iteration: u64) -> std::result::Result<(), String>;
     /// Optional: the latest result produced by this pipeline (e.g. a
@@ -64,8 +70,12 @@ pub trait Backend: Send + Sync {
     }
 }
 
-/// A backend factory ("the shared library's entry point").
-pub type BackendFactory = Arc<dyn Fn(&BackendCtx) -> Arc<dyn Backend> + Send + Sync>;
+/// A backend factory ("the shared library's entry point"). Fallible:
+/// a malformed configuration (bad JSON, a trigger expression that does
+/// not compile) is reported as a typed error at `create_pipeline` time,
+/// never a panic on the server.
+pub type BackendFactory =
+    Arc<dyn Fn(&BackendCtx) -> std::result::Result<Arc<dyn Backend>, String> + Send + Sync>;
 
 static REGISTRY: RwLock<Option<HashMap<String, BackendFactory>>> = RwLock::new(None);
 
@@ -88,7 +98,8 @@ pub fn instantiate(library: &str, ctx: &BackendCtx) -> Result<Arc<dyn Backend>> 
         .and_then(|r| r.get(library))
         .cloned()
         .ok_or_else(|| ColzaError::NoSuchLibrary(library.to_string()))?;
-    Ok(factory(ctx))
+    drop(reg);
+    factory(ctx).map_err(ColzaError::InvalidScript)
 }
 
 /// Registers the built-in libraries shipped with this reproduction.
@@ -97,14 +108,12 @@ fn ensure_builtins() {
     let reg = reg.get_or_insert_with(HashMap::new);
     reg.entry("catalyst".to_string()).or_insert_with(|| {
         Arc::new(|ctx: &BackendCtx| {
-            Arc::new(
-                CatalystBackend::from_config(&ctx.config)
-                    .expect("catalyst backend config must be a valid pipeline script"),
-            ) as Arc<dyn Backend>
+            CatalystBackend::from_config(&ctx.config)
+                .map(|b| Arc::new(b) as Arc<dyn Backend>)
         })
     });
     reg.entry("null".to_string()).or_insert_with(|| {
-        Arc::new(|_: &BackendCtx| Arc::new(NullBackend::default()) as Arc<dyn Backend>)
+        Arc::new(|_: &BackendCtx| Ok(Arc::new(NullBackend::default()) as Arc<dyn Backend>))
     });
 }
 
@@ -135,9 +144,13 @@ impl Backend for NullBackend {
         Ok(())
     }
 
-    fn execute(&self, _iteration: u64, _ctrl: &Controller) -> std::result::Result<(), String> {
+    fn execute(
+        &self,
+        _iteration: u64,
+        _ctrl: &Controller,
+    ) -> std::result::Result<ExecOutcome, String> {
         self.calls.lock().2 += 1;
-        Ok(())
+        Ok(ExecOutcome::Ran)
     }
 
     fn deactivate(&self, _iteration: u64) -> std::result::Result<(), String> {
@@ -203,7 +216,11 @@ impl Backend for CatalystBackend {
         Ok(())
     }
 
-    fn execute(&self, iteration: u64, ctrl: &Controller) -> std::result::Result<(), String> {
+    fn execute(
+        &self,
+        iteration: u64,
+        ctrl: &Controller,
+    ) -> std::result::Result<ExecOutcome, String> {
         let mut blocks = self
             .staged
             .lock()
@@ -215,10 +232,15 @@ impl Backend for CatalystBackend {
             .iter()
             .map(|b| crate::codec::dataset_from_bytes(&b.data).map_err(|e| e.to_string()))
             .collect::<std::result::Result<_, _>>()?;
-        if let Some(img) = self.pipeline.execute(&datasets, ctrl)? {
+        let outcome = self.pipeline.execute_reactive(&datasets, ctrl, iteration)?;
+        if let Some(img) = outcome.image {
             *self.last_image.lock() = Some(img.to_bytes());
         }
-        Ok(())
+        Ok(if outcome.skipped {
+            ExecOutcome::Skipped
+        } else {
+            ExecOutcome::Ran
+        })
     }
 
     fn deactivate(&self, iteration: u64) -> std::result::Result<(), String> {
@@ -251,6 +273,27 @@ mod tests {
             instantiate("missing.so", &ctx2),
             Err(ColzaError::NoSuchLibrary(_))
         ));
+    }
+
+    #[test]
+    fn malformed_script_is_a_typed_error_not_a_panic() {
+        // Broken JSON and a broken trigger expression both surface as
+        // InvalidScript from the factory.
+        for config in [
+            "not json at all",
+            r#"{"render": {"mode": "surface", "width": 8, "height": 8, "field": null,
+                "range": null, "camera": null},
+                "triggers": [{"when": "max(u >", "action": "run"}]}"#,
+        ] {
+            let ctx = BackendCtx {
+                self_addr: na::Address(0),
+                config: config.to_string(),
+            };
+            assert!(matches!(
+                instantiate("catalyst", &ctx),
+                Err(ColzaError::InvalidScript(_))
+            ));
+        }
     }
 
     #[test]

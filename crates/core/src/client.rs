@@ -141,8 +141,10 @@ impl PipelineHandle {
         stage_via_ring(&self.client.margo, &ring, &self.pipeline, &meta, payload)
     }
 
-    /// Executes the pipeline on this server alone.
-    pub fn execute(&self, iteration: u64) -> Result<()> {
+    /// Executes the pipeline on this server alone. Reactive pipelines
+    /// may report [`ExecOutcome::Skipped`] when a trigger decided
+    /// against running this iteration.
+    pub fn execute(&self, iteration: u64) -> Result<ExecOutcome> {
         Ok(self.client.margo.forward_retry(
             self.server,
             "colza.execute",
@@ -585,7 +587,14 @@ impl DistributedPipelineHandle {
     }
 
     /// Runs the pipeline collectively on all servers for this iteration.
-    pub fn execute(&self, iteration: u64) -> Result<()> {
+    /// Returns [`ExecOutcome::Skipped`] when the pipeline's trigger
+    /// program decided against this iteration — a successful outcome,
+    /// and necessarily unanimous: every server evaluates the same
+    /// predicates over the same fused global statistics. Divergent
+    /// outcomes therefore indicate a broken deployment (e.g. servers
+    /// running different scripts under one name) and surface as
+    /// [`ColzaError::Pipeline`].
+    pub fn execute(&self, iteration: u64) -> Result<ExecOutcome> {
         let members = self.members.lock().clone();
         let mut sp = hpcsim::trace::span("colza", "colza.execute");
         if sp.active() {
@@ -599,11 +608,27 @@ impl DistributedPipelineHandle {
         };
         // Servers run a collective inside the handler, so every execute
         // RPC must be in flight simultaneously.
-        let results = self.broadcast::<_, ()>(&members, "colza.execute", &args, &self.heavy);
+        let results =
+            self.broadcast::<_, ExecOutcome>(&members, "colza.execute", &args, &self.heavy);
+        let mut merged: Option<ExecOutcome> = None;
         for r in results {
-            r?;
+            let outcome = r?;
+            match merged {
+                None => merged = Some(outcome),
+                Some(prev) if prev == outcome => {}
+                Some(prev) => {
+                    return Err(ColzaError::Pipeline(format!(
+                        "trigger decision diverged across servers on iteration {iteration}: \
+                         {prev:?} vs {outcome:?}"
+                    )))
+                }
+            }
         }
-        Ok(())
+        let outcome = merged.unwrap_or(ExecOutcome::Ran);
+        if sp.active() && outcome.is_skipped() {
+            sp.arg("skipped", true);
+        }
+        Ok(outcome)
     }
 
     /// [`DistributedPipelineHandle::execute`], with abort-and-recover:
@@ -618,13 +643,13 @@ impl DistributedPipelineHandle {
     /// Plain [`DistributedPipelineHandle::execute`] keeps its
     /// fail-fast semantics; call this variant when the simulation
     /// wants the iteration to ride through crashes.
-    pub fn execute_with_recovery(&self, iteration: u64) -> Result<()> {
+    pub fn execute_with_recovery(&self, iteration: u64) -> Result<ExecOutcome> {
         const MAX_ABORTS: usize = 4;
         const REACTIVATE_TRIES: usize = 600;
         let mut aborts = 0;
         loop {
             let err = match self.execute(iteration) {
-                Ok(()) => return Ok(()),
+                Ok(outcome) => return Ok(outcome),
                 Err(e) if e.is_retryable() && aborts < MAX_ABORTS => e,
                 Err(e) => return Err(e),
             };
@@ -659,7 +684,7 @@ impl DistributedPipelineHandle {
 
     /// Non-blocking [`DistributedPipelineHandle::execute`] — what a real
     /// simulation uses so analysis overlaps computation (§III-E1).
-    pub fn iexecute(self: &Arc<Self>, iteration: u64) -> argo::Eventual<Result<()>> {
+    pub fn iexecute(self: &Arc<Self>, iteration: u64) -> argo::Eventual<Result<ExecOutcome>> {
         let this = Arc::clone(self);
         let ev = argo::Eventual::new();
         let ev2 = ev.clone();

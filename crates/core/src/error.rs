@@ -28,6 +28,10 @@ pub enum ColzaError {
     /// retrying (e.g. [`crate::client::DistributedPipelineHandle::stage_with_backpressure`])
     /// eventually succeeds.
     QuotaExceeded(String),
+    /// A pipeline script failed to parse or validate at
+    /// `create_pipeline` (malformed JSON, or a trigger expression that
+    /// does not compile). Not retryable: the script itself is wrong.
+    InvalidScript(String),
     /// No pipeline with this name exists on the target server.
     NoSuchPipeline(String),
     /// No backend factory registered under this `lib:name`.
@@ -49,6 +53,7 @@ impl fmt::Display for ColzaError {
                 write!(f, "activate 2PC failed after {attempts} attempts")
             }
             ColzaError::QuotaExceeded(m) => write!(f, "staged-byte quota exceeded: {m}"),
+            ColzaError::InvalidScript(m) => write!(f, "invalid pipeline script: {m}"),
             ColzaError::NoSuchPipeline(n) => write!(f, "no pipeline named {n:?}"),
             ColzaError::NoSuchLibrary(n) => write!(f, "no backend library {n:?} registered"),
             ColzaError::Pipeline(m) => write!(f, "pipeline error: {m}"),
@@ -93,6 +98,11 @@ impl From<margo::RpcError> for ColzaError {
             // staged-byte quota. Back off and retry, don't re-route.
             margo::RpcError::Handler(m) if m.starts_with(crate::provider::QUOTA) => {
                 ColzaError::QuotaExceeded(m.clone())
+            }
+            // create_pipeline rejected the script (bad JSON or a trigger
+            // that does not compile): fatal, fix the script.
+            margo::RpcError::Handler(m) if m.starts_with(crate::provider::INVALID_SCRIPT) => {
+                ColzaError::InvalidScript(m.clone())
             }
             _ if e.is_retryable() => ColzaError::Unavailable(e.to_string()),
             _ => ColzaError::Rpc(e.to_string()),

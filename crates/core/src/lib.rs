@@ -53,7 +53,7 @@ pub use codec::{CodecConfig, CodecError, CodecId, CodecSpec};
 pub use daemon::{ColzaDaemon, CommMode, DaemonConfig};
 pub use error::ColzaError;
 pub use protocol::{
-    BlockMeta, MetricsReport, PriorityClass, TenancyConfig, TenantConfig, TenantId,
+    BlockMeta, ExecOutcome, MetricsReport, PriorityClass, TenancyConfig, TenantConfig, TenantId,
 };
 pub use qos::{DrrScheduler, ExecGate};
 pub use store::TenantUsage;

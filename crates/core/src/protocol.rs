@@ -276,6 +276,27 @@ pub(crate) struct ExecuteArgs {
     pub tenant: TenantId,
 }
 
+/// What one `execute` actually did (DESIGN.md §15). A reactive pipeline
+/// whose trigger program decides against running reports `Skipped` — a
+/// normal, successful outcome (the staged data was examined and judged
+/// uninteresting), not an error. Deterministic: every server of an
+/// iteration reports the same variant because trigger inputs come from
+/// one fused collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecOutcome {
+    /// The pipeline ran over the staged data.
+    Ran,
+    /// A trigger skipped this iteration; no analysis was performed.
+    Skipped,
+}
+
+impl ExecOutcome {
+    /// Whether this iteration was skipped by a trigger.
+    pub fn is_skipped(self) -> bool {
+        matches!(self, ExecOutcome::Skipped)
+    }
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct DeactivateArgs {
     pub pipeline: String,

@@ -316,6 +316,18 @@ impl ColzaProvider {
                             args.iteration
                         ))
                     }
+                    // A trigger skipping the iteration is a successful
+                    // outcome; surface it to the client typed, not as an
+                    // error (DESIGN.md §15).
+                    Ok(outcome) => {
+                        if outcome.is_skipped() {
+                            hpcsim::trace::counter_add("colza.exec.skipped", 1);
+                            if sp.active() {
+                                sp.arg("skipped", true);
+                            }
+                        }
+                        Ok(outcome)
+                    }
                     other => other,
                 }
             });
@@ -356,7 +368,14 @@ impl ColzaProvider {
                         config: args.config,
                     };
                     let backend =
-                        backend::instantiate(&args.library, &ctx).map_err(|e| e.to_string())?;
+                        backend::instantiate(&args.library, &ctx).map_err(|e| match &e {
+                            // Marker-prefixed so the client maps it back
+                            // to the typed, non-retryable InvalidScript.
+                            crate::ColzaError::InvalidScript(m) => {
+                                format!("{INVALID_SCRIPT}: {m}")
+                            }
+                            _ => e.to_string(),
+                        })?;
                     p.pipelines
                         .write()
                         .insert(args.name, PipelineEntry { backend });
@@ -1133,6 +1152,11 @@ pub(crate) const ABORTED: &str = "iteration aborted by revoked collective";
 /// typed, retryable backpressure — the client backs off and retries
 /// instead of re-routing.
 pub(crate) const QUOTA: &str = "staged-byte quota exceeded";
+
+/// Marker prefix of a `create_pipeline` script rejection (malformed
+/// JSON or a trigger expression that fails to compile), recognized by
+/// `ColzaError::from(RpcError)` as the fatal, typed `InvalidScript`.
+pub(crate) const INVALID_SCRIPT: &str = "invalid pipeline script";
 
 fn block_meta(b: &StoredBlock) -> BlockMeta {
     BlockMeta {

@@ -108,6 +108,83 @@ impl DataArray {
                 .collect(),
         )
     }
+
+    /// Single-pass min/max/sum/count over the array — the local leg of
+    /// the fused statistics reduction pipelines run at execute time.
+    pub fn stats(&self) -> ArrayStats {
+        let mut s = ArrayStats::empty();
+        for i in 0..self.len() {
+            s.accumulate(self.get(i));
+        }
+        s
+    }
+}
+
+/// Mergeable summary statistics of one scalar field: the reduction
+/// monoid carried by the fused stats allreduce (min/min, max/max, sum/+,
+/// count/+), from which `min`, `max`, `range` and `mean` all fall out
+/// without a second collective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayStats {
+    /// Smallest value (`+inf` when empty).
+    pub min: f64,
+    /// Largest value (`-inf` when empty).
+    pub max: f64,
+    /// Sum of all values.
+    pub sum: f64,
+    /// Number of values.
+    pub count: u64,
+}
+
+impl ArrayStats {
+    /// The identity element: no values seen.
+    pub fn empty() -> Self {
+        ArrayStats {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Whether any value was seen.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds one value in.
+    pub fn accumulate(&mut self, v: f64) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Merges another summary in (the allreduce fold).
+    pub fn merge(&mut self, other: &ArrayStats) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// `max - min`; `0.0` when empty.
+    pub fn range(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
 }
 
 /// Named attribute arrays attached to points or cells.

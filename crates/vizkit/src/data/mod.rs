@@ -6,7 +6,7 @@ mod image;
 mod polydata;
 mod ugrid;
 
-pub use array::{Attributes, DataArray};
+pub use array::{ArrayStats, Attributes, DataArray};
 pub use image::ImageData;
 pub use polydata::PolyData;
 pub use ugrid::{CellType, UnstructuredGrid};
@@ -56,5 +56,21 @@ impl DataSet {
             DataSet::Image(i) => Some(i),
             _ => None,
         }
+    }
+
+    /// Summary statistics of the named scalar field in this dataset,
+    /// looked up in point data first, then cell data. Empty stats when
+    /// the field is absent.
+    pub fn field_stats(&self, name: &str) -> ArrayStats {
+        let (points, cells) = match self {
+            DataSet::Image(d) => (Some(&d.point_data), Some(&d.cell_data)),
+            DataSet::UGrid(d) => (Some(&d.point_data), Some(&d.cell_data)),
+            DataSet::Poly(d) => (Some(&d.point_data), None),
+        };
+        points
+            .and_then(|a| a.get(name))
+            .or_else(|| cells.and_then(|a| a.get(name)))
+            .map(|arr| arr.stats())
+            .unwrap_or_else(ArrayStats::empty)
     }
 }

@@ -3,11 +3,24 @@
 # Preflight: build + full test suite + chaos suite must be green before
 # burning hours on experiment runs (and it produces target/release).
 sh "$(dirname "$0")/scripts/check.sh" || exit 1
+
+# A wired bench that silently produces no output file is a broken
+# harness, not a slow one: fail the whole run loudly.
+require_out() {
+    if [ ! -s "$1" ]; then
+        echo "ERROR: bench produced no output file: $1" >&2
+        exit 1
+    fi
+}
+
 set -x
 B=./target/release
 $B/table1_p2p --ops 1000 --trace results/BENCH_trace.json > results/table1.txt 2>&1
+require_out results/BENCH_trace.json
 $B/table2_reduce --procs 64 --ops 200 --check-shape --trace results/BENCH_trace_reduce.json > results/table2.txt 2>&1
+require_out results/BENCH_trace_reduce.json
 $B/bench_coll --assert --out results/BENCH_coll.json > results/bench_coll.txt 2>&1
+require_out results/BENCH_coll.json
 $B/fig1_dwi_growth --render              > results/fig1.txt   2>&1
 $B/fig3_renders                          > results/fig3.txt   2>&1
 $B/fig4_resize                           > results/fig4.txt   2>&1
@@ -19,7 +32,13 @@ $B/fig9_elastic_mandelbulb               > results/fig9.txt   2>&1
 $B/fig10_elastic_dwi                     > results/fig10.txt  2>&1
 $B/ablation_2pc                          > results/ablation_2pc.txt 2>&1
 $B/bench_store --out results/BENCH_store.json > results/bench_store.txt 2>&1
+require_out results/BENCH_store.json
 $B/bench_recovery --out results/BENCH_recovery.json > results/bench_recovery.txt 2>&1
+require_out results/BENCH_recovery.json
 $B/bench_codec --assert --out results/BENCH_codec.json > results/bench_codec.txt 2>&1
+require_out results/BENCH_codec.json
 $B/bench_tenant --assert --out results/BENCH_tenant.json > results/bench_tenant.txt 2>&1
+require_out results/BENCH_tenant.json
+$B/bench_trigger --assert --out results/BENCH_trigger.json > results/bench_trigger.txt 2>&1
+require_out results/BENCH_trigger.json
 echo ALL_DONE

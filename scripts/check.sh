@@ -34,6 +34,12 @@ if [ "$1" = "--quick" ]; then
     cargo test -q --offline --test tenant_e2e
     cargo run -q --release --offline -p colza-bench --bin bench_tenant -- \
         --smoke --assert --out /tmp/colza_bench_tenant_smoke.json
+    # Trigger smoke: the expression-language property suite plus the
+    # bench gate (skips cost ~zero, savings are real, same-seed decision
+    # traces replay byte-for-byte).
+    cargo test -q --offline -p catalyst --test trigger_properties
+    cargo run -q --release --offline -p colza-bench --bin bench_trigger -- \
+        --smoke --assert --out /tmp/colza_bench_trigger_smoke.json
     echo "CHECK_OK quick (chaos seed $COLZA_CHAOS_SEED)"
     exit 0
 fi
@@ -51,6 +57,15 @@ cargo test -q --offline --test observability_e2e
 cargo test -q --offline --test tenant_e2e
 cargo test -q --offline -p colza --test qos_properties
 cargo test -q --offline --test chaos_e2e noisy_tenant_crash_repairs_without_losing_the_well_behaved_tenant
+
+# Reactive triggers (DESIGN.md §15): the expression-language property
+# suite, the end-to-end skip/run determinism suite, the fused-collective
+# reconciliation scenario, and the crash-on-a-triggered-iteration chaos
+# scenario (recovery must reach the same run decision).
+cargo test -q --offline -p catalyst --test trigger_properties
+cargo test -q --offline --test trigger_e2e
+cargo test -q --offline --test observability_e2e trigger_counters_and_fused_collective_reconcile
+cargo test -q --offline --test chaos_e2e mid_iteration_crash_on_triggered_iteration_recovers_same_decision
 
 # Determinism must hold for more than the pinned seed: replay the
 # virtual-time-trace scenario across a small seed matrix.
@@ -78,9 +93,15 @@ cargo run -q --release --offline -p colza-bench --bin bench_codec -- \
 cargo run -q --release --offline -p colza-bench --bin bench_tenant -- \
     --smoke --assert --out /tmp/colza_bench_tenant_smoke.json
 
+# Trigger smoke: skipped iterations must cost ~zero virtual time, the
+# savings must be a measurable share of the always-on execute budget,
+# and the same-seed decision trace must replay exactly.
+cargo run -q --release --offline -p colza-bench --bin bench_trigger -- \
+    --smoke --assert --out /tmp/colza_bench_trigger_smoke.json
+
 # The trace feature must compile away cleanly: every instrumented crate
 # has to build with instrumentation disabled.
-for crate in hpcsim na mona minimpi margo ssg store colza colza-bench; do
+for crate in hpcsim na mona minimpi margo ssg store colza colza-bench catalyst; do
     cargo build -q --offline -p "$crate" --no-default-features
 done
 

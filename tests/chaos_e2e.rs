@@ -1126,7 +1126,7 @@ fn request_leave_during_staging_loses_no_block() {
         let mut done = false;
         for _ in 0..600 {
             match handle.execute(0) {
-                Ok(()) => {
+                Ok(_) => {
                     done = true;
                     break;
                 }
@@ -1552,4 +1552,212 @@ fn noisy_tenant_crash_repairs_without_losing_the_well_behaved_tenant() {
         "fault-trace exports diverged for one seed"
     );
     assert_eq!(a, b, "tenant-crash outcomes diverged for one seed");
+}
+
+/// Everything one run of the triggered-crash scenario produced that must
+/// be identical across runs with the same seed.
+#[derive(Debug, PartialEq)]
+struct TriggeredCrashOutcome {
+    /// Canonical (sorted, line-per-record) export of the fault trace.
+    trace_export: String,
+    /// The recovered triggered iteration's rendered image, byte for byte.
+    image: Vec<u8>,
+    /// The decision the recovered execute returned.
+    outcome: colza::ExecOutcome,
+    /// `colza.exec.aborted` / `colza.exec.recoveries`.
+    aborted: u64,
+    recoveries: u64,
+    /// `colza.trigger.skipped`: must stay 0 — the decision never flips.
+    skipped: u64,
+}
+
+/// One deterministic run of the trigger chaos scenario (DESIGN.md §15):
+/// a server is killed mid-iteration — inside the execute collectives —
+/// on an iteration whose trigger *fires*. The send-count crash rule can
+/// land inside the fused stats allreduce itself, so recovery must
+/// re-evaluate the trigger from scratch on the shrunk view: the
+/// surviving ranks rebuild identical global stats from store replicas
+/// and reach the same `run` decision.
+fn triggered_crash_run(seed: u64, tag: &str) -> TriggeredCrashOutcome {
+    const BLOCKS: u64 = 4;
+    let plan = rpc_scoped(FaultPlan::seeded(seed));
+    let (cluster, fabric, mut cfg) = env(&format!("trigcrash-{tag}"), plan);
+    cluster.shared().tracer().set_enabled(true);
+    cfg.tick_interval = Duration::from_secs(3600); // harness-driven only
+    cfg.auto_repair = false; // all migration at the 2PC boundary
+    cfg.mona.fault.recv_deadline = Some(Duration::from_secs(5));
+    let mut daemons: Vec<ColzaDaemon> = (0..3)
+        .map(|i| ColzaDaemon::spawn(&cluster, &fabric, i, cfg.clone()))
+        .collect();
+    for _ in 0..60 {
+        for d in &daemons {
+            d.tick_sync();
+        }
+    }
+    assert!(
+        daemons.iter().all(|d| d.view().len() == 3),
+        "serialized gossip failed to converge"
+    );
+    let contact = daemons[0].address();
+
+    let members: Vec<Address> = {
+        let mut m: Vec<Address> = daemons.iter().map(|d| d.address()).collect();
+        m.sort_unstable();
+        m
+    };
+    let ring_cfg = RingConfig {
+        replication: 2,
+        ..RingConfig::default()
+    };
+    let shared = Arc::clone(cluster.shared());
+    let ring = HashRing::build(&members, |a| shared.node_of(a.pid()), ring_cfg);
+    let victim_addr = ring.primary(&BlockKey::new("t", 0)).unwrap();
+    let victim_idx = daemons
+        .iter()
+        .position(|d| d.address() == victim_addr)
+        .unwrap();
+    let victim_node = shared.node_of(victim_addr.pid()).unwrap();
+    cluster.shared().faults().crash_after_sends_now(
+        victim_node,
+        na::tags::MONA_BASE,
+        na::tags::MPI_BASE - 1,
+        2,
+    );
+
+    // A triggered mandelbulb: the escape field tops out near 30, so the
+    // gate fires on this iteration's data, and the reparam keeps the
+    // contour fed from the same fused stats the gate consumed.
+    let mut s = catalyst::PipelineScript::mandelbulb(48, 48);
+    s.triggers = vec![
+        catalyst::TriggerSpec::new("max(iterations) > 10", "run"),
+        catalyst::TriggerSpec::new(
+            "max(iterations) > 10",
+            "contour(iterations, mean(iterations) + range(iterations) / 4)",
+        ),
+    ];
+    let script = s.to_json();
+
+    let f2 = fabric.clone();
+    let (staged_tx, staged_rx) = crossbeam::channel::bounded::<()>(1);
+    let (executed_tx, executed_rx) = crossbeam::channel::bounded::<()>(1);
+    let (done_tx, done_rx) = crossbeam::channel::bounded::<()>(1);
+    let sim = cluster.spawn("sim", 8, move || {
+        let margo = MargoInstance::init(&f2);
+        let client = ColzaClient::new(Arc::clone(&margo));
+        let admin = AdminClient::new(Arc::clone(&margo));
+        let view = client.view_from(contact).unwrap();
+        admin
+            .create_pipeline_on_all(&view, "catalyst", "t", &script)
+            .unwrap();
+        let mut handle = client.distributed_handle(contact, "t").unwrap();
+        handle.set_replication(2);
+        handle.set_heavy_retry(RetryConfig {
+            max_attempts: 0,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+            per_try_timeout: Duration::from_secs(2),
+            deadline: Some(Duration::from_secs(120)),
+            ..Default::default()
+        });
+        let bulb = sims::mandelbulb::Mandelbulb {
+            dims: [12, 12, 12],
+            ..Default::default()
+        };
+        handle.activate(0).unwrap();
+        for b in 0..BLOCKS {
+            let payload =
+                colza::codec::dataset_to_bytes(&bulb.generate_block(b as usize, BLOCKS as usize));
+            handle
+                .stage(BlockMeta::new("t", b, 0, payload.len()), &payload)
+                .unwrap();
+        }
+        staged_tx.send(()).unwrap();
+        // The crash lands inside this call's collectives — possibly the
+        // fused stats allreduce the trigger itself is evaluating over.
+        let outcome = handle
+            .execute_with_recovery(0)
+            .expect("triggered iteration must recover from the crash");
+        let img = handle.fetch_result().unwrap().expect("image");
+        executed_tx.send(()).unwrap();
+        done_rx.recv().unwrap();
+        handle.deactivate(0).unwrap();
+        margo.finalize();
+        (outcome, img)
+    });
+
+    staged_rx.recv().unwrap();
+    let mut tripped = false;
+    for _ in 0..30_000 {
+        if cluster.shared().faults().crash_tripped(victim_node) {
+            tripped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(tripped, "the victim never hit its send-count crash budget");
+    daemons.remove(victim_idx).kill();
+    let mut rounds = 0;
+    while daemons.iter().any(|d| d.view().contains(&victim_addr)) {
+        for d in &daemons {
+            d.tick_sync();
+        }
+        rounds += 1;
+        assert!(rounds < 500, "survivors never declared the victim dead");
+    }
+    for _ in 0..10 {
+        for d in &daemons {
+            d.tick_sync();
+        }
+    }
+
+    executed_rx.recv().unwrap();
+    done_tx.send(()).unwrap();
+    let (outcome, img) = sim.join();
+
+    let snap = cluster.shared().trace_snapshot();
+    let mut trace = cluster.shared().faults().trace();
+    trace.sort_unstable();
+    let trace_export = trace
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let out = TriggeredCrashOutcome {
+        trace_export,
+        image: img,
+        outcome,
+        aborted: snap.counter_total("colza.exec.aborted"),
+        recoveries: snap.counter_total("colza.exec.recoveries"),
+        skipped: snap.counter_total("colza.trigger.skipped"),
+    };
+    for d in daemons {
+        d.stop();
+    }
+    out
+}
+
+/// ISSUE satellite: a server crashes mid-iteration on a *triggered*
+/// iteration. The survivors abort retryably, the client re-activates on
+/// the shrunk view, and the recovery execute re-evaluates the trigger
+/// over stats rebuilt from store replicas — reaching the same `run`
+/// decision (never a flip to skip), rendering the image, and replaying
+/// byte-identically from the same seed.
+#[test]
+fn mid_iteration_crash_on_triggered_iteration_recovers_same_decision() {
+    let seed = chaos_seed();
+    let a = triggered_crash_run(seed, "a");
+    assert_eq!(
+        a.outcome,
+        colza::ExecOutcome::Ran,
+        "the trigger must fire on the recovered iteration"
+    );
+    assert_eq!(a.skipped, 0, "the decision flipped to skip somewhere");
+    assert!(a.aborted >= 1, "survivors must abort the crashed attempt");
+    assert!(a.recoveries >= 1, "the client must run abort-and-recover");
+    assert!(
+        vizkit::Image::from_bytes(&a.image).coverage() > 0.0,
+        "recovered triggered iteration rendered an empty image"
+    );
+    let b = triggered_crash_run(seed, "b");
+    assert_eq!(a, b, "triggered-crash outcomes diverged for one seed");
 }

@@ -540,3 +540,131 @@ fn released_iterations_leave_no_tenant_residue() {
     );
     assert_eq!(out.report.staged_bytes, 0);
 }
+
+/// Reactive-trigger observability (DESIGN.md §15): the trigger counters
+/// reconcile with the decision schedule, and the *fused* stats collective
+/// really is one allreduce per evaluated iteration — bounds, min/max and
+/// sum/count all ride the same payload, so enabling triggers (and `mean`)
+/// adds no extra collective.
+#[test]
+fn trigger_counters_and_fused_collective_reconcile() {
+    use vizkit::data::{CellType, DataArray, UnstructuredGrid};
+
+    const TRIG_ITERS: u64 = 6;
+
+    let cluster = hpcsim::Cluster::new(hpcsim::ClusterConfig {
+        seed: 23,
+        compute_scale: 0.0,
+        ..hpcsim::ClusterConfig::aries()
+    });
+    cluster.shared().tracer().set_enabled(true);
+    let fabric = Fabric::new(Arc::clone(cluster.shared()));
+
+    let (addr_tx, addr_rx) = crossbeam::channel::bounded(1);
+    let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+    let f2 = fabric.clone();
+    let server = cluster.spawn("server", 0, move || {
+        let endpoint = Arc::new(f2.open());
+        let margo = MargoInstance::from_endpoint(Arc::clone(&endpoint));
+        let mona = MonaInstance::from_endpoint(Arc::clone(&endpoint), MonaConfig::default());
+        let group = SsgGroup::create(Arc::clone(&margo), "colza", SsgConfig::default());
+        let _provider = ColzaProvider::register(
+            Arc::clone(&margo),
+            mona,
+            Arc::clone(&group),
+            ProviderComm::Mona,
+        );
+        addr_tx.send(margo.address()).unwrap();
+        stop_rx.recv().ok();
+        margo.finalize();
+    });
+    let contact = addr_rx.recv().unwrap();
+
+    // One voxel cell carrying a `v02` value: even iterations stage a hot
+    // 5.0 (fires `max(v02) > 3.0`), odd iterations a quiet 1.0 (skips).
+    fn voxel_payload(value: f32) -> Bytes {
+        let mut g = UnstructuredGrid::new();
+        for k in 0..2u32 {
+            for j in 0..2u32 {
+                for i in 0..2u32 {
+                    g.points.push([i as f32 * 4.0, j as f32 * 4.0, k as f32 * 4.0]);
+                }
+            }
+        }
+        g.add_cell(CellType::Voxel, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        g.cell_data.set("v02", DataArray::F32(vec![value]));
+        colza::codec::dataset_to_bytes(&vizkit::DataSet::UGrid(g))
+    }
+
+    let f3 = fabric.clone();
+    let outcomes = cluster
+        .spawn("client", 1, move || {
+            let margo = MargoInstance::init(&f3);
+            let client = ColzaClient::new(Arc::clone(&margo));
+            let admin = AdminClient::new(Arc::clone(&margo));
+            client.view_from(contact).unwrap();
+            let mut script = catalyst::PipelineScript::deep_water_impact(32, 24);
+            script.triggers = vec![catalyst::TriggerSpec::new("max(v02) > 3.0", "run")];
+            admin
+                .create_pipeline(contact, "catalyst", "t", &script.to_json())
+                .unwrap();
+            let handle = client.distributed_handle(contact, "t").unwrap();
+            let mut outcomes = Vec::new();
+            for iteration in 0..TRIG_ITERS {
+                handle.activate(iteration).unwrap();
+                let payload = voxel_payload(if iteration % 2 == 0 { 5.0 } else { 1.0 });
+                handle
+                    .stage(BlockMeta::new("t", 0, iteration, payload.len()), &payload)
+                    .unwrap();
+                outcomes.push(handle.execute(iteration).unwrap());
+                handle.deactivate(iteration).unwrap();
+            }
+            margo.finalize();
+            outcomes
+        })
+        .join();
+    stop_tx.send(()).unwrap();
+    server.join();
+    let snap = cluster.shared().trace_snapshot();
+
+    // The decision schedule alternates with the staged data.
+    let expected: Vec<colza::ExecOutcome> = (0..TRIG_ITERS)
+        .map(|i| {
+            if i % 2 == 0 {
+                colza::ExecOutcome::Ran
+            } else {
+                colza::ExecOutcome::Skipped
+            }
+        })
+        .collect();
+    assert_eq!(outcomes, expected);
+
+    // Trigger counters reconcile with that schedule: one evaluation per
+    // iteration, one firing per hot iteration, one skip per quiet one —
+    // and the provider's skip counter agrees with the pipeline's.
+    assert_eq!(snap.counter_total("colza.trigger.evaluated"), TRIG_ITERS);
+    assert_eq!(snap.counter_total("colza.trigger.fired"), TRIG_ITERS / 2);
+    assert_eq!(snap.counter_total("colza.trigger.skipped"), TRIG_ITERS / 2);
+    assert_eq!(
+        snap.counter_total("colza.exec.skipped"),
+        snap.counter_total("colza.trigger.skipped")
+    );
+    // Every evaluation opened its span.
+    assert_eq!(
+        snap.spans_named("catalyst.trigger.eval").count() as u64,
+        TRIG_ITERS
+    );
+
+    // THE fused-collective property: exactly one stats allreduce per
+    // evaluated iteration — executed iterations reuse the trigger-time
+    // stats, and no second bounds/range collective exists anywhere.
+    assert_eq!(
+        snap.counter_total("colza.trigger.stats.collectives"),
+        TRIG_ITERS
+    );
+    assert_eq!(
+        snap.spans_named("mona.coll:allreduce").count() as u64,
+        TRIG_ITERS,
+        "expected exactly one fused allreduce per evaluated iteration"
+    );
+}
